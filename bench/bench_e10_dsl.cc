@@ -1,0 +1,153 @@
+// Experiment E10 — the DSL pipeline (paper §1: one policy source compiled to
+// a runnable artifact and a verifiable artifact).
+//
+// Reproduction: compile every shipped policy source; check semantic
+// equivalence against the hand-written C++ policies over exhaustive bounded
+// states; audit each compiled policy; emit and size both backends (C and
+// Leon-style Scala); time each stage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sys/wait.h>
+
+#include "bench/bench_util.h"
+#include "src/core/policies/broken.h"
+#include "src/core/policies/thread_count.h"
+#include "src/core/policies/weighted.h"
+#include "src/dsl/codegen.h"
+#include "src/dsl/compile.h"
+#include "src/verify/audit.h"
+#include "src/verify/state_space.h"
+
+namespace optsched {
+namespace {
+
+using bench::F;
+
+// Fraction of (state, thief, stealee) decisions where the two policies agree.
+double Agreement(const BalancePolicy& a, const BalancePolicy& b, uint32_t cores,
+                 int64_t max_load) {
+  verify::Bounds bounds;
+  bounds.num_cores = cores;
+  bounds.max_load = max_load;
+  uint64_t total = 0;
+  uint64_t agree = 0;
+  verify::ForEachState(bounds, [&](const std::vector<int64_t>& loads) {
+    const MachineState m = MachineState::FromLoads(loads);
+    const LoadSnapshot s = m.Snapshot();
+    for (CpuId self = 0; self < cores; ++self) {
+      const SelectionView view{.self = self, .snapshot = s, .topology = nullptr};
+      for (CpuId other = 0; other < cores; ++other) {
+        if (other == self) {
+          continue;
+        }
+        ++total;
+        agree += (a.CanSteal(view, other) == b.CanSteal(view, other)) ? 1 : 0;
+      }
+    }
+    return true;
+  });
+  return total == 0 ? 1.0 : static_cast<double>(agree) / static_cast<double>(total);
+}
+
+}  // namespace
+}  // namespace optsched
+
+int main() {
+  using namespace optsched;
+
+  bench::Section("E10: DSL source -> interpreter + C + Scala, with audit verdicts");
+  std::vector<std::vector<std::string>> rows;
+
+  struct Sample {
+    const char* label;
+    const char* source;
+    std::shared_ptr<const BalancePolicy> reference;  // null: no hand-written twin
+  };
+  const Sample samples[] = {
+      {"thread_count (Listing 1)", dsl::samples::kThreadCount, policies::MakeThreadCount()},
+      {"weighted", dsl::samples::kWeighted, policies::MakeWeightedLoad()},
+      {"broken (4.3)", dsl::samples::kBroken, policies::MakeBrokenCanSteal()},
+      {"numa_aware (5)", dsl::samples::kNumaAware, policies::MakeThreadCount()},
+  };
+
+  for (const Sample& sample : samples) {
+    const bench::Timer compile_timer;
+    const auto compiled = dsl::CompilePolicy(sample.source);
+    const double compile_us = compile_timer.ElapsedUs();
+    if (!compiled.ok()) {
+      rows.push_back({sample.label, "COMPILE ERROR", "-", "-", "-", "-", "-"});
+      continue;
+    }
+    const double agreement =
+        sample.reference ? Agreement(*compiled.policy, *sample.reference, 4, 4) : 1.0;
+
+    verify::ConvergenceCheckOptions options;
+    options.bounds.num_cores = 3;
+    options.bounds.max_load = 3;
+    const bench::Timer audit_timer;
+    const auto audit = verify::AuditPolicy(*compiled.policy, options);
+    const double audit_ms = audit_timer.ElapsedMs();
+
+    const std::string c_code = dsl::EmitC(*compiled.decl);
+    const std::string scala_code = dsl::EmitScala(*compiled.decl);
+    rows.push_back({sample.label, F("%.0fus", compile_us), F("%.1f%%", agreement * 100.0),
+                    audit.work_conserving() ? "WORK-CONSERVING" : "REJECTED",
+                    F("%.0fms", audit_ms), F("%zuB", c_code.size()),
+                    F("%zuB", scala_code.size())});
+  }
+  bench::PrintTable({"policy source", "compile", "filter agreement vs C++", "audit verdict",
+                     "audit", "C size", "Scala size"},
+                    rows);
+
+  bench::Section("E10a: the generated C artifact, compiled and EXECUTED");
+  {
+    // EmitCDemo wraps the generated policy in a self-contained C program
+    // running the paper's 3-core concurrent scenario. The C compiler and the
+    // exit code close the loop with zero dependence on this C++ code base.
+    if (std::system("cc --version > /dev/null 2>&1") != 0) {
+      bench::Note("(no host C compiler; skipped)");
+    } else {
+      std::vector<std::vector<std::string>> rows;
+      for (const Sample& sample : samples) {
+        const auto compiled = dsl::CompilePolicy(sample.source);
+        if (!compiled.ok()) {
+          continue;
+        }
+        const std::string src = "/tmp/optsched_demo.c";
+        const std::string bin = "/tmp/optsched_demo";
+        {
+          std::ofstream out(src);
+          out << dsl::EmitCDemo(*compiled.decl);
+        }
+        const bench::Timer timer;
+        const int build_rc =
+            std::system(("cc -std=c11 -O2 -o " + bin + " " + src + " 2>/dev/null").c_str());
+        const double cc_ms = timer.ElapsedMs();
+        std::string verdict = "cc FAILED";
+        if (build_rc == 0) {
+          const int run_rc = std::system((bin + " > /dev/null 2>&1").c_str());
+          verdict = WEXITSTATUS(run_rc) == 0 ? "work-conserved" : "LIVELOCK (exit 1)";
+        }
+        rows.push_back({sample.label, F("%.0fms", cc_ms), verdict});
+      }
+      bench::PrintTable({"policy source", "cc", "generated demo outcome (0,1,2 scenario)"},
+                        rows);
+    }
+  }
+
+  bench::Section("E10b: generated Scala (Listing-1 policy, Leon-ready)");
+  {
+    const auto compiled = dsl::CompilePolicy(dsl::samples::kThreadCount);
+    if (compiled.ok()) {
+      bench::Note(dsl::EmitScala(*compiled.decl));
+    }
+  }
+
+  bench::Note("Expected shape (paper): the same DSL source yields (i) an executable policy\n"
+              "bit-identical in behaviour to the hand-written one, (ii) kernel-style C, and\n"
+              "(iii) Leon-style Scala with Lemma 1 stated; the broken source compiles fine\n"
+              "but is rejected by the verifier — the toolchain, not the syntax, is the gate.");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Experiment E1 — Listing 2 / Lemma 1 and the §4.2 obligations.
+//
+// Paper claim: "In our non-concurrent setting, Leon can automatically prove
+// that this property holds, even for relatively complex filter functions. For
+// instance, we have found that the proof is still automatically verified for
+// a load balancer that tries to balance the number of threads weighted by
+// their importance."
+//
+// Reproduction: discharge Lemma 1 + filter-selects-overloaded + steal-safety
+// + potential-decrease for the Listing-1 policy and the weighted policy over
+// exhaustive bounded state spaces, reporting state counts and checking time;
+// then show the obligations are discriminating by running the same battery
+// on the flawed filters (group-sum, CFS-like) and printing the concrete
+// counterexamples the checker extracts.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/policies/broken.h"
+#include "src/core/policies/cfs_like.h"
+#include "src/core/policies/hierarchical.h"
+#include "src/core/policies/registry.h"
+#include "src/verify/lemmas.h"
+
+namespace optsched {
+namespace {
+
+using bench::F;
+using policies::GroupMap;
+
+void RunBattery(const BalancePolicy& policy, uint32_t cores, int64_t max_load,
+                std::vector<std::vector<std::string>>& rows) {
+  verify::Bounds bounds;
+  bounds.num_cores = cores;
+  bounds.max_load = max_load;
+  const bench::Timer timer;
+  const auto lemma1 = verify::CheckLemma1(policy, bounds);
+  const auto overloaded = verify::CheckFilterSelectsOverloaded(policy, bounds);
+  const auto safety = verify::CheckStealSafety(policy, bounds);
+  const auto potential = verify::CheckPotentialDecrease(policy, bounds);
+  const double ms = timer.ElapsedMs();
+  const uint64_t checks = lemma1.checks_performed + overloaded.checks_performed +
+                          safety.checks_performed + potential.checks_performed;
+  auto verdict = [](const verify::CheckResult& r) { return r.holds ? "holds" : "VIOLATED"; };
+  rows.push_back({policy.name(), F("%u", cores), F("%lld", static_cast<long long>(max_load)),
+                  F("%llu", static_cast<unsigned long long>(lemma1.states_checked)),
+                  F("%llu", static_cast<unsigned long long>(checks)), verdict(lemma1),
+                  verdict(overloaded), verdict(safety), verdict(potential), F("%.1f", ms)});
+}
+
+}  // namespace
+}  // namespace optsched
+
+int main() {
+  using namespace optsched;
+  bench::Section("E1: Lemma 1 and the sequential proof obligations (paper Listing 2, 4.2)");
+
+  std::vector<std::vector<std::string>> rows;
+  const Topology topo_smp = Topology::Smp(4);
+  for (const char* name : {"thread-count", "weighted-load"}) {
+    const auto policy = policies::MakePolicyByName(name, topo_smp);
+    for (uint32_t cores : {2u, 3u, 4u, 5u, 6u}) {
+      RunBattery(*policy, cores, /*max_load=*/4, rows);
+    }
+    RunBattery(*policy, 4, /*max_load=*/8, rows);
+  }
+  bench::PrintTable({"policy", "cores", "max_load", "states", "checks", "lemma1",
+                     "only_overloaded", "steal_safety", "potential_dec", "ms"},
+                    rows);
+
+  bench::Section("E1b: the obligations are discriminating (flawed filters)");
+  std::vector<std::vector<std::string>> bad_rows;
+  RunBattery(*policies::MakeBrokenCanSteal(), 3, 4, bad_rows);
+  RunBattery(*policies::MakeGroupSum(GroupMap::Contiguous(4, 2)), 4, 4, bad_rows);
+  RunBattery(*policies::MakeCfsLike(GroupMap::Contiguous(4, 2)), 4, 4, bad_rows);
+  bench::PrintTable({"policy", "cores", "max_load", "states", "checks", "lemma1",
+                     "only_overloaded", "steal_safety", "potential_dec", "ms"},
+                    bad_rows);
+
+  verify::Bounds bounds;
+  bounds.num_cores = 4;
+  bounds.max_load = 4;
+  const auto group_sum_result =
+      verify::CheckLemma1(*policies::MakeGroupSum(GroupMap::Contiguous(4, 2)), bounds);
+  bench::Note("group-sum Lemma-1 counterexample: " +
+              (group_sum_result.counterexample.has_value()
+                   ? group_sum_result.counterexample->ToString()
+                   : std::string("<none>")));
+  bounds.num_cores = 3;
+  const auto broken_potential =
+      verify::CheckPotentialDecrease(*policies::MakeBrokenCanSteal(), bounds);
+  bench::Note("broken-cansteal potential counterexample: " +
+              (broken_potential.counterexample.has_value()
+                   ? broken_potential.counterexample->ToString()
+                   : std::string("<none>")));
+  bench::Note("\nExpected shape (paper): Lemma 1 holds automatically for the simple and the\n"
+              "weighted balancer; checking stays fast at paper-scale bounds; flawed filters\n"
+              "are rejected with concrete counterexamples.");
+  return 0;
+}

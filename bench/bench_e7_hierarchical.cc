@@ -1,0 +1,200 @@
+// Experiment E7 — hierarchical load balancing (paper §5, future work).
+//
+// Paper direction: "extend these abstractions to include hierarchical load
+// balancing, for instance to allow balancing load between groups of cores,
+// and then inside groups, instead of balancing load directly between
+// individual cores" — while keeping the proofs modular.
+//
+// Reproduction: (a) the sound construction (hierarchy in the CHOICE step)
+// passes the full audit at every group size with the same obligations as the
+// flat policy; (b) the tempting group-sum FILTER is rejected (Lemma-1
+// counterexample; uneven groups yield a starvation fixpoint); (c) scaling:
+// hierarchical choice keeps steals local (cheaper migrations) with the same
+// convergence as flat balancing as machines grow.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/conservation.h"
+#include "src/core/hier_balancer.h"
+#include "src/stats/summary.h"
+#include "src/core/policies/hierarchical.h"
+#include "src/core/policies/thread_count.h"
+#include "src/verify/audit.h"
+
+namespace optsched {
+namespace {
+
+using bench::F;
+using policies::GroupMap;
+
+}  // namespace
+}  // namespace optsched
+
+int main() {
+  using namespace optsched;
+
+  bench::Section("E7a: audit verdicts, flat vs hierarchical-choice vs group-sum-filter");
+  {
+    std::vector<std::vector<std::string>> rows;
+    verify::ConvergenceCheckOptions options;
+    options.bounds.num_cores = 4;
+    options.bounds.max_load = 3;
+    struct Entry {
+      std::string label;
+      std::shared_ptr<const BalancePolicy> policy;
+    };
+    const Entry entries[] = {
+        {"flat thread-count", policies::MakeThreadCount()},
+        {"hierarchical (choice-level, 2 groups)",
+         policies::MakeHierarchical(GroupMap::Contiguous(4, 2))},
+        {"group-sum filter (2+2)", policies::MakeGroupSum(GroupMap::Contiguous(4, 2))},
+        {"group-sum filter (3+1 uneven)",
+         policies::MakeGroupSum(GroupMap::Contiguous(4, 3))},
+    };
+    for (const Entry& entry : entries) {
+      const bench::Timer timer;
+      const auto audit = verify::AuditPolicy(*entry.policy, options);
+      rows.push_back({entry.label, audit.lemma1.holds ? "holds" : "VIOLATED",
+                      audit.concurrent.result.holds ? "holds" : "VIOLATED",
+                      audit.work_conserving() ? "WORK-CONSERVING" : "REJECTED",
+                      F("%.1f", timer.ElapsedMs())});
+    }
+    bench::PrintTable({"construction", "lemma1", "AF(work-conserved)", "verdict", "audit_ms"},
+                      rows);
+
+    verify::Bounds bounds;
+    bounds.num_cores = 4;
+    bounds.max_load = 3;
+    const auto ce = verify::CheckLemma1(*policies::MakeGroupSum(GroupMap::Contiguous(4, 2)),
+                                        bounds);
+    bench::Note("group-sum Lemma-1 counterexample: " +
+                (ce.counterexample.has_value() ? ce.counterexample->ToString()
+                                               : std::string("<none>")));
+  }
+
+  bench::Section("E7b: uneven groups -> starvation fixpoint for the group-sum filter");
+  {
+    // Groups {0..3} and {4,5}; loads (0,1,1,1 | 2,1): sums 3 vs 3.
+    const auto group_sum = policies::MakeGroupSum(GroupMap::Contiguous(6, 4));
+    const auto hierarchical = policies::MakeHierarchical(GroupMap::Contiguous(6, 4));
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& [label, policy] :
+         {std::pair<std::string, std::shared_ptr<const BalancePolicy>>{"group-sum", group_sum},
+          {"hierarchical-choice", hierarchical}}) {
+      MachineState machine = MachineState::FromLoads({0, 1, 1, 1, 2, 1});
+      LoadBalancer balancer(policy);
+      Rng rng(1);
+      uint64_t rounds = 0;
+      while (!machine.WorkConserved() && rounds < 50) {
+        balancer.RunRound(machine, rng);
+        ++rounds;
+      }
+      rows.push_back({label, machine.WorkConserved()
+                                 ? F("%llu", static_cast<unsigned long long>(rounds))
+                                 : std::string(">50 (starved forever)")});
+    }
+    bench::PrintTable({"construction", "rounds to work conservation"}, rows);
+  }
+
+  bench::Section("E7c: scaling sweep, flat vs hierarchical choice (64 random starts each)");
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (uint32_t cores : {16u, 64u, 256u}) {
+      const uint32_t group_size = cores / 8;
+      for (const bool hierarchical : {false, true}) {
+        const auto policy =
+            hierarchical
+                ? std::shared_ptr<const BalancePolicy>(
+                      policies::MakeHierarchical(GroupMap::Contiguous(cores, group_size)))
+                : std::shared_ptr<const BalancePolicy>(policies::MakeThreadCount());
+        Rng rng(31 + cores);
+        stats::Summary rounds_summary;
+        stats::Summary local_frac;
+        double total_round_ms = 0.0;
+        uint64_t total_rounds = 0;
+        for (int trial = 0; trial < 64; ++trial) {
+          std::vector<int64_t> loads(cores, 0);
+          for (uint32_t c = 0; c < cores; c += 8) {
+            loads[c] = rng.NextInRange(4, 12);  // every 8th core overloaded
+          }
+          MachineState machine = MachineState::FromLoads(loads);
+          LoadBalancer balancer(policy);
+          uint64_t local_steals = 0;
+          uint64_t steals = 0;
+          const bench::Timer timer;
+          uint64_t rounds = 0;
+          while (!machine.WorkConserved() && rounds < 200) {
+            const RoundResult r = balancer.RunRound(machine, rng);
+            ++rounds;
+            for (const CoreAction& action : r.actions) {
+              if (action.outcome == StealOutcome::kStole) {
+                ++steals;
+                if (*action.victim / group_size == action.thief / group_size) {
+                  ++local_steals;
+                }
+              }
+            }
+          }
+          total_round_ms += timer.ElapsedMs();
+          total_rounds += rounds;
+          rounds_summary.Add(static_cast<double>(rounds));
+          if (steals > 0) {
+            local_frac.Add(static_cast<double>(local_steals) / static_cast<double>(steals));
+          }
+        }
+        rows.push_back({F("%u", cores), hierarchical ? "hierarchical" : "flat",
+                        F("%.1f", rounds_summary.mean()),
+                        F("%.0f%%", local_frac.mean() * 100.0),
+                        F("%.3f", total_rounds == 0
+                                      ? 0.0
+                                      : total_round_ms / static_cast<double>(total_rounds))});
+      }
+    }
+    bench::PrintTable({"cores", "choice", "mean_rounds_to_WC", "intra-group steals",
+                       "ms_per_round"},
+                      rows);
+  }
+
+  bench::Section(
+      "E7d: multi-level engine over the sched-domain ladder (SMT -> LLC -> MACHINE)");
+  {
+    // The full 5 construction: each core balances its innermost domain first
+    // and escalates only when that scope is balanced. Same filter, same
+    // steal phase as the audited flat engine; per-level stats show where
+    // migrations actually happen.
+    const Topology topo = Topology::Hierarchical(2, 1, 8, 2);  // 32 cpus, 3 levels
+    HierarchicalBalancer engine(policies::MakeThreadCount(), topo);
+    Rng rng(83);
+    uint64_t total_rounds = 0;
+    for (int trial = 0; trial < 64; ++trial) {
+      std::vector<int64_t> loads(32, 0);
+      for (int c = 0; c < 8; ++c) {
+        loads[static_cast<size_t>(rng.NextBelow(32))] = rng.NextInRange(3, 9);
+      }
+      MachineState machine = MachineState::FromLoads(loads);
+      uint64_t rounds = 0;
+      while (!machine.WorkConserved() && rounds < 200) {
+        engine.RunRound(machine, rng);
+        ++rounds;
+      }
+      total_rounds += rounds;
+    }
+    std::vector<std::vector<std::string>> rows;
+    for (const LevelStats& level : engine.level_stats()) {
+      rows.push_back({level.name, F("%llu", static_cast<unsigned long long>(level.attempts)),
+                      F("%llu", static_cast<unsigned long long>(level.successes)),
+                      F("%llu", static_cast<unsigned long long>(level.failures))});
+    }
+    bench::PrintTable({"ladder level", "attempts", "steals", "failures"}, rows);
+    bench::Note(F("(64 random imbalances cleared in %.1f rounds on average; most steals\n"
+                  " resolve at the innermost level that still has imbalance)",
+                  static_cast<double>(total_rounds) / 64.0));
+  }
+
+  bench::Note("\nExpected shape (paper 5): hierarchy implemented in the choice step keeps\n"
+              "every proof intact ('without adding any complexity to the proofs') and makes\n"
+              "most steals group-local; pushing the hierarchy into the FILTER (group sums)\n"
+              "breaks Lemma 1 and, with uneven groups, work conservation itself.");
+  return 0;
+}

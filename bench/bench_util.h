@@ -1,0 +1,53 @@
+// Shared helpers for the experiment binaries: wall-clock timing and
+// paper-style table/section output.
+
+#ifndef OPTSCHED_BENCH_BENCH_UTIL_H_
+#define OPTSCHED_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/base/str.h"
+
+namespace optsched::bench {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  double ElapsedUs() const { return ElapsedMs() * 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void Section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void Note(const std::string& text) { std::printf("%s\n", text.c_str()); }
+
+inline void PrintTable(const std::vector<std::string>& header,
+                       const std::vector<std::vector<std::string>>& rows) {
+  std::printf("%s", RenderTable(header, rows).c_str());
+}
+
+inline std::string F(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+inline std::string F(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char buffer[512];
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  return std::string(buffer);
+}
+
+}  // namespace optsched::bench
+
+#endif  // OPTSCHED_BENCH_BENCH_UTIL_H_

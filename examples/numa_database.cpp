@@ -1,0 +1,89 @@
+// A database-style deployment on a NUMA machine, scheduled by a policy
+// written in the DSL.
+//
+// The policy source is the shipped `numa_aware` program: the Listing-1 filter
+// (so all proofs apply) with a NUMA-nearest CHOICE step, compiled at runtime,
+// audited, and then used to schedule an OLTP workload whose transactions
+// arrive skewed onto node 0.
+//
+//   $ build/examples/numa_database
+
+#include <cstdio>
+
+#include "src/dsl/compile.h"
+#include "src/sim/simulator.h"
+#include "src/stats/histogram.h"
+#include "src/verify/audit.h"
+#include "src/workload/workloads.h"
+
+int main() {
+  using namespace optsched;
+
+  // --- Compile and audit the DSL policy. ------------------------------------
+  const dsl::CompileResult compiled = dsl::CompilePolicy(dsl::samples::kNumaAware);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "policy compilation failed:\n%s\n",
+                 compiled.DiagnosticsToString().c_str());
+    return 1;
+  }
+  verify::ConvergenceCheckOptions audit_options;
+  audit_options.bounds.num_cores = 3;
+  audit_options.bounds.max_load = 4;
+  const verify::PolicyAudit audit = verify::AuditPolicy(*compiled.policy, audit_options);
+  std::printf("%s\n", audit.Report().c_str());
+  if (!audit.work_conserving()) {
+    std::fprintf(stderr, "refusing to deploy a policy that failed its audit\n");
+    return 1;
+  }
+
+  // --- Deploy it on a 4-node machine under an OLTP workload. ----------------
+  const Topology topo = Topology::Numa(4, 8);
+  sim::SimConfig config;
+  config.max_time_us = 3'000'000;
+  config.lb_period_us = 4'000;
+  config.wake_placement = sim::WakePlacement::kLastCpu;  // the balancer does the work
+  config.trace_capacity = 1 << 18;                       // record steals for the locality mix
+  sim::Simulator simulator(topo, compiled.policy, config, /*seed=*/11);
+
+  // 64 connection workers: 1ms transactions, exponential think time, homes
+  // skewed 50% onto node 0 (the "listener" node), the rest spread.
+  Rng rng(5);
+  for (int i = 0; i < 64; ++i) {
+    sim::TaskSpec spec;
+    spec.total_service_us = 1'000'000;
+    spec.burst_us = 1'000;
+    spec.mean_block_us = 800;
+    spec.home_node = (i % 2 == 0) ? 0 : static_cast<NodeId>(1 + rng.NextBelow(3));
+    simulator.Submit(spec, 0);
+  }
+  simulator.Run();
+
+  const sim::SimMetrics& m = simulator.metrics();
+  std::printf("=== numa_database run (%s) ===\n", topo.ToString().c_str());
+  std::printf("%s\n", m.ToString().c_str());
+  std::printf("utilization: %.1f%%\n", simulator.accounting().utilization() * 100.0);
+  std::printf("transactions: %llu (%.1f per ms)\n",
+              static_cast<unsigned long long>(m.bursts_completed),
+              static_cast<double>(m.bursts_completed) /
+                  (static_cast<double>(simulator.now()) / 1000.0));
+  std::printf("transaction latency: %s\n", m.burst_latency_us.ToString().c_str());
+  std::printf("steal failures (optimism at work): %llu of %llu attempts\n",
+              static_cast<unsigned long long>(simulator.balance_stats().failures()),
+              static_cast<unsigned long long>(simulator.balance_stats().attempts));
+
+  // Cross-node steals should be the minority: the nearest-first choice keeps
+  // migrations local whenever the filter offers a local candidate.
+  uint64_t local = 0;
+  uint64_t remote = 0;
+  for (const auto& event : simulator.trace_buffer().Filter(trace::EventType::kSteal)) {
+    (topo.SharesNode(event.cpu, event.other_cpu) ? local : remote) += 1;
+  }
+  if (local + remote == 0) {
+    std::printf("(tracing disabled; rebuild with config.trace_capacity to see steal mix)\n");
+  } else {
+    std::printf("steal locality: %llu intra-node, %llu cross-node\n",
+                static_cast<unsigned long long>(local),
+                static_cast<unsigned long long>(remote));
+  }
+  return 0;
+}

@@ -1,0 +1,148 @@
+// simctl: drive the simulator from the command line.
+//
+//   $ build/examples/simctl --policy=thread-count --nodes=2 --cpus=8 \
+//         --workload=oltp --workers=32 --duration-ms=2000 --seed=7 [--timeline]
+//
+// Workloads: imbalance | forkjoin | oltp | poisson.
+// Policies:  any name from the registry (see --help).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/core/policies/registry.h"
+#include "src/sim/simulator.h"
+#include "src/workload/workloads.h"
+
+namespace {
+
+// "--key=value" parser; returns defaults when absent.
+std::string FlagValue(int argc, char** argv, const char* key, const char* fallback) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return fallback;
+}
+
+bool HasFlag(int argc, char** argv, const char* key) {
+  const std::string flag = std::string("--") + key;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void PrintUsage(const char* prog) {
+  std::printf("usage: %s [flags]\n", prog);
+  std::printf("  --policy=NAME       one of:");
+  for (const std::string& name : optsched::policies::KnownPolicyNames()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n");
+  std::printf("  --nodes=N --cpus=M  topology: N NUMA nodes x M cpus (default 2x8)\n");
+  std::printf("  --workload=KIND     imbalance | forkjoin | oltp | poisson (default oltp)\n");
+  std::printf("  --workers=N         task/worker count (default 32)\n");
+  std::printf("  --duration-ms=T     simulated duration budget (default 2000)\n");
+  std::printf("  --lb-period-us=T    balancing period (default 4000)\n");
+  std::printf("  --wake=last|idle    wakeup placement (default last)\n");
+  std::printf("  --seed=S            RNG seed (default 1)\n");
+  std::printf("  --timeline          render the per-cpu load timeline\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace optsched;
+  if (HasFlag(argc, argv, "help")) {
+    PrintUsage(argv[0]);
+    return 0;
+  }
+
+  const uint32_t nodes = static_cast<uint32_t>(std::atoi(FlagValue(argc, argv, "nodes", "2").c_str()));
+  const uint32_t cpus = static_cast<uint32_t>(std::atoi(FlagValue(argc, argv, "cpus", "8").c_str()));
+  const Topology topo = Topology::Numa(std::max(1u, nodes), std::max(1u, cpus));
+
+  const std::string policy_name = FlagValue(argc, argv, "policy", "thread-count");
+  const auto policy = policies::MakePolicyByName(policy_name, topo);
+  if (policy == nullptr) {
+    std::fprintf(stderr, "unknown policy '%s' (try --help)\n", policy_name.c_str());
+    return 2;
+  }
+
+  const uint64_t duration_ms =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "duration-ms", "2000").c_str()));
+  const uint64_t seed =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "seed", "1").c_str()));
+  const uint32_t workers =
+      static_cast<uint32_t>(std::atoi(FlagValue(argc, argv, "workers", "32").c_str()));
+
+  sim::SimConfig config;
+  config.max_time_us = duration_ms * 1000;
+  config.lb_period_us = static_cast<uint64_t>(
+      std::atoll(FlagValue(argc, argv, "lb-period-us", "4000").c_str()));
+  config.wake_placement = FlagValue(argc, argv, "wake", "last") == std::string("idle")
+                              ? sim::WakePlacement::kIdlePreferred
+                              : sim::WakePlacement::kLastCpu;
+  const bool timeline = HasFlag(argc, argv, "timeline");
+  if (timeline) {
+    config.sample_period_us = std::max<uint64_t>(1, config.max_time_us / 100);
+  }
+  sim::Simulator simulator(topo, policy, config, seed);
+
+  const std::string workload = FlagValue(argc, argv, "workload", "oltp");
+  std::shared_ptr<void> keepalive;
+  if (workload == "imbalance") {
+    workload::StaticImbalanceConfig wl;
+    wl.num_tasks = workers;
+    wl.service_us = 50'000;
+    workload::SubmitStaticImbalance(simulator, wl);
+  } else if (workload == "forkjoin") {
+    workload::ForkJoinConfig wl;
+    wl.num_phases = 8;
+    wl.tasks_per_phase = workers;
+    wl.task_service_us = 10'000;
+    wl.seed = seed;
+    keepalive = workload::InstallForkJoin(simulator, wl);
+  } else if (workload == "oltp") {
+    workload::OltpConfig wl;
+    wl.num_workers = workers;
+    wl.duration_us = config.max_time_us;
+    wl.seed = seed;
+    workload::SubmitOltp(simulator, wl);
+  } else if (workload == "poisson") {
+    workload::PoissonConfig wl;
+    wl.arrivals_per_sec = 100.0 * workers;
+    wl.duration_us = config.max_time_us;
+    wl.seed = seed;
+    workload::SubmitPoisson(simulator, wl);
+  } else {
+    std::fprintf(stderr, "unknown workload '%s' (try --help)\n", workload.c_str());
+    return 2;
+  }
+
+  simulator.Run();
+
+  std::printf("topology:  %s\n", topo.ToString().c_str());
+  std::printf("policy:    %s\n", policy->name().c_str());
+  std::printf("workload:  %s (%u workers, %llums budget, seed %llu)\n", workload.c_str(),
+              workers, static_cast<unsigned long long>(duration_ms),
+              static_cast<unsigned long long>(seed));
+  std::printf("metrics:   %s\n", simulator.metrics().ToString().c_str());
+  std::printf("balancer:  %s\n", simulator.balance_stats().ToString().c_str());
+  std::printf("cpu time:  %s\n", simulator.accounting().ToString().c_str());
+  const auto& reactivity = simulator.metrics().ready_to_run_latency_us;
+  if (reactivity.count() > 0) {
+    std::printf("reactivity: %s\n", reactivity.ToString().c_str());
+  }
+  if (timeline) {
+    std::printf("timeline ('.'=idle '#'=running digit=queue depth):\n%s",
+                simulator.sampler().RenderTimeline(100).c_str());
+  }
+  return 0;
+}

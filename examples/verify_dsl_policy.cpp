@@ -1,0 +1,90 @@
+// dslc: the policy compiler/verifier as a command-line tool.
+//
+// Reads a policy program (from a file, or the built-in Listing-1 sample when
+// no argument is given), compiles it, runs the full verification audit, and
+// emits the two backends — exactly the paper's pipeline: one DSL source,
+// a kernel-ready C artifact and a Leon-ready Scala artifact, gated by proofs.
+//
+//   $ build/examples/verify_dsl_policy                # built-in sample
+//   $ build/examples/verify_dsl_policy my_policy.osp  # your policy
+//   $ build/examples/verify_dsl_policy my_policy.osp --emit-c --emit-scala
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/dsl/codegen.h"
+#include "src/dsl/compile.h"
+#include "src/verify/audit.h"
+
+int main(int argc, char** argv) {
+  using namespace optsched;
+
+  std::string source = dsl::samples::kThreadCount;
+  std::string source_name = "<built-in thread_count sample>";
+  bool emit_c = false;
+  bool emit_scala = false;
+  bool emit_json = false;
+  bool emit_demo = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--emit-c") == 0) {
+      emit_c = true;
+    } else if (std::strcmp(argv[i], "--emit-scala") == 0) {
+      emit_scala = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      emit_json = true;
+    } else if (std::strcmp(argv[i], "--emit-demo") == 0) {
+      emit_demo = true;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: %s [policy-file] [--emit-c] [--emit-scala] [--emit-demo] [--json]\n"
+          "  --emit-demo prints a self-contained C program that runs the paper's\n"
+          "  3-core scenario under this policy (cc -std=c11 demo.c && ./a.out).\n",
+          argv[0]);
+      return 0;
+    } else {
+      std::ifstream in(argv[i]);
+      if (!in) {
+        std::fprintf(stderr, "error: cannot open '%s'\n", argv[i]);
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      source = buffer.str();
+      source_name = argv[i];
+    }
+  }
+
+  std::printf("compiling %s\n", source_name.c_str());
+  const dsl::CompileResult compiled = dsl::CompilePolicy(source);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compilation failed:\n%s\n", compiled.DiagnosticsToString().c_str());
+    return 1;
+  }
+  std::printf("compiled policy '%s' (metric: %s)\n\n", compiled.policy->name().c_str(),
+              compiled.policy->metric() == LoadMetric::kTaskCount ? "count" : "weighted");
+
+  verify::ConvergenceCheckOptions options;
+  options.bounds.num_cores = 4;
+  options.bounds.max_load = 4;
+  const verify::PolicyAudit audit = verify::AuditPolicy(*compiled.policy, options);
+  std::printf("%s\n", audit.Report().c_str());
+  if (emit_json) {
+    std::printf("--- audit (JSON) ---\n%s\n", audit.ToJson().c_str());
+  }
+
+  if (emit_c) {
+    std::printf("--- C backend (%s) ---\n%s\n", source_name.c_str(),
+                dsl::EmitC(*compiled.decl).c_str());
+  }
+  if (emit_scala) {
+    std::printf("--- Scala/Leon backend (%s) ---\n%s\n", source_name.c_str(),
+                dsl::EmitScala(*compiled.decl).c_str());
+  }
+  if (emit_demo) {
+    std::printf("--- runnable C demo (%s) ---\n%s\n", source_name.c_str(),
+                dsl::EmitCDemo(*compiled.decl).c_str());
+  }
+  return audit.work_conserving() ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+// "A decade of wasted cores", in miniature.
+//
+// Runs the same fork-join workload on a 2-node NUMA machine under (a) the
+// CFS-like baseline (group-average thresholds, designated balancer core,
+// sticky wakeups) and (b) the proven Listing-1 policy, then renders the
+// per-core load timelines so the wasted cores are literally visible:
+// '.' idle, '#' running, digits = runqueue depth.
+//
+//   $ build/examples/wasted_cores
+
+#include <cstdio>
+
+#include "src/core/policies/cfs_like.h"
+#include "src/core/policies/thread_count.h"
+#include "src/sim/simulator.h"
+#include "src/workload/workloads.h"
+
+int main() {
+  using namespace optsched;
+  const Topology topo = Topology::Numa(2, 8);
+
+  struct Candidate {
+    const char* label;
+    std::shared_ptr<const BalancePolicy> policy;
+  };
+  const Candidate candidates[] = {
+      {"cfs-like (group averages + designated core)",
+       policies::MakeCfsLike(policies::GroupMap::ByNode(topo))},
+      {"thread-count (proven work-conserving)", policies::MakeThreadCount()},
+  };
+
+  for (const Candidate& candidate : candidates) {
+    sim::SimConfig config;
+    config.max_time_us = 2'000'000'000;
+    config.lb_period_us = 4'000;
+    config.wake_placement = sim::WakePlacement::kLastCpu;
+    config.sample_period_us = 2'000;
+    sim::Simulator simulator(topo, candidate.policy, config, /*seed=*/7);
+
+    workload::ForkJoinConfig workload;
+    workload.num_phases = 4;
+    workload.tasks_per_phase = 32;
+    workload.task_service_us = 10'000;
+    workload.master_cpu = 0;  // every phase forks on node 0
+    auto keepalive = workload::InstallForkJoin(simulator, workload);
+
+    simulator.Run();
+
+    std::printf("=== %s ===\n", candidate.label);
+    std::printf("%s\n", simulator.metrics().ToString().c_str());
+    std::printf("%s\n", simulator.accounting().ToString().c_str());
+    const auto episodes = simulator.sampler().WastedEpisodes();
+    std::printf("idle-while-overloaded episodes: %zu\n", episodes.size());
+    std::printf("timeline (rows=cpus, columns=time, '.'=idle, '#'=running, digit=queue):\n");
+    std::printf("%s\n", simulator.sampler().RenderTimeline(96).c_str());
+  }
+  return 0;
+}

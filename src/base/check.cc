@@ -1,0 +1,19 @@
+#include "src/base/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace optsched {
+
+void CheckFailed(const char* file, int line, const char* condition, std::string_view message) {
+  if (message.empty()) {
+    std::fprintf(stderr, "OPTSCHED_CHECK failed at %s:%d: %s\n", file, line, condition);
+  } else {
+    std::fprintf(stderr, "OPTSCHED_CHECK failed at %s:%d: %s (%.*s)\n", file, line, condition,
+                 static_cast<int>(message.size()), message.data());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace optsched

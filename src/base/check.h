@@ -1,0 +1,45 @@
+// Lightweight runtime-checking macros used throughout optsched.
+//
+// OPTSCHED_CHECK is always on (release and debug): scheduler-model invariants
+// are cheap integer comparisons and a violated invariant invalidates every
+// result downstream, so we never compile them out. OPTSCHED_DCHECK is for
+// hot-path checks that are elided in NDEBUG builds.
+
+#ifndef OPTSCHED_SRC_BASE_CHECK_H_
+#define OPTSCHED_SRC_BASE_CHECK_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace optsched {
+
+// Prints a diagnostic including file/line and the failed condition, then
+// aborts. Marked noreturn so CHECK can be used in value-returning paths.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* condition,
+                              std::string_view message);
+
+}  // namespace optsched
+
+#define OPTSCHED_CHECK(cond)                                        \
+  do {                                                              \
+    if (!(cond)) [[unlikely]] {                                     \
+      ::optsched::CheckFailed(__FILE__, __LINE__, #cond, "");       \
+    }                                                               \
+  } while (false)
+
+#define OPTSCHED_CHECK_MSG(cond, msg)                               \
+  do {                                                              \
+    if (!(cond)) [[unlikely]] {                                     \
+      ::optsched::CheckFailed(__FILE__, __LINE__, #cond, (msg));    \
+    }                                                               \
+  } while (false)
+
+#ifdef NDEBUG
+#define OPTSCHED_DCHECK(cond) \
+  do {                        \
+  } while (false)
+#else
+#define OPTSCHED_DCHECK(cond) OPTSCHED_CHECK(cond)
+#endif
+
+#endif  // OPTSCHED_SRC_BASE_CHECK_H_

@@ -1,0 +1,58 @@
+#include "src/base/rng.h"
+
+#include <cmath>
+
+namespace optsched {
+
+double Rng::NextExponential(double rate) {
+  OPTSCHED_CHECK(rate > 0.0);
+  // Inverse-CDF; guard against log(0).
+  double u = NextDouble();
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -std::log1p(-u) / rate;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  OPTSCHED_CHECK(n > 0);
+  if (s <= 0.0) {
+    return NextBelow(n);
+  }
+  // Rejection-inversion sampling (Hormann & Derflinger) is overkill for the
+  // sizes we use; a simple inverse-CDF walk over the normalized harmonic
+  // weights is fine because workload key spaces are small (<= a few thousand).
+  // For larger n we fall back to an approximate continuous inversion.
+  if (n <= 4096) {
+    double h = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      h += 1.0 / std::pow(static_cast<double>(i), s);
+    }
+    double u = NextDouble() * h;
+    double acc = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i), s);
+      if (u <= acc) {
+        return i - 1;
+      }
+    }
+    return n - 1;
+  }
+  const double u = NextDouble();
+  const double x = std::pow(static_cast<double>(n), 1.0 - s);
+  const double v = std::pow((x - 1.0) * u + 1.0, 1.0 / (1.0 - s));
+  uint64_t k = static_cast<uint64_t>(v);
+  if (k >= n) {
+    k = n - 1;
+  }
+  return k;
+}
+
+void Rng::Shuffle(std::vector<uint32_t>& values) {
+  for (size_t i = values.size(); i > 1; --i) {
+    const size_t j = NextBelow(i);
+    std::swap(values[i - 1], values[j]);
+  }
+}
+
+}  // namespace optsched

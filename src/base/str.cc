@@ -1,0 +1,131 @@
+#include "src/base/str.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "src/base/check.h"
+
+namespace optsched {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  OPTSCHED_CHECK(needed >= 0);
+  std::string out(static_cast<size_t>(needed), '\0');
+  // +1 for the terminating NUL vsnprintf writes; std::string guarantees the
+  // buffer is needed+1 bytes via data() in C++11 and later.
+  std::vsnprintf(out.data(), static_cast<size_t>(needed) + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      out.append(sep);
+    }
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      out.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && (text[begin] == ' ' || text[begin] == '\t' || text[begin] == '\n' ||
+                         text[begin] == '\r')) {
+    ++begin;
+  }
+  while (end > begin && (text[end - 1] == ' ' || text[end - 1] == '\t' || text[end - 1] == '\n' ||
+                         text[end - 1] == '\r')) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string RenderTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(header.size(), 0);
+  for (size_t c = 0; c < header.size(); ++c) {
+    widths[c] = header[c].size();
+  }
+  for (const auto& row : rows) {
+    OPTSCHED_CHECK_MSG(row.size() == header.size(), "table row width mismatch");
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out.append(c == 0 ? "| " : " | ");
+      out.append(row[c]);
+      out.append(widths[c] - row[c].size(), ' ');
+    }
+    out.append(" |\n");
+  };
+  std::string out;
+  emit_row(header, out);
+  for (size_t c = 0; c < header.size(); ++c) {
+    out.append(c == 0 ? "|-" : "-|-");
+    out.append(widths[c], '-');
+  }
+  out.append("-|\n");
+  for (const auto& row : rows) {
+    emit_row(row, out);
+  }
+  return out;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace optsched

@@ -1,0 +1,39 @@
+// Small string helpers shared by diagnostics, the DSL, and table emitters.
+
+#ifndef OPTSCHED_SRC_BASE_STR_H_
+#define OPTSCHED_SRC_BASE_STR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace optsched {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins the elements with the separator: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Splits on a single character, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view text);
+
+// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+// Renders a fixed-width text table (used by bench binaries to print the
+// paper-style result rows). Columns are sized to the widest cell.
+std::string RenderTable(const std::vector<std::string>& header,
+                        const std::vector<std::vector<std::string>>& rows);
+
+// Escapes a string for inclusion inside a JSON string literal (quotes,
+// backslashes, control characters).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace optsched
+
+#endif  // OPTSCHED_SRC_BASE_STR_H_

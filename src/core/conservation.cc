@@ -1,0 +1,65 @@
+#include "src/core/conservation.h"
+
+#include <set>
+
+#include "src/base/str.h"
+
+namespace optsched {
+
+std::string ConvergenceResult::ToString() const {
+  return StrFormat("convergence{converged=%s N=%llu successes=%llu failures=%llu cycle=%s}",
+                   converged ? "yes" : "no", static_cast<unsigned long long>(rounds),
+                   static_cast<unsigned long long>(total_successes),
+                   static_cast<unsigned long long>(total_failures),
+                   cycle_detected ? "yes" : "no");
+}
+
+ConvergenceResult RunUntilWorkConserved(LoadBalancer& balancer, MachineState& machine, Rng& rng,
+                                        const ConvergenceOptions& options) {
+  ConvergenceResult result;
+  const LoadMetric metric = balancer.policy().metric();
+  std::set<std::vector<int64_t>> seen;
+  seen.insert(machine.Loads(metric));
+
+  for (uint64_t round = 0; round < options.max_rounds; ++round) {
+    if (options.stop_at_work_conserved && machine.WorkConserved()) {
+      result.converged = true;
+      result.rounds = round;
+      result.final_loads = machine.Loads(metric);
+      return result;
+    }
+    const RoundResult rr = balancer.RunRound(machine, rng, options.round);
+    result.total_successes += rr.successes;
+    result.total_failures += rr.failures;
+
+    const std::vector<int64_t> loads = machine.Loads(metric);
+    if (!machine.WorkConserved() && !seen.insert(loads).second) {
+      // A non-work-conserved load vector recurred: the §4.3 ping-pong shape.
+      // Keep running (random orders may still escape) but remember it.
+      result.cycle_detected = true;
+    }
+    if (!options.stop_at_work_conserved && rr.successes == 0) {
+      result.converged = machine.WorkConserved();
+      result.rounds = round + 1;
+      result.final_loads = loads;
+      return result;
+    }
+  }
+  result.converged = machine.WorkConserved();
+  result.rounds = options.max_rounds;
+  result.final_loads = machine.Loads(metric);
+  return result;
+}
+
+uint64_t RunUntilQuiescent(LoadBalancer& balancer, MachineState& machine, Rng& rng,
+                           const RoundOptions& options, uint64_t max_rounds) {
+  for (uint64_t round = 1; round <= max_rounds; ++round) {
+    const RoundResult rr = balancer.RunRound(machine, rng, options);
+    if (rr.successes == 0) {
+      return round;
+    }
+  }
+  return max_rounds;
+}
+
+}  // namespace optsched

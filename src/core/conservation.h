@@ -1,0 +1,61 @@
+// Work-conservation measurement (paper §3.2).
+//
+// The paper's definition: scheduler s is work-conserving iff for every start
+// state there exists an N such that after N load-balancing rounds no core is
+// idle while another core is overloaded. This module *measures* the N for a
+// concrete run (the verifier in src/verify *proves* existence over all states
+// and adversarial orders). It also detects the failure mode of §4.3: a
+// livelock in which rounds keep succeeding/failing but the idle core never
+// obtains work (the infinite ping-pong of the broken filter).
+
+#ifndef OPTSCHED_SRC_CORE_CONSERVATION_H_
+#define OPTSCHED_SRC_CORE_CONSERVATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/core/balancer.h"
+#include "src/sched/machine_state.h"
+
+namespace optsched {
+
+struct ConvergenceResult {
+  // True iff a work-conserved state was reached within max_rounds.
+  bool converged = false;
+  // Rounds executed until the first work-conserved state (== the paper's N
+  // for this run); max_rounds if !converged.
+  uint64_t rounds = 0;
+  uint64_t total_successes = 0;
+  uint64_t total_failures = 0;
+  // True if a previously-seen machine load vector recurred without reaching
+  // work conservation — with a deterministic order this certifies a livelock;
+  // with random order it is strong evidence of ping-pong (§4.3).
+  bool cycle_detected = false;
+  std::vector<int64_t> final_loads;
+
+  std::string ToString() const;
+};
+
+struct ConvergenceOptions {
+  RoundOptions round;
+  uint64_t max_rounds = 10000;
+  // Stop at the first work-conserved state (the paper's N) rather than
+  // balancing to quiescence.
+  bool stop_at_work_conserved = true;
+};
+
+// Runs rounds until work conservation (or quiescence), a cycle, or the round
+// budget is exhausted. Mutates `machine`.
+ConvergenceResult RunUntilWorkConserved(LoadBalancer& balancer, MachineState& machine, Rng& rng,
+                                        const ConvergenceOptions& options = {});
+
+// Runs rounds until no round performs a successful steal (full balance
+// fixpoint). Returns rounds executed (the final, quiescent round included).
+uint64_t RunUntilQuiescent(LoadBalancer& balancer, MachineState& machine, Rng& rng,
+                           const RoundOptions& options = {}, uint64_t max_rounds = 100000);
+
+}  // namespace optsched
+
+#endif  // OPTSCHED_SRC_CORE_CONSERVATION_H_

@@ -1,0 +1,143 @@
+#include "src/core/hier_balancer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/base/check.h"
+
+namespace optsched {
+
+HierarchicalBalancer::HierarchicalBalancer(std::shared_ptr<const BalancePolicy> policy,
+                                           const Topology& topology)
+    : topology_(topology),
+      hierarchy_(BuildDomains(topology)),
+      balancer_(std::move(policy), &topology_) {
+  domain_path_.reserve(topology.num_cpus());
+  for (CpuId cpu = 0; cpu < topology.num_cpus(); ++cpu) {
+    domain_path_.push_back(hierarchy_.DomainPath(cpu));
+  }
+  level_stats_.reserve(hierarchy_.levels.size() + 1);
+  for (const auto& level : hierarchy_.levels) {
+    LevelStats stats;
+    stats.name = level.empty() ? "?" : level[0].name;
+    level_stats_.push_back(std::move(stats));
+  }
+  // Synthetic outermost level for single-CPU machines with no domains.
+  if (level_stats_.empty()) {
+    level_stats_.push_back(LevelStats{.name = "MACHINE", .attempts = 0, .successes = 0,
+                                      .failures = 0});
+  }
+}
+
+CoreAction HierarchicalBalancer::RunOneAttempt(MachineState& machine, CpuId thief,
+                                               const LoadSnapshot& snapshot, Rng& rng,
+                                               bool recheck_filter, size_t* level_out) {
+  CoreAction action;
+  action.thief = thief;
+  action.outcome = StealOutcome::kNoCandidates;
+  if (level_out != nullptr) {
+    *level_out = SIZE_MAX;
+  }
+  const SelectionView view{.self = thief, .snapshot = snapshot, .topology = &topology_};
+  for (size_t level = 0; level < hierarchy_.levels.size(); ++level) {
+    const size_t domain_index = domain_path_[thief][level];
+    if (domain_index == SIZE_MAX) {
+      continue;
+    }
+    const Domain& domain = hierarchy_.levels[level][domain_index];
+    // Step 1 restricted to this level's scope.
+    std::vector<CpuId> candidates;
+    for (CpuId cpu : domain.cpus) {
+      if (cpu != thief && balancer_.policy().CanSteal(view, cpu)) {
+        candidates.push_back(cpu);
+      }
+    }
+    if (candidates.empty()) {
+      continue;  // widen scope (escalate to the parent level)
+    }
+    // Step 2 within the level's candidates.
+    const CpuId victim = balancer_.policy().SelectCore(view, candidates, rng);
+    OPTSCHED_CHECK_MSG(
+        std::find(candidates.begin(), candidates.end(), victim) != candidates.end(),
+        "SelectCore must return a candidate of the current level");
+    // Step 3: the audited two-lock steal.
+    action = balancer_.ExecuteStealPhase(machine, thief, victim, recheck_filter);
+    if (level_out != nullptr) {
+      *level_out = level;
+    }
+    LevelStats& stats = level_stats_[level];
+    ++stats.attempts;
+    if (action.outcome == StealOutcome::kStole) {
+      ++stats.successes;
+    } else {
+      ++stats.failures;
+    }
+    return action;  // one attempt per round per core, as in the flat engine
+  }
+  return action;
+}
+
+RoundResult HierarchicalBalancer::RunRound(MachineState& machine, Rng& rng,
+                                           const RoundOptions& options) {
+  const uint32_t n = machine.num_cpus();
+  RoundResult result;
+  result.actions.assign(n, CoreAction{});
+  result.potential_before = machine.Potential(balancer_.policy().metric());
+
+  auto participates = [&](CpuId cpu) {
+    return !options.only_idle_steal || machine.IsIdle(cpu);
+  };
+
+  if (options.mode == RoundOptions::Mode::kSequential) {
+    for (CpuId cpu = 0; cpu < n; ++cpu) {
+      result.actions[cpu].thief = cpu;
+      result.executed_order.push_back(cpu);
+      if (!participates(cpu)) {
+        continue;
+      }
+      const LoadSnapshot fresh = machine.Snapshot();
+      result.actions[cpu] = RunOneAttempt(machine, cpu, fresh, rng, options.recheck_filter);
+    }
+  } else {
+    const LoadSnapshot round_snapshot = machine.Snapshot();
+    std::vector<uint32_t> order;
+    if (options.mode == RoundOptions::Mode::kConcurrentFixedOrder) {
+      OPTSCHED_CHECK(options.steal_order.size() == n);
+      order = options.steal_order;
+    } else {
+      order.resize(n);
+      std::iota(order.begin(), order.end(), 0);
+      rng.Shuffle(order);
+    }
+    result.executed_order = order;
+    for (uint32_t cpu : order) {
+      OPTSCHED_CHECK(cpu < n);
+      result.actions[cpu].thief = cpu;
+      if (!participates(cpu)) {
+        continue;
+      }
+      result.actions[cpu] =
+          RunOneAttempt(machine, cpu, round_snapshot, rng, options.recheck_filter);
+    }
+  }
+
+  for (const CoreAction& action : result.actions) {
+    switch (action.outcome) {
+      case StealOutcome::kNoCandidates:
+        break;
+      case StealOutcome::kStole:
+        ++result.attempts;
+        ++result.successes;
+        break;
+      case StealOutcome::kFailedRecheck:
+      case StealOutcome::kFailedNoTask:
+        ++result.attempts;
+        ++result.failures;
+        break;
+    }
+  }
+  result.potential_after = machine.Potential(balancer_.policy().metric());
+  return result;
+}
+
+}  // namespace optsched

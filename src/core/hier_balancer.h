@@ -1,0 +1,74 @@
+// Multi-level hierarchical load balancing over the scheduling-domain ladder
+// (paper §5: "balancing load between groups of cores, and then inside
+// groups, instead of balancing load directly between individual cores").
+//
+// Each core's selection phase walks its domain ladder from the innermost
+// level (SMT siblings) outward (LLC, NUMA node, machine): at each level it
+// runs the three-step protocol restricted to the CPUs of its domain at that
+// level, and widens scope only when the filter comes back empty there. The
+// steal phase is the ordinary two-lock, re-checked steal.
+//
+// Proof story (and why this engine needs no new obligations): restricting
+// the candidate set is a CHOICE refinement — at the outermost level the
+// candidate set is the whole machine, so whenever the policy's global filter
+// is non-empty the ladder walk terminates at some level with a candidate
+// that passed the *unrestricted* filter. The engine therefore attempts a
+// steal exactly when the flat engine would (same filter, same migration
+// rule, same re-check); it merely prefers nearer victims. Every audit result
+// for the policy carries over verbatim; the per-level restriction is
+// verified structurally by the engine (candidates ⊆ level CPUs ⊆ filter).
+
+#ifndef OPTSCHED_SRC_CORE_HIER_BALANCER_H_
+#define OPTSCHED_SRC_CORE_HIER_BALANCER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/balancer.h"
+#include "src/topology/domains.h"
+#include "src/topology/topology.h"
+
+namespace optsched {
+
+// Per-ladder-level counters.
+struct LevelStats {
+  std::string name;          // "SMT", "LLC", "NUMA", "MACHINE"
+  uint64_t attempts = 0;     // selections that found candidates at this level
+  uint64_t successes = 0;
+  uint64_t failures = 0;     // re-check / no-eligible-task at this level
+};
+
+class HierarchicalBalancer {
+ public:
+  HierarchicalBalancer(std::shared_ptr<const BalancePolicy> policy, const Topology& topology);
+
+  const BalancePolicy& policy() const { return balancer_.policy(); }
+  const DomainHierarchy& hierarchy() const { return hierarchy_; }
+  const std::vector<LevelStats>& level_stats() const { return level_stats_; }
+  const BalanceStats& stats() const { return balancer_.stats(); }
+
+  // One balancing round with the same concurrency semantics as
+  // LoadBalancer::RunRound (shared snapshot, serialized steal phases in
+  // random or supplied order).
+  RoundResult RunRound(MachineState& machine, Rng& rng, const RoundOptions& options = {});
+
+  // One core's ladder walk against `snapshot`, stealing from `machine`.
+  // Returns the action and, via `level_out` (may be null), the ladder level
+  // that provided the victim (SIZE_MAX when no level had candidates).
+  CoreAction RunOneAttempt(MachineState& machine, CpuId thief, const LoadSnapshot& snapshot,
+                           Rng& rng, bool recheck_filter = true, size_t* level_out = nullptr);
+
+ private:
+  const Topology& topology_;
+  DomainHierarchy hierarchy_;
+  // domain_path_[cpu][level] = index of the cpu's domain at that level
+  // (SIZE_MAX when the cpu has no domain there).
+  std::vector<std::vector<size_t>> domain_path_;
+  LoadBalancer balancer_;  // supplies the audited steal phase
+  std::vector<LevelStats> level_stats_;
+};
+
+}  // namespace optsched
+
+#endif  // OPTSCHED_SRC_CORE_HIER_BALANCER_H_

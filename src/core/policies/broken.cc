@@ -1,0 +1,42 @@
+#include "src/core/policies/broken.h"
+
+#include "src/base/check.h"
+
+namespace optsched::policies {
+
+bool BrokenCanStealPolicy::CanSteal(const SelectionView& view, CpuId stealee) const {
+  (void)view;
+  return view.snapshot.Load(stealee, LoadMetric::kTaskCount) >= 2;
+}
+
+bool BrokenCanStealPolicy::ShouldMigrate(int64_t task_weight, int64_t victim_load,
+                                         int64_t thief_load) const {
+  (void)task_weight;
+  (void)thief_load;
+  // Only requirement: the victim keeps at least one task. No relation to the
+  // thief's load — this is what permits the infinite ping-pong.
+  return victim_load >= 2;
+}
+
+CpuId BrokenCanStealPolicy::SelectCore(const SelectionView& view,
+                                       const std::vector<CpuId>& candidates, Rng& rng) const {
+  (void)view;
+  (void)rng;
+  OPTSCHED_CHECK(!candidates.empty());
+  CpuId best = candidates[0];
+  int64_t best_load = view.snapshot.Load(best, LoadMetric::kTaskCount);
+  for (CpuId c : candidates) {
+    const int64_t load = view.snapshot.Load(c, LoadMetric::kTaskCount);
+    if (load >= best_load) {  // ties go to the highest id
+      best = c;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+std::shared_ptr<const BalancePolicy> MakeBrokenCanSteal() {
+  return std::make_shared<BrokenCanStealPolicy>();
+}
+
+}  // namespace optsched::policies

@@ -1,0 +1,52 @@
+// The paper's §4.3 counterexample filter:
+//
+//   def canSteal(stealee) = { stealee.load() >= 2 }
+//
+// "This filter makes our algorithm incorrect in the presence of failures."
+// Any core — however loaded — may steal from any overloaded core, so two
+// non-idle cores can ping-pong a thread between themselves forever while an
+// idle core's steals keep failing. The paper's 3-core scenario: loads
+// (0, 1, 2); cores 0 and 1 both target core 2; core 1 wins, producing
+// (0, 2, 1); next round mirrors it back; core 0 starves indefinitely.
+//
+// The policy is included so that the verifier and the benches can *detect*
+// the flaw (livelock cycle in the round-transition graph, non-decreasing
+// potential along the cycle), demonstrating that the proof obligations are
+// discriminating and not vacuously satisfied.
+
+#ifndef OPTSCHED_SRC_CORE_POLICIES_BROKEN_H_
+#define OPTSCHED_SRC_CORE_POLICIES_BROKEN_H_
+
+#include <memory>
+
+#include "src/core/policy.h"
+
+namespace optsched::policies {
+
+class BrokenCanStealPolicy : public BalancePolicy {
+ public:
+  BrokenCanStealPolicy() = default;
+
+  std::string name() const override { return "broken-cansteal"; }
+  LoadMetric metric() const override { return LoadMetric::kTaskCount; }
+
+  // stealee.load() >= 2, regardless of the thief's own load.
+  bool CanSteal(const SelectionView& view, CpuId stealee) const override;
+
+  // The broken filter must be paired with an equally permissive migration
+  // rule, otherwise the default (strict potential decrease) would silently
+  // repair it: we allow any move that does not idle the victim.
+  bool ShouldMigrate(int64_t task_weight, int64_t victim_load,
+                     int64_t thief_load) const override;
+
+  // Deterministically prefer the most-loaded candidate with the *highest* id
+  // so the paper's 3-core example reproduces its exact ping-pong schedule.
+  CpuId SelectCore(const SelectionView& view, const std::vector<CpuId>& candidates,
+                   Rng& rng) const override;
+};
+
+std::shared_ptr<const BalancePolicy> MakeBrokenCanSteal();
+
+}  // namespace optsched::policies
+
+#endif  // OPTSCHED_SRC_CORE_POLICIES_BROKEN_H_

@@ -1,0 +1,53 @@
+#include "src/core/policies/cfs_like.h"
+
+#include "src/base/check.h"
+
+namespace optsched::policies {
+
+CfsLikePolicy::CfsLikePolicy(GroupMap groups, double imbalance_factor)
+    : groups_(std::move(groups)), imbalance_factor_(imbalance_factor) {
+  OPTSCHED_CHECK(imbalance_factor >= 1.0);
+}
+
+bool CfsLikePolicy::IsDesignatedBalancer(const LoadSnapshot& snapshot, CpuId cpu) const {
+  if (snapshot.Load(cpu, LoadMetric::kTaskCount) != 0) {
+    return false;
+  }
+  for (CpuId other : groups_.members(groups_.group_of(cpu))) {
+    if (other == cpu) {
+      return true;  // lowest-numbered idle member reached first
+    }
+    if (snapshot.Load(other, LoadMetric::kTaskCount) == 0) {
+      return false;
+    }
+  }
+  return false;
+}
+
+bool CfsLikePolicy::CanSteal(const SelectionView& view, CpuId stealee) const {
+  const LoadSnapshot& s = view.snapshot;
+  const uint32_t own = groups_.group_of(view.self);
+  const uint32_t theirs = groups_.group_of(stealee);
+  if (own == theirs) {
+    return s.Load(stealee, metric()) - s.Load(view.self, metric()) >= 2;
+  }
+  if (!IsDesignatedBalancer(s, view.self)) {
+    return false;
+  }
+  const double own_avg = static_cast<double>(groups_.GroupLoad(s, own, metric())) /
+                         static_cast<double>(groups_.members(own).size());
+  const double their_avg = static_cast<double>(groups_.GroupLoad(s, theirs, metric())) /
+                           static_cast<double>(groups_.members(theirs).size());
+  // CFS-style thresholded comparison of group averages: imbalance below the
+  // factor is deemed "balanced enough" — the group-imbalance bug shape.
+  if (their_avg <= own_avg * imbalance_factor_) {
+    return false;
+  }
+  return s.Load(stealee, metric()) >= 2;
+}
+
+std::shared_ptr<const BalancePolicy> MakeCfsLike(GroupMap groups, double imbalance_factor) {
+  return std::make_shared<CfsLikePolicy>(std::move(groups), imbalance_factor);
+}
+
+}  // namespace optsched::policies

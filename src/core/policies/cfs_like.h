@@ -1,0 +1,65 @@
+// A CFS-flavoured baseline with the heuristics that make CFS *not* provably
+// work-conserving.
+//
+// The paper's motivation (§1) cites Lozi et al., "The Linux scheduler: a
+// decade of wasted cores" (EuroSys'16): CFS "has been shown to leave cores
+// idle while threads are waiting in runqueues", costing many-fold slowdowns
+// on scientific applications and up to 25% throughput on databases. Those
+// bugs share a root cause: CFS balances on *aggregated, thresholded* signals
+// (scheduling-group averages and an imbalance percentage) rather than on the
+// per-core predicate "someone is overloaded while I am idle".
+//
+// CfsLikePolicy reproduces that family of heuristics inside the three-step
+// abstraction so the two worlds are directly comparable:
+//
+//  * within a scheduling group: the sound pairwise rule (diff >= 2);
+//  * across groups: a steal is admitted only if (a) the thief is its group's
+//    *designated* balancer (the lowest-numbered idle core — in CFS only one
+//    core per domain runs the outer-level balance), and (b) the victim
+//    group's average load exceeds the thief group's average by more than the
+//    imbalance factor (CFS's imbalance_pct, default 25%), and (c) the victim
+//    itself has something to give.
+//
+// Condition (b) is the "group imbalance" bug shape: a group whose average
+// looks fine can still contain an overloaded core; condition (a) is the
+// "designated core" serialization that delays recovery. The verifier
+// exhibits concrete starvation states for this filter (see
+// verify/proofs_test.cc), and bench E6 measures the resulting wasted-core
+// time against the proven policies.
+
+#ifndef OPTSCHED_SRC_CORE_POLICIES_CFS_LIKE_H_
+#define OPTSCHED_SRC_CORE_POLICIES_CFS_LIKE_H_
+
+#include <memory>
+
+#include "src/core/policies/hierarchical.h"
+#include "src/core/policy.h"
+
+namespace optsched::policies {
+
+class CfsLikePolicy : public BalancePolicy {
+ public:
+  // imbalance_factor: the victim group's average must exceed the thief
+  // group's average multiplied by this (CFS: imbalance_pct=125 => 1.25).
+  CfsLikePolicy(GroupMap groups, double imbalance_factor = 1.25);
+
+  std::string name() const override { return "cfs-like"; }
+  LoadMetric metric() const override { return LoadMetric::kTaskCount; }
+  bool CanSteal(const SelectionView& view, CpuId stealee) const override;
+
+  const GroupMap& groups() const { return groups_; }
+
+ private:
+  // True if `cpu` is the lowest-numbered idle core of its group.
+  bool IsDesignatedBalancer(const LoadSnapshot& snapshot, CpuId cpu) const;
+
+  GroupMap groups_;
+  double imbalance_factor_;
+};
+
+std::shared_ptr<const BalancePolicy> MakeCfsLike(GroupMap groups,
+                                                 double imbalance_factor = 1.25);
+
+}  // namespace optsched::policies
+
+#endif  // OPTSCHED_SRC_CORE_POLICIES_CFS_LIKE_H_

@@ -1,0 +1,55 @@
+#include "src/core/policies/fallback.h"
+
+#include "src/base/check.h"
+#include "src/base/str.h"
+
+namespace optsched::policies {
+
+FallbackPolicy::FallbackPolicy(std::shared_ptr<const BalancePolicy> primary,
+                               std::shared_ptr<const BalancePolicy> fallback)
+    : primary_(std::move(primary)), fallback_(std::move(fallback)) {
+  OPTSCHED_CHECK(primary_ != nullptr && fallback_ != nullptr);
+  OPTSCHED_CHECK_MSG(primary_->metric() == fallback_->metric(),
+                     "fallback composition requires a shared load metric");
+}
+
+std::string FallbackPolicy::name() const {
+  return StrFormat("%s||%s", primary_->name().c_str(), fallback_->name().c_str());
+}
+
+bool FallbackPolicy::CanSteal(const SelectionView& view, CpuId stealee) const {
+  return primary_->CanSteal(view, stealee) || fallback_->CanSteal(view, stealee);
+}
+
+CpuId FallbackPolicy::SelectCore(const SelectionView& view, const std::vector<CpuId>& candidates,
+                                 Rng& rng) const {
+  OPTSCHED_CHECK(!candidates.empty());
+  // Locality preference: restrict to the primary's own candidates when any
+  // survive; delegate the pick to the matching component.
+  std::vector<CpuId> preferred;
+  for (CpuId c : candidates) {
+    if (primary_->CanSteal(view, c)) {
+      preferred.push_back(c);
+    }
+  }
+  if (!preferred.empty()) {
+    return primary_->SelectCore(view, preferred, rng);
+  }
+  return fallback_->SelectCore(view, candidates, rng);
+}
+
+bool FallbackPolicy::ShouldMigrate(int64_t task_weight, int64_t victim_load,
+                                   int64_t thief_load) const {
+  // Conjunction: the proven component's rule always applies, so every
+  // migration the composite performs satisfies the strict-decrease argument.
+  return primary_->ShouldMigrate(task_weight, victim_load, thief_load) &&
+         fallback_->ShouldMigrate(task_weight, victim_load, thief_load);
+}
+
+std::shared_ptr<const BalancePolicy> MakeFallback(
+    std::shared_ptr<const BalancePolicy> primary,
+    std::shared_ptr<const BalancePolicy> fallback) {
+  return std::make_shared<FallbackPolicy>(std::move(primary), std::move(fallback));
+}
+
+}  // namespace optsched::policies

@@ -1,0 +1,57 @@
+// Fallback composition: repair a locality-restricted filter by union with a
+// proven one.
+//
+// Locality-minded filters (e.g. "steal across nodes only above a larger
+// margin", examples/policies/numa_margin.osp) break Lemma 1: overload hidden
+// behind the stricter remote margin starves idle thieves. The fix that keeps
+// the locality *preference* without the soundness hole is composition:
+//
+//   filter   = primary.filter  UNION  fallback.filter
+//   choice   = prefer candidates the primary admits (locality), use the
+//              fallback's choice among the rest only when the primary's set
+//              is empty
+//   migrate  = primary AND fallback (a task moves only if both rules allow
+//              it, so the proven strict-decrease rule always applies)
+//
+// Soundness is inherited from the fallback: its filter alone satisfies
+// Lemma 1's existence half, the union preserves it, and "only overloaded"
+// holds when both components satisfy it. The migration conjunction keeps
+// the potential argument. The primary contributes *preference only* — the
+// same division of labour as the paper's filter/choice split, one level up.
+
+#ifndef OPTSCHED_SRC_CORE_POLICIES_FALLBACK_H_
+#define OPTSCHED_SRC_CORE_POLICIES_FALLBACK_H_
+
+#include <memory>
+
+#include "src/core/policy.h"
+
+namespace optsched::policies {
+
+class FallbackPolicy : public BalancePolicy {
+ public:
+  // Both policies must balance the same metric.
+  FallbackPolicy(std::shared_ptr<const BalancePolicy> primary,
+                 std::shared_ptr<const BalancePolicy> fallback);
+
+  std::string name() const override;
+  LoadMetric metric() const override { return fallback_->metric(); }
+
+  bool CanSteal(const SelectionView& view, CpuId stealee) const override;
+  CpuId SelectCore(const SelectionView& view, const std::vector<CpuId>& candidates,
+                   Rng& rng) const override;
+  bool ShouldMigrate(int64_t task_weight, int64_t victim_load,
+                     int64_t thief_load) const override;
+
+ private:
+  std::shared_ptr<const BalancePolicy> primary_;
+  std::shared_ptr<const BalancePolicy> fallback_;
+};
+
+std::shared_ptr<const BalancePolicy> MakeFallback(
+    std::shared_ptr<const BalancePolicy> primary,
+    std::shared_ptr<const BalancePolicy> fallback);
+
+}  // namespace optsched::policies
+
+#endif  // OPTSCHED_SRC_CORE_POLICIES_FALLBACK_H_

@@ -1,0 +1,138 @@
+#include "src/core/policies/hierarchical.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/base/str.h"
+
+namespace optsched::policies {
+
+GroupMap::GroupMap(std::vector<uint32_t> group_of) : group_of_(std::move(group_of)) {
+  OPTSCHED_CHECK(!group_of_.empty());
+  uint32_t max_group = 0;
+  for (uint32_t g : group_of_) {
+    max_group = std::max(max_group, g);
+  }
+  num_groups_ = max_group + 1;
+  members_.assign(num_groups_, {});
+  for (CpuId cpu = 0; cpu < group_of_.size(); ++cpu) {
+    members_[group_of_[cpu]].push_back(cpu);
+  }
+  for (uint32_t g = 0; g < num_groups_; ++g) {
+    OPTSCHED_CHECK_MSG(!members_[g].empty(), "group ids must be dense");
+  }
+}
+
+GroupMap GroupMap::ByNode(const Topology& topology) {
+  std::vector<uint32_t> group_of(topology.num_cpus());
+  for (CpuId cpu = 0; cpu < topology.num_cpus(); ++cpu) {
+    group_of[cpu] = topology.NodeOf(cpu);
+  }
+  return GroupMap(std::move(group_of));
+}
+
+GroupMap GroupMap::Contiguous(uint32_t num_cpus, uint32_t group_size) {
+  OPTSCHED_CHECK(num_cpus > 0 && group_size > 0);
+  std::vector<uint32_t> group_of(num_cpus);
+  for (CpuId cpu = 0; cpu < num_cpus; ++cpu) {
+    group_of[cpu] = cpu / group_size;
+  }
+  return GroupMap(std::move(group_of));
+}
+
+uint32_t GroupMap::group_of(CpuId cpu) const {
+  OPTSCHED_CHECK(cpu < group_of_.size());
+  return group_of_[cpu];
+}
+
+const std::vector<CpuId>& GroupMap::members(uint32_t group) const {
+  OPTSCHED_CHECK(group < num_groups_);
+  return members_[group];
+}
+
+int64_t GroupMap::GroupLoad(const LoadSnapshot& snapshot, uint32_t group,
+                            LoadMetric metric) const {
+  int64_t total = 0;
+  for (CpuId cpu : members(group)) {
+    total += snapshot.Load(cpu, metric);
+  }
+  return total;
+}
+
+HierarchicalPolicy::HierarchicalPolicy(GroupMap groups, int64_t margin)
+    : groups_(std::move(groups)), margin_(margin) {
+  OPTSCHED_CHECK_MSG(margin >= 2, "margin < 2 breaks steal safety");
+}
+
+std::string HierarchicalPolicy::name() const {
+  return StrFormat("hierarchical(%u groups)", groups_.num_groups());
+}
+
+bool HierarchicalPolicy::CanSteal(const SelectionView& view, CpuId stealee) const {
+  // Identical to Listing 1: the filter carries the proof, the hierarchy does
+  // not appear here at all.
+  const LoadSnapshot& s = view.snapshot;
+  return s.Load(stealee, LoadMetric::kTaskCount) - s.Load(view.self, LoadMetric::kTaskCount) >=
+         margin_;
+}
+
+CpuId HierarchicalPolicy::SelectCore(const SelectionView& view,
+                                     const std::vector<CpuId>& candidates, Rng& rng) const {
+  (void)rng;
+  OPTSCHED_CHECK(!candidates.empty());
+  // Inside-group first: restrict to candidates in the thief's own group when
+  // any exist; across groups, prefer the heaviest group, then the heaviest
+  // core within it.
+  const uint32_t own = groups_.group_of(view.self);
+  CpuId best = candidates[0];
+  bool best_local = groups_.group_of(best) == own;
+  int64_t best_group_load = groups_.GroupLoad(view.snapshot, groups_.group_of(best), metric());
+  int64_t best_load = view.snapshot.Load(best, metric());
+  for (CpuId c : candidates) {
+    const bool local = groups_.group_of(c) == own;
+    const int64_t group_load = groups_.GroupLoad(view.snapshot, groups_.group_of(c), metric());
+    const int64_t load = view.snapshot.Load(c, metric());
+    const bool better = (local && !best_local) ||
+                        (local == best_local &&
+                         (group_load > best_group_load ||
+                          (group_load == best_group_load && load > best_load)));
+    if (better) {
+      best = c;
+      best_local = local;
+      best_group_load = group_load;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+GroupSumPolicy::GroupSumPolicy(GroupMap groups, int64_t margin, int64_t cross_margin)
+    : groups_(std::move(groups)), margin_(margin), cross_margin_(cross_margin) {
+  OPTSCHED_CHECK(margin >= 2);
+  OPTSCHED_CHECK(cross_margin >= 2);
+}
+
+bool GroupSumPolicy::CanSteal(const SelectionView& view, CpuId stealee) const {
+  const LoadSnapshot& s = view.snapshot;
+  const uint32_t own = groups_.group_of(view.self);
+  const uint32_t theirs = groups_.group_of(stealee);
+  if (own == theirs) {
+    return s.Load(stealee, metric()) - s.Load(view.self, metric()) >= margin_;
+  }
+  // Cross-group rule on aggregates: this is the unsound part — it can hide an
+  // overloaded core behind a balanced-looking group total.
+  return groups_.GroupLoad(s, theirs, metric()) - groups_.GroupLoad(s, own, metric()) >=
+             cross_margin_ &&
+         s.Load(stealee, metric()) >= 2;
+}
+
+std::shared_ptr<const BalancePolicy> MakeHierarchical(GroupMap groups, int64_t margin) {
+  return std::make_shared<HierarchicalPolicy>(std::move(groups), margin);
+}
+
+std::shared_ptr<const BalancePolicy> MakeGroupSum(GroupMap groups, int64_t margin,
+                                                  int64_t cross_margin) {
+  return std::make_shared<GroupSumPolicy>(std::move(groups), margin, cross_margin);
+}
+
+}  // namespace optsched::policies

@@ -1,0 +1,114 @@
+// Hierarchical load balancing (paper §5, "remaining challenges"):
+//
+//   "We aim to extend these abstractions to include hierarchical load
+//    balancing, for instance to allow balancing load between groups of
+//    cores, and then inside groups, instead of balancing load directly
+//    between individual cores."
+//
+// Two designs are provided, and the contrast between them is the point:
+//
+//  * HierarchicalPolicy — the *sound* construction. The FILTER stays the
+//    global pairwise rule (load difference >= 2, identical to Listing 1), so
+//    every proof from §4 carries over verbatim; the hierarchy lives entirely
+//    in the CHOICE step, which prefers candidates in the thief's own group
+//    and widens scope only when the group has none. Balancing is
+//    "inside groups first, between groups when needed" without touching the
+//    proof surface (DESIGN.md D5).
+//
+//  * GroupSumPolicy — the *tempting but unsound* construction: cross-group
+//    stealing is gated on aggregate group loads (steal from a group only if
+//    its total exceeds the thief group's total by >= 2). It looks like a
+//    faithful "balance between groups" rule, but it violates the Lemma-1
+//    obligation: with groups {0:[0,1,1,1], 1:[4,0,0,0]}, core 0 is idle, core
+//    4 is overloaded, both group sums are close (3 vs 4, difference 1 < 2),
+//    the thief's own group has no overloaded core — the filter comes back
+//    empty and the idle core starves. src/verify finds exactly this
+//    counterexample; bench E7 reports it.
+
+#ifndef OPTSCHED_SRC_CORE_POLICIES_HIERARCHICAL_H_
+#define OPTSCHED_SRC_CORE_POLICIES_HIERARCHICAL_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/policy.h"
+
+namespace optsched::policies {
+
+// Maps each CPU to a group id. Groups are typically NUMA nodes but any
+// partition works (the verifier sweeps arbitrary partitions).
+class GroupMap {
+ public:
+  // group_of[cpu] = group id; ids must be dense starting at 0.
+  explicit GroupMap(std::vector<uint32_t> group_of);
+
+  // Partition by NUMA node.
+  static GroupMap ByNode(const Topology& topology);
+  // `num_cpus` CPUs split into equal contiguous groups of `group_size`.
+  static GroupMap Contiguous(uint32_t num_cpus, uint32_t group_size);
+
+  uint32_t group_of(CpuId cpu) const;
+  uint32_t num_groups() const { return num_groups_; }
+  const std::vector<CpuId>& members(uint32_t group) const;
+
+  // Sum of per-core loads over the group, from a snapshot.
+  int64_t GroupLoad(const LoadSnapshot& snapshot, uint32_t group, LoadMetric metric) const;
+
+ private:
+  std::vector<uint32_t> group_of_;
+  std::vector<std::vector<CpuId>> members_;
+  uint32_t num_groups_ = 0;
+};
+
+// Sound hierarchical policy: Listing-1 filter, group-local-first choice.
+class HierarchicalPolicy : public BalancePolicy {
+ public:
+  HierarchicalPolicy(GroupMap groups, int64_t margin = 2);
+
+  std::string name() const override;
+  LoadMetric metric() const override { return LoadMetric::kTaskCount; }
+  bool CanSteal(const SelectionView& view, CpuId stealee) const override;
+  CpuId SelectCore(const SelectionView& view, const std::vector<CpuId>& candidates,
+                   Rng& rng) const override;
+
+  const GroupMap& groups() const { return groups_; }
+
+ private:
+  GroupMap groups_;
+  int64_t margin_;
+};
+
+// Unsound ablation: cross-group steals gated on group totals.
+//
+// Two distinct failure modes, both found by the verifier:
+//  * Lemma-1 violation at any cross_margin: an idle core's filter can be
+//    empty while an overloaded core sits in another, sum-balanced group
+//    (e.g. groups {[0,1,1], [2,0,0]}: sums 2 vs 2); work conservation then
+//    depends on *other* cores healing the victim group — the local proof
+//    breaks even when the global property happens to hold.
+//  * AF(work-conserved) violation when groups are uneven or cross_margin > 2:
+//    e.g. groups {[0,1,1,1], [2,1]} (sums 3 vs 3) is a non-work-conserved
+//    *fixpoint* — no filter fires anywhere, the idle core starves forever.
+class GroupSumPolicy : public BalancePolicy {
+ public:
+  GroupSumPolicy(GroupMap groups, int64_t margin = 2, int64_t cross_margin = 2);
+
+  std::string name() const override { return "group-sum(unsound)"; }
+  LoadMetric metric() const override { return LoadMetric::kTaskCount; }
+  bool CanSteal(const SelectionView& view, CpuId stealee) const override;
+
+  const GroupMap& groups() const { return groups_; }
+
+ private:
+  GroupMap groups_;
+  int64_t margin_;
+  int64_t cross_margin_;
+};
+
+std::shared_ptr<const BalancePolicy> MakeHierarchical(GroupMap groups, int64_t margin = 2);
+std::shared_ptr<const BalancePolicy> MakeGroupSum(GroupMap groups, int64_t margin = 2,
+                                                  int64_t cross_margin = 2);
+
+}  // namespace optsched::policies
+
+#endif  // OPTSCHED_SRC_CORE_POLICIES_HIERARCHICAL_H_

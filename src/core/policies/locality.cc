@@ -1,0 +1,92 @@
+#include "src/core/policies/locality.h"
+
+#include "src/base/check.h"
+#include "src/base/str.h"
+
+namespace optsched::policies {
+
+const char* LocalityHeuristicName(LocalityHeuristic heuristic) {
+  switch (heuristic) {
+    case LocalityHeuristic::kNearestFirst:
+      return "nearest-first";
+    case LocalityHeuristic::kMostLoadedNearby:
+      return "most-loaded-nearby";
+    case LocalityHeuristic::kUniformRandom:
+      return "uniform-random";
+  }
+  return "?";
+}
+
+LocalityChoicePolicy::LocalityChoicePolicy(std::shared_ptr<const BalancePolicy> base,
+                                           LocalityHeuristic heuristic)
+    : base_(std::move(base)), heuristic_(heuristic) {
+  OPTSCHED_CHECK(base_ != nullptr);
+}
+
+std::string LocalityChoicePolicy::name() const {
+  return StrFormat("%s+%s", base_->name().c_str(), LocalityHeuristicName(heuristic_));
+}
+
+bool LocalityChoicePolicy::CanSteal(const SelectionView& view, CpuId stealee) const {
+  return base_->CanSteal(view, stealee);
+}
+
+bool LocalityChoicePolicy::ShouldMigrate(int64_t task_weight, int64_t victim_load,
+                                         int64_t thief_load) const {
+  return base_->ShouldMigrate(task_weight, victim_load, thief_load);
+}
+
+CpuId LocalityChoicePolicy::SelectCore(const SelectionView& view,
+                                       const std::vector<CpuId>& candidates, Rng& rng) const {
+  OPTSCHED_CHECK(!candidates.empty());
+  if (heuristic_ == LocalityHeuristic::kUniformRandom) {
+    return candidates[rng.NextBelow(candidates.size())];
+  }
+  if (view.topology == nullptr) {
+    return base_->SelectCore(view, candidates, rng);
+  }
+  const Topology& topo = *view.topology;
+  CpuId best = candidates[0];
+  uint32_t best_distance = topo.CpuDistance(view.self, best);
+  int64_t best_load = view.snapshot.Load(best, metric());
+  for (CpuId c : candidates) {
+    const uint32_t distance = topo.CpuDistance(view.self, c);
+    const int64_t load = view.snapshot.Load(c, metric());
+    bool better = false;
+    switch (heuristic_) {
+      case LocalityHeuristic::kNearestFirst:
+        // Primary: distance; secondary: load.
+        better = distance < best_distance || (distance == best_distance && load > best_load);
+        break;
+      case LocalityHeuristic::kMostLoadedNearby:
+        // Primary: distance level; secondary: load — same ordering, but the
+        // distance is bucketed so "nearby" treats the whole node as one tier.
+        {
+          const uint32_t tier = distance <= 4 ? 0 : 1;
+          const uint32_t best_tier = best_distance <= 4 ? 0 : 1;
+          better = tier < best_tier || (tier == best_tier && load > best_load);
+        }
+        break;
+      case LocalityHeuristic::kUniformRandom:
+        break;  // handled above
+    }
+    if (better) {
+      best = c;
+      best_distance = distance;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+std::shared_ptr<const BalancePolicy> MakeNumaAware(std::shared_ptr<const BalancePolicy> base) {
+  return std::make_shared<LocalityChoicePolicy>(std::move(base),
+                                                LocalityHeuristic::kNearestFirst);
+}
+
+std::shared_ptr<const BalancePolicy> MakeRandomChoice(std::shared_ptr<const BalancePolicy> base) {
+  return std::make_shared<LocalityChoicePolicy>(std::move(base),
+                                                LocalityHeuristic::kUniformRandom);
+}
+
+}  // namespace optsched::policies

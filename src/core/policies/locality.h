@@ -1,0 +1,63 @@
+// Locality-aware CHOICE steps (paper §3.1/§5).
+//
+// "it is possible to implement cache-aware or NUMA-aware thread placements in
+//  the second step of the load balancing without adding any complexity to the
+//  proofs."
+//
+// LocalityChoicePolicy demonstrates exactly that: it *decorates* any base
+// policy, keeping the base FILTER and migration rule (the proof-carrying
+// parts) and replacing only SelectCore. Because the balancer checks that the
+// choice returns a filtered candidate, every locality heuristic below is
+// admissible by construction — the verifier never needs to look at it.
+
+#ifndef OPTSCHED_SRC_CORE_POLICIES_LOCALITY_H_
+#define OPTSCHED_SRC_CORE_POLICIES_LOCALITY_H_
+
+#include <memory>
+
+#include "src/core/policy.h"
+
+namespace optsched::policies {
+
+enum class LocalityHeuristic {
+  // Steal from the topologically nearest candidate (SMT sibling, then same
+  // LLC, then same node, then by SLIT distance); ties broken by higher load.
+  kNearestFirst,
+  // Steal from the most loaded candidate within the nearest topology level
+  // that has any candidate (balances harder while staying local).
+  kMostLoadedNearby,
+  // Uniform random candidate — the stress heuristic; useful to show the
+  // proofs hold for *any* choice.
+  kUniformRandom,
+};
+
+const char* LocalityHeuristicName(LocalityHeuristic heuristic);
+
+class LocalityChoicePolicy : public BalancePolicy {
+ public:
+  LocalityChoicePolicy(std::shared_ptr<const BalancePolicy> base, LocalityHeuristic heuristic);
+
+  std::string name() const override;
+  LoadMetric metric() const override { return base_->metric(); }
+
+  // Delegated untouched: the proof surface is the base policy's.
+  bool CanSteal(const SelectionView& view, CpuId stealee) const override;
+  bool ShouldMigrate(int64_t task_weight, int64_t victim_load,
+                     int64_t thief_load) const override;
+
+  // The locality heuristic. Requires view.topology when the heuristic is
+  // topology-driven; falls back to the base choice if it is null.
+  CpuId SelectCore(const SelectionView& view, const std::vector<CpuId>& candidates,
+                   Rng& rng) const override;
+
+ private:
+  std::shared_ptr<const BalancePolicy> base_;
+  LocalityHeuristic heuristic_;
+};
+
+std::shared_ptr<const BalancePolicy> MakeNumaAware(std::shared_ptr<const BalancePolicy> base);
+std::shared_ptr<const BalancePolicy> MakeRandomChoice(std::shared_ptr<const BalancePolicy> base);
+
+}  // namespace optsched::policies
+
+#endif  // OPTSCHED_SRC_CORE_POLICIES_LOCALITY_H_

@@ -1,0 +1,47 @@
+#include "src/core/policies/registry.h"
+
+#include "src/core/policies/broken.h"
+#include "src/core/policies/cfs_like.h"
+#include "src/core/policies/hierarchical.h"
+#include "src/core/policies/locality.h"
+#include "src/core/policies/thread_count.h"
+#include "src/core/policies/weighted.h"
+
+namespace optsched::policies {
+
+std::shared_ptr<const BalancePolicy> MakePolicyByName(std::string_view name,
+                                                      const Topology& topology) {
+  if (name == "thread-count") {
+    return MakeThreadCount();
+  }
+  if (name == "weighted-load") {
+    return MakeWeightedLoad();
+  }
+  if (name == "broken-cansteal") {
+    return MakeBrokenCanSteal();
+  }
+  if (name == "hierarchical") {
+    return MakeHierarchical(GroupMap::ByNode(topology));
+  }
+  if (name == "group-sum") {
+    return MakeGroupSum(GroupMap::ByNode(topology));
+  }
+  if (name == "cfs-like") {
+    return MakeCfsLike(GroupMap::ByNode(topology));
+  }
+  if (name == "thread-count+numa") {
+    return MakeNumaAware(MakeThreadCount());
+  }
+  if (name == "thread-count+random-choice") {
+    return MakeRandomChoice(MakeThreadCount());
+  }
+  return nullptr;
+}
+
+std::vector<std::string> KnownPolicyNames() {
+  return {"thread-count",  "weighted-load",     "broken-cansteal",
+          "hierarchical",  "group-sum",         "cfs-like",
+          "thread-count+numa", "thread-count+random-choice"};
+}
+
+}  // namespace optsched::policies

@@ -1,0 +1,29 @@
+// Name-based policy construction, used by benches, examples and tests to
+// sweep over policies without hard-wiring types.
+
+#ifndef OPTSCHED_SRC_CORE_POLICIES_REGISTRY_H_
+#define OPTSCHED_SRC_CORE_POLICIES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/policy.h"
+#include "src/topology/topology.h"
+
+namespace optsched::policies {
+
+// Known names: "thread-count", "weighted-load", "broken-cansteal",
+// "hierarchical", "group-sum", "cfs-like", "thread-count+numa",
+// "thread-count+random-choice". Group-based policies partition by NUMA node
+// of `topology`. Returns nullptr for unknown names.
+std::shared_ptr<const BalancePolicy> MakePolicyByName(std::string_view name,
+                                                      const Topology& topology);
+
+// All known policy names, in a stable order.
+std::vector<std::string> KnownPolicyNames();
+
+}  // namespace optsched::policies
+
+#endif  // OPTSCHED_SRC_CORE_POLICIES_REGISTRY_H_

@@ -1,0 +1,27 @@
+#include "src/core/policies/thread_count.h"
+
+#include "src/base/check.h"
+#include "src/base/str.h"
+
+namespace optsched::policies {
+
+ThreadCountPolicy::ThreadCountPolicy(int64_t margin) : margin_(margin) {
+  OPTSCHED_CHECK_MSG(margin >= 2, "margin < 2 breaks steal safety (victim could become idle)");
+}
+
+std::string ThreadCountPolicy::name() const {
+  return margin_ == 2 ? "thread-count" : StrFormat("thread-count(margin=%lld)",
+                                                   static_cast<long long>(margin_));
+}
+
+bool ThreadCountPolicy::CanSteal(const SelectionView& view, CpuId stealee) const {
+  const LoadSnapshot& s = view.snapshot;
+  return s.Load(stealee, LoadMetric::kTaskCount) - s.Load(view.self, LoadMetric::kTaskCount) >=
+         margin_;
+}
+
+std::shared_ptr<const BalancePolicy> MakeThreadCount(int64_t margin) {
+  return std::make_shared<ThreadCountPolicy>(margin);
+}
+
+}  // namespace optsched::policies

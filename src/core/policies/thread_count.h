@@ -1,0 +1,43 @@
+// The paper's Listing 1: balance the raw number of threads.
+//
+//   def canSteal(stealee: Core): Boolean = {
+//     stealee.load() - self.load() >= 2     // Step 1, user-defined filter
+//   }
+//
+// with load() = ready.size + current.size, stealing one thread at a time.
+// This is the policy whose work-conservation proof the paper sketches in
+// §4.2-§4.3; src/verify discharges the same obligations over bounded state
+// spaces and adversarial steal orders.
+
+#ifndef OPTSCHED_SRC_CORE_POLICIES_THREAD_COUNT_H_
+#define OPTSCHED_SRC_CORE_POLICIES_THREAD_COUNT_H_
+
+#include <memory>
+
+#include "src/core/policy.h"
+
+namespace optsched::policies {
+
+class ThreadCountPolicy : public BalancePolicy {
+ public:
+  // `margin` is the minimum load difference that makes a core stealable; the
+  // paper uses 2 (the smallest value for which stealing one thread never
+  // inverts the imbalance and never idles the victim). Values < 2 are
+  // rejected: they break steal safety.
+  explicit ThreadCountPolicy(int64_t margin = 2);
+
+  std::string name() const override;
+  LoadMetric metric() const override { return LoadMetric::kTaskCount; }
+  bool CanSteal(const SelectionView& view, CpuId stealee) const override;
+
+  int64_t margin() const { return margin_; }
+
+ private:
+  int64_t margin_;
+};
+
+std::shared_ptr<const BalancePolicy> MakeThreadCount(int64_t margin = 2);
+
+}  // namespace optsched::policies
+
+#endif  // OPTSCHED_SRC_CORE_POLICIES_THREAD_COUNT_H_

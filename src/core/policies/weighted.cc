@@ -1,0 +1,21 @@
+#include "src/core/policies/weighted.h"
+
+namespace optsched::policies {
+
+bool WeightedLoadPolicy::CanSteal(const SelectionView& view, CpuId stealee) const {
+  const LoadSnapshot& s = view.snapshot;
+  return s.Load(stealee, LoadMetric::kTaskCount) >= 2 &&
+         s.Load(stealee, LoadMetric::kWeightedLoad) >
+             s.Load(view.self, LoadMetric::kWeightedLoad);
+}
+
+bool WeightedLoadPolicy::ShouldMigrate(int64_t task_weight, int64_t victim_load,
+                                       int64_t thief_load) const {
+  return task_weight > 0 && task_weight < victim_load - thief_load;
+}
+
+std::shared_ptr<const BalancePolicy> MakeWeightedLoad() {
+  return std::make_shared<WeightedLoadPolicy>();
+}
+
+}  // namespace optsched::policies

@@ -1,0 +1,44 @@
+#include "src/core/policy.h"
+
+#include "src/base/check.h"
+
+namespace optsched {
+
+CpuId BalancePolicy::SelectCore(const SelectionView& view, const std::vector<CpuId>& candidates,
+                                Rng& rng) const {
+  (void)rng;
+  OPTSCHED_CHECK(!candidates.empty());
+  CpuId best = candidates[0];
+  int64_t best_load = view.snapshot.Load(best, metric());
+  for (CpuId c : candidates) {
+    const int64_t load = view.snapshot.Load(c, metric());
+    if (load > best_load) {
+      best = c;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+bool BalancePolicy::ShouldMigrate(int64_t task_weight, int64_t victim_load,
+                                  int64_t thief_load) const {
+  // Strict potential decrease: 0 < w < victim - thief (see
+  // MachineState::Potential and DESIGN.md D4).
+  return task_weight > 0 && task_weight < victim_load - thief_load;
+}
+
+std::vector<CpuId> BalancePolicy::FilterCandidates(const SelectionView& view) const {
+  std::vector<CpuId> out;
+  for (CpuId c = 0; c < view.snapshot.num_cpus(); ++c) {
+    if (c != view.self && CanSteal(view, c)) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+int64_t PolicyLoad(const BalancePolicy& policy, const LoadSnapshot& snapshot, CpuId cpu) {
+  return snapshot.Load(cpu, policy.metric());
+}
+
+}  // namespace optsched

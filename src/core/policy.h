@@ -1,0 +1,96 @@
+// The paper's core abstraction: a load-balancing policy decomposed into the
+// three steps of Figure 1.
+//
+//   Step 1  FILTER  (lock-free, read-only)  "Only keep stealable cores"
+//   Step 2  CHOICE  (lock-free, read-only)  "Choose a core to steal from"
+//   Step 3  STEAL   (both runqueues locked) "Steal"
+//
+// The decomposition is what makes the proofs tractable (§3.1): the
+// work-conservation proof constrains only the FILTER (and the migration rule
+// applied in STEAL); the CHOICE step — where all the placement heuristics
+// live, e.g. NUMA- or cache-awareness — "can mostly be ignored in the
+// work-conserving proof" provided it returns a member of the filtered set.
+// The API makes that contract structural:
+//
+//  * CanSteal sees only a LoadSnapshot — an immutable copy of per-core loads.
+//    A policy cannot mutate runqueues from the selection phase because it is
+//    never handed one. ("the selection phase may not modify runqueues, and
+//    all accesses to shared variables must be read-only", §3.1.)
+//  * SelectCore receives the filtered candidate list and the balancer CHECKs
+//    that the returned core is a member (Listing 1: `ensuring(res =>
+//    cores.contains(res))`).
+//  * The STEAL step re-evaluates CanSteal against *current* loads under both
+//    runqueue locks before migrating (Listing 1 line 12), and consults
+//    ShouldMigrate to pick a task whose move strictly decreases the potential
+//    function — the termination argument of §4.3.
+
+#ifndef OPTSCHED_SRC_CORE_POLICY_H_
+#define OPTSCHED_SRC_CORE_POLICY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/sched/machine_state.h"
+#include "src/topology/topology.h"
+
+namespace optsched {
+
+// Everything the lock-free selection phase may look at. `snapshot` is a copy
+// taken at some earlier instant — by the time decisions execute it may be
+// stale; that staleness is precisely the "optimistic" part of the model.
+struct SelectionView {
+  CpuId self;
+  const LoadSnapshot& snapshot;
+  // Null for topology-oblivious policies. Never null when the balancer was
+  // constructed with a topology.
+  const Topology* topology = nullptr;
+};
+
+// A load-balancing policy: the user-defined parts of Listing 1.
+class BalancePolicy {
+ public:
+  virtual ~BalancePolicy() = default;
+
+  // Identifies the policy in tables, traces and verifier reports.
+  virtual std::string name() const = 0;
+
+  // Which load metric the policy balances (paper §3.1: the criteria are
+  // policy-defined; we only verify they do not waste CPU).
+  virtual LoadMetric metric() const { return LoadMetric::kTaskCount; }
+
+  // STEP 1 (filter). True if `view.self` may steal from `stealee` given the
+  // snapshot. Must be a pure function of its arguments: it is re-evaluated
+  // under locks in the steal phase, and the verifier enumerates it over
+  // abstract states.
+  virtual bool CanSteal(const SelectionView& view, CpuId stealee) const = 0;
+
+  // STEP 2 (choice). Picks one core from `candidates` (never empty; every
+  // member passed CanSteal). The default takes the most-loaded candidate,
+  // breaking ties by lowest id. Overrides are free to use topology, task
+  // placement hints or randomness — none of it affects the proofs.
+  virtual CpuId SelectCore(const SelectionView& view, const std::vector<CpuId>& candidates,
+                           Rng& rng) const;
+
+  // STEP 3 (migration rule). Called under both runqueue locks, after CanSteal
+  // has been re-confirmed on current loads. True if migrating a ready task of
+  // weight `task_weight` (1 for the kTaskCount metric) from a victim at
+  // `victim_load` to a thief at `thief_load` is allowed. The proofs require
+  // that any permitted migration strictly decreases |victim - thief| load
+  // difference, i.e. 0 < w < victim_load - thief_load; the default enforces
+  // exactly that.
+  virtual bool ShouldMigrate(int64_t task_weight, int64_t victim_load, int64_t thief_load) const;
+
+  // Helper: runs STEP 1 over all cores, returning the stealable set in dense
+  // core order. (Not virtual: the decomposition is the abstraction.)
+  std::vector<CpuId> FilterCandidates(const SelectionView& view) const;
+};
+
+// Load of a core as this policy measures it.
+int64_t PolicyLoad(const BalancePolicy& policy, const LoadSnapshot& snapshot, CpuId cpu);
+
+}  // namespace optsched
+
+#endif  // OPTSCHED_SRC_CORE_POLICY_H_

@@ -1,0 +1,223 @@
+#include "src/dsl/ast.h"
+
+#include "src/base/check.h"
+#include "src/base/str.h"
+
+namespace optsched::dsl {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kMod: return "%";
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "&&";
+    case BinaryOp::kOr: return "||";
+  }
+  return "?";
+}
+
+const char* UnaryOpName(UnaryOp op) { return op == UnaryOp::kNeg ? "-" : "!"; }
+
+const char* FieldName(Field field) {
+  switch (field) {
+    case Field::kLoad: return "load";
+    case Field::kNrTasks: return "nr_tasks";
+    case Field::kNode: return "node";
+    case Field::kWeight: return "weight";
+  }
+  return "?";
+}
+
+const char* ChoiceKindName(ChoiceKind kind) {
+  switch (kind) {
+    case ChoiceKind::kMaxLoad: return "maxload";
+    case ChoiceKind::kNearest: return "nearest";
+    case ChoiceKind::kRandom: return "random";
+    case ChoiceKind::kMinLoad: return "minload";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Clone() const {
+  auto copy = std::make_unique<Expr>();
+  copy->kind = kind;
+  copy->location = location;
+  copy->number = number;
+  copy->boolean = boolean;
+  copy->variable = variable;
+  copy->field = field;
+  copy->unary_op = unary_op;
+  copy->binary_op = binary_op;
+  copy->callee = callee;
+  if (lhs != nullptr) {
+    copy->lhs = lhs->Clone();
+  }
+  if (rhs != nullptr) {
+    copy->rhs = rhs->Clone();
+  }
+  for (const ExprPtr& arg : args) {
+    copy->args.push_back(arg->Clone());
+  }
+  if (condition != nullptr) {
+    copy->condition = condition->Clone();
+  }
+  if (else_branch != nullptr) {
+    copy->else_branch = else_branch->Clone();
+  }
+  return copy;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kNumber:
+      return StrFormat("%lld", static_cast<long long>(number));
+    case ExprKind::kBool:
+      return boolean ? "true" : "false";
+    case ExprKind::kFieldRef:
+      return variable + "." + FieldName(field);
+    case ExprKind::kLetRef:
+      return variable;
+    case ExprKind::kUnary:
+      return std::string(UnaryOpName(unary_op)) + lhs->ToString();
+    case ExprKind::kBinary:
+      return "(" + lhs->ToString() + " " + BinaryOpName(binary_op) + " " + rhs->ToString() + ")";
+    case ExprKind::kCall: {
+      std::vector<std::string> parts;
+      for (const ExprPtr& arg : args) {
+        parts.push_back(arg->ToString());
+      }
+      return callee + "(" + Join(parts, ", ") + ")";
+    }
+    case ExprKind::kIf:
+      return "(if (" + condition->ToString() + ") " + lhs->ToString() + " else " +
+             else_branch->ToString() + ")";
+  }
+  return "?";
+}
+
+ExprPtr MakeNumber(int64_t value, SourceLocation location) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kNumber;
+  e->number = value;
+  e->location = location;
+  return e;
+}
+
+ExprPtr MakeBool(bool value, SourceLocation location) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBool;
+  e->boolean = value;
+  e->location = location;
+  return e;
+}
+
+ExprPtr MakeFieldRef(std::string variable, Field field, SourceLocation location) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFieldRef;
+  e->variable = std::move(variable);
+  e->field = field;
+  e->location = location;
+  return e;
+}
+
+ExprPtr MakeLetRef(std::string name, SourceLocation location) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLetRef;
+  e->variable = std::move(name);
+  e->location = location;
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand, SourceLocation location) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->lhs = std::move(operand);
+  e->location = location;
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs, SourceLocation location) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  e->location = location;
+  return e;
+}
+
+ExprPtr MakeCall(std::string callee, std::vector<ExprPtr> args, SourceLocation location) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kCall;
+  e->callee = std::move(callee);
+  e->args = std::move(args);
+  e->location = location;
+  return e;
+}
+
+PolicyDecl PolicyDecl::Clone() const {
+  PolicyDecl copy;
+  copy.name = name;
+  copy.metric = metric;
+  copy.has_metric = has_metric;
+  for (const LetDecl& let : lets) {
+    copy.lets.push_back(LetDecl{let.name, let.value->Clone(), let.location});
+  }
+  copy.filter_self = filter_self;
+  copy.filter_stealee = filter_stealee;
+  if (filter != nullptr) {
+    copy.filter = filter->Clone();
+  }
+  copy.choice = choice;
+  copy.has_choice = has_choice;
+  copy.migrate_task = migrate_task;
+  copy.migrate_victim = migrate_victim;
+  copy.migrate_thief = migrate_thief;
+  if (migrate != nullptr) {
+    copy.migrate = migrate->Clone();
+  }
+  copy.location = location;
+  return copy;
+}
+
+ExprPtr MakeIf(ExprPtr condition, ExprPtr then_branch, ExprPtr else_branch,
+               SourceLocation location) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kIf;
+  e->condition = std::move(condition);
+  e->lhs = std::move(then_branch);
+  e->else_branch = std::move(else_branch);
+  e->location = location;
+  return e;
+}
+
+std::string PolicyDecl::ToString() const {
+  std::string out = StrFormat("policy %s {\n", name.c_str());
+  out += StrFormat("  metric %s;\n", metric == MetricKind::kCount ? "count" : "weighted");
+  for (const LetDecl& let : lets) {
+    out += StrFormat("  let %s = %s;\n", let.name.c_str(), let.value->ToString().c_str());
+  }
+  if (filter != nullptr) {
+    out += StrFormat("  filter(%s, %s) { %s }\n", filter_self.c_str(), filter_stealee.c_str(),
+                     filter->ToString().c_str());
+  }
+  out += StrFormat("  choice %s;\n", ChoiceKindName(choice));
+  if (migrate != nullptr) {
+    out += StrFormat("  migrate(%s, %s, %s) { %s }\n", migrate_task.c_str(),
+                     migrate_victim.c_str(), migrate_thief.c_str(),
+                     migrate->ToString().c_str());
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace optsched::dsl

@@ -1,0 +1,138 @@
+// Abstract syntax tree for the policy DSL.
+//
+// A policy declaration mirrors the user-defined parts of the paper's
+// Listing 1 — the filter (step 1), the choice (step 2), and the migration
+// rule applied during the steal (step 3) — plus the load metric:
+//
+//   policy thread_count {
+//     metric count;
+//     filter(self, stealee) { stealee.load - self.load >= 2 }
+//     choice maxload;
+//     migrate(task, victim, thief) { task.weight < victim.load - thief.load }
+//   }
+//
+// Expressions are pure integer/boolean arithmetic over the declared variable
+// fields: `<core>.load`, `<core>.nr_tasks`, `<core>.node` and `<task>.weight`
+// — exactly the read-only observations the selection phase is allowed.
+
+#ifndef OPTSCHED_SRC_DSL_AST_H_
+#define OPTSCHED_SRC_DSL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dsl/token.h"
+
+namespace optsched::dsl {
+
+enum class BinaryOp { kAdd, kSub, kMul, kDiv, kMod, kEq, kNe, kLt, kLe, kGt, kGe, kAnd, kOr };
+enum class UnaryOp { kNeg, kNot };
+
+const char* BinaryOpName(BinaryOp op);
+const char* UnaryOpName(UnaryOp op);
+
+// Fields readable on a variable. kLoad resolves per the policy metric;
+// kNrTasks is always the raw count (so weighted policies can express
+// overload-ness); kNode is the topology node; kWeight applies to tasks.
+enum class Field { kLoad, kNrTasks, kNode, kWeight };
+
+const char* FieldName(Field field);
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind { kNumber, kBool, kFieldRef, kLetRef, kUnary, kBinary, kCall, kIf };
+
+struct Expr {
+  ExprKind kind;
+  SourceLocation location;
+
+  // kNumber / kBool
+  int64_t number = 0;
+  bool boolean = false;
+
+  // kFieldRef: `variable.field`; kLetRef: `name`
+  std::string variable;
+  Field field = Field::kLoad;
+
+  // kUnary / kBinary
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  ExprPtr lhs;  // also the kUnary operand
+  ExprPtr rhs;
+
+  // kCall: min/max/abs
+  std::string callee;
+  std::vector<ExprPtr> args;
+
+  // kIf: `if (cond) then_expr else else_expr` — an expression, both branches
+  // mandatory and same-typed (there is no statement form in this DSL).
+  ExprPtr condition;
+  ExprPtr else_branch;  // the then-branch reuses `lhs`
+
+  // Structural copy (unique_ptr AST is move-only otherwise).
+  ExprPtr Clone() const;
+  // Round-trippable pretty printing (fully parenthesized).
+  std::string ToString() const;
+};
+
+ExprPtr MakeNumber(int64_t value, SourceLocation location = {});
+ExprPtr MakeBool(bool value, SourceLocation location = {});
+ExprPtr MakeFieldRef(std::string variable, Field field, SourceLocation location = {});
+ExprPtr MakeLetRef(std::string name, SourceLocation location = {});
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand, SourceLocation location = {});
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs, SourceLocation location = {});
+ExprPtr MakeCall(std::string callee, std::vector<ExprPtr> args, SourceLocation location = {});
+ExprPtr MakeIf(ExprPtr condition, ExprPtr then_branch, ExprPtr else_branch,
+               SourceLocation location = {});
+
+// Built-in choice strategies (step 2 never needs expression power for the
+// proofs — the paper's point — so the DSL offers named heuristics).
+enum class ChoiceKind { kMaxLoad, kNearest, kRandom, kMinLoad };
+
+const char* ChoiceKindName(ChoiceKind kind);
+
+enum class MetricKind { kCount, kWeighted };
+
+struct LetDecl {
+  std::string name;
+  ExprPtr value;  // must be a constant expression (folded by sema)
+  SourceLocation location;
+};
+
+struct PolicyDecl {
+  std::string name;
+  MetricKind metric = MetricKind::kCount;
+  bool has_metric = false;
+
+  std::vector<LetDecl> lets;
+
+  // filter(self_var, stealee_var) { expr }
+  std::string filter_self;
+  std::string filter_stealee;
+  ExprPtr filter;
+
+  ChoiceKind choice = ChoiceKind::kMaxLoad;
+  bool has_choice = false;
+
+  // migrate(task_var, victim_var, thief_var) { expr }; optional — defaults to
+  // the strict-potential-decrease rule when absent.
+  std::string migrate_task;
+  std::string migrate_victim;
+  std::string migrate_thief;
+  ExprPtr migrate;
+
+  SourceLocation location;
+
+  // Structural copy (the expression members make the type move-only).
+  PolicyDecl Clone() const;
+
+  // Renders the declaration back to parseable DSL text.
+  std::string ToString() const;
+};
+
+}  // namespace optsched::dsl
+
+#endif  // OPTSCHED_SRC_DSL_AST_H_

@@ -1,0 +1,42 @@
+// Code generators: the paper's two compilation targets.
+//
+//   "These abstractions are exposed to kernel developers via a
+//    domain-specific language (DSL), which is then compiled to C code that
+//    can be integrated as a scheduling class into the Linux kernel, and to
+//    Scala code that is verified by the Leon toolkit." (§1)
+//
+// EmitC produces a self-contained C11 translation unit in the style of a
+// Linux scheduling-class helper (pure functions over a small struct mirror of
+// the runqueue state) — buildable with any C compiler, no kernel headers
+// required, so the output is testable here.
+//
+// EmitScala produces a Leon/Stainless-style object in the exact shape of the
+// paper's Listings 1 and 2: a Core case class with load(), the policy's
+// canSteal/shouldMigrate, the isOverloaded predicate, and Lemma1 stated with
+// require/holds — ready to hand to the Leon toolkit where it is available.
+
+#ifndef OPTSCHED_SRC_DSL_CODEGEN_H_
+#define OPTSCHED_SRC_DSL_CODEGEN_H_
+
+#include <string>
+
+#include "src/dsl/ast.h"
+
+namespace optsched::dsl {
+
+std::string EmitC(const PolicyDecl& decl);
+std::string EmitScala(const PolicyDecl& decl);
+
+// EmitC plus a self-contained main(): a 3-core machine starting at the
+// paper's loads (0,1,2) running concurrent rounds (shared snapshot,
+// alternating adversarial serialization orders) driven entirely by the
+// GENERATED filter/migration functions. Exits 0 once work-conserved, 1 if
+// still violating after 100 rounds — so the C artifact itself demonstrates
+// the theorem for sound policies and the §4.3 livelock for the broken one,
+// with no dependence on this C++ code base. Compile: `cc -std=c11 -o demo
+// demo.c && ./demo`.
+std::string EmitCDemo(const PolicyDecl& decl);
+
+}  // namespace optsched::dsl
+
+#endif  // OPTSCHED_SRC_DSL_CODEGEN_H_

@@ -1,0 +1,114 @@
+#include "src/dsl/compile.h"
+
+#include "src/base/str.h"
+#include "src/dsl/interp.h"
+#include "src/dsl/sema.h"
+
+namespace optsched::dsl {
+
+std::string CompileResult::DiagnosticsToString() const {
+  std::vector<std::string> parts;
+  for (const Diagnostic& d : diagnostics) {
+    parts.push_back(d.ToString());
+  }
+  return Join(parts, "\n");
+}
+
+CompileResult CompilePolicy(std::string_view source) {
+  CompileResult result;
+  ParseResult parsed = ParsePolicy(source);
+  if (!parsed.ok()) {
+    result.diagnostics = std::move(parsed.diagnostics);
+    return result;
+  }
+  SemaResult checked = Analyze(*parsed.policy);
+  if (!checked.ok()) {
+    result.diagnostics = std::move(checked.diagnostics);
+    return result;
+  }
+  result.decl = checked.policy->Clone();
+  result.policy = MakeDslPolicy(std::move(*checked.policy));
+  return result;
+}
+
+namespace samples {
+
+const char kThreadCount[] = R"(# Listing 1: a simple load balancer that balances thread counts.
+policy thread_count {
+  metric count;
+  let margin = 2;
+
+  # Step 1, user-defined filter (lock-free, read-only).
+  filter(self, stealee) {
+    stealee.load - self.load >= margin
+  }
+
+  # Step 2: choice is free of proof obligations.
+  choice maxload;
+
+  # Step 3: under both locks; moving one task must strictly reduce the
+  # pairwise imbalance.
+  migrate(task, victim, thief) {
+    task.weight > 0 && task.weight < victim.load - thief.load
+  }
+}
+)";
+
+const char kWeighted[] = R"(# Balance thread counts weighted by importance (niceness).
+policy weighted {
+  metric weighted;
+
+  # Stealable: the stealee is overloaded (>= 2 tasks, so the steal cannot
+  # idle it) and strictly heavier than us.
+  filter(self, stealee) {
+    stealee.nr_tasks >= 2 && stealee.load > self.load
+  }
+
+  choice maxload;
+
+  migrate(task, victim, thief) {
+    task.weight > 0 && task.weight < victim.load - thief.load
+  }
+}
+)";
+
+const char kBroken[] = R"(# The paper's 4.3 counterexample: any core may steal from any
+# overloaded core; concurrent rounds can ping-pong a thread between
+# non-idle cores forever while an idle core starves.
+policy broken {
+  metric count;
+
+  filter(self, stealee) {
+    stealee.load >= 2
+  }
+
+  choice maxload;
+
+  # Equally permissive migration: only keeps the victim non-idle.
+  migrate(task, victim, thief) {
+    victim.load >= 2
+  }
+}
+)";
+
+const char kNumaAware[] = R"(# Listing-1 filter with a NUMA-aware choice step: same proofs, better
+# placement (paper section 5).
+policy numa_aware {
+  metric count;
+  let margin = 2;
+
+  filter(self, stealee) {
+    stealee.load - self.load >= margin
+  }
+
+  choice nearest;
+
+  migrate(task, victim, thief) {
+    task.weight > 0 && task.weight < victim.load - thief.load
+  }
+}
+)";
+
+}  // namespace samples
+
+}  // namespace optsched::dsl

@@ -1,0 +1,48 @@
+// Facade: source text -> runnable policy (+ the checked AST for codegen and
+// verification). The one-stop entry point mirroring the paper's toolchain.
+
+#ifndef OPTSCHED_SRC_DSL_COMPILE_H_
+#define OPTSCHED_SRC_DSL_COMPILE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/policy.h"
+#include "src/dsl/ast.h"
+#include "src/dsl/parser.h"
+
+namespace optsched::dsl {
+
+struct CompileResult {
+  // Set on success.
+  std::shared_ptr<const BalancePolicy> policy;
+  std::optional<PolicyDecl> decl;  // checked (lets resolved, folded)
+  // Set on failure.
+  std::vector<Diagnostic> diagnostics;
+
+  bool ok() const { return policy != nullptr; }
+  std::string DiagnosticsToString() const;
+};
+
+CompileResult CompilePolicy(std::string_view source);
+
+// Canonical policy sources shipped with the library.
+namespace samples {
+
+// Listing 1: balance raw thread counts, margin 2.
+extern const char kThreadCount[];
+// §3.1/§4.2: counts weighted by importance.
+extern const char kWeighted[];
+// §4.3 counterexample: canSteal(stealee) = stealee.load >= 2.
+extern const char kBroken[];
+// NUMA-aware choice on top of the Listing-1 filter (§5 direction).
+extern const char kNumaAware[];
+
+}  // namespace samples
+
+}  // namespace optsched::dsl
+
+#endif  // OPTSCHED_SRC_DSL_COMPILE_H_

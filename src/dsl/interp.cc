@@ -1,0 +1,202 @@
+#include "src/dsl/interp.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace optsched::dsl {
+
+void EvalEnv::BindCore(const std::string& name, CoreBinding binding) {
+  OPTSCHED_CHECK(num_cores < 3);
+  cores[num_cores].name = &name;
+  cores[num_cores].binding = binding;
+  ++num_cores;
+}
+
+void EvalEnv::BindTask(const std::string& name, int64_t weight) {
+  task_name = &name;
+  task_weight = weight;
+}
+
+EvalValue Eval(const Expr& expr, const EvalEnv& env) {
+  switch (expr.kind) {
+    case ExprKind::kNumber:
+      return {.is_bool = false, .number = expr.number, .boolean = false};
+    case ExprKind::kBool:
+      return {.is_bool = true, .number = 0, .boolean = expr.boolean};
+    case ExprKind::kLetRef:
+      OPTSCHED_CHECK_MSG(false, "let references must be resolved by sema before evaluation");
+      return {};
+    case ExprKind::kFieldRef: {
+      if (expr.field == Field::kWeight) {
+        OPTSCHED_CHECK(env.task_name != nullptr && expr.variable == *env.task_name);
+        return {.is_bool = false, .number = env.task_weight, .boolean = false};
+      }
+      for (int i = 0; i < env.num_cores; ++i) {
+        if (expr.variable == *env.cores[i].name) {
+          const EvalEnv::CoreBinding& b = env.cores[i].binding;
+          int64_t value = 0;
+          switch (expr.field) {
+            case Field::kLoad: value = b.load; break;
+            case Field::kNrTasks: value = b.nr_tasks; break;
+            case Field::kNode: value = b.node; break;
+            case Field::kWeight: break;  // handled above
+          }
+          return {.is_bool = false, .number = value, .boolean = false};
+        }
+      }
+      OPTSCHED_CHECK_MSG(false, "unbound variable reached evaluation (sema must reject it)");
+      return {};
+    }
+    case ExprKind::kUnary: {
+      const EvalValue operand = Eval(*expr.lhs, env);
+      if (expr.unary_op == UnaryOp::kNeg) {
+        return {.is_bool = false, .number = -operand.number, .boolean = false};
+      }
+      return {.is_bool = true, .number = 0, .boolean = !operand.boolean};
+    }
+    case ExprKind::kBinary: {
+      // Short-circuit the boolean connectives.
+      if (expr.binary_op == BinaryOp::kAnd) {
+        const EvalValue lhs = Eval(*expr.lhs, env);
+        if (!lhs.boolean) {
+          return {.is_bool = true, .number = 0, .boolean = false};
+        }
+        return Eval(*expr.rhs, env);
+      }
+      if (expr.binary_op == BinaryOp::kOr) {
+        const EvalValue lhs = Eval(*expr.lhs, env);
+        if (lhs.boolean) {
+          return {.is_bool = true, .number = 0, .boolean = true};
+        }
+        return Eval(*expr.rhs, env);
+      }
+      const EvalValue lhs = Eval(*expr.lhs, env);
+      const EvalValue rhs = Eval(*expr.rhs, env);
+      auto num = [](int64_t v) { return EvalValue{.is_bool = false, .number = v, .boolean = false}; };
+      auto boolean = [](bool v) { return EvalValue{.is_bool = true, .number = 0, .boolean = v}; };
+      switch (expr.binary_op) {
+        case BinaryOp::kAdd: return num(lhs.number + rhs.number);
+        case BinaryOp::kSub: return num(lhs.number - rhs.number);
+        case BinaryOp::kMul: return num(lhs.number * rhs.number);
+        case BinaryOp::kDiv: return num(rhs.number == 0 ? 0 : lhs.number / rhs.number);
+        case BinaryOp::kMod: return num(rhs.number == 0 ? 0 : lhs.number % rhs.number);
+        case BinaryOp::kEq:
+          return boolean(lhs.is_bool ? lhs.boolean == rhs.boolean : lhs.number == rhs.number);
+        case BinaryOp::kNe:
+          return boolean(lhs.is_bool ? lhs.boolean != rhs.boolean : lhs.number != rhs.number);
+        case BinaryOp::kLt: return boolean(lhs.number < rhs.number);
+        case BinaryOp::kLe: return boolean(lhs.number <= rhs.number);
+        case BinaryOp::kGt: return boolean(lhs.number > rhs.number);
+        case BinaryOp::kGe: return boolean(lhs.number >= rhs.number);
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+          break;  // handled above
+      }
+      return {};
+    }
+    case ExprKind::kIf:
+      return Eval(*expr.condition, env).boolean ? Eval(*expr.lhs, env)
+                                                : Eval(*expr.else_branch, env);
+    case ExprKind::kCall: {
+      if (expr.callee == "abs") {
+        const int64_t v = Eval(*expr.args[0], env).number;
+        return {.is_bool = false, .number = v < 0 ? -v : v, .boolean = false};
+      }
+      const int64_t a = Eval(*expr.args[0], env).number;
+      const int64_t b = Eval(*expr.args[1], env).number;
+      const int64_t v = expr.callee == "min" ? std::min(a, b) : std::max(a, b);
+      return {.is_bool = false, .number = v, .boolean = false};
+    }
+  }
+  return {};
+}
+
+DslPolicy::DslPolicy(PolicyDecl decl) : decl_(std::move(decl)) {
+  OPTSCHED_CHECK_MSG(decl_.filter != nullptr, "DslPolicy needs a checked filter");
+}
+
+std::string DslPolicy::name() const { return "dsl:" + decl_.name; }
+
+LoadMetric DslPolicy::metric() const {
+  return decl_.metric == MetricKind::kCount ? LoadMetric::kTaskCount
+                                            : LoadMetric::kWeightedLoad;
+}
+
+EvalEnv::CoreBinding DslPolicy::BindingFor(const SelectionView& view, CpuId cpu) const {
+  EvalEnv::CoreBinding binding;
+  binding.load = view.snapshot.Load(cpu, metric());
+  binding.nr_tasks = view.snapshot.Load(cpu, LoadMetric::kTaskCount);
+  binding.node = view.topology != nullptr ? view.topology->NodeOf(cpu) : 0;
+  return binding;
+}
+
+bool DslPolicy::CanSteal(const SelectionView& view, CpuId stealee) const {
+  EvalEnv env;
+  env.BindCore(decl_.filter_self, BindingFor(view, view.self));
+  env.BindCore(decl_.filter_stealee, BindingFor(view, stealee));
+  return Eval(*decl_.filter, env).boolean;
+}
+
+CpuId DslPolicy::SelectCore(const SelectionView& view, const std::vector<CpuId>& candidates,
+                            Rng& rng) const {
+  OPTSCHED_CHECK(!candidates.empty());
+  switch (decl_.choice) {
+    case ChoiceKind::kRandom:
+      return candidates[rng.NextBelow(candidates.size())];
+    case ChoiceKind::kMaxLoad:
+      return BalancePolicy::SelectCore(view, candidates, rng);
+    case ChoiceKind::kMinLoad: {
+      CpuId best = candidates[0];
+      int64_t best_load = view.snapshot.Load(best, metric());
+      for (CpuId c : candidates) {
+        const int64_t load = view.snapshot.Load(c, metric());
+        if (load < best_load) {
+          best = c;
+          best_load = load;
+        }
+      }
+      return best;
+    }
+    case ChoiceKind::kNearest: {
+      if (view.topology == nullptr) {
+        return BalancePolicy::SelectCore(view, candidates, rng);
+      }
+      CpuId best = candidates[0];
+      uint32_t best_distance = view.topology->CpuDistance(view.self, best);
+      int64_t best_load = view.snapshot.Load(best, metric());
+      for (CpuId c : candidates) {
+        const uint32_t distance = view.topology->CpuDistance(view.self, c);
+        const int64_t load = view.snapshot.Load(c, metric());
+        if (distance < best_distance || (distance == best_distance && load > best_load)) {
+          best = c;
+          best_distance = distance;
+          best_load = load;
+        }
+      }
+      return best;
+    }
+  }
+  return candidates[0];
+}
+
+bool DslPolicy::ShouldMigrate(int64_t task_weight, int64_t victim_load,
+                              int64_t thief_load) const {
+  if (decl_.migrate == nullptr) {
+    return BalancePolicy::ShouldMigrate(task_weight, victim_load, thief_load);
+  }
+  EvalEnv env;
+  env.BindTask(decl_.migrate_task, task_weight);
+  // The migrate rule sees loads only (nr_tasks/node are not tracked at this
+  // point in the steal phase; they evaluate as the load / 0 respectively).
+  env.BindCore(decl_.migrate_victim,
+               {.load = victim_load, .nr_tasks = victim_load, .node = 0});
+  env.BindCore(decl_.migrate_thief, {.load = thief_load, .nr_tasks = thief_load, .node = 0});
+  return Eval(*decl_.migrate, env).boolean;
+}
+
+std::shared_ptr<const BalancePolicy> MakeDslPolicy(PolicyDecl decl) {
+  return std::make_shared<DslPolicy>(std::move(decl));
+}
+
+}  // namespace optsched::dsl

@@ -1,0 +1,74 @@
+// Interpreter backend: turns a checked PolicyDecl into a runnable
+// BalancePolicy (the analog of the paper's "compiled to C code that can be
+// integrated as a scheduling class" — here the scheduling class is the
+// LoadBalancer engine, and the policy plugs straight into the simulator, the
+// real-thread runtime, and the verifier).
+
+#ifndef OPTSCHED_SRC_DSL_INTERP_H_
+#define OPTSCHED_SRC_DSL_INTERP_H_
+
+#include <memory>
+
+#include "src/core/policy.h"
+#include "src/dsl/ast.h"
+
+namespace optsched::dsl {
+
+// Evaluation environment for a rule body: named core loads and task weight.
+struct EvalEnv {
+  // Core variables: name -> (load by metric, nr_tasks, node).
+  struct CoreBinding {
+    int64_t load = 0;
+    int64_t nr_tasks = 0;
+    int64_t node = 0;
+  };
+  // At most 3 bindings per rule (task, victim, thief); linear scan is fine.
+  struct NamedCore {
+    const std::string* name;
+    CoreBinding binding;
+  };
+  NamedCore cores[3];
+  int num_cores = 0;
+
+  const std::string* task_name = nullptr;
+  int64_t task_weight = 0;
+
+  void BindCore(const std::string& name, CoreBinding binding);
+  void BindTask(const std::string& name, int64_t weight);
+};
+
+// Evaluates a checked, let-free expression. Division/modulo by zero evaluate
+// to 0 (defined behaviour; sema warns only for constant divisors).
+struct EvalValue {
+  bool is_bool = false;
+  int64_t number = 0;
+  bool boolean = false;
+};
+EvalValue Eval(const Expr& expr, const EvalEnv& env);
+
+// The runnable policy.
+class DslPolicy : public BalancePolicy {
+ public:
+  explicit DslPolicy(PolicyDecl decl);
+
+  std::string name() const override;
+  LoadMetric metric() const override;
+  bool CanSteal(const SelectionView& view, CpuId stealee) const override;
+  CpuId SelectCore(const SelectionView& view, const std::vector<CpuId>& candidates,
+                   Rng& rng) const override;
+  bool ShouldMigrate(int64_t task_weight, int64_t victim_load,
+                     int64_t thief_load) const override;
+
+  const PolicyDecl& decl() const { return decl_; }
+
+ private:
+  EvalEnv::CoreBinding BindingFor(const SelectionView& view, CpuId cpu) const;
+
+  PolicyDecl decl_;
+};
+
+std::shared_ptr<const BalancePolicy> MakeDslPolicy(PolicyDecl decl);
+
+}  // namespace optsched::dsl
+
+#endif  // OPTSCHED_SRC_DSL_INTERP_H_

@@ -1,0 +1,169 @@
+#include "src/dsl/lexer.h"
+
+#include <cctype>
+
+#include "src/base/str.h"
+
+namespace optsched::dsl {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEnd: return "end of input";
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kError: return "error";
+  }
+  return "?";
+}
+
+std::string SourceLocation::ToString() const { return StrFormat("%u:%u", line, column); }
+
+Lexer::Lexer(std::string_view source) : source_(source) {}
+
+char Lexer::Peek(size_t ahead) const {
+  return position_ + ahead < source_.size() ? source_[position_ + ahead] : '\0';
+}
+
+char Lexer::Advance() {
+  const char c = Peek();
+  if (c != '\0') {
+    ++position_;
+    if (c == '\n') {
+      ++location_.line;
+      location_.column = 1;
+    } else {
+      ++location_.column;
+    }
+  }
+  return c;
+}
+
+bool Lexer::Match(char expected) {
+  if (Peek() != expected) {
+    return false;
+  }
+  Advance();
+  return true;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  for (;;) {
+    const char c = Peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      Advance();
+    } else if (c == '#') {
+      while (Peek() != '\n' && Peek() != '\0') {
+        Advance();
+      }
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::MakeToken(TokenKind kind, SourceLocation location, std::string text) const {
+  Token t;
+  t.kind = kind;
+  t.location = location;
+  t.text = std::move(text);
+  return t;
+}
+
+Token Lexer::Next() {
+  SkipWhitespaceAndComments();
+  const SourceLocation start = location_;
+  const char c = Peek();
+  if (c == '\0') {
+    return MakeToken(TokenKind::kEnd, start);
+  }
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string text;
+    while (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_') {
+      text.push_back(Advance());
+    }
+    return MakeToken(TokenKind::kIdent, start, std::move(text));
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::string digits;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      digits.push_back(Advance());
+    }
+    Token t = MakeToken(TokenKind::kNumber, start, digits);
+    t.number = 0;
+    for (char d : digits) {
+      t.number = t.number * 10 + (d - '0');
+    }
+    return t;
+  }
+  Advance();
+  switch (c) {
+    case '{': return MakeToken(TokenKind::kLBrace, start);
+    case '}': return MakeToken(TokenKind::kRBrace, start);
+    case '(': return MakeToken(TokenKind::kLParen, start);
+    case ')': return MakeToken(TokenKind::kRParen, start);
+    case ',': return MakeToken(TokenKind::kComma, start);
+    case ';': return MakeToken(TokenKind::kSemicolon, start);
+    case '.': return MakeToken(TokenKind::kDot, start);
+    case '+': return MakeToken(TokenKind::kPlus, start);
+    case '-': return MakeToken(TokenKind::kMinus, start);
+    case '*': return MakeToken(TokenKind::kStar, start);
+    case '/': return MakeToken(TokenKind::kSlash, start);
+    case '%': return MakeToken(TokenKind::kPercent, start);
+    case '!':
+      return MakeToken(Match('=') ? TokenKind::kNe : TokenKind::kBang, start);
+    case '=':
+      return MakeToken(Match('=') ? TokenKind::kEq : TokenKind::kAssign, start);
+    case '<':
+      return MakeToken(Match('=') ? TokenKind::kLe : TokenKind::kLt, start);
+    case '>':
+      return MakeToken(Match('=') ? TokenKind::kGe : TokenKind::kGt, start);
+    case '&':
+      if (Match('&')) {
+        return MakeToken(TokenKind::kAndAnd, start);
+      }
+      return MakeToken(TokenKind::kError, start, "stray '&' (did you mean '&&'?)");
+    case '|':
+      if (Match('|')) {
+        return MakeToken(TokenKind::kOrOr, start);
+      }
+      return MakeToken(TokenKind::kError, start, "stray '|' (did you mean '||'?)");
+    default:
+      return MakeToken(TokenKind::kError, start,
+                       StrFormat("unexpected character '%c' (0x%02x)", c, c));
+  }
+}
+
+std::vector<Token> LexAll(std::string_view source) {
+  Lexer lexer(source);
+  std::vector<Token> tokens;
+  for (;;) {
+    tokens.push_back(lexer.Next());
+    if (tokens.back().kind == TokenKind::kEnd) {
+      return tokens;
+    }
+  }
+}
+
+}  // namespace optsched::dsl

@@ -1,0 +1,38 @@
+// Hand-written lexer for the policy DSL. Supports `#` line comments.
+
+#ifndef OPTSCHED_SRC_DSL_LEXER_H_
+#define OPTSCHED_SRC_DSL_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/dsl/token.h"
+
+namespace optsched::dsl {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source);
+
+  // Next token; kEnd forever once the input is exhausted; kError with a
+  // message on invalid input (the lexer then skips the offending byte).
+  Token Next();
+
+ private:
+  char Peek(size_t ahead = 0) const;
+  char Advance();
+  bool Match(char expected);
+  void SkipWhitespaceAndComments();
+  Token MakeToken(TokenKind kind, SourceLocation location, std::string text = {}) const;
+
+  std::string_view source_;
+  size_t position_ = 0;
+  SourceLocation location_;
+};
+
+// Lexes the whole input (including the trailing kEnd token).
+std::vector<Token> LexAll(std::string_view source);
+
+}  // namespace optsched::dsl
+
+#endif  // OPTSCHED_SRC_DSL_LEXER_H_

@@ -1,0 +1,424 @@
+#include "src/dsl/parser.h"
+
+#include "src/base/str.h"
+#include "src/dsl/lexer.h"
+
+namespace optsched::dsl {
+
+std::string Diagnostic::ToString() const {
+  return StrFormat("%s: %s", location.ToString().c_str(), message.c_str());
+}
+
+std::string ParseResult::DiagnosticsToString() const {
+  std::vector<std::string> parts;
+  for (const Diagnostic& d : diagnostics) {
+    parts.push_back(d.ToString());
+  }
+  return Join(parts, "\n");
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(LexAll(source)) {}
+
+  std::optional<PolicyDecl> ParsePolicyDecl();
+  ExprPtr ParseExpr() { return ParseOr(); }
+
+  std::vector<Diagnostic> TakeDiagnostics() { return std::move(diagnostics_); }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = position_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() {
+    const Token& t = Peek();
+    if (position_ + 1 < tokens_.size()) {
+      ++position_;
+    }
+    return t;
+  }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool CheckIdent(std::string_view spelling) const {
+    return Peek().kind == TokenKind::kIdent && Peek().text == spelling;
+  }
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) {
+      return false;
+    }
+    Advance();
+    return true;
+  }
+  bool Expect(TokenKind kind, const char* context) {
+    if (Match(kind)) {
+      return true;
+    }
+    Error(StrFormat("expected %s %s, found %s%s", TokenKindName(kind), context,
+                    TokenKindName(Peek().kind),
+                    Peek().kind == TokenKind::kIdent ? (" '" + Peek().text + "'").c_str() : ""));
+    return false;
+  }
+  std::string ExpectIdent(const char* context) {
+    if (Check(TokenKind::kIdent)) {
+      return Advance().text;
+    }
+    Error(StrFormat("expected identifier %s, found %s", context, TokenKindName(Peek().kind)));
+    return {};
+  }
+  void Error(std::string message) {
+    diagnostics_.push_back(Diagnostic{Peek().location, std::move(message)});
+  }
+
+  // expr := or
+  ExprPtr ParseOr() {
+    ExprPtr lhs = ParseAnd();
+    while (lhs != nullptr && Check(TokenKind::kOrOr)) {
+      const SourceLocation loc = Advance().location;
+      ExprPtr rhs = ParseAnd();
+      if (rhs == nullptr) {
+        return nullptr;
+      }
+      lhs = MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseAnd() {
+    ExprPtr lhs = ParseComparison();
+    while (lhs != nullptr && Check(TokenKind::kAndAnd)) {
+      const SourceLocation loc = Advance().location;
+      ExprPtr rhs = ParseComparison();
+      if (rhs == nullptr) {
+        return nullptr;
+      }
+      lhs = MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseComparison() {
+    ExprPtr lhs = ParseAdditive();
+    if (lhs == nullptr) {
+      return nullptr;
+    }
+    BinaryOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEq: op = BinaryOp::kEq; break;
+      case TokenKind::kNe: op = BinaryOp::kNe; break;
+      case TokenKind::kLt: op = BinaryOp::kLt; break;
+      case TokenKind::kLe: op = BinaryOp::kLe; break;
+      case TokenKind::kGt: op = BinaryOp::kGt; break;
+      case TokenKind::kGe: op = BinaryOp::kGe; break;
+      default:
+        return lhs;
+    }
+    const SourceLocation loc = Advance().location;
+    ExprPtr rhs = ParseAdditive();
+    if (rhs == nullptr) {
+      return nullptr;
+    }
+    return MakeBinary(op, std::move(lhs), std::move(rhs), loc);
+  }
+
+  ExprPtr ParseAdditive() {
+    ExprPtr lhs = ParseMultiplicative();
+    while (lhs != nullptr && (Check(TokenKind::kPlus) || Check(TokenKind::kMinus))) {
+      const BinaryOp op = Check(TokenKind::kPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
+      const SourceLocation loc = Advance().location;
+      ExprPtr rhs = ParseMultiplicative();
+      if (rhs == nullptr) {
+        return nullptr;
+      }
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseMultiplicative() {
+    ExprPtr lhs = ParseUnary();
+    while (lhs != nullptr &&
+           (Check(TokenKind::kStar) || Check(TokenKind::kSlash) || Check(TokenKind::kPercent))) {
+      BinaryOp op = BinaryOp::kMul;
+      if (Check(TokenKind::kSlash)) {
+        op = BinaryOp::kDiv;
+      } else if (Check(TokenKind::kPercent)) {
+        op = BinaryOp::kMod;
+      }
+      const SourceLocation loc = Advance().location;
+      ExprPtr rhs = ParseUnary();
+      if (rhs == nullptr) {
+        return nullptr;
+      }
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr ParseUnary() {
+    if (Check(TokenKind::kMinus)) {
+      const SourceLocation loc = Advance().location;
+      ExprPtr operand = ParseUnary();
+      return operand == nullptr ? nullptr : MakeUnary(UnaryOp::kNeg, std::move(operand), loc);
+    }
+    if (Check(TokenKind::kBang)) {
+      const SourceLocation loc = Advance().location;
+      ExprPtr operand = ParseUnary();
+      return operand == nullptr ? nullptr : MakeUnary(UnaryOp::kNot, std::move(operand), loc);
+    }
+    return ParsePrimary();
+  }
+
+  ExprPtr ParsePrimary() {
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kNumber) {
+      Advance();
+      return MakeNumber(t.number, t.location);
+    }
+    if (t.kind == TokenKind::kLParen) {
+      Advance();
+      ExprPtr inner = ParseExpr();
+      if (inner == nullptr || !Expect(TokenKind::kRParen, "to close parenthesized expression")) {
+        return nullptr;
+      }
+      return inner;
+    }
+    if (t.kind == TokenKind::kIdent) {
+      if (t.text == "true" || t.text == "false") {
+        Advance();
+        return MakeBool(t.text == "true", t.location);
+      }
+      // Conditional expression: if (cond) then_expr else else_expr.
+      if (t.text == "if") {
+        Advance();
+        if (!Expect(TokenKind::kLParen, "after 'if'")) {
+          return nullptr;
+        }
+        ExprPtr condition = ParseExpr();
+        if (condition == nullptr || !Expect(TokenKind::kRParen, "to close the if condition")) {
+          return nullptr;
+        }
+        ExprPtr then_branch = ParseExpr();
+        if (then_branch == nullptr) {
+          return nullptr;
+        }
+        if (!CheckIdent("else")) {
+          Error("'if' expressions require an 'else' branch");
+          return nullptr;
+        }
+        Advance();
+        ExprPtr else_branch = ParseExpr();
+        if (else_branch == nullptr) {
+          return nullptr;
+        }
+        return MakeIf(std::move(condition), std::move(then_branch), std::move(else_branch),
+                      t.location);
+      }
+      if (t.text == "else") {
+        Error("'else' without a matching 'if'");
+        return nullptr;
+      }
+      // Call: ident '(' args ')'
+      if (Peek(1).kind == TokenKind::kLParen) {
+        const std::string callee = Advance().text;
+        Advance();  // (
+        std::vector<ExprPtr> args;
+        if (!Check(TokenKind::kRParen)) {
+          for (;;) {
+            ExprPtr arg = ParseExpr();
+            if (arg == nullptr) {
+              return nullptr;
+            }
+            args.push_back(std::move(arg));
+            if (!Match(TokenKind::kComma)) {
+              break;
+            }
+          }
+        }
+        if (!Expect(TokenKind::kRParen, "to close argument list")) {
+          return nullptr;
+        }
+        return MakeCall(callee, std::move(args), t.location);
+      }
+      // Field ref: ident '.' field, or bare let reference.
+      const std::string variable = Advance().text;
+      if (Match(TokenKind::kDot)) {
+        const std::string field_name = ExpectIdent("after '.'");
+        Field field;
+        if (field_name == "load") {
+          field = Field::kLoad;
+        } else if (field_name == "nr_tasks") {
+          field = Field::kNrTasks;
+        } else if (field_name == "node") {
+          field = Field::kNode;
+        } else if (field_name == "weight") {
+          field = Field::kWeight;
+        } else {
+          Error(StrFormat("unknown field '.%s' (expected load, nr_tasks, node or weight)",
+                          field_name.c_str()));
+          return nullptr;
+        }
+        return MakeFieldRef(variable, field, t.location);
+      }
+      return MakeLetRef(variable, t.location);
+    }
+    if (t.kind == TokenKind::kError) {
+      Error(t.text);
+      Advance();
+      return nullptr;
+    }
+    Error(StrFormat("expected expression, found %s", TokenKindName(t.kind)));
+    return nullptr;
+  }
+
+  ExprPtr ParseBlockExpr(const char* what) {
+    if (!Expect(TokenKind::kLBrace, what)) {
+      return nullptr;
+    }
+    ExprPtr expr = ParseExpr();
+    if (expr == nullptr) {
+      return nullptr;
+    }
+    if (!Expect(TokenKind::kRBrace, what)) {
+      return nullptr;
+    }
+    return expr;
+  }
+
+  std::vector<Token> tokens_;
+  size_t position_ = 0;
+  std::vector<Diagnostic> diagnostics_;
+};
+
+std::optional<PolicyDecl> Parser::ParsePolicyDecl() {
+  PolicyDecl decl;
+  decl.location = Peek().location;
+  if (!CheckIdent("policy")) {
+    Error("a policy file must start with 'policy <name> { ... }'");
+    return std::nullopt;
+  }
+  Advance();
+  decl.name = ExpectIdent("as the policy name");
+  if (!Expect(TokenKind::kLBrace, "to open the policy body")) {
+    return std::nullopt;
+  }
+  while (!Check(TokenKind::kRBrace) && !Check(TokenKind::kEnd)) {
+    if (CheckIdent("metric")) {
+      Advance();
+      const std::string m = ExpectIdent("after 'metric'");
+      if (m == "count") {
+        decl.metric = MetricKind::kCount;
+      } else if (m == "weighted") {
+        decl.metric = MetricKind::kWeighted;
+      } else {
+        Error(StrFormat("unknown metric '%s' (expected count or weighted)", m.c_str()));
+      }
+      if (decl.has_metric) {
+        Error("duplicate 'metric' declaration");
+      }
+      decl.has_metric = true;
+      Expect(TokenKind::kSemicolon, "after metric declaration");
+    } else if (CheckIdent("let")) {
+      Advance();
+      LetDecl let;
+      let.location = Peek().location;
+      let.name = ExpectIdent("as the let name");
+      Expect(TokenKind::kAssign, "after let name");
+      let.value = ParseExpr();
+      if (let.value == nullptr) {
+        return std::nullopt;
+      }
+      Expect(TokenKind::kSemicolon, "after let declaration");
+      decl.lets.push_back(std::move(let));
+    } else if (CheckIdent("filter")) {
+      if (decl.filter != nullptr) {
+        Error("duplicate 'filter' declaration");
+      }
+      Advance();
+      Expect(TokenKind::kLParen, "after 'filter'");
+      decl.filter_self = ExpectIdent("as the filter's self parameter");
+      Expect(TokenKind::kComma, "between filter parameters");
+      decl.filter_stealee = ExpectIdent("as the filter's stealee parameter");
+      Expect(TokenKind::kRParen, "to close filter parameters");
+      decl.filter = ParseBlockExpr("around the filter body");
+      if (decl.filter == nullptr) {
+        return std::nullopt;
+      }
+    } else if (CheckIdent("choice")) {
+      if (decl.has_choice) {
+        Error("duplicate 'choice' declaration");
+      }
+      Advance();
+      const std::string c = ExpectIdent("after 'choice'");
+      if (c == "maxload") {
+        decl.choice = ChoiceKind::kMaxLoad;
+      } else if (c == "minload") {
+        decl.choice = ChoiceKind::kMinLoad;
+      } else if (c == "nearest") {
+        decl.choice = ChoiceKind::kNearest;
+      } else if (c == "random") {
+        decl.choice = ChoiceKind::kRandom;
+      } else {
+        Error(StrFormat("unknown choice '%s' (expected maxload, minload, nearest or random)",
+                        c.c_str()));
+      }
+      decl.has_choice = true;
+      Expect(TokenKind::kSemicolon, "after choice declaration");
+    } else if (CheckIdent("migrate")) {
+      if (decl.migrate != nullptr) {
+        Error("duplicate 'migrate' declaration");
+      }
+      Advance();
+      Expect(TokenKind::kLParen, "after 'migrate'");
+      decl.migrate_task = ExpectIdent("as the migrate rule's task parameter");
+      Expect(TokenKind::kComma, "between migrate parameters");
+      decl.migrate_victim = ExpectIdent("as the migrate rule's victim parameter");
+      Expect(TokenKind::kComma, "between migrate parameters");
+      decl.migrate_thief = ExpectIdent("as the migrate rule's thief parameter");
+      Expect(TokenKind::kRParen, "to close migrate parameters");
+      decl.migrate = ParseBlockExpr("around the migrate body");
+      if (decl.migrate == nullptr) {
+        return std::nullopt;
+      }
+    } else {
+      Error(StrFormat("unexpected token %s in policy body (expected metric, let, filter, "
+                      "choice or migrate)",
+                      Peek().kind == TokenKind::kIdent ? ("'" + Peek().text + "'").c_str()
+                                                       : TokenKindName(Peek().kind)));
+      return std::nullopt;
+    }
+  }
+  Expect(TokenKind::kRBrace, "to close the policy body");
+  if (decl.filter == nullptr) {
+    Error("policy is missing the mandatory 'filter' declaration (Figure 1 step 1)");
+    return std::nullopt;
+  }
+  return decl;
+}
+
+}  // namespace
+
+ParseResult ParsePolicy(std::string_view source) {
+  Parser parser(source);
+  ParseResult result;
+  result.policy = parser.ParsePolicyDecl();
+  result.diagnostics = parser.TakeDiagnostics();
+  if (!result.diagnostics.empty()) {
+    result.policy.reset();
+  }
+  return result;
+}
+
+ParseExprResult ParseExpression(std::string_view source) {
+  Parser parser(source);
+  ParseExprResult result;
+  result.expr = parser.ParseExpr();
+  result.diagnostics = parser.TakeDiagnostics();
+  if (!result.diagnostics.empty()) {
+    result.expr.reset();
+  }
+  return result;
+}
+
+}  // namespace optsched::dsl

@@ -1,0 +1,43 @@
+// Recursive-descent parser for the policy DSL.
+
+#ifndef OPTSCHED_SRC_DSL_PARSER_H_
+#define OPTSCHED_SRC_DSL_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/dsl/ast.h"
+#include "src/dsl/token.h"
+
+namespace optsched::dsl {
+
+struct Diagnostic {
+  SourceLocation location;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+struct ParseResult {
+  std::optional<PolicyDecl> policy;
+  std::vector<Diagnostic> diagnostics;
+
+  bool ok() const { return policy.has_value() && diagnostics.empty(); }
+  std::string DiagnosticsToString() const;
+};
+
+// Parses one `policy <name> { ... }` declaration.
+ParseResult ParsePolicy(std::string_view source);
+
+// Parses a bare expression (used by tests and the constant folder).
+struct ParseExprResult {
+  ExprPtr expr;
+  std::vector<Diagnostic> diagnostics;
+};
+ParseExprResult ParseExpression(std::string_view source);
+
+}  // namespace optsched::dsl
+
+#endif  // OPTSCHED_SRC_DSL_PARSER_H_

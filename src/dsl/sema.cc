@@ -1,0 +1,421 @@
+#include "src/dsl/sema.h"
+
+#include <map>
+
+#include "src/base/check.h"
+#include "src/base/str.h"
+
+namespace optsched::dsl {
+
+namespace {
+
+// Variable classes usable in a given rule body.
+enum class VarClass { kCore, kTask };
+
+class Checker {
+ public:
+  explicit Checker(std::vector<Diagnostic>* diagnostics) : diagnostics_(diagnostics) {}
+
+  void DefineLet(const std::string& name, ExprPtr folded_value, Type type) {
+    lets_[name] = {folded_value->Clone(), type};
+  }
+  bool HasLet(const std::string& name) const { return lets_.count(name) > 0; }
+  const Expr* LetValue(const std::string& name) const { return lets_.at(name).first.get(); }
+
+  // Type-checks `expr` against the given variable environment; nullopt and a
+  // diagnostic on failure.
+  std::optional<Type> Check(const Expr& expr, const std::map<std::string, VarClass>& vars) {
+    switch (expr.kind) {
+      case ExprKind::kNumber:
+        return Type::kInt;
+      case ExprKind::kBool:
+        return Type::kBool;
+      case ExprKind::kLetRef: {
+        const auto it = lets_.find(expr.variable);
+        if (it == lets_.end()) {
+          Error(expr.location, StrFormat("unknown name '%s' (no such let binding or parameter; "
+                                         "parameters need a '.field' access)",
+                                         expr.variable.c_str()));
+          return std::nullopt;
+        }
+        return it->second.second;
+      }
+      case ExprKind::kFieldRef: {
+        const auto it = vars.find(expr.variable);
+        if (it == vars.end()) {
+          Error(expr.location,
+                StrFormat("unknown variable '%s' in this rule", expr.variable.c_str()));
+          return std::nullopt;
+        }
+        const bool core_field = expr.field == Field::kLoad || expr.field == Field::kNrTasks ||
+                                expr.field == Field::kNode;
+        if (it->second == VarClass::kCore && !core_field) {
+          Error(expr.location, StrFormat("field '.%s' is not readable on core '%s' (cores "
+                                         "expose load, nr_tasks, node)",
+                                         FieldName(expr.field), expr.variable.c_str()));
+          return std::nullopt;
+        }
+        if (it->second == VarClass::kTask && expr.field != Field::kWeight) {
+          Error(expr.location, StrFormat("field '.%s' is not readable on task '%s' (tasks "
+                                         "expose weight)",
+                                         FieldName(expr.field), expr.variable.c_str()));
+          return std::nullopt;
+        }
+        return Type::kInt;
+      }
+      case ExprKind::kUnary: {
+        const std::optional<Type> operand = Check(*expr.lhs, vars);
+        if (!operand.has_value()) {
+          return std::nullopt;
+        }
+        if (expr.unary_op == UnaryOp::kNeg && *operand != Type::kInt) {
+          Error(expr.location, "unary '-' needs an integer operand");
+          return std::nullopt;
+        }
+        if (expr.unary_op == UnaryOp::kNot && *operand != Type::kBool) {
+          Error(expr.location, "'!' needs a boolean operand");
+          return std::nullopt;
+        }
+        return operand;
+      }
+      case ExprKind::kBinary: {
+        const std::optional<Type> lhs = Check(*expr.lhs, vars);
+        const std::optional<Type> rhs = Check(*expr.rhs, vars);
+        if (!lhs.has_value() || !rhs.has_value()) {
+          return std::nullopt;
+        }
+        switch (expr.binary_op) {
+          case BinaryOp::kAdd:
+          case BinaryOp::kSub:
+          case BinaryOp::kMul:
+          case BinaryOp::kDiv:
+          case BinaryOp::kMod:
+            if (*lhs != Type::kInt || *rhs != Type::kInt) {
+              Error(expr.location, StrFormat("'%s' needs integer operands",
+                                             BinaryOpName(expr.binary_op)));
+              return std::nullopt;
+            }
+            return Type::kInt;
+          case BinaryOp::kLt:
+          case BinaryOp::kLe:
+          case BinaryOp::kGt:
+          case BinaryOp::kGe:
+            if (*lhs != Type::kInt || *rhs != Type::kInt) {
+              Error(expr.location, StrFormat("'%s' needs integer operands",
+                                             BinaryOpName(expr.binary_op)));
+              return std::nullopt;
+            }
+            return Type::kBool;
+          case BinaryOp::kEq:
+          case BinaryOp::kNe:
+            if (*lhs != *rhs) {
+              Error(expr.location, StrFormat("'%s' needs operands of the same type",
+                                             BinaryOpName(expr.binary_op)));
+              return std::nullopt;
+            }
+            return Type::kBool;
+          case BinaryOp::kAnd:
+          case BinaryOp::kOr:
+            if (*lhs != Type::kBool || *rhs != Type::kBool) {
+              Error(expr.location, StrFormat("'%s' needs boolean operands",
+                                             BinaryOpName(expr.binary_op)));
+              return std::nullopt;
+            }
+            return Type::kBool;
+        }
+        return std::nullopt;
+      }
+      case ExprKind::kIf: {
+        const std::optional<Type> cond = Check(*expr.condition, vars);
+        const std::optional<Type> then_type = Check(*expr.lhs, vars);
+        const std::optional<Type> else_type = Check(*expr.else_branch, vars);
+        if (!cond.has_value() || !then_type.has_value() || !else_type.has_value()) {
+          return std::nullopt;
+        }
+        if (*cond != Type::kBool) {
+          Error(expr.condition->location, "the 'if' condition must be boolean");
+          return std::nullopt;
+        }
+        if (*then_type != *else_type) {
+          Error(expr.location, "'if' branches must have the same type");
+          return std::nullopt;
+        }
+        return then_type;
+      }
+      case ExprKind::kCall: {
+        const bool binary = expr.callee == "min" || expr.callee == "max";
+        const bool unary = expr.callee == "abs";
+        if (!binary && !unary) {
+          Error(expr.location, StrFormat("unknown function '%s' (expected min, max or abs)",
+                                         expr.callee.c_str()));
+          return std::nullopt;
+        }
+        const size_t want = binary ? 2 : 1;
+        if (expr.args.size() != want) {
+          Error(expr.location, StrFormat("'%s' takes %zu argument(s), got %zu",
+                                         expr.callee.c_str(), want, expr.args.size()));
+          return std::nullopt;
+        }
+        for (const ExprPtr& arg : expr.args) {
+          const std::optional<Type> t = Check(*arg, vars);
+          if (!t.has_value()) {
+            return std::nullopt;
+          }
+          if (*t != Type::kInt) {
+            Error(arg->location,
+                  StrFormat("'%s' needs integer arguments", expr.callee.c_str()));
+            return std::nullopt;
+          }
+        }
+        return Type::kInt;
+      }
+    }
+    return std::nullopt;
+  }
+
+  // Replaces let references with their folded constant values.
+  ExprPtr ResolveLets(const Expr& expr) const {
+    if (expr.kind == ExprKind::kLetRef) {
+      const auto it = lets_.find(expr.variable);
+      OPTSCHED_CHECK(it != lets_.end());  // type checking ran first
+      return it->second.first->Clone();
+    }
+    ExprPtr copy = expr.Clone();
+    if (copy->lhs != nullptr) {
+      copy->lhs = ResolveLets(*copy->lhs);
+    }
+    if (copy->rhs != nullptr) {
+      copy->rhs = ResolveLets(*copy->rhs);
+    }
+    for (ExprPtr& arg : copy->args) {
+      arg = ResolveLets(*arg);
+    }
+    if (copy->condition != nullptr) {
+      copy->condition = ResolveLets(*copy->condition);
+    }
+    if (copy->else_branch != nullptr) {
+      copy->else_branch = ResolveLets(*copy->else_branch);
+    }
+    return copy;
+  }
+
+ private:
+  void Error(SourceLocation location, std::string message) {
+    diagnostics_->push_back(Diagnostic{location, std::move(message)});
+  }
+
+  std::map<std::string, std::pair<ExprPtr, Type>> lets_;
+  std::vector<Diagnostic>* diagnostics_;
+};
+
+bool IsConstant(const Expr& e, int64_t* value, bool* bool_value, bool* is_bool) {
+  if (e.kind == ExprKind::kNumber) {
+    *value = e.number;
+    *is_bool = false;
+    return true;
+  }
+  if (e.kind == ExprKind::kBool) {
+    *bool_value = e.boolean;
+    *is_bool = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ExprPtr FoldConstants(const Expr& expr) {
+  ExprPtr folded = expr.Clone();
+  if (folded->lhs != nullptr) {
+    folded->lhs = FoldConstants(*folded->lhs);
+  }
+  if (folded->rhs != nullptr) {
+    folded->rhs = FoldConstants(*folded->rhs);
+  }
+  for (ExprPtr& arg : folded->args) {
+    arg = FoldConstants(*arg);
+  }
+  if (folded->condition != nullptr) {
+    folded->condition = FoldConstants(*folded->condition);
+  }
+  if (folded->else_branch != nullptr) {
+    folded->else_branch = FoldConstants(*folded->else_branch);
+  }
+  // A constant condition selects its branch outright.
+  if (folded->kind == ExprKind::kIf && folded->condition->kind == ExprKind::kBool) {
+    return folded->condition->boolean ? std::move(folded->lhs)
+                                      : std::move(folded->else_branch);
+  }
+
+  int64_t la = 0;
+  int64_t lb = 0;
+  bool ba = false;
+  bool bb = false;
+  bool a_is_bool = false;
+  bool b_is_bool = false;
+
+  if (folded->kind == ExprKind::kUnary &&
+      IsConstant(*folded->lhs, &la, &ba, &a_is_bool)) {
+    if (folded->unary_op == UnaryOp::kNeg && !a_is_bool) {
+      return MakeNumber(-la, folded->location);
+    }
+    if (folded->unary_op == UnaryOp::kNot && a_is_bool) {
+      return MakeBool(!ba, folded->location);
+    }
+  }
+  if (folded->kind == ExprKind::kBinary &&
+      IsConstant(*folded->lhs, &la, &ba, &a_is_bool) &&
+      IsConstant(*folded->rhs, &lb, &bb, &b_is_bool)) {
+    if (!a_is_bool && !b_is_bool) {
+      switch (folded->binary_op) {
+        case BinaryOp::kAdd: return MakeNumber(la + lb, folded->location);
+        case BinaryOp::kSub: return MakeNumber(la - lb, folded->location);
+        case BinaryOp::kMul: return MakeNumber(la * lb, folded->location);
+        case BinaryOp::kDiv:
+          if (lb != 0) {
+            return MakeNumber(la / lb, folded->location);
+          }
+          break;  // leave division by zero for runtime diagnosis
+        case BinaryOp::kMod:
+          if (lb != 0) {
+            return MakeNumber(la % lb, folded->location);
+          }
+          break;
+        case BinaryOp::kEq: return MakeBool(la == lb, folded->location);
+        case BinaryOp::kNe: return MakeBool(la != lb, folded->location);
+        case BinaryOp::kLt: return MakeBool(la < lb, folded->location);
+        case BinaryOp::kLe: return MakeBool(la <= lb, folded->location);
+        case BinaryOp::kGt: return MakeBool(la > lb, folded->location);
+        case BinaryOp::kGe: return MakeBool(la >= lb, folded->location);
+        default:
+          break;
+      }
+    } else if (a_is_bool && b_is_bool) {
+      switch (folded->binary_op) {
+        case BinaryOp::kAnd: return MakeBool(ba && bb, folded->location);
+        case BinaryOp::kOr: return MakeBool(ba || bb, folded->location);
+        case BinaryOp::kEq: return MakeBool(ba == bb, folded->location);
+        case BinaryOp::kNe: return MakeBool(ba != bb, folded->location);
+        default:
+          break;
+      }
+    }
+  }
+  // Boolean identity shortcuts with one constant side.
+  if (folded->kind == ExprKind::kBinary &&
+      (folded->binary_op == BinaryOp::kAnd || folded->binary_op == BinaryOp::kOr)) {
+    const bool is_and = folded->binary_op == BinaryOp::kAnd;
+    if (IsConstant(*folded->lhs, &la, &ba, &a_is_bool) && a_is_bool) {
+      return ba == is_and ? std::move(folded->rhs)
+                          : MakeBool(!is_and, folded->location);
+    }
+    if (IsConstant(*folded->rhs, &lb, &bb, &b_is_bool) && b_is_bool) {
+      return bb == is_and ? std::move(folded->lhs)
+                          : MakeBool(!is_and, folded->location);
+    }
+  }
+  if (folded->kind == ExprKind::kCall && folded->args.size() <= 2) {
+    int64_t values[2] = {0, 0};
+    bool all_const = !folded->args.empty();
+    for (size_t i = 0; i < folded->args.size(); ++i) {
+      bool dummy_bool = false;
+      bool dummy_is_bool = false;
+      if (!IsConstant(*folded->args[i], &values[i], &dummy_bool, &dummy_is_bool) ||
+          dummy_is_bool) {
+        all_const = false;
+        break;
+      }
+    }
+    if (all_const) {
+      if (folded->callee == "min") {
+        return MakeNumber(std::min(values[0], values[1]), folded->location);
+      }
+      if (folded->callee == "max") {
+        return MakeNumber(std::max(values[0], values[1]), folded->location);
+      }
+      if (folded->callee == "abs") {
+        return MakeNumber(values[0] < 0 ? -values[0] : values[0], folded->location);
+      }
+    }
+  }
+  return folded;
+}
+
+SemaResult Analyze(const PolicyDecl& decl) {
+  SemaResult result;
+  Checker checker(&result.diagnostics);
+
+  PolicyDecl out;
+  out.name = decl.name;
+  out.metric = decl.metric;
+  out.has_metric = decl.has_metric;
+  out.choice = decl.choice;
+  out.has_choice = decl.has_choice;
+  out.location = decl.location;
+
+  // Lets: constant expressions only, checked and folded in order.
+  for (const LetDecl& let : decl.lets) {
+    if (checker.HasLet(let.name)) {
+      result.diagnostics.push_back(
+          Diagnostic{let.location, StrFormat("duplicate let '%s'", let.name.c_str())});
+      continue;
+    }
+    const std::optional<Type> type = checker.Check(*let.value, {});
+    if (!type.has_value()) {
+      continue;
+    }
+    ExprPtr folded = FoldConstants(*checker.ResolveLets(*let.value));
+    if (folded->kind != ExprKind::kNumber && folded->kind != ExprKind::kBool) {
+      result.diagnostics.push_back(Diagnostic{
+          let.location,
+          StrFormat("let '%s' must be a constant expression", let.name.c_str())});
+      continue;
+    }
+    checker.DefineLet(let.name, folded->Clone(), *type);
+  }
+
+  // Filter: bool over two core variables.
+  if (decl.filter != nullptr) {
+    if (decl.filter_self == decl.filter_stealee) {
+      result.diagnostics.push_back(Diagnostic{
+          decl.location, "filter parameters must have distinct names"});
+    }
+    const std::map<std::string, VarClass> vars{{decl.filter_self, VarClass::kCore},
+                                               {decl.filter_stealee, VarClass::kCore}};
+    const std::optional<Type> type = checker.Check(*decl.filter, vars);
+    if (type.has_value() && *type != Type::kBool) {
+      result.diagnostics.push_back(
+          Diagnostic{decl.filter->location, "the filter body must be a boolean expression"});
+    }
+    if (result.diagnostics.empty()) {
+      out.filter_self = decl.filter_self;
+      out.filter_stealee = decl.filter_stealee;
+      out.filter = FoldConstants(*checker.ResolveLets(*decl.filter));
+    }
+  }
+
+  // Migrate: bool over one task + two core variables (optional).
+  if (decl.migrate != nullptr) {
+    const std::map<std::string, VarClass> vars{{decl.migrate_task, VarClass::kTask},
+                                               {decl.migrate_victim, VarClass::kCore},
+                                               {decl.migrate_thief, VarClass::kCore}};
+    const std::optional<Type> type = checker.Check(*decl.migrate, vars);
+    if (type.has_value() && *type != Type::kBool) {
+      result.diagnostics.push_back(
+          Diagnostic{decl.migrate->location, "the migrate body must be a boolean expression"});
+    }
+    if (result.diagnostics.empty()) {
+      out.migrate_task = decl.migrate_task;
+      out.migrate_victim = decl.migrate_victim;
+      out.migrate_thief = decl.migrate_thief;
+      out.migrate = FoldConstants(*checker.ResolveLets(*decl.migrate));
+    }
+  }
+
+  if (result.diagnostics.empty()) {
+    result.policy = std::move(out);
+  }
+  return result;
+}
+
+}  // namespace optsched::dsl

@@ -1,0 +1,38 @@
+// Semantic analysis: type checking, let resolution and constant folding.
+//
+// Enforces the selection-phase discipline statically: filter and migrate
+// bodies can only read the fields the paper's model allows (per-core loads /
+// task weights / node ids), must be boolean, and may not reference anything
+// mutable. After Analyze succeeds, the returned policy has every `let`
+// inlined and constants folded, so the interpreter and the code generators
+// work on a closed expression tree.
+
+#ifndef OPTSCHED_SRC_DSL_SEMA_H_
+#define OPTSCHED_SRC_DSL_SEMA_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/dsl/ast.h"
+#include "src/dsl/parser.h"
+
+namespace optsched::dsl {
+
+enum class Type { kInt, kBool };
+
+struct SemaResult {
+  std::optional<PolicyDecl> policy;  // lets resolved, constants folded
+  std::vector<Diagnostic> diagnostics;
+
+  bool ok() const { return policy.has_value() && diagnostics.empty(); }
+};
+
+SemaResult Analyze(const PolicyDecl& decl);
+
+// Folds constant subexpressions ((2+3) -> 5, (true && x) -> x, ...). Exposed
+// for tests; Analyze applies it automatically.
+ExprPtr FoldConstants(const Expr& expr);
+
+}  // namespace optsched::dsl
+
+#endif  // OPTSCHED_SRC_DSL_SEMA_H_

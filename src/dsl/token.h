@@ -1,0 +1,66 @@
+// Token definitions for the scheduling-policy DSL.
+//
+// The paper exposes its abstractions "to kernel developers via a
+// domain-specific language (DSL), which is then compiled to C code that can
+// be integrated as a scheduling class into the Linux kernel, and to Scala
+// code that is verified by the Leon toolkit" (§1). This module family
+// reproduces that pipeline: one policy source, three backends — an
+// interpreter that yields a runnable BalancePolicy, a C emitter, and a
+// Scala/Leon emitter.
+
+#ifndef OPTSCHED_SRC_DSL_TOKEN_H_
+#define OPTSCHED_SRC_DSL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace optsched::dsl {
+
+enum class TokenKind {
+  kEnd,
+  kIdent,       // identifiers and keywords (keywords resolved by the parser)
+  kNumber,      // decimal integer literal
+  kLBrace,      // {
+  kRBrace,      // }
+  kLParen,      // (
+  kRParen,      // )
+  kComma,       // ,
+  kSemicolon,   // ;
+  kDot,         // .
+  kPlus,        // +
+  kMinus,       // -
+  kStar,        // *
+  kSlash,       // /
+  kPercent,     // %
+  kBang,        // !
+  kEq,          // ==
+  kNe,          // !=
+  kLe,          // <=
+  kGe,          // >=
+  kLt,          // <
+  kGt,          // >
+  kAndAnd,      // &&
+  kOrOr,        // ||
+  kAssign,      // =
+  kError,       // lexing error; text holds the message
+};
+
+const char* TokenKindName(TokenKind kind);
+
+struct SourceLocation {
+  uint32_t line = 1;    // 1-based
+  uint32_t column = 1;  // 1-based
+
+  std::string ToString() const;
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier spelling / number digits / error message
+  int64_t number = 0;     // value when kind == kNumber
+  SourceLocation location;
+};
+
+}  // namespace optsched::dsl
+
+#endif  // OPTSCHED_SRC_DSL_TOKEN_H_

@@ -1,0 +1,168 @@
+#include "src/runtime/concurrent_machine.h"
+
+#include <algorithm>
+#include <functional>
+#include <mutex>
+
+#include "src/base/check.h"
+
+namespace optsched::runtime {
+
+void ConcurrentRunQueue::PublishLocked() {
+  LoadPair load;
+  load.task_count = static_cast<int64_t>(ready_.size()) + (running_ ? 1 : 0);
+  load.weighted_load = queued_weight_ + running_weight_;
+  published_.Write(load);
+}
+
+std::optional<WorkItem> ConcurrentRunQueue::PopForRun() {
+  std::lock_guard<SpinLock> guard(lock_);
+  if (ready_.empty()) {
+    return std::nullopt;
+  }
+  WorkItem item = ready_.front();
+  ready_.pop_front();
+  queued_weight_ -= item.weight;
+  OPTSCHED_CHECK_MSG(!running_, "owner already runs an item");
+  running_ = true;
+  running_weight_ = item.weight;
+  PublishLocked();
+  return item;
+}
+
+void ConcurrentRunQueue::FinishCurrent() {
+  std::lock_guard<SpinLock> guard(lock_);
+  OPTSCHED_CHECK(running_);
+  running_ = false;
+  running_weight_ = 0;
+  PublishLocked();
+}
+
+void ConcurrentRunQueue::Push(WorkItem item) {
+  std::lock_guard<SpinLock> guard(lock_);
+  PushLocked(item);
+}
+
+LoadPair ConcurrentRunQueue::ExactLoadLocked() const {
+  LoadPair load;
+  load.task_count = static_cast<int64_t>(ready_.size()) + (running_ ? 1 : 0);
+  load.weighted_load = queued_weight_ + running_weight_;
+  return load;
+}
+
+std::optional<WorkItem> ConcurrentRunQueue::StealTailLocked(
+    const std::function<bool(const WorkItem&)>& eligible) {
+  for (auto it = ready_.rbegin(); it != ready_.rend(); ++it) {
+    if (eligible(*it)) {
+      WorkItem item = *it;
+      ready_.erase(std::next(it).base());
+      queued_weight_ -= item.weight;
+      PublishLocked();
+      return item;
+    }
+  }
+  return std::nullopt;
+}
+
+void ConcurrentRunQueue::PushLocked(WorkItem item) {
+  queued_weight_ += item.weight;
+  ready_.push_back(item);
+  PublishLocked();
+}
+
+ConcurrentMachine::ConcurrentMachine(uint32_t num_queues) {
+  OPTSCHED_CHECK(num_queues > 0);
+  queues_.reserve(num_queues);
+  for (uint32_t i = 0; i < num_queues; ++i) {
+    queues_.push_back(std::make_unique<ConcurrentRunQueue>());
+  }
+}
+
+LoadSnapshot ConcurrentMachine::Snapshot() const {
+  LoadSnapshot snap;
+  snap.task_count.reserve(queues_.size());
+  snap.weighted_load.reserve(queues_.size());
+  for (const auto& queue : queues_) {
+    const LoadPair load = queue->ReadLoad();
+    snap.task_count.push_back(load.task_count);
+    snap.weighted_load.push_back(load.weighted_load);
+  }
+  return snap;
+}
+
+LoadSnapshot ConcurrentMachine::LockedSnapshot() {
+  // Lock everything in index (== address) order: exact, but owners stall on
+  // their own queue lock for the duration — the cost the paper's design
+  // deliberately avoids.
+  for (auto& queue : queues_) {
+    queue->lock().lock();
+  }
+  LoadSnapshot snap;
+  for (const auto& queue : queues_) {
+    const LoadPair load = queue->ExactLoadLocked();
+    snap.task_count.push_back(load.task_count);
+    snap.weighted_load.push_back(load.weighted_load);
+  }
+  for (auto it = queues_.rbegin(); it != queues_.rend(); ++it) {
+    (*it)->lock().unlock();
+  }
+  return snap;
+}
+
+bool ConcurrentMachine::TrySteal(const BalancePolicy& policy, CpuId thief,
+                                 const LoadSnapshot& snapshot, Rng& rng, bool recheck,
+                                 StealCounters& counters, const Topology* topology) {
+  // --- Selection phase (no locks) -------------------------------------------
+  const SelectionView view{.self = thief, .snapshot = snapshot, .topology = topology};
+  const std::vector<CpuId> candidates = policy.FilterCandidates(view);  // step 1
+  if (candidates.empty()) {
+    ++counters.empty_filter;
+    return false;
+  }
+  const CpuId victim = policy.SelectCore(view, candidates, rng);  // step 2
+  OPTSCHED_CHECK(victim != thief);
+  ++counters.attempts;
+
+  // --- Stealing phase (two locks, address order) -----------------------------
+  ConcurrentRunQueue& victim_queue = *queues_[victim];
+  ConcurrentRunQueue& thief_queue = *queues_[thief];
+  DualLockGuard guard(victim_queue.lock(), thief_queue.lock());
+
+  // Exact loads for the locked pair; other cores stay as the (stale) snapshot
+  // observed them — a thief can only be sure of what it locked.
+  LoadSnapshot locked_snapshot = snapshot;
+  const LoadPair victim_load = victim_queue.ExactLoadLocked();
+  const LoadPair thief_load = thief_queue.ExactLoadLocked();
+  locked_snapshot.task_count[victim] = victim_load.task_count;
+  locked_snapshot.weighted_load[victim] = victim_load.weighted_load;
+  locked_snapshot.task_count[thief] = thief_load.task_count;
+  locked_snapshot.weighted_load[thief] = thief_load.weighted_load;
+
+  const SelectionView locked_view{.self = thief, .snapshot = locked_snapshot,
+                                  .topology = topology};
+  if (recheck && !policy.CanSteal(locked_view, victim)) {
+    ++counters.failed_recheck;
+    return false;
+  }
+
+  const LoadMetric metric = policy.metric();
+  const int64_t v = metric == LoadMetric::kTaskCount ? victim_load.task_count
+                                                     : victim_load.weighted_load;
+  const int64_t t = metric == LoadMetric::kTaskCount ? thief_load.task_count
+                                                     : thief_load.weighted_load;
+  std::optional<WorkItem> stolen =
+      victim_queue.StealTailLocked([&](const WorkItem& item) {
+        const int64_t w =
+            metric == LoadMetric::kTaskCount ? 1 : static_cast<int64_t>(item.weight);
+        return policy.ShouldMigrate(w, v, t);
+      });
+  if (!stolen.has_value()) {
+    ++counters.failed_no_task;
+    return false;
+  }
+  thief_queue.PushLocked(*stolen);
+  ++counters.successes;
+  return true;
+}
+
+}  // namespace optsched::runtime

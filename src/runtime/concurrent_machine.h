@@ -1,0 +1,116 @@
+// Concurrent (real-thread) implementation of the paper's scheduler model.
+//
+// One ConcurrentRunQueue per worker: a spinlock-protected deque plus a
+// seqlock-published load, so that
+//   * the SELECTION phase reads loads of all cores lock-free (possibly
+//     stale — the optimistic part),
+//   * the STEALING phase locks exactly the thief's and the victim's queues
+//     (address order), re-checks the policy's filter against the now-exact
+//     loads of the pair, and migrates one item.
+// Steals that fail the re-check are counted, not retried — they are the
+// paper's legitimate failures.
+
+#ifndef OPTSCHED_SRC_RUNTIME_CONCURRENT_MACHINE_H_
+#define OPTSCHED_SRC_RUNTIME_CONCURRENT_MACHINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/core/policy.h"
+#include "src/runtime/seqlock.h"
+#include "src/runtime/spinlock.h"
+#include "src/sched/machine_state.h"
+
+namespace optsched::runtime {
+
+// A unit of work: `work_units` spins of the calibrated work loop.
+struct WorkItem {
+  uint64_t id = 0;
+  uint64_t work_units = 1;
+  uint32_t weight = 1024;
+};
+
+struct LoadPair {
+  int64_t task_count = 0;
+  int64_t weighted_load = 0;
+};
+
+class ConcurrentRunQueue {
+ public:
+  ConcurrentRunQueue() = default;
+
+  // --- Owner operations -----------------------------------------------------
+
+  // Pops the head for execution; the popped item counts as the core's
+  // "current" (still part of the published load) until FinishCurrent().
+  std::optional<WorkItem> PopForRun();
+  // Declares the current item finished; load drops accordingly.
+  void FinishCurrent();
+  // Enqueues a new item (tail).
+  void Push(WorkItem item);
+
+  // --- Lock-free observation (selection phase) -------------------------------
+  LoadPair ReadLoad() const { return published_.Read(); }
+
+  // --- Cross-core steal support ----------------------------------------------
+  SpinLock& lock() { return lock_; }
+  // Must hold lock(): exact loads / queue access.
+  LoadPair ExactLoadLocked() const;
+  std::optional<WorkItem> StealTailLocked(
+      const std::function<bool(const WorkItem&)>& eligible);
+  void PushLocked(WorkItem item);
+
+ private:
+  void PublishLocked();
+
+  mutable SpinLock lock_;
+  std::deque<WorkItem> ready_;
+  bool running_ = false;
+  int64_t running_weight_ = 0;
+  int64_t queued_weight_ = 0;
+  Seqlock<LoadPair> published_;
+};
+
+// Outcome counters for one worker's stealing activity.
+struct StealCounters {
+  uint64_t attempts = 0;
+  uint64_t successes = 0;
+  uint64_t failed_recheck = 0;
+  uint64_t failed_no_task = 0;
+  uint64_t empty_filter = 0;
+};
+
+class ConcurrentMachine {
+ public:
+  explicit ConcurrentMachine(uint32_t num_queues);
+
+  uint32_t num_queues() const { return static_cast<uint32_t>(queues_.size()); }
+  ConcurrentRunQueue& queue(uint32_t index) { return *queues_[index]; }
+
+  // Lock-free load snapshot across all queues (selection-phase view).
+  LoadSnapshot Snapshot() const;
+
+  // Snapshot taken while holding every queue lock (the D3 ablation: "locked
+  // selection" — exact but stalls all owners).
+  LoadSnapshot LockedSnapshot();
+
+  // Full three-step attempt by `thief`: filter+choice on `snapshot`, then the
+  // two-lock steal phase with re-check (unless `recheck` is false — the D2
+  // ablation). On success the stolen item is pushed onto the thief's queue.
+  // Updates `counters`.
+  bool TrySteal(const BalancePolicy& policy, CpuId thief, const LoadSnapshot& snapshot,
+                Rng& rng, bool recheck, StealCounters& counters,
+                const Topology* topology = nullptr);
+
+ private:
+  std::vector<std::unique_ptr<ConcurrentRunQueue>> queues_;
+};
+
+}  // namespace optsched::runtime
+
+#endif  // OPTSCHED_SRC_RUNTIME_CONCURRENT_MACHINE_H_

@@ -1,0 +1,191 @@
+#include "src/runtime/executor.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/base/check.h"
+#include "src/base/str.h"
+
+namespace optsched::runtime {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Opaque spin so the optimizer cannot delete the "work".
+void DoWork(uint64_t units, uint64_t spin_per_unit) {
+  volatile uint64_t sink = 0;
+  for (uint64_t u = 0; u < units; ++u) {
+    for (uint64_t i = 0; i < spin_per_unit; ++i) {
+      sink = sink + i;
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t ExecutorReport::total_successes() const {
+  uint64_t total = 0;
+  for (const WorkerStats& w : workers) {
+    total += w.steals.successes;
+  }
+  return total;
+}
+
+uint64_t ExecutorReport::total_failed_recheck() const {
+  uint64_t total = 0;
+  for (const WorkerStats& w : workers) {
+    total += w.steals.failed_recheck;
+  }
+  return total;
+}
+
+uint64_t ExecutorReport::total_attempts() const {
+  uint64_t total = 0;
+  for (const WorkerStats& w : workers) {
+    total += w.steals.attempts;
+  }
+  return total;
+}
+
+double ExecutorReport::throughput_items_per_ms() const {
+  return wall_time_ns == 0
+             ? 0.0
+             : static_cast<double>(total_items) / (static_cast<double>(wall_time_ns) / 1e6);
+}
+
+std::string ExecutorReport::ToString() const {
+  return StrFormat(
+      "executor{items=%llu wall=%.2fms throughput=%.1f items/ms steals=%llu "
+      "failed_recheck=%llu attempts=%llu}",
+      static_cast<unsigned long long>(total_items), static_cast<double>(wall_time_ns) / 1e6,
+      throughput_items_per_ms(), static_cast<unsigned long long>(total_successes()),
+      static_cast<unsigned long long>(total_failed_recheck()),
+      static_cast<unsigned long long>(total_attempts()));
+}
+
+Executor::Executor(std::shared_ptr<const BalancePolicy> policy, const ExecutorConfig& config,
+                   const Topology* topology)
+    : policy_(std::move(policy)),
+      config_(config),
+      topology_(topology),
+      machine_(config.num_workers) {
+  OPTSCHED_CHECK(policy_ != nullptr);
+  OPTSCHED_CHECK(config_.num_workers > 0);
+}
+
+void Executor::Seed(uint32_t queue_index, const std::vector<WorkItem>& items) {
+  OPTSCHED_CHECK(queue_index < machine_.num_queues());
+  for (const WorkItem& item : items) {
+    machine_.queue(queue_index).Push(item);
+  }
+  seeded_items_ += items.size();
+  remaining_items_.fetch_add(items.size(), std::memory_order_relaxed);
+}
+
+void Executor::Submit(uint32_t queue_index, const WorkItem& item) {
+  OPTSCHED_CHECK(queue_index < machine_.num_queues());
+  machine_.queue(queue_index).Push(item);
+  submitted_items_.fetch_add(1, std::memory_order_relaxed);
+  remaining_items_.fetch_add(1, std::memory_order_release);
+}
+
+void Executor::WorkerMain(uint32_t worker_index, WorkerStats& stats) {
+  Rng rng(config_.seed * 1000003 + worker_index);
+  ConcurrentRunQueue& own = machine_.queue(worker_index);
+  uint32_t fruitless = 0;
+  const auto keep_running = [&] {
+    if (deadline_mode_) {
+      return !stop_.load(std::memory_order_acquire);
+    }
+    return remaining_items_.load(std::memory_order_acquire) > 0;
+  };
+  while (keep_running()) {
+    // Run everything queued locally first.
+    if (std::optional<WorkItem> item = own.PopForRun(); item.has_value()) {
+      DoWork(item->work_units, config_.spin_per_unit);
+      own.FinishCurrent();
+      ++stats.items_executed;
+      stats.units_executed += item->work_units;
+      remaining_items_.fetch_sub(1, std::memory_order_acq_rel);
+      fruitless = 0;
+      continue;
+    }
+    // Queue empty: run the three-step balancing protocol.
+    const uint64_t select_start = NowNs();
+    const LoadSnapshot snapshot =
+        config_.locked_selection ? machine_.LockedSnapshot() : machine_.Snapshot();
+    stats.selection_latency_ns.Add(NowNs() - select_start);
+    const uint64_t steal_start = NowNs();
+    const bool stole = machine_.TrySteal(*policy_, worker_index, snapshot, rng,
+                                         config_.recheck_filter, stats.steals, topology_);
+    if (stole) {
+      stats.steal_latency_ns.Add(NowNs() - steal_start);
+      fruitless = 0;
+      continue;
+    }
+    ++stats.idle_loops;
+    if (++fruitless >= config_.idle_spins_before_yield) {
+      std::this_thread::yield();
+      fruitless = 0;
+    }
+  }
+}
+
+ExecutorReport Executor::Run() {
+  ExecutorReport report;
+  report.workers.resize(config_.num_workers);
+  submitted_items_.store(seeded_items_, std::memory_order_relaxed);
+
+  const uint64_t start = NowNs();
+  std::vector<std::thread> threads;
+  threads.reserve(config_.num_workers);
+  for (uint32_t i = 0; i < config_.num_workers; ++i) {
+    threads.emplace_back([this, i, &report] { WorkerMain(i, report.workers[i]); });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  report.wall_time_ns = NowNs() - start;
+  report.total_items = submitted_items_.load(std::memory_order_relaxed);
+  return report;
+}
+
+ExecutorReport Executor::RunFor(uint64_t duration_ms,
+                                const std::function<void(Executor&)>& producer) {
+  ExecutorReport report;
+  report.workers.resize(config_.num_workers);
+  submitted_items_.store(seeded_items_, std::memory_order_relaxed);
+  deadline_mode_ = true;
+  stop_.store(false, std::memory_order_release);
+
+  const uint64_t start = NowNs();
+  std::vector<std::thread> threads;
+  threads.reserve(config_.num_workers);
+  for (uint32_t i = 0; i < config_.num_workers; ++i) {
+    threads.emplace_back([this, i, &report] { WorkerMain(i, report.workers[i]); });
+  }
+  std::thread producer_thread;
+  if (producer) {
+    producer_thread = std::thread([this, &producer] { producer(*this); });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  if (producer_thread.joinable()) {
+    producer_thread.join();
+  }
+  report.wall_time_ns = NowNs() - start;
+  report.total_items = submitted_items_.load(std::memory_order_relaxed);
+  report.items_left_unexecuted = remaining_items_.load(std::memory_order_relaxed);
+  deadline_mode_ = false;
+  return report;
+}
+
+}  // namespace optsched::runtime

@@ -1,0 +1,102 @@
+// Multi-threaded work-stealing executor: the paper's scheduler running on
+// real host threads.
+//
+// One std::thread per simulated core. Each worker loops: pop from its own
+// runqueue, execute the item (a calibrated spin), and when its queue is
+// empty, run the three-step balancing protocol to steal work. Selection is
+// lock-free by default (seqlock snapshot, DESIGN.md D3); the `locked_selection`
+// ablation takes every runqueue lock during selection instead, quantifying
+// the cost the paper's optimistic design avoids. The `recheck_filter`
+// ablation (D2) disables the steal-phase re-check.
+
+#ifndef OPTSCHED_SRC_RUNTIME_EXECUTOR_H_
+#define OPTSCHED_SRC_RUNTIME_EXECUTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/policy.h"
+#include "src/runtime/concurrent_machine.h"
+#include "src/stats/histogram.h"
+
+namespace optsched::runtime {
+
+struct ExecutorConfig {
+  uint32_t num_workers = 4;
+  // Spin iterations per work unit (~tens of ns each on current hardware).
+  uint64_t spin_per_unit = 50;
+  // D3 ablation: lock all runqueues during the selection phase.
+  bool locked_selection = false;
+  // D2 ablation: skip the filter re-check in the steal phase.
+  bool recheck_filter = true;
+  // Park (yield) after this many consecutive fruitless steal attempts.
+  uint32_t idle_spins_before_yield = 16;
+  uint64_t seed = 1;
+};
+
+struct WorkerStats {
+  uint64_t items_executed = 0;
+  uint64_t units_executed = 0;
+  StealCounters steals;
+  uint64_t idle_loops = 0;
+  stats::LogHistogram steal_latency_ns;
+  stats::LogHistogram selection_latency_ns;
+};
+
+struct ExecutorReport {
+  std::vector<WorkerStats> workers;
+  uint64_t wall_time_ns = 0;
+  uint64_t total_items = 0;            // submitted (seeded + dynamic)
+  uint64_t items_left_unexecuted = 0;  // still queued at a RunFor deadline
+
+  uint64_t total_successes() const;
+  uint64_t total_failed_recheck() const;
+  uint64_t total_attempts() const;
+  double throughput_items_per_ms() const;
+  std::string ToString() const;
+};
+
+class Executor {
+ public:
+  Executor(std::shared_ptr<const BalancePolicy> policy, const ExecutorConfig& config,
+           const Topology* topology = nullptr);
+
+  // Seeds queue `queue_index` with `items`; call before Run.
+  void Seed(uint32_t queue_index, const std::vector<WorkItem>& items);
+
+  // Spawns the workers, runs until every seeded item has been executed, joins
+  // the workers, and returns the report.
+  ExecutorReport Run();
+
+  // Open-system mode: spawns the workers, runs `producer` on its own thread
+  // (it may call Submit until stopped() turns true), stops everything after
+  // `duration_ms` of wall time, joins, and reports. Items still queued at the
+  // deadline are left unexecuted (counted via items_left_unexecuted).
+  ExecutorReport RunFor(uint64_t duration_ms,
+                        const std::function<void(Executor&)>& producer = {});
+
+  // Thread-safe submission while RunFor is active (or before Run).
+  void Submit(uint32_t queue_index, const WorkItem& item);
+
+  // True once the run deadline passed; producers should poll this and return.
+  bool stopped() const { return stop_.load(std::memory_order_acquire); }
+
+ private:
+  void WorkerMain(uint32_t worker_index, WorkerStats& stats);
+
+  std::shared_ptr<const BalancePolicy> policy_;
+  ExecutorConfig config_;
+  const Topology* topology_;
+  ConcurrentMachine machine_;
+  std::atomic<uint64_t> remaining_items_{0};
+  std::atomic<uint64_t> submitted_items_{0};
+  std::atomic<bool> stop_{false};
+  bool deadline_mode_ = false;
+  uint64_t seeded_items_ = 0;
+};
+
+}  // namespace optsched::runtime
+
+#endif  // OPTSCHED_SRC_RUNTIME_EXECUTOR_H_

@@ -1,0 +1,66 @@
+// Single-writer seqlock for small trivially-copyable values.
+//
+// This is how the runtime makes the selection phase genuinely lock-free:
+// each runqueue owner publishes its load through a Seqlock<LoadPair>; any
+// core can read every other core's load without taking a lock and without
+// ever blocking the owner — "allow cores to look at the other cores' states
+// and take optimistic decisions based on these observations, without locks"
+// (§1). Readers may observe values that are stale by the time they act;
+// that staleness is exactly what the re-check in the stealing phase handles.
+
+#ifndef OPTSCHED_SRC_RUNTIME_SEQLOCK_H_
+#define OPTSCHED_SRC_RUNTIME_SEQLOCK_H_
+
+#include <atomic>
+#include <cstring>
+#include <type_traits>
+
+#include "src/runtime/spinlock.h"
+
+namespace optsched::runtime {
+
+template <typename T>
+class Seqlock {
+  static_assert(std::is_trivially_copyable_v<T>, "seqlock values must be trivially copyable");
+
+ public:
+  Seqlock() : value_{} {}
+
+  // Writer side (one writer at a time; the runqueue lock serializes writers).
+  void Write(const T& value) {
+    const uint64_t seq = sequence_.load(std::memory_order_relaxed);
+    sequence_.store(seq + 1, std::memory_order_release);  // odd: write in progress
+    std::atomic_thread_fence(std::memory_order_release);
+    std::memcpy(&value_, &value, sizeof(T));
+    std::atomic_thread_fence(std::memory_order_release);
+    sequence_.store(seq + 2, std::memory_order_release);  // even: stable
+  }
+
+  // Reader side: lock-free, never blocks the writer; retries on torn reads.
+  T Read() const {
+    T out;
+    for (;;) {
+      const uint64_t before = sequence_.load(std::memory_order_acquire);
+      if (before & 1) {
+        CpuRelax();
+        continue;
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      std::memcpy(&out, &value_, sizeof(T));
+      std::atomic_thread_fence(std::memory_order_acquire);
+      const uint64_t after = sequence_.load(std::memory_order_acquire);
+      if (before == after) {
+        return out;
+      }
+      CpuRelax();
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> sequence_{0};
+  T value_;
+};
+
+}  // namespace optsched::runtime
+
+#endif  // OPTSCHED_SRC_RUNTIME_SEQLOCK_H_

@@ -1,0 +1,76 @@
+// Minimal test-and-test-and-set spinlock.
+//
+// The runtime shards the machine into per-core runqueues each protected by
+// one of these, reproducing the paper's locking discipline: the selection
+// phase takes NO locks (it reads seqlock-published loads), and the stealing
+// phase takes exactly two — the thief's and the victim's runqueue locks, in
+// address order to avoid deadlock (§3.1, Figure 1).
+
+#ifndef OPTSCHED_SRC_RUNTIME_SPINLOCK_H_
+#define OPTSCHED_SRC_RUNTIME_SPINLOCK_H_
+
+#include <atomic>
+
+namespace optsched::runtime {
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) {
+        return;
+      }
+      // Test-and-test-and-set: spin on the cache line read-only until free.
+      while (locked_.load(std::memory_order_relaxed)) {
+        CpuRelax();
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+// Scoped two-lock acquisition in address order (deadlock-free for any pair).
+class DualLockGuard {
+ public:
+  DualLockGuard(SpinLock& a, SpinLock& b) : first_(&a < &b ? a : b), second_(&a < &b ? b : a) {
+    first_.lock();
+    second_.lock();
+  }
+  ~DualLockGuard() {
+    second_.unlock();
+    first_.unlock();
+  }
+  DualLockGuard(const DualLockGuard&) = delete;
+  DualLockGuard& operator=(const DualLockGuard&) = delete;
+
+ private:
+  SpinLock& first_;
+  SpinLock& second_;
+};
+
+}  // namespace optsched::runtime
+
+#endif  // OPTSCHED_SRC_RUNTIME_SPINLOCK_H_

@@ -1,0 +1,108 @@
+#include "src/sched/core_state.h"
+
+#include "src/base/check.h"
+#include "src/base/str.h"
+
+namespace optsched {
+
+void CoreState::Enqueue(Task task) {
+  weighted_load_ += task.weight;
+  ready_.push_back(std::move(task));
+}
+
+std::optional<Task> CoreState::DequeueHead() {
+  if (ready_.empty()) {
+    return std::nullopt;
+  }
+  Task t = std::move(ready_.front());
+  ready_.pop_front();
+  weighted_load_ -= t.weight;
+  return t;
+}
+
+std::optional<Task> CoreState::DequeueTail() {
+  if (ready_.empty()) {
+    return std::nullopt;
+  }
+  Task t = std::move(ready_.back());
+  ready_.pop_back();
+  weighted_load_ -= t.weight;
+  return t;
+}
+
+bool CoreState::Remove(TaskId id) {
+  for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+    if (it->id == id) {
+      weighted_load_ -= it->weight;
+      ready_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CoreState::ScheduleNext() {
+  if (current_.has_value() || ready_.empty()) {
+    return false;
+  }
+  current_ = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+bool CoreState::SchedulePick(TaskId id) {
+  if (current_.has_value()) {
+    return false;
+  }
+  for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+    if (it->id == id) {
+      current_ = std::move(*it);
+      ready_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<Task> CoreState::ClearCurrent() {
+  if (!current_.has_value()) {
+    return std::nullopt;
+  }
+  std::optional<Task> t = std::move(current_);
+  current_.reset();
+  weighted_load_ -= t->weight;
+  return t;
+}
+
+void CoreState::PreemptCurrent() {
+  if (!current_.has_value()) {
+    return;
+  }
+  // Weighted load is unchanged: the task stays on this core.
+  ready_.push_front(std::move(*current_));
+  current_.reset();
+}
+
+void CoreState::SetCurrent(Task task) {
+  OPTSCHED_CHECK_MSG(!current_.has_value(), "core already has a running task");
+  weighted_load_ += task.weight;
+  current_ = std::move(task);
+}
+
+std::string CoreState::ToString() const {
+  std::string out = "core{current=";
+  out += current_.has_value() ? StrFormat("%llu", static_cast<unsigned long long>(current_->id))
+                              : std::string("-");
+  out += " ready=[";
+  for (size_t i = 0; i < ready_.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += StrFormat("%llu", static_cast<unsigned long long>(ready_[i].id));
+  }
+  out += StrFormat("] count=%lld wload=%lld}", static_cast<long long>(TaskCount()),
+                   static_cast<long long>(WeightedLoad()));
+  return out;
+}
+
+}  // namespace optsched

@@ -1,0 +1,92 @@
+// Per-core scheduler state: the current task plus a runqueue (paper §3.1).
+//
+// "A scheduler is defined with reference to, for each core of the machine,
+//  the current thread, if any, that is running on that core, and a runqueue
+//  containing threads waiting to be scheduled."
+//
+// The paper's predicates are reproduced verbatim:
+//   idle(c)       := no current thread AND empty runqueue
+//   overloaded(c) := two or more threads, including the current one
+// (Listing 2's isOverloaded: current==1 -> ready>=1, else ready>=2.)
+
+#ifndef OPTSCHED_SRC_SCHED_CORE_STATE_H_
+#define OPTSCHED_SRC_SCHED_CORE_STATE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "src/sched/task.h"
+
+namespace optsched {
+
+class CoreState {
+ public:
+  CoreState() = default;
+
+  // --- Observers -----------------------------------------------------------
+
+  const std::optional<Task>& current() const { return current_; }
+  const std::deque<Task>& ready() const { return ready_; }
+
+  // Total threads on the core, counting the current one. This is the paper's
+  // `load()` from Listing 1: `self.ready.size + self.current.size`.
+  int64_t TaskCount() const {
+    return static_cast<int64_t>(ready_.size()) + (current_.has_value() ? 1 : 0);
+  }
+
+  // Sum of weights of all threads on the core (the "weighted by importance"
+  // metric of §3.1/§4.2).
+  int64_t WeightedLoad() const { return weighted_load_; }
+
+  bool IsIdle() const { return !current_.has_value() && ready_.empty(); }
+
+  bool IsOverloaded() const { return TaskCount() >= 2; }
+
+  // --- Mutations (model-level; locking is the caller's concern) ------------
+
+  // Appends a task to the runqueue tail.
+  void Enqueue(Task task);
+
+  // Removes and returns the runqueue head; nullopt if empty.
+  std::optional<Task> DequeueHead();
+
+  // Removes and returns the runqueue tail (work stealing conventionally takes
+  // the coldest task, i.e. the one that waited longest at the remote core; we
+  // steal the tail which is the most recently queued == least cache-warm at
+  // the victim).
+  std::optional<Task> DequeueTail();
+
+  // Removes the task with the given id from the runqueue; false if absent.
+  bool Remove(TaskId id);
+
+  // If no current task and the runqueue is non-empty, promotes the head to
+  // current. Returns true if a task started running.
+  bool ScheduleNext();
+
+  // Promotes the identified ready task (not necessarily the head) to current
+  // — the primitive behind fair pick-next policies (e.g. min-vruntime).
+  // Fails (returns false) if a task is already running or `id` is not ready.
+  bool SchedulePick(TaskId id);
+
+  // Clears the current task (it blocked or exited); returns it.
+  std::optional<Task> ClearCurrent();
+
+  // Preempts: pushes the current task (if any) back on the runqueue head.
+  void PreemptCurrent();
+
+  // Installs a current task directly (must be none running).
+  void SetCurrent(Task task);
+
+  std::string ToString() const;
+
+ private:
+  std::optional<Task> current_;
+  std::deque<Task> ready_;
+  int64_t weighted_load_ = 0;  // maintained incrementally across mutations
+};
+
+}  // namespace optsched
+
+#endif  // OPTSCHED_SRC_SCHED_CORE_STATE_H_

@@ -1,0 +1,192 @@
+#include "src/sched/machine_state.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/base/check.h"
+#include "src/base/str.h"
+
+namespace optsched {
+
+MachineState::MachineState(uint32_t num_cpus) : cores_(num_cpus) {
+  OPTSCHED_CHECK(num_cpus > 0);
+}
+
+MachineState MachineState::FromLoads(const std::vector<int64_t>& loads) {
+  MachineState m(static_cast<uint32_t>(loads.size()));
+  for (CpuId cpu = 0; cpu < m.num_cpus(); ++cpu) {
+    OPTSCHED_CHECK(loads[cpu] >= 0);
+    for (int64_t i = 0; i < loads[cpu]; ++i) {
+      m.Spawn(cpu);
+    }
+  }
+  m.ScheduleAll();
+  return m;
+}
+
+const CoreState& MachineState::core(CpuId cpu) const {
+  OPTSCHED_CHECK(cpu < cores_.size());
+  return cores_[cpu];
+}
+
+CoreState& MachineState::core_mutable(CpuId cpu) {
+  OPTSCHED_CHECK(cpu < cores_.size());
+  return cores_[cpu];
+}
+
+bool MachineState::AnyIdle() const {
+  for (const CoreState& c : cores_) {
+    if (c.IsIdle()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MachineState::AnyOverloaded() const {
+  for (const CoreState& c : cores_) {
+    if (c.IsOverloaded()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool MachineState::WorkConservedModuloAffinity() const {
+  for (CpuId idle = 0; idle < num_cpus(); ++idle) {
+    if (!IsIdle(idle)) {
+      continue;
+    }
+    for (CpuId busy = 0; busy < num_cpus(); ++busy) {
+      if (!IsOverloaded(busy)) {
+        continue;
+      }
+      for (const Task& t : cores_[busy].ready()) {
+        if (t.AllowedOn(idle)) {
+          return false;  // a fixable idle/overloaded pair exists
+        }
+      }
+    }
+  }
+  return true;
+}
+
+int64_t MachineState::Load(CpuId cpu, LoadMetric metric) const {
+  return metric == LoadMetric::kTaskCount ? core(cpu).TaskCount() : core(cpu).WeightedLoad();
+}
+
+int64_t MachineState::Potential(LoadMetric metric) const { return PotentialOfLoads(Loads(metric)); }
+
+TaskId MachineState::Spawn(CpuId cpu, int nice, NodeId home_node) {
+  const TaskId id = next_task_id_++;
+  Place(MakeTask(id, nice, home_node), cpu);
+  return id;
+}
+
+void MachineState::Place(Task task, CpuId cpu) {
+  OPTSCHED_CHECK(cpu < cores_.size());
+  OPTSCHED_CHECK_MSG(task.AllowedOn(cpu), "task placed outside its affinity mask");
+  task.last_cpu = cpu;
+  next_task_id_ = std::max(next_task_id_, task.id + 1);
+  cores_[cpu].Enqueue(std::move(task));
+}
+
+uint64_t MachineState::TotalTasks() const {
+  uint64_t total = 0;
+  for (const CoreState& c : cores_) {
+    total += static_cast<uint64_t>(c.TaskCount());
+  }
+  return total;
+}
+
+int64_t MachineState::TotalWeight() const {
+  int64_t total = 0;
+  for (const CoreState& c : cores_) {
+    total += c.WeightedLoad();
+  }
+  return total;
+}
+
+void MachineState::ScheduleAll() {
+  for (CoreState& c : cores_) {
+    c.ScheduleNext();
+  }
+}
+
+std::optional<TaskId> MachineState::StealOneTask(CpuId victim, CpuId thief) {
+  OPTSCHED_CHECK(victim < cores_.size() && thief < cores_.size());
+  OPTSCHED_CHECK_MSG(victim != thief, "a core cannot steal from itself");
+  // Coldest (tail-most) task that is allowed to run on the thief.
+  for (auto it = cores_[victim].ready().rbegin(); it != cores_[victim].ready().rend(); ++it) {
+    if (it->AllowedOn(thief)) {
+      const TaskId id = it->id;
+      OPTSCHED_CHECK(StealTaskById(victim, thief, id));
+      return id;
+    }
+  }
+  return std::nullopt;
+}
+
+bool MachineState::StealTaskById(CpuId victim, CpuId thief, TaskId id) {
+  OPTSCHED_CHECK(victim < cores_.size() && thief < cores_.size());
+  OPTSCHED_CHECK_MSG(victim != thief, "a core cannot steal from itself");
+  for (const Task& t : cores_[victim].ready()) {
+    if (t.id == id) {
+      if (!t.AllowedOn(thief)) {
+        return false;  // pinned away from the thief: not stealable
+      }
+      Task moved = t;
+      OPTSCHED_CHECK(cores_[victim].Remove(id));
+      moved.last_cpu = thief;
+      cores_[thief].Enqueue(std::move(moved));
+      return true;
+    }
+  }
+  return false;
+}
+
+LoadSnapshot MachineState::Snapshot() const {
+  LoadSnapshot snap;
+  snap.task_count.reserve(cores_.size());
+  snap.weighted_load.reserve(cores_.size());
+  for (const CoreState& c : cores_) {
+    snap.task_count.push_back(c.TaskCount());
+    snap.weighted_load.push_back(c.WeightedLoad());
+  }
+  return snap;
+}
+
+std::vector<int64_t> MachineState::Loads(LoadMetric metric) const {
+  std::vector<int64_t> loads;
+  loads.reserve(cores_.size());
+  for (CpuId cpu = 0; cpu < num_cpus(); ++cpu) {
+    loads.push_back(Load(cpu, metric));
+  }
+  return loads;
+}
+
+std::string MachineState::ToString() const {
+  std::string out = "machine{\n";
+  for (CpuId cpu = 0; cpu < num_cpus(); ++cpu) {
+    out += StrFormat("  cpu%u: %s\n", cpu, cores_[cpu].ToString().c_str());
+  }
+  out += "}";
+  return out;
+}
+
+int64_t PotentialOfLoads(const std::vector<int64_t>& loads) {
+  // O(n log n): sort, then use prefix sums. With loads sorted ascending,
+  // sum_{i<j} (l_j - l_i) counted once; the paper's double sum counts each
+  // ordered pair, i.e. exactly twice that.
+  std::vector<int64_t> sorted = loads;
+  std::sort(sorted.begin(), sorted.end());
+  int64_t pairwise = 0;
+  int64_t prefix = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    pairwise += static_cast<int64_t>(i) * sorted[i] - prefix;
+    prefix += sorted[i];
+  }
+  return 2 * pairwise;
+}
+
+}  // namespace optsched

@@ -1,0 +1,134 @@
+// Whole-machine scheduler state: one CoreState per CPU (paper §3.1-§3.2).
+//
+// MachineState is the value type everything else consumes: the load balancer
+// mutates it, the verifier enumerates it, the simulator owns one, and the
+// real-thread runtime shards it behind per-core locks. It also carries the
+// paper's global predicates:
+//
+//   work-conserved(state) := !(exists i idle(c_i) AND exists j overloaded(c_j))
+//   d(c1..cn)             := sum_i sum_j |load(c_i) - load(c_j)|   (§4.3)
+//
+// d is the potential (ranking) function: the paper's termination argument is
+// that every successful steal strictly decreases d, so the number of
+// successful steals — and hence of failed ones — is bounded.
+
+#ifndef OPTSCHED_SRC_SCHED_MACHINE_STATE_H_
+#define OPTSCHED_SRC_SCHED_MACHINE_STATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/sched/core_state.h"
+#include "src/sched/task.h"
+#include "src/topology/topology.h"
+
+namespace optsched {
+
+// Which load metric a policy balances (paper §3.1: "We make no assumption on
+// the criteria used to define how the load should be balanced").
+enum class LoadMetric {
+  kTaskCount,     // Listing 1: ready.size + current.size
+  kWeightedLoad,  // counts weighted by niceness-derived importance
+};
+
+// A read-only, possibly stale copy of per-core loads, as observed by the
+// lock-free selection phase. Keeping it a distinct type makes "selection must
+// not read mutable state" a compile-time property of policy code.
+struct LoadSnapshot {
+  std::vector<int64_t> task_count;
+  std::vector<int64_t> weighted_load;
+
+  int64_t Load(CpuId cpu, LoadMetric metric) const {
+    return metric == LoadMetric::kTaskCount ? task_count[cpu] : weighted_load[cpu];
+  }
+  uint32_t num_cpus() const { return static_cast<uint32_t>(task_count.size()); }
+};
+
+class MachineState {
+ public:
+  explicit MachineState(uint32_t num_cpus);
+
+  // Builds a machine where core i holds loads[i] anonymous nice-0 tasks (one
+  // running if loads[i] > 0, the rest queued). This is the shape the verifier
+  // enumerates: the paper's lemmas depend only on per-core loads.
+  static MachineState FromLoads(const std::vector<int64_t>& loads);
+
+  uint32_t num_cpus() const { return static_cast<uint32_t>(cores_.size()); }
+  const CoreState& core(CpuId cpu) const;
+  CoreState& core_mutable(CpuId cpu);
+
+  // --- Paper predicates ------------------------------------------------------
+
+  bool IsIdle(CpuId cpu) const { return core(cpu).IsIdle(); }
+  bool IsOverloaded(CpuId cpu) const { return core(cpu).IsOverloaded(); }
+  bool AnyIdle() const;
+  bool AnyOverloaded() const;
+
+  // True iff no core is idle while another is overloaded (§3.2).
+  bool WorkConserved() const { return !(AnyIdle() && AnyOverloaded()); }
+
+  // Affinity-aware variant: a state only violates work conservation if some
+  // idle core could legally receive a ready task from an overloaded core
+  // (a task pinned away from every idle core is not waste the scheduler can
+  // fix). Equivalent to WorkConserved() when no task carries a mask.
+  bool WorkConservedModuloAffinity() const;
+
+  int64_t Load(CpuId cpu, LoadMetric metric) const;
+
+  // d(c1..cn) = sum_i sum_j |load_i - load_j| over the given metric (§4.3).
+  int64_t Potential(LoadMetric metric) const;
+
+  // --- Task management ---------------------------------------------------------
+
+  // Creates a task with a fresh id and enqueues it on `cpu`. Returns the id.
+  TaskId Spawn(CpuId cpu, int nice = 0, NodeId home_node = 0);
+
+  // Enqueues an existing task object on `cpu`.
+  void Place(Task task, CpuId cpu);
+
+  // Total number of tasks on the machine (current + ready, all cores). The
+  // paper's proofs assume this is constant during balancing; tests assert it.
+  uint64_t TotalTasks() const;
+  int64_t TotalWeight() const;
+
+  // Runs ScheduleNext on every core (promote a ready task where none runs).
+  void ScheduleAll();
+
+  // --- The atomic steal (step 3 primitive) -------------------------------------
+  //
+  // Moves one task from `victim`'s runqueue tail to `thief`'s runqueue. The
+  // *model* performs it unconditionally if a ready task exists; the policy
+  // layer is responsible for re-checking its filter first (Listing 1 line 12).
+  // Returns the moved task id, or nullopt if the victim had no ready task.
+  std::optional<TaskId> StealOneTask(CpuId victim, CpuId thief);
+
+  // Moves the identified ready task from `victim` to `thief`; false if the
+  // task is not (or no longer) in the victim's runqueue. Used by the steal
+  // phase after the migration rule picked a specific task.
+  bool StealTaskById(CpuId victim, CpuId thief, TaskId id);
+
+  // --- Snapshots ---------------------------------------------------------------
+
+  // The selection phase's view of the world. In the pure model this is exact;
+  // staleness is injected by the round engine / runtime, not here.
+  LoadSnapshot Snapshot() const;
+
+  // Current per-core loads as a plain vector (for the verifier and tests).
+  std::vector<int64_t> Loads(LoadMetric metric) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<CoreState> cores_;
+  TaskId next_task_id_ = 1;
+};
+
+// Potential function over a bare load vector (used by the verifier, which
+// works on abstract states without materializing tasks).
+int64_t PotentialOfLoads(const std::vector<int64_t>& loads);
+
+}  // namespace optsched
+
+#endif  // OPTSCHED_SRC_SCHED_MACHINE_STATE_H_

@@ -1,0 +1,52 @@
+#include "src/sched/task.h"
+
+#include "src/base/check.h"
+#include "src/base/str.h"
+
+namespace optsched {
+
+namespace {
+
+// kernel/sched/core.c sched_prio_to_weight[], nice -20 (index 0) .. 19 (39).
+constexpr uint32_t kPrioToWeight[40] = {
+    88761, 71755, 56483, 46273, 36291,  // -20 .. -16
+    29154, 23254, 18705, 14949, 11916,  // -15 .. -11
+    9548,  7620,  6100,  4904,  3906,   // -10 .. -6
+    3121,  2501,  1991,  1586,  1277,   // -5 .. -1
+    1024,  820,   655,   526,   423,    // 0 .. 4
+    335,   272,   215,   172,   137,    // 5 .. 9
+    110,   87,    70,    56,    45,     // 10 .. 14
+    36,    29,    23,    18,    15,     // 15 .. 19
+};
+
+}  // namespace
+
+uint32_t NiceToWeight(int nice) {
+  OPTSCHED_CHECK(nice >= kMinNice && nice <= kMaxNice);
+  return kPrioToWeight[nice - kMinNice];
+}
+
+std::string Task::ToString() const {
+  return StrFormat("task{id=%llu nice=%d weight=%u node=%u}",
+                   static_cast<unsigned long long>(id), nice, weight, home_node);
+}
+
+uint64_t MaskOf(std::initializer_list<CpuId> cpus) {
+  uint64_t mask = 0;
+  for (CpuId cpu : cpus) {
+    OPTSCHED_CHECK_MSG(cpu < 64, "affinity masks support CPUs 0..63");
+    mask |= uint64_t{1} << cpu;
+  }
+  return mask;
+}
+
+Task MakeTask(TaskId id, int nice, NodeId home_node) {
+  Task t;
+  t.id = id;
+  t.nice = nice;
+  t.weight = NiceToWeight(nice);
+  t.home_node = home_node;
+  return t;
+}
+
+}  // namespace optsched

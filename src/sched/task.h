@@ -1,0 +1,64 @@
+// Task (thread) descriptors and the niceness-to-weight mapping.
+//
+// The paper's model balances either raw thread counts or counts "weighted by
+// their importance" (§3.1, §4.2: "a load balancer that tries to balance the
+// number of threads weighted by their importance"). We reproduce the CFS
+// niceness model: nice levels -20..19 map onto a geometric weight table where
+// each level is ~1.25x the next, normalized so nice 0 == 1024, exactly as in
+// kernel/sched/core.c (sched_prio_to_weight).
+
+#ifndef OPTSCHED_SRC_SCHED_TASK_H_
+#define OPTSCHED_SRC_SCHED_TASK_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "src/topology/topology.h"
+
+namespace optsched {
+
+using TaskId = uint64_t;
+
+inline constexpr TaskId kInvalidTask = 0;
+inline constexpr int kMinNice = -20;
+inline constexpr int kMaxNice = 19;
+inline constexpr uint32_t kNiceZeroWeight = 1024;
+
+// Weight for a nice level, per the CFS table.
+uint32_t NiceToWeight(int nice);
+
+// A schedulable entity. Tasks are value types owned by MachineState (model
+// runs) or by the simulator; identity is the TaskId.
+struct Task {
+  TaskId id = kInvalidTask;
+  int nice = 0;
+  uint32_t weight = kNiceZeroWeight;
+  // Preferred NUMA node (where the task's memory lives); consumed by the
+  // NUMA-aware choice step, ignored by placement-oblivious policies.
+  NodeId home_node = 0;
+  // Last CPU the task ran on; consumed by cache-aware choice.
+  CpuId last_cpu = 0;
+  // CPU-affinity mask (sched_setaffinity / cpusets): bit i set = CPU i
+  // allowed. 0 means unrestricted (also the only option beyond 64 CPUs).
+  // Affinity constrains placement and stealing; a pinned task is invisible
+  // to thieves outside its mask, which is how several of the Lozi et al.
+  // wasted-core scenarios arise.
+  uint64_t allowed_mask = 0;
+
+  bool AllowedOn(CpuId cpu) const {
+    return allowed_mask == 0 || (cpu < 64 && (allowed_mask & (uint64_t{1} << cpu)) != 0);
+  }
+
+  std::string ToString() const;
+};
+
+// Mask helper: allow exactly the given CPUs (each must be < 64).
+uint64_t MaskOf(std::initializer_list<CpuId> cpus);
+
+// Convenience constructor that derives the weight from the nice level.
+Task MakeTask(TaskId id, int nice = 0, NodeId home_node = 0);
+
+}  // namespace optsched
+
+#endif  // OPTSCHED_SRC_SCHED_TASK_H_

@@ -1,0 +1,149 @@
+#include "src/stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/check.h"
+#include "src/base/str.h"
+
+namespace optsched::stats {
+
+Histogram::Histogram(double lo, double hi, size_t bucket_count)
+    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / static_cast<double>(bucket_count)),
+      buckets_(bucket_count, 0) {
+  OPTSCHED_CHECK(hi > lo);
+  OPTSCHED_CHECK(bucket_count > 0);
+}
+
+void Histogram::Add(double value) {
+  ++total_;
+  size_t index;
+  if (value < lo_) {
+    ++underflow_;
+    index = 0;
+  } else if (value >= hi_) {
+    ++overflow_;
+    index = buckets_.size() - 1;
+  } else {
+    index = static_cast<size_t>((value - lo_) / bucket_width_);
+    index = std::min(index, buckets_.size() - 1);
+  }
+  ++buckets_[index];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  OPTSCHED_CHECK(other.buckets_.size() == buckets_.size());
+  OPTSCHED_CHECK(other.lo_ == lo_ && other.hi_ == hi_);
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+}
+
+double Histogram::Percentile(double q) const {
+  OPTSCHED_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) {
+    return lo_;
+  }
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      const double within =
+          buckets_[i] == 0 ? 0.0 : (target - cumulative) / static_cast<double>(buckets_[i]);
+      return lo_ + (static_cast<double>(i) + within) * bucket_width_;
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::Render(size_t max_bar_width) const {
+  uint64_t peak = 1;
+  for (uint64_t b : buckets_) {
+    peak = std::max(peak, b);
+  }
+  std::string out;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const double bucket_lo = lo_ + static_cast<double>(i) * bucket_width_;
+    const size_t bar = static_cast<size_t>(static_cast<double>(buckets_[i]) /
+                                           static_cast<double>(peak) *
+                                           static_cast<double>(max_bar_width));
+    out += StrFormat("[%10.2f, %10.2f) %8llu ", bucket_lo, bucket_lo + bucket_width_,
+                     static_cast<unsigned long long>(buckets_[i]));
+    out.append(std::max<size_t>(bar, 1), '#');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+LogHistogram::LogHistogram() : buckets_(64, 0) {}
+
+void LogHistogram::Add(uint64_t value) {
+  ++total_;
+  size_t index = 0;
+  if (value > 0) {
+    index = static_cast<size_t>(64 - __builtin_clzll(value));
+  }
+  index = std::min(index, buckets_.size() - 1);
+  ++buckets_[index];
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+}
+
+double LogHistogram::Percentile(double q) const {
+  OPTSCHED_CHECK(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) {
+    return 0.0;
+  }
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      const double bucket_lo = i == 0 ? 0.0 : std::pow(2.0, static_cast<double>(i - 1));
+      const double bucket_hi = std::pow(2.0, static_cast<double>(i));
+      const double within =
+          buckets_[i] == 0 ? 0.0 : (target - cumulative) / static_cast<double>(buckets_[i]);
+      return bucket_lo + within * (bucket_hi - bucket_lo);
+    }
+    cumulative = next;
+  }
+  return std::pow(2.0, 63.0);
+}
+
+std::string LogHistogram::Render(size_t max_bar_width) const {
+  uint64_t peak = 1;
+  for (uint64_t b : buckets_) {
+    peak = std::max(peak, b);
+  }
+  std::string out;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const unsigned long long bucket_lo = i == 0 ? 0 : (1ull << (i - 1));
+    const unsigned long long bucket_hi = i >= 63 ? ~0ull : (1ull << i);
+    const size_t bar = static_cast<size_t>(static_cast<double>(buckets_[i]) /
+                                           static_cast<double>(peak) *
+                                           static_cast<double>(max_bar_width));
+    out += StrFormat("[%12llu, %12llu) %8llu ", bucket_lo, bucket_hi,
+                     static_cast<unsigned long long>(buckets_[i]));
+    out.append(std::max<size_t>(bar, 1), '#');
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace optsched::stats

@@ -1,0 +1,67 @@
+// Histograms with percentile estimation.
+//
+// Two flavours:
+//  - Histogram: fixed-width linear buckets over [lo, hi), for bounded metrics
+//    such as runqueue depth or rounds-to-convergence.
+//  - LogHistogram: base-2 exponential buckets, for latency-like metrics that
+//    span orders of magnitude (e.g. steal latency in the real-thread runtime).
+
+#ifndef OPTSCHED_SRC_STATS_HISTOGRAM_H_
+#define OPTSCHED_SRC_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace optsched::stats {
+
+class Histogram {
+ public:
+  // Buckets of width (hi-lo)/bucket_count over [lo, hi); values outside the
+  // range are clamped into the first/last bucket and counted separately.
+  Histogram(double lo, double hi, size_t bucket_count);
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  uint64_t total() const { return total_; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+  // Linear-interpolated percentile estimate; q in [0, 1].
+  double Percentile(double q) const;
+
+  // Multi-line ASCII rendering with proportional bars, for bench output.
+  std::string Render(size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<uint64_t> buckets_;
+  uint64_t total_ = 0;
+  uint64_t underflow_ = 0;
+  uint64_t overflow_ = 0;
+};
+
+class LogHistogram {
+ public:
+  // Buckets are [0,1), [1,2), [2,4), [4,8), ... up to 2^62.
+  LogHistogram();
+
+  void Add(uint64_t value);
+  void Merge(const LogHistogram& other);
+
+  uint64_t total() const { return total_; }
+  double Percentile(double q) const;
+  std::string Render(size_t max_bar_width = 50) const;
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace optsched::stats
+
+#endif  // OPTSCHED_SRC_STATS_HISTOGRAM_H_

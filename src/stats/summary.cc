@@ -1,0 +1,65 @@
+#include "src/stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/base/str.h"
+
+namespace optsched::stats {
+
+void Summary::Add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Summary::Merge(const Summary& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Summary::variance() const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double JainFairnessIndex(const std::vector<double>& allocations) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (allocations.empty() || sum_sq == 0.0) {
+    return 1.0;
+  }
+  return sum * sum / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+std::string Summary::ToString() const {
+  return StrFormat("count=%llu mean=%.4f stddev=%.4f min=%.4f max=%.4f",
+                   static_cast<unsigned long long>(count_), mean(), stddev(), min(), max());
+}
+
+}  // namespace optsched::stats

@@ -1,0 +1,51 @@
+// Streaming summary statistics (Welford's online algorithm).
+
+#ifndef OPTSCHED_SRC_STATS_SUMMARY_H_
+#define OPTSCHED_SRC_STATS_SUMMARY_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace optsched::stats {
+
+// Accumulates count/mean/variance/min/max in O(1) memory. Numerically stable
+// for long simulation runs (billions of samples).
+class Summary {
+ public:
+  void Add(double value);
+
+  // Merges another summary into this one (Chan et al. parallel variance).
+  void Merge(const Summary& other);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  // Population variance / standard deviation.
+  double variance() const;
+  double stddev() const;
+
+  // "count=N mean=M stddev=S min=A max=B" for logs and tables.
+  std::string ToString() const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Jain's fairness index over a set of allocations: (Σx)² / (n·Σx²), in
+// (0, 1]; 1.0 means perfectly equal shares. Pass allocations already
+// normalized by entitlement (e.g. cpu_time / weight) to measure weighted
+// fairness. Returns 1.0 for empty or all-zero input.
+double JainFairnessIndex(const std::vector<double>& allocations);
+
+}  // namespace optsched::stats
+
+#endif  // OPTSCHED_SRC_STATS_SUMMARY_H_

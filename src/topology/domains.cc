@@ -1,0 +1,111 @@
+#include "src/topology/domains.h"
+
+#include <map>
+#include <tuple>
+
+#include "src/base/check.h"
+#include "src/base/str.h"
+
+namespace optsched {
+
+namespace {
+
+// Key identifying the container of a CPU at a given level of the hierarchy.
+using LevelKey = std::tuple<uint32_t, uint32_t, uint32_t>;
+
+// Groups CPUs by `container_of`, and inside each container partitions them by
+// `group_of`. Returns domains with >= 2 groups only (others are degenerate).
+std::vector<Domain> MakeLevel(const Topology& topology, const std::string& name,
+                              LevelKey (*container_of)(const CpuInfo&),
+                              LevelKey (*group_of)(const CpuInfo&)) {
+  std::map<LevelKey, std::map<LevelKey, DomainGroup>> containers;
+  std::map<LevelKey, std::vector<CpuId>> container_cpus;
+  for (CpuId id = 0; id < topology.num_cpus(); ++id) {
+    const CpuInfo& info = topology.cpu(id);
+    containers[container_of(info)][group_of(info)].cpus.push_back(id);
+    container_cpus[container_of(info)].push_back(id);
+  }
+  std::vector<Domain> out;
+  for (auto& [key, groups] : containers) {
+    if (groups.size() < 2) {
+      continue;  // Nothing to balance between: degenerate domain.
+    }
+    Domain d;
+    d.name = name;
+    d.cpus = container_cpus[key];
+    for (auto& [gkey, group] : groups) {
+      d.groups.push_back(std::move(group));
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+LevelKey CoreKey(const CpuInfo& c) { return {c.node, c.package, c.core}; }
+LevelKey PackageKey(const CpuInfo& c) { return {c.node, c.package, 0}; }
+LevelKey NodeKey(const CpuInfo& c) { return {c.node, 0, 0}; }
+LevelKey MachineKey(const CpuInfo&) { return {0, 0, 0}; }
+LevelKey SmtKey(const CpuInfo& c) { return {c.node * 1000000 + c.package * 1000 + c.core, c.smt, 0}; }
+
+}  // namespace
+
+std::vector<size_t> DomainHierarchy::DomainPath(CpuId cpu) const {
+  std::vector<size_t> path(levels.size(), SIZE_MAX);
+  for (size_t l = 0; l < levels.size(); ++l) {
+    for (size_t d = 0; d < levels[l].size(); ++d) {
+      for (CpuId member : levels[l][d].cpus) {
+        if (member == cpu) {
+          path[l] = d;
+          break;
+        }
+      }
+      if (path[l] != SIZE_MAX) {
+        break;
+      }
+    }
+  }
+  return path;
+}
+
+std::string DomainHierarchy::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& level : levels) {
+    if (level.empty()) {
+      continue;
+    }
+    parts.push_back(StrFormat("%s(x%zu, %zu groups each)", level[0].name.c_str(), level.size(),
+                              level[0].groups.size()));
+  }
+  return Join(parts, " -> ");
+}
+
+DomainHierarchy BuildDomains(const Topology& topology) {
+  DomainHierarchy h;
+  // SMT level: container = physical core, group = single hyperthread.
+  auto smt = MakeLevel(topology, "SMT", CoreKey, SmtKey);
+  if (!smt.empty()) {
+    h.levels.push_back(std::move(smt));
+  }
+  // LLC level: container = package, group = physical core.
+  auto llc = MakeLevel(topology, "LLC", PackageKey, CoreKey);
+  if (!llc.empty()) {
+    h.levels.push_back(std::move(llc));
+  }
+  // NUMA level: container = node, group = package.
+  auto numa = MakeLevel(topology, "NUMA", NodeKey, PackageKey);
+  if (!numa.empty()) {
+    h.levels.push_back(std::move(numa));
+  }
+  // Machine level: container = machine, group = node.
+  auto machine = MakeLevel(topology, "MACHINE", MachineKey, NodeKey);
+  if (!machine.empty()) {
+    h.levels.push_back(std::move(machine));
+  }
+  // Sanity: every multi-CPU topology has at least one balancing level.
+  if (topology.num_cpus() > 1) {
+    OPTSCHED_CHECK(!h.levels.empty());
+  }
+  return h;
+}
+
+}  // namespace optsched

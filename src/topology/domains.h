@@ -1,0 +1,54 @@
+// Scheduling-domain hierarchy, in the style of Linux sched_domains.
+//
+// Hierarchical load balancing (paper §5) balances "load between groups of
+// cores, and then inside groups". A Domain is one balancing scope: it owns a
+// set of CPUs partitioned into child groups; balancing at this domain moves
+// load between groups, and recursing into the group's own domain balances
+// within it. BuildDomains derives the standard ladder from a Topology:
+// SMT -> package(LLC) -> NUMA node -> machine, skipping degenerate levels
+// (levels with a single group), exactly as Linux degenerates domains.
+
+#ifndef OPTSCHED_SRC_TOPOLOGY_DOMAINS_H_
+#define OPTSCHED_SRC_TOPOLOGY_DOMAINS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/topology/topology.h"
+
+namespace optsched {
+
+// One group of CPUs inside a domain (a balancing unit at that level).
+struct DomainGroup {
+  std::vector<CpuId> cpus;
+};
+
+// A balancing scope. `groups` partition `cpus`.
+struct Domain {
+  std::string name;                 // "SMT", "LLC", "NUMA", "MACHINE"
+  std::vector<CpuId> cpus;          // all CPUs in scope, dense order
+  std::vector<DomainGroup> groups;  // partition of `cpus`
+};
+
+// The per-CPU ladder: domains[cpu] lists the domains containing that CPU from
+// the innermost (smallest) to the outermost (whole machine), mirroring the
+// `for_each_domain(cpu, sd)` walk in Linux.
+struct DomainHierarchy {
+  // levels[l] is the list of domains at ladder level l (innermost first).
+  // Every CPU belongs to exactly one domain per level present for it.
+  std::vector<std::vector<Domain>> levels;
+
+  // Index of the domain containing `cpu` at each level (same order as
+  // `levels`); SIZE_MAX where the CPU has no domain at that level.
+  std::vector<size_t> DomainPath(CpuId cpu) const;
+
+  std::string ToString() const;
+};
+
+// Builds the hierarchy. Degenerate levels (where every domain would contain a
+// single group, so there is nothing to balance between) are dropped.
+DomainHierarchy BuildDomains(const Topology& topology);
+
+}  // namespace optsched
+
+#endif  // OPTSCHED_SRC_TOPOLOGY_DOMAINS_H_

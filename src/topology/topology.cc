@@ -1,0 +1,152 @@
+#include "src/topology/topology.h"
+
+#include "src/base/check.h"
+#include "src/base/str.h"
+
+namespace optsched {
+
+namespace {
+
+constexpr uint32_t kLocalDistance = 10;
+constexpr uint32_t kRemoteDistance = 20;
+
+std::vector<std::vector<uint32_t>> DefaultDistances(uint32_t nodes) {
+  std::vector<std::vector<uint32_t>> d(nodes, std::vector<uint32_t>(nodes, kRemoteDistance));
+  for (uint32_t i = 0; i < nodes; ++i) {
+    d[i][i] = kLocalDistance;
+  }
+  return d;
+}
+
+}  // namespace
+
+Topology Topology::Smp(uint32_t cpus) { return Hierarchical(1, 1, cpus, 1); }
+
+Topology Topology::Numa(uint32_t nodes, uint32_t cpus_per_node) {
+  return Hierarchical(nodes, 1, cpus_per_node, 1);
+}
+
+Topology Topology::Hierarchical(uint32_t nodes, uint32_t packages_per_node,
+                                uint32_t cores_per_package, uint32_t smt_per_core) {
+  OPTSCHED_CHECK(nodes > 0 && packages_per_node > 0 && cores_per_package > 0 &&
+                 smt_per_core > 0);
+  Topology t;
+  t.packages_per_node_ = packages_per_node;
+  t.cores_per_package_ = cores_per_package;
+  t.smt_per_core_ = smt_per_core;
+  t.node_distance_ = DefaultDistances(nodes);
+  CpuId next = 0;
+  for (uint32_t n = 0; n < nodes; ++n) {
+    for (uint32_t p = 0; p < packages_per_node; ++p) {
+      for (uint32_t c = 0; c < cores_per_package; ++c) {
+        for (uint32_t s = 0; s < smt_per_core; ++s) {
+          t.cpus_.push_back(CpuInfo{.cpu = next++, .smt = s, .core = c, .package = p, .node = n});
+        }
+      }
+    }
+  }
+  t.IndexNodes();
+  return t;
+}
+
+Topology Topology::NumaAsymmetric(const std::vector<uint32_t>& cpus_per_node) {
+  OPTSCHED_CHECK(!cpus_per_node.empty());
+  Topology t;
+  t.packages_per_node_ = 1;
+  t.cores_per_package_ = 0;  // heterogeneous; ToString reports CPU count only
+  t.smt_per_core_ = 1;
+  t.node_distance_ = DefaultDistances(static_cast<uint32_t>(cpus_per_node.size()));
+  CpuId next = 0;
+  for (uint32_t n = 0; n < cpus_per_node.size(); ++n) {
+    OPTSCHED_CHECK_MSG(cpus_per_node[n] > 0, "every node needs at least one CPU");
+    for (uint32_t c = 0; c < cpus_per_node[n]; ++c) {
+      t.cpus_.push_back(CpuInfo{.cpu = next++, .smt = 0, .core = c, .package = 0, .node = n});
+    }
+  }
+  t.IndexNodes();
+  return t;
+}
+
+Topology Topology::NumaWithDistances(std::vector<std::vector<uint32_t>> distances,
+                                     uint32_t cpus_per_node) {
+  const uint32_t nodes = static_cast<uint32_t>(distances.size());
+  OPTSCHED_CHECK(nodes > 0 && cpus_per_node > 0);
+  for (uint32_t i = 0; i < nodes; ++i) {
+    OPTSCHED_CHECK_MSG(distances[i].size() == nodes, "distance matrix must be square");
+    for (uint32_t j = 0; j < nodes; ++j) {
+      OPTSCHED_CHECK_MSG(distances[i][j] == distances[j][i], "distance matrix must be symmetric");
+      if (i != j) {
+        OPTSCHED_CHECK_MSG(distances[i][j] > distances[i][i],
+                           "off-diagonal distances must exceed local distance");
+      }
+    }
+  }
+  Topology t = Hierarchical(nodes, 1, cpus_per_node, 1);
+  t.node_distance_ = std::move(distances);
+  return t;
+}
+
+void Topology::IndexNodes() {
+  uint32_t max_node = 0;
+  for (const CpuInfo& c : cpus_) {
+    max_node = std::max(max_node, c.node);
+  }
+  node_cpus_.assign(max_node + 1, {});
+  for (const CpuInfo& c : cpus_) {
+    node_cpus_[c.node].push_back(c.cpu);
+  }
+}
+
+const CpuInfo& Topology::cpu(CpuId id) const {
+  OPTSCHED_CHECK(id < cpus_.size());
+  return cpus_[id];
+}
+
+const std::vector<CpuId>& Topology::CpusInNode(NodeId node) const {
+  OPTSCHED_CHECK(node < node_cpus_.size());
+  return node_cpus_[node];
+}
+
+uint32_t Topology::NodeDistance(NodeId a, NodeId b) const {
+  OPTSCHED_CHECK(a < node_distance_.size() && b < node_distance_.size());
+  return node_distance_[a][b];
+}
+
+uint32_t Topology::CpuDistance(CpuId a, CpuId b) const {
+  if (a == b) {
+    return 0;
+  }
+  if (SharesCore(a, b)) {
+    return 1;  // SMT siblings share L1/L2.
+  }
+  if (SharesPackage(a, b)) {
+    return 2;  // Same LLC.
+  }
+  if (SharesNode(a, b)) {
+    return 4;  // Same memory controller, different LLC.
+  }
+  // Cross-node: scale the SLIT distance so it always dominates intra-node.
+  return 4 + NodeDistance(NodeOf(a), NodeOf(b));
+}
+
+bool Topology::SharesCore(CpuId a, CpuId b) const {
+  const CpuInfo& ca = cpu(a);
+  const CpuInfo& cb = cpu(b);
+  return ca.node == cb.node && ca.package == cb.package && ca.core == cb.core;
+}
+
+bool Topology::SharesPackage(CpuId a, CpuId b) const {
+  const CpuInfo& ca = cpu(a);
+  const CpuInfo& cb = cpu(b);
+  return ca.node == cb.node && ca.package == cb.package;
+}
+
+std::string Topology::ToString() const {
+  if (cores_per_package_ == 0) {
+    return StrFormat("%u nodes, asymmetric (%u cpus)", num_nodes(), num_cpus());
+  }
+  return StrFormat("%u nodes x %u pkg x %u cores x %u smt (%u cpus)", num_nodes(),
+                   packages_per_node_, cores_per_package_, smt_per_core_, num_cpus());
+}
+
+}  // namespace optsched

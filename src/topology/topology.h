@@ -1,0 +1,94 @@
+// Hardware topology model.
+//
+// The paper targets "modern hardware such as NUMA-aware thread placement"
+// (§1) and future hierarchical balancing between groups of cores (§5). This
+// module models the machine shape those policies consume: logical CPUs
+// grouped into SMT siblings, physical cores, packages (= last-level-cache
+// domains here) and NUMA nodes, plus a node distance matrix in the style of
+// the ACPI SLIT table (local distance 10, remote >= 10).
+
+#ifndef OPTSCHED_SRC_TOPOLOGY_TOPOLOGY_H_
+#define OPTSCHED_SRC_TOPOLOGY_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace optsched {
+
+using CpuId = uint32_t;
+using NodeId = uint32_t;
+
+// Per-logical-CPU placement record.
+struct CpuInfo {
+  CpuId cpu = 0;        // dense id, 0..num_cpus-1
+  uint32_t smt = 0;     // hyperthread index within the physical core
+  uint32_t core = 0;    // physical core index within the package
+  uint32_t package = 0; // package index within the NUMA node
+  NodeId node = 0;      // NUMA node index
+};
+
+// Immutable machine description. Construct via the factory functions.
+class Topology {
+ public:
+  // Flat SMP machine: `cpus` logical CPUs, one package, one node.
+  static Topology Smp(uint32_t cpus);
+
+  // `nodes` NUMA nodes x `cpus_per_node` CPUs, one package per node, default
+  // SLIT-style distances (10 local, 20 remote).
+  static Topology Numa(uint32_t nodes, uint32_t cpus_per_node);
+
+  // Asymmetric NUMA machine: cpus_per_node[i] CPUs on node i (real machines
+  // with offlined cores or heterogeneous sockets; also the shape where
+  // group-aggregate filters break — see policies/hierarchical.h).
+  static Topology NumaAsymmetric(const std::vector<uint32_t>& cpus_per_node);
+
+  // Fully hierarchical machine.
+  static Topology Hierarchical(uint32_t nodes, uint32_t packages_per_node,
+                               uint32_t cores_per_package, uint32_t smt_per_core);
+
+  // NUMA machine with an explicit node distance matrix (must be square,
+  // symmetric, with the diagonal strictly smaller than off-diagonal entries).
+  static Topology NumaWithDistances(std::vector<std::vector<uint32_t>> distances,
+                                    uint32_t cpus_per_node);
+
+  uint32_t num_cpus() const { return static_cast<uint32_t>(cpus_.size()); }
+  uint32_t num_nodes() const { return static_cast<uint32_t>(node_cpus_.size()); }
+
+  const CpuInfo& cpu(CpuId id) const;
+  NodeId NodeOf(CpuId id) const { return cpu(id).node; }
+
+  // CPUs belonging to a node, in dense order.
+  const std::vector<CpuId>& CpusInNode(NodeId node) const;
+
+  // Node-to-node distance (SLIT semantics: smaller is closer, diagonal is the
+  // minimum). CPU-level distance is the distance between the owning nodes,
+  // refined so that CPUs sharing a package are closer than same-node CPUs in
+  // different packages, and SMT siblings are closest of all.
+  uint32_t NodeDistance(NodeId a, NodeId b) const;
+  uint32_t CpuDistance(CpuId a, CpuId b) const;
+
+  // True if the CPUs share the given level of the hierarchy.
+  bool SharesCore(CpuId a, CpuId b) const;
+  bool SharesPackage(CpuId a, CpuId b) const;
+  bool SharesNode(CpuId a, CpuId b) const { return NodeOf(a) == NodeOf(b); }
+
+  // Human-readable one-line description, e.g. "2 nodes x 1 pkg x 4 cores x 2 smt".
+  std::string ToString() const;
+
+ private:
+  Topology() = default;
+
+  void IndexNodes();
+
+  std::vector<CpuInfo> cpus_;
+  std::vector<std::vector<CpuId>> node_cpus_;
+  std::vector<std::vector<uint32_t>> node_distance_;
+  uint32_t packages_per_node_ = 1;
+  uint32_t cores_per_package_ = 1;
+  uint32_t smt_per_core_ = 1;
+};
+
+}  // namespace optsched
+
+#endif  // OPTSCHED_SRC_TOPOLOGY_TOPOLOGY_H_

@@ -1,0 +1,80 @@
+// Time-integral accounting of core states: per-core busy/idle time and the
+// machine-level "wasted core" time — the total time during which at least
+// one core was idle while at least one other core was overloaded. This is
+// the quantity the paper's work-conservation property drives to zero (a
+// work-conserving scheduler bounds each episode; a broken one accumulates
+// wasted time without bound).
+
+#ifndef OPTSCHED_SRC_TRACE_ACCOUNTING_H_
+#define OPTSCHED_SRC_TRACE_ACCOUNTING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sched/machine_state.h"
+#include "src/trace/trace.h"
+
+namespace optsched::trace {
+
+class TimeAccountant {
+ public:
+  explicit TimeAccountant(uint32_t num_cpus);
+
+  // Integrates the interval [last_time, now] using `machine` as the state
+  // that held throughout it. Call at every event time BEFORE mutating the
+  // machine (between events the state is constant, so the pre-mutation state
+  // at `now` is exactly the state of the whole interval), and once more at
+  // the end of the run.
+  void AdvanceTo(SimTime now, const MachineState& machine);
+
+  SimTime busy_us(CpuId cpu) const;
+  SimTime idle_us(CpuId cpu) const;
+  SimTime total_busy_us() const;
+  SimTime total_idle_us() const;
+  // Time with >= 1 idle core and >= 1 overloaded core simultaneously.
+  SimTime wasted_us() const { return wasted_us_; }
+  SimTime elapsed_us() const { return last_time_; }
+
+  // Fraction of total core-time spent busy, in [0, 1].
+  double utilization() const;
+  // Fraction of wall time that was wasted (idle-while-overloaded), in [0, 1].
+  double wasted_fraction() const;
+
+  std::string ToString() const;
+
+ private:
+  SimTime last_time_ = 0;
+  bool primed_ = false;
+  uint32_t num_cpus_;
+  std::vector<SimTime> busy_us_;
+  std::vector<SimTime> idle_us_;
+  SimTime wasted_us_ = 0;
+};
+
+// Episode detector over a recorded load-sample series: returns the episodes
+// (start, end) during which some core was idle while another was overloaded.
+struct WastedEpisode {
+  SimTime start_us = 0;
+  SimTime end_us = 0;
+};
+
+class LoadSampler {
+ public:
+  void Sample(SimTime now, const MachineState& machine);
+  const std::vector<std::pair<SimTime, std::vector<int64_t>>>& samples() const {
+    return samples_;
+  }
+  std::vector<WastedEpisode> WastedEpisodes() const;
+
+  // ASCII timeline: one row per CPU, one column per sample.
+  // '.' idle, '#' busy (1 task), digit/'+' queue depth.
+  std::string RenderTimeline(size_t max_columns = 100) const;
+
+ private:
+  std::vector<std::pair<SimTime, std::vector<int64_t>>> samples_;
+};
+
+}  // namespace optsched::trace
+
+#endif  // OPTSCHED_SRC_TRACE_ACCOUNTING_H_

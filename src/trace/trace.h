@@ -1,0 +1,71 @@
+// Event tracing for simulator and runtime runs.
+//
+// Every scheduling-relevant transition is recorded with a timestamp so that
+// idle-while-overloaded episodes — the paper's motivating pathology ("cores
+// idle while threads are waiting in runqueues", Lozi et al.) — can be
+// detected, quantified and rendered after the fact.
+
+#ifndef OPTSCHED_SRC_TRACE_TRACE_H_
+#define OPTSCHED_SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sched/task.h"
+#include "src/topology/topology.h"
+
+namespace optsched::trace {
+
+using SimTime = uint64_t;  // microseconds
+
+enum class EventType {
+  kSpawn,        // task submitted to the machine
+  kScheduleIn,   // task became a core's current
+  kScheduleOut,  // task preempted back to the runqueue
+  kBlock,        // task blocked (I/O etc.)
+  kWake,         // task woke and was placed on a runqueue
+  kExit,         // task completed its service
+  kSteal,        // task migrated by a successful steal
+  kStealFailed,  // a steal attempt failed (re-check or no eligible task)
+  kRound,        // a load-balancing round / tick executed
+};
+
+const char* EventTypeName(EventType type);
+
+struct TraceEvent {
+  SimTime time = 0;
+  EventType type = EventType::kSpawn;
+  CpuId cpu = 0;       // acting core (thief for steals)
+  TaskId task = 0;     // 0 when not applicable
+  CpuId other_cpu = 0; // victim for steals, previous cpu for wakes
+  int64_t detail = 0;  // free-form (e.g. failures in a round)
+};
+
+class TraceBuffer {
+ public:
+  // capacity 0 disables recording (Record becomes a no-op).
+  explicit TraceBuffer(size_t capacity = 1 << 20);
+
+  void Record(TraceEvent event);
+  bool enabled() const { return capacity_ > 0; }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  uint64_t dropped() const { return dropped_; }
+  void Clear();
+
+  // Events of one type, in time order.
+  std::vector<TraceEvent> Filter(EventType type) const;
+
+  // CSV with a header row; loadable into any analysis tool.
+  std::string ToCsv() const;
+
+ private:
+  size_t capacity_;
+  std::vector<TraceEvent> events_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace optsched::trace
+
+#endif  // OPTSCHED_SRC_TRACE_TRACE_H_

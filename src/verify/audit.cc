@@ -1,0 +1,116 @@
+#include "src/verify/audit.h"
+
+#include "src/base/str.h"
+
+namespace optsched::verify {
+
+std::string PolicyAudit::Report() const {
+  std::string out =
+      StrFormat("Policy audit: %s (cores=%u, max_load=%lld)\n", policy_name.c_str(),
+                options.bounds.num_cores, static_cast<long long>(options.bounds.max_load));
+  out += "  " + lemma1.ToString() + "\n";
+  out += "  " + filter_selects_overloaded.ToString() + "\n";
+  out += "  " + steal_safety.ToString() + "\n";
+  out += "  " + potential_decrease.ToString() + "\n";
+  if (weighted_lemma1.has_value()) {
+    out += "  " + weighted_lemma1->ToString() + "\n";
+    out += "  " + weighted_steal_safety->ToString() + "\n";
+    out += "  " + weighted_potential->ToString() + "\n";
+  }
+  out += "  " + failure_causality.ToString() + "\n";
+  out += "  " + bounded_steals.ToString() + "\n";
+  out += "  " + sequential.result.ToString();
+  if (sequential.result.holds) {
+    out += StrFormat(" [worst-case N=%llu]",
+                     static_cast<unsigned long long>(sequential.worst_case_rounds));
+  }
+  out += "\n  " + concurrent.result.ToString();
+  if (concurrent.result.holds) {
+    out += StrFormat(" [worst-case N=%llu over %llu graph states%s]",
+                     static_cast<unsigned long long>(concurrent.worst_case_rounds),
+                     static_cast<unsigned long long>(concurrent.graph_states),
+                     concurrent.orders_sampled ? ", orders sampled" : "");
+  }
+  out += StrFormat("\n  VERDICT: %s\n",
+                   work_conserving() ? "WORK-CONSERVING (within bounds)"
+                                     : "NOT PROVEN WORK-CONSERVING");
+  return out;
+}
+
+namespace {
+
+std::string CheckToJson(const CheckResult& result) {
+  std::string out = StrFormat(
+      "{\"property\":\"%s\",\"holds\":%s,\"states\":%llu,\"checks\":%llu",
+      JsonEscape(result.property).c_str(), result.holds ? "true" : "false",
+      static_cast<unsigned long long>(result.states_checked),
+      static_cast<unsigned long long>(result.checks_performed));
+  if (result.counterexample.has_value()) {
+    out += StrFormat(",\"counterexample\":\"%s\"",
+                     JsonEscape(result.counterexample->ToString()).c_str());
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string PolicyAudit::ToJson() const {
+  std::string out = "{\n";
+  out += StrFormat("  \"policy\": \"%s\",\n", JsonEscape(policy_name).c_str());
+  out += StrFormat("  \"bounds\": {\"cores\": %u, \"max_load\": %lld},\n",
+                   options.bounds.num_cores, static_cast<long long>(options.bounds.max_load));
+  out += "  \"obligations\": {\n";
+  out += "    \"lemma1\": " + CheckToJson(lemma1) + ",\n";
+  out += "    \"filter_selects_overloaded\": " + CheckToJson(filter_selects_overloaded) + ",\n";
+  out += "    \"steal_safety\": " + CheckToJson(steal_safety) + ",\n";
+  out += "    \"potential_decrease\": " + CheckToJson(potential_decrease) + ",\n";
+  out += "    \"failure_causality\": " + CheckToJson(failure_causality) + ",\n";
+  out += "    \"bounded_steals\": " + CheckToJson(bounded_steals) + ",\n";
+  out += "    \"sequential_convergence\": " + CheckToJson(sequential.result) + ",\n";
+  out += "    \"concurrent_convergence\": " + CheckToJson(concurrent.result);
+  if (weighted_lemma1.has_value()) {
+    out += ",\n    \"weighted_lemma1\": " + CheckToJson(*weighted_lemma1);
+    out += ",\n    \"weighted_steal_safety\": " + CheckToJson(*weighted_steal_safety);
+    out += ",\n    \"weighted_potential_decrease\": " + CheckToJson(*weighted_potential);
+  }
+  out += "\n  },\n";
+  out += StrFormat("  \"sequential_worst_case_n\": %llu,\n",
+                   static_cast<unsigned long long>(sequential.worst_case_rounds));
+  out += StrFormat("  \"concurrent_worst_case_n\": %llu,\n",
+                   static_cast<unsigned long long>(concurrent.worst_case_rounds));
+  out += StrFormat("  \"graph_states\": %llu,\n",
+                   static_cast<unsigned long long>(concurrent.graph_states));
+  out += StrFormat("  \"orders_sampled\": %s,\n", concurrent.orders_sampled ? "true" : "false");
+  out += StrFormat("  \"work_conserving\": %s\n", work_conserving() ? "true" : "false");
+  out += "}\n";
+  return out;
+}
+
+PolicyAudit AuditPolicy(const BalancePolicy& policy, const ConvergenceCheckOptions& options,
+                        const Topology* topology) {
+  PolicyAudit audit;
+  audit.policy_name = policy.name();
+  audit.options = options;
+  audit.lemma1 = CheckLemma1(policy, options.bounds, topology);
+  audit.filter_selects_overloaded =
+      CheckFilterSelectsOverloaded(policy, options.bounds, topology);
+  audit.steal_safety = CheckStealSafety(policy, options.bounds, topology);
+  audit.potential_decrease = CheckPotentialDecrease(policy, options.bounds, topology);
+  audit.failure_causality = CheckFailureCausality(policy, options, topology);
+  audit.bounded_steals = CheckBoundedSteals(policy, options, topology);
+  audit.sequential = CheckSequentialConvergence(policy, options, topology);
+  audit.concurrent = CheckConcurrentConvergence(policy, options, topology);
+  if (policy.metric() == LoadMetric::kWeightedLoad) {
+    WeightedBounds weighted;
+    weighted.num_cores = std::min(options.bounds.num_cores, 3u);
+    weighted.max_tasks_per_core = 2;
+    weighted.weights = {1, 2, 5};
+    audit.weighted_lemma1 = CheckWeightedLemma1(policy, weighted, topology);
+    audit.weighted_steal_safety = CheckWeightedStealSafety(policy, weighted, topology);
+    audit.weighted_potential = CheckWeightedPotentialDecrease(policy, weighted, topology);
+  }
+  return audit;
+}
+
+}  // namespace optsched::verify

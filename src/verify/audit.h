@@ -1,0 +1,78 @@
+// One-call policy audit: run every proof obligation the paper defines and
+// produce a verdict plus a human-readable report. This is the public face of
+// the verification toolkit — the analog of handing the Leon backend a policy
+// compiled from the DSL.
+
+#ifndef OPTSCHED_SRC_VERIFY_AUDIT_H_
+#define OPTSCHED_SRC_VERIFY_AUDIT_H_
+
+#include <string>
+
+#include <optional>
+
+#include "src/core/policy.h"
+#include "src/verify/concurrency.h"
+#include "src/verify/convergence.h"
+#include "src/verify/lemmas.h"
+#include "src/verify/property.h"
+#include "src/verify/weighted_space.h"
+
+namespace optsched::verify {
+
+struct PolicyAudit {
+  std::string policy_name;
+  ConvergenceCheckOptions options;
+
+  // §4.2 obligations (sequential soundness of filter + steal).
+  CheckResult lemma1;
+  CheckResult filter_selects_overloaded;
+  CheckResult steal_safety;
+  // §4.3 obligations (concurrency).
+  CheckResult potential_decrease;
+  CheckResult failure_causality;
+  CheckResult bounded_steals;
+  // Work conservation itself.
+  ConvergenceCheckResult sequential;
+  ConvergenceCheckResult concurrent;
+  // Weighted-space obligations: run automatically (over heterogeneous
+  // per-core weight multisets) when the policy balances kWeightedLoad —
+  // the load-vector space alone cannot distinguish weight compositions.
+  std::optional<CheckResult> weighted_lemma1;
+  std::optional<CheckResult> weighted_steal_safety;
+  std::optional<CheckResult> weighted_potential;
+
+  // The paper's top-level theorem: the policy is work-conserving within the
+  // audited bounds — sequential and adversarial-concurrent convergence hold,
+  // backed by sound filter/steal behaviour (including over weight multisets
+  // for weighted policies).
+  bool work_conserving() const {
+    const bool weighted_ok =
+        (!weighted_lemma1.has_value() || weighted_lemma1->holds) &&
+        (!weighted_steal_safety.has_value() || weighted_steal_safety->holds);
+    return lemma1.holds && steal_safety.holds && sequential.result.holds &&
+           concurrent.result.holds && weighted_ok;
+  }
+
+  // True if every obligation (including the auxiliary ones) holds.
+  bool all_hold() const {
+    return work_conserving() && filter_selects_overloaded.holds && potential_decrease.holds &&
+           failure_causality.holds && bounded_steals.holds &&
+           (!weighted_potential.has_value() || weighted_potential->holds);
+  }
+
+  // Multi-line report: one obligation per line, then the verdict and the
+  // worst-case N (the paper's bound) when it exists.
+  std::string Report() const;
+
+  // Machine-readable report (stable-key JSON), suitable for CI gates and
+  // archival next to the policy source.
+  std::string ToJson() const;
+};
+
+// Runs all obligations. `topology` is forwarded to topology-aware policies.
+PolicyAudit AuditPolicy(const BalancePolicy& policy, const ConvergenceCheckOptions& options = {},
+                        const Topology* topology = nullptr);
+
+}  // namespace optsched::verify
+
+#endif  // OPTSCHED_SRC_VERIFY_AUDIT_H_

@@ -1,0 +1,140 @@
+#include "src/verify/concurrency.h"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "src/base/check.h"
+#include "src/base/str.h"
+#include "src/core/balancer.h"
+#include "src/sched/machine_state.h"
+
+namespace optsched::verify {
+
+namespace {
+
+uint64_t Factorial(uint32_t n) {
+  uint64_t f = 1;
+  for (uint32_t i = 2; i <= n; ++i) {
+    f *= i;
+  }
+  return f;
+}
+
+// Calls `body` with each steal order (all permutations, or `max_orders`
+// random samples when n! exceeds it). body returns false to stop.
+void ForEachOrder(uint32_t n, uint64_t max_orders, uint64_t seed,
+                  const std::function<bool(const std::vector<uint32_t>&)>& body) {
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  if (Factorial(n) <= max_orders) {
+    do {
+      if (!body(perm)) {
+        return;
+      }
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  } else {
+    Rng rng(seed);
+    for (uint64_t i = 0; i < max_orders; ++i) {
+      rng.Shuffle(perm);
+      if (!body(perm)) {
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CheckResult CheckFailureCausality(const BalancePolicy& policy,
+                                  const ConvergenceCheckOptions& options,
+                                  const Topology* topology) {
+  CheckResult result;
+  result.property = "failure-causality(every failed steal implicates a prior success)";
+  result.holds = true;
+  const std::shared_ptr<const BalancePolicy> alias(&policy, [](const BalancePolicy*) {});
+  result.states_checked = ForEachState(options.bounds, [&](const std::vector<int64_t>& loads) {
+    bool keep_going = true;
+    ForEachOrder(options.bounds.num_cores, options.max_orders_per_state, options.seed,
+                 [&](const std::vector<uint32_t>& order) {
+      ++result.checks_performed;
+      MachineState machine = MachineState::FromLoads(loads);
+      LoadBalancer balancer(alias, topology);
+      Rng rng(options.seed);
+      RoundOptions ropts;
+      ropts.mode = RoundOptions::Mode::kConcurrentFixedOrder;
+      ropts.steal_order = order;
+      const RoundResult rr = balancer.RunRound(machine, rng, ropts);
+      uint32_t successes_so_far = 0;
+      for (uint32_t cpu : rr.executed_order) {
+        const CoreAction& action = rr.actions[cpu];
+        if (action.outcome == StealOutcome::kStole) {
+          ++successes_so_far;
+        } else if (action.outcome == StealOutcome::kFailedRecheck && successes_so_far == 0) {
+          result.holds = false;
+          result.counterexample =
+              Counterexample{.loads = loads,
+                             .thief = cpu,
+                             .stealee = action.victim,
+                             .steal_order = order,
+                             .note = "re-check failed with no earlier successful steal in the "
+                                     "round (selection phase must have written state)"};
+          keep_going = false;
+          return false;
+        }
+      }
+      return true;
+    });
+    return keep_going;
+  });
+  return result;
+}
+
+CheckResult CheckBoundedSteals(const BalancePolicy& policy,
+                               const ConvergenceCheckOptions& options,
+                               const Topology* topology) {
+  CheckResult result;
+  result.property = "bounded-steals(total successful steals <= d0/2 on every adversarial run)";
+  result.holds = true;
+  const std::shared_ptr<const BalancePolicy> alias(&policy, [](const BalancePolicy*) {});
+  const LoadMetric metric = policy.metric();
+  result.states_checked = ForEachState(options.bounds, [&](const std::vector<int64_t>& loads) {
+    // A handful of adversarial runs per state: the potential argument is
+    // order-independent, so any run exceeding the bound refutes it.
+    for (uint64_t sample = 0; sample < 8; ++sample) {
+      ++result.checks_performed;
+      MachineState machine = MachineState::FromLoads(loads);
+      const int64_t d0 = machine.Potential(metric);
+      const uint64_t bound = static_cast<uint64_t>(d0) / 2;
+      LoadBalancer balancer(alias, topology);
+      Rng rng(options.seed + sample);
+      RoundOptions ropts;
+      ropts.mode = RoundOptions::Mode::kConcurrentRandomOrder;
+      uint64_t successes = 0;
+      for (uint64_t round = 0; round < options.max_rounds; ++round) {
+        const RoundResult rr = balancer.RunRound(machine, rng, ropts);
+        successes += rr.successes;
+        if (successes > bound) {
+          result.holds = false;
+          result.counterexample = Counterexample{
+              .loads = loads,
+              .thief = std::nullopt,
+              .stealee = std::nullopt,
+              .steal_order = {},
+              .note = StrFormat("successful steals (%llu) exceeded d0/2 (%llu): potential is "
+                                "not a ranking function for this policy",
+                                static_cast<unsigned long long>(successes),
+                                static_cast<unsigned long long>(bound))};
+          return false;
+        }
+        if (rr.successes == 0) {
+          break;  // quiescent
+        }
+      }
+    }
+    return true;
+  });
+  return result;
+}
+
+}  // namespace optsched::verify

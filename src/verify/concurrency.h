@@ -1,0 +1,43 @@
+// The two concurrent-setting obligations of §4.3:
+//
+//  "to prove work conservation we need to prove two properties: first, if a
+//   work-stealing attempt fails, it is because another work-stealing attempt
+//   performed by another core succeeded, and second, the number of successful
+//   work stealing attempts is bounded."
+//
+// CheckFailureCausality discharges the first: for every bounded state and
+// every steal-serialization order, every failed re-check within a round is
+// preceded (in that round's linearization) by a successful steal by another
+// core — the only writers of runqueue state during balancing are successful
+// steals, so a flipped filter implicates one. The property holds for every
+// policy by construction of the optimistic protocol; checking it over all
+// interleavings validates that the engine implements the protocol the proofs
+// assume (selection never writes, steal phase is atomic).
+//
+// CheckBoundedSteals discharges the second: combined with PotentialDecrease
+// (each successful steal decreases the integer potential d by at least 2),
+// the number of successful steals from any state is at most d/2. The check
+// runs adversarial rounds to quiescence from every bounded state and asserts
+// the cumulative success count never exceeds d0/2 (for the broken filter it
+// reports the state where steals exceeded the bound — the ping-pong).
+
+#ifndef OPTSCHED_SRC_VERIFY_CONCURRENCY_H_
+#define OPTSCHED_SRC_VERIFY_CONCURRENCY_H_
+
+#include "src/core/policy.h"
+#include "src/verify/convergence.h"
+#include "src/verify/property.h"
+
+namespace optsched::verify {
+
+CheckResult CheckFailureCausality(const BalancePolicy& policy,
+                                  const ConvergenceCheckOptions& options,
+                                  const Topology* topology = nullptr);
+
+CheckResult CheckBoundedSteals(const BalancePolicy& policy,
+                               const ConvergenceCheckOptions& options,
+                               const Topology* topology = nullptr);
+
+}  // namespace optsched::verify
+
+#endif  // OPTSCHED_SRC_VERIFY_CONCURRENCY_H_

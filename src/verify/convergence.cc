@@ -1,0 +1,376 @@
+#include "src/verify/convergence.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "src/base/check.h"
+#include "src/base/str.h"
+#include "src/core/balancer.h"
+#include "src/core/conservation.h"
+#include "src/sched/machine_state.h"
+
+namespace optsched::verify {
+
+namespace {
+
+using LoadVector = std::vector<int64_t>;
+
+bool IsWorkConserved(const LoadVector& loads) {
+  bool any_idle = false;
+  bool any_overloaded = false;
+  for (int64_t l : loads) {
+    any_idle |= (l == 0);
+    any_overloaded |= (l >= 2);
+  }
+  return !(any_idle && any_overloaded);
+}
+
+std::string CycleNote(const std::vector<LoadVector>& cycle) {
+  std::string note = "adversarial livelock cycle: ";
+  for (size_t i = 0; i < cycle.size(); ++i) {
+    if (i > 0) {
+      note += " -> ";
+    }
+    note += "(";
+    for (size_t j = 0; j < cycle[i].size(); ++j) {
+      if (j > 0) {
+        note += ",";
+      }
+      note += StrFormat("%lld", static_cast<long long>(cycle[i][j]));
+    }
+    note += ")";
+  }
+  return note;
+}
+
+uint64_t Factorial(uint32_t n) {
+  uint64_t f = 1;
+  for (uint32_t i = 2; i <= n; ++i) {
+    f *= i;
+  }
+  return f;
+}
+
+// All (or sampled) steal-order permutations for n cores.
+std::vector<std::vector<uint32_t>> MakeOrders(uint32_t n, uint64_t max_orders, uint64_t seed,
+                                              bool* sampled) {
+  std::vector<std::vector<uint32_t>> orders;
+  *sampled = Factorial(n) > max_orders;
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  if (!*sampled) {
+    do {
+      orders.push_back(perm);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+  } else {
+    Rng rng(seed);
+    for (uint64_t i = 0; i < max_orders; ++i) {
+      rng.Shuffle(perm);
+      orders.push_back(perm);
+    }
+  }
+  return orders;
+}
+
+// One concurrent round from `loads` in the given order; returns the next
+// load vector. Deterministic given (loads, order, seed).
+LoadVector Step(LoadBalancer& balancer, const LoadVector& loads,
+                const std::vector<uint32_t>& order, uint64_t seed) {
+  MachineState machine = MachineState::FromLoads(loads);
+  Rng rng(seed);
+  RoundOptions options;
+  options.mode = RoundOptions::Mode::kConcurrentFixedOrder;
+  options.steal_order = order;
+  balancer.RunRound(machine, rng, options);
+  return machine.Loads(LoadMetric::kTaskCount);
+}
+
+}  // namespace
+
+ConvergenceCheckResult CheckSequentialConvergence(const BalancePolicy& policy,
+                                                  const ConvergenceCheckOptions& options,
+                                                  const Topology* topology) {
+  ConvergenceCheckResult out;
+  out.result.property = "sequential-convergence(work conservation, no concurrency)";
+  out.result.holds = true;
+  const std::shared_ptr<const BalancePolicy> alias(&policy, [](const BalancePolicy*) {});
+  out.result.states_checked = ForEachState(options.bounds, [&](const LoadVector& loads) {
+    ++out.result.checks_performed;
+    MachineState machine = MachineState::FromLoads(loads);
+    LoadBalancer balancer(alias, topology);
+    Rng rng(options.seed);
+    ConvergenceOptions copts;
+    copts.round.mode = RoundOptions::Mode::kSequential;
+    copts.max_rounds = options.max_rounds;
+    const ConvergenceResult cr = RunUntilWorkConserved(balancer, machine, rng, copts);
+    if (!cr.converged) {
+      out.result.holds = false;
+      out.result.counterexample = Counterexample{
+          .loads = loads,
+          .thief = std::nullopt,
+          .stealee = std::nullopt,
+          .steal_order = {},
+          .note = "sequential rounds did not reach a work-conserved state within budget"};
+      return false;
+    }
+    out.worst_case_rounds = std::max(out.worst_case_rounds, cr.rounds);
+    return true;
+  });
+  return out;
+}
+
+ConvergenceCheckResult CheckConcurrentConvergence(const BalancePolicy& policy,
+                                                  const ConvergenceCheckOptions& options,
+                                                  const Topology* topology) {
+  ConvergenceCheckResult out;
+  out.result.property = "concurrent-convergence(AF work-conserved, adversarial steal order)";
+  const std::shared_ptr<const BalancePolicy> alias(&policy, [](const BalancePolicy*) {});
+  LoadBalancer balancer(alias, topology);
+
+  bool sampled = false;
+  const std::vector<std::vector<uint32_t>> orders =
+      MakeOrders(options.bounds.num_cores, options.max_orders_per_state, options.seed, &sampled);
+  out.orders_sampled = sampled;
+
+  // --- Build the round-transition graph over the reachable state space. ----
+  // With symmetry reduction, graph nodes are canonical (sorted) load vectors;
+  // each canonical node's outgoing edges are computed from the sorted
+  // representative, which is sound for core-symmetric policies.
+  const auto canonical = [&](LoadVector state) {
+    if (options.symmetry_reduction) {
+      std::sort(state.begin(), state.end());
+    }
+    return state;
+  };
+  std::map<LoadVector, std::set<LoadVector>> successors;
+  std::vector<LoadVector> frontier;
+  const auto discover = [&](const LoadVector& state) {
+    if (successors.emplace(state, std::set<LoadVector>{}).second) {
+      frontier.push_back(state);
+    }
+  };
+  Bounds initial_bounds = options.bounds;
+  initial_bounds.sorted_only = options.symmetry_reduction || initial_bounds.sorted_only;
+  out.result.states_checked = ForEachState(initial_bounds, [&](const LoadVector& loads) {
+    discover(canonical(loads));
+    return true;
+  });
+  bool truncated = false;
+  while (!frontier.empty()) {
+    if (successors.size() > options.max_graph_states) {
+      truncated = true;
+      break;
+    }
+    const LoadVector state = frontier.back();
+    frontier.pop_back();
+    std::set<LoadVector>& succ = successors[state];
+    for (const auto& order : orders) {
+      ++out.result.checks_performed;
+      LoadVector next = canonical(Step(balancer, state, order, options.seed));
+      succ.insert(next);
+      discover(next);
+    }
+  }
+  out.graph_states = successors.size();
+  if (truncated) {
+    out.result.holds = false;
+    out.result.counterexample =
+        Counterexample{.loads = {},
+                       .thief = std::nullopt,
+                       .stealee = std::nullopt,
+                       .steal_order = {},
+                       .note = "state-graph budget exhausted; raise max_graph_states"};
+    return out;
+  }
+
+  // --- AF(work-conserved): backward fixpoint. -------------------------------
+  std::map<LoadVector, bool> good;
+  for (const auto& [state, succ] : successors) {
+    good[state] = IsWorkConserved(state);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [state, succ] : successors) {
+      if (good[state]) {
+        continue;
+      }
+      bool all_good = true;
+      for (const LoadVector& next : succ) {
+        if (!good[next]) {
+          all_good = false;
+          break;
+        }
+      }
+      if (all_good && !succ.empty()) {
+        good[state] = true;
+        changed = true;
+      }
+    }
+  }
+
+  // --- Verdict + N / livelock cycle extraction. -----------------------------
+  const auto bad_it = std::find_if(good.begin(), good.end(),
+                                   [](const auto& kv) { return !kv.second; });
+  if (bad_it != good.end()) {
+    out.result.holds = false;
+    // Walk bad successors until a state repeats: that's an adversarial lasso
+    // whose cycle never reaches work conservation.
+    std::vector<LoadVector> path;
+    std::map<LoadVector, size_t> position;
+    LoadVector current = bad_it->first;
+    for (;;) {
+      const auto seen = position.find(current);
+      if (seen != position.end()) {
+        out.livelock_cycle.assign(path.begin() + static_cast<long>(seen->second), path.end());
+        break;
+      }
+      position[current] = path.size();
+      path.push_back(current);
+      const std::set<LoadVector>& succ = successors[current];
+      const LoadVector* next_bad = nullptr;
+      for (const LoadVector& next : succ) {
+        if (!good[next]) {
+          next_bad = &next;
+          break;
+        }
+      }
+      OPTSCHED_CHECK_MSG(next_bad != nullptr, "bad state with all-good successors");
+      current = *next_bad;
+    }
+    out.result.counterexample = Counterexample{
+        .loads = bad_it->first,
+        .thief = std::nullopt,
+        .stealee = std::nullopt,
+        .steal_order = {},
+        .note = CycleNote(out.livelock_cycle)};
+    return out;
+  }
+
+  out.result.holds = true;
+  // Worst-case N: longest path to a WC state in the (acyclic on non-WC
+  // states) good graph. memoized DFS.
+  std::map<LoadVector, uint64_t> depth;
+  const std::function<uint64_t(const LoadVector&)> n_of = [&](const LoadVector& state) {
+    if (IsWorkConserved(state)) {
+      return uint64_t{0};
+    }
+    const auto memo = depth.find(state);
+    if (memo != depth.end()) {
+      return memo->second;
+    }
+    uint64_t worst = 0;
+    for (const LoadVector& next : successors[state]) {
+      worst = std::max(worst, n_of(next));
+    }
+    const uint64_t n = 1 + worst;
+    depth[state] = n;
+    return n;
+  };
+  for (const auto& [state, succ] : successors) {
+    out.worst_case_rounds = std::max(out.worst_case_rounds, n_of(state));
+  }
+  return out;
+}
+
+std::string ExportRoundGraphDot(const BalancePolicy& policy,
+                                const ConvergenceCheckOptions& options,
+                                const Topology* topology) {
+  // Presentation-only rebuild of the graph CheckConcurrentConvergence
+  // explores (the checker itself stays allocation-lean; this pretty printer
+  // favours clarity over reuse).
+  const std::shared_ptr<const BalancePolicy> alias(&policy, [](const BalancePolicy*) {});
+  LoadBalancer balancer(alias, topology);
+  bool sampled = false;
+  const std::vector<std::vector<uint32_t>> orders =
+      MakeOrders(options.bounds.num_cores, options.max_orders_per_state, options.seed, &sampled);
+  const auto canonical = [&](LoadVector state) {
+    if (options.symmetry_reduction) {
+      std::sort(state.begin(), state.end());
+    }
+    return state;
+  };
+  std::map<LoadVector, std::set<LoadVector>> successors;
+  std::vector<LoadVector> frontier;
+  const auto discover = [&](const LoadVector& state) {
+    if (successors.emplace(state, std::set<LoadVector>{}).second) {
+      frontier.push_back(state);
+    }
+  };
+  Bounds initial_bounds = options.bounds;
+  initial_bounds.sorted_only = options.symmetry_reduction || initial_bounds.sorted_only;
+  ForEachState(initial_bounds, [&](const LoadVector& loads) {
+    discover(canonical(loads));
+    return true;
+  });
+  while (!frontier.empty()) {
+    if (successors.size() > options.max_graph_states) {
+      return "";
+    }
+    const LoadVector state = frontier.back();
+    frontier.pop_back();
+    std::set<LoadVector>& succ = successors[state];
+    for (const auto& order : orders) {
+      LoadVector next = canonical(Step(balancer, state, order, options.seed));
+      succ.insert(next);
+      discover(next);
+    }
+  }
+  // AF fixpoint (as in the checker) so bad states can be coloured.
+  std::map<LoadVector, bool> good;
+  for (const auto& [state, succ] : successors) {
+    good[state] = IsWorkConserved(state);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [state, succ] : successors) {
+      if (good[state] || succ.empty()) {
+        continue;
+      }
+      bool all_good = true;
+      for (const LoadVector& next : succ) {
+        all_good &= good[next];
+      }
+      if (all_good) {
+        good[state] = true;
+        changed = true;
+      }
+    }
+  }
+
+  const auto node_name = [](const LoadVector& state) {
+    std::string name = "s";
+    for (int64_t l : state) {
+      name += StrFormat("_%lld", static_cast<long long>(l));
+    }
+    return name;
+  };
+  const auto node_label = [](const LoadVector& state) {
+    std::string label = "(";
+    for (size_t i = 0; i < state.size(); ++i) {
+      label += StrFormat(i == 0 ? "%lld" : ",%lld", static_cast<long long>(state[i]));
+    }
+    return label + ")";
+  };
+  std::string out = "digraph round_transitions {\n";
+  out += StrFormat("  label=\"%s: AF(work-conserved) round-transition graph\";\n",
+                   JsonEscape(policy.name()).c_str());
+  out += "  node [fontname=\"monospace\"];\n";
+  for (const auto& [state, succ] : successors) {
+    const bool conserved = IsWorkConserved(state);
+    out += StrFormat("  %s [label=\"%s\"%s%s];\n", node_name(state).c_str(),
+                     node_label(state).c_str(), conserved ? ", peripheries=2" : "",
+                     good.at(state) ? "" : ", style=filled, fillcolor=\"#e06666\"");
+    for (const LoadVector& next : succ) {
+      out += StrFormat("  %s -> %s;\n", node_name(state).c_str(), node_name(next).c_str());
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace optsched::verify

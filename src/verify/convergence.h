@@ -1,0 +1,91 @@
+// Work-conservation as a liveness property, checked exhaustively.
+//
+// Sequential (§4.2): from every bounded start state, rounds in which cores
+// act one-by-one must reach a work-conserved state; the checker also reports
+// the worst-case number of rounds (the paper's N).
+//
+// Concurrent (§4.3): all cores select against the round-start snapshot and
+// the steal serialization order is adversarial. The paper's definition —
+// "there exists an integer N such that after N load balancing rounds no core
+// is idle while a core is overloaded" — quantifies over every behaviour the
+// scheduler can exhibit, so we check the CTL property AF(work-conserved) on
+// the round-transition graph:
+//
+//   nodes:  load vectors reachable from any bounded start state;
+//   edges:  one per (state, steal-order permutation) — the state after one
+//           concurrent round executed in that order;
+//   check:  every infinite adversarial path hits a work-conserved state.
+//
+// AF is computed by the standard backward fixpoint (good := WC states; add a
+// state when ALL successors are good; repeat). States never added are exactly
+// those from which an adversary can keep the machine non-work-conserved
+// forever — for the §4.3 broken filter the checker extracts the concrete
+// ping-pong cycle (0,1,2) -> (0,2,1) -> (0,1,2). For sound policies the
+// worst-case N over the whole graph is reported.
+
+#ifndef OPTSCHED_SRC_VERIFY_CONVERGENCE_H_
+#define OPTSCHED_SRC_VERIFY_CONVERGENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/policy.h"
+#include "src/verify/property.h"
+#include "src/verify/state_space.h"
+
+namespace optsched::verify {
+
+struct ConvergenceCheckOptions {
+  Bounds bounds;
+  // Safety valve for the graph exploration.
+  uint64_t max_graph_states = 1u << 20;
+  // If the number of steal-order permutations (num_cores!) exceeds this, the
+  // check uses this many sampled orders per state instead of all of them and
+  // the result is only a bounded/randomized guarantee (reported in the note).
+  uint64_t max_orders_per_state = 5040;  // 7!
+  // Round budget for the sequential check.
+  uint64_t max_rounds = 4096;
+  // Seed for order sampling and randomized choice steps.
+  uint64_t seed = 1;
+  // Quotient the state graph by core renaming: states are canonicalized to
+  // sorted load vectors, shrinking the graph by up to num_cores! for
+  // CORE-SYMMETRIC policies (no topology, no groups — the policy's decisions
+  // must commute with core permutations; the checker cannot detect misuse,
+  // so this is opt-in). Verdicts and worst-case N are preserved for
+  // symmetric policies (tests compare against the unreduced run).
+  bool symmetry_reduction = false;
+};
+
+struct ConvergenceCheckResult {
+  CheckResult result;
+  // Worst-case N over all checked start states (sequential) or all graph
+  // states (concurrent). Meaningful only when result.holds.
+  uint64_t worst_case_rounds = 0;
+  // Size of the explored round-transition graph (concurrent only).
+  uint64_t graph_states = 0;
+  // True if permutation sampling kicked in (concurrent only).
+  bool orders_sampled = false;
+  // The offending cycle of load vectors when a livelock was found.
+  std::vector<std::vector<int64_t>> livelock_cycle;
+};
+
+ConvergenceCheckResult CheckSequentialConvergence(const BalancePolicy& policy,
+                                                  const ConvergenceCheckOptions& options,
+                                                  const Topology* topology = nullptr);
+
+ConvergenceCheckResult CheckConcurrentConvergence(const BalancePolicy& policy,
+                                                  const ConvergenceCheckOptions& options,
+                                                  const Topology* topology = nullptr);
+
+// Renders the explored round-transition graph as Graphviz dot: one node per
+// load vector (doubly-circled when work-conserved, red-filled when AF fails
+// — i.e. an adversary can starve from there forever), one edge per distinct
+// successor. Meant for small bounds; returns an empty string if the graph
+// budget is exceeded.
+std::string ExportRoundGraphDot(const BalancePolicy& policy,
+                                const ConvergenceCheckOptions& options,
+                                const Topology* topology = nullptr);
+
+}  // namespace optsched::verify
+
+#endif  // OPTSCHED_SRC_VERIFY_CONVERGENCE_H_

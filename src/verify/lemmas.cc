@@ -1,0 +1,218 @@
+#include "src/verify/lemmas.h"
+
+#include "src/core/balancer.h"
+#include "src/sched/machine_state.h"
+
+namespace optsched::verify {
+
+namespace {
+
+// The paper's predicates over bare loads (count semantics; anonymous tasks).
+bool LoadIdle(int64_t load) { return load == 0; }
+bool LoadOverloaded(int64_t load) { return load >= 2; }
+
+}  // namespace
+
+CheckResult CheckLemma1(const BalancePolicy& policy, const Bounds& bounds,
+                        const Topology* topology) {
+  CheckResult result;
+  result.property = "lemma1(idle thief targets overloaded cores, and only them)";
+  result.holds = true;
+  result.states_checked = ForEachState(bounds, [&](const std::vector<int64_t>& loads) {
+    const MachineState machine = MachineState::FromLoads(loads);
+    const LoadSnapshot snapshot = machine.Snapshot();
+    bool any_overloaded = false;
+    for (int64_t l : loads) {
+      any_overloaded |= LoadOverloaded(l);
+    }
+    for (CpuId thief = 0; thief < machine.num_cpus(); ++thief) {
+      if (!LoadIdle(loads[thief])) {
+        continue;  // Listing 2 line 6: @require(thief is idle)
+      }
+      ++result.checks_performed;
+      const SelectionView view{.self = thief, .snapshot = snapshot, .topology = topology};
+      const std::vector<CpuId> candidates = policy.FilterCandidates(view);
+      // Conjunct 1: exists overloaded ==> exists stealable.
+      if (any_overloaded && candidates.empty()) {
+        result.holds = false;
+        result.counterexample = Counterexample{
+            .loads = loads,
+            .thief = thief,
+            .stealee = std::nullopt,
+            .steal_order = {},
+            .note = "an overloaded core exists but the idle thief's filter set is empty"};
+        return false;
+      }
+      // Conjunct 2: every filtered core is overloaded.
+      for (CpuId c : candidates) {
+        if (!LoadOverloaded(loads[c])) {
+          result.holds = false;
+          result.counterexample =
+              Counterexample{.loads = loads,
+                             .thief = thief,
+                             .stealee = c,
+                             .steal_order = {},
+                             .note = "filter admits a non-overloaded core"};
+          return false;
+        }
+      }
+    }
+    return true;
+  });
+  return result;
+}
+
+CheckResult CheckFilterSelectsOverloaded(const BalancePolicy& policy, const Bounds& bounds,
+                                         const Topology* topology) {
+  CheckResult result;
+  result.property = "filter-selects-overloaded(any thief)";
+  result.holds = true;
+  result.states_checked = ForEachState(bounds, [&](const std::vector<int64_t>& loads) {
+    const MachineState machine = MachineState::FromLoads(loads);
+    const LoadSnapshot snapshot = machine.Snapshot();
+    for (CpuId thief = 0; thief < machine.num_cpus(); ++thief) {
+      const SelectionView view{.self = thief, .snapshot = snapshot, .topology = topology};
+      for (CpuId stealee = 0; stealee < machine.num_cpus(); ++stealee) {
+        if (stealee == thief) {
+          continue;
+        }
+        ++result.checks_performed;
+        if (policy.CanSteal(view, stealee) && !LoadOverloaded(loads[stealee])) {
+          result.holds = false;
+          result.counterexample =
+              Counterexample{.loads = loads,
+                             .thief = thief,
+                             .stealee = stealee,
+                             .steal_order = {},
+                             .note = "filter admits a non-overloaded core"};
+          return false;
+        }
+      }
+    }
+    return true;
+  });
+  return result;
+}
+
+CheckResult CheckStealSafety(const BalancePolicy& policy, const Bounds& bounds,
+                             const Topology* topology) {
+  CheckResult result;
+  result.property = "steal-safety(victim never idled, no task lost, idle thief succeeds)";
+  result.holds = true;
+  // ExecuteStealPhase requires shared ownership of the policy; alias with a
+  // no-op deleter since `policy` outlives the balancer.
+  const std::shared_ptr<const BalancePolicy> alias(&policy, [](const BalancePolicy*) {});
+  result.states_checked = ForEachState(bounds, [&](const std::vector<int64_t>& loads) {
+    for (CpuId thief = 0; thief < static_cast<CpuId>(loads.size()); ++thief) {
+      for (CpuId victim = 0; victim < static_cast<CpuId>(loads.size()); ++victim) {
+        if (victim == thief) {
+          continue;
+        }
+        MachineState machine = MachineState::FromLoads(loads);
+        const LoadSnapshot snapshot = machine.Snapshot();
+        const SelectionView view{.self = thief, .snapshot = snapshot, .topology = topology};
+        if (!policy.CanSteal(view, victim)) {
+          continue;
+        }
+        ++result.checks_performed;
+        LoadBalancer balancer(alias, topology);
+        const uint64_t tasks_before = machine.TotalTasks();
+        const CoreAction action = balancer.ExecuteStealPhase(machine, thief, victim);
+        auto fail = [&](const std::string& note) {
+          result.holds = false;
+          result.counterexample = Counterexample{
+              .loads = loads, .thief = thief, .stealee = victim, .steal_order = {}, .note = note};
+        };
+        if (machine.TotalTasks() != tasks_before) {
+          fail("steal phase lost or duplicated a task");
+          return false;
+        }
+        if (action.outcome == StealOutcome::kStole) {
+          if (machine.IsIdle(victim)) {
+            fail("victim ended up idle after the steal ('stole too much')");
+            return false;
+          }
+          if (machine.Load(thief, LoadMetric::kTaskCount) != loads[thief] + 1) {
+            fail("thief did not gain exactly one task");
+            return false;
+          }
+        } else if (LoadIdle(loads[thief])) {
+          // Sequential setting: there is no concurrent interference, so an
+          // idle thief whose filter admitted the victim must succeed
+          // ("the idle core actually steals threads", §4.2).
+          fail("idle thief's admitted steal failed without concurrency");
+          return false;
+        }
+      }
+    }
+    return true;
+  });
+  return result;
+}
+
+CheckResult CheckPotentialDecrease(const BalancePolicy& policy, const Bounds& bounds,
+                                   const Topology* topology) {
+  CheckResult result;
+  result.property = "potential-decrease(every successful steal strictly decreases d)";
+  result.holds = true;
+  const std::shared_ptr<const BalancePolicy> alias(&policy, [](const BalancePolicy*) {});
+  const LoadMetric metric = policy.metric();
+  result.states_checked = ForEachState(bounds, [&](const std::vector<int64_t>& loads) {
+    for (CpuId thief = 0; thief < static_cast<CpuId>(loads.size()); ++thief) {
+      for (CpuId victim = 0; victim < static_cast<CpuId>(loads.size()); ++victim) {
+        if (victim == thief) {
+          continue;
+        }
+        MachineState machine = MachineState::FromLoads(loads);
+        const LoadSnapshot snapshot = machine.Snapshot();
+        const SelectionView view{.self = thief, .snapshot = snapshot, .topology = topology};
+        if (!policy.CanSteal(view, victim)) {
+          continue;
+        }
+        ++result.checks_performed;
+        const int64_t d_before = machine.Potential(metric);
+        LoadBalancer balancer(alias, topology);
+        const CoreAction action = balancer.ExecuteStealPhase(machine, thief, victim);
+        if (action.outcome != StealOutcome::kStole) {
+          continue;
+        }
+        const int64_t d_after = machine.Potential(metric);
+        if (d_after >= d_before) {
+          result.holds = false;
+          result.counterexample = Counterexample{
+              .loads = loads,
+              .thief = thief,
+              .stealee = victim,
+              .steal_order = {},
+              .note = "successful steal did not strictly decrease the potential d"};
+          return false;
+        }
+      }
+    }
+    return true;
+  });
+  return result;
+}
+
+CheckResult CheckWithMinimalCounterexample(StateCheck check, const BalancePolicy& policy,
+                                           const Bounds& bounds, const Topology* topology) {
+  CheckResult aggregate;
+  aggregate.holds = true;
+  const int64_t max_total = bounds.max_load * static_cast<int64_t>(bounds.num_cores);
+  for (int64_t total = 0; total <= max_total; ++total) {
+    Bounds slice = bounds;
+    slice.total_load = total;
+    CheckResult result = check(policy, slice, topology);
+    aggregate.property = result.property + " [minimal counterexample search]";
+    aggregate.states_checked += result.states_checked;
+    aggregate.checks_performed += result.checks_performed;
+    if (!result.holds) {
+      aggregate.holds = false;
+      aggregate.counterexample = std::move(result.counterexample);
+      return aggregate;  // first failing slice = fewest tasks
+    }
+  }
+  return aggregate;
+}
+
+}  // namespace optsched::verify

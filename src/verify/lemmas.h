@@ -1,0 +1,62 @@
+// Per-state proof obligations (paper §4.2, "Simple context - No concurrency").
+//
+// These are the C++ analogs of the Leon lemmas:
+//
+//  * Lemma 1 (Listing 2): for every state and every *idle* thief,
+//      (exists overloaded core  ==>  the thief's filter set is non-empty) AND
+//      (every filtered core is overloaded).
+//    "an idle core wants to steal from overloaded cores (and only them)".
+//
+//  * FilterSelectsOverloaded: the second conjunct for arbitrary (also
+//    non-idle) thieves — the filter never targets a non-overloaded core.
+//
+//  * StealSafety: "during the stealing phase, the idle core actually steals
+//    threads from an overloaded core, and does not steal too much from that
+//    overloaded core (i.e. ... the overloaded core should not end up idle)".
+//    Checked against the real engine (LoadBalancer::ExecuteStealPhase), for
+//    every (state, thief, victim) pair the filter admits: the steal succeeds
+//    when the thief is idle, the victim never ends up idle, and no task is
+//    lost or duplicated.
+//
+//  * PotentialDecrease (§4.3): every successful steal strictly decreases
+//      d(c1..cn) = sum_i sum_j |load_i - load_j|
+//    — the ranking function that bounds the number of successful steals.
+//
+// Each check enumerates every machine state within the given bounds and
+// returns the first concrete counterexample on failure.
+
+#ifndef OPTSCHED_SRC_VERIFY_LEMMAS_H_
+#define OPTSCHED_SRC_VERIFY_LEMMAS_H_
+
+#include "src/core/policy.h"
+#include "src/topology/topology.h"
+#include "src/verify/property.h"
+#include "src/verify/state_space.h"
+
+namespace optsched::verify {
+
+CheckResult CheckLemma1(const BalancePolicy& policy, const Bounds& bounds,
+                        const Topology* topology = nullptr);
+
+CheckResult CheckFilterSelectsOverloaded(const BalancePolicy& policy, const Bounds& bounds,
+                                         const Topology* topology = nullptr);
+
+CheckResult CheckStealSafety(const BalancePolicy& policy, const Bounds& bounds,
+                             const Topology* topology = nullptr);
+
+CheckResult CheckPotentialDecrease(const BalancePolicy& policy, const Bounds& bounds,
+                                   const Topology* topology = nullptr);
+
+// Re-runs `check` over slices of increasing total load so the returned
+// counterexample (if any) has the minimum possible number of tasks — the
+// most readable refutation for a policy author. `check` is any of the
+// per-state obligations above. Slightly slower than a direct check (it
+// revisits small totals) but still bounded by one full sweep.
+using StateCheck = CheckResult (*)(const BalancePolicy&, const Bounds&, const Topology*);
+CheckResult CheckWithMinimalCounterexample(StateCheck check, const BalancePolicy& policy,
+                                           const Bounds& bounds,
+                                           const Topology* topology = nullptr);
+
+}  // namespace optsched::verify
+
+#endif  // OPTSCHED_SRC_VERIFY_LEMMAS_H_

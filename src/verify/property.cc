@@ -1,0 +1,53 @@
+#include "src/verify/property.h"
+
+#include "src/base/str.h"
+
+namespace optsched::verify {
+
+namespace {
+
+std::string LoadsToString(const std::vector<int64_t>& loads) {
+  std::vector<std::string> parts;
+  parts.reserve(loads.size());
+  for (int64_t l : loads) {
+    parts.push_back(StrFormat("%lld", static_cast<long long>(l)));
+  }
+  return "(" + Join(parts, ",") + ")";
+}
+
+}  // namespace
+
+std::string Counterexample::ToString() const {
+  std::string out = "loads=" + LoadsToString(loads);
+  if (thief.has_value()) {
+    out += StrFormat(" thief=%u", *thief);
+  }
+  if (stealee.has_value()) {
+    out += StrFormat(" stealee=%u", *stealee);
+  }
+  if (!steal_order.empty()) {
+    std::vector<std::string> parts;
+    for (uint32_t c : steal_order) {
+      parts.push_back(StrFormat("%u", c));
+    }
+    out += " order=[" + Join(parts, ",") + "]";
+  }
+  if (!note.empty()) {
+    out += " note=\"" + note + "\"";
+  }
+  return out;
+}
+
+std::string CheckResult::ToString() const {
+  if (holds) {
+    return StrFormat("%s: HOLDS (%llu states, %llu checks)", property.c_str(),
+                     static_cast<unsigned long long>(states_checked),
+                     static_cast<unsigned long long>(checks_performed));
+  }
+  return StrFormat("%s: VIOLATED (%llu states, %llu checks) counterexample: %s",
+                   property.c_str(), static_cast<unsigned long long>(states_checked),
+                   static_cast<unsigned long long>(checks_performed),
+                   counterexample.has_value() ? counterexample->ToString().c_str() : "<none>");
+}
+
+}  // namespace optsched::verify

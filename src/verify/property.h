@@ -1,0 +1,40 @@
+// Property-check result types shared by all verifier passes.
+
+#ifndef OPTSCHED_SRC_VERIFY_PROPERTY_H_
+#define OPTSCHED_SRC_VERIFY_PROPERTY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/topology/topology.h"
+
+namespace optsched::verify {
+
+// A concrete refutation of a property: the machine state (as a load vector)
+// and, where applicable, the acting cores and the adversarial steal order
+// that exhibit the violation.
+struct Counterexample {
+  std::vector<int64_t> loads;
+  std::optional<CpuId> thief;
+  std::optional<CpuId> stealee;
+  std::vector<uint32_t> steal_order;  // empty unless an order was involved
+  std::string note;
+
+  std::string ToString() const;
+};
+
+struct CheckResult {
+  std::string property;
+  bool holds = false;
+  uint64_t states_checked = 0;
+  uint64_t checks_performed = 0;  // individual obligations (state x pair x order)
+  std::optional<Counterexample> counterexample;
+
+  std::string ToString() const;
+};
+
+}  // namespace optsched::verify
+
+#endif  // OPTSCHED_SRC_VERIFY_PROPERTY_H_

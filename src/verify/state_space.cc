@@ -1,0 +1,51 @@
+#include "src/verify/state_space.h"
+
+#include "src/base/check.h"
+
+namespace optsched::verify {
+
+namespace {
+
+// Depth-first enumeration of load vectors. Prunes on total_load and on the
+// sorted_only constraint as it goes, so the visited count equals the logical
+// state count.
+bool Enumerate(const Bounds& bounds, std::vector<int64_t>& loads, uint32_t index,
+               int64_t running_total, uint64_t& visited,
+               const std::function<bool(const std::vector<int64_t>&)>& visit) {
+  if (index == bounds.num_cores) {
+    if (bounds.total_load >= 0 && running_total != bounds.total_load) {
+      return true;
+    }
+    ++visited;
+    return visit(loads);
+  }
+  const int64_t lo = bounds.sorted_only && index > 0 ? loads[index - 1] : 0;
+  for (int64_t value = lo; value <= bounds.max_load; ++value) {
+    if (bounds.total_load >= 0 && running_total + value > bounds.total_load) {
+      break;
+    }
+    loads[index] = value;
+    if (!Enumerate(bounds, loads, index + 1, running_total + value, visited, visit)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t ForEachState(const Bounds& bounds,
+                      const std::function<bool(const std::vector<int64_t>&)>& visit) {
+  OPTSCHED_CHECK(bounds.num_cores > 0);
+  OPTSCHED_CHECK(bounds.max_load >= 0);
+  std::vector<int64_t> loads(bounds.num_cores, 0);
+  uint64_t visited = 0;
+  Enumerate(bounds, loads, 0, 0, visited, visit);
+  return visited;
+}
+
+uint64_t CountStates(const Bounds& bounds) {
+  return ForEachState(bounds, [](const std::vector<int64_t>&) { return true; });
+}
+
+}  // namespace optsched::verify

@@ -1,0 +1,46 @@
+// Bounded machine-state enumeration.
+//
+// The Leon substitution (DESIGN.md): the paper's lemmas are universally
+// quantified over core-state vectors, but for integer-load models they only
+// depend on the per-core load values. That makes them finitely refutable —
+// enumerating every load vector within a bound exercises exactly the same
+// proof obligations Leon discharges symbolically, and produces concrete
+// counterexamples when an obligation fails (e.g. the §4.3 broken filter or
+// the group-sum hierarchical filter).
+
+#ifndef OPTSCHED_SRC_VERIFY_STATE_SPACE_H_
+#define OPTSCHED_SRC_VERIFY_STATE_SPACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace optsched::verify {
+
+// Bounds of the exhaustive sweep. The default (4 cores, loads 0..5) covers
+// every scenario the paper discusses, including the 3-core ping-pong example,
+// in well under a second.
+struct Bounds {
+  uint32_t num_cores = 4;
+  int64_t max_load = 5;
+  // If >= 0, restrict enumeration to states whose loads sum to exactly this
+  // (useful for sweeping the reachable set of a fixed workload).
+  int64_t total_load = -1;
+  // Symmetry reduction: visit only non-decreasing load vectors. Sound only
+  // for core-symmetric policies (no groups / topology), where predicates are
+  // invariant under core renaming. Default off.
+  bool sorted_only = false;
+};
+
+// Invokes `visit` for every load vector within `bounds`. `visit` returns
+// false to abort the sweep early (e.g. after the first counterexample).
+// Returns the number of states visited.
+uint64_t ForEachState(const Bounds& bounds,
+                      const std::function<bool(const std::vector<int64_t>&)>& visit);
+
+// Number of states ForEachState would visit (no callback).
+uint64_t CountStates(const Bounds& bounds);
+
+}  // namespace optsched::verify
+
+#endif  // OPTSCHED_SRC_VERIFY_STATE_SPACE_H_

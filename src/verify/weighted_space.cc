@@ -1,0 +1,242 @@
+#include "src/verify/weighted_space.h"
+
+#include "src/base/check.h"
+#include "src/base/str.h"
+#include "src/core/balancer.h"
+
+namespace optsched::verify {
+
+namespace {
+
+using CoreWeights = std::vector<uint32_t>;  // non-decreasing multiset
+
+// All multisets of size 0..max_size over the alphabet, non-decreasing.
+void EnumerateMultisets(const std::vector<uint32_t>& alphabet, uint32_t max_size,
+                        CoreWeights& current, size_t min_index,
+                        std::vector<CoreWeights>& out) {
+  out.push_back(current);
+  if (current.size() == max_size) {
+    return;
+  }
+  for (size_t i = min_index; i < alphabet.size(); ++i) {
+    current.push_back(alphabet[i]);
+    EnumerateMultisets(alphabet, max_size, current, i, out);
+    current.pop_back();
+  }
+}
+
+MachineState BuildMachine(const std::vector<const CoreWeights*>& per_core) {
+  MachineState machine(static_cast<uint32_t>(per_core.size()));
+  TaskId next = 1;
+  for (CpuId cpu = 0; cpu < per_core.size(); ++cpu) {
+    for (uint32_t weight : *per_core[cpu]) {
+      Task task;
+      task.id = next++;
+      task.weight = weight;
+      machine.Place(std::move(task), cpu);
+    }
+  }
+  machine.ScheduleAll();
+  return machine;
+}
+
+bool EnumerateMachines(const WeightedBounds& bounds,
+                       const std::vector<CoreWeights>& multisets,
+                       std::vector<const CoreWeights*>& per_core, uint32_t index,
+                       uint64_t& visited,
+                       const std::function<bool(const MachineState&)>& visit) {
+  if (index == bounds.num_cores) {
+    ++visited;
+    return visit(BuildMachine(per_core));
+  }
+  for (const CoreWeights& multiset : multisets) {
+    per_core[index] = &multiset;
+    if (!EnumerateMachines(bounds, multisets, per_core, index + 1, visited, visit)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string DescribeMachine(const MachineState& machine) {
+  std::string out;
+  for (CpuId cpu = 0; cpu < machine.num_cpus(); ++cpu) {
+    if (cpu > 0) {
+      out += " | ";
+    }
+    out += StrFormat("cpu%u:", cpu);
+    if (machine.core(cpu).current().has_value()) {
+      out += StrFormat(" [%u]", machine.core(cpu).current()->weight);
+    }
+    for (const Task& t : machine.core(cpu).ready()) {
+      out += StrFormat(" %u", t.weight);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t ForEachWeightedState(const WeightedBounds& bounds,
+                              const std::function<bool(const MachineState&)>& visit) {
+  OPTSCHED_CHECK(bounds.num_cores > 0);
+  OPTSCHED_CHECK(!bounds.weights.empty());
+  for (uint32_t w : bounds.weights) {
+    OPTSCHED_CHECK_MSG(w > 0, "task weights must be positive");
+  }
+  std::vector<CoreWeights> multisets;
+  CoreWeights scratch;
+  EnumerateMultisets(bounds.weights, bounds.max_tasks_per_core, scratch, 0, multisets);
+  std::vector<const CoreWeights*> per_core(bounds.num_cores, nullptr);
+  uint64_t visited = 0;
+  EnumerateMachines(bounds, multisets, per_core, 0, visited, visit);
+  return visited;
+}
+
+uint64_t CountWeightedStates(const WeightedBounds& bounds) {
+  return ForEachWeightedState(bounds, [](const MachineState&) { return true; });
+}
+
+CheckResult CheckWeightedLemma1(const BalancePolicy& policy, const WeightedBounds& bounds,
+                                const Topology* topology) {
+  CheckResult result;
+  result.property = "weighted-lemma1(idle thief targets overloaded cores, and only them)";
+  result.holds = true;
+  result.states_checked = ForEachWeightedState(bounds, [&](const MachineState& machine) {
+    const LoadSnapshot snapshot = machine.Snapshot();
+    bool any_overloaded = false;
+    for (CpuId cpu = 0; cpu < machine.num_cpus(); ++cpu) {
+      any_overloaded |= machine.IsOverloaded(cpu);
+    }
+    for (CpuId thief = 0; thief < machine.num_cpus(); ++thief) {
+      if (!machine.IsIdle(thief)) {
+        continue;
+      }
+      ++result.checks_performed;
+      const SelectionView view{.self = thief, .snapshot = snapshot, .topology = topology};
+      const std::vector<CpuId> candidates = policy.FilterCandidates(view);
+      if (any_overloaded && candidates.empty()) {
+        result.holds = false;
+        result.counterexample = Counterexample{
+            .loads = machine.Loads(LoadMetric::kWeightedLoad),
+            .thief = thief,
+            .stealee = std::nullopt,
+            .steal_order = {},
+            .note = "overloaded core exists but idle thief's filter is empty: " +
+                    DescribeMachine(machine)};
+        return false;
+      }
+      for (CpuId c : candidates) {
+        if (!machine.IsOverloaded(c)) {
+          result.holds = false;
+          result.counterexample =
+              Counterexample{.loads = machine.Loads(LoadMetric::kWeightedLoad),
+                             .thief = thief,
+                             .stealee = c,
+                             .steal_order = {},
+                             .note = "filter admits a non-overloaded core: " +
+                                     DescribeMachine(machine)};
+          return false;
+        }
+      }
+    }
+    return true;
+  });
+  return result;
+}
+
+CheckResult CheckWeightedStealSafety(const BalancePolicy& policy, const WeightedBounds& bounds,
+                                     const Topology* topology) {
+  CheckResult result;
+  result.property =
+      "weighted-steal-safety(victim never idled, weight conserved, idle thief succeeds)";
+  result.holds = true;
+  const std::shared_ptr<const BalancePolicy> alias(&policy, [](const BalancePolicy*) {});
+  result.states_checked = ForEachWeightedState(bounds, [&](const MachineState& machine) {
+    for (CpuId thief = 0; thief < machine.num_cpus(); ++thief) {
+      for (CpuId victim = 0; victim < machine.num_cpus(); ++victim) {
+        if (victim == thief) {
+          continue;
+        }
+        MachineState working = machine;
+        const LoadSnapshot snapshot = working.Snapshot();
+        const SelectionView view{.self = thief, .snapshot = snapshot, .topology = topology};
+        if (!policy.CanSteal(view, victim)) {
+          continue;
+        }
+        ++result.checks_performed;
+        LoadBalancer balancer(alias, topology);
+        const int64_t weight_before = working.TotalWeight();
+        const CoreAction action = balancer.ExecuteStealPhase(working, thief, victim);
+        auto fail = [&](const std::string& note) {
+          result.holds = false;
+          result.counterexample =
+              Counterexample{.loads = machine.Loads(LoadMetric::kWeightedLoad),
+                             .thief = thief,
+                             .stealee = victim,
+                             .steal_order = {},
+                             .note = note + ": " + DescribeMachine(machine)};
+        };
+        if (working.TotalWeight() != weight_before) {
+          fail("steal changed total weight");
+          return false;
+        }
+        if (action.outcome == StealOutcome::kStole && working.IsIdle(victim)) {
+          fail("victim idled by the steal");
+          return false;
+        }
+        if (action.outcome != StealOutcome::kStole && machine.IsIdle(thief)) {
+          fail("idle thief's admitted steal failed without concurrency");
+          return false;
+        }
+      }
+    }
+    return true;
+  });
+  return result;
+}
+
+CheckResult CheckWeightedPotentialDecrease(const BalancePolicy& policy,
+                                           const WeightedBounds& bounds,
+                                           const Topology* topology) {
+  CheckResult result;
+  result.property = "weighted-potential-decrease(successful steals strictly decrease d)";
+  result.holds = true;
+  const std::shared_ptr<const BalancePolicy> alias(&policy, [](const BalancePolicy*) {});
+  const LoadMetric metric = policy.metric();
+  result.states_checked = ForEachWeightedState(bounds, [&](const MachineState& machine) {
+    for (CpuId thief = 0; thief < machine.num_cpus(); ++thief) {
+      for (CpuId victim = 0; victim < machine.num_cpus(); ++victim) {
+        if (victim == thief) {
+          continue;
+        }
+        MachineState working = machine;
+        const LoadSnapshot snapshot = working.Snapshot();
+        const SelectionView view{.self = thief, .snapshot = snapshot, .topology = topology};
+        if (!policy.CanSteal(view, victim)) {
+          continue;
+        }
+        ++result.checks_performed;
+        const int64_t d_before = working.Potential(metric);
+        LoadBalancer balancer(alias, topology);
+        const CoreAction action = balancer.ExecuteStealPhase(working, thief, victim);
+        if (action.outcome == StealOutcome::kStole &&
+            working.Potential(metric) >= d_before) {
+          result.holds = false;
+          result.counterexample =
+              Counterexample{.loads = machine.Loads(LoadMetric::kWeightedLoad),
+                             .thief = thief,
+                             .stealee = victim,
+                             .steal_order = {},
+                             .note = "steal did not strictly decrease weighted d: " +
+                                     DescribeMachine(machine)};
+          return false;
+        }
+      }
+    }
+    return true;
+  });
+  return result;
+}
+
+}  // namespace optsched::verify

@@ -1,0 +1,63 @@
+// Weighted machine-state enumeration and the §4.2/§4.3 obligations over it.
+//
+// The load-vector state space (state_space.h) models anonymous equal-weight
+// tasks — complete for count-metric policies, but too coarse for policies
+// that balance "the number of threads weighted by their importance" (§3.1):
+// their behaviour depends on *which* weights sit in each runqueue. This
+// module enumerates machines where every core holds a multiset of task
+// weights drawn from a small alphabet, and re-discharges the paper's
+// obligations there:
+//
+//   * Lemma 1 (weighted): an idle thief's filter set is non-empty whenever
+//     an overloaded core exists, and only overloaded cores pass the filter;
+//   * steal safety: admitted steals by idle thieves succeed, never idle the
+//     victim, and never lose weight;
+//   * potential decrease: every successful steal strictly decreases the
+//     weighted potential d.
+//
+// Weight multisets grow combinatorially, so bounds are tighter than the
+// count-space ones; every weighted-policy subtlety we know of (e.g. "no task
+// light enough to move" failures) already appears with 3 cores, 2 tasks per
+// core and 3 distinct weights.
+
+#ifndef OPTSCHED_SRC_VERIFY_WEIGHTED_SPACE_H_
+#define OPTSCHED_SRC_VERIFY_WEIGHTED_SPACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/core/policy.h"
+#include "src/sched/machine_state.h"
+#include "src/verify/property.h"
+
+namespace optsched::verify {
+
+struct WeightedBounds {
+  uint32_t num_cores = 3;
+  uint32_t max_tasks_per_core = 2;
+  // The weight alphabet. Values need not be realistic niceness weights —
+  // the obligations are scale-free — but they must be positive.
+  std::vector<uint32_t> weights = {1, 2, 3};
+};
+
+// Invokes `visit` for every machine within bounds (each core holds a
+// non-decreasing multiset over the alphabet). Returns states visited;
+// `visit` returns false to stop early.
+uint64_t ForEachWeightedState(const WeightedBounds& bounds,
+                              const std::function<bool(const MachineState&)>& visit);
+
+// Number of states ForEachWeightedState would visit.
+uint64_t CountWeightedStates(const WeightedBounds& bounds);
+
+CheckResult CheckWeightedLemma1(const BalancePolicy& policy, const WeightedBounds& bounds,
+                                const Topology* topology = nullptr);
+CheckResult CheckWeightedStealSafety(const BalancePolicy& policy, const WeightedBounds& bounds,
+                                     const Topology* topology = nullptr);
+CheckResult CheckWeightedPotentialDecrease(const BalancePolicy& policy,
+                                           const WeightedBounds& bounds,
+                                           const Topology* topology = nullptr);
+
+}  // namespace optsched::verify
+
+#endif  // OPTSCHED_SRC_VERIFY_WEIGHTED_SPACE_H_

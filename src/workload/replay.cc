@@ -1,0 +1,140 @@
+#include "src/workload/replay.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/base/str.h"
+#include "src/workload/workloads.h"
+
+namespace optsched::workload {
+
+void WorkloadTrace::Add(sim::SimTime when, const sim::TaskSpec& spec,
+                        std::optional<CpuId> cpu_hint) {
+  records_.push_back(SubmitRecord{when, spec, cpu_hint});
+}
+
+void WorkloadTrace::SubmitAll(sim::Simulator& simulator) const {
+  for (const SubmitRecord& record : records_) {
+    simulator.Submit(record.spec, record.when, record.cpu_hint);
+  }
+}
+
+std::string WorkloadTrace::Serialize() const {
+  std::string out = "# optsched-workload-v1\n";
+  for (const SubmitRecord& r : records_) {
+    out += StrFormat("submit %llu %d %u %llu %llu %llu %llu %lld\n",
+                     static_cast<unsigned long long>(r.when), r.spec.nice, r.spec.home_node,
+                     static_cast<unsigned long long>(r.spec.total_service_us),
+                     static_cast<unsigned long long>(r.spec.burst_us),
+                     static_cast<unsigned long long>(r.spec.mean_block_us),
+                     static_cast<unsigned long long>(r.spec.allowed_mask),
+                     r.cpu_hint.has_value() ? static_cast<long long>(*r.cpu_hint) : -1ll);
+  }
+  return out;
+}
+
+std::optional<WorkloadTrace> WorkloadTrace::Parse(std::string_view text, std::string* error) {
+  const auto fail = [&](const std::string& message) -> std::optional<WorkloadTrace> {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return std::nullopt;
+  };
+  WorkloadTrace trace;
+  size_t line_number = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_number;
+    const std::string_view line = StripWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (!StartsWith(line, "submit ")) {
+      return fail(StrFormat("line %zu: expected 'submit ...'", line_number));
+    }
+    unsigned long long when = 0;
+    unsigned long long service = 0;
+    unsigned long long burst = 0;
+    unsigned long long block = 0;
+    unsigned long long mask = 0;
+    int nice = 0;
+    unsigned node = 0;
+    long long hint = -1;
+    const int matched =
+        std::sscanf(std::string(line).c_str(), "submit %llu %d %u %llu %llu %llu %llu %lld",
+                    &when, &nice, &node, &service, &burst, &block, &mask, &hint);
+    if (matched != 8) {
+      return fail(StrFormat("line %zu: malformed submit record (%d of 8 fields)", line_number,
+                            matched));
+    }
+    if (nice < kMinNice || nice > kMaxNice) {
+      return fail(StrFormat("line %zu: nice %d out of range", line_number, nice));
+    }
+    if (service == 0) {
+      return fail(StrFormat("line %zu: zero service time", line_number));
+    }
+    sim::TaskSpec spec;
+    spec.nice = nice;
+    spec.home_node = node;
+    spec.total_service_us = service;
+    spec.burst_us = burst;
+    spec.mean_block_us = block;
+    spec.allowed_mask = mask;
+    trace.Add(when, spec,
+              hint >= 0 ? std::make_optional(static_cast<CpuId>(hint)) : std::nullopt);
+  }
+  return trace;
+}
+
+WorkloadTrace WorkloadTrace::FromStaticImbalance(const StaticImbalanceConfig& config,
+                                                 const Topology& topology) {
+  OPTSCHED_CHECK(config.initial_cpus > 0 && config.initial_cpus <= topology.num_cpus());
+  WorkloadTrace trace;
+  for (uint32_t i = 0; i < config.num_tasks; ++i) {
+    sim::TaskSpec spec;
+    spec.total_service_us = config.service_us;
+    const CpuId cpu = i % config.initial_cpus;
+    spec.home_node = topology.NodeOf(cpu);
+    trace.Add(0, spec, cpu);
+  }
+  return trace;
+}
+
+WorkloadTrace WorkloadTrace::FromOltp(const OltpConfig& config, const Topology& topology) {
+  WorkloadTrace trace;
+  const uint32_t nodes = topology.num_nodes();
+  for (uint32_t i = 0; i < config.num_workers; ++i) {
+    sim::TaskSpec spec;
+    spec.total_service_us = std::max<uint64_t>(
+        config.txn_service_us,
+        config.duration_us * config.txn_service_us /
+            std::max<uint64_t>(1, config.txn_service_us + config.mean_io_wait_us));
+    spec.burst_us = config.txn_service_us;
+    spec.mean_block_us = config.mean_io_wait_us;
+    spec.home_node = i % nodes;
+    trace.Add(0, spec);
+  }
+  return trace;
+}
+
+WorkloadTrace WorkloadTrace::FromPoisson(const PoissonConfig& config,
+                                         const Topology& topology) {
+  WorkloadTrace trace;
+  Rng rng(config.seed);
+  const double rate_per_us = config.arrivals_per_sec / 1e6;
+  const uint32_t nodes = topology.num_nodes();
+  double time_us = 0.0;
+  for (;;) {
+    time_us += rng.NextExponential(rate_per_us);
+    if (time_us >= static_cast<double>(config.duration_us)) {
+      return trace;
+    }
+    sim::TaskSpec spec;
+    spec.total_service_us = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               rng.NextExponential(1.0 / static_cast<double>(config.mean_service_us))));
+    spec.home_node = static_cast<NodeId>(rng.NextBelow(nodes));
+    trace.Add(static_cast<sim::SimTime>(time_us), spec);
+  }
+}
+
+}  // namespace optsched::workload

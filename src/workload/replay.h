@@ -1,0 +1,65 @@
+// Workload recording and replay.
+//
+// A WorkloadTrace is an explicit list of task submissions (time, behaviour,
+// placement hint). Capturing a generated workload into a trace and replaying
+// it under different policies gives *paired* comparisons — identical
+// arrivals, identical service demands — which is how the E6-style
+// policy-vs-policy tables avoid confounding the workload with the scheduler.
+// Traces serialize to a line-oriented text format for archival:
+//
+//   # optsched-workload-v1
+//   submit when_us nice home_node service_us burst_us mean_block_us mask hint
+//
+// (hint is -1 when absent; mask is the affinity bitmask, 0 = unrestricted.)
+
+#ifndef OPTSCHED_SRC_WORKLOAD_REPLAY_H_
+#define OPTSCHED_SRC_WORKLOAD_REPLAY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/workload/workloads.h"
+
+namespace optsched::workload {
+
+struct SubmitRecord {
+  sim::SimTime when = 0;
+  sim::TaskSpec spec;
+  std::optional<CpuId> cpu_hint;
+};
+
+class WorkloadTrace {
+ public:
+  WorkloadTrace() = default;
+
+  void Add(sim::SimTime when, const sim::TaskSpec& spec,
+           std::optional<CpuId> cpu_hint = std::nullopt);
+
+  const std::vector<SubmitRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  // Submits every record into the simulator (which must be at time 0).
+  void SubmitAll(sim::Simulator& simulator) const;
+
+  // Text round-trip.
+  std::string Serialize() const;
+  // Returns nullopt and sets `error` (if non-null) on malformed input.
+  static std::optional<WorkloadTrace> Parse(std::string_view text, std::string* error = nullptr);
+
+  // Capture helpers: generate a workload deterministically into a trace
+  // instead of submitting it directly.
+  static WorkloadTrace FromStaticImbalance(const StaticImbalanceConfig& config,
+                                           const Topology& topology);
+  static WorkloadTrace FromOltp(const OltpConfig& config, const Topology& topology);
+  static WorkloadTrace FromPoisson(const PoissonConfig& config, const Topology& topology);
+
+ private:
+  std::vector<SubmitRecord> records_;
+};
+
+}  // namespace optsched::workload
+
+#endif  // OPTSCHED_SRC_WORKLOAD_REPLAY_H_

@@ -1,0 +1,73 @@
+#include "src/workload/workloads.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/workload/replay.h"
+
+namespace optsched::workload {
+
+void SubmitStaticImbalance(sim::Simulator& simulator, const StaticImbalanceConfig& config) {
+  OPTSCHED_CHECK(config.initial_cpus > 0);
+  OPTSCHED_CHECK(config.initial_cpus <= simulator.topology().num_cpus());
+  WorkloadTrace::FromStaticImbalance(config, simulator.topology()).SubmitAll(simulator);
+}
+
+namespace {
+
+// Fork-join phase driver: counts phase completions and forks the next phase
+// once the barrier is reached. Owned by the shared_ptr handle returned to the
+// caller so the callback state outlives Run().
+struct ForkJoinDriver {
+  ForkJoinConfig config;
+  sim::Simulator* simulator = nullptr;
+  Rng rng;
+  uint32_t phase = 0;
+  uint32_t outstanding = 0;
+
+  explicit ForkJoinDriver(const ForkJoinConfig& cfg, sim::Simulator* s)
+      : config(cfg), simulator(s), rng(cfg.seed) {}
+
+  void ForkPhase(sim::SimTime now) {
+    ++phase;
+    outstanding = config.tasks_per_phase;
+    for (uint32_t i = 0; i < config.tasks_per_phase; ++i) {
+      sim::TaskSpec spec;
+      const double jitter =
+          1.0 + config.jitter_frac * (2.0 * rng.NextDouble() - 1.0);
+      spec.total_service_us = std::max<uint64_t>(
+          1, static_cast<uint64_t>(static_cast<double>(config.task_service_us) * jitter));
+      spec.home_node = simulator->topology().NodeOf(config.master_cpu);
+      // All forks land where the master runs: the canonical fork-join
+      // imbalance the balancer must spread out.
+      simulator->Submit(spec, now, config.master_cpu);
+    }
+  }
+
+  void OnExit(sim::SimTime now) {
+    OPTSCHED_CHECK(outstanding > 0);
+    if (--outstanding == 0 && phase < config.num_phases) {
+      ForkPhase(now);
+    }
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<void> InstallForkJoin(sim::Simulator& simulator, const ForkJoinConfig& config) {
+  OPTSCHED_CHECK(config.num_phases > 0 && config.tasks_per_phase > 0);
+  auto driver = std::make_shared<ForkJoinDriver>(config, &simulator);
+  simulator.SetOnTaskExit([driver](TaskId, sim::SimTime now) { driver->OnExit(now); });
+  driver->ForkPhase(0);
+  return driver;
+}
+
+void SubmitOltp(sim::Simulator& simulator, const OltpConfig& config) {
+  WorkloadTrace::FromOltp(config, simulator.topology()).SubmitAll(simulator);
+}
+
+void SubmitPoisson(sim::Simulator& simulator, const PoissonConfig& config) {
+  WorkloadTrace::FromPoisson(config, simulator.topology()).SubmitAll(simulator);
+}
+
+}  // namespace optsched::workload

@@ -1,0 +1,189 @@
+// CPU-affinity tests: masks constrain placement and stealing; pinned tasks
+// create legitimate (unfixable) idleness, which the affinity-aware
+// work-conservation predicate distinguishes from scheduler waste; and the
+// Lozi-style "pinned group imbalance" reproduces under the CFS-like policy.
+
+#include <gtest/gtest.h>
+
+#include "src/core/balancer.h"
+#include "src/core/conservation.h"
+#include "src/core/policies/cfs_like.h"
+#include "src/core/policies/locality.h"
+#include "src/core/policies/thread_count.h"
+#include "src/sim/simulator.h"
+
+namespace optsched {
+namespace {
+
+Task PinnedTask(TaskId id, std::initializer_list<CpuId> cpus, int nice = 0) {
+  Task t = MakeTask(id, nice);
+  t.allowed_mask = MaskOf(cpus);
+  return t;
+}
+
+TEST(Affinity, MaskSemantics) {
+  Task t = MakeTask(1);
+  EXPECT_TRUE(t.AllowedOn(0));   // empty mask: unrestricted
+  EXPECT_TRUE(t.AllowedOn(63));
+  t.allowed_mask = MaskOf({2, 5});
+  EXPECT_FALSE(t.AllowedOn(0));
+  EXPECT_TRUE(t.AllowedOn(2));
+  EXPECT_TRUE(t.AllowedOn(5));
+  EXPECT_FALSE(t.AllowedOn(64));  // beyond mask range: not allowed when pinned
+}
+
+TEST(AffinityDeath, MaskOfRejectsHighCpus) { EXPECT_DEATH(MaskOf({64}), "0..63"); }
+
+TEST(AffinityDeath, PlaceOutsideMaskIsFatal) {
+  MachineState m(2);
+  EXPECT_DEATH(m.Place(PinnedTask(1, {1}), 0), "affinity");
+}
+
+TEST(Affinity, StealSkipsPinnedTasks) {
+  MachineState m(2);
+  m.Place(PinnedTask(1, {0}), 0);
+  m.Place(PinnedTask(2, {0}), 0);
+  m.Place(MakeTask(3), 0);  // unrestricted
+  m.ScheduleAll();
+  // Tail-first steal must skip task 3's pinned colleagues... task 3 is the
+  // tail here; re-order so a pinned task is the tail:
+  MachineState m2(2);
+  m2.Place(MakeTask(10), 0);
+  m2.Place(PinnedTask(11, {0}), 0);  // tail, pinned to cpu0
+  const auto stolen = m2.StealOneTask(0, 1);
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_EQ(*stolen, 10u);  // skipped the pinned tail, took the movable task
+  EXPECT_FALSE(m2.StealTaskById(0, 1, 11));  // direct attempt refused
+  EXPECT_EQ(m2.core(0).TaskCount(), 1);
+  (void)m;
+}
+
+TEST(Affinity, BalancerCannotMovePinnedLoad) {
+  // Cpu0 holds 3 tasks all pinned to cpu0; cpu1 idle. The filter admits the
+  // steal (it sees only loads), the steal phase finds no migratable task:
+  // kFailedNoTask, and the machine stays (3, 0) — which the affinity-aware
+  // predicate correctly deems conserved-modulo-affinity.
+  MachineState m(2);
+  for (TaskId id = 1; id <= 3; ++id) {
+    m.Place(PinnedTask(id, {0}), 0);
+  }
+  m.ScheduleAll();
+  LoadBalancer balancer(policies::MakeThreadCount());
+  Rng rng(1);
+  const RoundResult r = balancer.RunRound(m, rng);
+  EXPECT_EQ(r.successes, 0u);
+  EXPECT_EQ(r.actions[1].outcome, StealOutcome::kFailedNoTask);
+  EXPECT_FALSE(m.WorkConserved());                 // strict predicate: violated
+  EXPECT_TRUE(m.WorkConservedModuloAffinity());    // but nothing can be done
+}
+
+TEST(Affinity, MixedQueueMovesOnlyTheMovable) {
+  MachineState m(2);
+  m.Place(PinnedTask(1, {0}), 0);
+  m.Place(MakeTask(2), 0);
+  m.Place(PinnedTask(3, {0}), 0);
+  m.Place(MakeTask(4), 0);
+  m.ScheduleAll();
+  LoadBalancer balancer(policies::MakeThreadCount());
+  Rng rng(1);
+  RunUntilQuiescent(balancer, m, rng);
+  // Tasks 2 and 4 can leave; 1 and 3 cannot. Final: cpu0 keeps >= 2 (pinned),
+  // and no pinned task ever shows up on cpu1.
+  for (const Task& t : m.core(1).ready()) {
+    EXPECT_TRUE(t.AllowedOn(1));
+  }
+  if (m.core(1).current().has_value()) {
+    EXPECT_TRUE(m.core(1).current()->AllowedOn(1));
+  }
+  EXPECT_GE(m.Load(0, LoadMetric::kTaskCount), 2);
+  EXPECT_EQ(m.TotalTasks(), 4u);
+}
+
+TEST(Affinity, SimulatorHonorsMasksAcrossLifecycle) {
+  const Topology topo = Topology::Smp(4);
+  sim::SimConfig config;
+  config.max_time_us = 60'000'000;
+  config.lb_period_us = 1'000;
+  config.wake_placement = sim::WakePlacement::kIdlePreferred;
+  sim::Simulator s(topo, policies::MakeThreadCount(), config, 5);
+  // Four blocking tasks pinned to cpus {0,1}; two free tasks.
+  for (int i = 0; i < 4; ++i) {
+    sim::TaskSpec spec;
+    spec.total_service_us = 20'000;
+    spec.burst_us = 2'000;
+    spec.mean_block_us = 1'000;
+    spec.allowed_mask = MaskOf({0, 1});
+    s.Submit(spec, 0);
+  }
+  for (int i = 0; i < 2; ++i) {
+    sim::TaskSpec spec;
+    spec.total_service_us = 20'000;
+    s.Submit(spec, 0);
+  }
+  s.Run();
+  EXPECT_EQ(s.metrics().tasks_completed, 6u);
+  // Pinned tasks must never have run on cpus 2/3: their busy time comes only
+  // from the two free tasks (20ms each at most).
+  EXPECT_LE(s.accounting().busy_us(2) + s.accounting().busy_us(3), 40'000u);
+}
+
+TEST(Affinity, LoziStyleGroupImbalanceUnderCfsLike) {
+  // Two nodes x 4 cores. Node 1 runs 4 single pinned hogs (one per core,
+  // nice 0) plus 2 extra *movable* tasks stuck behind them; node 0 has 3
+  // busy cores and one idle core. Group averages: node0 = 3/4, node1 = 6/4;
+  // threshold 0.75 * 1.25 = 0.9375 < 1.5, so CFS-like DOES attempt... make
+  // node1 lighter: 4 hogs + 1 movable = 5/4 = 1.25 > 0.9375 -> admitted.
+  // To build the hidden shape, inflate node0's average with a high-load core:
+  // node0 = (0,2,2,2) avg 1.5, threshold 1.875; node1 = (2,1,1,1) avg 1.25
+  // < 1.875 -> cross-group steal DENIED, and node0's own idle core can fix
+  // itself locally (intra-group steal from a load-2 core) — but if node0's
+  // busy cores each hold pinned pairs, nothing moves: persistent starvation
+  // with strict WC violated and affinity-aware WC *also* violated (node1's
+  // movable task could run on node0's idle core).
+  const Topology topo = Topology::Numa(2, 4);
+  MachineState m(8);
+  TaskId next = 1;
+  // node0: cpu0 idle; cpus 1-3 each hold 2 tasks pinned to their own cpu.
+  for (CpuId cpu = 1; cpu <= 3; ++cpu) {
+    m.Place(PinnedTask(next++, {cpu}), cpu);
+    m.Place(PinnedTask(next++, {cpu}), cpu);
+  }
+  // node1 (cpus 4-7): cpu4 has a hog + a MOVABLE task; cpus 5-7 one hog each.
+  m.Place(PinnedTask(next++, {4}), 4);
+  m.Place(MakeTask(next++), 4);
+  for (CpuId cpu = 5; cpu <= 7; ++cpu) {
+    m.Place(PinnedTask(next++, {cpu}), cpu);
+  }
+  m.ScheduleAll();
+  ASSERT_FALSE(m.WorkConservedModuloAffinity());  // cpu0 could take the movable task
+
+  // CFS-like: group averages hide the movable task; nothing ever moves.
+  {
+    MachineState machine = m;  // copy
+    LoadBalancer balancer(policies::MakeCfsLike(policies::GroupMap::ByNode(topo)));
+    Rng rng(3);
+    for (int round = 0; round < 30; ++round) {
+      balancer.RunRound(machine, rng);
+    }
+    EXPECT_FALSE(machine.WorkConservedModuloAffinity());  // still starving
+    EXPECT_TRUE(machine.IsIdle(0));
+  }
+  // Proven policy (random choice so pinned-only victims are eventually
+  // bypassed — with affinity the deterministic max-load choice can fixate on
+  // an unstealable victim, a model caveat documented in DESIGN.md):
+  {
+    MachineState machine = m;
+    LoadBalancer balancer(policies::MakeRandomChoice(policies::MakeThreadCount()));
+    Rng rng(3);
+    uint64_t rounds = 0;
+    while (!machine.WorkConservedModuloAffinity() && rounds < 30) {
+      balancer.RunRound(machine, rng);
+      ++rounds;
+    }
+    EXPECT_TRUE(machine.WorkConservedModuloAffinity());
+    EXPECT_FALSE(machine.IsIdle(0));
+  }
+}
+
+}  // namespace
+}  // namespace optsched

@@ -1,0 +1,208 @@
+// Unit tests for the round engine: sequential and concurrent semantics,
+// failure classification, the re-check, and the paper's 3-core scenario.
+
+#include <gtest/gtest.h>
+
+#include "src/core/balancer.h"
+#include "src/core/conservation.h"
+#include "src/core/policies/broken.h"
+#include "src/core/policies/thread_count.h"
+
+namespace optsched {
+namespace {
+
+RoundOptions FixedOrder(std::vector<uint32_t> order) {
+  RoundOptions options;
+  options.mode = RoundOptions::Mode::kConcurrentFixedOrder;
+  options.steal_order = std::move(order);
+  return options;
+}
+
+TEST(Balancer, SequentialRoundBalancesPaperExample) {
+  // §4.2: without concurrency, steals cannot fail.
+  LoadBalancer balancer(policies::MakeThreadCount());
+  MachineState m = MachineState::FromLoads({0, 1, 2});
+  Rng rng(1);
+  RoundOptions options;
+  options.mode = RoundOptions::Mode::kSequential;
+  const RoundResult r = balancer.RunRound(m, rng, options);
+  EXPECT_EQ(r.successes, 1u);
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_EQ(m.Loads(LoadMetric::kTaskCount), (std::vector<int64_t>{1, 1, 1}));
+  EXPECT_TRUE(m.WorkConserved());
+}
+
+TEST(Balancer, ConcurrentRoundClassifiesRecheckFailure) {
+  // Paper's concurrent example: loads (0,1,2) under the broken filter; when
+  // core 1 steals first, core 0's re-check fails.
+  LoadBalancer balancer(policies::MakeBrokenCanSteal());
+  MachineState m = MachineState::FromLoads({0, 1, 2});
+  Rng rng(1);
+  const RoundResult r = balancer.RunRound(m, rng, FixedOrder({1, 0, 2}));
+  EXPECT_EQ(r.actions[1].outcome, StealOutcome::kStole);
+  EXPECT_EQ(r.actions[0].outcome, StealOutcome::kFailedRecheck);
+  EXPECT_EQ(*r.actions[0].victim, 2u);
+  EXPECT_EQ(m.Loads(LoadMetric::kTaskCount), (std::vector<int64_t>{0, 2, 1}));
+  EXPECT_FALSE(m.WorkConserved());  // the idle core starved this round
+}
+
+TEST(Balancer, BrokenFilterPingPongsForever) {
+  // Drive the §4.3 livelock explicitly: alternate the adversarial orders and
+  // watch the state oscillate between (0,1,2) and (0,2,1).
+  LoadBalancer balancer(policies::MakeBrokenCanSteal());
+  MachineState m = MachineState::FromLoads({0, 1, 2});
+  Rng rng(1);
+  for (int round = 0; round < 10; ++round) {
+    balancer.RunRound(m, rng, FixedOrder(round % 2 == 0 ? std::vector<uint32_t>{1, 0, 2}
+                                                        : std::vector<uint32_t>{2, 0, 1}));
+    EXPECT_TRUE(m.IsIdle(0)) << "round " << round;
+    EXPECT_FALSE(m.WorkConserved()) << "round " << round;
+  }
+  EXPECT_EQ(balancer.stats().failed_recheck, 10u);
+  EXPECT_EQ(balancer.stats().successes, 10u);
+}
+
+TEST(Balancer, SoundFilterImmuneToSameAdversary) {
+  LoadBalancer balancer(policies::MakeThreadCount());
+  MachineState m = MachineState::FromLoads({0, 1, 2});
+  Rng rng(1);
+  const RoundResult r = balancer.RunRound(m, rng, FixedOrder({1, 0, 2}));
+  // Core 1 cannot steal (diff 1); only core 0 acts, and it succeeds.
+  EXPECT_EQ(r.successes, 1u);
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_TRUE(m.WorkConserved());
+}
+
+TEST(Balancer, ConcurrentFailuresComeFromStaleness) {
+  // (0,0,2): both idle cores target core 2 with the same snapshot. The first
+  // steal drops core 2 to 1; the second's re-check sees diff 1 < 2 and fails.
+  // Exactly one succeeds — the paper's "one of the two cores will fail".
+  LoadBalancer balancer(policies::MakeThreadCount());
+  MachineState m = MachineState::FromLoads({0, 0, 2});
+  Rng rng(1);
+  const RoundResult r = balancer.RunRound(m, rng, FixedOrder({0, 1, 2}));
+  EXPECT_EQ(r.successes, 1u);
+  EXPECT_EQ(r.failures, 1u);
+  EXPECT_EQ(r.actions[0].outcome, StealOutcome::kStole);
+  EXPECT_EQ(r.actions[1].outcome, StealOutcome::kFailedRecheck);
+}
+
+TEST(Balancer, DisablingRecheckOversteals) {
+  // D2 ablation: without the re-check both idle cores steal from core 2 and
+  // the potential argument breaks (core 2 drops from 3 to 1 in one round —
+  // fine here, but from (0,0,2) it would idle the victim; check both).
+  LoadBalancer balancer(policies::MakeThreadCount());
+  MachineState m = MachineState::FromLoads({0, 0, 3});
+  Rng rng(1);
+  RoundOptions options = FixedOrder({0, 1, 2});
+  options.recheck_filter = false;
+  const RoundResult r = balancer.RunRound(m, rng, options);
+  EXPECT_EQ(r.successes, 2u);
+  EXPECT_EQ(m.Loads(LoadMetric::kTaskCount), (std::vector<int64_t>{1, 1, 1}));
+
+  // From (0,0,2): the stale-snapshot steal would leave the victim idle; the
+  // migration rule (victim-thief diff at *current* loads) still blocks it, so
+  // the engine reports kFailedNoTask rather than corrupting the state.
+  MachineState m2 = MachineState::FromLoads({0, 0, 2});
+  const RoundResult r2 = balancer.RunRound(m2, rng, options);
+  EXPECT_EQ(r2.successes, 1u);
+  EXPECT_EQ(r2.actions[1].outcome, StealOutcome::kFailedNoTask);
+  EXPECT_FALSE(m2.IsIdle(2));
+}
+
+TEST(Balancer, OnlyIdleStealRestrictsParticipants) {
+  LoadBalancer balancer(policies::MakeThreadCount());
+  MachineState m = MachineState::FromLoads({0, 3, 6});
+  Rng rng(1);
+  RoundOptions options;
+  options.mode = RoundOptions::Mode::kSequential;
+  options.only_idle_steal = true;
+  const RoundResult r = balancer.RunRound(m, rng, options);
+  // Only core 0 acted; core 1 (which could steal from core 2) sat out.
+  EXPECT_EQ(r.attempts, 1u);
+  EXPECT_EQ(r.actions[1].outcome, StealOutcome::kNoCandidates);
+}
+
+TEST(Balancer, PotentialRecordedPerRound) {
+  LoadBalancer balancer(policies::MakeThreadCount());
+  MachineState m = MachineState::FromLoads({0, 4});
+  Rng rng(1);
+  const RoundResult r = balancer.RunRound(m, rng);
+  EXPECT_EQ(r.potential_before, 8);
+  EXPECT_LT(r.potential_after, r.potential_before);
+}
+
+TEST(Balancer, StatsAccumulateAcrossRounds) {
+  LoadBalancer balancer(policies::MakeThreadCount());
+  MachineState m = MachineState::FromLoads({0, 0, 8});
+  Rng rng(1);
+  RunUntilQuiescent(balancer, m, rng);
+  const BalanceStats& stats = balancer.stats();
+  EXPECT_GT(stats.rounds, 1u);
+  EXPECT_GT(stats.successes, 0u);
+  EXPECT_EQ(stats.failures(), stats.failed_recheck + stats.failed_no_task);
+  balancer.ResetStats();
+  EXPECT_EQ(balancer.stats().rounds, 0u);
+}
+
+TEST(Balancer, ExecuteStealPhaseDirectly) {
+  LoadBalancer balancer(policies::MakeThreadCount());
+  MachineState m = MachineState::FromLoads({0, 4});
+  const CoreAction ok = balancer.ExecuteStealPhase(m, 0, 1);
+  EXPECT_EQ(ok.outcome, StealOutcome::kStole);
+  EXPECT_EQ(m.Loads(LoadMetric::kTaskCount), (std::vector<int64_t>{1, 3}));
+  // Same pair again: diff now 2, still stealable; once more after that the
+  // re-check refuses (diff 0 after two steals... diff = 3-1 = 2 steals, then
+  // 2-2 = 0 -> refused).
+  EXPECT_EQ(balancer.ExecuteStealPhase(m, 0, 1).outcome, StealOutcome::kStole);
+  EXPECT_EQ(balancer.ExecuteStealPhase(m, 0, 1).outcome, StealOutcome::kFailedRecheck);
+}
+
+TEST(Balancer, RunUntilWorkConservedReportsN) {
+  LoadBalancer balancer(policies::MakeThreadCount());
+  MachineState m = MachineState::FromLoads({0, 0, 0, 9});
+  Rng rng(3);
+  const ConvergenceResult result = RunUntilWorkConserved(balancer, m, rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.rounds, 0u);
+  EXPECT_FALSE(result.cycle_detected);
+  EXPECT_TRUE(m.WorkConserved());
+}
+
+TEST(Balancer, AlreadyConservedNeedsZeroRounds) {
+  LoadBalancer balancer(policies::MakeThreadCount());
+  MachineState m = MachineState::FromLoads({1, 1});
+  Rng rng(3);
+  const ConvergenceResult result = RunUntilWorkConserved(balancer, m, rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.rounds, 0u);
+}
+
+TEST(Balancer, BrokenPolicyTripsCycleDetector) {
+  LoadBalancer balancer(policies::MakeBrokenCanSteal());
+  MachineState m = MachineState::FromLoads({0, 1, 2});
+  Rng rng(7);
+  ConvergenceOptions options;
+  options.max_rounds = 300;
+  const ConvergenceResult result = RunUntilWorkConserved(balancer, m, rng, options);
+  SCOPED_TRACE(result.ToString());
+  // Random orders: with prob 1/2 per round the ping-pong continues; over 300
+  // rounds a revisit of a non-conserved load vector is essentially certain
+  // unless it converged very fast. Either way the run must terminate; if it
+  // did not converge, the cycle detector must have fired.
+  if (!result.converged) {
+    EXPECT_TRUE(result.cycle_detected);
+  }
+}
+
+TEST(Balancer, RoundToStringMentionsCounts) {
+  LoadBalancer balancer(policies::MakeThreadCount());
+  MachineState m = MachineState::FromLoads({0, 4});
+  Rng rng(1);
+  const RoundResult r = balancer.RunRound(m, rng);
+  EXPECT_NE(r.ToString().find("successes=1"), std::string::npos);
+  EXPECT_NE(balancer.stats().ToString().find("rounds=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optsched

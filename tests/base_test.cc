@@ -1,0 +1,165 @@
+// Unit tests for src/base: deterministic RNG and string helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/base/rng.h"
+#include "src/base/str.h"
+
+namespace optsched {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += (a.Next() == b.Next()) ? 1 : 0;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(rng.NextBelow(7));
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInRangeInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  const double rate = 0.25;  // mean 4
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextExponential(rate);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, ZipfSkewsTowardSmallKeys) {
+  Rng rng(17);
+  uint64_t low = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t v = rng.NextZipf(100, 1.0);
+    ASSERT_LT(v, 100u);
+    low += (v < 10) ? 1 : 0;
+  }
+  // With s=1 the first 10 of 100 keys get well over a third of the mass.
+  EXPECT_GT(low, static_cast<uint64_t>(n) / 3);
+}
+
+TEST(Rng, ZipfZeroSkewIsUniformish) {
+  Rng rng(19);
+  uint64_t low = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    low += (rng.NextZipf(100, 0.0) < 10) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(low) / n, 0.10, 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(123);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += (parent.Next() == child.Next()) ? 1 : 0;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(29);
+  std::vector<uint32_t> v{0, 1, 2, 3, 4, 5, 6, 7};
+  rng.Shuffle(v);
+  std::set<uint32_t> seen(v.begin(), v.end());
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Str, StrFormatBasics) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 5, "ok"), "x=5 y=ok");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(Str, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+}
+
+TEST(Str, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi \n"), "hi");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(Str, StartsWith) {
+  EXPECT_TRUE(StartsWith("thread-count", "thread"));
+  EXPECT_FALSE(StartsWith("thread", "thread-count"));
+}
+
+TEST(Str, RenderTableAlignsColumns) {
+  const std::string table =
+      RenderTable({"name", "n"}, {{"alpha", "1"}, {"b", "100"}});
+  EXPECT_NE(table.find("| alpha | 1   |"), std::string::npos) << table;
+  EXPECT_NE(table.find("| b     | 100 |"), std::string::npos) << table;
+}
+
+}  // namespace
+}  // namespace optsched

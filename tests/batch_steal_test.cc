@@ -1,0 +1,124 @@
+// Batch stealing (max_steals_per_attempt > 1): each additional migration
+// re-checks the filter and the migration rule, so soundness is preserved
+// per-task while convergence gets faster.
+
+#include <gtest/gtest.h>
+
+#include "src/core/balancer.h"
+#include "src/core/conservation.h"
+#include "src/core/policies/thread_count.h"
+#include "src/verify/state_space.h"
+
+namespace optsched {
+namespace {
+
+TEST(BatchSteal, MovesUpToTheBound) {
+  LoadBalancer balancer(policies::MakeThreadCount());
+  MachineState m = MachineState::FromLoads({0, 9});
+  const CoreAction action = balancer.ExecuteStealPhase(m, 0, 1, /*recheck=*/true,
+                                                       /*max_steals=*/4);
+  EXPECT_EQ(action.outcome, StealOutcome::kStole);
+  // 4 moves: (0,9)->(1,8)->(2,7)->(3,6)->(4,5); each re-check held.
+  EXPECT_EQ(m.Loads(LoadMetric::kTaskCount), (std::vector<int64_t>{4, 5}));
+  EXPECT_EQ(balancer.stats().successes, 4u);
+}
+
+TEST(BatchSteal, StopsWhenFilterFlips) {
+  LoadBalancer balancer(policies::MakeThreadCount());
+  MachineState m = MachineState::FromLoads({0, 3});
+  const CoreAction action = balancer.ExecuteStealPhase(m, 0, 1, true, /*max_steals=*/10);
+  EXPECT_EQ(action.outcome, StealOutcome::kStole);
+  // (0,3)->(1,2): diff 1 < 2, the batch ends after one move despite bound 10.
+  EXPECT_EQ(m.Loads(LoadMetric::kTaskCount), (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(balancer.stats().successes, 1u);
+}
+
+TEST(BatchSteal, FirstMoveFailureStillClassified) {
+  LoadBalancer balancer(policies::MakeThreadCount());
+  MachineState m = MachineState::FromLoads({2, 2});
+  const CoreAction action = balancer.ExecuteStealPhase(m, 0, 1, true, /*max_steals=*/4);
+  EXPECT_EQ(action.outcome, StealOutcome::kFailedRecheck);
+  EXPECT_EQ(m.Loads(LoadMetric::kTaskCount), (std::vector<int64_t>{2, 2}));
+}
+
+TEST(BatchSteal, PotentialStillStrictlyDecreasesPerBatch) {
+  // Every individual migration satisfies the strict-decrease rule, so the
+  // whole batch decreases d by at least 2 per task moved — exhaustively.
+  verify::Bounds bounds;
+  bounds.num_cores = 3;
+  bounds.max_load = 6;
+  verify::ForEachState(bounds, [&](const std::vector<int64_t>& loads) {
+    for (CpuId thief = 0; thief < 3; ++thief) {
+      for (CpuId victim = 0; victim < 3; ++victim) {
+        if (victim == thief) {
+          continue;
+        }
+        MachineState m = MachineState::FromLoads(loads);
+        LoadBalancer balancer(policies::MakeThreadCount());
+        const int64_t before = m.Potential(LoadMetric::kTaskCount);
+        const CoreAction action = balancer.ExecuteStealPhase(m, thief, victim, true, 8);
+        if (action.outcome == StealOutcome::kStole) {
+          const int64_t after = m.Potential(LoadMetric::kTaskCount);
+          EXPECT_LE(after + 2 * static_cast<int64_t>(balancer.stats().successes), before)
+              << MachineState::FromLoads(loads).ToString();
+        }
+      }
+    }
+    return true;
+  });
+}
+
+TEST(BatchSteal, FewThievesConvergeInFewerRounds) {
+  // Batching pays when thieves are scarce relative to the imbalance: on two
+  // cores, one thief moving one task per round needs ~12 rounds for (24,0);
+  // batches of 4 need ~3.
+  auto rounds_to_quiesce = [](uint32_t batch) {
+    MachineState m = MachineState::FromLoads({24, 0});
+    LoadBalancer balancer(policies::MakeThreadCount());
+    Rng rng(5);
+    RoundOptions options;
+    options.max_steals_per_attempt = batch;
+    return RunUntilQuiescent(balancer, m, rng, options);
+  };
+  const uint64_t single = rounds_to_quiesce(1);
+  const uint64_t batched = rounds_to_quiesce(4);
+  EXPECT_GE(single, 10u);
+  EXPECT_LT(batched, single / 2);
+}
+
+TEST(BatchSteal, ManyThievesCanOvershootWithBatches) {
+  // The flip side (kept as documentation of a real effect): with 7 thieves
+  // sharing one stale snapshot, batched steals overshoot the fair share and
+  // need extra smoothing rounds afterwards — single steals per thief spread
+  // a 24-task pile in fewer rounds on 8 cores. Batch size is a workload
+  // trade-off, not a free win.
+  auto rounds_to_quiesce = [](uint32_t batch) {
+    MachineState m = MachineState::FromLoads({24, 0, 0, 0, 0, 0, 0, 0});
+    LoadBalancer balancer(policies::MakeThreadCount());
+    Rng rng(5);
+    RoundOptions options;
+    options.max_steals_per_attempt = batch;
+    return RunUntilQuiescent(balancer, m, rng, options);
+  };
+  EXPECT_LE(rounds_to_quiesce(1), rounds_to_quiesce(4));
+}
+
+TEST(BatchSteal, NeverIdlesVictimEvenInBatches) {
+  verify::Bounds bounds;
+  bounds.num_cores = 2;
+  bounds.max_load = 8;
+  verify::ForEachState(bounds, [&](const std::vector<int64_t>& loads) {
+    MachineState m = MachineState::FromLoads(loads);
+    LoadBalancer balancer(policies::MakeThreadCount());
+    const uint64_t total = m.TotalTasks();
+    const CoreAction action = balancer.ExecuteStealPhase(m, 0, 1, true, 100);
+    if (action.outcome == StealOutcome::kStole) {
+      EXPECT_FALSE(m.IsIdle(1));
+    }
+    EXPECT_EQ(m.TotalTasks(), total);
+    return true;
+  });
+}
+
+}  // namespace
+}  // namespace optsched

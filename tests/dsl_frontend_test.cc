@@ -1,0 +1,162 @@
+// DSL front-end tests: lexer tokens/locations/errors, parser grammar and
+// diagnostics, pretty-print round-trips.
+
+#include <gtest/gtest.h>
+
+#include "src/dsl/lexer.h"
+#include "src/dsl/parser.h"
+
+namespace optsched::dsl {
+namespace {
+
+std::vector<TokenKind> KindsOf(std::string_view source) {
+  std::vector<TokenKind> kinds;
+  for (const Token& t : LexAll(source)) {
+    kinds.push_back(t.kind);
+  }
+  return kinds;
+}
+
+TEST(Lexer, PunctuationAndOperators) {
+  EXPECT_EQ(KindsOf("{ } ( ) , ; ."),
+            (std::vector<TokenKind>{TokenKind::kLBrace, TokenKind::kRBrace, TokenKind::kLParen,
+                                    TokenKind::kRParen, TokenKind::kComma, TokenKind::kSemicolon,
+                                    TokenKind::kDot, TokenKind::kEnd}));
+  EXPECT_EQ(KindsOf("== != <= >= < > && || = ! + - * / %"),
+            (std::vector<TokenKind>{TokenKind::kEq, TokenKind::kNe, TokenKind::kLe,
+                                    TokenKind::kGe, TokenKind::kLt, TokenKind::kGt,
+                                    TokenKind::kAndAnd, TokenKind::kOrOr, TokenKind::kAssign,
+                                    TokenKind::kBang, TokenKind::kPlus, TokenKind::kMinus,
+                                    TokenKind::kStar, TokenKind::kSlash, TokenKind::kPercent,
+                                    TokenKind::kEnd}));
+}
+
+TEST(Lexer, NumbersAndIdentifiers) {
+  const auto tokens = LexAll("policy x42 _foo 123");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "policy");
+  EXPECT_EQ(tokens[1].text, "x42");
+  EXPECT_EQ(tokens[2].text, "_foo");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[3].number, 123);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  const auto kinds = KindsOf("a # the rest is ignored != %\nb");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{TokenKind::kIdent, TokenKind::kIdent, TokenKind::kEnd}));
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto tokens = LexAll("a\n  b");
+  EXPECT_EQ(tokens[0].location.line, 1u);
+  EXPECT_EQ(tokens[0].location.column, 1u);
+  EXPECT_EQ(tokens[1].location.line, 2u);
+  EXPECT_EQ(tokens[1].location.column, 3u);
+}
+
+TEST(Lexer, StrayAmpersandIsError) {
+  const auto tokens = LexAll("a & b");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kError);
+  EXPECT_NE(tokens[1].text.find("&&"), std::string::npos);
+}
+
+TEST(Lexer, UnknownCharacterIsError) {
+  const auto tokens = LexAll("@");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kError);
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  const auto result = ParseExpression("1 + 2 * 3 >= 4 && a.load < 5 || !b.load == 0");
+  ASSERT_NE(result.expr, nullptr);
+  // Fully parenthesized print encodes the parse tree: '*' > '+' > comparisons
+  // > '&&' > '||', and '!' binds to the primary.
+  EXPECT_EQ(result.expr->ToString(),
+            "((((1 + (2 * 3)) >= 4) && (a.load < 5)) || (!b.load == 0))");
+}
+
+TEST(Parser, UnaryAndCalls) {
+  const auto result = ParseExpression("min(-a.load, abs(b.load - 3))");
+  ASSERT_NE(result.expr, nullptr);
+  EXPECT_EQ(result.expr->ToString(), "min(-a.load, abs((b.load - 3)))");
+}
+
+TEST(Parser, ParenthesesOverridePrecedence) {
+  const auto result = ParseExpression("(1 + 2) * 3");
+  ASSERT_NE(result.expr, nullptr);
+  EXPECT_EQ(result.expr->ToString(), "((1 + 2) * 3)");
+}
+
+TEST(Parser, FullPolicyDeclaration) {
+  const char* source = R"(
+    policy p {
+      metric weighted;
+      let margin = 2;
+      filter(self, other) { other.load - self.load >= margin }
+      choice nearest;
+      migrate(task, victim, thief) { task.weight < victim.load - thief.load }
+    }
+  )";
+  const ParseResult result = ParsePolicy(source);
+  ASSERT_TRUE(result.ok()) << result.DiagnosticsToString();
+  const PolicyDecl& decl = *result.policy;
+  EXPECT_EQ(decl.name, "p");
+  EXPECT_EQ(decl.metric, MetricKind::kWeighted);
+  EXPECT_EQ(decl.choice, ChoiceKind::kNearest);
+  ASSERT_EQ(decl.lets.size(), 1u);
+  EXPECT_EQ(decl.lets[0].name, "margin");
+  EXPECT_EQ(decl.filter_self, "self");
+  EXPECT_EQ(decl.filter_stealee, "other");
+  EXPECT_EQ(decl.migrate_task, "task");
+}
+
+TEST(Parser, MissingFilterIsAnError) {
+  const ParseResult result = ParsePolicy("policy p { metric count; choice maxload; }");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.DiagnosticsToString().find("filter"), std::string::npos);
+}
+
+TEST(Parser, UnknownFieldIsAnError) {
+  const ParseResult result =
+      ParsePolicy("policy p { filter(a, b) { b.runqueue_len >= 2 } }");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.DiagnosticsToString().find("unknown field"), std::string::npos);
+}
+
+TEST(Parser, DuplicateSectionsAreErrors) {
+  const ParseResult result = ParsePolicy(
+      "policy p { metric count; metric count; filter(a, b) { b.load >= 2 } }");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.DiagnosticsToString().find("duplicate"), std::string::npos);
+}
+
+TEST(Parser, UnknownChoiceIsAnError) {
+  const ParseResult result =
+      ParsePolicy("policy p { filter(a, b) { b.load >= 2 } choice coolest; }");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.DiagnosticsToString().find("unknown choice"), std::string::npos);
+}
+
+TEST(Parser, DiagnosticsCarryLocations) {
+  const ParseResult result = ParsePolicy("policy p {\n  junk\n}");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.diagnostics[0].location.line, 2u);
+}
+
+TEST(Parser, PolicyToStringReparses) {
+  const char* source = R"(policy roundtrip {
+    metric count;
+    filter(self, stealee) { stealee.load - self.load >= 2 }
+    choice maxload;
+    migrate(t, v, h) { t.weight < v.load - h.load }
+  })";
+  const ParseResult first = ParsePolicy(source);
+  ASSERT_TRUE(first.ok()) << first.DiagnosticsToString();
+  const std::string printed = first.policy->ToString();
+  const ParseResult second = ParsePolicy(printed);
+  ASSERT_TRUE(second.ok()) << printed << "\n" << second.DiagnosticsToString();
+  // Printing is a fixpoint after one round.
+  EXPECT_EQ(second.policy->ToString(), printed);
+}
+
+}  // namespace
+}  // namespace optsched::dsl

@@ -1,0 +1,162 @@
+// Semantic analysis tests: typing rules, field access discipline, let
+// resolution and constant folding.
+
+#include <gtest/gtest.h>
+
+#include "src/dsl/parser.h"
+#include "src/dsl/sema.h"
+
+namespace optsched::dsl {
+namespace {
+
+SemaResult AnalyzeSource(const char* source) {
+  const ParseResult parsed = ParsePolicy(source);
+  EXPECT_TRUE(parsed.ok()) << parsed.DiagnosticsToString();
+  return Analyze(*parsed.policy);
+}
+
+std::string FirstMessage(const SemaResult& result) {
+  return result.diagnostics.empty() ? "" : result.diagnostics[0].message;
+}
+
+TEST(Sema, AcceptsWellTypedPolicy) {
+  const SemaResult result = AnalyzeSource(R"(policy ok {
+    metric count;
+    let margin = 1 + 1;
+    filter(self, stealee) { stealee.load - self.load >= margin }
+    migrate(t, v, h) { t.weight > 0 && t.weight < v.load - h.load }
+  })");
+  EXPECT_TRUE(result.ok()) << FirstMessage(result);
+}
+
+TEST(Sema, FilterMustBeBoolean) {
+  const SemaResult result =
+      AnalyzeSource("policy p { filter(a, b) { b.load - a.load } }");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(FirstMessage(result).find("boolean"), std::string::npos);
+}
+
+TEST(Sema, ArithmeticOnBooleansRejected) {
+  const SemaResult result =
+      AnalyzeSource("policy p { filter(a, b) { (b.load >= 2) + 1 >= 1 } }");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(FirstMessage(result).find("integer operands"), std::string::npos);
+}
+
+TEST(Sema, LogicOnIntegersRejected) {
+  const SemaResult result =
+      AnalyzeSource("policy p { filter(a, b) { b.load && true } }");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(FirstMessage(result).find("boolean operands"), std::string::npos);
+}
+
+TEST(Sema, UnknownVariableRejected) {
+  const SemaResult result =
+      AnalyzeSource("policy p { filter(a, b) { c.load >= 2 } }");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(FirstMessage(result).find("unknown variable"), std::string::npos);
+}
+
+TEST(Sema, TaskFieldOnCoreRejected) {
+  const SemaResult result =
+      AnalyzeSource("policy p { filter(a, b) { b.weight >= 2 } }");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(FirstMessage(result).find("not readable on core"), std::string::npos);
+}
+
+TEST(Sema, CoreFieldOnTaskRejected) {
+  const SemaResult result = AnalyzeSource(
+      "policy p { filter(a, b) { b.load >= 2 } migrate(t, v, h) { t.load > 0 } }");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(FirstMessage(result).find("not readable on task"), std::string::npos);
+}
+
+TEST(Sema, UnknownLetRejected) {
+  const SemaResult result =
+      AnalyzeSource("policy p { filter(a, b) { b.load >= margin } }");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(FirstMessage(result).find("unknown name"), std::string::npos);
+}
+
+TEST(Sema, NonConstantLetRejected) {
+  const ParseResult parsed = ParsePolicy(
+      "policy p { let m = a.load; filter(a, b) { b.load >= 2 } }");
+  ASSERT_TRUE(parsed.ok());
+  const SemaResult result = Analyze(*parsed.policy);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(Sema, LetsResolveIntoFilterBody) {
+  const SemaResult result = AnalyzeSource(R"(policy p {
+    let two = 2;
+    let margin = two * 2 - two;
+    filter(a, b) { b.load - a.load >= margin }
+  })");
+  ASSERT_TRUE(result.ok()) << FirstMessage(result);
+  // margin folded to 2 and inlined.
+  EXPECT_EQ(result.policy->filter->ToString(), "((b.load - a.load) >= 2)");
+}
+
+TEST(Sema, WrongArityCallRejected) {
+  const SemaResult result =
+      AnalyzeSource("policy p { filter(a, b) { min(b.load) >= 2 } }");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(FirstMessage(result).find("argument"), std::string::npos);
+}
+
+TEST(Sema, UnknownFunctionRejected) {
+  const SemaResult result =
+      AnalyzeSource("policy p { filter(a, b) { clamp(b.load, 1, 2) >= 2 } }");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(FirstMessage(result).find("unknown function"), std::string::npos);
+}
+
+TEST(Sema, DuplicateFilterParamsRejected) {
+  const SemaResult result =
+      AnalyzeSource("policy p { filter(a, a) { a.load >= 2 } }");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Fold, ArithmeticIdentities) {
+  auto folded = [](const char* source) {
+    const ParseExprResult parsed = ParseExpression(source);
+    EXPECT_NE(parsed.expr, nullptr);
+    return FoldConstants(*parsed.expr)->ToString();
+  };
+  EXPECT_EQ(folded("2 + 3 * 4"), "14");
+  EXPECT_EQ(folded("10 / 3"), "3");
+  EXPECT_EQ(folded("10 % 3"), "1");
+  EXPECT_EQ(folded("-(2 + 3)"), "-5");
+  EXPECT_EQ(folded("min(3, 7)"), "3");
+  EXPECT_EQ(folded("max(3, 7)"), "7");
+  EXPECT_EQ(folded("abs(2 - 9)"), "7");
+  EXPECT_EQ(folded("3 >= 2"), "true");
+  EXPECT_EQ(folded("!(3 >= 2)"), "false");
+}
+
+TEST(Fold, BooleanShortCircuitIdentities) {
+  auto folded = [](const char* source) {
+    const ParseExprResult parsed = ParseExpression(source);
+    EXPECT_NE(parsed.expr, nullptr);
+    return FoldConstants(*parsed.expr)->ToString();
+  };
+  EXPECT_EQ(folded("true && a.load >= 2"), "(a.load >= 2)");
+  EXPECT_EQ(folded("false && a.load >= 2"), "false");
+  EXPECT_EQ(folded("false || a.load >= 2"), "(a.load >= 2)");
+  EXPECT_EQ(folded("true || a.load >= 2"), "true");
+}
+
+TEST(Fold, DivisionByZeroLeftUnfolded) {
+  const ParseExprResult parsed = ParseExpression("4 / 0");
+  ASSERT_NE(parsed.expr, nullptr);
+  EXPECT_EQ(FoldConstants(*parsed.expr)->ToString(), "(4 / 0)");
+}
+
+TEST(Fold, NonConstantSubtreesPreserved) {
+  const ParseExprResult parsed = ParseExpression("a.load + (2 * 3)");
+  ASSERT_NE(parsed.expr, nullptr);
+  EXPECT_EQ(FoldConstants(*parsed.expr)->ToString(), "(a.load + 6)");
+}
+
+}  // namespace
+}  // namespace optsched::dsl

@@ -1,0 +1,75 @@
+// Smoke test: the DSL pipeline produces policies whose audit verdicts match
+// the hand-written equivalents, and the two code generators emit the expected
+// artifacts.
+
+#include <gtest/gtest.h>
+
+#include "src/core/policies/thread_count.h"
+#include "src/dsl/codegen.h"
+#include "src/dsl/compile.h"
+#include "src/verify/audit.h"
+
+namespace optsched {
+namespace {
+
+TEST(DslSmoke, ThreadCountCompilesAndIsWorkConserving) {
+  const dsl::CompileResult compiled = dsl::CompilePolicy(dsl::samples::kThreadCount);
+  ASSERT_TRUE(compiled.ok()) << compiled.DiagnosticsToString();
+
+  verify::ConvergenceCheckOptions options;
+  options.bounds.num_cores = 3;
+  options.bounds.max_load = 4;
+  const verify::PolicyAudit audit = verify::AuditPolicy(*compiled.policy, options);
+  SCOPED_TRACE(audit.Report());
+  EXPECT_TRUE(audit.all_hold());
+}
+
+TEST(DslSmoke, DslThreadCountAgreesWithHandWritten) {
+  const dsl::CompileResult compiled = dsl::CompilePolicy(dsl::samples::kThreadCount);
+  ASSERT_TRUE(compiled.ok()) << compiled.DiagnosticsToString();
+  const auto hand_written = policies::MakeThreadCount();
+
+  MachineState machine = MachineState::FromLoads({0, 3, 1, 5});
+  const LoadSnapshot snapshot = machine.Snapshot();
+  for (CpuId self = 0; self < machine.num_cpus(); ++self) {
+    const SelectionView view{.self = self, .snapshot = snapshot, .topology = nullptr};
+    for (CpuId other = 0; other < machine.num_cpus(); ++other) {
+      if (other == self) {
+        continue;
+      }
+      EXPECT_EQ(compiled.policy->CanSteal(view, other), hand_written->CanSteal(view, other))
+          << "self=" << self << " other=" << other;
+    }
+  }
+}
+
+TEST(DslSmoke, BrokenDslPolicyIsRejectedByAudit) {
+  const dsl::CompileResult compiled = dsl::CompilePolicy(dsl::samples::kBroken);
+  ASSERT_TRUE(compiled.ok()) << compiled.DiagnosticsToString();
+
+  verify::ConvergenceCheckOptions options;
+  options.bounds.num_cores = 3;
+  options.bounds.max_load = 4;
+  const verify::PolicyAudit audit = verify::AuditPolicy(*compiled.policy, options);
+  SCOPED_TRACE(audit.Report());
+  EXPECT_FALSE(audit.work_conserving());
+  EXPECT_FALSE(audit.concurrent.result.holds);
+}
+
+TEST(DslSmoke, CodegenEmitsBothBackends) {
+  const dsl::CompileResult compiled = dsl::CompilePolicy(dsl::samples::kThreadCount);
+  ASSERT_TRUE(compiled.ok()) << compiled.DiagnosticsToString();
+  ASSERT_TRUE(compiled.decl.has_value());
+
+  const std::string c_code = dsl::EmitC(*compiled.decl);
+  EXPECT_NE(c_code.find("thread_count_can_steal"), std::string::npos) << c_code;
+  EXPECT_NE(c_code.find("os_load(stealee)"), std::string::npos) << c_code;
+
+  const std::string scala_code = dsl::EmitScala(*compiled.decl);
+  EXPECT_NE(scala_code.find("def canSteal(self: Core, stealee: Core)"), std::string::npos)
+      << scala_code;
+  EXPECT_NE(scala_code.find(".holds"), std::string::npos) << scala_code;
+}
+
+}  // namespace
+}  // namespace optsched

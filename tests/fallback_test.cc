@@ -1,0 +1,94 @@
+// Fallback composition: an unsound locality filter repaired by union with
+// the proven Listing-1 filter — soundness restored, locality preserved.
+
+#include <gtest/gtest.h>
+
+#include "src/core/policies/fallback.h"
+#include "src/core/policies/thread_count.h"
+#include "src/dsl/compile.h"
+#include "src/verify/audit.h"
+#include "src/verify/lemmas.h"
+
+namespace optsched {
+namespace {
+
+// The numa_margin pitfall policy: same-node margin 2, cross-node margin 4.
+std::shared_ptr<const BalancePolicy> NumaMargin() {
+  const auto compiled = dsl::CompilePolicy(R"(policy numa_margin {
+    metric count;
+    filter(self, stealee) {
+      stealee.load - self.load >= (if (stealee.node == self.node) 2 else 4)
+    }
+    choice nearest;
+  })");
+  EXPECT_TRUE(compiled.ok()) << compiled.DiagnosticsToString();
+  return compiled.policy;
+}
+
+TEST(Fallback, RepairsTheNumaMarginLemma1Hole) {
+  const Topology topo = Topology::Numa(2, 2);
+  verify::Bounds bounds;
+  bounds.num_cores = 4;
+  bounds.max_load = 3;
+  // Alone: broken (remote overload below margin 4 is invisible).
+  EXPECT_FALSE(verify::CheckLemma1(*NumaMargin(), bounds, &topo).holds);
+  // Composed with the proven fallback: repaired.
+  const auto repaired = policies::MakeFallback(NumaMargin(), policies::MakeThreadCount());
+  EXPECT_TRUE(verify::CheckLemma1(*repaired, bounds, &topo).holds);
+}
+
+TEST(Fallback, FullAuditPassesForTheComposite) {
+  const auto repaired = policies::MakeFallback(NumaMargin(), policies::MakeThreadCount());
+  verify::ConvergenceCheckOptions options;
+  options.bounds.num_cores = 4;
+  options.bounds.max_load = 3;
+  const Topology topo = Topology::Numa(2, 2);
+  const auto audit = verify::AuditPolicy(*repaired, options, &topo);
+  EXPECT_TRUE(audit.work_conserving()) << audit.Report();
+}
+
+TEST(Fallback, KeepsTheLocalityPreference) {
+  // When a same-node victim clears the primary's margin, the composite picks
+  // it even if a remote core is more loaded.
+  const Topology topo = Topology::Numa(2, 2);
+  const auto repaired = policies::MakeFallback(NumaMargin(), policies::MakeThreadCount());
+  const MachineState m = MachineState::FromLoads({0, 3, 9, 0});
+  const LoadSnapshot s = m.Snapshot();
+  Rng rng(1);
+  const SelectionView view{.self = 0, .snapshot = s, .topology = &topo};
+  const auto candidates = repaired->FilterCandidates(view);
+  ASSERT_EQ(candidates, (std::vector<CpuId>{1, 2}));  // union admits both
+  EXPECT_EQ(repaired->SelectCore(view, candidates, rng), 1u);  // local preferred
+}
+
+TEST(Fallback, FallsBackWhenPrimaryHasNoCandidates) {
+  // Local node balanced; the only overload is remote below margin 4: the
+  // primary admits nothing, the fallback admits the remote core — the thief
+  // still makes progress (Lemma 1 in action).
+  const Topology topo = Topology::Numa(2, 2);
+  const auto repaired = policies::MakeFallback(NumaMargin(), policies::MakeThreadCount());
+  const MachineState m = MachineState::FromLoads({0, 1, 3, 1});
+  const LoadSnapshot s = m.Snapshot();
+  Rng rng(1);
+  const SelectionView view{.self = 0, .snapshot = s, .topology = &topo};
+  const auto candidates = repaired->FilterCandidates(view);
+  ASSERT_EQ(candidates, (std::vector<CpuId>{2}));
+  EXPECT_EQ(repaired->SelectCore(view, candidates, rng), 2u);
+}
+
+TEST(Fallback, NameAndMetric) {
+  const auto repaired = policies::MakeFallback(policies::MakeThreadCount(3),
+                                               policies::MakeThreadCount());
+  EXPECT_EQ(repaired->name(), "thread-count(margin=3)||thread-count");
+  EXPECT_EQ(repaired->metric(), LoadMetric::kTaskCount);
+}
+
+TEST(FallbackDeath, RejectsMixedMetrics) {
+  const auto compiled = dsl::CompilePolicy(dsl::samples::kWeighted);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_DEATH(policies::MakeFallback(compiled.policy, policies::MakeThreadCount()),
+               "shared load metric");
+}
+
+}  // namespace
+}  // namespace optsched

@@ -1,0 +1,165 @@
+// Multi-level hierarchical balancing engine tests: ladder escalation,
+// locality preference, equivalence of the work-conservation outcome with the
+// flat engine, and per-level accounting.
+
+#include <gtest/gtest.h>
+
+#include "src/core/conservation.h"
+#include "src/core/hier_balancer.h"
+#include "src/core/policies/thread_count.h"
+#include "src/verify/state_space.h"
+
+namespace optsched {
+namespace {
+
+TEST(HierBalancer, BuildsLadderFromTopology) {
+  const Topology topo = Topology::Hierarchical(2, 1, 2, 2);  // SMT + LLC + MACHINE
+  HierarchicalBalancer balancer(policies::MakeThreadCount(), topo);
+  ASSERT_EQ(balancer.level_stats().size(), 3u);
+  EXPECT_EQ(balancer.level_stats()[0].name, "SMT");
+  EXPECT_EQ(balancer.level_stats()[1].name, "LLC");
+  EXPECT_EQ(balancer.level_stats()[2].name, "MACHINE");
+}
+
+TEST(HierBalancer, PrefersInnermostLevelWithCandidates) {
+  // 2 nodes x 4 cores. cpu0 idle; cpu1 (same node) and cpu4 (other node)
+  // both overloaded: the steal must come from the same-node LLC level.
+  const Topology topo = Topology::Numa(2, 4);
+  HierarchicalBalancer balancer(policies::MakeThreadCount(), topo);
+  MachineState machine = MachineState::FromLoads({0, 4, 1, 1, 6, 1, 1, 1});
+  Rng rng(1);
+  size_t level = SIZE_MAX;
+  const CoreAction action =
+      balancer.RunOneAttempt(machine, 0, machine.Snapshot(), rng, true, &level);
+  EXPECT_EQ(action.outcome, StealOutcome::kStole);
+  EXPECT_EQ(*action.victim, 1u);  // not cpu4, despite its higher load
+  ASSERT_NE(level, SIZE_MAX);
+  EXPECT_EQ(balancer.hierarchy().levels[level][0].name, "LLC");
+}
+
+TEST(HierBalancer, EscalatesWhenInnerLevelsAreBalanced) {
+  // cpu0's node is flat; the only overload is remote: the ladder must widen
+  // to the MACHINE level and steal cross-node.
+  const Topology topo = Topology::Numa(2, 4);
+  HierarchicalBalancer balancer(policies::MakeThreadCount(), topo);
+  MachineState machine = MachineState::FromLoads({0, 1, 1, 1, 5, 1, 1, 1});
+  Rng rng(1);
+  size_t level = SIZE_MAX;
+  const CoreAction action =
+      balancer.RunOneAttempt(machine, 0, machine.Snapshot(), rng, true, &level);
+  EXPECT_EQ(action.outcome, StealOutcome::kStole);
+  EXPECT_EQ(*action.victim, 4u);
+  ASSERT_NE(level, SIZE_MAX);
+  EXPECT_EQ(balancer.hierarchy().levels[level][0].name, "MACHINE");
+}
+
+TEST(HierBalancer, NoCandidatesAnywhere) {
+  const Topology topo = Topology::Numa(2, 2);
+  HierarchicalBalancer balancer(policies::MakeThreadCount(), topo);
+  MachineState machine = MachineState::FromLoads({1, 1, 1, 1});
+  Rng rng(1);
+  size_t level = 0;
+  const CoreAction action =
+      balancer.RunOneAttempt(machine, 0, machine.Snapshot(), rng, true, &level);
+  EXPECT_EQ(action.outcome, StealOutcome::kNoCandidates);
+  EXPECT_EQ(level, SIZE_MAX);
+}
+
+TEST(HierBalancer, AttemptsExactlyWhenFlatEngineWould) {
+  // The ladder walk is a choice refinement: over every bounded state, the
+  // hierarchical engine finds a victim iff the flat engine does (both use
+  // the same unrestricted filter at the outermost level).
+  const Topology topo = Topology::Numa(2, 2);
+  verify::Bounds bounds;
+  bounds.num_cores = 4;
+  bounds.max_load = 3;
+  verify::ForEachState(bounds, [&](const std::vector<int64_t>& loads) {
+    for (CpuId thief = 0; thief < 4; ++thief) {
+      MachineState hier_machine = MachineState::FromLoads(loads);
+      MachineState flat_machine = MachineState::FromLoads(loads);
+      HierarchicalBalancer hier(policies::MakeThreadCount(), topo);
+      LoadBalancer flat(policies::MakeThreadCount(), &topo);
+      Rng rng_a(1);
+      Rng rng_b(1);
+      const CoreAction ha =
+          hier.RunOneAttempt(hier_machine, thief, hier_machine.Snapshot(), rng_a);
+      const CoreAction fa =
+          flat.RunOneAttempt(flat_machine, thief, flat_machine.Snapshot(), rng_b);
+      const bool hier_attempted = ha.outcome != StealOutcome::kNoCandidates;
+      const bool flat_attempted = fa.outcome != StealOutcome::kNoCandidates;
+      EXPECT_EQ(hier_attempted, flat_attempted)
+          << "thief " << thief << " at " << MachineState::FromLoads(loads).ToString();
+      // Without concurrency both attempts succeed (sound filter).
+      if (hier_attempted) {
+        EXPECT_EQ(ha.outcome, StealOutcome::kStole);
+        EXPECT_EQ(fa.outcome, StealOutcome::kStole);
+      }
+    }
+    return true;
+  });
+}
+
+TEST(HierBalancer, ConcurrentRoundsReachWorkConservation) {
+  const Topology topo = Topology::Hierarchical(2, 1, 4, 2);  // 16 cpus, 3 levels
+  HierarchicalBalancer balancer(policies::MakeThreadCount(), topo);
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int64_t> loads(16, 0);
+    for (int c = 0; c < 4; ++c) {
+      loads[static_cast<size_t>(rng.NextBelow(16))] = rng.NextInRange(2, 8);
+    }
+    MachineState machine = MachineState::FromLoads(loads);
+    uint64_t rounds = 0;
+    while (!machine.WorkConserved() && rounds < 100) {
+      balancer.RunRound(machine, rng);
+      ++rounds;
+    }
+    EXPECT_TRUE(machine.WorkConserved()) << "trial " << trial;
+  }
+}
+
+TEST(HierBalancer, LevelStatsAttributeSteals) {
+  const Topology topo = Topology::Numa(2, 4);
+  HierarchicalBalancer balancer(policies::MakeThreadCount(), topo);
+  // Intra-node imbalance only: all steals must land at the LLC level.
+  MachineState machine = MachineState::FromLoads({0, 6, 1, 1, 0, 6, 1, 1});
+  Rng rng(2);
+  RoundOptions options;
+  options.mode = RoundOptions::Mode::kSequential;
+  while (true) {
+    const RoundResult r = balancer.RunRound(machine, rng, options);
+    if (r.successes == 0) {
+      break;
+    }
+  }
+  uint64_t llc = 0;
+  uint64_t machine_level = 0;
+  for (const LevelStats& stats : balancer.level_stats()) {
+    if (stats.name == "LLC") {
+      llc += stats.successes;
+    }
+    if (stats.name == "MACHINE") {
+      machine_level += stats.successes;
+    }
+  }
+  EXPECT_GT(llc, 0u);
+  EXPECT_EQ(machine_level, 0u);  // never needed to cross nodes
+  EXPECT_TRUE(machine.WorkConserved());
+}
+
+TEST(HierBalancer, TaskConservationUnderConcurrentRounds) {
+  const Topology topo = Topology::Hierarchical(2, 2, 2, 2);
+  HierarchicalBalancer balancer(policies::MakeThreadCount(), topo);
+  MachineState machine = MachineState::FromLoads(
+      {9, 0, 0, 0, 7, 0, 0, 0, 5, 0, 0, 0, 3, 0, 0, 0});
+  const uint64_t total = machine.TotalTasks();
+  Rng rng(4);
+  for (int round = 0; round < 30; ++round) {
+    balancer.RunRound(machine, rng);
+    ASSERT_EQ(machine.TotalTasks(), total);
+  }
+  EXPECT_TRUE(machine.WorkConserved());
+}
+
+}  // namespace
+}  // namespace optsched

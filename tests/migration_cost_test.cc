@@ -1,0 +1,104 @@
+// Migration-cost model: cold-cache penalties charge extra CPU time at
+// schedule-in, proportional to topology distance — making locality-aware
+// choice steps measurably matter.
+
+#include <gtest/gtest.h>
+
+#include "src/core/policies/locality.h"
+#include "src/core/policies/thread_count.h"
+#include "src/sim/simulator.h"
+
+namespace optsched {
+namespace {
+
+// A blocking task that ran on cpu0 wakes while cpu0 is occupied by a hog;
+// idle-preferred placement moves it to cpu1 — a genuine cold migration.
+// (A task stolen before its FIRST run migrates for free: its cache is cold
+// everywhere, and the model deliberately only charges for re-runs.)
+sim::SimMetrics RunRanThenMoved(uint64_t penalty_per_distance) {
+  const Topology topo = Topology::Smp(2);
+  sim::SimConfig config;
+  config.max_time_us = 60'000'000;
+  config.lb_period_us = 1'000'000'000;  // placement, not balancing, moves it
+  config.wake_placement = sim::WakePlacement::kIdlePreferred;
+  config.migration_penalty_us_per_distance = penalty_per_distance;
+  sim::Simulator s(topo, policies::MakeThreadCount(), config, 1);
+  // The mover: 2ms burst on cpu0, 1ms block, then resumes.
+  sim::TaskSpec mover;
+  mover.total_service_us = 4'000;
+  mover.burst_us = 2'000;
+  mover.mean_block_us = 1'000;
+  s.Submit(mover, 0, 0);
+  // The hog arrives on cpu0 while the mover runs; when the mover wakes,
+  // cpu0 is busy and cpu1 idle.
+  sim::TaskSpec hog;
+  hog.total_service_us = 50'000;
+  s.Submit(hog, 100, 0);
+  s.Run();
+  return s.metrics();
+}
+
+TEST(MigrationCost, PenaltyChargedForRanThenMovedTask) {
+  const sim::SimMetrics metrics = RunRanThenMoved(/*penalty_per_distance=*/100);
+  EXPECT_GT(metrics.cold_migrations, 0u);
+  EXPECT_GT(metrics.migration_penalty_us, 0u);
+  // Same-package distance is 2: each cold move costs 200us.
+  EXPECT_EQ(metrics.migration_penalty_us, metrics.cold_migrations * 200u);
+}
+
+TEST(MigrationCost, FirstRunIsFreeEverywhere) {
+  // A never-ran task stolen cross-node pays nothing.
+  const Topology topo = Topology::Numa(2, 2);
+  sim::SimConfig config;
+  config.max_time_us = 60'000'000;
+  config.lb_period_us = 1'000;
+  config.migration_penalty_us_per_distance = 100;
+  sim::Simulator s(topo, policies::MakeThreadCount(), config, 1);
+  sim::TaskSpec spec;
+  spec.total_service_us = 10'000;
+  s.Submit(spec, 0, 0);
+  s.Submit(spec, 0, 0);
+  s.Submit(spec, 0, 0);
+  s.Run();
+  EXPECT_GT(s.metrics().migrations, 0u);            // steals happened
+  EXPECT_EQ(s.metrics().cold_migrations, 0u);       // but nobody had run yet
+  EXPECT_EQ(s.metrics().migration_penalty_us, 0u);
+  EXPECT_EQ(s.accounting().total_busy_us(), 30'000u);
+}
+
+TEST(MigrationCost, DisabledByDefault) {
+  const sim::SimMetrics metrics = RunRanThenMoved(/*penalty_per_distance=*/0);
+  EXPECT_GT(metrics.cold_migrations, 0u);      // moves still counted
+  EXPECT_EQ(metrics.migration_penalty_us, 0u);  // but free
+}
+
+TEST(MigrationCost, NumaAwareChoiceBeatsFlatChoiceUnderPenalties) {
+  // Both nodes hold an identical pile on their first CPU. The flat max-load
+  // choice tie-breaks by lowest id, so node-1 thieves raid node 0 and pay
+  // cross-node penalties; the NUMA-aware choice drains each pile locally.
+  const Topology topo = Topology::Numa(2, 4);
+  auto run = [&](std::shared_ptr<const BalancePolicy> policy) {
+    sim::SimConfig config;
+    config.max_time_us = 400'000'000;
+    config.lb_period_us = 1'000;
+    config.wake_placement = sim::WakePlacement::kLastCpu;
+    config.migration_penalty_us_per_distance = 200;
+    sim::Simulator s(topo, std::move(policy), config, 5);
+    sim::TaskSpec spec;
+    spec.total_service_us = 10'000;
+    for (int i = 0; i < 16; ++i) {
+      s.Submit(spec, 0, 0);  // node 0 pile
+      s.Submit(spec, 0, 4);  // node 1 pile
+    }
+    s.Run();
+    return std::make_pair(s.metrics().makespan_us, s.metrics().migration_penalty_us);
+  };
+  const auto [flat_makespan, flat_penalty] = run(policies::MakeThreadCount());
+  const auto [numa_makespan, numa_penalty] =
+      run(policies::MakeNumaAware(policies::MakeThreadCount()));
+  EXPECT_LT(numa_penalty, flat_penalty);
+  EXPECT_LT(numa_makespan, flat_makespan);
+}
+
+}  // namespace
+}  // namespace optsched

@@ -1,0 +1,108 @@
+// Coverage for smaller surfaces: name tables, SchedulePick, single-CPU
+// degeneracies, conservation-options branches, and predicate equivalences.
+
+#include <gtest/gtest.h>
+
+#include "src/core/conservation.h"
+#include "src/core/hier_balancer.h"
+#include "src/core/policies/thread_count.h"
+#include "src/sched/core_state.h"
+#include "src/trace/trace.h"
+#include "src/verify/state_space.h"
+
+namespace optsched {
+namespace {
+
+TEST(NameTables, StealOutcomeNames) {
+  EXPECT_STREQ(StealOutcomeName(StealOutcome::kNoCandidates), "no-candidates");
+  EXPECT_STREQ(StealOutcomeName(StealOutcome::kStole), "stole");
+  EXPECT_STREQ(StealOutcomeName(StealOutcome::kFailedRecheck), "failed-recheck");
+  EXPECT_STREQ(StealOutcomeName(StealOutcome::kFailedNoTask), "failed-no-task");
+}
+
+TEST(NameTables, TraceEventNamesAreDistinct) {
+  const trace::EventType types[] = {
+      trace::EventType::kSpawn,     trace::EventType::kScheduleIn,
+      trace::EventType::kScheduleOut, trace::EventType::kBlock,
+      trace::EventType::kWake,      trace::EventType::kExit,
+      trace::EventType::kSteal,     trace::EventType::kStealFailed,
+      trace::EventType::kRound};
+  std::set<std::string> names;
+  for (const auto type : types) {
+    EXPECT_TRUE(names.insert(trace::EventTypeName(type)).second);
+  }
+}
+
+TEST(CoreState, SchedulePickSelectsById) {
+  CoreState c;
+  c.Enqueue(MakeTask(1));
+  c.Enqueue(MakeTask(2));
+  c.Enqueue(MakeTask(3));
+  EXPECT_TRUE(c.SchedulePick(2));
+  ASSERT_TRUE(c.current().has_value());
+  EXPECT_EQ(c.current()->id, 2u);
+  EXPECT_EQ(c.ready().size(), 2u);
+  EXPECT_FALSE(c.SchedulePick(1));  // already running something
+  c.ClearCurrent();
+  EXPECT_FALSE(c.SchedulePick(99));  // not in the queue
+  EXPECT_TRUE(c.SchedulePick(3));
+}
+
+TEST(HierBalancer, SingleCpuMachineIsDegenerateButSafe) {
+  const Topology topo = Topology::Smp(1);
+  HierarchicalBalancer balancer(policies::MakeThreadCount(), topo);
+  MachineState machine = MachineState::FromLoads({3});
+  Rng rng(1);
+  const RoundResult r = balancer.RunRound(machine, rng);
+  EXPECT_EQ(r.attempts, 0u);
+  EXPECT_EQ(machine.TotalTasks(), 3u);
+}
+
+TEST(Conservation, QuiescenceModeBalancesBeyondConservation) {
+  // stop_at_work_conserved=false keeps balancing until no steal succeeds:
+  // the final state is fully balanced, not merely conserved.
+  LoadBalancer balancer(policies::MakeThreadCount());
+  MachineState machine = MachineState::FromLoads({8, 6, 1, 1});  // conserved already
+  ASSERT_TRUE(machine.WorkConserved());
+  Rng rng(2);
+  ConvergenceOptions options;
+  options.stop_at_work_conserved = false;
+  const ConvergenceResult result = RunUntilWorkConserved(balancer, machine, rng, options);
+  EXPECT_TRUE(result.converged);
+  const auto loads = machine.Loads(LoadMetric::kTaskCount);
+  const auto [min_it, max_it] = std::minmax_element(loads.begin(), loads.end());
+  EXPECT_LE(*max_it - *min_it, 1);  // fully balanced
+  EXPECT_NE(result.ToString().find("converged=yes"), std::string::npos);
+}
+
+TEST(Predicates, AffinityAwareConservationMatchesPlainWithoutMasks) {
+  // Without any affinity masks the two predicates agree on every state.
+  verify::Bounds bounds;
+  bounds.num_cores = 4;
+  bounds.max_load = 3;
+  verify::ForEachState(bounds, [&](const std::vector<int64_t>& loads) {
+    const MachineState m = MachineState::FromLoads(loads);
+    EXPECT_EQ(m.WorkConserved(), m.WorkConservedModuloAffinity())
+        << MachineState::FromLoads(loads).ToString();
+    return true;
+  });
+}
+
+TEST(RoundOptionsDeath, FixedOrderMustCoverAllCores) {
+  LoadBalancer balancer(policies::MakeThreadCount());
+  MachineState machine = MachineState::FromLoads({0, 3});
+  Rng rng(1);
+  RoundOptions options;
+  options.mode = RoundOptions::Mode::kConcurrentFixedOrder;
+  options.steal_order = {0};  // wrong length
+  EXPECT_DEATH(balancer.RunRound(machine, rng, options), "permutation");
+}
+
+TEST(BalancerDeath, MaxStealsMustBePositive) {
+  LoadBalancer balancer(policies::MakeThreadCount());
+  MachineState machine = MachineState::FromLoads({0, 3});
+  EXPECT_DEATH(balancer.ExecuteStealPhase(machine, 0, 1, true, 0), "max_steals");
+}
+
+}  // namespace
+}  // namespace optsched

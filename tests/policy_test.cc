@@ -1,0 +1,235 @@
+// Unit tests for the policy library: every filter/choice/migration rule.
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/core/policies/broken.h"
+#include "src/core/policies/cfs_like.h"
+#include "src/core/policies/hierarchical.h"
+#include "src/core/policies/locality.h"
+#include "src/core/policies/registry.h"
+#include "src/core/policies/thread_count.h"
+#include "src/core/policies/weighted.h"
+#include "src/sched/machine_state.h"
+
+namespace optsched {
+namespace {
+
+using policies::GroupMap;
+
+SelectionView ViewOf(CpuId self, const LoadSnapshot& snapshot,
+                     const Topology* topology = nullptr) {
+  return SelectionView{.self = self, .snapshot = snapshot, .topology = topology};
+}
+
+TEST(ThreadCountPolicy, Listing1Filter) {
+  const auto policy = policies::MakeThreadCount();
+  const MachineState m = MachineState::FromLoads({0, 1, 2, 5});
+  const LoadSnapshot s = m.Snapshot();
+  // Idle thief: 2 and 5 are stealable, 1 is not (diff 1 < 2).
+  EXPECT_FALSE(policy->CanSteal(ViewOf(0, s), 1));
+  EXPECT_TRUE(policy->CanSteal(ViewOf(0, s), 2));
+  EXPECT_TRUE(policy->CanSteal(ViewOf(0, s), 3));
+  // Busy thief (load 2): only 5 qualifies.
+  EXPECT_FALSE(policy->CanSteal(ViewOf(2, s), 1));
+  EXPECT_TRUE(policy->CanSteal(ViewOf(2, s), 3));
+}
+
+TEST(ThreadCountPolicy, FilterCandidatesExcludesSelf) {
+  const auto policy = policies::MakeThreadCount();
+  const MachineState m = MachineState::FromLoads({5, 5, 0});
+  const LoadSnapshot s = m.Snapshot();
+  const auto candidates = policy->FilterCandidates(ViewOf(2, s));
+  EXPECT_EQ(candidates, (std::vector<CpuId>{0, 1}));
+  // A loaded core never appears in its own candidate list.
+  EXPECT_TRUE(policy->FilterCandidates(ViewOf(0, s)).empty());
+}
+
+TEST(ThreadCountPolicy, DefaultChoiceIsMostLoaded) {
+  const auto policy = policies::MakeThreadCount();
+  const MachineState m = MachineState::FromLoads({0, 3, 7, 4});
+  const LoadSnapshot s = m.Snapshot();
+  Rng rng(1);
+  const auto view = ViewOf(0, s);
+  EXPECT_EQ(policy->SelectCore(view, policy->FilterCandidates(view), rng), 2u);
+}
+
+TEST(ThreadCountPolicy, DefaultMigrationIsStrictDecrease) {
+  const auto policy = policies::MakeThreadCount();
+  EXPECT_TRUE(policy->ShouldMigrate(1, 2, 0));    // 0 < 1 < 2
+  EXPECT_FALSE(policy->ShouldMigrate(1, 1, 0));   // would invert/equalize trivially
+  EXPECT_FALSE(policy->ShouldMigrate(1, 3, 2));   // diff 1: no move
+  EXPECT_TRUE(policy->ShouldMigrate(1, 9, 3));
+}
+
+TEST(ThreadCountPolicyDeath, MarginBelowTwoIsRejected) {
+  EXPECT_DEATH(policies::ThreadCountPolicy(1), "margin");
+}
+
+TEST(ThreadCountPolicy, CustomMarginInName) {
+  EXPECT_EQ(policies::ThreadCountPolicy(3).name(), "thread-count(margin=3)");
+  EXPECT_EQ(policies::ThreadCountPolicy(2).name(), "thread-count");
+}
+
+TEST(WeightedPolicy, FilterNeedsOverloadAndHeavierLoad) {
+  const auto policy = policies::MakeWeightedLoad();
+  MachineState m(3);
+  m.Place(MakeTask(1, -10), 0);  // heavy single task: wload 9548, count 1
+  m.Place(MakeTask(2, 0), 1);    // two nice-0 tasks: wload 2048, count 2
+  m.Place(MakeTask(3, 0), 1);
+  const LoadSnapshot s = m.Snapshot();
+  // Core 0 is NOT stealable (count 1), despite the heaviest weighted load.
+  EXPECT_FALSE(policy->CanSteal(ViewOf(2, s), 0));
+  // Core 1 is stealable from the idle core 2.
+  EXPECT_TRUE(policy->CanSteal(ViewOf(2, s), 1));
+  // ... but not from the heavier core 0.
+  EXPECT_FALSE(policy->CanSteal(ViewOf(0, s), 1));
+}
+
+TEST(WeightedPolicy, MigrationRequiresWeightBelowDiff) {
+  const auto policy = policies::MakeWeightedLoad();
+  EXPECT_TRUE(policy->ShouldMigrate(1024, 4096, 1024));   // 1024 < 3072
+  EXPECT_FALSE(policy->ShouldMigrate(3072, 4096, 1024));  // 3072 == diff: no
+  EXPECT_FALSE(policy->ShouldMigrate(0, 4096, 0));        // degenerate weight
+}
+
+TEST(BrokenPolicy, AnyCoreMaySteal) {
+  const auto policy = policies::MakeBrokenCanSteal();
+  const MachineState m = MachineState::FromLoads({0, 1, 2});
+  const LoadSnapshot s = m.Snapshot();
+  // Core 1 (load 1, not idle) may steal from core 2 — the §4.3 flaw.
+  EXPECT_TRUE(policy->CanSteal(ViewOf(1, s), 2));
+  EXPECT_TRUE(policy->CanSteal(ViewOf(0, s), 2));
+  EXPECT_FALSE(policy->CanSteal(ViewOf(0, s), 1));
+}
+
+TEST(LocalityChoice, NearestFirstPrefersSameNode) {
+  const Topology topo = Topology::Numa(2, 2);  // cpus 0,1 node0; 2,3 node1
+  const auto policy = policies::MakeNumaAware(policies::MakeThreadCount());
+  const MachineState m = MachineState::FromLoads({0, 3, 9, 0});
+  const LoadSnapshot s = m.Snapshot();
+  Rng rng(1);
+  const auto view = ViewOf(0, s, &topo);
+  const auto candidates = policy->FilterCandidates(view);
+  ASSERT_EQ(candidates, (std::vector<CpuId>{1, 2}));
+  // Nearest-first picks the same-node cpu1 even though cpu2 is more loaded.
+  EXPECT_EQ(policy->SelectCore(view, candidates, rng), 1u);
+}
+
+TEST(LocalityChoice, FallsBackWithoutTopology) {
+  const auto policy = policies::MakeNumaAware(policies::MakeThreadCount());
+  const MachineState m = MachineState::FromLoads({0, 3, 9});
+  const LoadSnapshot s = m.Snapshot();
+  Rng rng(1);
+  const auto view = ViewOf(0, s, nullptr);
+  EXPECT_EQ(policy->SelectCore(view, policy->FilterCandidates(view), rng), 2u);
+}
+
+TEST(LocalityChoice, RandomChoiceReturnsMembers) {
+  const auto policy = policies::MakeRandomChoice(policies::MakeThreadCount());
+  const MachineState m = MachineState::FromLoads({0, 3, 9, 4});
+  const LoadSnapshot s = m.Snapshot();
+  Rng rng(5);
+  const auto view = ViewOf(0, s);
+  const auto candidates = policy->FilterCandidates(view);
+  for (int i = 0; i < 50; ++i) {
+    const CpuId chosen = policy->SelectCore(view, candidates, rng);
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), chosen), candidates.end());
+  }
+}
+
+TEST(GroupMap, ByNodeAndContiguous) {
+  const Topology topo = Topology::Numa(2, 4);
+  const GroupMap by_node = GroupMap::ByNode(topo);
+  EXPECT_EQ(by_node.num_groups(), 2u);
+  EXPECT_EQ(by_node.group_of(0), 0u);
+  EXPECT_EQ(by_node.group_of(7), 1u);
+  const GroupMap contiguous = GroupMap::Contiguous(8, 2);
+  EXPECT_EQ(contiguous.num_groups(), 4u);
+  EXPECT_EQ(contiguous.members(3), (std::vector<CpuId>{6, 7}));
+}
+
+TEST(GroupMap, GroupLoadSums) {
+  const GroupMap groups = GroupMap::Contiguous(4, 2);
+  const MachineState m = MachineState::FromLoads({1, 2, 3, 4});
+  const LoadSnapshot s = m.Snapshot();
+  EXPECT_EQ(groups.GroupLoad(s, 0, LoadMetric::kTaskCount), 3);
+  EXPECT_EQ(groups.GroupLoad(s, 1, LoadMetric::kTaskCount), 7);
+}
+
+TEST(HierarchicalPolicy, FilterIsGlobalPairwise) {
+  const auto policy = policies::MakeHierarchical(GroupMap::Contiguous(4, 2));
+  const MachineState m = MachineState::FromLoads({0, 1, 1, 3});
+  const LoadSnapshot s = m.Snapshot();
+  // Cross-group steal is admitted purely on the pairwise rule.
+  EXPECT_TRUE(policy->CanSteal(ViewOf(0, s), 3));
+  EXPECT_FALSE(policy->CanSteal(ViewOf(0, s), 1));
+}
+
+TEST(HierarchicalPolicy, ChoicePrefersOwnGroup) {
+  const auto policy = policies::MakeHierarchical(GroupMap::Contiguous(4, 2));
+  const MachineState m = MachineState::FromLoads({0, 3, 9, 0});
+  const LoadSnapshot s = m.Snapshot();
+  Rng rng(1);
+  const auto view = ViewOf(0, s);
+  const auto candidates = policy->FilterCandidates(view);
+  ASSERT_EQ(candidates, (std::vector<CpuId>{1, 2}));
+  // cpu1 shares group {0,1}: chosen despite cpu2's higher load.
+  EXPECT_EQ(policy->SelectCore(view, candidates, rng), 1u);
+}
+
+TEST(GroupSumPolicy, HidesOverloadBehindBalancedSums) {
+  // Groups {0,1,2} and {3,4,5}; loads (0,1,1 | 2,0,0): sums 2 vs 2. The idle
+  // core 0 cannot steal the overloaded core 3 — the Lemma-1 violation.
+  const auto policy = policies::MakeGroupSum(GroupMap::Contiguous(6, 3));
+  const MachineState m = MachineState::FromLoads({0, 1, 1, 2, 0, 0});
+  const LoadSnapshot s = m.Snapshot();
+  EXPECT_FALSE(policy->CanSteal(ViewOf(0, s), 3));
+  // Intra-group stealing still follows the pairwise rule.
+  EXPECT_TRUE(policy->CanSteal(ViewOf(4, s), 3));
+}
+
+TEST(CfsLikePolicy, IntraGroupIsPairwise) {
+  const auto policy = policies::MakeCfsLike(GroupMap::Contiguous(4, 2));
+  const MachineState m = MachineState::FromLoads({0, 2, 1, 1});
+  const LoadSnapshot s = m.Snapshot();
+  EXPECT_TRUE(policy->CanSteal(ViewOf(0, s), 1));
+}
+
+TEST(CfsLikePolicy, OnlyDesignatedIdleCoreBalancesAcrossGroups) {
+  // Groups of 2: (1,0 | 4,4). cpu1 is the designated (lowest idle) core of
+  // group 0; cpu0 is busy.
+  const auto policy = policies::MakeCfsLike(GroupMap::Contiguous(4, 2));
+  const MachineState m = MachineState::FromLoads({1, 0, 4, 4});
+  const LoadSnapshot s = m.Snapshot();
+  EXPECT_TRUE(policy->CanSteal(ViewOf(1, s), 2));
+  EXPECT_FALSE(policy->CanSteal(ViewOf(0, s), 2));  // busy: not designated
+}
+
+TEST(CfsLikePolicy, GroupAverageThresholdHidesImbalance) {
+  // Groups of 4: thief group (0,1,1,1) avg 0.75, victim group (2,1,1,1) avg
+  // 1.25. With factor 1.25 the threshold is 0.9375; 1.25 > 0.9375 would
+  // steal, so use factor 1.4: threshold 1.05... still below 1.25. Factor 1.7
+  // gives 1.275 > 1.25 — blocked. The same shape with bigger groups blocks at
+  // the stock 1.25 factor (see verify tests); here we pin the mechanism.
+  const auto policy = policies::MakeCfsLike(GroupMap::Contiguous(8, 4), /*imbalance_factor=*/1.7);
+  const MachineState m = MachineState::FromLoads({0, 1, 1, 1, 2, 1, 1, 1});
+  const LoadSnapshot s = m.Snapshot();
+  EXPECT_FALSE(policy->CanSteal(ViewOf(0, s), 4));
+  // With no thresholding (factor 1.0) the same steal is admitted.
+  const auto eager = policies::MakeCfsLike(GroupMap::Contiguous(8, 4), /*imbalance_factor=*/1.0);
+  EXPECT_TRUE(eager->CanSteal(ViewOf(0, s), 4));
+}
+
+TEST(Registry, AllNamesConstruct) {
+  const Topology topo = Topology::Numa(2, 4);
+  for (const std::string& name : policies::KnownPolicyNames()) {
+    const auto policy = policies::MakePolicyByName(name, topo);
+    ASSERT_NE(policy, nullptr) << name;
+    EXPECT_FALSE(policy->name().empty());
+  }
+  EXPECT_EQ(policies::MakePolicyByName("no-such-policy", topo), nullptr);
+}
+
+}  // namespace
+}  // namespace optsched

@@ -1,0 +1,226 @@
+// Unit tests for src/sched: task weights, core state, machine state and the
+// potential function.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/base/rng.h"
+#include "src/sched/core_state.h"
+#include "src/sched/machine_state.h"
+#include "src/sched/task.h"
+
+namespace optsched {
+namespace {
+
+TEST(TaskWeights, MatchesCfsTable) {
+  EXPECT_EQ(NiceToWeight(0), 1024u);
+  EXPECT_EQ(NiceToWeight(-20), 88761u);
+  EXPECT_EQ(NiceToWeight(19), 15u);
+  EXPECT_EQ(NiceToWeight(1), 820u);
+  EXPECT_EQ(NiceToWeight(-1), 1277u);
+}
+
+TEST(TaskWeights, EachStepIsRoughly25Percent) {
+  for (int nice = kMinNice; nice < kMaxNice; ++nice) {
+    const double ratio = static_cast<double>(NiceToWeight(nice)) /
+                         static_cast<double>(NiceToWeight(nice + 1));
+    EXPECT_GT(ratio, 1.15) << "nice " << nice;
+    EXPECT_LT(ratio, 1.35) << "nice " << nice;
+  }
+}
+
+TEST(TaskWeightsDeath, RejectsOutOfRangeNice) {
+  EXPECT_DEATH(NiceToWeight(-21), "nice");
+  EXPECT_DEATH(NiceToWeight(20), "nice");
+}
+
+TEST(CoreState, PaperPredicates) {
+  CoreState c;
+  EXPECT_TRUE(c.IsIdle());
+  EXPECT_FALSE(c.IsOverloaded());
+  c.Enqueue(MakeTask(1));
+  EXPECT_FALSE(c.IsIdle());       // queued work: not idle
+  EXPECT_FALSE(c.IsOverloaded()); // one thread total: not overloaded
+  c.ScheduleNext();
+  EXPECT_EQ(c.TaskCount(), 1);
+  c.Enqueue(MakeTask(2));
+  EXPECT_TRUE(c.IsOverloaded());  // current + 1 ready = 2
+}
+
+TEST(CoreState, WeightedLoadTracksAllMutations) {
+  CoreState c;
+  c.Enqueue(MakeTask(1, 0));    // 1024
+  c.Enqueue(MakeTask(2, -10));  // 9548
+  EXPECT_EQ(c.WeightedLoad(), 1024 + 9548);
+  c.ScheduleNext();  // current moves within the core: unchanged
+  EXPECT_EQ(c.WeightedLoad(), 1024 + 9548);
+  auto stolen = c.DequeueTail();
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_EQ(stolen->id, 2u);
+  EXPECT_EQ(c.WeightedLoad(), 1024);
+  auto done = c.ClearCurrent();
+  ASSERT_TRUE(done.has_value());
+  EXPECT_EQ(c.WeightedLoad(), 0);
+  EXPECT_TRUE(c.IsIdle());
+}
+
+TEST(CoreState, DequeueOrderFifoHeadLifoTail) {
+  CoreState c;
+  c.Enqueue(MakeTask(1));
+  c.Enqueue(MakeTask(2));
+  c.Enqueue(MakeTask(3));
+  EXPECT_EQ(c.DequeueHead()->id, 1u);
+  EXPECT_EQ(c.DequeueTail()->id, 3u);
+  EXPECT_EQ(c.DequeueHead()->id, 2u);
+  EXPECT_FALSE(c.DequeueHead().has_value());
+  EXPECT_FALSE(c.DequeueTail().has_value());
+}
+
+TEST(CoreState, RemoveById) {
+  CoreState c;
+  c.Enqueue(MakeTask(1));
+  c.Enqueue(MakeTask(2));
+  EXPECT_TRUE(c.Remove(1));
+  EXPECT_FALSE(c.Remove(1));
+  EXPECT_EQ(c.TaskCount(), 1);
+}
+
+TEST(CoreState, PreemptPutsCurrentAtHead) {
+  CoreState c;
+  c.Enqueue(MakeTask(1));
+  c.Enqueue(MakeTask(2));
+  c.ScheduleNext();  // 1 running
+  c.PreemptCurrent();
+  EXPECT_FALSE(c.current().has_value());
+  EXPECT_EQ(c.ready().front().id, 1u);
+  EXPECT_EQ(c.TaskCount(), 2);
+}
+
+TEST(CoreStateDeath, SetCurrentTwiceIsFatal) {
+  CoreState c;
+  c.SetCurrent(MakeTask(1));
+  EXPECT_DEATH(c.SetCurrent(MakeTask(2)), "already");
+}
+
+TEST(MachineState, FromLoadsShapesCores) {
+  const MachineState m = MachineState::FromLoads({0, 1, 3});
+  EXPECT_TRUE(m.IsIdle(0));
+  EXPECT_FALSE(m.IsIdle(1));
+  EXPECT_FALSE(m.IsOverloaded(1));
+  EXPECT_TRUE(m.IsOverloaded(2));
+  EXPECT_EQ(m.TotalTasks(), 4u);
+  EXPECT_TRUE(m.core(1).current().has_value());   // one task runs
+  EXPECT_EQ(m.core(2).ready().size(), 2u);        // rest queued
+}
+
+TEST(MachineState, WorkConservedDefinition) {
+  EXPECT_TRUE(MachineState::FromLoads({1, 1, 1}).WorkConserved());
+  EXPECT_TRUE(MachineState::FromLoads({0, 1, 1}).WorkConserved());   // idle but nobody overloaded
+  EXPECT_TRUE(MachineState::FromLoads({2, 2, 1}).WorkConserved());   // overloaded but nobody idle
+  EXPECT_FALSE(MachineState::FromLoads({0, 1, 2}).WorkConserved());  // the paper's bad state
+}
+
+TEST(MachineState, StealMovesOneTask) {
+  MachineState m = MachineState::FromLoads({0, 3});
+  const auto stolen = m.StealOneTask(/*victim=*/1, /*thief=*/0);
+  ASSERT_TRUE(stolen.has_value());
+  EXPECT_EQ(m.Load(0, LoadMetric::kTaskCount), 1);
+  EXPECT_EQ(m.Load(1, LoadMetric::kTaskCount), 2);
+  EXPECT_EQ(m.TotalTasks(), 3u);
+}
+
+TEST(MachineState, StealFromEmptyRunqueueFails) {
+  MachineState m = MachineState::FromLoads({0, 1});  // victim's single task is current
+  EXPECT_FALSE(m.StealOneTask(1, 0).has_value());
+}
+
+TEST(MachineState, StealTaskById) {
+  MachineState m(2);
+  m.Place(MakeTask(10), 0);
+  m.Place(MakeTask(11), 0);
+  EXPECT_TRUE(m.StealTaskById(0, 1, 10));
+  EXPECT_FALSE(m.StealTaskById(0, 1, 10));  // already gone
+  EXPECT_EQ(m.core(1).ready().front().id, 10u);
+}
+
+TEST(MachineStateDeath, SelfStealIsFatal) {
+  MachineState m = MachineState::FromLoads({2, 0});
+  EXPECT_DEATH(m.StealOneTask(0, 0), "itself");
+}
+
+TEST(Potential, MatchesPaperDoubleSum) {
+  // d = sum_i sum_j |l_i - l_j| over ordered pairs.
+  auto brute = [](const std::vector<int64_t>& loads) {
+    int64_t d = 0;
+    for (int64_t a : loads) {
+      for (int64_t b : loads) {
+        d += std::abs(a - b);
+      }
+    }
+    return d;
+  };
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<int64_t> loads;
+    const int n = static_cast<int>(rng.NextInRange(1, 8));
+    for (int i = 0; i < n; ++i) {
+      loads.push_back(rng.NextInRange(0, 12));
+    }
+    EXPECT_EQ(PotentialOfLoads(loads), brute(loads));
+  }
+}
+
+TEST(Potential, MoveFromHighToLowStrictlyDecreases) {
+  // The §4.3 termination argument: moving one unit from a core that is at
+  // least 2 ahead strictly decreases d.
+  Rng rng(7);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<int64_t> loads;
+    const int n = static_cast<int>(rng.NextInRange(2, 8));
+    for (int i = 0; i < n; ++i) {
+      loads.push_back(rng.NextInRange(0, 10));
+    }
+    // Pick a (victim, thief) pair with difference >= 2 if one exists.
+    for (int v = 0; v < n; ++v) {
+      for (int t = 0; t < n; ++t) {
+        if (loads[v] - loads[t] >= 2) {
+          const int64_t before = PotentialOfLoads(loads);
+          std::vector<int64_t> after = loads;
+          after[v] -= 1;
+          after[t] += 1;
+          EXPECT_LT(PotentialOfLoads(after), before);
+        }
+      }
+    }
+  }
+}
+
+TEST(Potential, WeightedMetricOnMachine) {
+  MachineState m(2);
+  m.Place(MakeTask(1, -10), 0);  // 9548
+  m.Place(MakeTask(2, 0), 1);    // 1024
+  EXPECT_EQ(m.Potential(LoadMetric::kWeightedLoad), 2 * (9548 - 1024));
+  EXPECT_EQ(m.Potential(LoadMetric::kTaskCount), 0);
+}
+
+TEST(MachineState, SnapshotMatchesLoads) {
+  MachineState m = MachineState::FromLoads({2, 0, 5});
+  const LoadSnapshot snap = m.Snapshot();
+  ASSERT_EQ(snap.num_cpus(), 3u);
+  for (CpuId c = 0; c < 3; ++c) {
+    EXPECT_EQ(snap.Load(c, LoadMetric::kTaskCount), m.Load(c, LoadMetric::kTaskCount));
+    EXPECT_EQ(snap.Load(c, LoadMetric::kWeightedLoad), m.Load(c, LoadMetric::kWeightedLoad));
+  }
+}
+
+TEST(MachineState, SpawnAssignsFreshIds) {
+  MachineState m(2);
+  const TaskId a = m.Spawn(0);
+  const TaskId b = m.Spawn(1);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(m.TotalTasks(), 2u);
+}
+
+}  // namespace
+}  // namespace optsched

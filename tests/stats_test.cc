@@ -1,0 +1,130 @@
+// Unit tests for src/stats: streaming summaries and histograms.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/stats/histogram.h"
+#include "src/stats/summary.h"
+
+namespace optsched {
+namespace {
+
+TEST(Summary, MatchesClosedForm) {
+  stats::Summary s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // classic textbook data set
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, EmptyIsZero) {
+  stats::Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, MergeEqualsCombinedStream) {
+  stats::Summary all;
+  stats::Summary left;
+  stats::Summary right;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i) * 10.0;
+    all.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmptySides) {
+  stats::Summary a;
+  stats::Summary b;
+  b.Add(3.0);
+  a.Merge(b);  // empty <- non-empty
+  EXPECT_EQ(a.count(), 1u);
+  stats::Summary c;
+  a.Merge(c);  // non-empty <- empty
+  EXPECT_EQ(a.count(), 1u);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  stats::Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);
+  h.Add(5.5);
+  h.Add(-1.0);   // underflow -> first bucket
+  h.Add(100.0);  // overflow -> last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[5], 1u);
+  EXPECT_EQ(h.buckets()[9], 1u);
+}
+
+TEST(Histogram, PercentilesOnUniformData) {
+  stats::Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(static_cast<double>(i) + 0.5);
+  }
+  EXPECT_NEAR(h.Percentile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.Percentile(0.9), 90.0, 2.0);
+  EXPECT_NEAR(h.Percentile(0.99), 99.0, 2.0);
+  EXPECT_LE(h.Percentile(0.0), 1.0);
+  EXPECT_NEAR(h.Percentile(1.0), 100.0, 1.0);
+}
+
+TEST(Histogram, MergeAddsBuckets) {
+  stats::Histogram a(0.0, 10.0, 10);
+  stats::Histogram b(0.0, 10.0, 10);
+  a.Add(1.0);
+  b.Add(1.0);
+  b.Add(9.0);
+  a.Merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.buckets()[1], 2u);
+}
+
+TEST(Histogram, RenderShowsNonEmptyBuckets) {
+  stats::Histogram h(0.0, 10.0, 10);
+  h.Add(3.5);
+  const std::string out = h.Render();
+  EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(LogHistogram, BucketsByPowerOfTwo) {
+  stats::LogHistogram h;
+  h.Add(0);
+  h.Add(1);
+  h.Add(2);
+  h.Add(3);
+  h.Add(1000);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_NEAR(h.Percentile(0.0), 0.0, 1.0);
+  // 1000 lands in [512, 1024); the 100th percentile must reach that bucket.
+  EXPECT_GE(h.Percentile(1.0), 512.0);
+  EXPECT_LE(h.Percentile(1.0), 1024.0);
+}
+
+TEST(LogHistogram, MergeAndRender) {
+  stats::LogHistogram a;
+  stats::LogHistogram b;
+  a.Add(5);
+  b.Add(5000);
+  a.Merge(b);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_NE(a.Render().find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optsched

@@ -1,0 +1,131 @@
+// Unit tests for src/topology: machine shapes, distances, and scheduling
+// domains.
+
+#include <gtest/gtest.h>
+
+#include "src/topology/domains.h"
+#include "src/topology/topology.h"
+
+namespace optsched {
+namespace {
+
+TEST(Topology, SmpShape) {
+  const Topology t = Topology::Smp(8);
+  EXPECT_EQ(t.num_cpus(), 8u);
+  EXPECT_EQ(t.num_nodes(), 1u);
+  for (CpuId c = 0; c < 8; ++c) {
+    EXPECT_EQ(t.NodeOf(c), 0u);
+  }
+}
+
+TEST(Topology, NumaShape) {
+  const Topology t = Topology::Numa(4, 8);
+  EXPECT_EQ(t.num_cpus(), 32u);
+  EXPECT_EQ(t.num_nodes(), 4u);
+  EXPECT_EQ(t.CpusInNode(0).size(), 8u);
+  EXPECT_EQ(t.NodeOf(0), 0u);
+  EXPECT_EQ(t.NodeOf(8), 1u);
+  EXPECT_EQ(t.NodeOf(31), 3u);
+}
+
+TEST(Topology, HierarchicalShape) {
+  const Topology t = Topology::Hierarchical(2, 2, 4, 2);
+  EXPECT_EQ(t.num_cpus(), 32u);
+  const CpuInfo& c0 = t.cpu(0);
+  const CpuInfo& c1 = t.cpu(1);
+  EXPECT_TRUE(t.SharesCore(0, 1));  // SMT siblings are adjacent ids
+  EXPECT_EQ(c0.core, c1.core);
+  EXPECT_FALSE(t.SharesCore(0, 2));
+  EXPECT_TRUE(t.SharesPackage(0, 2));
+}
+
+TEST(Topology, DistanceProperties) {
+  const Topology t = Topology::Hierarchical(2, 2, 2, 2);
+  for (CpuId a = 0; a < t.num_cpus(); ++a) {
+    EXPECT_EQ(t.CpuDistance(a, a), 0u);
+    for (CpuId b = 0; b < t.num_cpus(); ++b) {
+      EXPECT_EQ(t.CpuDistance(a, b), t.CpuDistance(b, a));  // symmetry
+    }
+  }
+  // Distance strictly grows with the sharing level. Shape: 2 nodes x 2
+  // packages x 2 cores x 2 smt = 16 CPUs; cpu1 = SMT sibling of cpu0, cpu2 =
+  // same package different core, cpu4 = same node different package, cpu8 =
+  // the other node.
+  EXPECT_LT(t.CpuDistance(0, 1), t.CpuDistance(0, 2));  // SMT < same LLC
+  EXPECT_LT(t.CpuDistance(0, 2), t.CpuDistance(0, 4));  // LLC < same node
+  EXPECT_LT(t.CpuDistance(0, 4), t.CpuDistance(0, 8));  // node < cross-node
+}
+
+TEST(Topology, CustomDistanceMatrix) {
+  const Topology t = Topology::NumaWithDistances(
+      {{10, 16, 32}, {16, 10, 16}, {32, 16, 10}}, 2);
+  EXPECT_EQ(t.num_nodes(), 3u);
+  EXPECT_EQ(t.NodeDistance(0, 2), 32u);
+  EXPECT_EQ(t.NodeDistance(2, 0), 32u);
+  // Cross-node CPU distance dominates any intra-node distance.
+  EXPECT_GT(t.CpuDistance(0, 5), t.CpuDistance(0, 1));
+}
+
+TEST(TopologyDeath, RejectsAsymmetricDistances) {
+  EXPECT_DEATH(Topology::NumaWithDistances({{10, 20}, {21, 10}}, 1), "symmetric");
+}
+
+TEST(TopologyDeath, RejectsRemoteCloserThanLocal) {
+  EXPECT_DEATH(Topology::NumaWithDistances({{10, 5}, {5, 10}}, 1), "local");
+}
+
+TEST(Domains, SmpHasSingleLevel) {
+  const DomainHierarchy h = BuildDomains(Topology::Smp(4));
+  ASSERT_EQ(h.levels.size(), 1u);  // only LLC (cores within the one package)
+  EXPECT_EQ(h.levels[0][0].groups.size(), 4u);
+}
+
+TEST(Domains, NumaHasTwoLevels) {
+  const DomainHierarchy h = BuildDomains(Topology::Numa(2, 4));
+  // LLC level (cores within each package) + MACHINE level (nodes).
+  ASSERT_EQ(h.levels.size(), 2u);
+  EXPECT_EQ(h.levels[0].size(), 2u);  // one LLC domain per package
+  EXPECT_EQ(h.levels[1].size(), 1u);  // one machine domain
+  EXPECT_EQ(h.levels[1][0].groups.size(), 2u);  // grouped by node
+}
+
+TEST(Domains, GroupsPartitionTheDomain) {
+  const DomainHierarchy h = BuildDomains(Topology::Hierarchical(2, 2, 2, 2));
+  for (const auto& level : h.levels) {
+    for (const Domain& d : level) {
+      size_t total = 0;
+      for (const DomainGroup& g : d.groups) {
+        total += g.cpus.size();
+      }
+      EXPECT_EQ(total, d.cpus.size()) << d.name;
+    }
+  }
+}
+
+TEST(Domains, SingleCpuHasNoDomains) {
+  const DomainHierarchy h = BuildDomains(Topology::Smp(1));
+  EXPECT_TRUE(h.levels.empty());
+}
+
+TEST(Domains, DomainPathCoversEveryLevelForEveryCpu) {
+  const Topology t = Topology::Hierarchical(2, 1, 2, 2);
+  const DomainHierarchy h = BuildDomains(t);
+  for (CpuId cpu = 0; cpu < t.num_cpus(); ++cpu) {
+    const std::vector<size_t> path = h.DomainPath(cpu);
+    ASSERT_EQ(path.size(), h.levels.size());
+    for (size_t l = 0; l < path.size(); ++l) {
+      ASSERT_NE(path[l], SIZE_MAX) << "cpu " << cpu << " missing at level " << l;
+      const Domain& d = h.levels[l][path[l]];
+      EXPECT_NE(std::find(d.cpus.begin(), d.cpus.end(), cpu), d.cpus.end());
+    }
+  }
+}
+
+TEST(Topology, ToStringMentionsShape) {
+  EXPECT_NE(Topology::Numa(4, 8).ToString().find("4 nodes"), std::string::npos);
+  const DomainHierarchy h = BuildDomains(Topology::Numa(2, 4));
+  EXPECT_FALSE(h.ToString().empty());
+}
+
+}  // namespace
+}  // namespace optsched

@@ -1,0 +1,114 @@
+// Unit tests for tracing and time accounting.
+
+#include <gtest/gtest.h>
+
+#include "src/sched/machine_state.h"
+#include "src/trace/accounting.h"
+#include "src/trace/trace.h"
+
+namespace optsched {
+namespace {
+
+using trace::EventType;
+using trace::LoadSampler;
+using trace::TimeAccountant;
+using trace::TraceBuffer;
+using trace::TraceEvent;
+
+TEST(TraceBuffer, RecordsAndFilters) {
+  TraceBuffer buffer(16);
+  buffer.Record({.time = 1, .type = EventType::kSpawn, .cpu = 0, .task = 1});
+  buffer.Record({.time = 2, .type = EventType::kSteal, .cpu = 1, .task = 1, .other_cpu = 0});
+  buffer.Record({.time = 3, .type = EventType::kExit, .cpu = 1, .task = 1});
+  EXPECT_EQ(buffer.events().size(), 3u);
+  const auto steals = buffer.Filter(EventType::kSteal);
+  ASSERT_EQ(steals.size(), 1u);
+  EXPECT_EQ(steals[0].other_cpu, 0u);
+}
+
+TEST(TraceBuffer, CapacityDropsExcess) {
+  TraceBuffer buffer(2);
+  for (int i = 0; i < 5; ++i) {
+    buffer.Record({.time = static_cast<trace::SimTime>(i), .type = EventType::kSpawn});
+  }
+  EXPECT_EQ(buffer.events().size(), 2u);
+  EXPECT_EQ(buffer.dropped(), 3u);
+}
+
+TEST(TraceBuffer, ZeroCapacityDisables) {
+  TraceBuffer buffer(0);
+  EXPECT_FALSE(buffer.enabled());
+  buffer.Record({.time = 1, .type = EventType::kSpawn});
+  EXPECT_TRUE(buffer.events().empty());
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(TraceBuffer, CsvHasHeaderAndRows) {
+  TraceBuffer buffer(4);
+  buffer.Record({.time = 7, .type = EventType::kWake, .cpu = 2, .task = 9, .other_cpu = 1});
+  const std::string csv = buffer.ToCsv();
+  EXPECT_NE(csv.find("time_us,type,cpu,task,other_cpu,detail"), std::string::npos);
+  EXPECT_NE(csv.find("7,wake,2,9,1,0"), std::string::npos);
+}
+
+TEST(TimeAccountant, IntegratesBusyIdleAndWasted) {
+  // AdvanceTo(t, m) closes the interval [last, t] with state m.
+  // [0,10): cpu0 busy (1 task), cpu1 idle, no overload -> not wasted.
+  // [10,30): cpu0 overloaded (2 tasks), cpu1 idle -> wasted.
+  // [30,40): both busy with 1 task.
+  TimeAccountant acc(2);
+  acc.AdvanceTo(0, MachineState::FromLoads({1, 0}));  // prime only
+  acc.AdvanceTo(10, MachineState::FromLoads({1, 0}));
+  acc.AdvanceTo(30, MachineState::FromLoads({2, 0}));
+  acc.AdvanceTo(40, MachineState::FromLoads({1, 1}));
+  EXPECT_EQ(acc.busy_us(0), 40u);
+  EXPECT_EQ(acc.idle_us(0), 0u);
+  EXPECT_EQ(acc.busy_us(1), 10u);
+  EXPECT_EQ(acc.idle_us(1), 30u);
+  EXPECT_EQ(acc.wasted_us(), 20u);
+  EXPECT_DOUBLE_EQ(acc.wasted_fraction(), 0.5);
+  EXPECT_DOUBLE_EQ(acc.utilization(), 50.0 / 80.0);
+}
+
+TEST(TimeAccountant, FirstAdvanceOnlyPrimes) {
+  TimeAccountant acc(1);
+  MachineState m = MachineState::FromLoads({2});
+  acc.AdvanceTo(100, m);  // nothing integrated before priming
+  EXPECT_EQ(acc.busy_us(0), 0u);
+  acc.AdvanceTo(150, m);
+  EXPECT_EQ(acc.busy_us(0), 50u);
+}
+
+TEST(TimeAccountantDeath, TimeMustBeMonotone) {
+  TimeAccountant acc(1);
+  MachineState m = MachineState::FromLoads({1});
+  acc.AdvanceTo(10, m);
+  EXPECT_DEATH(acc.AdvanceTo(5, m), "monotone");
+}
+
+TEST(LoadSampler, DetectsWastedEpisodes) {
+  LoadSampler sampler;
+  sampler.Sample(0, MachineState::FromLoads({1, 1}));
+  sampler.Sample(10, MachineState::FromLoads({0, 3}));  // wasted
+  sampler.Sample(20, MachineState::FromLoads({0, 2}));  // still wasted
+  sampler.Sample(30, MachineState::FromLoads({1, 1}));
+  sampler.Sample(40, MachineState::FromLoads({0, 2}));  // wasted again
+  const auto episodes = sampler.WastedEpisodes();
+  ASSERT_EQ(episodes.size(), 2u);
+  EXPECT_EQ(episodes[0].start_us, 10u);
+  EXPECT_EQ(episodes[0].end_us, 20u);
+  EXPECT_EQ(episodes[1].start_us, 40u);
+}
+
+TEST(LoadSampler, TimelineRendersDepths) {
+  LoadSampler sampler;
+  sampler.Sample(0, MachineState::FromLoads({0, 1, 3, 12}));
+  const std::string timeline = sampler.RenderTimeline();
+  EXPECT_NE(timeline.find("cpu0   ."), std::string::npos) << timeline;
+  EXPECT_NE(timeline.find("cpu1   #"), std::string::npos) << timeline;
+  EXPECT_NE(timeline.find("cpu2   3"), std::string::npos) << timeline;
+  EXPECT_NE(timeline.find("cpu3   +"), std::string::npos) << timeline;
+}
+
+}  // namespace
+}  // namespace optsched

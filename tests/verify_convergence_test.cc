@@ -1,0 +1,155 @@
+// Work conservation as a checked liveness property: sequential (§4.2) and
+// adversarial-concurrent (§4.3) convergence, livelock extraction, and the
+// audit façade.
+
+#include <gtest/gtest.h>
+
+#include "src/core/policies/broken.h"
+#include "src/core/policies/cfs_like.h"
+#include "src/core/policies/hierarchical.h"
+#include "src/core/policies/thread_count.h"
+#include "src/core/policies/weighted.h"
+#include "src/verify/audit.h"
+#include "src/verify/concurrency.h"
+#include "src/verify/convergence.h"
+
+namespace optsched {
+namespace {
+
+using policies::GroupMap;
+using verify::ConvergenceCheckOptions;
+
+ConvergenceCheckOptions Opt(uint32_t cores, int64_t max_load) {
+  ConvergenceCheckOptions o;
+  o.bounds.num_cores = cores;
+  o.bounds.max_load = max_load;
+  return o;
+}
+
+TEST(SequentialConvergence, ThreadCountConvergesFromEveryState) {
+  const auto policy = policies::MakeThreadCount();
+  const auto result = verify::CheckSequentialConvergence(*policy, Opt(4, 5));
+  EXPECT_TRUE(result.result.holds) << result.result.ToString();
+  EXPECT_GT(result.worst_case_rounds, 0u);
+  EXPECT_LT(result.worst_case_rounds, 50u);
+}
+
+TEST(SequentialConvergence, BrokenAlsoConvergesSequentially) {
+  // §4.2 vs §4.3 again: without concurrency even the broken filter reaches a
+  // work-conserved state (the first idle core simply succeeds).
+  const auto policy = policies::MakeBrokenCanSteal();
+  const auto result = verify::CheckSequentialConvergence(*policy, Opt(3, 4));
+  EXPECT_TRUE(result.result.holds) << result.result.ToString();
+}
+
+TEST(ConcurrentConvergence, ThreadCountHoldsUnderEveryAdversary) {
+  const auto policy = policies::MakeThreadCount();
+  const auto result = verify::CheckConcurrentConvergence(*policy, Opt(3, 4));
+  EXPECT_TRUE(result.result.holds) << result.result.ToString();
+  EXPECT_FALSE(result.orders_sampled);  // 3! = 6 orders: fully exhaustive
+  // Sound steals only move load downhill, so the reachable set is exactly the
+  // initial cube (5^3 states).
+  EXPECT_EQ(result.graph_states, 125u);
+  EXPECT_GT(result.worst_case_rounds, 0u);
+}
+
+TEST(ConcurrentConvergence, ThreadCountFourCores) {
+  const auto policy = policies::MakeThreadCount();
+  const auto result = verify::CheckConcurrentConvergence(*policy, Opt(4, 3));
+  EXPECT_TRUE(result.result.holds) << result.result.ToString();
+}
+
+TEST(ConcurrentConvergence, WeightedHolds) {
+  const auto policy = policies::MakeWeightedLoad();
+  const auto result = verify::CheckConcurrentConvergence(*policy, Opt(3, 3));
+  EXPECT_TRUE(result.result.holds) << result.result.ToString();
+}
+
+TEST(ConcurrentConvergence, BrokenFilterLivelocksWithPaperCycle) {
+  const auto policy = policies::MakeBrokenCanSteal();
+  const auto result = verify::CheckConcurrentConvergence(*policy, Opt(3, 4));
+  ASSERT_FALSE(result.result.holds);
+  ASSERT_FALSE(result.livelock_cycle.empty());
+  // Every state on the cycle keeps an idle core while another is overloaded.
+  for (const auto& loads : result.livelock_cycle) {
+    bool any_idle = false;
+    bool any_overloaded = false;
+    for (int64_t l : loads) {
+      any_idle |= (l == 0);
+      any_overloaded |= (l >= 2);
+    }
+    EXPECT_TRUE(any_idle && any_overloaded);
+  }
+  SCOPED_TRACE(result.result.ToString());
+}
+
+TEST(ConcurrentConvergence, PaperThreeCoreScenarioIsOnSomeCycle) {
+  // The exact §4.3 example: loads (0,1,2). Under the broken filter, the AF
+  // fixpoint must classify it as bad (an adversary can starve core 0).
+  const auto policy = policies::MakeBrokenCanSteal();
+  ConvergenceCheckOptions options = Opt(3, 2);
+  options.bounds.total_load = 3;  // exactly the reachable mass of (0,1,2)
+  const auto result = verify::CheckConcurrentConvergence(*policy, options);
+  EXPECT_FALSE(result.result.holds) << result.result.ToString();
+}
+
+TEST(ConcurrentConvergence, GroupSumUnevenGroupsHasStarvationFixpoint) {
+  // Groups {0..3} and {4,5}: loads (0,1,1,1 | 2,1) sum 3 vs 3 is a non-work-
+  // conserved state no filter can leave — AF(WC) must fail.
+  const auto policy = policies::MakeGroupSum(GroupMap::Contiguous(6, 4));
+  ConvergenceCheckOptions options = Opt(6, 2);
+  options.bounds.total_load = 6;
+  options.max_orders_per_state = 24;  // sampled: enough to expose a fixpoint
+  const auto result = verify::CheckConcurrentConvergence(*policy, options);
+  EXPECT_FALSE(result.result.holds) << result.result.ToString();
+  ASSERT_FALSE(result.livelock_cycle.empty());
+}
+
+TEST(ConcurrentConvergence, HierarchicalSoundConstructionHolds) {
+  const auto policy = policies::MakeHierarchical(GroupMap::Contiguous(4, 2));
+  const auto result = verify::CheckConcurrentConvergence(*policy, Opt(4, 3));
+  EXPECT_TRUE(result.result.holds) << result.result.ToString();
+}
+
+TEST(FailureCausality, HoldsAcrossPolicies) {
+  for (const auto& policy : {policies::MakeThreadCount(), policies::MakeBrokenCanSteal(),
+                             policies::MakeWeightedLoad()}) {
+    const auto result = verify::CheckFailureCausality(*policy, Opt(3, 3));
+    EXPECT_TRUE(result.holds) << policy->name() << ": " << result.ToString();
+  }
+}
+
+TEST(BoundedSteals, ThreadCountBoundedByPotential) {
+  const auto result = verify::CheckBoundedSteals(*policies::MakeThreadCount(), Opt(4, 4));
+  EXPECT_TRUE(result.holds) << result.ToString();
+}
+
+TEST(BoundedSteals, BrokenExceedsPotentialBudget) {
+  const auto result = verify::CheckBoundedSteals(*policies::MakeBrokenCanSteal(), Opt(3, 3));
+  EXPECT_FALSE(result.holds) << result.ToString();
+  ASSERT_TRUE(result.counterexample.has_value());
+}
+
+TEST(Audit, ReportListsEveryObligation) {
+  verify::ConvergenceCheckOptions options = Opt(3, 3);
+  const auto audit = verify::AuditPolicy(*policies::MakeThreadCount(), options);
+  const std::string report = audit.Report();
+  for (const char* needle :
+       {"lemma1", "filter-selects-overloaded", "steal-safety", "potential-decrease",
+        "failure-causality", "bounded-steals", "sequential-convergence",
+        "concurrent-convergence", "VERDICT: WORK-CONSERVING"}) {
+    EXPECT_NE(report.find(needle), std::string::npos) << needle << "\n" << report;
+  }
+}
+
+TEST(Audit, WorstCaseNGrowsWithImbalanceMass) {
+  // More total load to spread => more rounds in the worst case.
+  const auto policy = policies::MakeThreadCount();
+  const auto small = verify::CheckConcurrentConvergence(*policy, Opt(3, 2));
+  const auto large = verify::CheckConcurrentConvergence(*policy, Opt(3, 6));
+  ASSERT_TRUE(small.result.holds && large.result.holds);
+  EXPECT_GE(large.worst_case_rounds, small.worst_case_rounds);
+}
+
+}  // namespace
+}  // namespace optsched

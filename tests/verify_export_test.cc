@@ -1,0 +1,79 @@
+// Artifact exports: the Graphviz round-transition graph and the JSON audit.
+
+#include <gtest/gtest.h>
+
+#include "src/core/policies/broken.h"
+#include "src/core/policies/thread_count.h"
+#include "src/verify/audit.h"
+#include "src/verify/convergence.h"
+
+namespace optsched {
+namespace {
+
+verify::ConvergenceCheckOptions SmallOpt() {
+  verify::ConvergenceCheckOptions o;
+  o.bounds.num_cores = 3;
+  o.bounds.max_load = 2;
+  o.bounds.total_load = 3;  // exactly the paper's 3-task mass
+  return o;
+}
+
+TEST(DotExport, PaperScenarioGraphShapes) {
+  const std::string dot =
+      verify::ExportRoundGraphDot(*policies::MakeBrokenCanSteal(), SmallOpt());
+  ASSERT_FALSE(dot.empty());
+  EXPECT_NE(dot.find("digraph round_transitions"), std::string::npos);
+  // The ping-pong states are bad (red-filled).
+  EXPECT_NE(dot.find("s_0_1_2 [label=\"(0,1,2)\", style=filled"), std::string::npos) << dot;
+  EXPECT_NE(dot.find("s_0_2_1 [label=\"(0,2,1)\", style=filled"), std::string::npos) << dot;
+  // The balanced state is work-conserved (doubly circled) and not filled.
+  EXPECT_NE(dot.find("s_1_1_1 [label=\"(1,1,1)\", peripheries=2]"), std::string::npos) << dot;
+  // The cycle edges exist.
+  EXPECT_NE(dot.find("s_0_1_2 -> s_0_2_1"), std::string::npos);
+  EXPECT_NE(dot.find("s_0_2_1 -> s_0_1_2"), std::string::npos);
+}
+
+TEST(DotExport, SoundPolicyHasNoBadStates) {
+  const std::string dot = verify::ExportRoundGraphDot(*policies::MakeThreadCount(), SmallOpt());
+  ASSERT_FALSE(dot.empty());
+  EXPECT_EQ(dot.find("fillcolor"), std::string::npos) << dot;
+}
+
+TEST(DotExport, EmptyOnBudgetExhaustion) {
+  verify::ConvergenceCheckOptions options = SmallOpt();
+  options.max_graph_states = 1;
+  EXPECT_TRUE(verify::ExportRoundGraphDot(*policies::MakeThreadCount(), options).empty());
+}
+
+TEST(JsonAudit, ContainsEveryObligationAndVerdict) {
+  verify::ConvergenceCheckOptions options;
+  options.bounds.num_cores = 3;
+  options.bounds.max_load = 3;
+  const auto audit = verify::AuditPolicy(*policies::MakeThreadCount(), options);
+  const std::string json = audit.ToJson();
+  for (const char* key :
+       {"\"policy\"", "\"bounds\"", "\"lemma1\"", "\"filter_selects_overloaded\"",
+        "\"steal_safety\"", "\"potential_decrease\"", "\"failure_causality\"",
+        "\"bounded_steals\"", "\"sequential_convergence\"", "\"concurrent_convergence\"",
+        "\"work_conserving\": true", "\"sequential_worst_case_n\"", "\"graph_states\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+  }
+  // Balanced braces and quotes (cheap well-formedness probes).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'), std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '"') % 2, 0);
+}
+
+TEST(JsonAudit, CounterexamplesAreEscaped) {
+  verify::ConvergenceCheckOptions options;
+  options.bounds.num_cores = 3;
+  options.bounds.max_load = 3;
+  const auto audit = verify::AuditPolicy(*policies::MakeBrokenCanSteal(), options);
+  const std::string json = audit.ToJson();
+  EXPECT_NE(json.find("\"work_conserving\": false"), std::string::npos) << json;
+  // Counterexample notes contain double quotes in ToString(); they must be
+  // escaped in the JSON.
+  EXPECT_NE(json.find("\\\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace optsched

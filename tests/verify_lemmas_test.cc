@@ -1,0 +1,178 @@
+// Per-state proof obligations (paper §4.2/§4.3) across the policy zoo: the
+// checker must accept the sound constructions and pinpoint the flawed ones
+// with concrete counterexamples.
+
+#include <gtest/gtest.h>
+
+#include "src/core/policies/broken.h"
+#include "src/core/policies/cfs_like.h"
+#include "src/core/policies/hierarchical.h"
+#include "src/core/policies/locality.h"
+#include "src/core/policies/thread_count.h"
+#include "src/core/policies/weighted.h"
+#include "src/core/policy.h"
+#include "src/verify/lemmas.h"
+
+namespace optsched {
+namespace {
+
+using policies::GroupMap;
+using verify::Bounds;
+
+Bounds SmallBounds(uint32_t cores = 4, int64_t max_load = 4) {
+  Bounds b;
+  b.num_cores = cores;
+  b.max_load = max_load;
+  return b;
+}
+
+TEST(Lemma1, HoldsForThreadCount) {
+  const auto policy = policies::MakeThreadCount();
+  const auto result = verify::CheckLemma1(*policy, SmallBounds());
+  EXPECT_TRUE(result.holds) << result.ToString();
+  EXPECT_EQ(result.states_checked, 625u);
+  EXPECT_GT(result.checks_performed, 0u);
+}
+
+TEST(Lemma1, HoldsForWeighted) {
+  // §4.2: "the proof is still automatically verified for a load balancer that
+  // tries to balance the number of threads weighted by their importance."
+  const auto policy = policies::MakeWeightedLoad();
+  const auto result = verify::CheckLemma1(*policy, SmallBounds());
+  EXPECT_TRUE(result.holds) << result.ToString();
+}
+
+TEST(Lemma1, HoldsForBrokenFilterToo) {
+  // The §4.3 counterexample is NOT caught by Lemma 1 — for an idle thief,
+  // "stealee.load >= 2" coincides with the sound filter. The flaw only
+  // surfaces under concurrency; this is the paper's §4.2-vs-§4.3 pivot.
+  const auto policy = policies::MakeBrokenCanSteal();
+  const auto result = verify::CheckLemma1(*policy, SmallBounds());
+  EXPECT_TRUE(result.holds) << result.ToString();
+}
+
+TEST(Lemma1, FailsForGroupSumWithCounterexample) {
+  const auto policy = policies::MakeGroupSum(GroupMap::Contiguous(4, 2));
+  const auto result = verify::CheckLemma1(*policy, SmallBounds());
+  ASSERT_FALSE(result.holds);
+  ASSERT_TRUE(result.counterexample.has_value());
+  // The counterexample must be a real violation: thief idle, someone
+  // overloaded, empty filter set.
+  const auto& ce = *result.counterexample;
+  ASSERT_TRUE(ce.thief.has_value());
+  EXPECT_EQ(ce.loads[*ce.thief], 0);
+  bool any_overloaded = false;
+  for (int64_t l : ce.loads) {
+    any_overloaded |= (l >= 2);
+  }
+  EXPECT_TRUE(any_overloaded);
+  SCOPED_TRACE(result.ToString());
+}
+
+TEST(Lemma1, FailsForCfsLike) {
+  // Group-average thresholding hides overloaded cores: the designated idle
+  // core's filter can be empty while a remote core is overloaded.
+  const auto policy = policies::MakeCfsLike(GroupMap::Contiguous(4, 2));
+  const auto result = verify::CheckLemma1(*policy, SmallBounds());
+  EXPECT_FALSE(result.holds) << result.ToString();
+}
+
+TEST(Lemma1, HoldsForHierarchicalSoundConstruction) {
+  // D5: hierarchy confined to the choice step leaves the filter — and hence
+  // the lemma — untouched.
+  const auto policy = policies::MakeHierarchical(GroupMap::Contiguous(4, 2));
+  const auto result = verify::CheckLemma1(*policy, SmallBounds());
+  EXPECT_TRUE(result.holds) << result.ToString();
+}
+
+TEST(FilterSelectsOverloaded, HoldsForWholeZoo) {
+  // Even the broken filter only ever targets overloaded cores; this obligation
+  // separates "targets wrong cores" from "fails to target".
+  const Bounds bounds = SmallBounds();
+  for (const auto& policy :
+       {policies::MakeThreadCount(), policies::MakeWeightedLoad(),
+        policies::MakeBrokenCanSteal(),
+        policies::MakeHierarchical(GroupMap::Contiguous(4, 2)),
+        policies::MakeGroupSum(GroupMap::Contiguous(4, 2)),
+        policies::MakeCfsLike(GroupMap::Contiguous(4, 2))}) {
+    const auto result = verify::CheckFilterSelectsOverloaded(*policy, bounds);
+    EXPECT_TRUE(result.holds) << policy->name() << ": " << result.ToString();
+  }
+}
+
+TEST(StealSafety, HoldsForSoundPolicies) {
+  for (const auto& policy :
+       {policies::MakeThreadCount(), policies::MakeWeightedLoad(),
+        policies::MakeHierarchical(GroupMap::Contiguous(4, 2))}) {
+    const auto result = verify::CheckStealSafety(*policy, SmallBounds());
+    EXPECT_TRUE(result.holds) << policy->name() << ": " << result.ToString();
+  }
+}
+
+TEST(StealSafety, HoldsForBrokenPolicy) {
+  // The broken policy never idles its victim either (victim.load >= 2 at
+  // migration); its flaw is elsewhere.
+  const auto result = verify::CheckStealSafety(*policies::MakeBrokenCanSteal(), SmallBounds());
+  EXPECT_TRUE(result.holds) << result.ToString();
+}
+
+// A deliberately unsafe policy: permits stealing the victim's last task.
+class OverstealPolicy : public BalancePolicy {
+ public:
+  std::string name() const override { return "oversteal"; }
+  bool CanSteal(const SelectionView& view, CpuId stealee) const override {
+    return view.snapshot.Load(stealee, LoadMetric::kTaskCount) >
+           view.snapshot.Load(view.self, LoadMetric::kTaskCount);
+  }
+  bool ShouldMigrate(int64_t, int64_t victim_load, int64_t) const override {
+    return victim_load >= 1;  // may take the only queued task of a 2-task core
+  }
+};
+
+TEST(StealSafety, CatchesVictimIdling) {
+  // (1,0) -> thief 1 steals the queued task of... wait, load-1 victims hold
+  // only a current task which cannot be stolen; use (2,0): stealing one task
+  // leaves load 1 (safe), so over-steal needs the *idle-thief-fails* leg:
+  // thief idle, CanSteal admits victim with load 1, but there is no ready
+  // task the engine can take -> "idle thief's admitted steal failed".
+  const OverstealPolicy policy;
+  const auto result = verify::CheckStealSafety(policy, SmallBounds(2, 3));
+  ASSERT_FALSE(result.holds);
+  ASSERT_TRUE(result.counterexample.has_value());
+  SCOPED_TRACE(result.ToString());
+}
+
+TEST(PotentialDecrease, HoldsForSoundPolicies) {
+  for (const auto& policy :
+       {policies::MakeThreadCount(), policies::MakeWeightedLoad(),
+        policies::MakeHierarchical(GroupMap::Contiguous(4, 2))}) {
+    const auto result = verify::CheckPotentialDecrease(*policy, SmallBounds());
+    EXPECT_TRUE(result.holds) << policy->name() << ": " << result.ToString();
+  }
+}
+
+TEST(PotentialDecrease, FailsForBrokenWithConcreteSteal) {
+  const auto result =
+      verify::CheckPotentialDecrease(*policies::MakeBrokenCanSteal(), SmallBounds(3, 3));
+  ASSERT_FALSE(result.holds);
+  ASSERT_TRUE(result.counterexample.has_value());
+  // Verify the counterexample really is a non-decreasing steal: thief at
+  // least as loaded as victim-1.
+  const auto& ce = *result.counterexample;
+  ASSERT_TRUE(ce.thief.has_value() && ce.stealee.has_value());
+  EXPECT_GE(ce.loads[*ce.thief] + 1, ce.loads[*ce.stealee] - 1);
+  SCOPED_TRACE(result.ToString());
+}
+
+TEST(Lemmas, LargerBoundsStillFast) {
+  // 5 cores x loads 0..5 = 7776 states; the full §4.2 battery should stay
+  // well under a second.
+  const auto policy = policies::MakeThreadCount();
+  Bounds b = SmallBounds(5, 5);
+  EXPECT_TRUE(verify::CheckLemma1(*policy, b).holds);
+  EXPECT_TRUE(verify::CheckStealSafety(*policy, b).holds);
+  EXPECT_TRUE(verify::CheckPotentialDecrease(*policy, b).holds);
+}
+
+}  // namespace
+}  // namespace optsched

@@ -1,0 +1,46 @@
+// Smoke test: the verifier reproduces the paper's headline verdicts.
+//  - Listing 1's thread-count policy passes every obligation (§4.2-§4.3).
+//  - The §4.3 broken filter passes the sequential lemmas but fails the
+//    concurrent liveness check with the 3-core ping-pong cycle.
+
+#include <gtest/gtest.h>
+
+#include "src/core/policies/broken.h"
+#include "src/core/policies/thread_count.h"
+#include "src/verify/audit.h"
+
+namespace optsched {
+namespace {
+
+TEST(VerifySmoke, ThreadCountIsWorkConserving) {
+  verify::ConvergenceCheckOptions options;
+  options.bounds.num_cores = 3;
+  options.bounds.max_load = 4;
+  const auto policy = policies::MakeThreadCount();
+  const verify::PolicyAudit audit = verify::AuditPolicy(*policy, options);
+  SCOPED_TRACE(audit.Report());
+  EXPECT_TRUE(audit.all_hold());
+  EXPECT_TRUE(audit.work_conserving());
+}
+
+TEST(VerifySmoke, BrokenFilterFailsConcurrentLiveness) {
+  verify::ConvergenceCheckOptions options;
+  options.bounds.num_cores = 3;
+  options.bounds.max_load = 4;
+  const auto policy = policies::MakeBrokenCanSteal();
+  const verify::PolicyAudit audit = verify::AuditPolicy(*policy, options);
+  SCOPED_TRACE(audit.Report());
+  // §4.2 lemmas pass: the flaw is invisible without concurrency.
+  EXPECT_TRUE(audit.lemma1.holds);
+  EXPECT_TRUE(audit.filter_selects_overloaded.holds);
+  EXPECT_TRUE(audit.steal_safety.holds);
+  // §4.3: potential is not a ranking function, and an adversary can starve
+  // the idle core forever.
+  EXPECT_FALSE(audit.potential_decrease.holds);
+  EXPECT_FALSE(audit.concurrent.result.holds);
+  EXPECT_FALSE(audit.work_conserving());
+  ASSERT_FALSE(audit.concurrent.livelock_cycle.empty());
+}
+
+}  // namespace
+}  // namespace optsched

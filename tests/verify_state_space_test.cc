@@ -1,0 +1,91 @@
+// Unit tests for the bounded state enumerator.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/verify/state_space.h"
+
+namespace optsched {
+namespace {
+
+using verify::Bounds;
+using verify::CountStates;
+using verify::ForEachState;
+
+TEST(StateSpace, CountsFullCube) {
+  Bounds b;
+  b.num_cores = 3;
+  b.max_load = 4;
+  EXPECT_EQ(CountStates(b), 125u);  // 5^3
+}
+
+TEST(StateSpace, SingleCore) {
+  Bounds b;
+  b.num_cores = 1;
+  b.max_load = 7;
+  EXPECT_EQ(CountStates(b), 8u);
+}
+
+TEST(StateSpace, TotalLoadRestriction) {
+  Bounds b;
+  b.num_cores = 2;
+  b.max_load = 3;
+  b.total_load = 3;
+  // (0,3),(1,2),(2,1),(3,0)
+  EXPECT_EQ(CountStates(b), 4u);
+}
+
+TEST(StateSpace, SortedOnlyCountsMultisets) {
+  Bounds b;
+  b.num_cores = 3;
+  b.max_load = 2;
+  b.sorted_only = true;
+  // Multisets of size 3 from {0,1,2}: C(3+3-1,3) = 10.
+  EXPECT_EQ(CountStates(b), 10u);
+}
+
+TEST(StateSpace, VisitsDistinctStates) {
+  Bounds b;
+  b.num_cores = 3;
+  b.max_load = 3;
+  std::set<std::vector<int64_t>> seen;
+  const uint64_t visited = ForEachState(b, [&](const std::vector<int64_t>& loads) {
+    EXPECT_TRUE(seen.insert(loads).second) << "duplicate state";
+    for (int64_t l : loads) {
+      EXPECT_GE(l, 0);
+      EXPECT_LE(l, 3);
+    }
+    return true;
+  });
+  EXPECT_EQ(visited, seen.size());
+  EXPECT_EQ(visited, 64u);
+}
+
+TEST(StateSpace, EarlyAbortStopsEnumeration) {
+  Bounds b;
+  b.num_cores = 2;
+  b.max_load = 9;
+  uint64_t calls = 0;
+  ForEachState(b, [&](const std::vector<int64_t>&) {
+    ++calls;
+    return calls < 5;
+  });
+  EXPECT_EQ(calls, 5u);
+}
+
+TEST(StateSpace, SortedVectorsAreNonDecreasing) {
+  Bounds b;
+  b.num_cores = 4;
+  b.max_load = 3;
+  b.sorted_only = true;
+  ForEachState(b, [&](const std::vector<int64_t>& loads) {
+    for (size_t i = 1; i < loads.size(); ++i) {
+      EXPECT_LE(loads[i - 1], loads[i]);
+    }
+    return true;
+  });
+}
+
+}  // namespace
+}  // namespace optsched

@@ -1,0 +1,60 @@
+// Symmetry reduction: the quotiented liveness check preserves verdicts and
+// worst-case N for core-symmetric (load-only) policies while shrinking the
+// graph, enabling larger bounds.
+
+#include <gtest/gtest.h>
+
+#include "src/core/policies/broken.h"
+#include "src/core/policies/thread_count.h"
+#include "src/verify/convergence.h"
+
+namespace optsched {
+namespace {
+
+verify::ConvergenceCheckOptions Opt(uint32_t cores, int64_t max_load, bool reduce) {
+  verify::ConvergenceCheckOptions o;
+  o.bounds.num_cores = cores;
+  o.bounds.max_load = max_load;
+  o.symmetry_reduction = reduce;
+  return o;
+}
+
+TEST(SymmetryReduction, PreservesVerdictAndNForThreadCount) {
+  const auto policy = policies::MakeThreadCount();
+  for (const auto& [cores, max_load] : {std::pair<uint32_t, int64_t>{3, 4}, {4, 3}}) {
+    const auto full = verify::CheckConcurrentConvergence(*policy, Opt(cores, max_load, false));
+    const auto reduced =
+        verify::CheckConcurrentConvergence(*policy, Opt(cores, max_load, true));
+    ASSERT_TRUE(full.result.holds);
+    EXPECT_TRUE(reduced.result.holds);
+    EXPECT_EQ(reduced.worst_case_rounds, full.worst_case_rounds)
+        << cores << " cores, max_load " << max_load;
+    EXPECT_LT(reduced.graph_states, full.graph_states);
+  }
+}
+
+TEST(SymmetryReduction, PreservesLivelockForBrokenFilter) {
+  const auto policy = policies::MakeBrokenCanSteal();
+  const auto full =
+      verify::CheckConcurrentConvergence(*policy, Opt(3, 4, false));
+  const auto reduced =
+      verify::CheckConcurrentConvergence(*policy, Opt(3, 4, true));
+  EXPECT_FALSE(full.result.holds);
+  EXPECT_FALSE(reduced.result.holds);
+  EXPECT_FALSE(reduced.livelock_cycle.empty());
+}
+
+TEST(SymmetryReduction, EnablesLargerBounds) {
+  // 6 cores x loads <= 3 unreduced would be 4096 initial states x 720 orders;
+  // reduced it is 84 canonical states — tractable in well under a second.
+  const auto policy = policies::MakeThreadCount();
+  verify::ConvergenceCheckOptions options = Opt(6, 3, true);
+  options.max_orders_per_state = 720;
+  const auto result = verify::CheckConcurrentConvergence(*policy, options);
+  EXPECT_TRUE(result.result.holds) << result.result.ToString();
+  EXPECT_LE(result.graph_states, 100u);
+  EXPECT_GT(result.worst_case_rounds, 0u);
+}
+
+}  // namespace
+}  // namespace optsched

@@ -1,0 +1,151 @@
+// Weighted state-space verification: enumeration counts, obligations for the
+// shipped policies over heterogeneous weight multisets, and detection of a
+// subtly wrong migration rule that the non-strict inequality admits.
+
+#include <gtest/gtest.h>
+
+#include "src/core/policies/thread_count.h"
+#include "src/core/policies/weighted.h"
+#include "src/dsl/compile.h"
+#include "src/verify/audit.h"
+#include "src/verify/weighted_space.h"
+
+namespace optsched {
+namespace {
+
+using verify::WeightedBounds;
+
+TEST(WeightedSpace, CountMatchesCombinatorics) {
+  WeightedBounds bounds;
+  bounds.num_cores = 3;
+  bounds.max_tasks_per_core = 2;
+  bounds.weights = {1, 2, 3};
+  // Multisets of size 0,1,2 over 3 symbols: 1 + 3 + 6 = 10 per core; 10^3.
+  EXPECT_EQ(verify::CountWeightedStates(bounds), 1000u);
+}
+
+TEST(WeightedSpace, SingleWeightAlphabet) {
+  WeightedBounds bounds;
+  bounds.num_cores = 2;
+  bounds.max_tasks_per_core = 3;
+  bounds.weights = {5};
+  // Sizes 0..3 of one symbol: 4 per core; 16 total.
+  EXPECT_EQ(verify::CountWeightedStates(bounds), 16u);
+}
+
+TEST(WeightedSpace, MachinesAreWellFormed) {
+  WeightedBounds bounds;
+  bounds.num_cores = 2;
+  bounds.max_tasks_per_core = 2;
+  bounds.weights = {1, 4};
+  verify::ForEachWeightedState(bounds, [&](const MachineState& machine) {
+    EXPECT_EQ(machine.num_cpus(), 2u);
+    for (CpuId cpu = 0; cpu < 2; ++cpu) {
+      // One task runs if any exist; weighted load equals the multiset sum.
+      const auto& core = machine.core(cpu);
+      if (core.TaskCount() > 0) {
+        EXPECT_TRUE(core.current().has_value());
+      }
+      EXPECT_GE(core.WeightedLoad(), core.TaskCount());  // weights >= 1
+    }
+    return true;
+  });
+}
+
+TEST(WeightedSpace, ShippedPoliciesPassAllObligations) {
+  WeightedBounds bounds;
+  bounds.num_cores = 3;
+  bounds.max_tasks_per_core = 2;
+  bounds.weights = {1, 2, 5};
+  for (const auto& policy : {policies::MakeWeightedLoad(), policies::MakeThreadCount()}) {
+    const auto lemma1 = verify::CheckWeightedLemma1(*policy, bounds);
+    EXPECT_TRUE(lemma1.holds) << policy->name() << ": " << lemma1.ToString();
+    const auto safety = verify::CheckWeightedStealSafety(*policy, bounds);
+    EXPECT_TRUE(safety.holds) << policy->name() << ": " << safety.ToString();
+    const auto potential = verify::CheckWeightedPotentialDecrease(*policy, bounds);
+    EXPECT_TRUE(potential.holds) << policy->name() << ": " << potential.ToString();
+  }
+}
+
+TEST(WeightedSpace, NonStrictMigrationRuleIsCaught) {
+  // task.weight <= diff (instead of <) permits steals that leave d unchanged
+  // — the ranking argument silently breaks. The weighted space exhibits it.
+  const auto compiled = dsl::CompilePolicy(R"(policy sloppy {
+    metric weighted;
+    filter(self, stealee) { stealee.nr_tasks >= 2 && stealee.load > self.load }
+    choice maxload;
+    migrate(task, victim, thief) { task.weight <= victim.load - thief.load }
+  })");
+  ASSERT_TRUE(compiled.ok()) << compiled.DiagnosticsToString();
+  WeightedBounds bounds;
+  bounds.num_cores = 2;
+  bounds.max_tasks_per_core = 2;
+  bounds.weights = {1, 2, 3};
+  const auto potential = verify::CheckWeightedPotentialDecrease(*compiled.policy, bounds);
+  ASSERT_FALSE(potential.holds);
+  ASSERT_TRUE(potential.counterexample.has_value());
+  SCOPED_TRACE(potential.ToString());
+}
+
+TEST(WeightedSpace, FilterAdmittingSingleHeavyTaskIsCaught) {
+  // A filter keyed on weighted load alone admits cores whose entire load is
+  // one (unstealable) running task: the idle thief is then guaranteed to
+  // fail — a weighted Lemma-1/steal-safety violation.
+  const auto compiled = dsl::CompilePolicy(R"(policy naive {
+    metric weighted;
+    filter(self, stealee) { stealee.load - self.load >= 2 }
+    choice maxload;
+  })");
+  ASSERT_TRUE(compiled.ok()) << compiled.DiagnosticsToString();
+  WeightedBounds bounds;
+  bounds.num_cores = 2;
+  bounds.max_tasks_per_core = 2;
+  bounds.weights = {1, 3};
+  const auto lemma1 = verify::CheckWeightedLemma1(*compiled.policy, bounds);
+  EXPECT_FALSE(lemma1.holds) << lemma1.ToString();
+  const auto safety = verify::CheckWeightedStealSafety(*compiled.policy, bounds);
+  EXPECT_FALSE(safety.holds) << safety.ToString();
+}
+
+TEST(WeightedSpace, AuditRunsWeightedObligationsForWeightedPolicies) {
+  verify::ConvergenceCheckOptions options;
+  options.bounds.num_cores = 3;
+  options.bounds.max_load = 3;
+  const auto weighted_audit = verify::AuditPolicy(*policies::MakeWeightedLoad(), options);
+  ASSERT_TRUE(weighted_audit.weighted_lemma1.has_value());
+  EXPECT_TRUE(weighted_audit.weighted_lemma1->holds);
+  EXPECT_TRUE(weighted_audit.weighted_steal_safety->holds);
+  EXPECT_TRUE(weighted_audit.weighted_potential->holds);
+  EXPECT_NE(weighted_audit.Report().find("weighted-lemma1"), std::string::npos);
+  EXPECT_NE(weighted_audit.ToJson().find("weighted_lemma1"), std::string::npos);
+
+  // Count-metric policies skip the weighted space.
+  const auto count_audit = verify::AuditPolicy(*policies::MakeThreadCount(), options);
+  EXPECT_FALSE(count_audit.weighted_lemma1.has_value());
+}
+
+TEST(WeightedSpace, AuditRejectsNaiveWeightedDslPolicy) {
+  const auto compiled = dsl::CompilePolicy(R"(policy naive {
+    metric weighted;
+    filter(self, stealee) { stealee.load - self.load >= 2 }
+  })");
+  ASSERT_TRUE(compiled.ok());
+  verify::ConvergenceCheckOptions options;
+  options.bounds.num_cores = 3;
+  options.bounds.max_load = 3;
+  const auto audit = verify::AuditPolicy(*compiled.policy, options);
+  // The anonymous-task spaces may or may not object; the weighted space
+  // definitely does (single-heavy-task cores admitted).
+  ASSERT_TRUE(audit.weighted_lemma1.has_value());
+  EXPECT_FALSE(audit.weighted_lemma1->holds || audit.weighted_steal_safety->holds);
+  EXPECT_FALSE(audit.work_conserving());
+}
+
+TEST(WeightedSpaceDeath, RejectsZeroWeights) {
+  WeightedBounds bounds;
+  bounds.weights = {0};
+  EXPECT_DEATH(verify::CountWeightedStates(bounds), "positive");
+}
+
+}  // namespace
+}  // namespace optsched

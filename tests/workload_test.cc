@@ -1,0 +1,134 @@
+// Workload generator tests: counts, placement shapes, phase sequencing and
+// arrival processes.
+
+#include <gtest/gtest.h>
+
+#include "src/core/policies/thread_count.h"
+#include "src/sim/simulator.h"
+#include "src/workload/workloads.h"
+
+namespace optsched {
+namespace {
+
+sim::Simulator MakeSim(const Topology& topo, uint64_t seed = 1) {
+  sim::SimConfig config;
+  config.max_time_us = 600'000'000;
+  return sim::Simulator(topo, policies::MakeThreadCount(), config, seed);
+}
+
+TEST(StaticImbalance, SubmitsOntoRequestedCpus) {
+  const Topology topo = Topology::Smp(8);
+  sim::Simulator s = MakeSim(topo);
+  workload::StaticImbalanceConfig config;
+  config.num_tasks = 10;
+  config.initial_cpus = 2;
+  config.service_us = 1'000;
+  workload::SubmitStaticImbalance(s, config);
+  s.RunUntil(0);  // process the submit events only
+  // Round-robin over cpus {0,1}: 5 tasks each.
+  EXPECT_EQ(s.machine().Load(0, LoadMetric::kTaskCount), 5);
+  EXPECT_EQ(s.machine().Load(1, LoadMetric::kTaskCount), 5);
+  EXPECT_EQ(s.machine().Load(2, LoadMetric::kTaskCount), 0);
+  s.Run();
+  EXPECT_EQ(s.metrics().tasks_completed, 10u);
+}
+
+TEST(StaticImbalanceDeath, RejectsMoreInitialCpusThanMachine) {
+  const Topology topo = Topology::Smp(2);
+  sim::Simulator s = MakeSim(topo);
+  workload::StaticImbalanceConfig config;
+  config.initial_cpus = 4;
+  EXPECT_DEATH(workload::SubmitStaticImbalance(s, config), "initial_cpus");
+}
+
+TEST(ForkJoin, RunsPhasesSequentially) {
+  const Topology topo = Topology::Smp(4);
+  sim::Simulator s = MakeSim(topo);
+  workload::ForkJoinConfig config;
+  config.num_phases = 4;
+  config.tasks_per_phase = 8;
+  config.task_service_us = 2'000;
+  config.jitter_frac = 0.0;
+  auto keepalive = workload::InstallForkJoin(s, config);
+  s.Run();
+  EXPECT_EQ(s.metrics().tasks_completed, 32u);
+  // With zero jitter and 4 cpus: each phase is >= 2 waves of 2ms => makespan
+  // at least num_phases * 4ms.
+  EXPECT_GE(s.metrics().makespan_us, 16'000u);
+}
+
+TEST(ForkJoin, JitterChangesServiceTimes) {
+  const Topology topo = Topology::Smp(4);
+  sim::Simulator s = MakeSim(topo);
+  workload::ForkJoinConfig config;
+  config.num_phases = 1;
+  config.tasks_per_phase = 16;
+  config.jitter_frac = 0.5;
+  auto keepalive = workload::InstallForkJoin(s, config);
+  s.Run();
+  const auto& latency = s.metrics().completion_latency_us;
+  EXPECT_EQ(latency.count(), 16u);
+  EXPECT_GT(latency.stddev(), 0.0);
+}
+
+TEST(Oltp, WorkersAlternateRunAndWait) {
+  const Topology topo = Topology::Numa(2, 2);
+  sim::Simulator s = MakeSim(topo);
+  workload::OltpConfig config;
+  config.num_workers = 8;
+  config.txn_service_us = 500;
+  config.mean_io_wait_us = 1'000;
+  config.duration_us = 200'000;
+  workload::SubmitOltp(s, config);
+  s.Run();
+  EXPECT_EQ(s.metrics().tasks_completed, 8u);
+  EXPECT_GT(s.metrics().bursts_completed, 8u * 10u);  // many transactions
+  EXPECT_GT(s.metrics().wakeups, 0u);
+}
+
+TEST(Oltp, WorkersSpreadAcrossNodes) {
+  const Topology topo = Topology::Numa(4, 2);
+  sim::Simulator s = MakeSim(topo);
+  workload::OltpConfig config;
+  config.num_workers = 8;
+  workload::SubmitOltp(s, config);
+  s.RunUntil(0);
+  // Home nodes round-robin: each of the 4 nodes hosts 2 workers.
+  for (NodeId n = 0; n < 4; ++n) {
+    int64_t node_load = 0;
+    for (CpuId cpu : topo.CpusInNode(n)) {
+      node_load += s.machine().Load(cpu, LoadMetric::kTaskCount);
+    }
+    EXPECT_EQ(node_load, 2) << "node " << n;
+  }
+}
+
+TEST(Poisson, ArrivalCountNearExpectation) {
+  const Topology topo = Topology::Smp(8);
+  sim::Simulator s = MakeSim(topo);
+  workload::PoissonConfig config;
+  config.arrivals_per_sec = 5000.0;
+  config.duration_us = 1'000'000;
+  config.mean_service_us = 500;
+  workload::SubmitPoisson(s, config);
+  // ~5000 expected arrivals; Poisson sd ~ 71.
+  EXPECT_NEAR(static_cast<double>(s.metrics().tasks_submitted), 5000.0, 300.0);
+  s.Run();
+  EXPECT_EQ(s.metrics().tasks_completed, s.metrics().tasks_submitted);
+}
+
+TEST(Poisson, DeterministicPerSeed) {
+  const Topology topo = Topology::Smp(4);
+  auto submitted = [&](uint64_t seed) {
+    sim::Simulator s = MakeSim(topo);
+    workload::PoissonConfig config;
+    config.seed = seed;
+    config.duration_us = 200'000;
+    workload::SubmitPoisson(s, config);
+    return s.metrics().tasks_submitted;
+  };
+  EXPECT_EQ(submitted(5), submitted(5));
+}
+
+}  // namespace
+}  // namespace optsched
