@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_dsl.dir/bench_e10_dsl.cc.o"
+  "CMakeFiles/bench_e10_dsl.dir/bench_e10_dsl.cc.o.d"
+  "bench_e10_dsl"
+  "bench_e10_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_reactivity_fairness.dir/bench_e11_reactivity_fairness.cc.o"
+  "CMakeFiles/bench_e11_reactivity_fairness.dir/bench_e11_reactivity_fairness.cc.o.d"
+  "bench_e11_reactivity_fairness"
+  "bench_e11_reactivity_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_reactivity_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_concurrent_failures.dir/bench_e3_concurrent_failures.cc.o"
+  "CMakeFiles/bench_e3_concurrent_failures.dir/bench_e3_concurrent_failures.cc.o.d"
+  "bench_e3_concurrent_failures"
+  "bench_e3_concurrent_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_concurrent_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

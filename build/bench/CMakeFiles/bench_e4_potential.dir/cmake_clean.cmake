@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_potential.dir/bench_e4_potential.cc.o"
+  "CMakeFiles/bench_e4_potential.dir/bench_e4_potential.cc.o.d"
+  "bench_e4_potential"
+  "bench_e4_potential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_potential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

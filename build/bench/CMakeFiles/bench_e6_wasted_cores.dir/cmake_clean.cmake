@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_wasted_cores.dir/bench_e6_wasted_cores.cc.o"
+  "CMakeFiles/bench_e6_wasted_cores.dir/bench_e6_wasted_cores.cc.o.d"
+  "bench_e6_wasted_cores"
+  "bench_e6_wasted_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_wasted_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_weighted.dir/bench_e8_weighted.cc.o"
+  "CMakeFiles/bench_e8_weighted.dir/bench_e8_weighted.cc.o.d"
+  "bench_e8_weighted"
+  "bench_e8_weighted.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_weighted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchical_groups.dir/hierarchical_groups.cpp.o"
+  "CMakeFiles/hierarchical_groups.dir/hierarchical_groups.cpp.o.d"
+  "hierarchical_groups"
+  "hierarchical_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchical_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_database.dir/numa_database.cpp.o"
+  "CMakeFiles/numa_database.dir/numa_database.cpp.o.d"
+  "numa_database"
+  "numa_database.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

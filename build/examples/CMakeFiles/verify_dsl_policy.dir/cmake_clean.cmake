@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_dsl_policy.dir/verify_dsl_policy.cpp.o"
+  "CMakeFiles/verify_dsl_policy.dir/verify_dsl_policy.cpp.o.d"
+  "verify_dsl_policy"
+  "verify_dsl_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_dsl_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wasted_cores.dir/wasted_cores.cpp.o"
+  "CMakeFiles/wasted_cores.dir/wasted_cores.cpp.o.d"
+  "wasted_cores"
+  "wasted_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wasted_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

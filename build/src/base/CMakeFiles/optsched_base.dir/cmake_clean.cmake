@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optsched_base.dir/check.cc.o"
+  "CMakeFiles/optsched_base.dir/check.cc.o.d"
+  "CMakeFiles/optsched_base.dir/rng.cc.o"
+  "CMakeFiles/optsched_base.dir/rng.cc.o.d"
+  "CMakeFiles/optsched_base.dir/str.cc.o"
+  "CMakeFiles/optsched_base.dir/str.cc.o.d"
+  "liboptsched_base.a"
+  "liboptsched_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optsched_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/balancer.cc" "src/core/CMakeFiles/optsched_core.dir/balancer.cc.o" "gcc" "src/core/CMakeFiles/optsched_core.dir/balancer.cc.o.d"
+  "/root/repo/src/core/conservation.cc" "src/core/CMakeFiles/optsched_core.dir/conservation.cc.o" "gcc" "src/core/CMakeFiles/optsched_core.dir/conservation.cc.o.d"
+  "/root/repo/src/core/hier_balancer.cc" "src/core/CMakeFiles/optsched_core.dir/hier_balancer.cc.o" "gcc" "src/core/CMakeFiles/optsched_core.dir/hier_balancer.cc.o.d"
+  "/root/repo/src/core/policies/broken.cc" "src/core/CMakeFiles/optsched_core.dir/policies/broken.cc.o" "gcc" "src/core/CMakeFiles/optsched_core.dir/policies/broken.cc.o.d"
+  "/root/repo/src/core/policies/cfs_like.cc" "src/core/CMakeFiles/optsched_core.dir/policies/cfs_like.cc.o" "gcc" "src/core/CMakeFiles/optsched_core.dir/policies/cfs_like.cc.o.d"
+  "/root/repo/src/core/policies/fallback.cc" "src/core/CMakeFiles/optsched_core.dir/policies/fallback.cc.o" "gcc" "src/core/CMakeFiles/optsched_core.dir/policies/fallback.cc.o.d"
+  "/root/repo/src/core/policies/hierarchical.cc" "src/core/CMakeFiles/optsched_core.dir/policies/hierarchical.cc.o" "gcc" "src/core/CMakeFiles/optsched_core.dir/policies/hierarchical.cc.o.d"
+  "/root/repo/src/core/policies/locality.cc" "src/core/CMakeFiles/optsched_core.dir/policies/locality.cc.o" "gcc" "src/core/CMakeFiles/optsched_core.dir/policies/locality.cc.o.d"
+  "/root/repo/src/core/policies/registry.cc" "src/core/CMakeFiles/optsched_core.dir/policies/registry.cc.o" "gcc" "src/core/CMakeFiles/optsched_core.dir/policies/registry.cc.o.d"
+  "/root/repo/src/core/policies/thread_count.cc" "src/core/CMakeFiles/optsched_core.dir/policies/thread_count.cc.o" "gcc" "src/core/CMakeFiles/optsched_core.dir/policies/thread_count.cc.o.d"
+  "/root/repo/src/core/policies/weighted.cc" "src/core/CMakeFiles/optsched_core.dir/policies/weighted.cc.o" "gcc" "src/core/CMakeFiles/optsched_core.dir/policies/weighted.cc.o.d"
+  "/root/repo/src/core/policy.cc" "src/core/CMakeFiles/optsched_core.dir/policy.cc.o" "gcc" "src/core/CMakeFiles/optsched_core.dir/policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/optsched_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/optsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/optsched_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optsched_core.dir/balancer.cc.o"
+  "CMakeFiles/optsched_core.dir/balancer.cc.o.d"
+  "CMakeFiles/optsched_core.dir/conservation.cc.o"
+  "CMakeFiles/optsched_core.dir/conservation.cc.o.d"
+  "CMakeFiles/optsched_core.dir/hier_balancer.cc.o"
+  "CMakeFiles/optsched_core.dir/hier_balancer.cc.o.d"
+  "CMakeFiles/optsched_core.dir/policies/broken.cc.o"
+  "CMakeFiles/optsched_core.dir/policies/broken.cc.o.d"
+  "CMakeFiles/optsched_core.dir/policies/cfs_like.cc.o"
+  "CMakeFiles/optsched_core.dir/policies/cfs_like.cc.o.d"
+  "CMakeFiles/optsched_core.dir/policies/fallback.cc.o"
+  "CMakeFiles/optsched_core.dir/policies/fallback.cc.o.d"
+  "CMakeFiles/optsched_core.dir/policies/hierarchical.cc.o"
+  "CMakeFiles/optsched_core.dir/policies/hierarchical.cc.o.d"
+  "CMakeFiles/optsched_core.dir/policies/locality.cc.o"
+  "CMakeFiles/optsched_core.dir/policies/locality.cc.o.d"
+  "CMakeFiles/optsched_core.dir/policies/registry.cc.o"
+  "CMakeFiles/optsched_core.dir/policies/registry.cc.o.d"
+  "CMakeFiles/optsched_core.dir/policies/thread_count.cc.o"
+  "CMakeFiles/optsched_core.dir/policies/thread_count.cc.o.d"
+  "CMakeFiles/optsched_core.dir/policies/weighted.cc.o"
+  "CMakeFiles/optsched_core.dir/policies/weighted.cc.o.d"
+  "CMakeFiles/optsched_core.dir/policy.cc.o"
+  "CMakeFiles/optsched_core.dir/policy.cc.o.d"
+  "liboptsched_core.a"
+  "liboptsched_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optsched_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsl/ast.cc" "src/dsl/CMakeFiles/optsched_dsl.dir/ast.cc.o" "gcc" "src/dsl/CMakeFiles/optsched_dsl.dir/ast.cc.o.d"
+  "/root/repo/src/dsl/codegen.cc" "src/dsl/CMakeFiles/optsched_dsl.dir/codegen.cc.o" "gcc" "src/dsl/CMakeFiles/optsched_dsl.dir/codegen.cc.o.d"
+  "/root/repo/src/dsl/compile.cc" "src/dsl/CMakeFiles/optsched_dsl.dir/compile.cc.o" "gcc" "src/dsl/CMakeFiles/optsched_dsl.dir/compile.cc.o.d"
+  "/root/repo/src/dsl/interp.cc" "src/dsl/CMakeFiles/optsched_dsl.dir/interp.cc.o" "gcc" "src/dsl/CMakeFiles/optsched_dsl.dir/interp.cc.o.d"
+  "/root/repo/src/dsl/lexer.cc" "src/dsl/CMakeFiles/optsched_dsl.dir/lexer.cc.o" "gcc" "src/dsl/CMakeFiles/optsched_dsl.dir/lexer.cc.o.d"
+  "/root/repo/src/dsl/parser.cc" "src/dsl/CMakeFiles/optsched_dsl.dir/parser.cc.o" "gcc" "src/dsl/CMakeFiles/optsched_dsl.dir/parser.cc.o.d"
+  "/root/repo/src/dsl/sema.cc" "src/dsl/CMakeFiles/optsched_dsl.dir/sema.cc.o" "gcc" "src/dsl/CMakeFiles/optsched_dsl.dir/sema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/optsched_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/optsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/optsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/optsched_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optsched_dsl.dir/ast.cc.o"
+  "CMakeFiles/optsched_dsl.dir/ast.cc.o.d"
+  "CMakeFiles/optsched_dsl.dir/codegen.cc.o"
+  "CMakeFiles/optsched_dsl.dir/codegen.cc.o.d"
+  "CMakeFiles/optsched_dsl.dir/compile.cc.o"
+  "CMakeFiles/optsched_dsl.dir/compile.cc.o.d"
+  "CMakeFiles/optsched_dsl.dir/interp.cc.o"
+  "CMakeFiles/optsched_dsl.dir/interp.cc.o.d"
+  "CMakeFiles/optsched_dsl.dir/lexer.cc.o"
+  "CMakeFiles/optsched_dsl.dir/lexer.cc.o.d"
+  "CMakeFiles/optsched_dsl.dir/parser.cc.o"
+  "CMakeFiles/optsched_dsl.dir/parser.cc.o.d"
+  "CMakeFiles/optsched_dsl.dir/sema.cc.o"
+  "CMakeFiles/optsched_dsl.dir/sema.cc.o.d"
+  "liboptsched_dsl.a"
+  "liboptsched_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optsched_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/concurrent_machine.cc" "src/runtime/CMakeFiles/optsched_runtime.dir/concurrent_machine.cc.o" "gcc" "src/runtime/CMakeFiles/optsched_runtime.dir/concurrent_machine.cc.o.d"
+  "/root/repo/src/runtime/executor.cc" "src/runtime/CMakeFiles/optsched_runtime.dir/executor.cc.o" "gcc" "src/runtime/CMakeFiles/optsched_runtime.dir/executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/optsched_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/optsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/optsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/optsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/optsched_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optsched_runtime.dir/concurrent_machine.cc.o"
+  "CMakeFiles/optsched_runtime.dir/concurrent_machine.cc.o.d"
+  "CMakeFiles/optsched_runtime.dir/executor.cc.o"
+  "CMakeFiles/optsched_runtime.dir/executor.cc.o.d"
+  "liboptsched_runtime.a"
+  "liboptsched_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optsched_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

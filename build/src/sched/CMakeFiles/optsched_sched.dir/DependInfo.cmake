@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/core_state.cc" "src/sched/CMakeFiles/optsched_sched.dir/core_state.cc.o" "gcc" "src/sched/CMakeFiles/optsched_sched.dir/core_state.cc.o.d"
+  "/root/repo/src/sched/machine_state.cc" "src/sched/CMakeFiles/optsched_sched.dir/machine_state.cc.o" "gcc" "src/sched/CMakeFiles/optsched_sched.dir/machine_state.cc.o.d"
+  "/root/repo/src/sched/task.cc" "src/sched/CMakeFiles/optsched_sched.dir/task.cc.o" "gcc" "src/sched/CMakeFiles/optsched_sched.dir/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/optsched_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/optsched_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optsched_sched.dir/core_state.cc.o"
+  "CMakeFiles/optsched_sched.dir/core_state.cc.o.d"
+  "CMakeFiles/optsched_sched.dir/machine_state.cc.o"
+  "CMakeFiles/optsched_sched.dir/machine_state.cc.o.d"
+  "CMakeFiles/optsched_sched.dir/task.cc.o"
+  "CMakeFiles/optsched_sched.dir/task.cc.o.d"
+  "liboptsched_sched.a"
+  "liboptsched_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optsched_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

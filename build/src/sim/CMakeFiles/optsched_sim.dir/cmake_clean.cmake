@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optsched_sim.dir/simulator.cc.o"
+  "CMakeFiles/optsched_sim.dir/simulator.cc.o.d"
+  "liboptsched_sim.a"
+  "liboptsched_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optsched_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

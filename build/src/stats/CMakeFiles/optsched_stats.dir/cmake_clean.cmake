@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optsched_stats.dir/histogram.cc.o"
+  "CMakeFiles/optsched_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/optsched_stats.dir/summary.cc.o"
+  "CMakeFiles/optsched_stats.dir/summary.cc.o.d"
+  "liboptsched_stats.a"
+  "liboptsched_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optsched_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

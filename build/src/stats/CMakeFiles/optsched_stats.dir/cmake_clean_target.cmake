@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboptsched_stats.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/domains.cc" "src/topology/CMakeFiles/optsched_topology.dir/domains.cc.o" "gcc" "src/topology/CMakeFiles/optsched_topology.dir/domains.cc.o.d"
+  "/root/repo/src/topology/topology.cc" "src/topology/CMakeFiles/optsched_topology.dir/topology.cc.o" "gcc" "src/topology/CMakeFiles/optsched_topology.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/optsched_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

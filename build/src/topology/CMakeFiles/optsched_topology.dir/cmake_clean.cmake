@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optsched_topology.dir/domains.cc.o"
+  "CMakeFiles/optsched_topology.dir/domains.cc.o.d"
+  "CMakeFiles/optsched_topology.dir/topology.cc.o"
+  "CMakeFiles/optsched_topology.dir/topology.cc.o.d"
+  "liboptsched_topology.a"
+  "liboptsched_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optsched_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

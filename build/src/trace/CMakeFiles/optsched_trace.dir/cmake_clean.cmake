@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optsched_trace.dir/accounting.cc.o"
+  "CMakeFiles/optsched_trace.dir/accounting.cc.o.d"
+  "CMakeFiles/optsched_trace.dir/trace.cc.o"
+  "CMakeFiles/optsched_trace.dir/trace.cc.o.d"
+  "liboptsched_trace.a"
+  "liboptsched_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optsched_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

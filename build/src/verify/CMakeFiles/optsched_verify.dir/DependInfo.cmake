@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verify/audit.cc" "src/verify/CMakeFiles/optsched_verify.dir/audit.cc.o" "gcc" "src/verify/CMakeFiles/optsched_verify.dir/audit.cc.o.d"
+  "/root/repo/src/verify/concurrency.cc" "src/verify/CMakeFiles/optsched_verify.dir/concurrency.cc.o" "gcc" "src/verify/CMakeFiles/optsched_verify.dir/concurrency.cc.o.d"
+  "/root/repo/src/verify/convergence.cc" "src/verify/CMakeFiles/optsched_verify.dir/convergence.cc.o" "gcc" "src/verify/CMakeFiles/optsched_verify.dir/convergence.cc.o.d"
+  "/root/repo/src/verify/lemmas.cc" "src/verify/CMakeFiles/optsched_verify.dir/lemmas.cc.o" "gcc" "src/verify/CMakeFiles/optsched_verify.dir/lemmas.cc.o.d"
+  "/root/repo/src/verify/property.cc" "src/verify/CMakeFiles/optsched_verify.dir/property.cc.o" "gcc" "src/verify/CMakeFiles/optsched_verify.dir/property.cc.o.d"
+  "/root/repo/src/verify/state_space.cc" "src/verify/CMakeFiles/optsched_verify.dir/state_space.cc.o" "gcc" "src/verify/CMakeFiles/optsched_verify.dir/state_space.cc.o.d"
+  "/root/repo/src/verify/weighted_space.cc" "src/verify/CMakeFiles/optsched_verify.dir/weighted_space.cc.o" "gcc" "src/verify/CMakeFiles/optsched_verify.dir/weighted_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/optsched_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/optsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/optsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/optsched_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optsched_verify.dir/audit.cc.o"
+  "CMakeFiles/optsched_verify.dir/audit.cc.o.d"
+  "CMakeFiles/optsched_verify.dir/concurrency.cc.o"
+  "CMakeFiles/optsched_verify.dir/concurrency.cc.o.d"
+  "CMakeFiles/optsched_verify.dir/convergence.cc.o"
+  "CMakeFiles/optsched_verify.dir/convergence.cc.o.d"
+  "CMakeFiles/optsched_verify.dir/lemmas.cc.o"
+  "CMakeFiles/optsched_verify.dir/lemmas.cc.o.d"
+  "CMakeFiles/optsched_verify.dir/property.cc.o"
+  "CMakeFiles/optsched_verify.dir/property.cc.o.d"
+  "CMakeFiles/optsched_verify.dir/state_space.cc.o"
+  "CMakeFiles/optsched_verify.dir/state_space.cc.o.d"
+  "CMakeFiles/optsched_verify.dir/weighted_space.cc.o"
+  "CMakeFiles/optsched_verify.dir/weighted_space.cc.o.d"
+  "liboptsched_verify.a"
+  "liboptsched_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optsched_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

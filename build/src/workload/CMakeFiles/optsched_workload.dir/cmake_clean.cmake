@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optsched_workload.dir/replay.cc.o"
+  "CMakeFiles/optsched_workload.dir/replay.cc.o.d"
+  "CMakeFiles/optsched_workload.dir/workloads.cc.o"
+  "CMakeFiles/optsched_workload.dir/workloads.cc.o.d"
+  "liboptsched_workload.a"
+  "liboptsched_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optsched_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_backend_test.dir/dsl_backend_test.cc.o"
+  "CMakeFiles/dsl_backend_test.dir/dsl_backend_test.cc.o.d"
+  "dsl_backend_test"
+  "dsl_backend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_backend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

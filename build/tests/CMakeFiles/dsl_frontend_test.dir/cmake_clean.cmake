@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_frontend_test.dir/dsl_frontend_test.cc.o"
+  "CMakeFiles/dsl_frontend_test.dir/dsl_frontend_test.cc.o.d"
+  "dsl_frontend_test"
+  "dsl_frontend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_frontend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

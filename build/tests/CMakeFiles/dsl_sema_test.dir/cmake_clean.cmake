@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsl_sema_test.dir/dsl_sema_test.cc.o"
+  "CMakeFiles/dsl_sema_test.dir/dsl_sema_test.cc.o.d"
+  "dsl_sema_test"
+  "dsl_sema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsl_sema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_dynamic_test.dir/executor_dynamic_test.cc.o"
+  "CMakeFiles/executor_dynamic_test.dir/executor_dynamic_test.cc.o.d"
+  "executor_dynamic_test"
+  "executor_dynamic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_dynamic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

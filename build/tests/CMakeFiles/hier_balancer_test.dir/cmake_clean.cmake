@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hier_balancer_test.dir/hier_balancer_test.cc.o"
+  "CMakeFiles/hier_balancer_test.dir/hier_balancer_test.cc.o.d"
+  "hier_balancer_test"
+  "hier_balancer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hier_balancer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_cost_test.dir/migration_cost_test.cc.o"
+  "CMakeFiles/migration_cost_test.dir/migration_cost_test.cc.o.d"
+  "migration_cost_test"
+  "migration_cost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

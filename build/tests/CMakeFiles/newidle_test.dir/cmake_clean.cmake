@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newidle_test.dir/newidle_test.cc.o"
+  "CMakeFiles/newidle_test.dir/newidle_test.cc.o.d"
+  "newidle_test"
+  "newidle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newidle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

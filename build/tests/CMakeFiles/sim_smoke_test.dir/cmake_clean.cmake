@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_smoke_test.dir/sim_smoke_test.cc.o"
+  "CMakeFiles/sim_smoke_test.dir/sim_smoke_test.cc.o.d"
+  "sim_smoke_test"
+  "sim_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

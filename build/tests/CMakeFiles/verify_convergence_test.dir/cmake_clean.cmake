@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_convergence_test.dir/verify_convergence_test.cc.o"
+  "CMakeFiles/verify_convergence_test.dir/verify_convergence_test.cc.o.d"
+  "verify_convergence_test"
+  "verify_convergence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_convergence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

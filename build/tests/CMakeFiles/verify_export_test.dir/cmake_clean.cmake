@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_export_test.dir/verify_export_test.cc.o"
+  "CMakeFiles/verify_export_test.dir/verify_export_test.cc.o.d"
+  "verify_export_test"
+  "verify_export_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_export_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_smoke_test.dir/verify_smoke_test.cc.o"
+  "CMakeFiles/verify_smoke_test.dir/verify_smoke_test.cc.o.d"
+  "verify_smoke_test"
+  "verify_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

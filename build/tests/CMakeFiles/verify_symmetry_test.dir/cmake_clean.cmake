@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_symmetry_test.dir/verify_symmetry_test.cc.o"
+  "CMakeFiles/verify_symmetry_test.dir/verify_symmetry_test.cc.o.d"
+  "verify_symmetry_test"
+  "verify_symmetry_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_symmetry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_weighted_space_test.dir/verify_weighted_space_test.cc.o"
+  "CMakeFiles/verify_weighted_space_test.dir/verify_weighted_space_test.cc.o.d"
+  "verify_weighted_space_test"
+  "verify_weighted_space_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_weighted_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vruntime_test.cc" "tests/CMakeFiles/vruntime_test.dir/vruntime_test.cc.o" "gcc" "tests/CMakeFiles/vruntime_test.dir/vruntime_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verify/CMakeFiles/optsched_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsl/CMakeFiles/optsched_dsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/optsched_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/optsched_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/optsched_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/optsched_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/optsched_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/optsched_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/optsched_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/optsched_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/optsched_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

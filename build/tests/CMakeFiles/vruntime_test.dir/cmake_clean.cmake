@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vruntime_test.dir/vruntime_test.cc.o"
+  "CMakeFiles/vruntime_test.dir/vruntime_test.cc.o.d"
+  "vruntime_test"
+  "vruntime_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vruntime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
