@@ -1,0 +1,202 @@
+// Experiment E12 — fault tolerance: graceful degradation of the optimistic
+// protocol under injected faults (docs/robustness.md).
+//
+// The paper's resilience claim is qualitative: transient failures (stale
+// snapshots, lost re-checks, missed rounds) are legitimate and only
+// persistent idleness violates work conservation. This experiment makes the
+// claim quantitative by sweeping a chaos level x in [0, 0.9] — applied as the
+// rate of every model-level seam fault (straggler, steal abort, stale
+// snapshot, dropped round) — and measuring:
+//
+//   E12a (model):  convergence rounds N until work conservation, averaged and
+//                  worst-cased over imbalanced start states. Expectation: N
+//                  grows smoothly (roughly like 1/(1-x) — each round does a
+//                  fraction of its fault-free work), with no cliff and no
+//                  divergence while x < 1.
+//   E12b (sim):    wasted-core time fraction and watchdog verdicts for a
+//                  static-imbalance workload. Expectation: waste rises with
+//                  x but persistent violations stay at zero — the watchdog's
+//                  escalation path keeps starvation transient by forcing a
+//                  fault-free sequential round.
+//
+// A machine-readable JSON sweep is printed at the end for plotting.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/balancer.h"
+#include "src/core/conservation.h"
+#include "src/core/policies/thread_count.h"
+#include "src/fault/fault.h"
+#include "src/sched/machine_state.h"
+#include "src/sim/simulator.h"
+#include "src/workload/workloads.h"
+
+namespace optsched {
+namespace {
+
+using bench::F;
+
+constexpr uint32_t kCores = 8;
+constexpr uint64_t kMaxRounds = 4096;
+
+fault::FaultPlan PlanAt(double level, uint64_t seed) {
+  fault::FaultPlan plan;
+  plan.straggler_rate = level;
+  plan.steal_abort_rate = level;
+  plan.stale_snapshot_rate = level;
+  plan.drop_round_rate = level;
+  plan.seed = seed;
+  return plan;
+}
+
+struct ModelPoint {
+  double level = 0.0;
+  double mean_rounds = 0.0;
+  uint64_t worst_rounds = 0;
+  uint64_t diverged = 0;  // start states that missed the round budget
+  uint64_t injected = 0;
+};
+
+ModelPoint ModelSweepPoint(double level) {
+  ModelPoint point;
+  point.level = level;
+  const std::vector<std::vector<int64_t>> starts = {
+      {16, 0, 0, 0, 0, 0, 0, 0}, {8, 8, 0, 0, 0, 0, 0, 0},  {12, 6, 3, 1, 0, 0, 0, 0},
+      {5, 5, 5, 5, 0, 0, 0, 0},  {20, 1, 1, 1, 1, 0, 0, 0}, {7, 0, 6, 0, 5, 0, 4, 0},
+  };
+  uint64_t total_rounds = 0;
+  uint64_t runs = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    fault::FaultInjector injector(PlanAt(level, seed), kCores);
+    LoadBalancer balancer(policies::MakeThreadCount());
+    balancer.set_fault_injector(&injector);
+    for (const auto& start : starts) {
+      MachineState machine = MachineState::FromLoads(start);
+      Rng rng(seed * 1000 + 7);
+      ConvergenceOptions options;
+      options.max_rounds = kMaxRounds;
+      const ConvergenceResult result = RunUntilWorkConserved(balancer, machine, rng, options);
+      if (!result.converged) {
+        ++point.diverged;
+      } else {
+        total_rounds += result.rounds;
+        point.worst_rounds = std::max(point.worst_rounds, result.rounds);
+        ++runs;
+      }
+    }
+    point.injected += injector.stats().total();
+  }
+  point.mean_rounds = runs == 0 ? 0.0 : static_cast<double>(total_rounds) / runs;
+  return point;
+}
+
+struct SimPoint {
+  double level = 0.0;
+  double wasted_frac = 0.0;
+  double makespan_ms = 0.0;
+  uint64_t escalations = 0;
+  uint64_t transient = 0;
+  uint64_t persistent = 0;
+};
+
+SimPoint SimSweepPoint(double level) {
+  SimPoint point;
+  point.level = level;
+  const Topology topo = Topology::Smp(kCores);
+  sim::SimConfig config;
+  config.fault_plan = PlanAt(level, /*seed=*/97);
+  config.watchdog = true;
+  config.watchdog_threshold_rounds = 64;
+  config.max_time_us = 3'000'000'000;
+  sim::Simulator simulator(topo, policies::MakeThreadCount(), config, /*seed=*/97);
+  workload::SubmitStaticImbalance(
+      simulator,
+      workload::StaticImbalanceConfig{.num_tasks = 64, .service_us = 20'000, .initial_cpus = 1});
+  simulator.Run();
+  point.wasted_frac = simulator.accounting().wasted_fraction();
+  point.makespan_ms = static_cast<double>(simulator.metrics().makespan_us) / 1000.0;
+  point.escalations = simulator.metrics().watchdog_escalations;
+  point.transient = simulator.watchdog_stats().transient_violations;
+  point.persistent = simulator.watchdog_stats().persistent_violations;
+  return point;
+}
+
+}  // namespace
+}  // namespace optsched
+
+int main() {
+  using namespace optsched;
+  const std::vector<double> levels = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+
+  bench::Section(F("E12a: model-level convergence rounds vs fault rate (%u cores, "
+                   "6 start states x 8 seeds, budget %llu rounds)",
+                   kCores, static_cast<unsigned long long>(kMaxRounds)));
+  std::vector<ModelPoint> model;
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (double level : levels) {
+      const ModelPoint p = ModelSweepPoint(level);
+      model.push_back(p);
+      rows.push_back({F("%.1f", p.level), F("%.1f", p.mean_rounds),
+                      F("%llu", static_cast<unsigned long long>(p.worst_rounds)),
+                      F("%llu", static_cast<unsigned long long>(p.diverged)),
+                      F("%llu", static_cast<unsigned long long>(p.injected))});
+    }
+    bench::PrintTable({"fault rate", "mean N", "worst N", "diverged", "faults injected"}, rows);
+    bench::Note(
+        "Graceful degradation: N grows smoothly (roughly geometrically) with the fault rate, "
+        "with no cliff. 'diverged' counts runs that missed the fixed round budget, not true "
+        "divergence: at 0.9 every seam loses 90% of its work, so the expected N crosses the "
+        "4096-round budget; any rate < 1.0 still converges with probability 1.");
+  }
+
+  bench::Section("E12b: simulator wasted-core fraction vs fault rate (static imbalance, "
+                 "watchdog on, threshold 64 rounds)");
+  std::vector<SimPoint> sim_points;
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (double level : levels) {
+      const SimPoint p = SimSweepPoint(level);
+      sim_points.push_back(p);
+      rows.push_back({F("%.1f", p.level), F("%.2f%%", p.wasted_frac * 100.0),
+                      F("%.1f", p.makespan_ms),
+                      F("%llu", static_cast<unsigned long long>(p.transient)),
+                      F("%llu", static_cast<unsigned long long>(p.persistent)),
+                      F("%llu", static_cast<unsigned long long>(p.escalations))});
+    }
+    bench::PrintTable(
+        {"fault rate", "wasted time", "makespan ms", "transient", "persistent", "escalations"},
+        rows);
+    bench::Note(
+        "Wasted-core time rises with the fault rate while violations stay transient at "
+        "moderate rates. At extreme rates (>= 0.7) streaks do cross the threshold — and each "
+        "crossing triggers an escalation (a forced fault-free sequential round) that breaks "
+        "the streak, so starvation never becomes permanent.");
+  }
+
+  // Machine-readable sweep for plotting.
+  bench::Section("E12 JSON");
+  std::printf("{\"experiment\":\"e12_fault_tolerance\",\"cores\":%u,\"model\":[", kCores);
+  for (size_t i = 0; i < model.size(); ++i) {
+    const ModelPoint& p = model[i];
+    std::printf("%s{\"rate\":%.2f,\"mean_rounds\":%.2f,\"worst_rounds\":%llu,"
+                "\"diverged\":%llu,\"injected\":%llu}",
+                i == 0 ? "" : ",", p.level, p.mean_rounds,
+                static_cast<unsigned long long>(p.worst_rounds),
+                static_cast<unsigned long long>(p.diverged),
+                static_cast<unsigned long long>(p.injected));
+  }
+  std::printf("],\"sim\":[");
+  for (size_t i = 0; i < sim_points.size(); ++i) {
+    const SimPoint& p = sim_points[i];
+    std::printf("%s{\"rate\":%.2f,\"wasted_frac\":%.4f,\"makespan_ms\":%.1f,"
+                "\"transient\":%llu,\"persistent\":%llu,\"escalations\":%llu}",
+                i == 0 ? "" : ",", p.level, p.wasted_frac, p.makespan_ms,
+                static_cast<unsigned long long>(p.transient),
+                static_cast<unsigned long long>(p.persistent),
+                static_cast<unsigned long long>(p.escalations));
+  }
+  std::printf("]}\n");
+  return 0;
+}

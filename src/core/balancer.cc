@@ -78,6 +78,16 @@ CoreAction LoadBalancer::ExecuteStealPhase(MachineState& machine, CpuId thief, C
   action.victim = victim;
   ++stats_.attempts;
 
+  // Injected steal abort: behaves exactly like a lost re-check (the thief
+  // walks away empty-handed, the victim keeps its task) but is tallied apart
+  // from genuine contention so failure attribution stays provable.
+  if (injector_ != nullptr && injector_->AbortSteal(thief)) {
+    action.outcome = StealOutcome::kFailedRecheck;
+    action.injected = true;
+    ++stats_.injected_aborts;
+    return action;
+  }
+
   const LoadMetric metric = policy_->metric();
   uint32_t moved = 0;
   while (moved < max_steals) {
@@ -141,8 +151,31 @@ RoundResult LoadBalancer::RunRound(MachineState& machine, Rng& rng, const RoundO
   result.potential_before = machine.Potential(policy_->metric());
   ++stats_.rounds;
 
+  // A dropped round (lost timer tick) performs no work at all; loads carry
+  // over unchanged and so does the staleness of any cached snapshot.
+  if (injector_ != nullptr && injector_->DropRound()) {
+    for (CpuId cpu = 0; cpu < n; ++cpu) {
+      result.actions[cpu].thief = cpu;
+    }
+    result.dropped = true;
+    ++stats_.dropped_rounds;
+    result.potential_after = result.potential_before;
+    return result;
+  }
+
   auto participates = [&](CpuId cpu) {
     return !options.only_idle_steal || machine.IsIdle(cpu);
+  };
+  // Straggler fault: the core misses this round entirely (drawn once per
+  // participating core so the decision is deterministic per lane).
+  auto straggles = [&](CpuId cpu) {
+    if (injector_ == nullptr || !injector_->StallCore(cpu)) {
+      return false;
+    }
+    result.actions[cpu].injected = true;
+    ++result.stalled;
+    ++stats_.stalled_attempts;
+    return true;
   };
 
   if (options.mode == RoundOptions::Mode::kSequential) {
@@ -150,13 +183,27 @@ RoundResult LoadBalancer::RunRound(MachineState& machine, Rng& rng, const RoundO
     for (CpuId cpu = 0; cpu < n; ++cpu) {
       result.actions[cpu].thief = cpu;
       result.executed_order.push_back(cpu);
-      if (!participates(cpu)) {
+      if (!participates(cpu) || straggles(cpu)) {
         continue;
       }
-      const LoadSnapshot fresh = machine.Snapshot();
+      LoadSnapshot fresh = machine.Snapshot();
+      bool stale = false;
+      if (injector_ != nullptr && has_prev_round_snapshot_ && injector_->StaleSnapshot(cpu)) {
+        fresh = prev_round_snapshot_;
+        ++stats_.stale_snapshots;
+        stale = true;
+      }
       result.actions[cpu] = RunOneAttempt(machine, cpu, fresh, rng, options.recheck_filter,
                                            options.max_steals_per_attempt);
+      if (stale && (result.actions[cpu].outcome == StealOutcome::kFailedRecheck ||
+                    result.actions[cpu].outcome == StealOutcome::kFailedNoTask)) {
+        // A failure under an injected stale view may have no concurrent steal
+        // to blame; exclude it from the attribution obligation.
+        result.actions[cpu].injected = true;
+      }
     }
+    prev_round_snapshot_ = machine.Snapshot();
+    has_prev_round_snapshot_ = true;
   } else {
     // §4.3 concurrent context: one shared (and soon stale) snapshot, steals
     // serialized in the given order.
@@ -175,13 +222,30 @@ RoundResult LoadBalancer::RunRound(MachineState& machine, Rng& rng, const RoundO
     for (uint32_t cpu : order) {
       OPTSCHED_CHECK(cpu < n);
       result.actions[cpu].thief = cpu;
-      if (!participates(cpu)) {
+      if (!participates(cpu) || straggles(cpu)) {
         continue;
       }
+      const LoadSnapshot* view = &round_snapshot;
+      bool stale = false;
+      if (injector_ != nullptr && has_prev_round_snapshot_ && injector_->StaleSnapshot(cpu)) {
+        // One round staler than everyone else: selection against the
+        // previous round's shared snapshot.
+        view = &prev_round_snapshot_;
+        ++stats_.stale_snapshots;
+        stale = true;
+      }
       result.actions[cpu] =
-          RunOneAttempt(machine, cpu, round_snapshot, rng, options.recheck_filter,
+          RunOneAttempt(machine, cpu, *view, rng, options.recheck_filter,
                         options.max_steals_per_attempt);
+      if (stale && (result.actions[cpu].outcome == StealOutcome::kFailedRecheck ||
+                    result.actions[cpu].outcome == StealOutcome::kFailedNoTask)) {
+        // A failure under an injected stale view may have no concurrent steal
+        // to blame; exclude it from the attribution obligation.
+        result.actions[cpu].injected = true;
+      }
     }
+    prev_round_snapshot_ = round_snapshot;
+    has_prev_round_snapshot_ = true;
   }
 
   for (const CoreAction& action : result.actions) {
@@ -196,6 +260,9 @@ RoundResult LoadBalancer::RunRound(MachineState& machine, Rng& rng, const RoundO
       case StealOutcome::kFailedNoTask:
         ++result.attempts;
         ++result.failures;
+        if (action.injected) {
+          ++result.injected_failures;
+        }
         break;
     }
   }

@@ -33,6 +33,7 @@
 
 #include "src/base/rng.h"
 #include "src/core/policy.h"
+#include "src/fault/fault.h"
 #include "src/sched/machine_state.h"
 #include "src/topology/topology.h"
 
@@ -53,6 +54,11 @@ struct CoreAction {
   std::optional<CpuId> victim;  // set iff the filter was non-empty
   StealOutcome outcome = StealOutcome::kNoCandidates;
   std::optional<TaskId> task;   // set iff outcome == kStole
+  // True when the outcome was forced by fault injection (a stalled core or an
+  // injected steal abort) rather than by genuine contention. Attribution
+  // proofs (§4.3: every failed steal implicates a successful one) quantify
+  // over the non-injected actions only.
+  bool injected = false;
 };
 
 struct RoundResult {
@@ -61,6 +67,10 @@ struct RoundResult {
   uint32_t attempts = 0;             // cores whose filter was non-empty
   uint32_t successes = 0;
   uint32_t failures = 0;             // kFailedRecheck + kFailedNoTask
+  // Fault-injection effects on this round (zero without an injector).
+  bool dropped = false;              // the whole round was dropped
+  uint32_t stalled = 0;              // straggler cores that skipped the round
+  uint32_t injected_failures = 0;    // failures forced by injected aborts
   int64_t potential_before = 0;      // d before the round, policy metric
   int64_t potential_after = 0;
 
@@ -108,6 +118,14 @@ struct BalanceStats {
   uint64_t successes = 0;
   uint64_t failed_recheck = 0;
   uint64_t failed_no_task = 0;
+  // Fault-injection tallies, disjoint from the genuine counters above: an
+  // injected abort is NOT counted in failed_recheck, so the attribution
+  // obligation (every failed_recheck implicates a successful steal) keeps
+  // holding under injection.
+  uint64_t injected_aborts = 0;
+  uint64_t stalled_attempts = 0;
+  uint64_t stale_snapshots = 0;
+  uint64_t dropped_rounds = 0;
 
   uint64_t failures() const { return failed_recheck + failed_no_task; }
   std::string ToString() const;
@@ -123,6 +141,14 @@ class LoadBalancer {
   const BalancePolicy& policy() const { return *policy_; }
   const BalanceStats& stats() const { return stats_; }
   void ResetStats() { stats_ = BalanceStats{}; }
+
+  // Attaches (or detaches, with nullptr) a fault injector. The engine then
+  // perturbs its own seams: rounds may be dropped, cores may straggle, a
+  // core's selection may run against the previous round's snapshot, and
+  // steal phases may abort as if the re-check lost. Not owned; must outlive
+  // the balancer or be detached first.
+  void set_fault_injector(fault::FaultInjector* injector) { injector_ = injector; }
+  fault::FaultInjector* fault_injector() const { return injector_; }
 
   // Executes one load-balancing round over the machine.
   RoundResult RunRound(MachineState& machine, Rng& rng, const RoundOptions& options = {});
@@ -148,6 +174,11 @@ class LoadBalancer {
   std::shared_ptr<const BalancePolicy> policy_;
   const Topology* topology_;
   BalanceStats stats_;
+  fault::FaultInjector* injector_ = nullptr;
+  // Previous round's shared snapshot, served to cores hit by a
+  // stale-snapshot fault (valid once one concurrent round has run).
+  LoadSnapshot prev_round_snapshot_;
+  bool has_prev_round_snapshot_ = false;
 };
 
 }  // namespace optsched

@@ -84,20 +84,50 @@ RoundResult HierarchicalBalancer::RunRound(MachineState& machine, Rng& rng,
   result.actions.assign(n, CoreAction{});
   result.potential_before = machine.Potential(balancer_.policy().metric());
 
+  // Same fault seams as the flat engine (the inner balancer handles injected
+  // steal aborts; cumulative fault tallies live in the injector's stats).
+  if (injector_ != nullptr && injector_->DropRound()) {
+    for (CpuId cpu = 0; cpu < n; ++cpu) {
+      result.actions[cpu].thief = cpu;
+    }
+    result.dropped = true;
+    result.potential_after = result.potential_before;
+    return result;
+  }
+
   auto participates = [&](CpuId cpu) {
     return !options.only_idle_steal || machine.IsIdle(cpu);
+  };
+  auto straggles = [&](CpuId cpu) {
+    if (injector_ == nullptr || !injector_->StallCore(cpu)) {
+      return false;
+    }
+    result.actions[cpu].injected = true;
+    ++result.stalled;
+    return true;
   };
 
   if (options.mode == RoundOptions::Mode::kSequential) {
     for (CpuId cpu = 0; cpu < n; ++cpu) {
       result.actions[cpu].thief = cpu;
       result.executed_order.push_back(cpu);
-      if (!participates(cpu)) {
+      if (!participates(cpu) || straggles(cpu)) {
         continue;
       }
-      const LoadSnapshot fresh = machine.Snapshot();
+      LoadSnapshot fresh = machine.Snapshot();
+      bool stale = false;
+      if (injector_ != nullptr && has_prev_round_snapshot_ && injector_->StaleSnapshot(cpu)) {
+        fresh = prev_round_snapshot_;
+        stale = true;
+      }
       result.actions[cpu] = RunOneAttempt(machine, cpu, fresh, rng, options.recheck_filter);
+      if (stale && (result.actions[cpu].outcome == StealOutcome::kFailedRecheck ||
+                    result.actions[cpu].outcome == StealOutcome::kFailedNoTask)) {
+        result.actions[cpu].injected = true;  // staleness-forced, not contention
+      }
     }
+    prev_round_snapshot_ = machine.Snapshot();
+    has_prev_round_snapshot_ = true;
   } else {
     const LoadSnapshot round_snapshot = machine.Snapshot();
     std::vector<uint32_t> order;
@@ -113,12 +143,24 @@ RoundResult HierarchicalBalancer::RunRound(MachineState& machine, Rng& rng,
     for (uint32_t cpu : order) {
       OPTSCHED_CHECK(cpu < n);
       result.actions[cpu].thief = cpu;
-      if (!participates(cpu)) {
+      if (!participates(cpu) || straggles(cpu)) {
         continue;
       }
+      const LoadSnapshot* view = &round_snapshot;
+      bool stale = false;
+      if (injector_ != nullptr && has_prev_round_snapshot_ && injector_->StaleSnapshot(cpu)) {
+        view = &prev_round_snapshot_;
+        stale = true;
+      }
       result.actions[cpu] =
-          RunOneAttempt(machine, cpu, round_snapshot, rng, options.recheck_filter);
+          RunOneAttempt(machine, cpu, *view, rng, options.recheck_filter);
+      if (stale && (result.actions[cpu].outcome == StealOutcome::kFailedRecheck ||
+                    result.actions[cpu].outcome == StealOutcome::kFailedNoTask)) {
+        result.actions[cpu].injected = true;  // staleness-forced, not contention
+      }
     }
+    prev_round_snapshot_ = round_snapshot;
+    has_prev_round_snapshot_ = true;
   }
 
   for (const CoreAction& action : result.actions) {
@@ -133,6 +175,9 @@ RoundResult HierarchicalBalancer::RunRound(MachineState& machine, Rng& rng,
       case StealOutcome::kFailedNoTask:
         ++result.attempts;
         ++result.failures;
+        if (action.injected) {
+          ++result.injected_failures;
+        }
         break;
     }
   }

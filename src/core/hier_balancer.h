@@ -48,6 +48,15 @@ class HierarchicalBalancer {
   const std::vector<LevelStats>& level_stats() const { return level_stats_; }
   const BalanceStats& stats() const { return balancer_.stats(); }
 
+  // Fault injection: stragglers / dropped rounds / stale snapshots perturb
+  // this engine's rounds; steal aborts hit the inner engine's steal phase
+  // (the injector is forwarded). Not owned.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+    balancer_.set_fault_injector(injector);
+  }
+  fault::FaultInjector* fault_injector() const { return injector_; }
+
   // One balancing round with the same concurrency semantics as
   // LoadBalancer::RunRound (shared snapshot, serialized steal phases in
   // random or supplied order).
@@ -67,6 +76,9 @@ class HierarchicalBalancer {
   std::vector<std::vector<size_t>> domain_path_;
   LoadBalancer balancer_;  // supplies the audited steal phase
   std::vector<LevelStats> level_stats_;
+  fault::FaultInjector* injector_ = nullptr;
+  LoadSnapshot prev_round_snapshot_;
+  bool has_prev_round_snapshot_ = false;
 };
 
 }  // namespace optsched

@@ -1,0 +1,121 @@
+// Deterministic fault injection at the optimistic protocol's seams.
+//
+// The paper's claim (§3.2) is resilience by construction: the three-step
+// protocol tolerates *transient* failures — stale snapshots, lost re-checks,
+// cores that miss balancing rounds — and only *persistent* idleness while
+// another core is overloaded violates work conservation. This module makes
+// those transient failures first-class and reproducible: a FaultPlan is a
+// seeded description of fault rates at each seam, and a FaultInjector turns
+// it into per-core deterministic decisions. The same plan can drive the
+// model checker (src/verify), the discrete-event simulator (src/sim), the
+// round engines (src/core) and the real-thread executor (src/runtime), so a
+// perturbation found interesting in one layer can be replayed in the others.
+//
+// Decision, not mechanism: the injector answers "does fault X hit core c at
+// its next protocol invocation?" and counts the hit; the call sites own the
+// mechanics (skipping the round, aborting the steal phase, serving an aged
+// snapshot, killing the worker thread). This keeps the injector free of
+// dependencies on any scheduler layer and — because every lane (core) has
+// its own SplitMix64 stream and its own counters — safe to consult from one
+// thread per lane without synchronization.
+
+#ifndef OPTSCHED_SRC_FAULT_FAULT_H_
+#define OPTSCHED_SRC_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace optsched::fault {
+
+// Probabilities are per protocol invocation: one balancing attempt (or round
+// participation) of one core. All zero means "no faults" and every consumer
+// behaves exactly as if no injector were attached.
+struct FaultPlan {
+  // Straggler core: skips its balancing attempt this round (models a core
+  // stuck in a long critical section / interrupt storm during the tick).
+  double straggler_rate = 0.0;
+  // Forced steal-phase abort: the steal behaves as if the re-check lost
+  // against a concurrent steal (the paper's legitimate failure), even though
+  // no competing steal intervened.
+  double steal_abort_rate = 0.0;
+  // Selection runs against the previous round's snapshot instead of the
+  // current one (artificially aggravated staleness).
+  double stale_snapshot_rate = 0.0;
+  // The entire periodic balancing round is dropped (lost timer tick).
+  double drop_round_rate = 0.0;
+  // Worker crash-and-restart (threaded executor only): the worker thread
+  // exits at a protocol seam and is respawned after crash_restart_us.
+  double crash_rate = 0.0;
+  uint64_t crash_restart_us = 200;
+  uint64_t seed = 1;
+
+  // True if any rate is non-zero (consumers skip all hooks otherwise).
+  bool any() const {
+    return straggler_rate > 0 || steal_abort_rate > 0 || stale_snapshot_rate > 0 ||
+           drop_round_rate > 0 || crash_rate > 0;
+  }
+
+  std::string ToString() const;
+};
+
+// Cumulative injected-fault counts (what the plan actually did to a run).
+struct FaultStats {
+  uint64_t stalled_attempts = 0;
+  uint64_t injected_aborts = 0;
+  uint64_t stale_snapshots = 0;
+  uint64_t dropped_rounds = 0;
+  uint64_t crashes = 0;
+
+  uint64_t total() const {
+    return stalled_attempts + injected_aborts + stale_snapshots + dropped_rounds + crashes;
+  }
+  FaultStats& operator+=(const FaultStats& other);
+  std::string ToString() const;
+};
+
+class FaultInjector {
+ public:
+  // `num_lanes` is the number of cores/workers; lane i must only be consulted
+  // by the thread acting for core i (single-threaded consumers may use any
+  // lane). DropRound draws from a dedicated round lane.
+  FaultInjector(const FaultPlan& plan, uint32_t num_lanes);
+
+  const FaultPlan& plan() const { return plan_; }
+  uint32_t num_lanes() const { return static_cast<uint32_t>(lanes_.size()); }
+
+  // Each probe draws once from the lane's stream and, when it fires, counts
+  // the injection. Deterministic: the sequence of probe results for a lane is
+  // a pure function of (plan.seed, lane, probe history).
+  bool StallCore(uint32_t lane);       // straggler: skip this balancing attempt
+  bool AbortSteal(uint32_t lane);      // force a lost re-check in the steal phase
+  bool StaleSnapshot(uint32_t lane);   // select against an aged snapshot
+  bool CrashWorker(uint32_t lane);     // fail-stop the worker thread
+  bool DropRound();                    // lose the whole periodic round
+
+  // Sum of all lanes (call only while no other thread is probing).
+  FaultStats stats() const;
+  const FaultStats& lane_stats(uint32_t lane) const;
+
+  // Restores the injector to its initial (seeded) state.
+  void Reset();
+
+ private:
+  struct Lane {
+    Rng rng;
+    FaultStats stats;
+    Lane() : rng(0) {}
+  };
+
+  bool Draw(uint32_t lane, double rate, uint64_t FaultStats::* counter);
+
+  FaultPlan plan_;
+  std::vector<Lane> lanes_;
+  Lane round_lane_;
+};
+
+}  // namespace optsched::fault
+
+#endif  // OPTSCHED_SRC_FAULT_FAULT_H_

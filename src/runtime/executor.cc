@@ -1,10 +1,12 @@
 #include "src/runtime/executor.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
 #include "src/base/check.h"
 #include "src/base/str.h"
+#include "src/runtime/spinlock.h"
 
 namespace optsched::runtime {
 
@@ -52,6 +54,22 @@ uint64_t ExecutorReport::total_attempts() const {
   return total;
 }
 
+uint64_t ExecutorReport::total_backoff_events() const {
+  uint64_t total = 0;
+  for (const WorkerStats& w : workers) {
+    total += w.backoff_events;
+  }
+  return total;
+}
+
+uint64_t ExecutorReport::total_crashes() const {
+  uint64_t total = 0;
+  for (const WorkerStats& w : workers) {
+    total += w.crashes;
+  }
+  return total;
+}
+
 double ExecutorReport::throughput_items_per_ms() const {
   return wall_time_ns == 0
              ? 0.0
@@ -59,13 +77,21 @@ double ExecutorReport::throughput_items_per_ms() const {
 }
 
 std::string ExecutorReport::ToString() const {
-  return StrFormat(
+  std::string out = StrFormat(
       "executor{items=%llu wall=%.2fms throughput=%.1f items/ms steals=%llu "
-      "failed_recheck=%llu attempts=%llu}",
+      "failed_recheck=%llu attempts=%llu backoffs=%llu}",
       static_cast<unsigned long long>(total_items), static_cast<double>(wall_time_ns) / 1e6,
       throughput_items_per_ms(), static_cast<unsigned long long>(total_successes()),
       static_cast<unsigned long long>(total_failed_recheck()),
-      static_cast<unsigned long long>(total_attempts()));
+      static_cast<unsigned long long>(total_attempts()),
+      static_cast<unsigned long long>(total_backoff_events()));
+  if (faults.total() > 0) {
+    out += " " + faults.ToString();
+  }
+  if (watchdog.observations > 0) {
+    out += " " + watchdog.ToString();
+  }
+  return out;
 }
 
 Executor::Executor(std::shared_ptr<const BalancePolicy> policy, const ExecutorConfig& config,
@@ -76,6 +102,9 @@ Executor::Executor(std::shared_ptr<const BalancePolicy> policy, const ExecutorCo
       machine_(config.num_workers) {
   OPTSCHED_CHECK(policy_ != nullptr);
   OPTSCHED_CHECK(config_.num_workers > 0);
+  OPTSCHED_CHECK(config_.max_backoff_spins >= 1);
+  config_.initial_backoff_spins =
+      std::clamp<uint64_t>(config_.initial_backoff_spins, 1, config_.max_backoff_spins);
 }
 
 void Executor::Seed(uint32_t queue_index, const std::vector<WorkItem>& items) {
@@ -94,17 +123,55 @@ void Executor::Submit(uint32_t queue_index, const WorkItem& item) {
   remaining_items_.fetch_add(1, std::memory_order_release);
 }
 
-void Executor::WorkerMain(uint32_t worker_index, WorkerStats& stats) {
+void Executor::WorkerMain(uint32_t worker_index, WorkerStats& stats,
+                          std::atomic<uint32_t>& state) {
   Rng rng(config_.seed * 1000003 + worker_index);
   ConcurrentRunQueue& own = machine_.queue(worker_index);
+  fault::FaultInjector* injector = injector_.get();
   uint32_t fruitless = 0;
+  uint64_t backoff_spins = 0;  // current window; 0 = not backing off
+  // Last snapshot this worker took; a StaleSnapshot fault makes the next
+  // selection run against it instead of a fresh read.
+  LoadSnapshot stale_view;
+  bool has_stale_view = false;
+
   const auto keep_running = [&] {
     if (deadline_mode_) {
       return !stop_.load(std::memory_order_acquire);
     }
     return remaining_items_.load(std::memory_order_acquire) > 0;
   };
+
+  // Bounded park: CpuRelax for `spins`, bailing early on shutdown or on a
+  // watchdog escalation (new epoch -> retry immediately at full rate).
+  const auto park = [&](uint64_t spins) {
+    ++stats.backoff_events;
+    stats.backoff_spins_total += spins;
+    const uint64_t epoch = escalation_epoch_.load(std::memory_order_acquire);
+    for (uint64_t i = 0; i < spins; ++i) {
+      CpuRelax();
+      if ((i & 255u) == 255u) {
+        if (!keep_running()) {
+          return;
+        }
+        if (escalation_epoch_.load(std::memory_order_acquire) != epoch) {
+          ++stats.escalation_wakeups;
+          backoff_spins = 0;
+          return;
+        }
+      }
+    }
+  };
+
   while (keep_running()) {
+    // Crash seam: only at the loop top, where no item is held — fail-stop
+    // between scheduling decisions, so the shared queues stay consistent and
+    // the supervisor can respawn this slot without losing work.
+    if (injector != nullptr && injector->CrashWorker(worker_index)) {
+      ++stats.crashes;
+      state.store(kCrashed, std::memory_order_release);
+      return;
+    }
     // Run everything queued locally first.
     if (std::optional<WorkItem> item = own.PopForRun(); item.has_value()) {
       DoWork(item->work_units, config_.spin_per_unit);
@@ -113,79 +180,193 @@ void Executor::WorkerMain(uint32_t worker_index, WorkerStats& stats) {
       stats.units_executed += item->work_units;
       remaining_items_.fetch_sub(1, std::memory_order_acq_rel);
       fruitless = 0;
+      backoff_spins = 0;
       continue;
     }
-    // Queue empty: run the three-step balancing protocol.
-    const uint64_t select_start = NowNs();
-    const LoadSnapshot snapshot =
-        config_.locked_selection ? machine_.LockedSnapshot() : machine_.Snapshot();
-    stats.selection_latency_ns.Add(NowNs() - select_start);
-    const uint64_t steal_start = NowNs();
-    const bool stole = machine_.TrySteal(*policy_, worker_index, snapshot, rng,
-                                         config_.recheck_filter, stats.steals, topology_);
+    // Queue empty: run the three-step balancing protocol — unless a straggler
+    // fault holds this core out of the round entirely.
+    bool stole = false;
+    if (injector == nullptr || !injector->StallCore(worker_index)) {
+      const uint64_t select_start = NowNs();
+      LoadSnapshot snapshot;
+      if (injector != nullptr && has_stale_view && injector->StaleSnapshot(worker_index)) {
+        snapshot = stale_view;  // selection over a deliberately outdated view
+      } else {
+        snapshot = config_.locked_selection ? machine_.LockedSnapshot() : machine_.Snapshot();
+        stale_view = snapshot;
+        has_stale_view = true;
+      }
+      stats.selection_latency_ns.Add(NowNs() - select_start);
+      if (injector != nullptr && injector->AbortSteal(worker_index)) {
+        // Forced abort between CHOICE and STEAL. The attempt never reaches the
+        // two-lock phase, so StealCounters keep counting only genuine protocol
+        // outcomes (the §4.3 attribution argument stays intact); the injector
+        // tallies the abort.
+      } else {
+        const uint64_t steal_start = NowNs();
+        stole = machine_.TrySteal(*policy_, worker_index, snapshot, rng,
+                                  config_.recheck_filter, stats.steals, topology_);
+        if (stole) {
+          stats.steal_latency_ns.Add(NowNs() - steal_start);
+        }
+      }
+    }
     if (stole) {
-      stats.steal_latency_ns.Add(NowNs() - steal_start);
       fruitless = 0;
+      backoff_spins = 0;
       continue;
     }
     ++stats.idle_loops;
     if (++fruitless >= config_.idle_spins_before_yield) {
-      std::this_thread::yield();
       fruitless = 0;
+      if (config_.fixed_yield) {
+        // Ablation: the pre-backoff behaviour — yield and immediately resume
+        // hammering the snapshot path.
+        std::this_thread::yield();
+        ++stats.yields;
+        continue;
+      }
+      backoff_spins = backoff_spins == 0
+                          ? config_.initial_backoff_spins
+                          : std::min(backoff_spins * 2, config_.max_backoff_spins);
+      uint64_t spins = backoff_spins;
+      if (config_.backoff_jitter && spins >= 2) {
+        spins = spins / 2 + rng.NextBelow(spins / 2 + 1);  // uniform in [s/2, s]
+      }
+      park(spins);
+      if (backoff_spins >= config_.max_backoff_spins) {
+        // At the cap: hand the OS a scheduling opportunity between parks.
+        std::this_thread::yield();
+        ++stats.yields;
+      }
     }
   }
+  state.store(kDone, std::memory_order_release);
 }
 
-ExecutorReport Executor::Run() {
+ExecutorReport Executor::RunInternal(uint64_t duration_ms,
+                                     const std::function<void(Executor&)>& producer) {
   ExecutorReport report;
   report.workers.resize(config_.num_workers);
   submitted_items_.store(seeded_items_, std::memory_order_relaxed);
-
-  const uint64_t start = NowNs();
-  std::vector<std::thread> threads;
-  threads.reserve(config_.num_workers);
-  for (uint32_t i = 0; i < config_.num_workers; ++i) {
-    threads.emplace_back([this, i, &report] { WorkerMain(i, report.workers[i]); });
-  }
-  for (std::thread& t : threads) {
-    t.join();
-  }
-  report.wall_time_ns = NowNs() - start;
-  report.total_items = submitted_items_.load(std::memory_order_relaxed);
-  return report;
-}
-
-ExecutorReport Executor::RunFor(uint64_t duration_ms,
-                                const std::function<void(Executor&)>& producer) {
-  ExecutorReport report;
-  report.workers.resize(config_.num_workers);
-  submitted_items_.store(seeded_items_, std::memory_order_relaxed);
-  deadline_mode_ = true;
+  deadline_mode_ = duration_ms > 0;
   stop_.store(false, std::memory_order_release);
+  escalation_epoch_.store(0, std::memory_order_release);
+  injector_ = config_.fault_plan.any()
+                  ? std::make_unique<fault::FaultInjector>(config_.fault_plan, config_.num_workers)
+                  : nullptr;
+  trace::ConservationWatchdog watchdog(
+      config_.num_workers,
+      trace::WatchdogConfig{.threshold_rounds = config_.watchdog_threshold_samples});
 
   const uint64_t start = NowNs();
-  std::vector<std::thread> threads;
-  threads.reserve(config_.num_workers);
+  const uint64_t stop_at = deadline_mode_ ? start + duration_ms * 1'000'000ull : 0;
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots;
+  slots.reserve(config_.num_workers);
   for (uint32_t i = 0; i < config_.num_workers; ++i) {
-    threads.emplace_back([this, i, &report] { WorkerMain(i, report.workers[i]); });
+    slots.push_back(std::make_unique<WorkerSlot>());
+  }
+  const auto spawn = [&](uint32_t i) {
+    WorkerSlot& slot = *slots[i];
+    slot.state.store(kRunning, std::memory_order_release);
+    slot.thread =
+        std::thread([this, i, &report, &slot] { WorkerMain(i, report.workers[i], slot.state); });
+  };
+  for (uint32_t i = 0; i < config_.num_workers; ++i) {
+    spawn(i);
   }
   std::thread producer_thread;
   if (producer) {
     producer_thread = std::thread([this, &producer] { producer(*this); });
   }
-  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
-  stop_.store(true, std::memory_order_release);
-  for (std::thread& t : threads) {
-    t.join();
+
+  // Supervisor loop: watches the deadline, respawns crashed workers after the
+  // plan's restart delay, and feeds the watchdog. A crashed worker's slot is
+  // joined here before its thread object is reused.
+  const uint64_t restart_delay_ns = config_.fault_plan.crash_restart_us * 1000ull;
+  for (;;) {
+    const uint64_t now = NowNs();
+    if (deadline_mode_ && !stop_.load(std::memory_order_acquire) && now >= stop_at) {
+      stop_.store(true, std::memory_order_release);
+    }
+    const bool stopping = deadline_mode_
+                              ? stop_.load(std::memory_order_acquire)
+                              : remaining_items_.load(std::memory_order_acquire) == 0;
+    bool all_done = true;
+    for (uint32_t i = 0; i < config_.num_workers; ++i) {
+      WorkerSlot& slot = *slots[i];
+      switch (slot.state.load(std::memory_order_acquire)) {
+        case kRunning:
+          all_done = false;
+          break;
+        case kCrashed:
+          slot.thread.join();
+          if (stopping) {
+            slot.state.store(kDone, std::memory_order_relaxed);
+            break;
+          }
+          slot.state.store(kAwaitingRestart, std::memory_order_relaxed);
+          slot.restart_at_ns = now + restart_delay_ns;
+          all_done = false;
+          break;
+        case kAwaitingRestart:
+          if (stopping) {
+            slot.state.store(kDone, std::memory_order_relaxed);
+          } else if (now >= slot.restart_at_ns) {
+            spawn(i);
+            all_done = false;
+          } else {
+            all_done = false;
+          }
+          break;
+        case kDone:
+          break;
+      }
+    }
+    if (all_done) {
+      break;
+    }
+    if (config_.watchdog) {
+      const LoadSnapshot snap = machine_.Snapshot();
+      if (watchdog.ObserveRound((now - start) / 1000, snap.task_count)) {
+        watchdog.RecordEscalation((now - start) / 1000);
+        // Snap every backing-off worker awake: an immediate full-rate
+        // balancing attempt is the runtime's "forced global round".
+        escalation_epoch_.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(config_.supervisor_poll_us));
+  }
+  for (uint32_t i = 0; i < config_.num_workers; ++i) {
+    if (slots[i]->thread.joinable()) {
+      slots[i]->thread.join();
+    }
   }
   if (producer_thread.joinable()) {
     producer_thread.join();
   }
+
   report.wall_time_ns = NowNs() - start;
   report.total_items = submitted_items_.load(std::memory_order_relaxed);
-  report.items_left_unexecuted = remaining_items_.load(std::memory_order_relaxed);
+  report.items_left_unexecuted =
+      deadline_mode_ ? remaining_items_.load(std::memory_order_relaxed) : 0;
+  if (injector_ != nullptr) {
+    report.faults = injector_->stats();
+  }
+  if (config_.watchdog) {
+    report.watchdog = watchdog.stats();
+  }
   deadline_mode_ = false;
   return report;
+}
+
+ExecutorReport Executor::Run() { return RunInternal(0, {}); }
+
+ExecutorReport Executor::RunFor(uint64_t duration_ms,
+                                const std::function<void(Executor&)>& producer) {
+  OPTSCHED_CHECK(duration_ms > 0);
+  return RunInternal(duration_ms, producer);
 }
 
 }  // namespace optsched::runtime

@@ -8,18 +8,39 @@
 // ablation takes every runqueue lock during selection instead, quantifying
 // the cost the paper's optimistic design avoids. The `recheck_filter`
 // ablation (D2) disables the steal-phase re-check.
+//
+// Robustness layer (docs/robustness.md):
+//  * After `idle_spins_before_yield` fruitless protocol attempts a worker
+//    enters bounded exponential backoff with jitter instead of hammering the
+//    snapshot path (Leiserson-style: failed steals are bounded, so idle cores
+//    should pay less for each extra failure). `fixed_yield` restores the old
+//    bare-yield behaviour as an ablation.
+//  * A FaultPlan (src/fault) perturbs the seams: stalled stragglers, forced
+//    steal aborts, artificially stale snapshots, and worker crash-and-restart
+//    — the worker thread genuinely exits and a supervisor respawns it after
+//    the plan's restart delay (queues are shared memory, so no item is lost:
+//    fail-stop between items, as in the paper's model).
+//  * A work-conservation watchdog samples the lock-free load snapshot,
+//    tracks idle-while-overloaded streaks, and escalates a persistent
+//    violation by bumping an escalation epoch that snaps every worker out of
+//    backoff into an immediate full-rate balancing attempt.
 
 #ifndef OPTSCHED_SRC_RUNTIME_EXECUTOR_H_
 #define OPTSCHED_SRC_RUNTIME_EXECUTOR_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/policy.h"
+#include "src/fault/fault.h"
 #include "src/runtime/concurrent_machine.h"
 #include "src/stats/histogram.h"
+#include "src/trace/accounting.h"
 
 namespace optsched::runtime {
 
@@ -31,8 +52,30 @@ struct ExecutorConfig {
   bool locked_selection = false;
   // D2 ablation: skip the filter re-check in the steal phase.
   bool recheck_filter = true;
-  // Park (yield) after this many consecutive fruitless steal attempts.
+  // Enter backoff after this many consecutive fruitless steal attempts.
   uint32_t idle_spins_before_yield = 16;
+  // Ablation: restore the pre-backoff behaviour (bare yield every
+  // `idle_spins_before_yield` fruitless attempts, no exponential growth).
+  bool fixed_yield = false;
+  // Bounded exponential backoff: the park length starts at
+  // `initial_backoff_spins` CpuRelax iterations and doubles per consecutive
+  // fruitless episode up to `max_backoff_spins` (the bound — an idle worker
+  // is never more than one capped park away from retrying, so transient
+  // faults delay convergence by a bounded, configurable amount). With
+  // `backoff_jitter` each park draws uniformly from [spins/2, spins] to
+  // decorrelate thieves that went idle together.
+  uint64_t initial_backoff_spins = 64;
+  uint64_t max_backoff_spins = 1 << 15;
+  bool backoff_jitter = true;
+  // Fault injection (all-zero plan = no injector, zero overhead in the loop).
+  fault::FaultPlan fault_plan;
+  // Work-conservation watchdog (supervisor thread): samples loads every
+  // `supervisor_poll_us`, escalates when a worker sits idle-while-overloaded
+  // for more than `watchdog_threshold_samples` consecutive samples
+  // (0 = 2 * num_workers).
+  bool watchdog = false;
+  uint64_t watchdog_threshold_samples = 0;
+  uint64_t supervisor_poll_us = 50;
   uint64_t seed = 1;
 };
 
@@ -41,6 +84,15 @@ struct WorkerStats {
   uint64_t units_executed = 0;
   StealCounters steals;
   uint64_t idle_loops = 0;
+  // Backoff accounting: parks entered, CpuRelax spins paid inside them, bare
+  // yields (fixed_yield ablation or capped-backoff politeness), and
+  // watchdog-escalation wakeups that cut a park short.
+  uint64_t backoff_events = 0;
+  uint64_t backoff_spins_total = 0;
+  uint64_t yields = 0;
+  uint64_t escalation_wakeups = 0;
+  // Injected crash-and-restarts this worker index suffered.
+  uint64_t crashes = 0;
   stats::LogHistogram steal_latency_ns;
   stats::LogHistogram selection_latency_ns;
 };
@@ -50,10 +102,16 @@ struct ExecutorReport {
   uint64_t wall_time_ns = 0;
   uint64_t total_items = 0;            // submitted (seeded + dynamic)
   uint64_t items_left_unexecuted = 0;  // still queued at a RunFor deadline
+  // Faults the plan actually injected during the run.
+  fault::FaultStats faults;
+  // Watchdog verdict (all-zero when the watchdog was off).
+  trace::WatchdogStats watchdog;
 
   uint64_t total_successes() const;
   uint64_t total_failed_recheck() const;
   uint64_t total_attempts() const;
+  uint64_t total_backoff_events() const;
+  uint64_t total_crashes() const;
   double throughput_items_per_ms() const;
   std::string ToString() const;
 };
@@ -84,15 +142,33 @@ class Executor {
   bool stopped() const { return stop_.load(std::memory_order_acquire); }
 
  private:
-  void WorkerMain(uint32_t worker_index, WorkerStats& stats);
+  // Worker lifecycle, observed by the supervisor loop. A worker publishes
+  // kCrashed/kDone itself; kAwaitingRestart is supervisor-private.
+  enum WorkerState : uint32_t { kRunning = 0, kCrashed = 1, kAwaitingRestart = 2, kDone = 3 };
+
+  struct WorkerSlot {
+    std::thread thread;
+    std::atomic<uint32_t> state{kRunning};
+    uint64_t restart_at_ns = 0;  // supervisor-only
+  };
+
+  void WorkerMain(uint32_t worker_index, WorkerStats& stats, std::atomic<uint32_t>& state);
+  // Shared driver behind Run and RunFor: spawns workers, supervises
+  // crash-and-restart and the watchdog, joins, reports. duration_ms == 0
+  // means closed-system mode (run until drained).
+  ExecutorReport RunInternal(uint64_t duration_ms, const std::function<void(Executor&)>& producer);
 
   std::shared_ptr<const BalancePolicy> policy_;
   ExecutorConfig config_;
   const Topology* topology_;
   ConcurrentMachine machine_;
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::atomic<uint64_t> remaining_items_{0};
   std::atomic<uint64_t> submitted_items_{0};
   std::atomic<bool> stop_{false};
+  // Bumped by the supervisor when the watchdog escalates; workers snap out of
+  // backoff when they observe a new epoch.
+  std::atomic<uint64_t> escalation_epoch_{0};
   bool deadline_mode_ = false;
   uint64_t seeded_items_ = 0;
 };

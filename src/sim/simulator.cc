@@ -30,12 +30,18 @@ Simulator::Simulator(const Topology& topology, std::shared_ptr<const BalancePoli
       config_(config),
       machine_(topology.num_cpus()),
       balancer_(std::move(policy), &topology_),
+      watchdog_(topology.num_cpus(),
+                trace::WatchdogConfig{.threshold_rounds = config.watchdog_threshold_rounds}),
       rng_(seed),
       cores_(topology.num_cpus()),
       accounting_(topology.num_cpus()),
       trace_(config.trace_capacity) {
   OPTSCHED_CHECK(config_.timeslice_us > 0);
   OPTSCHED_CHECK(config_.lb_period_us > 0);
+  if (config_.fault_plan.any()) {
+    injector_ = std::make_unique<fault::FaultInjector>(config_.fault_plan, topology.num_cpus());
+    balancer_.set_fault_injector(injector_.get());
+  }
 }
 
 void Simulator::Push(SimTime time, EventKind kind, CpuId cpu, TaskId task, uint64_t generation) {
@@ -252,6 +258,11 @@ void Simulator::MaybeScheduleIn(CpuId cpu) {
     if (!config_.newidle_balance) {
       return;
     }
+    // A straggler fault also suppresses newidle balancing (the core is stuck
+    // elsewhere; the next periodic round will retry).
+    if (injector_ != nullptr && injector_->StallCore(cpu)) {
+      return;
+    }
     ++metrics_.newidle_attempts;
     const CoreAction action = balancer_.RunOneAttempt(machine_, cpu, machine_.Snapshot(), rng_);
     if (action.outcome != StealOutcome::kStole) {
@@ -401,6 +412,26 @@ void Simulator::OnLbTick() {
     }
   }
   ReconcileAfterBalance();
+  if (config_.watchdog &&
+      watchdog_.ObserveRound(now_, machine_.Loads(LoadMetric::kTaskCount), &trace_)) {
+    // Persistent violation: the convergence bound was missed. Escalate with a
+    // fault-free global *sequential* round (§4.2's simple context, where
+    // steals cannot fail) — the ladder-outermost, stop-the-world rebalance.
+    ++metrics_.watchdog_escalations;
+    watchdog_.RecordEscalation(now_, &trace_);
+    fault::FaultInjector* saved = balancer_.fault_injector();
+    balancer_.set_fault_injector(nullptr);
+    RoundOptions forced_options;
+    forced_options.mode = RoundOptions::Mode::kSequential;
+    const RoundResult forced = balancer_.RunRound(machine_, rng_, forced_options);
+    balancer_.set_fault_injector(saved);
+    metrics_.migrations += forced.successes;
+    metrics_.failed_steals += forced.failures;
+    ReconcileAfterBalance();
+    // Re-observe so the recovery (if the forced round cleared the violation)
+    // is classified at escalation time, not one period later.
+    watchdog_.ObserveRound(now_, machine_.Loads(LoadMetric::kTaskCount), &trace_);
+  }
   if (alive_tasks_ > 0) {
     Push(now_ + config_.lb_period_us, EventKind::kLbTick);
   } else {

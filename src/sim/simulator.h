@@ -27,6 +27,7 @@
 
 #include "src/base/rng.h"
 #include "src/core/balancer.h"
+#include "src/fault/fault.h"
 #include "src/sched/machine_state.h"
 #include "src/stats/histogram.h"
 #include "src/stats/summary.h"
@@ -84,6 +85,18 @@ struct SimConfig {
   SimTime max_time_us = 60'000'000;  // hard stop (1 simulated minute)
   SimTime sample_period_us = 0;      // 0 = no load sampling
   size_t trace_capacity = 0;         // 0 = tracing off
+  // Fault injection at the protocol seams (src/fault). All-zero rates (the
+  // default) attach no injector and change nothing.
+  fault::FaultPlan fault_plan;
+  // Work-conservation watchdog: observes the load vector after every
+  // balancing round, classifies idle-while-overloaded streaks as transient
+  // (<= threshold rounds) or persistent, and escalates a persistent
+  // violation by forcing a fault-free global sequential round — the
+  // ladder-outermost, can't-fail rebalance of §4.2.
+  bool watchdog = false;
+  // 0 = ConservationWatchdog::DefaultThreshold(num_cpus). Callers that ran
+  // the verifier should pass its worst-case N (plus fault headroom) here.
+  uint64_t watchdog_threshold_rounds = 0;
 };
 
 // Behavioural description of one task.
@@ -107,6 +120,7 @@ struct SimMetrics {
   uint64_t wakeups = 0;
   uint64_t newidle_attempts = 0;  // balancing triggered by becoming idle
   uint64_t newidle_steals = 0;
+  uint64_t watchdog_escalations = 0;  // forced global rounds (persistent violations)
   uint64_t cold_migrations = 0;      // schedule-ins on a CPU the task last didn't run on
   SimTime migration_penalty_us = 0;  // total cache-refill time paid
   SimTime makespan_us = 0;         // time the last task exited
@@ -151,6 +165,12 @@ class Simulator {
   const MachineState& machine() const { return machine_; }
   const Topology& topology() const { return topology_; }
   const BalanceStats& balance_stats() const { return balancer_.stats(); }
+  // Faults actually injected (all-zero when no plan was configured).
+  fault::FaultStats fault_stats() const {
+    return injector_ != nullptr ? injector_->stats() : fault::FaultStats{};
+  }
+  const trace::WatchdogStats& watchdog_stats() const { return watchdog_.stats(); }
+  const trace::ConservationWatchdog& watchdog() const { return watchdog_; }
 
   // CPU time the task has received so far (fairness analysis). Running tasks
   // are credited up to their last scheduling point.
@@ -229,6 +249,8 @@ class Simulator {
   SimConfig config_;
   MachineState machine_;
   LoadBalancer balancer_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  trace::ConservationWatchdog watchdog_;
   Rng rng_;
 
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;

@@ -102,6 +102,85 @@ std::vector<WastedEpisode> LoadSampler::WastedEpisodes() const {
   return episodes;
 }
 
+std::string WatchdogStats::ToString() const {
+  return StrFormat(
+      "watchdog{observed=%llu transient=%llu persistent=%llu escalations=%llu "
+      "recoveries=%llu max_streak=%llu}",
+      static_cast<unsigned long long>(observations),
+      static_cast<unsigned long long>(transient_violations),
+      static_cast<unsigned long long>(persistent_violations),
+      static_cast<unsigned long long>(escalations),
+      static_cast<unsigned long long>(recoveries),
+      static_cast<unsigned long long>(max_streak_rounds));
+}
+
+ConservationWatchdog::ConservationWatchdog(uint32_t num_cpus, WatchdogConfig config)
+    : num_cpus_(num_cpus),
+      threshold_(config.threshold_rounds > 0 ? config.threshold_rounds
+                                             : DefaultThreshold(num_cpus)),
+      streak_(num_cpus, 0),
+      persistent_(num_cpus, false) {
+  OPTSCHED_CHECK(num_cpus > 0);
+}
+
+bool ConservationWatchdog::ObserveRound(SimTime now, const std::vector<int64_t>& loads,
+                                        TraceBuffer* trace) {
+  OPTSCHED_CHECK(loads.size() == num_cpus_);
+  ++stats_.observations;
+  bool any_overloaded = false;
+  for (int64_t l : loads) {
+    any_overloaded |= (l >= 2);
+  }
+  bool escalate = false;
+  for (CpuId cpu = 0; cpu < num_cpus_; ++cpu) {
+    const bool violating = loads[cpu] == 0 && any_overloaded;
+    if (violating) {
+      ++streak_[cpu];
+      stats_.max_streak_rounds = std::max(stats_.max_streak_rounds, streak_[cpu]);
+      if (!persistent_[cpu] && streak_[cpu] > threshold_) {
+        persistent_[cpu] = true;
+        ++persistent_cores_;
+        ++stats_.persistent_violations;
+        escalate = true;
+        if (trace != nullptr) {
+          trace->Record({.time = now, .type = EventType::kViolation, .cpu = cpu,
+                         .detail = static_cast<int64_t>(streak_[cpu])});
+        }
+      }
+      continue;
+    }
+    if (streak_[cpu] > 0) {
+      // Streak ended: classify what it was.
+      if (persistent_[cpu]) {
+        persistent_[cpu] = false;
+        --persistent_cores_;
+        ++stats_.recoveries;
+        if (trace != nullptr) {
+          trace->Record({.time = now, .type = EventType::kRecovery, .cpu = cpu,
+                         .detail = static_cast<int64_t>(streak_[cpu])});
+        }
+      } else {
+        ++stats_.transient_violations;
+      }
+      streak_[cpu] = 0;
+    }
+  }
+  return escalate;
+}
+
+void ConservationWatchdog::RecordEscalation(SimTime now, TraceBuffer* trace) {
+  ++stats_.escalations;
+  if (trace != nullptr) {
+    trace->Record({.time = now, .type = EventType::kEscalation, .cpu = 0,
+                   .detail = static_cast<int64_t>(stats_.persistent_violations)});
+  }
+}
+
+uint64_t ConservationWatchdog::streak(CpuId cpu) const {
+  OPTSCHED_CHECK(cpu < streak_.size());
+  return streak_[cpu];
+}
+
 std::string LoadSampler::RenderTimeline(size_t max_columns) const {
   if (samples_.empty()) {
     return "";

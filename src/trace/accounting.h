@@ -75,6 +75,77 @@ class LoadSampler {
   std::vector<std::pair<SimTime, std::vector<int64_t>>> samples_;
 };
 
+// Work-conservation watchdog: the runtime counterpart of the verifier's
+// convergence bound.
+//
+// The paper's property guarantees an N such that after N balancing rounds no
+// core is idle while another is overloaded. The watchdog observes the load
+// vector once per round and tracks, per core, the streak of consecutive
+// rounds the core spent idle while some other core was overloaded. A streak
+// at or below the threshold is a *transient* violation — expected under an
+// optimistic scheduler (failed steals, stale snapshots, injected faults). A
+// streak that exceeds the threshold is a *persistent* violation: the
+// convergence bound was missed at runtime, so the caller should escalate
+// (force a reliable, ladder-outermost balancing round) and the event stream
+// records violation/escalation/recovery markers.
+//
+// Pick the threshold from the verifier's worst-case N where available
+// (CheckSequentialConvergence / CheckConcurrentConvergence report it), with
+// headroom for fault rates; DefaultThreshold gives 2*num_cpus, a safe bound
+// for the proven policies whose N never exceeds the core count in the
+// verified envelopes.
+struct WatchdogConfig {
+  // Streaks strictly above this many consecutive rounds are persistent.
+  uint64_t threshold_rounds = 0;  // 0 = DefaultThreshold(num_cpus)
+};
+
+struct WatchdogStats {
+  uint64_t observations = 0;
+  // Streak endings at or below the threshold (the expected, benign kind).
+  uint64_t transient_violations = 0;
+  // Streaks that crossed the threshold (counted once per crossing).
+  uint64_t persistent_violations = 0;
+  // Persistent streaks that subsequently cleared.
+  uint64_t recoveries = 0;
+  // Escalations the caller reported back via RecordEscalation.
+  uint64_t escalations = 0;
+  uint64_t max_streak_rounds = 0;
+
+  std::string ToString() const;
+};
+
+class ConservationWatchdog {
+ public:
+  explicit ConservationWatchdog(uint32_t num_cpus, WatchdogConfig config = {});
+
+  static uint64_t DefaultThreshold(uint32_t num_cpus) { return 2ull * num_cpus; }
+
+  uint64_t threshold_rounds() const { return threshold_; }
+
+  // Feed one balancing round's end-state loads (policy metric irrelevant:
+  // idle == 0, overloaded >= 2). Returns true iff some core's streak crossed
+  // the threshold at THIS observation — the caller should escalate. Records
+  // kViolation / kRecovery events into `trace` when given.
+  bool ObserveRound(SimTime now, const std::vector<int64_t>& loads,
+                    TraceBuffer* trace = nullptr);
+
+  // The caller escalated (forced a global round); tallies and traces it.
+  void RecordEscalation(SimTime now, TraceBuffer* trace = nullptr);
+
+  const WatchdogStats& stats() const { return stats_; }
+  uint64_t streak(CpuId cpu) const;
+  // True while at least one core is in a persistent violation.
+  bool in_violation() const { return persistent_cores_ > 0; }
+
+ private:
+  uint32_t num_cpus_;
+  uint64_t threshold_;
+  std::vector<uint64_t> streak_;
+  std::vector<bool> persistent_;
+  uint32_t persistent_cores_ = 0;
+  WatchdogStats stats_;
+};
+
 }  // namespace optsched::trace
 
 #endif  // OPTSCHED_SRC_TRACE_ACCOUNTING_H_

@@ -15,6 +15,9 @@ const char* EventTypeName(EventType type) {
     case EventType::kSteal: return "steal";
     case EventType::kStealFailed: return "steal-failed";
     case EventType::kRound: return "round";
+    case EventType::kViolation: return "violation";
+    case EventType::kEscalation: return "escalation";
+    case EventType::kRecovery: return "recovery";
   }
   return "?";
 }

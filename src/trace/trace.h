@@ -29,6 +29,9 @@ enum class EventType {
   kSteal,        // task migrated by a successful steal
   kStealFailed,  // a steal attempt failed (re-check or no eligible task)
   kRound,        // a load-balancing round / tick executed
+  kViolation,    // watchdog: a core's idle-while-overloaded streak turned persistent
+  kEscalation,   // watchdog: forced global balancing round in response
+  kRecovery,     // watchdog: a persistent violation cleared
 };
 
 const char* EventTypeName(EventType type);

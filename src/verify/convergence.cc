@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <functional>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <set>
 
@@ -94,13 +95,23 @@ ConvergenceCheckResult CheckSequentialConvergence(const BalancePolicy& policy,
                                                   const ConvergenceCheckOptions& options,
                                                   const Topology* topology) {
   ConvergenceCheckResult out;
-  out.result.property = "sequential-convergence(work conservation, no concurrency)";
+  out.result.property = options.fault_plan.any()
+                            ? "sequential-convergence(work conservation, seeded fault injection)"
+                            : "sequential-convergence(work conservation, no concurrency)";
   out.result.holds = true;
   const std::shared_ptr<const BalancePolicy> alias(&policy, [](const BalancePolicy*) {});
   out.result.states_checked = ForEachState(options.bounds, [&](const LoadVector& loads) {
     ++out.result.checks_performed;
     MachineState machine = MachineState::FromLoads(loads);
     LoadBalancer balancer(alias, topology);
+    // One injector per start state (fresh lane streams) keeps every start
+    // state's verdict independently reproducible from the plan's seed.
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (options.fault_plan.any()) {
+      injector = std::make_unique<fault::FaultInjector>(options.fault_plan,
+                                                        static_cast<uint32_t>(loads.size()));
+      balancer.set_fault_injector(injector.get());
+    }
     Rng rng(options.seed);
     ConvergenceOptions copts;
     copts.round.mode = RoundOptions::Mode::kSequential;
@@ -272,6 +283,41 @@ ConvergenceCheckResult CheckConcurrentConvergence(const BalancePolicy& policy,
   };
   for (const auto& [state, succ] : successors) {
     out.worst_case_rounds = std::max(out.worst_case_rounds, n_of(state));
+  }
+
+  // --- Fault-perturbed successor validation. --------------------------------
+  // The AF proof above covers every adversarial steal order on the fault-free
+  // engine. For each graph state, now execute sampled rounds with the fault
+  // injector attached and require every landing state to be inside the proven
+  // AF-good set: faults may delay convergence (drops, stalls) but must never
+  // move the machine somewhere the adversary could starve from.
+  if (options.fault_plan.any()) {
+    fault::FaultInjector injector(options.fault_plan, options.bounds.num_cores);
+    balancer.set_fault_injector(&injector);
+    Rng probe_rng(options.seed * 0x9e3779b97f4a7c15ull + 1);
+    for (const auto& [state, succ] : successors) {
+      for (uint64_t probe = 0; probe < options.fault_probes_per_state; ++probe) {
+        MachineState machine = MachineState::FromLoads(state);
+        RoundOptions ropts;
+        ropts.mode = RoundOptions::Mode::kConcurrentRandomOrder;
+        balancer.RunRound(machine, probe_rng, ropts);
+        const LoadVector next = canonical(machine.Loads(LoadMetric::kTaskCount));
+        ++out.faulty_edges_checked;
+        const auto landed = good.find(next);
+        if (landed == good.end() || !landed->second) {
+          out.result.holds = false;
+          out.result.counterexample = Counterexample{
+              .loads = state,
+              .thief = std::nullopt,
+              .stealee = std::nullopt,
+              .steal_order = {},
+              .note = "fault-perturbed round escaped the proven AF-good set"};
+          balancer.set_fault_injector(nullptr);
+          return out;
+        }
+      }
+    }
+    balancer.set_fault_injector(nullptr);
   }
   return out;
 }

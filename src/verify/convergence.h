@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/core/policy.h"
+#include "src/fault/fault.h"
 #include "src/verify/property.h"
 #include "src/verify/state_space.h"
 
@@ -54,6 +55,19 @@ struct ConvergenceCheckOptions {
   // so this is opt-in). Verdicts and worst-case N are preserved for
   // symmetric policies (tests compare against the unreduced run).
   bool symmetry_reduction = false;
+  // Fault injection during checking (src/fault). Sequential: every start
+  // state's convergence run executes with the injector attached, so the
+  // verdict becomes "converges within the round budget under this seeded
+  // fault trace" — a bounded probabilistic guarantee, not an exhaustive one
+  // (a dropped round consumes budget without progress). Concurrent: the
+  // fault-free AF(work-conserved) proof runs first and is unchanged; then
+  // `fault_probes_per_state` fault-perturbed rounds are executed from every
+  // graph state and each landing state must lie inside the proven AF-good
+  // set. That factoring avoids the bogus AF failure a naive encoding hits
+  // (dropped rounds are self-loops, and a self-loop on a non-conserved state
+  // falsifies AF even though the fault process leaves it with probability 1).
+  fault::FaultPlan fault_plan;
+  uint64_t fault_probes_per_state = 4;
 };
 
 struct ConvergenceCheckResult {
@@ -65,6 +79,9 @@ struct ConvergenceCheckResult {
   uint64_t graph_states = 0;
   // True if permutation sampling kicked in (concurrent only).
   bool orders_sampled = false;
+  // Fault-perturbed successor probes validated against the AF-good set
+  // (concurrent only; zero when options.fault_plan is all-zero).
+  uint64_t faulty_edges_checked = 0;
   // The offending cycle of load vectors when a livelock was found.
   std::vector<std::vector<int64_t>> livelock_cycle;
 };
