@@ -18,18 +18,28 @@
 //                  x but persistent violations stay at zero — the watchdog's
 //                  escalation path keeps starvation transient by forcing a
 //                  fault-free sequential round.
+//   E12c (threads): the real-thread executor under crash-and-restart chaos
+//                  with the watchdog and the SPSC trace rings on. All items
+//                  drain despite crashes, and the merged trace attributes
+//                  every steal outcome, backoff park, watchdog verdict and
+//                  crash/restart to its worker. `--trace-out=PATH` writes the
+//                  chaos run's Chrome trace-event JSON (chrome://tracing).
 //
 // A machine-readable JSON sweep is printed at the end for plotting.
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "src/core/balancer.h"
 #include "src/core/conservation.h"
 #include "src/core/policies/thread_count.h"
 #include "src/fault/fault.h"
+#include "src/runtime/executor.h"
 #include "src/sched/machine_state.h"
 #include "src/sim/simulator.h"
+#include "src/trace/chrome_trace.h"
 #include "src/workload/workloads.h"
 
 namespace optsched {
@@ -122,11 +132,58 @@ SimPoint SimSweepPoint(double level) {
   return point;
 }
 
+struct ExecPoint {
+  double crash_rate = 0.0;
+  double throughput = 0.0;  // items/ms
+  uint64_t crashes = 0;
+  uint64_t escalations = 0;
+  uint64_t trace_events = 0;
+  uint64_t trace_dropped = 0;
+};
+
+ExecPoint ExecSweepPoint(double crash_rate, runtime::ExecutorReport* report_out) {
+  runtime::ExecutorConfig config;
+  config.num_workers = 4;
+  config.spin_per_unit = 150;
+  config.seed = 12;
+  config.fault_plan.steal_abort_rate = crash_rate > 0 ? 0.2 : 0.0;
+  config.fault_plan.crash_rate = crash_rate;
+  config.fault_plan.crash_restart_us = 100;
+  config.fault_plan.seed = 12;
+  config.watchdog = true;
+  config.supervisor_poll_us = 50;
+  config.trace_ring_capacity = 1 << 14;
+  runtime::Executor executor(policies::MakeThreadCount(), config);
+  std::vector<runtime::WorkItem> items;
+  for (uint64_t i = 0; i < 800; ++i) {
+    items.push_back(runtime::WorkItem{.id = i, .work_units = 1200, .weight = 1024});
+  }
+  executor.Seed(0, items);
+  runtime::ExecutorReport report = executor.Run();
+  ExecPoint point;
+  point.crash_rate = crash_rate;
+  point.throughput = report.throughput_items_per_ms();
+  point.crashes = report.faults.crashes;
+  point.escalations = report.watchdog.escalations;
+  point.trace_events = report.trace_events.size();
+  point.trace_dropped = report.trace_dropped;
+  if (report_out != nullptr) {
+    *report_out = std::move(report);
+  }
+  return point;
+}
+
 }  // namespace
 }  // namespace optsched
 
-int main() {
+int main(int argc, char** argv) {
   using namespace optsched;
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    }
+  }
   const std::vector<double> levels = {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
 
   bench::Section(F("E12a: model-level convergence rounds vs fault rate (%u cores, "
@@ -175,6 +232,51 @@ int main() {
         "the streak, so starvation never becomes permanent.");
   }
 
+  bench::Section("E12c: real-thread executor under crash chaos (4 workers, watchdog on, "
+                 "SPSC trace rings on, 800 items)");
+  std::vector<ExecPoint> exec_points;
+  {
+    const std::vector<double> crash_rates = {0.0, 0.005, 0.01, 0.02};
+    std::vector<std::vector<std::string>> rows;
+    for (double rate : crash_rates) {
+      const bool last = rate == crash_rates.back();
+      runtime::ExecutorReport report;
+      const ExecPoint p = ExecSweepPoint(rate, last && !trace_out.empty() ? &report : nullptr);
+      exec_points.push_back(p);
+      rows.push_back({F("%.3f", p.crash_rate), F("%.1f", p.throughput),
+                      F("%llu", static_cast<unsigned long long>(p.crashes)),
+                      F("%llu", static_cast<unsigned long long>(p.escalations)),
+                      F("%llu", static_cast<unsigned long long>(p.trace_events)),
+                      F("%llu", static_cast<unsigned long long>(p.trace_dropped))});
+      if (last && !trace_out.empty()) {
+        std::vector<std::string> lanes;
+        for (uint32_t w = 0; w < 4; ++w) {
+          lanes.push_back("worker " + std::to_string(w));
+        }
+        lanes.push_back("supervisor");
+        const std::string json =
+            trace::ToChromeTraceJson(report.trace_events, report.trace_dropped, lanes);
+        if (trace::WriteStringToFile(trace_out, json)) {
+          std::printf("chaos trace (%zu events, %llu dropped) -> %s\n",
+                      report.trace_events.size(),
+                      static_cast<unsigned long long>(report.trace_dropped),
+                      trace_out.c_str());
+        } else {
+          std::fprintf(stderr, "failed to write trace to '%s'\n", trace_out.c_str());
+          return 1;
+        }
+      }
+    }
+    bench::PrintTable({"crash rate", "items/ms", "crashes", "escalations", "trace events",
+                       "trace dropped"},
+                      rows);
+    bench::Note(
+        "No item is lost to a crash (the report asserts the drain internally) and throughput "
+        "degrades smoothly with the crash rate. The trace rings record every steal outcome, "
+        "backoff park, watchdog verdict and crash/restart without adding a lock to the "
+        "selection fast path; full rings drop events and say so instead of blocking.");
+  }
+
   // Machine-readable sweep for plotting.
   bench::Section("E12 JSON");
   std::printf("{\"experiment\":\"e12_fault_tolerance\",\"cores\":%u,\"model\":[", kCores);
@@ -196,6 +298,17 @@ int main() {
                 static_cast<unsigned long long>(p.transient),
                 static_cast<unsigned long long>(p.persistent),
                 static_cast<unsigned long long>(p.escalations));
+  }
+  std::printf("],\"executor\":[");
+  for (size_t i = 0; i < exec_points.size(); ++i) {
+    const ExecPoint& p = exec_points[i];
+    std::printf("%s{\"crash_rate\":%.3f,\"items_per_ms\":%.1f,\"crashes\":%llu,"
+                "\"escalations\":%llu,\"trace_events\":%llu,\"trace_dropped\":%llu}",
+                i == 0 ? "" : ",", p.crash_rate, p.throughput,
+                static_cast<unsigned long long>(p.crashes),
+                static_cast<unsigned long long>(p.escalations),
+                static_cast<unsigned long long>(p.trace_events),
+                static_cast<unsigned long long>(p.trace_dropped));
   }
   std::printf("]}\n");
   return 0;

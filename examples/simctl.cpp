@@ -13,6 +13,8 @@
 
 #include "src/core/policies/registry.h"
 #include "src/sim/simulator.h"
+#include "src/trace/chrome_trace.h"
+#include "src/trace/metrics.h"
 #include "src/workload/workloads.h"
 
 namespace {
@@ -53,6 +55,8 @@ void PrintUsage(const char* prog) {
   std::printf("  --wake=last|idle    wakeup placement (default last)\n");
   std::printf("  --seed=S            RNG seed (default 1)\n");
   std::printf("  --timeline          render the per-cpu load timeline\n");
+  std::printf("  --trace-out=PATH    write a Chrome trace-event JSON (chrome://tracing)\n");
+  std::printf("  --metrics           dump the full metrics registry (name=value lines)\n");
 }
 
 }  // namespace
@@ -92,6 +96,10 @@ int main(int argc, char** argv) {
   const bool timeline = HasFlag(argc, argv, "timeline");
   if (timeline) {
     config.sample_period_us = std::max<uint64_t>(1, config.max_time_us / 100);
+  }
+  const std::string trace_out = FlagValue(argc, argv, "trace-out", "");
+  if (!trace_out.empty()) {
+    config.trace_capacity = 1 << 20;
   }
   sim::Simulator simulator(topo, policy, config, seed);
 
@@ -143,6 +151,26 @@ int main(int argc, char** argv) {
   if (timeline) {
     std::printf("timeline ('.'=idle '#'=running digit=queue depth):\n%s",
                 simulator.sampler().RenderTimeline(100).c_str());
+  }
+  if (HasFlag(argc, argv, "metrics")) {
+    trace::MetricsRegistry registry;
+    simulator.ExportMetrics(registry);
+    std::printf("-- metrics --\n%s", registry.ToString().c_str());
+  }
+  if (!trace_out.empty()) {
+    std::vector<std::string> lanes;
+    for (CpuId cpu = 0; cpu < topo.num_cpus(); ++cpu) {
+      lanes.push_back("cpu " + std::to_string(cpu));
+    }
+    const auto& buffer = simulator.trace_buffer();
+    const std::string json =
+        trace::ToChromeTraceJson(buffer.events(), buffer.dropped(), lanes);
+    if (!trace::WriteStringToFile(trace_out, json)) {
+      std::fprintf(stderr, "failed to write trace to '%s'\n", trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace:     %zu events (%llu dropped) -> %s\n", buffer.events().size(),
+                static_cast<unsigned long long>(buffer.dropped()), trace_out.c_str());
   }
   return 0;
 }

@@ -33,17 +33,32 @@ const char* StealOutcomeName(StealOutcome outcome) {
 }
 
 std::string RoundResult::ToString() const {
-  return StrFormat("round{attempts=%u successes=%u failures=%u d:%lld->%lld}", attempts,
-                   successes, failures, static_cast<long long>(potential_before),
+  return StrFormat("round{attempts=%u successes=%u moved=%u failures=%u d:%lld->%lld}", attempts,
+                   successes, tasks_moved, failures, static_cast<long long>(potential_before),
                    static_cast<long long>(potential_after));
 }
 
 std::string BalanceStats::ToString() const {
   return StrFormat(
-      "stats{rounds=%llu attempts=%llu successes=%llu failed_recheck=%llu failed_no_task=%llu}",
+      "stats{rounds=%llu attempts=%llu successes=%llu moved=%llu failed_recheck=%llu "
+      "failed_no_task=%llu}",
       static_cast<unsigned long long>(rounds), static_cast<unsigned long long>(attempts),
-      static_cast<unsigned long long>(successes), static_cast<unsigned long long>(failed_recheck),
+      static_cast<unsigned long long>(successes), static_cast<unsigned long long>(tasks_moved),
+      static_cast<unsigned long long>(failed_recheck),
       static_cast<unsigned long long>(failed_no_task));
+}
+
+void BalanceStats::ExportTo(trace::MetricsRegistry& registry, const std::string& prefix) const {
+  registry.Add(prefix + ".rounds", static_cast<double>(rounds));
+  registry.Add(prefix + ".attempts", static_cast<double>(attempts));
+  registry.Add(prefix + ".successes", static_cast<double>(successes));
+  registry.Add(prefix + ".tasks_moved", static_cast<double>(tasks_moved));
+  registry.Add(prefix + ".failed_recheck", static_cast<double>(failed_recheck));
+  registry.Add(prefix + ".failed_no_task", static_cast<double>(failed_no_task));
+  registry.Add(prefix + ".injected_aborts", static_cast<double>(injected_aborts));
+  registry.Add(prefix + ".stalled_attempts", static_cast<double>(stalled_attempts));
+  registry.Add(prefix + ".stale_snapshots", static_cast<double>(stale_snapshots));
+  registry.Add(prefix + ".dropped_rounds", static_cast<double>(dropped_rounds));
 }
 
 LoadBalancer::LoadBalancer(std::shared_ptr<const BalancePolicy> policy, const Topology* topology)
@@ -140,7 +155,11 @@ CoreAction LoadBalancer::ExecuteStealPhase(MachineState& machine, CpuId thief, C
   // The thief may have been idle; give it something to run right away.
   machine.core_mutable(thief).ScheduleNext();
   action.outcome = StealOutcome::kStole;
-  stats_.successes += moved;
+  action.moved = moved;
+  // One success per steal ACTION; the per-task total goes to tasks_moved
+  // (adding `moved` here made the two disagree whenever max_steals > 1).
+  ++stats_.successes;
+  stats_.tasks_moved += moved;
   return action;
 }
 
@@ -255,6 +274,7 @@ RoundResult LoadBalancer::RunRound(MachineState& machine, Rng& rng, const RoundO
       case StealOutcome::kStole:
         ++result.attempts;
         ++result.successes;
+        result.tasks_moved += action.moved;
         break;
       case StealOutcome::kFailedRecheck:
       case StealOutcome::kFailedNoTask:

@@ -36,6 +36,7 @@
 #include "src/fault/fault.h"
 #include "src/sched/machine_state.h"
 #include "src/topology/topology.h"
+#include "src/trace/metrics.h"
 
 namespace optsched {
 
@@ -53,7 +54,8 @@ struct CoreAction {
   CpuId thief = 0;
   std::optional<CpuId> victim;  // set iff the filter was non-empty
   StealOutcome outcome = StealOutcome::kNoCandidates;
-  std::optional<TaskId> task;   // set iff outcome == kStole
+  std::optional<TaskId> task;   // set iff outcome == kStole (first task moved)
+  uint32_t moved = 0;           // tasks migrated by this action (batch steals move > 1)
   // True when the outcome was forced by fault injection (a stalled core or an
   // injected steal abort) rather than by genuine contention. Attribution
   // proofs (§4.3: every failed steal implicates a successful one) quantify
@@ -65,7 +67,8 @@ struct RoundResult {
   std::vector<CoreAction> actions;   // one per core, dense core order
   std::vector<uint32_t> executed_order;  // core ids in steal-phase execution order
   uint32_t attempts = 0;             // cores whose filter was non-empty
-  uint32_t successes = 0;
+  uint32_t successes = 0;            // cores whose steal phase moved >= 1 task
+  uint32_t tasks_moved = 0;          // total migrations (== successes unless batching)
   uint32_t failures = 0;             // kFailedRecheck + kFailedNoTask
   // Fault-injection effects on this round (zero without an injector).
   bool dropped = false;              // the whole round was dropped
@@ -115,7 +118,14 @@ struct RoundOptions {
 struct BalanceStats {
   uint64_t rounds = 0;
   uint64_t attempts = 0;
+  // One per successful steal ACTION (a core whose steal phase moved at least
+  // one task). With max_steals > 1 a single action can migrate several tasks;
+  // those are counted in tasks_moved. Invariant:
+  //   successes <= tasks_moved <= successes * max_steals.
+  // (Before the split, batch steals added `moved` here while RoundResult
+  // counted one success per stealing core, so the two disagreed.)
   uint64_t successes = 0;
+  uint64_t tasks_moved = 0;
   uint64_t failed_recheck = 0;
   uint64_t failed_no_task = 0;
   // Fault-injection tallies, disjoint from the genuine counters above: an
@@ -128,6 +138,8 @@ struct BalanceStats {
   uint64_t dropped_rounds = 0;
 
   uint64_t failures() const { return failed_recheck + failed_no_task; }
+  // Exports every counter as "<prefix>.<name>" into the registry.
+  void ExportTo(trace::MetricsRegistry& registry, const std::string& prefix) const;
   std::string ToString() const;
 };
 

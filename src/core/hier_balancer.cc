@@ -170,6 +170,7 @@ RoundResult HierarchicalBalancer::RunRound(MachineState& machine, Rng& rng,
       case StealOutcome::kStole:
         ++result.attempts;
         ++result.successes;
+        result.tasks_moved += action.moved;
         break;
       case StealOutcome::kFailedRecheck:
       case StealOutcome::kFailedNoTask:

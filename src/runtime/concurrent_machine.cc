@@ -111,7 +111,8 @@ LoadSnapshot ConcurrentMachine::LockedSnapshot() {
 
 bool ConcurrentMachine::TrySteal(const BalancePolicy& policy, CpuId thief,
                                  const LoadSnapshot& snapshot, Rng& rng, bool recheck,
-                                 StealCounters& counters, const Topology* topology) {
+                                 StealCounters& counters, const Topology* topology,
+                                 CpuId* victim_out) {
   // --- Selection phase (no locks) -------------------------------------------
   const SelectionView view{.self = thief, .snapshot = snapshot, .topology = topology};
   const std::vector<CpuId> candidates = policy.FilterCandidates(view);  // step 1
@@ -121,6 +122,9 @@ bool ConcurrentMachine::TrySteal(const BalancePolicy& policy, CpuId thief,
   }
   const CpuId victim = policy.SelectCore(view, candidates, rng);  // step 2
   OPTSCHED_CHECK(victim != thief);
+  if (victim_out != nullptr) {
+    *victim_out = victim;
+  }
   ++counters.attempts;
 
   // --- Stealing phase (two locks, address order) -----------------------------

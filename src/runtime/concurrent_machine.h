@@ -102,10 +102,12 @@ class ConcurrentMachine {
   // Full three-step attempt by `thief`: filter+choice on `snapshot`, then the
   // two-lock steal phase with re-check (unless `recheck` is false — the D2
   // ablation). On success the stolen item is pushed onto the thief's queue.
-  // Updates `counters`.
+  // Updates `counters`. When the filter was non-empty, `victim_out` (if
+  // given) receives the chosen victim — trace events want to attribute the
+  // outcome to the pair, not just the thief.
   bool TrySteal(const BalancePolicy& policy, CpuId thief, const LoadSnapshot& snapshot,
                 Rng& rng, bool recheck, StealCounters& counters,
-                const Topology* topology = nullptr);
+                const Topology* topology = nullptr, CpuId* victim_out = nullptr);
 
  private:
   std::vector<std::unique_ptr<ConcurrentRunQueue>> queues_;

@@ -85,13 +85,66 @@ std::string ExecutorReport::ToString() const {
       static_cast<unsigned long long>(total_failed_recheck()),
       static_cast<unsigned long long>(total_attempts()),
       static_cast<unsigned long long>(total_backoff_events()));
+  stats::LogHistogram ok_ns;
+  stats::LogHistogram fail_ns;
+  for (const WorkerStats& w : workers) {
+    ok_ns.Merge(w.steal_latency_ns);
+    fail_ns.Merge(w.steal_fail_latency_ns);
+  }
+  if (ok_ns.total() > 0 || fail_ns.total() > 0) {
+    out += StrFormat(" steal_ns{ok_p50=%.0f ok_p99=%.0f fail_p50=%.0f fail_p99=%.0f}",
+                     ok_ns.Percentile(0.5), ok_ns.Percentile(0.99), fail_ns.Percentile(0.5),
+                     fail_ns.Percentile(0.99));
+  }
   if (faults.total() > 0) {
     out += " " + faults.ToString();
   }
   if (watchdog.observations > 0) {
     out += " " + watchdog.ToString();
   }
+  if (!trace_events.empty() || trace_dropped > 0) {
+    out += StrFormat(" trace{events=%zu dropped=%llu}", trace_events.size(),
+                     static_cast<unsigned long long>(trace_dropped));
+  }
   return out;
+}
+
+void ExecutorReport::ExportMetrics(trace::MetricsRegistry& registry) const {
+  registry.Add("executor.wall_time_ns", static_cast<double>(wall_time_ns));
+  registry.Add("executor.total_items", static_cast<double>(total_items));
+  registry.Add("executor.items_left_unexecuted", static_cast<double>(items_left_unexecuted));
+  registry.Add("executor.trace.events", static_cast<double>(trace_events.size()));
+  registry.Add("executor.trace.dropped", static_cast<double>(trace_dropped));
+  registry.Add("executor.faults.stalled_attempts", static_cast<double>(faults.stalled_attempts));
+  registry.Add("executor.faults.injected_aborts", static_cast<double>(faults.injected_aborts));
+  registry.Add("executor.faults.stale_snapshots", static_cast<double>(faults.stale_snapshots));
+  registry.Add("executor.faults.dropped_rounds", static_cast<double>(faults.dropped_rounds));
+  registry.Add("executor.faults.crashes", static_cast<double>(faults.crashes));
+  watchdog.ExportTo(registry, "executor.watchdog");
+  for (size_t i = 0; i < workers.size(); ++i) {
+    const WorkerStats& w = workers[i];
+    // Machine-wide aggregates (Add merges across workers)...
+    registry.Add("executor.items_executed", static_cast<double>(w.items_executed));
+    registry.Add("executor.units_executed", static_cast<double>(w.units_executed));
+    registry.Add("executor.steals.attempts", static_cast<double>(w.steals.attempts));
+    registry.Add("executor.steals.successes", static_cast<double>(w.steals.successes));
+    registry.Add("executor.steals.failed_recheck", static_cast<double>(w.steals.failed_recheck));
+    registry.Add("executor.steals.failed_no_task", static_cast<double>(w.steals.failed_no_task));
+    registry.Add("executor.steals.empty_filter", static_cast<double>(w.steals.empty_filter));
+    registry.Add("executor.idle_loops", static_cast<double>(w.idle_loops));
+    registry.Add("executor.backoff.events", static_cast<double>(w.backoff_events));
+    registry.Add("executor.backoff.spins_total", static_cast<double>(w.backoff_spins_total));
+    registry.Add("executor.backoff.yields", static_cast<double>(w.yields));
+    registry.Add("executor.backoff.escalation_wakeups",
+                 static_cast<double>(w.escalation_wakeups));
+    registry.Add("executor.crashes", static_cast<double>(w.crashes));
+    // ...plus the per-worker split for the load-distribution view.
+    const std::string prefix = StrFormat("executor.worker%zu", i);
+    registry.Add(prefix + ".items_executed", static_cast<double>(w.items_executed));
+    registry.Add(prefix + ".steals.successes", static_cast<double>(w.steals.successes));
+    registry.Add(prefix + ".steals.attempts", static_cast<double>(w.steals.attempts));
+    registry.Add(prefix + ".crashes", static_cast<double>(w.crashes));
+  }
 }
 
 Executor::Executor(std::shared_ptr<const BalancePolicy> policy, const ExecutorConfig& config,
@@ -112,7 +165,7 @@ void Executor::Seed(uint32_t queue_index, const std::vector<WorkItem>& items) {
   for (const WorkItem& item : items) {
     machine_.queue(queue_index).Push(item);
   }
-  seeded_items_ += items.size();
+  submitted_items_.fetch_add(items.size(), std::memory_order_relaxed);
   remaining_items_.fetch_add(items.size(), std::memory_order_relaxed);
 }
 
@@ -124,7 +177,7 @@ void Executor::Submit(uint32_t queue_index, const WorkItem& item) {
 }
 
 void Executor::WorkerMain(uint32_t worker_index, WorkerStats& stats,
-                          std::atomic<uint32_t>& state) {
+                          std::atomic<uint32_t>& state, trace::SpscTraceRing* ring) {
   Rng rng(config_.seed * 1000003 + worker_index);
   ConcurrentRunQueue& own = machine_.queue(worker_index);
   fault::FaultInjector* injector = injector_.get();
@@ -142,6 +195,10 @@ void Executor::WorkerMain(uint32_t worker_index, WorkerStats& stats,
     return remaining_items_.load(std::memory_order_acquire) > 0;
   };
 
+  // Trace timestamps are microseconds since the run started, matching the
+  // watchdog's timebase so the merged stream interleaves correctly.
+  const auto trace_now_us = [&] { return (NowNs() - run_start_ns_) / 1000; };
+
   // Bounded park: CpuRelax for `spins`, bailing early on shutdown or on a
   // watchdog escalation (new epoch -> retry immediately at full rate).
   const auto park = [&](uint64_t spins) {
@@ -157,6 +214,11 @@ void Executor::WorkerMain(uint32_t worker_index, WorkerStats& stats,
         if (escalation_epoch_.load(std::memory_order_acquire) != epoch) {
           ++stats.escalation_wakeups;
           backoff_spins = 0;
+          if (ring != nullptr) {
+            ring->TryPush({.time = trace_now_us(),
+                           .type = trace::EventType::kEscalationWakeup,
+                           .cpu = worker_index});
+          }
           return;
         }
       }
@@ -169,6 +231,10 @@ void Executor::WorkerMain(uint32_t worker_index, WorkerStats& stats,
     // the supervisor can respawn this slot without losing work.
     if (injector != nullptr && injector->CrashWorker(worker_index)) {
       ++stats.crashes;
+      if (ring != nullptr) {
+        ring->TryPush({.time = trace_now_us(), .type = trace::EventType::kCrash,
+                       .cpu = worker_index});
+      }
       state.store(kCrashed, std::memory_order_release);
       return;
     }
@@ -204,10 +270,27 @@ void Executor::WorkerMain(uint32_t worker_index, WorkerStats& stats,
         // tallies the abort.
       } else {
         const uint64_t steal_start = NowNs();
+        const uint64_t attempts_before = stats.steals.attempts;
+        CpuId victim = 0;
         stole = machine_.TrySteal(*policy_, worker_index, snapshot, rng,
-                                  config_.recheck_filter, stats.steals, topology_);
-        if (stole) {
-          stats.steal_latency_ns.Add(NowNs() - steal_start);
+                                  config_.recheck_filter, stats.steals, topology_, &victim);
+        // An unchanged attempt count means the filter was empty: no steal
+        // phase ran, so there is no latency to attribute and no outcome to
+        // trace.
+        if (stats.steals.attempts != attempts_before) {
+          const uint64_t steal_ns = NowNs() - steal_start;
+          // Failed attempts get their own histogram: they are the
+          // contention-heavy §4.3 cases, and recording only successes (as
+          // before) hid exactly the latencies the attribution argument is
+          // about.
+          (stole ? stats.steal_latency_ns : stats.steal_fail_latency_ns).Add(steal_ns);
+          if (ring != nullptr) {
+            ring->TryPush({.time = trace_now_us(),
+                           .type = stole ? trace::EventType::kSteal
+                                         : trace::EventType::kStealFailed,
+                           .cpu = worker_index, .other_cpu = victim,
+                           .detail = static_cast<int64_t>(steal_ns)});
+          }
         }
       }
     }
@@ -233,7 +316,15 @@ void Executor::WorkerMain(uint32_t worker_index, WorkerStats& stats,
       if (config_.backoff_jitter && spins >= 2) {
         spins = spins / 2 + rng.NextBelow(spins / 2 + 1);  // uniform in [s/2, s]
       }
-      park(spins);
+      if (ring != nullptr) {
+        const uint64_t park_start = NowNs();
+        park(spins);
+        ring->TryPush({.time = (park_start - run_start_ns_) / 1000,
+                       .type = trace::EventType::kBackoffPark, .cpu = worker_index,
+                       .detail = static_cast<int64_t>(NowNs() - park_start)});
+      } else {
+        park(spins);
+      }
       if (backoff_spins >= config_.max_backoff_spins) {
         // At the cap: hand the OS a scheduling opportunity between parks.
         std::this_thread::yield();
@@ -248,18 +339,34 @@ ExecutorReport Executor::RunInternal(uint64_t duration_ms,
                                      const std::function<void(Executor&)>& producer) {
   ExecutorReport report;
   report.workers.resize(config_.num_workers);
-  submitted_items_.store(seeded_items_, std::memory_order_relaxed);
   deadline_mode_ = duration_ms > 0;
   stop_.store(false, std::memory_order_release);
   escalation_epoch_.store(0, std::memory_order_release);
   injector_ = config_.fault_plan.any()
                   ? std::make_unique<fault::FaultInjector>(config_.fault_plan, config_.num_workers)
                   : nullptr;
+  // One ring per worker plus a supervisor lane (watchdog verdicts, restarts).
+  collector_ = config_.trace_ring_capacity > 0
+                   ? std::make_unique<trace::TraceCollector>(config_.num_workers + 1,
+                                                             config_.trace_ring_capacity)
+                   : nullptr;
   trace::ConservationWatchdog watchdog(
       config_.num_workers,
       trace::WatchdogConfig{.threshold_rounds = config_.watchdog_threshold_samples});
+  // The watchdog records into a TraceBuffer; the supervisor (the only thread
+  // touching it) forwards new entries into its own SPSC ring after each call.
+  trace::TraceBuffer watchdog_trace(collector_ != nullptr ? size_t{1} << 12 : 0);
+  size_t watchdog_forwarded = 0;
+  trace::SpscTraceRing* supervisor_ring =
+      collector_ != nullptr ? &collector_->ring(config_.num_workers) : nullptr;
+  const auto forward_watchdog_events = [&] {
+    for (; watchdog_forwarded < watchdog_trace.events().size(); ++watchdog_forwarded) {
+      supervisor_ring->TryPush(watchdog_trace.events()[watchdog_forwarded]);
+    }
+  };
 
   const uint64_t start = NowNs();
+  run_start_ns_ = start;
   const uint64_t stop_at = deadline_mode_ ? start + duration_ms * 1'000'000ull : 0;
 
   std::vector<std::unique_ptr<WorkerSlot>> slots;
@@ -270,8 +377,9 @@ ExecutorReport Executor::RunInternal(uint64_t duration_ms,
   const auto spawn = [&](uint32_t i) {
     WorkerSlot& slot = *slots[i];
     slot.state.store(kRunning, std::memory_order_release);
-    slot.thread =
-        std::thread([this, i, &report, &slot] { WorkerMain(i, report.workers[i], slot.state); });
+    trace::SpscTraceRing* ring = collector_ != nullptr ? &collector_->ring(i) : nullptr;
+    slot.thread = std::thread(
+        [this, i, &report, &slot, ring] { WorkerMain(i, report.workers[i], slot.state, ring); });
   };
   for (uint32_t i = 0; i < config_.num_workers; ++i) {
     spawn(i);
@@ -315,6 +423,10 @@ ExecutorReport Executor::RunInternal(uint64_t duration_ms,
             slot.state.store(kDone, std::memory_order_relaxed);
           } else if (now >= slot.restart_at_ns) {
             spawn(i);
+            if (supervisor_ring != nullptr) {
+              supervisor_ring->TryPush({.time = (now - start) / 1000,
+                                        .type = trace::EventType::kRestart, .cpu = i});
+            }
             all_done = false;
           } else {
             all_done = false;
@@ -329,12 +441,20 @@ ExecutorReport Executor::RunInternal(uint64_t duration_ms,
     }
     if (config_.watchdog) {
       const LoadSnapshot snap = machine_.Snapshot();
-      if (watchdog.ObserveRound((now - start) / 1000, snap.task_count)) {
-        watchdog.RecordEscalation((now - start) / 1000);
+      if (watchdog.ObserveRound((now - start) / 1000, snap.task_count, &watchdog_trace)) {
+        watchdog.RecordEscalation((now - start) / 1000, &watchdog_trace);
         // Snap every backing-off worker awake: an immediate full-rate
         // balancing attempt is the runtime's "forced global round".
         escalation_epoch_.fetch_add(1, std::memory_order_acq_rel);
       }
+      if (supervisor_ring != nullptr) {
+        forward_watchdog_events();
+      }
+    }
+    if (collector_ != nullptr) {
+      // Drain the rings at supervisor cadence so fixed-capacity rings only
+      // drop under genuine bursts, not steady-state volume.
+      collector_->Collect();
     }
     std::this_thread::sleep_for(std::chrono::microseconds(config_.supervisor_poll_us));
   }
@@ -355,8 +475,25 @@ ExecutorReport Executor::RunInternal(uint64_t duration_ms,
     report.faults = injector_->stats();
   }
   if (config_.watchdog) {
+    // Classify streaks still open at shutdown — without this, a run that
+    // ends mid-violation under-reports (the streak is neither transient nor
+    // persistent in the tallies).
+    watchdog.Finalize();
     report.watchdog = watchdog.stats();
   }
+  if (collector_ != nullptr) {
+    if (supervisor_ring != nullptr) {
+      forward_watchdog_events();
+    }
+    report.trace_events = collector_->SortedEvents();
+    report.trace_dropped = collector_->total_dropped();
+    collector_.reset();
+  }
+  // Reuse: items a deadline left queued carry into the next run's total;
+  // everything executed stops counting, so a later Run() never reports this
+  // run's items again.
+  submitted_items_.store(remaining_items_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
   deadline_mode_ = false;
   return report;
 }

@@ -41,6 +41,8 @@
 #include "src/runtime/concurrent_machine.h"
 #include "src/stats/histogram.h"
 #include "src/trace/accounting.h"
+#include "src/trace/collector.h"
+#include "src/trace/metrics.h"
 
 namespace optsched::runtime {
 
@@ -76,6 +78,14 @@ struct ExecutorConfig {
   bool watchdog = false;
   uint64_t watchdog_threshold_samples = 0;
   uint64_t supervisor_poll_us = 50;
+  // Concurrent observability (docs/observability.md): per-worker lock-free
+  // SPSC trace rings, plus one supervisor ring for watchdog verdicts and
+  // restarts, merged into ExecutorReport::trace_events after the run. Steal
+  // outcomes, backoff parks, escalation wakeups and crashes are recorded
+  // WITHOUT any lock on the selection fast path. 0 disables recording; the
+  // disabled path costs one null-pointer check per event site, so throughput
+  // numbers don't move.
+  size_t trace_ring_capacity = 0;
   uint64_t seed = 1;
 };
 
@@ -93,7 +103,12 @@ struct WorkerStats {
   uint64_t escalation_wakeups = 0;
   // Injected crash-and-restarts this worker index suffered.
   uint64_t crashes = 0;
+  // Steal-phase latency, split by outcome: successful steals and genuine
+  // failed attempts (non-empty filter, lost re-check or no eligible task).
+  // Failed attempts are exactly the contention §4.3 reasons about — recording
+  // only successes made them invisible.
   stats::LogHistogram steal_latency_ns;
+  stats::LogHistogram steal_fail_latency_ns;
   stats::LogHistogram selection_latency_ns;
 };
 
@@ -106,6 +121,10 @@ struct ExecutorReport {
   fault::FaultStats faults;
   // Watchdog verdict (all-zero when the watchdog was off).
   trace::WatchdogStats watchdog;
+  // Merged time-ordered stream from the per-worker trace rings (empty when
+  // trace_ring_capacity == 0) and the events lost to full rings.
+  std::vector<trace::TraceEvent> trace_events;
+  uint64_t trace_dropped = 0;
 
   uint64_t total_successes() const;
   uint64_t total_failed_recheck() const;
@@ -113,6 +132,10 @@ struct ExecutorReport {
   uint64_t total_backoff_events() const;
   uint64_t total_crashes() const;
   double throughput_items_per_ms() const;
+  // Snapshots every counter of the run — per-worker and aggregate steal
+  // outcomes, backoff, faults, watchdog, trace drops — into the registry
+  // under "executor.*" names.
+  void ExportMetrics(trace::MetricsRegistry& registry) const;
   std::string ToString() const;
 };
 
@@ -125,7 +148,10 @@ class Executor {
   void Seed(uint32_t queue_index, const std::vector<WorkItem>& items);
 
   // Spawns the workers, runs until every seeded item has been executed, joins
-  // the workers, and returns the report.
+  // the workers, and returns the report. The instance is reusable: each run
+  // reports only the items submitted since the previous run finished (plus
+  // any items a RunFor deadline left queued, which the next run executes);
+  // a second Run() without new work reports zero items and returns promptly.
   ExecutorReport Run();
 
   // Open-system mode: spawns the workers, runs `producer` on its own thread
@@ -152,7 +178,12 @@ class Executor {
     uint64_t restart_at_ns = 0;  // supervisor-only
   };
 
-  void WorkerMain(uint32_t worker_index, WorkerStats& stats, std::atomic<uint32_t>& state);
+  // `ring` is this worker's SPSC trace ring (null when tracing is off). A
+  // respawned worker reuses its predecessor's ring: the supervisor joins the
+  // crashed thread before spawning the replacement, so there is never more
+  // than one live producer per ring.
+  void WorkerMain(uint32_t worker_index, WorkerStats& stats, std::atomic<uint32_t>& state,
+                  trace::SpscTraceRing* ring);
   // Shared driver behind Run and RunFor: spawns workers, supervises
   // crash-and-restart and the watchdog, joins, reports. duration_ms == 0
   // means closed-system mode (run until drained).
@@ -163,14 +194,22 @@ class Executor {
   const Topology* topology_;
   ConcurrentMachine machine_;
   std::unique_ptr<fault::FaultInjector> injector_;
+  // Per-run trace rings (workers 0..n-1, supervisor lane n); null when off.
+  std::unique_ptr<trace::TraceCollector> collector_;
+  // Queued-but-unexecuted items; drives closed-system termination.
   std::atomic<uint64_t> remaining_items_{0};
+  // Items submitted toward the CURRENT (or next) run's total: Seed/Submit add
+  // here, and each run finishes by resetting it to the leftover queue depth —
+  // so a reused instance never reports a stale count (it used to report the
+  // cumulative seeded total forever).
   std::atomic<uint64_t> submitted_items_{0};
   std::atomic<bool> stop_{false};
   // Bumped by the supervisor when the watchdog escalates; workers snap out of
   // backoff when they observe a new epoch.
   std::atomic<uint64_t> escalation_epoch_{0};
   bool deadline_mode_ = false;
-  uint64_t seeded_items_ = 0;
+  // Wall-clock origin of the current run; trace timestamps are relative μs.
+  uint64_t run_start_ns_ = 0;
 };
 
 }  // namespace optsched::runtime

@@ -501,7 +501,38 @@ SimTime Simulator::Run() {
     RunUntil(events_.top().time);
   }
   Advance(now_);  // flush accounting at the final instant
+  if (config_.watchdog) {
+    // Classify violation streaks still open at the end of the run: a chaos
+    // run that stops mid-streak would otherwise under-report violations.
+    watchdog_.Finalize();
+  }
   return now_;
+}
+
+void Simulator::ExportMetrics(trace::MetricsRegistry& registry) const {
+  registry.Add("sim.tasks_submitted", static_cast<double>(metrics_.tasks_submitted));
+  registry.Add("sim.tasks_completed", static_cast<double>(metrics_.tasks_completed));
+  registry.Add("sim.bursts_completed", static_cast<double>(metrics_.bursts_completed));
+  registry.Add("sim.migrations", static_cast<double>(metrics_.migrations));
+  registry.Add("sim.failed_steals", static_cast<double>(metrics_.failed_steals));
+  registry.Add("sim.lb_rounds", static_cast<double>(metrics_.lb_rounds));
+  registry.Add("sim.preemptions", static_cast<double>(metrics_.preemptions));
+  registry.Add("sim.wakeups", static_cast<double>(metrics_.wakeups));
+  registry.Add("sim.watchdog_escalations", static_cast<double>(metrics_.watchdog_escalations));
+  registry.Add("sim.makespan_us", static_cast<double>(metrics_.makespan_us));
+  registry.Set("sim.accounting.elapsed_us", static_cast<double>(accounting_.elapsed_us()));
+  registry.Set("sim.accounting.wasted_us", static_cast<double>(accounting_.wasted_us()));
+  registry.Set("sim.accounting.utilization", accounting_.utilization());
+  registry.Set("sim.accounting.wasted_fraction", accounting_.wasted_fraction());
+  registry.Add("sim.trace.events", static_cast<double>(trace_.events().size()));
+  registry.Add("sim.trace.dropped", static_cast<double>(trace_.dropped()));
+  balancer_.stats().ExportTo(registry, "sim.balancer");
+  const fault::FaultStats faults = fault_stats();
+  registry.Add("sim.faults.stalled_attempts", static_cast<double>(faults.stalled_attempts));
+  registry.Add("sim.faults.injected_aborts", static_cast<double>(faults.injected_aborts));
+  registry.Add("sim.faults.stale_snapshots", static_cast<double>(faults.stale_snapshots));
+  registry.Add("sim.faults.dropped_rounds", static_cast<double>(faults.dropped_rounds));
+  watchdog_.stats().ExportTo(registry, "sim.watchdog");
 }
 
 }  // namespace optsched::sim

@@ -33,6 +33,7 @@
 #include "src/stats/summary.h"
 #include "src/topology/topology.h"
 #include "src/trace/accounting.h"
+#include "src/trace/metrics.h"
 #include "src/trace/trace.h"
 
 namespace optsched::sim {
@@ -171,6 +172,10 @@ class Simulator {
   }
   const trace::WatchdogStats& watchdog_stats() const { return watchdog_.stats(); }
   const trace::ConservationWatchdog& watchdog() const { return watchdog_; }
+
+  // Snapshots every counter of the run — SimMetrics, accounting, balancer,
+  // fault and watchdog stats — into the registry under "sim.*" names.
+  void ExportMetrics(trace::MetricsRegistry& registry) const;
 
   // CPU time the task has received so far (fairness analysis). Running tasks
   // are credited up to their last scheduling point.

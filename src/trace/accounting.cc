@@ -28,6 +28,8 @@ void TimeAccountant::AdvanceTo(SimTime now, const MachineState& machine) {
         wasted_us_ += delta;
       }
     }
+  } else {
+    first_time_ = now;
   }
   last_time_ = now;
   primed_ = true;
@@ -65,13 +67,17 @@ double TimeAccountant::utilization() const {
 }
 
 double TimeAccountant::wasted_fraction() const {
-  return last_time_ == 0 ? 0.0
-                         : static_cast<double>(wasted_us_) / static_cast<double>(last_time_);
+  // Divide by the span actually observed, not absolute time: an accountant
+  // primed at t > 0 would otherwise count [0, t) as non-wasted time it never
+  // saw, understating the fraction.
+  const SimTime elapsed = elapsed_us();
+  return elapsed == 0 ? 0.0
+                      : static_cast<double>(wasted_us_) / static_cast<double>(elapsed);
 }
 
 std::string TimeAccountant::ToString() const {
   return StrFormat("accounting{elapsed=%lluus util=%.2f%% wasted=%lluus (%.2f%%)}",
-                   static_cast<unsigned long long>(last_time_), utilization() * 100.0,
+                   static_cast<unsigned long long>(elapsed_us()), utilization() * 100.0,
                    static_cast<unsigned long long>(wasted_us_), wasted_fraction() * 100.0);
 }
 
@@ -100,6 +106,15 @@ std::vector<WastedEpisode> LoadSampler::WastedEpisodes() const {
     }
   }
   return episodes;
+}
+
+void WatchdogStats::ExportTo(MetricsRegistry& registry, const std::string& prefix) const {
+  registry.Add(prefix + ".observations", static_cast<double>(observations));
+  registry.Add(prefix + ".transient_violations", static_cast<double>(transient_violations));
+  registry.Add(prefix + ".persistent_violations", static_cast<double>(persistent_violations));
+  registry.Add(prefix + ".recoveries", static_cast<double>(recoveries));
+  registry.Add(prefix + ".escalations", static_cast<double>(escalations));
+  registry.Add(prefix + ".max_streak_rounds", static_cast<double>(max_streak_rounds));
 }
 
 std::string WatchdogStats::ToString() const {
@@ -173,6 +188,22 @@ void ConservationWatchdog::RecordEscalation(SimTime now, TraceBuffer* trace) {
   if (trace != nullptr) {
     trace->Record({.time = now, .type = EventType::kEscalation, .cpu = 0,
                    .detail = static_cast<int64_t>(stats_.persistent_violations)});
+  }
+}
+
+void ConservationWatchdog::Finalize() {
+  for (CpuId cpu = 0; cpu < num_cpus_; ++cpu) {
+    if (streak_[cpu] == 0) {
+      continue;
+    }
+    if (persistent_[cpu]) {
+      // Counted at its crossing; it never recovered, so no recovery tally.
+      persistent_[cpu] = false;
+      --persistent_cores_;
+    } else {
+      ++stats_.transient_violations;
+    }
+    streak_[cpu] = 0;
   }
 }
 

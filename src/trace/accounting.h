@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/sched/machine_state.h"
+#include "src/trace/metrics.h"
 #include "src/trace/trace.h"
 
 namespace optsched::trace {
@@ -34,7 +35,10 @@ class TimeAccountant {
   SimTime total_idle_us() const;
   // Time with >= 1 idle core and >= 1 overloaded core simultaneously.
   SimTime wasted_us() const { return wasted_us_; }
-  SimTime elapsed_us() const { return last_time_; }
+  // Observed wall time: last AdvanceTo minus the priming AdvanceTo. An
+  // accountant primed at t > 0 has seen nothing before t, so that span must
+  // not count (it used to, understating wasted_fraction).
+  SimTime elapsed_us() const { return last_time_ - first_time_; }
 
   // Fraction of total core-time spent busy, in [0, 1].
   double utilization() const;
@@ -44,6 +48,7 @@ class TimeAccountant {
   std::string ToString() const;
 
  private:
+  SimTime first_time_ = 0;  // time of the priming AdvanceTo
   SimTime last_time_ = 0;
   bool primed_ = false;
   uint32_t num_cpus_;
@@ -111,6 +116,8 @@ struct WatchdogStats {
   uint64_t escalations = 0;
   uint64_t max_streak_rounds = 0;
 
+  // Exports every counter as "<prefix>.<name>" into the registry.
+  void ExportTo(MetricsRegistry& registry, const std::string& prefix) const;
   std::string ToString() const;
 };
 
@@ -131,6 +138,13 @@ class ConservationWatchdog {
 
   // The caller escalated (forced a global round); tallies and traces it.
   void RecordEscalation(SimTime now, TraceBuffer* trace = nullptr);
+
+  // End-of-run classification: a streak still open at shutdown was a real
+  // violation even though no later round observed it ending. Non-persistent
+  // open streaks count as transient; persistent ones stay counted (from
+  // their crossing) but do NOT count as recovered. Idempotent — every
+  // streak is cleared, so a second call is a no-op.
+  void Finalize();
 
   const WatchdogStats& stats() const { return stats_; }
   uint64_t streak(CpuId cpu) const;

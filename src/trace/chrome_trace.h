@@ -1,0 +1,37 @@
+// Chrome trace-event JSON exporter (chrome://tracing / Perfetto loadable),
+// alongside TraceBuffer::ToCsv.
+//
+// Every TraceEvent maps to one JSON trace event: the acting core/worker is
+// the tid, the event time (microseconds) the ts. Backoff parks carry their
+// measured duration (TraceEvent::detail, nanoseconds) and export as complete
+// ("X") duration slices so parks render as blocks on the worker's track;
+// everything else exports as a thread-scoped instant ("i"). Task id, peer
+// cpu and detail ride along in args. Per-lane thread-name metadata rows make
+// the tracks readable; the total ring drop count is reported under
+// otherData.dropped_events so a truncated trace is never mistaken for a
+// complete one.
+
+#ifndef OPTSCHED_SRC_TRACE_CHROME_TRACE_H_
+#define OPTSCHED_SRC_TRACE_CHROME_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace optsched::trace {
+
+// `lane_names[i]` labels tid i ("worker 3", "supervisor", ...); lanes beyond
+// the vector fall back to "lane <tid>". `dropped` is the number of events
+// lost to full rings (0 for an unbounded buffer).
+std::string ToChromeTraceJson(const std::vector<TraceEvent>& events, uint64_t dropped = 0,
+                              const std::vector<std::string>& lane_names = {});
+
+// Writes `content` to `path`; returns false (and leaves no partial file
+// guarantee) on I/O failure.
+bool WriteStringToFile(const std::string& path, const std::string& content);
+
+}  // namespace optsched::trace
+
+#endif  // OPTSCHED_SRC_TRACE_CHROME_TRACE_H_

@@ -1,0 +1,49 @@
+#include "src/trace/collector.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace optsched::trace {
+
+TraceCollector::TraceCollector(uint32_t num_rings, size_t ring_capacity) {
+  OPTSCHED_CHECK(num_rings > 0);
+  rings_.reserve(num_rings);
+  for (uint32_t i = 0; i < num_rings; ++i) {
+    rings_.push_back(std::make_unique<SpscTraceRing>(ring_capacity));
+  }
+}
+
+SpscTraceRing& TraceCollector::ring(uint32_t index) {
+  OPTSCHED_CHECK(index < rings_.size());
+  return *rings_[index];
+}
+
+void TraceCollector::Collect() {
+  for (const auto& ring : rings_) {
+    if (ring->Drain(merged_) > 0) {
+      sorted_ = false;
+    }
+  }
+}
+
+const std::vector<TraceEvent>& TraceCollector::SortedEvents() {
+  Collect();
+  if (!sorted_) {
+    // Stable: events with equal timestamps keep their per-ring push order.
+    std::stable_sort(merged_.begin(), merged_.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) { return a.time < b.time; });
+    sorted_ = true;
+  }
+  return merged_;
+}
+
+uint64_t TraceCollector::total_dropped() const {
+  uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    total += ring->dropped();
+  }
+  return total;
+}
+
+}  // namespace optsched::trace

@@ -1,0 +1,52 @@
+// Collector for per-worker SPSC trace rings: merges the rings into one
+// time-ordered event stream and totals their drop counts.
+//
+// Ownership/threading contract: each ring has exactly one producer (a worker
+// thread, identified by its ring index) and the collector is the single
+// consumer of every ring. Collect() may run concurrently with the producers
+// (e.g. from a supervisor thread) or after they joined; each call drains
+// whatever is visible. The merged stream is sorted by event time with a
+// stable tie-break, so events from different workers interleave in wall-clock
+// order even though each ring is drained independently.
+
+#ifndef OPTSCHED_SRC_TRACE_COLLECTOR_H_
+#define OPTSCHED_SRC_TRACE_COLLECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/trace/ring.h"
+#include "src/trace/trace.h"
+
+namespace optsched::trace {
+
+class TraceCollector {
+ public:
+  // `num_rings` independent rings (one per producer thread), each with
+  // `ring_capacity` slots (rounded up to a power of two).
+  TraceCollector(uint32_t num_rings, size_t ring_capacity);
+
+  uint32_t num_rings() const { return static_cast<uint32_t>(rings_.size()); }
+  SpscTraceRing& ring(uint32_t index);
+
+  // Drains every ring into the accumulated stream. Cheap when nothing is
+  // pending; call periodically under long runs so fixed-capacity rings don't
+  // overflow, and once more after the producers stopped.
+  void Collect();
+
+  // Collect(), then the full accumulated stream sorted by time.
+  const std::vector<TraceEvent>& SortedEvents();
+
+  // Sum of every ring's drop count (events lost to full rings).
+  uint64_t total_dropped() const;
+
+ private:
+  std::vector<std::unique_ptr<SpscTraceRing>> rings_;
+  std::vector<TraceEvent> merged_;
+  bool sorted_ = true;
+};
+
+}  // namespace optsched::trace
+
+#endif  // OPTSCHED_SRC_TRACE_COLLECTOR_H_

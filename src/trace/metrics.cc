@@ -1,0 +1,61 @@
+#include "src/trace/metrics.h"
+
+#include <cmath>
+
+#include "src/base/str.h"
+
+namespace optsched::trace {
+
+void MetricsRegistry::Set(const std::string& name, double value) { values_[name] = value; }
+
+void MetricsRegistry::Add(const std::string& name, double delta) { values_[name] += delta; }
+
+double MetricsRegistry::Get(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+bool MetricsRegistry::Has(const std::string& name) const { return values_.count(name) > 0; }
+
+void MetricsRegistry::Merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.values_) {
+    values_[name] += value;
+  }
+}
+
+namespace {
+
+// Counters print as integers, ratios keep their fraction.
+std::string ValueToString(double v) {
+  if (std::nearbyint(v) == v && std::fabs(v) < 9.0e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.6g", v);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToString() const {
+  std::string out;
+  for (const auto& [name, value] : values_) {
+    out += name;
+    out += '=';
+    out += ValueToString(value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : values_) {
+    out += StrFormat("%s\"%s\":%s", first ? "" : ",", JsonEscape(name).c_str(),
+                     ValueToString(value).c_str());
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace optsched::trace

@@ -1,0 +1,48 @@
+// MetricsRegistry: one named, mergeable view over the counters that are
+// otherwise scattered across BalanceStats, StealCounters, WorkerStats,
+// FaultStats and WatchdogStats.
+//
+// Each producer exports its counters under a dotted prefix (e.g.
+// "executor.worker3.steals.successes"); registries merge by summing values
+// with the same name, so per-worker snapshots aggregate into machine-wide
+// totals and repeated runs accumulate. Values are doubles: counters fit
+// exactly up to 2^53 and ratios (utilization, wasted fraction) need no
+// second type.
+
+#ifndef OPTSCHED_SRC_TRACE_METRICS_H_
+#define OPTSCHED_SRC_TRACE_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace optsched::trace {
+
+class MetricsRegistry {
+ public:
+  // Overwrites (or creates) `name`.
+  void Set(const std::string& name, double value);
+  // Adds `delta` to `name`, creating it at zero first.
+  void Add(const std::string& name, double delta);
+  // 0.0 when absent.
+  double Get(const std::string& name) const;
+  bool Has(const std::string& name) const;
+
+  // Value-wise sum: names present in either side survive.
+  void Merge(const MetricsRegistry& other);
+
+  size_t size() const { return values_.size(); }
+  const std::map<std::string, double>& values() const { return values_; }
+
+  // One "name=value" per line, name-sorted (std::map order).
+  std::string ToString() const;
+  // Flat JSON object: {"name":value,...}, name-sorted.
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+}  // namespace optsched::trace
+
+#endif  // OPTSCHED_SRC_TRACE_METRICS_H_

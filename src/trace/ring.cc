@@ -1,0 +1,48 @@
+#include "src/trace/ring.h"
+
+namespace optsched::trace {
+
+namespace {
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 2;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+SpscTraceRing::SpscTraceRing(size_t capacity)
+    : slots_(RoundUpPow2(capacity < 2 ? 2 : capacity)), mask_(slots_.size() - 1) {}
+
+bool SpscTraceRing::TryPush(const TraceEvent& event) {
+  const uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  if (tail - head > mask_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  slots_[tail & mask_] = event;
+  tail_.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+size_t SpscTraceRing::Drain(std::vector<TraceEvent>& out) {
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  const uint64_t tail = tail_.load(std::memory_order_acquire);
+  for (uint64_t i = head; i != tail; ++i) {
+    out.push_back(slots_[i & mask_]);
+  }
+  head_.store(tail, std::memory_order_release);
+  return static_cast<size_t>(tail - head);
+}
+
+size_t SpscTraceRing::size() const {
+  const uint64_t tail = tail_.load(std::memory_order_acquire);
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  return static_cast<size_t>(tail - head);
+}
+
+}  // namespace optsched::trace

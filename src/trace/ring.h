@@ -1,0 +1,63 @@
+// Lock-free single-producer/single-consumer trace ring.
+//
+// The original TraceBuffer is an unsynchronized std::vector, usable only from
+// the single-threaded simulator. Real executor threads need to record steal
+// outcomes, backoff parks and crashes *without* adding any lock to the
+// selection fast path we are reasoning about — otherwise the act of observing
+// the optimistic protocol would serialize it. Each worker therefore owns one
+// fixed-capacity SPSC ring: the worker is the only producer, the collector
+// (src/trace/collector.h) the only consumer. A full ring drops the event and
+// counts the drop instead of blocking or allocating, so the recording path is
+// wait-free and allocation-free after construction.
+//
+// Memory ordering: the producer publishes a slot with a release store of the
+// tail cursor; the consumer acquires the tail before reading slots. Head and
+// tail live on separate cache lines so the producer and consumer do not
+// false-share.
+
+#ifndef OPTSCHED_SRC_TRACE_RING_H_
+#define OPTSCHED_SRC_TRACE_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/trace/trace.h"
+
+namespace optsched::trace {
+
+class SpscTraceRing {
+ public:
+  // Capacity is rounded up to a power of two; minimum 2 slots.
+  explicit SpscTraceRing(size_t capacity = 1 << 14);
+
+  SpscTraceRing(const SpscTraceRing&) = delete;
+  SpscTraceRing& operator=(const SpscTraceRing&) = delete;
+
+  // Producer side. Wait-free; a full ring counts a drop and returns false.
+  bool TryPush(const TraceEvent& event);
+
+  // Consumer side: appends every currently visible event to `out` in push
+  // order and frees the slots. Returns the number of events drained.
+  size_t Drain(std::vector<TraceEvent>& out);
+
+  // Events rejected by a full ring (readable from any thread).
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // Events currently buffered (approximate when the producer is live).
+  size_t size() const;
+
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<TraceEvent> slots_;
+  size_t mask_;
+  alignas(64) std::atomic<uint64_t> head_{0};     // consumer cursor
+  alignas(64) std::atomic<uint64_t> tail_{0};     // producer cursor
+  alignas(64) std::atomic<uint64_t> dropped_{0};  // producer-side drop count
+};
+
+}  // namespace optsched::trace
+
+#endif  // OPTSCHED_SRC_TRACE_RING_H_

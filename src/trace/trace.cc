@@ -18,6 +18,10 @@ const char* EventTypeName(EventType type) {
     case EventType::kViolation: return "violation";
     case EventType::kEscalation: return "escalation";
     case EventType::kRecovery: return "recovery";
+    case EventType::kBackoffPark: return "backoff-park";
+    case EventType::kEscalationWakeup: return "escalation-wakeup";
+    case EventType::kCrash: return "crash";
+    case EventType::kRestart: return "restart";
   }
   return "?";
 }

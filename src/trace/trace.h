@@ -32,6 +32,11 @@ enum class EventType {
   kViolation,    // watchdog: a core's idle-while-overloaded streak turned persistent
   kEscalation,   // watchdog: forced global balancing round in response
   kRecovery,     // watchdog: a persistent violation cleared
+  // Real-thread executor events (recorded into per-worker SPSC rings):
+  kBackoffPark,       // bounded backoff park; detail = measured duration (ns)
+  kEscalationWakeup,  // a park cut short by a watchdog escalation epoch bump
+  kCrash,             // injected worker crash (thread exits)
+  kRestart,           // supervisor respawned a crashed worker slot
 };
 
 const char* EventTypeName(EventType type);

@@ -18,9 +18,14 @@ TEST(BatchSteal, MovesUpToTheBound) {
   const CoreAction action = balancer.ExecuteStealPhase(m, 0, 1, /*recheck=*/true,
                                                        /*max_steals=*/4);
   EXPECT_EQ(action.outcome, StealOutcome::kStole);
-  // 4 moves: (0,9)->(1,8)->(2,7)->(3,6)->(4,5); each re-check held.
+  // 4 moves: (0,9)->(1,8)->(2,7)->(3,6)->(4,5); each re-check held. The
+  // batch is ONE successful action (matching RoundResult::successes) that
+  // moved FOUR tasks — the old code conflated the two, reporting 4 successes
+  // here while a round tallied 1.
   EXPECT_EQ(m.Loads(LoadMetric::kTaskCount), (std::vector<int64_t>{4, 5}));
-  EXPECT_EQ(balancer.stats().successes, 4u);
+  EXPECT_EQ(action.moved, 4u);
+  EXPECT_EQ(balancer.stats().successes, 1u);
+  EXPECT_EQ(balancer.stats().tasks_moved, 4u);
 }
 
 TEST(BatchSteal, StopsWhenFilterFlips) {
@@ -31,6 +36,7 @@ TEST(BatchSteal, StopsWhenFilterFlips) {
   // (0,3)->(1,2): diff 1 < 2, the batch ends after one move despite bound 10.
   EXPECT_EQ(m.Loads(LoadMetric::kTaskCount), (std::vector<int64_t>{1, 2}));
   EXPECT_EQ(balancer.stats().successes, 1u);
+  EXPECT_EQ(balancer.stats().tasks_moved, 1u);
 }
 
 TEST(BatchSteal, FirstMoveFailureStillClassified) {
@@ -59,7 +65,7 @@ TEST(BatchSteal, PotentialStillStrictlyDecreasesPerBatch) {
         const CoreAction action = balancer.ExecuteStealPhase(m, thief, victim, true, 8);
         if (action.outcome == StealOutcome::kStole) {
           const int64_t after = m.Potential(LoadMetric::kTaskCount);
-          EXPECT_LE(after + 2 * static_cast<int64_t>(balancer.stats().successes), before)
+          EXPECT_LE(after + 2 * static_cast<int64_t>(balancer.stats().tasks_moved), before)
               << MachineState::FromLoads(loads).ToString();
         }
       }
@@ -101,6 +107,32 @@ TEST(BatchSteal, ManyThievesCanOvershootWithBatches) {
     return RunUntilQuiescent(balancer, m, rng, options);
   };
   EXPECT_LE(rounds_to_quiesce(1), rounds_to_quiesce(4));
+}
+
+TEST(BatchSteal, RoundAndCumulativeCountsAgree) {
+  // The regression this pins: successes counts ACTIONS (one per thieving
+  // core, like RoundResult) and tasks_moved counts migrations, so
+  //   successes <= tasks_moved <= successes * max_steals
+  // and the cumulative stats equal the sum over rounds. The old code added
+  // `moved` to successes, so cumulative successes disagreed with the round
+  // tallies whenever a batch moved more than one task.
+  LoadBalancer balancer(policies::MakeThreadCount());
+  MachineState m = MachineState::FromLoads({12, 0, 12, 0});
+  Rng rng(7);
+  RoundOptions options;
+  options.max_steals_per_attempt = 4;
+  uint64_t round_successes = 0;
+  uint64_t round_moved = 0;
+  for (int i = 0; i < 6; ++i) {
+    const RoundResult result = balancer.RunRound(m, rng, options);
+    EXPECT_LE(result.successes, result.tasks_moved);
+    EXPECT_LE(result.tasks_moved, result.successes * options.max_steals_per_attempt);
+    round_successes += result.successes;
+    round_moved += result.tasks_moved;
+  }
+  EXPECT_EQ(balancer.stats().successes, round_successes);
+  EXPECT_EQ(balancer.stats().tasks_moved, round_moved);
+  EXPECT_GT(balancer.stats().tasks_moved, balancer.stats().successes);
 }
 
 TEST(BatchSteal, NeverIdlesVictimEvenInBatches) {

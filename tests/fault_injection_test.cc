@@ -10,6 +10,7 @@
 #include "src/fault/fault.h"
 #include "src/sched/machine_state.h"
 #include "src/topology/topology.h"
+#include "src/trace/accounting.h"
 
 namespace optsched {
 namespace {
@@ -215,6 +216,40 @@ TEST(HierBalancerFaults, SeamsReachTheLadderEngine) {
 
   balancer.set_fault_injector(nullptr);
   EXPECT_FALSE(balancer.RunRound(machine, rng).dropped);
+}
+
+TEST(WatchdogFinalize, OpenTransientStreakCountsAtShutdown) {
+  // Regression: a violation streak still open when the run ended was never
+  // classified — the streak only got counted when a LATER round observed it
+  // ending, so a chaos run that stopped mid-streak under-reported transient
+  // violations. Finalize() closes the books.
+  trace::ConservationWatchdog watchdog(2, {.threshold_rounds = 10});
+  watchdog.ObserveRound(0, {0, 3});  // cpu0 idle-while-overloaded: streak 1
+  watchdog.ObserveRound(1, {0, 3});  // streak 2, still below threshold
+  EXPECT_EQ(watchdog.stats().transient_violations, 0u);  // nothing closed yet
+  watchdog.Finalize();
+  EXPECT_EQ(watchdog.stats().transient_violations, 1u);
+  EXPECT_EQ(watchdog.stats().persistent_violations, 0u);
+  EXPECT_EQ(watchdog.streak(0), 0u);
+  // Idempotent: a second call finds every streak cleared.
+  watchdog.Finalize();
+  EXPECT_EQ(watchdog.stats().transient_violations, 1u);
+}
+
+TEST(WatchdogFinalize, OpenPersistentStreakDoesNotCountAsRecovered) {
+  trace::ConservationWatchdog watchdog(2, {.threshold_rounds = 2});
+  for (uint64_t round = 0; round < 5; ++round) {
+    watchdog.ObserveRound(round, {0, 4});
+  }
+  EXPECT_EQ(watchdog.stats().persistent_violations, 1u);
+  EXPECT_TRUE(watchdog.in_violation());
+  watchdog.Finalize();
+  // Already counted at its threshold crossing; ending the run is neither a
+  // second violation nor a recovery.
+  EXPECT_EQ(watchdog.stats().persistent_violations, 1u);
+  EXPECT_EQ(watchdog.stats().recoveries, 0u);
+  EXPECT_EQ(watchdog.stats().transient_violations, 0u);
+  EXPECT_FALSE(watchdog.in_violation());
 }
 
 TEST(HierBalancerFaults, InjectedAbortsStayOutOfGenuineCounters) {

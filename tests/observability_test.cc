@@ -1,0 +1,209 @@
+// Unit tests for the concurrent observability layer: the SPSC trace ring,
+// the multi-ring collector, the metrics registry, and the Chrome trace-event
+// JSON exporter (docs/observability.md).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/trace/chrome_trace.h"
+#include "src/trace/collector.h"
+#include "src/trace/metrics.h"
+#include "src/trace/ring.h"
+#include "src/trace/trace.h"
+
+namespace optsched {
+namespace {
+
+using trace::EventType;
+using trace::MetricsRegistry;
+using trace::SpscTraceRing;
+using trace::TraceCollector;
+using trace::TraceEvent;
+
+TraceEvent At(uint64_t time, EventType type = EventType::kSteal, CpuId cpu = 0) {
+  return TraceEvent{.time = time, .type = type, .cpu = cpu};
+}
+
+// --- SpscTraceRing -----------------------------------------------------------
+
+TEST(SpscTraceRing, PushDrainPreservesOrder) {
+  SpscTraceRing ring(8);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ring.TryPush(At(i)));
+  }
+  EXPECT_EQ(ring.size(), 5u);
+  std::vector<TraceEvent> out;
+  EXPECT_EQ(ring.Drain(out), 5u);
+  ASSERT_EQ(out.size(), 5u);
+  for (uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out[i].time, i);
+  }
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.dropped(), 0u);
+}
+
+TEST(SpscTraceRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscTraceRing(5).capacity(), 8u);
+  EXPECT_EQ(SpscTraceRing(8).capacity(), 8u);
+  EXPECT_EQ(SpscTraceRing(1).capacity(), 2u);
+  EXPECT_EQ(SpscTraceRing(0).capacity(), 2u);
+}
+
+TEST(SpscTraceRing, FullRingDropsAndCounts) {
+  SpscTraceRing ring(4);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.TryPush(At(i)));
+  }
+  EXPECT_FALSE(ring.TryPush(At(4)));
+  EXPECT_FALSE(ring.TryPush(At(5)));
+  EXPECT_EQ(ring.dropped(), 2u);
+  // Draining frees the slots; pushing works again and keeps the drop count.
+  std::vector<TraceEvent> out;
+  EXPECT_EQ(ring.Drain(out), 4u);
+  EXPECT_TRUE(ring.TryPush(At(6)));
+  EXPECT_EQ(ring.dropped(), 2u);
+}
+
+TEST(SpscTraceRing, ConcurrentProducerConsumerLosesNothingButDrops) {
+  // One producer pushing a recognizable sequence, one consumer draining
+  // concurrently: every event that was ACCEPTED must come out exactly once
+  // and in order; pushed == drained + dropped.
+  SpscTraceRing ring(64);
+  constexpr uint64_t kEvents = 200'000;
+  std::atomic<bool> done{false};
+  uint64_t accepted = 0;
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kEvents; ++i) {
+      accepted += ring.TryPush(At(i)) ? 1 : 0;
+    }
+    done.store(true, std::memory_order_release);
+  });
+  std::vector<TraceEvent> out;
+  while (!done.load(std::memory_order_acquire)) {
+    ring.Drain(out);
+  }
+  ring.Drain(out);
+  producer.join();
+  EXPECT_EQ(out.size(), accepted);
+  EXPECT_EQ(out.size() + ring.dropped(), kEvents);
+  EXPECT_GT(out.size(), 0u);
+  // Accepted events surface in push order (times strictly increase).
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LT(out[i - 1].time, out[i].time);
+  }
+}
+
+// --- TraceCollector ----------------------------------------------------------
+
+TEST(TraceCollector, MergesRingsInTimeOrder) {
+  TraceCollector collector(3, 16);
+  // Interleaved times across rings.
+  collector.ring(0).TryPush(At(5, EventType::kSteal, 0));
+  collector.ring(1).TryPush(At(2, EventType::kStealFailed, 1));
+  collector.ring(2).TryPush(At(9, EventType::kCrash, 2));
+  collector.ring(1).TryPush(At(7, EventType::kSteal, 1));
+  const std::vector<TraceEvent>& events = collector.SortedEvents();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].time, 2u);
+  EXPECT_EQ(events[1].time, 5u);
+  EXPECT_EQ(events[2].time, 7u);
+  EXPECT_EQ(events[3].time, 9u);
+  EXPECT_EQ(collector.total_dropped(), 0u);
+}
+
+TEST(TraceCollector, AccumulatesAcrossCollectCalls) {
+  TraceCollector collector(1, 4);
+  collector.ring(0).TryPush(At(1));
+  collector.Collect();
+  collector.ring(0).TryPush(At(2));
+  collector.Collect();
+  EXPECT_EQ(collector.SortedEvents().size(), 2u);
+}
+
+TEST(TraceCollector, TotalsDropsAcrossRings) {
+  TraceCollector collector(2, 2);
+  for (uint64_t i = 0; i < 4; ++i) {
+    collector.ring(0).TryPush(At(i));
+    collector.ring(1).TryPush(At(i));
+  }
+  EXPECT_EQ(collector.total_dropped(), 4u);  // 2 drops per 2-slot ring
+}
+
+// --- MetricsRegistry ---------------------------------------------------------
+
+TEST(MetricsRegistry, SetAddGet) {
+  MetricsRegistry registry;
+  EXPECT_FALSE(registry.Has("x"));
+  EXPECT_DOUBLE_EQ(registry.Get("x"), 0.0);
+  registry.Add("x", 2.0);
+  registry.Add("x", 3.0);
+  registry.Set("y", 0.25);
+  EXPECT_DOUBLE_EQ(registry.Get("x"), 5.0);
+  EXPECT_DOUBLE_EQ(registry.Get("y"), 0.25);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsRegistry, MergeSumsSharedNamesKeepsDisjoint) {
+  MetricsRegistry a;
+  a.Set("shared", 10.0);
+  a.Set("only_a", 1.0);
+  MetricsRegistry b;
+  b.Set("shared", 5.0);
+  b.Set("only_b", 2.0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Get("shared"), 15.0);
+  EXPECT_DOUBLE_EQ(a.Get("only_a"), 1.0);
+  EXPECT_DOUBLE_EQ(a.Get("only_b"), 2.0);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(MetricsRegistry, TextAndJsonRenderIntegersCleanly) {
+  MetricsRegistry registry;
+  registry.Set("count", 42.0);
+  registry.Set("ratio", 0.5);
+  EXPECT_NE(registry.ToString().find("count=42\n"), std::string::npos);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"count\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ratio\":0.5"), std::string::npos) << json;
+}
+
+// --- Chrome trace JSON -------------------------------------------------------
+
+TEST(ChromeTrace, InstantAndDurationEventsWithMetadata) {
+  std::vector<TraceEvent> events;
+  events.push_back(TraceEvent{
+      .time = 10, .type = EventType::kSteal, .cpu = 1, .task = 7, .other_cpu = 3});
+  // Backoff park: detail is the measured duration in ns -> "X" with dur in us.
+  events.push_back(
+      TraceEvent{.time = 20, .type = EventType::kBackoffPark, .cpu = 2, .detail = 1500});
+  const std::string json =
+      trace::ToChromeTraceJson(events, /*dropped=*/3, {"worker 0", "worker 1", "worker 2"});
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"steal\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"backoff-park\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"other_cpu\":3"), std::string::npos);
+  // Lane metadata for both lanes that appear, and the drop count.
+  EXPECT_NE(json.find("\"name\":\"worker 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"worker 2\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\":3"), std::string::npos);
+}
+
+TEST(ChromeTrace, UnnamedLanesGetFallbackLabels) {
+  std::vector<TraceEvent> events = {At(1, EventType::kRound, /*cpu=*/5)};
+  const std::string json = trace::ToChromeTraceJson(events);
+  EXPECT_NE(json.find("\"name\":\"lane 5\""), std::string::npos) << json;
+}
+
+TEST(ChromeTrace, EmptyStreamIsStillValidJson) {
+  const std::string json = trace::ToChromeTraceJson({});
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace optsched

@@ -79,6 +79,31 @@ TEST(TimeAccountant, FirstAdvanceOnlyPrimes) {
   EXPECT_EQ(acc.busy_us(0), 50u);
 }
 
+TEST(TimeAccountant, NonzeroPrimingTimeDoesNotDiluteFractions) {
+  // Regression: wasted_fraction() divided by the ABSOLUTE last time, so an
+  // accountant primed at t=1000 counted the unseen [0,1000) span as
+  // non-wasted wall time and under-reported the fraction. Elapsed time is
+  // last - first, and the fractions are relative to it.
+  TimeAccountant acc(2);
+  acc.AdvanceTo(1000, MachineState::FromLoads({2, 0}));  // prime at t=1000
+  acc.AdvanceTo(1010, MachineState::FromLoads({2, 0}));  // wasted 10us
+  acc.AdvanceTo(1020, MachineState::FromLoads({1, 1}));  // balanced 10us
+  EXPECT_EQ(acc.elapsed_us(), 20u);
+  EXPECT_EQ(acc.wasted_us(), 10u);
+  // 10 wasted out of 20 observed — NOT 10 out of 1020.
+  EXPECT_DOUBLE_EQ(acc.wasted_fraction(), 0.5);
+  const std::string text = acc.ToString();
+  EXPECT_NE(text.find("elapsed=20us"), std::string::npos) << text;
+}
+
+TEST(TimeAccountant, UnprimedOrSinglePointHasZeroFraction) {
+  TimeAccountant acc(2);
+  EXPECT_DOUBLE_EQ(acc.wasted_fraction(), 0.0);
+  acc.AdvanceTo(500, MachineState::FromLoads({3, 0}));
+  EXPECT_EQ(acc.elapsed_us(), 0u);
+  EXPECT_DOUBLE_EQ(acc.wasted_fraction(), 0.0);  // no div-by-zero, no NaN
+}
+
 TEST(TimeAccountantDeath, TimeMustBeMonotone) {
   TimeAccountant acc(1);
   MachineState m = MachineState::FromLoads({1});
