@@ -1,7 +1,11 @@
-// simctl: drive the simulator from the command line.
+// simctl: drive the simulator — or the model checker — from the command line.
 //
 //   $ build/examples/simctl --policy=thread-count --nodes=2 --cpus=8 \
 //         --workload=oltp --workers=32 --duration-ms=2000 --seed=7 [--timeline]
+//
+//   $ build/examples/simctl --mc --policy=broken-cansteal --mc-loads=0,1,2 \
+//         --mc-attempts=3 --mc-bound=3 --minimize --mc-out=cex.json
+//   $ build/examples/simctl --mc --replay=cex.json --trace-out=cex_trace.json
 //
 // Workloads: imbalance | forkjoin | oltp | poisson.
 // Policies:  any name from the registry (see --help).
@@ -16,6 +20,18 @@
 #include "src/trace/chrome_trace.h"
 #include "src/trace/metrics.h"
 #include "src/workload/workloads.h"
+
+#if OPTSCHED_MC_HOOKS
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "src/mc/explorer.h"
+#include "src/mc/harness.h"
+#include "src/mc/schedule.h"
+#include "src/mc/trace_export.h"
+#endif
 
 namespace {
 
@@ -57,7 +73,216 @@ void PrintUsage(const char* prog) {
   std::printf("  --timeline          render the per-cpu load timeline\n");
   std::printf("  --trace-out=PATH    write a Chrome trace-event JSON (chrome://tracing)\n");
   std::printf("  --metrics           dump the full metrics registry (name=value lines)\n");
+  std::printf("model checker (src/mc):\n");
+  std::printf("  --mc                explore schedules of the real steal protocol instead\n");
+  std::printf("  --mc-harness=MODE   balance | drain | epoch (default balance)\n");
+  std::printf("  --mc-loads=CSV      items seeded per queue, e.g. 0,1,2 (size = workers)\n");
+  std::printf("  --mc-workers=N      shorthand for --mc-loads=0,1,...,N-1\n");
+  std::printf("  --mc-attempts=N     steal attempts per worker (default 2)\n");
+  std::printf("  --mc-bound=N        preemption bound for exhaustive mode (default 2)\n");
+  std::printf("  --mc-mode=KIND      exhaustive | pct (default exhaustive)\n");
+  std::printf("  --mc-samples=N      PCT executions to sample (default 256)\n");
+  std::printf("  --replay=FILE       replay a recorded schedule JSON instead of exploring\n");
+  std::printf("  --minimize          shrink a found counterexample before reporting\n");
+  std::printf("  --mc-out=PATH       write the counterexample schedule JSON\n");
+  std::printf("  (--trace-out and --seed also apply to --mc runs)\n");
 }
+
+#if OPTSCHED_MC_HOOKS
+
+std::vector<int64_t> ParseLoads(const std::string& csv) {
+  std::vector<int64_t> loads;
+  std::stringstream stream(csv);
+  std::string field;
+  while (std::getline(stream, field, ',')) {
+    if (!field.empty()) {
+      loads.push_back(std::atoll(field.c_str()));
+    }
+  }
+  return loads;
+}
+
+void PrintReports(const std::vector<optsched::mc::PropertyReport>& reports) {
+  for (const auto& report : reports) {
+    std::printf("  %-18s %s%s%s\n", report.name.c_str(), report.holds ? "HOLDS" : "VIOLATED",
+                report.detail.empty() ? "" : " — ", report.detail.c_str());
+  }
+}
+
+bool WriteFileOrComplain(const std::string& path, const std::string& content,
+                         const char* what) {
+  if (!optsched::trace::WriteStringToFile(path, content)) {
+    std::fprintf(stderr, "failed to write %s to '%s'\n", what, path.c_str());
+    return false;
+  }
+  std::printf("%s: -> %s\n", what, path.c_str());
+  return true;
+}
+
+// Replays a committed schedule. Exit 0 = the replay reproduced the recorded
+// verdict (the named property violated again, or a clean run stayed clean).
+int RunMcReplay(const std::string& path, const std::string& trace_out) {
+  using namespace optsched::mc;
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot read schedule '%s'\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::optional<Schedule> schedule = Schedule::FromJson(buffer.str());
+  if (!schedule.has_value()) {
+    std::fprintf(stderr, "'%s' is not a valid schedule JSON\n", path.c_str());
+    return 2;
+  }
+
+  StealHarness harness(StealHarness::Config::FromSchedule(*schedule));
+  const ExecutionResult result = ReplayChoices(harness.Factory(), schedule->choices);
+  const bool diverged = result.choices != schedule->choices;
+  std::printf("replay:    %s (%zu choices%s)\n", path.c_str(), schedule->choices.size(),
+              diverged ? ", DIVERGED" : "");
+  const std::vector<PropertyReport> reports = harness.Evaluate(result);
+  PrintReports(reports);
+  if (!trace_out.empty() &&
+      !WriteFileOrComplain(trace_out, ExecutionToChromeTraceJson(result, harness.num_workers()),
+                           "trace")) {
+    return 1;
+  }
+
+  bool reproduced;
+  if (!schedule->property.empty()) {
+    reproduced = false;
+    for (const PropertyReport& report : reports) {
+      reproduced |= report.name == schedule->property && !report.holds;
+    }
+    if (!reproduced) {
+      std::fprintf(stderr, "recorded %s violation did NOT reproduce\n",
+                   schedule->property.c_str());
+    }
+  } else {
+    reproduced = StealHarness::FirstViolation(reports) == nullptr && !diverged;
+  }
+  return reproduced ? 0 : 1;
+}
+
+// Explores the configured harness. Exit 0 = every property held on every
+// explored schedule; 1 = a counterexample was found (and written, if asked).
+int RunMcExplore(int argc, char** argv) {
+  using namespace optsched::mc;
+  StealHarness::Config config;
+  config.mode = FlagValue(argc, argv, "mc-harness", "balance");
+  config.policy = FlagValue(argc, argv, "policy", "thread-count");
+  config.attempts_per_worker =
+      static_cast<uint32_t>(std::atoi(FlagValue(argc, argv, "mc-attempts", "2").c_str()));
+  config.seed = static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "seed", "1").c_str()));
+  config.initial_loads = ParseLoads(FlagValue(argc, argv, "mc-loads", ""));
+  if (config.initial_loads.empty()) {
+    const int workers = std::atoi(FlagValue(argc, argv, "mc-workers", "3").c_str());
+    for (int i = 0; i < workers; ++i) {
+      config.initial_loads.push_back(i);  // a simple imbalance ramp
+    }
+  }
+  StealHarness harness(config);
+  std::printf("mc:        %s harness, policy %s, loads ", config.mode.c_str(),
+              config.policy.c_str());
+  for (size_t i = 0; i < config.initial_loads.size(); ++i) {
+    std::printf("%s%lld", i ? "," : "", static_cast<long long>(config.initial_loads[i]));
+  }
+  std::printf(", %u attempts, d0/2 = %lld\n", config.attempts_per_worker,
+              static_cast<long long>(harness.InitialPotential() / 2));
+
+  std::vector<uint32_t> counterexample;
+  std::vector<PropertyReport> violated_reports;
+  auto sink = [&](const ExecutionResult& result, uint32_t) {
+    const std::vector<PropertyReport> reports = harness.Evaluate(result);
+    if (StealHarness::FirstViolation(reports) != nullptr) {
+      counterexample = result.choices;
+      violated_reports = reports;
+      return false;
+    }
+    return true;
+  };
+
+  const std::string mode = FlagValue(argc, argv, "mc-mode", "exhaustive");
+  uint64_t executions = 0;
+  if (mode == "exhaustive") {
+    DfsExplorer::Options options;
+    options.max_preemptions =
+        static_cast<uint32_t>(std::atoi(FlagValue(argc, argv, "mc-bound", "2").c_str()));
+    DfsExplorer explorer(options);
+    const ExploreStats stats = explorer.Explore(harness.Factory(), sink);
+    executions = stats.schedules_explored;
+    std::printf("explored:  %llu schedules (%llu pruned, %llu deadlocks, bound %u)%s\n",
+                static_cast<unsigned long long>(stats.schedules_explored),
+                static_cast<unsigned long long>(stats.schedules_pruned),
+                static_cast<unsigned long long>(stats.deadlocks), stats.bound_reached,
+                stats.budget_exhausted ? " [budget exhausted]" : "");
+  } else if (mode == "pct") {
+    const int samples = std::atoi(FlagValue(argc, argv, "mc-samples", "256").c_str());
+    PctStrategy pct(harness.num_workers(), /*depth_estimate=*/256, /*num_change_points=*/3,
+                    config.seed);
+    for (int i = 0; i < samples && counterexample.empty(); ++i) {
+      Scheduler scheduler;
+      const ExecutionResult result = scheduler.Run(harness.MakeBodies(), pct);
+      ++executions;
+      (void)sink(result, 0);
+      pct.Reset();
+    }
+    std::printf("sampled:   %llu PCT executions\n", static_cast<unsigned long long>(executions));
+  } else {
+    std::fprintf(stderr, "unknown --mc-mode '%s' (exhaustive | pct)\n", mode.c_str());
+    return 2;
+  }
+
+  if (counterexample.empty() && violated_reports.empty()) {
+    std::printf("verdict:   all properties hold on every explored schedule\n");
+    return 0;
+  }
+
+  const PropertyReport* first = StealHarness::FirstViolation(violated_reports);
+  std::printf("verdict:   VIOLATED (%zu choices)\n", counterexample.size());
+  PrintReports(violated_reports);
+
+  auto violates_same = [&](const ExecutionResult& result) {
+    for (const PropertyReport& report : harness.Evaluate(result)) {
+      if (report.name == first->name && !report.holds) {
+        return true;
+      }
+    }
+    return false;
+  };
+  if (HasFlag(argc, argv, "minimize")) {
+    const size_t before = counterexample.size();
+    counterexample = MinimizeCounterexample(harness.Factory(), counterexample, violates_same);
+    std::printf("minimized: %zu -> %zu choices\n", before, counterexample.size());
+  }
+
+  // Pin down the final execution for the schedule note and the trace.
+  const ExecutionResult final_run = ReplayChoices(harness.Factory(), counterexample);
+  const std::vector<PropertyReport> final_reports = harness.Evaluate(final_run);
+  Schedule schedule = harness.MakeSchedule(counterexample);
+  schedule.property = first->name;
+  for (const PropertyReport& report : final_reports) {
+    if (report.name == first->name && !report.holds) {
+      schedule.note = report.detail;
+    }
+  }
+
+  const std::string mc_out = FlagValue(argc, argv, "mc-out", "");
+  if (!mc_out.empty() && !WriteFileOrComplain(mc_out, schedule.ToJson(), "schedule")) {
+    return 2;
+  }
+  const std::string trace_out = FlagValue(argc, argv, "trace-out", "");
+  if (!trace_out.empty() &&
+      !WriteFileOrComplain(trace_out,
+                           ExecutionToChromeTraceJson(final_run, harness.num_workers()),
+                           "trace")) {
+    return 2;
+  }
+  return 1;
+}
+
+#endif  // OPTSCHED_MC_HOOKS
 
 }  // namespace
 
@@ -66,6 +291,19 @@ int main(int argc, char** argv) {
   if (HasFlag(argc, argv, "help")) {
     PrintUsage(argv[0]);
     return 0;
+  }
+
+  if (HasFlag(argc, argv, "mc")) {
+#if OPTSCHED_MC_HOOKS
+    const std::string replay = FlagValue(argc, argv, "replay", "");
+    if (!replay.empty()) {
+      return RunMcReplay(replay, FlagValue(argc, argv, "trace-out", ""));
+    }
+    return RunMcExplore(argc, argv);
+#else
+    std::fprintf(stderr, "model checker not built: reconfigure with -DOPTSCHED_MC_HOOKS=ON\n");
+    return 2;
+#endif
   }
 
   const uint32_t nodes = static_cast<uint32_t>(std::atoi(FlagValue(argc, argv, "nodes", "2").c_str()));

@@ -1,0 +1,123 @@
+#include "src/mc/fiber.h"
+
+#include "src/base/check.h"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define OPTSCHED_MC_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define OPTSCHED_MC_ASAN 1
+#endif
+#endif
+
+#ifdef OPTSCHED_MC_ASAN
+#include <sanitizer/common_interface_defs.h>
+#endif
+
+namespace optsched::mc {
+
+namespace {
+
+// Trampoline argument channel: makecontext only passes ints, and the fiber
+// layer is strictly single-OS-thread, so a thread_local slot is exact.
+thread_local Fiber* tls_entering_fiber = nullptr;
+
+struct AsanSwitch {
+  const void* bottom = nullptr;
+  size_t size = 0;
+};
+
+// The scheduler-side stack extent, learned on the first entry into any fiber
+// (ASan reports the stack we came from); needed to annotate switches back.
+thread_local AsanSwitch tls_scheduler_stack;
+
+void AsanStartSwitch(void** fake_stack_save, const void* bottom, size_t size) {
+#ifdef OPTSCHED_MC_ASAN
+  __sanitizer_start_switch_fiber(fake_stack_save, bottom, size);
+#else
+  (void)fake_stack_save;
+  (void)bottom;
+  (void)size;
+#endif
+}
+
+void AsanFinishSwitch(void* fake_stack_save, const void** bottom_out, size_t* size_out) {
+#ifdef OPTSCHED_MC_ASAN
+  __sanitizer_finish_switch_fiber(fake_stack_save, bottom_out, size_out);
+#else
+  (void)fake_stack_save;
+  if (bottom_out != nullptr) *bottom_out = nullptr;
+  if (size_out != nullptr) *size_out = 0;
+#endif
+}
+
+}  // namespace
+
+Fiber::Fiber(std::function<void()> body, size_t stack_size)
+    : stack_(new char[stack_size]), stack_size_(stack_size), body_(std::move(body)) {
+  OPTSCHED_CHECK(stack_size_ >= 16 * 1024);
+}
+
+Fiber::~Fiber() {
+  // A live fiber's stack holds objects with destructors; unwind it first.
+  if (started_ && !finished_) {
+    Abort();
+  }
+}
+
+void Fiber::Trampoline() {
+  Fiber* self = tls_entering_fiber;
+  tls_entering_fiber = nullptr;
+  // First arrival on this stack: no fake stack to restore; record where the
+  // scheduler's stack lives for the switches back.
+  AsanFinishSwitch(nullptr, &tls_scheduler_stack.bottom, &tls_scheduler_stack.size);
+  if (!self->aborting_) {
+    try {
+      self->body_();
+    } catch (const FiberAbort&) {
+      // Unwound on abandonment; nothing to do — the stack is now clean.
+    }
+  }
+  self->finished_ = true;
+  // Final exit: a null save handle tells ASan to destroy this fiber's fake
+  // stack rather than preserve it for a return that will never happen.
+  AsanStartSwitch(nullptr, tls_scheduler_stack.bottom, tls_scheduler_stack.size);
+  swapcontext(&self->context_, &self->return_context_);
+  OPTSCHED_CHECK_MSG(false, "finished fiber resumed");
+}
+
+void Fiber::Resume() {
+  OPTSCHED_CHECK(!finished_);
+  if (!started_) {
+    started_ = true;
+    getcontext(&context_);
+    context_.uc_stack.ss_sp = stack_.get();
+    context_.uc_stack.ss_size = stack_size_;
+    context_.uc_link = nullptr;
+    makecontext(&context_, reinterpret_cast<void (*)()>(&Fiber::Trampoline), 0);
+    tls_entering_fiber = this;
+  }
+  AsanStartSwitch(&fake_stack_return_, stack_.get(), stack_size_);
+  swapcontext(&return_context_, &context_);
+  AsanFinishSwitch(fake_stack_return_, nullptr, nullptr);
+}
+
+void Fiber::Yield() {
+  AsanStartSwitch(&fake_stack_fiber_, tls_scheduler_stack.bottom, tls_scheduler_stack.size);
+  swapcontext(&context_, &return_context_);
+  AsanFinishSwitch(fake_stack_fiber_, nullptr, nullptr);
+  if (aborting_) {
+    throw FiberAbort{};
+  }
+}
+
+void Fiber::Abort() {
+  if (finished_) {
+    return;
+  }
+  aborting_ = true;
+  Resume();  // pending Yield() throws; trampoline catches and finishes
+  OPTSCHED_CHECK(finished_);
+}
+
+}  // namespace optsched::mc

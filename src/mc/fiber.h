@@ -1,0 +1,77 @@
+// Cooperative fibers (ucontext) for the deterministic model checker.
+//
+// The checker runs every virtual worker on ONE OS thread: a fiber switch is a
+// plain swapcontext (~100ns, no kernel involvement, no preemption), so an
+// execution is a pure function of the scheduling choices — the property that
+// makes schedule record/replay exact and DFS exploration meaningful. Real
+// threads would reintroduce the nondeterminism we are trying to enumerate.
+//
+// Abandoning an execution midway (deadlock found, property violated, sleep-set
+// pruned) must not leak: Abort() resumes the fiber one last time and the
+// scheduler's hook throws FiberAbort from the suspension point, unwinding the
+// fiber's stack through all destructors; the trampoline catches it at the top.
+//
+// Under AddressSanitizer, stack switches are announced via the
+// __sanitizer_*_switch_fiber API so ASan tracks the fiber stacks instead of
+// reporting false positives on them.
+
+#ifndef OPTSCHED_SRC_MC_FIBER_H_
+#define OPTSCHED_SRC_MC_FIBER_H_
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace optsched::mc {
+
+// Thrown through a fiber's stack to unwind it when an execution is abandoned.
+struct FiberAbort {};
+
+class Fiber {
+ public:
+  // `body` runs on the fiber's own stack the first time Resume() is called.
+  explicit Fiber(std::function<void()> body, size_t stack_size = 256 * 1024);
+  ~Fiber();
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  // Switches from the calling (scheduler) context into the fiber; returns
+  // when the fiber calls Yield() or its body finishes. Must not be called on
+  // a finished fiber.
+  void Resume();
+
+  // Called from inside the fiber's body: suspends it and returns control to
+  // the Resume() caller. Throws FiberAbort if the fiber is being abandoned.
+  void Yield();
+
+  // Resumes the fiber with the abort flag set, so its pending Yield() throws
+  // FiberAbort and the stack unwinds. No-op on a finished fiber.
+  void Abort();
+
+  bool finished() const { return finished_; }
+
+ private:
+  static void Trampoline();
+
+  void SwitchInto();
+  void SwitchOut();
+
+  ucontext_t context_;
+  ucontext_t return_context_;
+  std::unique_ptr<char[]> stack_;
+  size_t stack_size_;
+  std::function<void()> body_;
+  bool started_ = false;
+  bool finished_ = false;
+  bool aborting_ = false;
+  // ASan fake-stack handles for the two directions of the switch.
+  void* fake_stack_fiber_ = nullptr;
+  void* fake_stack_return_ = nullptr;
+};
+
+}  // namespace optsched::mc
+
+#endif  // OPTSCHED_SRC_MC_FIBER_H_

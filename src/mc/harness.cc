@@ -1,0 +1,310 @@
+#include "src/mc/harness.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+#include "src/base/str.h"
+#include "src/core/policies/registry.h"
+#include "src/sched/machine_state.h"
+
+namespace optsched::mc {
+
+using runtime::ConcurrentMachine;
+using runtime::StealCounters;
+using runtime::StealObservation;
+using runtime::WorkItem;
+
+StealHarness::Config StealHarness::Config::FromSchedule(const Schedule& schedule) {
+  Config config;
+  config.mode = schedule.harness;
+  config.policy = schedule.policy;
+  config.initial_loads = schedule.initial_loads;
+  config.attempts_per_worker = schedule.attempts_per_worker;
+  config.seed = schedule.seed;
+  config.recheck = schedule.recheck;
+  return config;
+}
+
+StealHarness::StealHarness(Config config)
+    : config_(std::move(config)),
+      topology_(Topology::Smp(static_cast<uint32_t>(config_.initial_loads.size()))) {
+  OPTSCHED_CHECK(!config_.initial_loads.empty());
+  OPTSCHED_CHECK_MSG(
+      config_.mode == "balance" || config_.mode == "drain" || config_.mode == "epoch",
+      "unknown harness mode");
+  policy_ = policies::MakePolicyByName(config_.policy, topology_);
+  OPTSCHED_CHECK_MSG(policy_ != nullptr, "unknown policy name");
+}
+
+int64_t StealHarness::InitialPotential() const {
+  return PotentialOfLoads(config_.initial_loads);
+}
+
+std::vector<std::function<void()>> StealHarness::MakeBodies() {
+  const uint32_t n = num_workers();
+  machine_ = std::make_unique<ConcurrentMachine>(n);
+  counters_.assign(n, StealCounters{});
+  initial_item_ids_.clear();
+  epoch_ = 0;
+  uint64_t next_id = 1;
+  for (uint32_t q = 0; q < n; ++q) {
+    for (int64_t k = 0; k < config_.initial_loads[q]; ++k) {
+      machine_->queue(q).Push(WorkItem{.id = next_id, .work_units = 1, .weight = 1024});
+      initial_item_ids_.push_back(next_id);
+      ++next_id;
+    }
+  }
+  std::vector<std::function<void()>> bodies;
+  bodies.reserve(n);
+  for (uint32_t w = 0; w < n; ++w) {
+    if (config_.mode == "balance") {
+      bodies.push_back([this, w] { BalanceBody(w); });
+    } else if (config_.mode == "drain") {
+      bodies.push_back([this, w] { DrainBody(w); });
+    } else {
+      bodies.push_back([this, w] { EpochBody(w); });
+    }
+  }
+  return bodies;
+}
+
+BodyFactory StealHarness::Factory() {
+  return [this] { return MakeBodies(); };
+}
+
+void StealHarness::StealOnce(uint32_t worker, Rng& rng) {
+  Scheduler* scheduler = ActiveScheduler();
+  OPTSCHED_CHECK(scheduler != nullptr);
+  // The snapshot marker precedes the seqlock reads: a steal interleaved into
+  // the middle of Snapshot() is inside the causality window too.
+  scheduler->Note(kUserSnapshot, static_cast<int64_t>(counters_[worker].attempts));
+  const LoadSnapshot snapshot = machine_->Snapshot();
+  scheduler->Yield();  // the selection→stealing gap where staleness develops
+
+  const StealCounters before = counters_[worker];
+  CpuId victim = 0;
+  StealObservation observation;
+  const bool ok = machine_->TrySteal(*policy_, worker, snapshot, rng, config_.recheck,
+                                     counters_[worker], &topology_, &victim, &observation);
+  const StealCounters& after = counters_[worker];
+  if (ok) {
+    scheduler->Note(kUserStealOk, victim, observation.victim_tasks_after,
+                    static_cast<int64_t>(observation.item_id));
+  } else if (after.failed_recheck > before.failed_recheck) {
+    scheduler->Note(kUserStealFailRecheck, victim);
+  } else if (after.failed_no_task > before.failed_no_task) {
+    scheduler->Note(kUserStealFailNoTask, victim);
+  } else {
+    scheduler->Note(kUserStealEmptyFilter);
+  }
+}
+
+void StealHarness::BalanceBody(uint32_t worker) {
+  Scheduler* scheduler = ActiveScheduler();
+  Rng rng(config_.seed * 0x9e3779b97f4a7c15ull + worker + 1);
+  for (uint32_t attempt = 0; attempt < config_.attempts_per_worker; ++attempt) {
+    StealOnce(worker, rng);
+    scheduler->Yield();  // attempt boundary: a free switch point
+  }
+}
+
+void StealHarness::DrainBody(uint32_t worker) {
+  Scheduler* scheduler = ActiveScheduler();
+  Rng rng(config_.seed * 0x9e3779b97f4a7c15ull + worker + 1);
+  uint32_t steal_attempts = 0;
+  for (;;) {
+    std::optional<WorkItem> item = machine_->queue(worker).PopForRun();
+    if (item.has_value()) {
+      scheduler->Note(kUserExecuteItem, static_cast<int64_t>(item->id));
+      scheduler->Yield();  // the item "runs" here
+      machine_->queue(worker).FinishCurrent();
+      continue;
+    }
+    if (steal_attempts >= config_.attempts_per_worker) {
+      return;
+    }
+    ++steal_attempts;
+    StealOnce(worker, rng);
+    scheduler->Yield();
+  }
+}
+
+void StealHarness::EpochBody(uint32_t worker) {
+  Scheduler* scheduler = ActiveScheduler();
+  if (worker == 0) {
+    // Supervisor: one escalation, modeled after Executor's epoch bump. The
+    // explicit sync point keeps the bump visible to the dependence relation
+    // (sleep-set pruning must not commute it past the workers' loads).
+    scheduler->Yield();
+    scheduler->OnSync(SyncOp::kEpochBump, &epoch_);
+    ++epoch_;
+    scheduler->Note(kUserEpochBump, static_cast<int64_t>(epoch_));
+    return;
+  }
+  // Worker: the executor's lost-wakeup-free park. Reading a post-bump epoch
+  // skips the park entirely; otherwise block until the supervisor moves it.
+  scheduler->OnSync(SyncOp::kEpochLoad, &epoch_);
+  if (epoch_ == 0) {
+    scheduler->Note(kUserPark);
+    scheduler->BlockUntil(SyncOp::kEpochLoad, &epoch_, [this] { return epoch_ != 0; });
+  }
+  scheduler->Note(kUserWake);
+}
+
+const PropertyReport* StealHarness::FirstViolation(const std::vector<PropertyReport>& reports) {
+  for (const PropertyReport& report : reports) {
+    if (!report.holds) {
+      return &report;
+    }
+  }
+  return nullptr;
+}
+
+Schedule StealHarness::MakeSchedule(const std::vector<uint32_t>& choices) const {
+  Schedule schedule;
+  schedule.harness = config_.mode;
+  schedule.policy = config_.policy;
+  schedule.initial_loads = config_.initial_loads;
+  schedule.attempts_per_worker = config_.attempts_per_worker;
+  schedule.seed = config_.seed;
+  schedule.recheck = config_.recheck;
+  schedule.choices = choices;
+  return schedule;
+}
+
+std::vector<PropertyReport> StealHarness::Evaluate(const ExecutionResult& result) {
+  OPTSCHED_CHECK_MSG(machine_ != nullptr, "Evaluate before MakeBodies");
+  std::vector<PropertyReport> reports;
+  auto add = [&](const char* name, bool holds, std::string detail = "") {
+    reports.push_back(PropertyReport{name, holds, std::move(detail)});
+  };
+
+  // Termination first: a deadlock or step-cap means the machine state cannot
+  // be trusted (a worker may have been unwound mid-protocol).
+  if (config_.mode == "epoch") {
+    bool holds = !result.deadlock && !result.step_limit_hit;
+    std::string detail = result.deadlock ? result.deadlock_note : "";
+    if (holds) {
+      // Every park must be answered by a wake of the same thread, and only
+      // after the epoch bump.
+      int64_t bump_index = -1;
+      std::vector<int64_t> park_index(num_workers(), -1);
+      for (size_t i = 0; i < result.events.size(); ++i) {
+        const McEvent& event = result.events[i];
+        if (event.user_kind == kUserEpochBump) {
+          bump_index = static_cast<int64_t>(i);
+        } else if (event.user_kind == kUserPark) {
+          park_index[event.thread] = static_cast<int64_t>(i);
+        } else if (event.user_kind == kUserWake) {
+          if (park_index[event.thread] >= 0 && bump_index < park_index[event.thread]) {
+            holds = false;
+            detail = StrFormat("worker %u woke without an epoch bump after its park",
+                               event.thread);
+          }
+          park_index[event.thread] = -1;
+        }
+      }
+      for (uint32_t w = 0; w < num_workers(); ++w) {
+        if (park_index[w] >= 0) {
+          holds = false;
+          detail = StrFormat("worker %u parked and never woke", w);
+        }
+      }
+    }
+    add("epoch-wakeup", holds, std::move(detail));
+    return reports;
+  }
+
+  if (result.deadlock || result.step_limit_hit) {
+    add("termination", false,
+        result.deadlock ? result.deadlock_note : "decision-step limit hit");
+    return reports;
+  }
+  add("termination", true);
+
+  // --- no-lost-items: initial multiset == remaining ∪ executed ---------------
+  std::vector<uint64_t> seen;
+  for (const McEvent& event : result.events) {
+    if (event.user_kind == kUserExecuteItem) {
+      seen.push_back(static_cast<uint64_t>(event.arg0));
+    }
+  }
+  for (uint32_t q = 0; q < num_workers(); ++q) {
+    runtime::ConcurrentRunQueue& queue = machine_->queue(q);
+    while (std::optional<WorkItem> item = queue.PopForRun()) {
+      seen.push_back(item->id);
+      queue.FinishCurrent();
+    }
+  }
+  std::vector<uint64_t> expected = initial_item_ids_;
+  std::sort(seen.begin(), seen.end());
+  std::sort(expected.begin(), expected.end());
+  add("no-lost-items", seen == expected,
+      seen == expected ? ""
+                       : StrFormat("item multiset changed: %zu seeded, %zu accounted",
+                                   expected.size(), seen.size()));
+
+  // --- steal-safety: no successful steal idled its victim --------------------
+  uint64_t successes = 0;
+  for (const McEvent& event : result.events) {
+    if (event.user_kind != kUserStealOk) {
+      continue;
+    }
+    ++successes;
+    if (event.arg1 < 1) {
+      add("steal-safety", false,
+          StrFormat("worker %u idled victim %lld at step %u", event.thread,
+                    static_cast<long long>(event.arg0), event.step));
+    }
+  }
+  if (reports.back().name != "steal-safety") {
+    add("steal-safety", true);
+  }
+
+  if (config_.mode != "balance") {
+    return reports;
+  }
+
+  // --- bounded-steals: successes ≤ d(initial)/2 (§4.3) -----------------------
+  const int64_t bound = InitialPotential() / 2;
+  add("bounded-steals", static_cast<int64_t>(successes) <= bound,
+      static_cast<int64_t>(successes) <= bound
+          ? ""
+          : StrFormat("%llu successful steals > d0/2 = %lld",
+                      static_cast<unsigned long long>(successes),
+                      static_cast<long long>(bound)));
+
+  // --- failure-causality: every failed re-check has a concurrent successful
+  // steal inside its snapshot→recheck window (§4.2) --------------------------
+  {
+    bool holds = true;
+    std::string detail;
+    std::vector<int64_t> last_snapshot(num_workers(), -1);
+    for (size_t i = 0; i < result.events.size() && holds; ++i) {
+      const McEvent& event = result.events[i];
+      if (event.user_kind == kUserSnapshot) {
+        last_snapshot[event.thread] = static_cast<int64_t>(i);
+      } else if (event.user_kind == kUserStealFailRecheck) {
+        bool caused = false;
+        for (int64_t j = last_snapshot[event.thread] + 1; j < static_cast<int64_t>(i); ++j) {
+          const McEvent& cause = result.events[j];
+          if (cause.user_kind == kUserStealOk && cause.thread != event.thread) {
+            caused = true;
+            break;
+          }
+        }
+        if (!caused) {
+          holds = false;
+          detail = StrFormat(
+              "worker %u failed its re-check at step %u with no concurrent steal in the window",
+              event.thread, event.step);
+        }
+      }
+    }
+    add("failure-causality", holds, std::move(detail));
+  }
+
+  return reports;
+}
+
+}  // namespace optsched::mc

@@ -1,0 +1,106 @@
+// Model-checking harness: the real steal protocol (ConcurrentMachine +
+// BalancePolicy, the same code the executor runs) driven by N virtual
+// workers, with the paper's properties evaluated over each execution.
+//
+// Three worker-loop modes:
+//   * "balance" — Figure 1's loop in isolation: snapshot, (yield), steal,
+//     repeat for a fixed attempt budget. Queues only change through steals,
+//     which is what makes failure causality and the d0/2 steal bound exact.
+//   * "drain"   — owners pop/execute their own queues and steal when empty,
+//     so conservation is checked against the executed-item record too.
+//   * "epoch"   — the executor's escalation-epoch protocol in miniature: a
+//     parked worker blocks on an epoch change, a supervisor bumps it; the
+//     property is that the bump wakes the worker (a miss is a deadlock).
+//
+// Properties (per mode):
+//   no-lost-items     — multiset{initial items} == queued ∪ executed after.
+//   steal-safety      — no successful steal left its victim idle (observed
+//                       under both locks, §4.1).
+//   bounded-steals    — successful steals ≤ d(initial)/2 (§4.3): every
+//                       permitted migration strictly decreases the potential.
+//   failure-causality — every failed re-check has a concurrent successful
+//                       steal inside its snapshot→recheck window (§4.2: all
+//                       failures are caused by the optimism, not spurious).
+//   epoch-wakeup      — no deadlock, and every park is followed by a wake
+//                       after an epoch bump.
+
+#ifndef OPTSCHED_SRC_MC_HARNESS_H_
+#define OPTSCHED_SRC_MC_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/policy.h"
+#include "src/mc/explorer.h"
+#include "src/mc/schedule.h"
+#include "src/mc/scheduler.h"
+#include "src/runtime/concurrent_machine.h"
+#include "src/topology/topology.h"
+
+namespace optsched::mc {
+
+struct PropertyReport {
+  std::string name;
+  bool holds = true;
+  std::string detail;  // why it failed (empty when it holds)
+};
+
+class StealHarness {
+ public:
+  struct Config {
+    std::string mode = "balance";  // balance | drain | epoch
+    std::string policy = "thread-count";
+    // Items seeded per queue; size() is the worker count.
+    std::vector<int64_t> initial_loads;
+    uint32_t attempts_per_worker = 2;
+    uint64_t seed = 1;
+    bool recheck = true;
+
+    static Config FromSchedule(const Schedule& schedule);
+  };
+
+  explicit StealHarness(Config config);
+
+  // Fresh machine + per-worker state; bodies for one controlled execution.
+  // Bodies reach the driving Scheduler through ActiveScheduler().
+  std::vector<std::function<void()>> MakeBodies();
+
+  // A BodyFactory bound to this harness (convenience for the explorer).
+  BodyFactory Factory();
+
+  // Evaluates the mode's properties over the machine left by the execution
+  // that MakeBodies() most recently fed.
+  std::vector<PropertyReport> Evaluate(const ExecutionResult& result);
+
+  static const PropertyReport* FirstViolation(const std::vector<PropertyReport>& reports);
+
+  // Serializable identity of `choices` under this harness configuration.
+  Schedule MakeSchedule(const std::vector<uint32_t>& choices) const;
+
+  const Config& config() const { return config_; }
+  uint32_t num_workers() const { return static_cast<uint32_t>(config_.initial_loads.size()); }
+  // d over the seeded task counts; /2 bounds successful steals (§4.3).
+  int64_t InitialPotential() const;
+
+ private:
+  void BalanceBody(uint32_t worker);
+  void DrainBody(uint32_t worker);
+  void EpochBody(uint32_t worker);
+  void StealOnce(uint32_t worker, Rng& rng);
+
+  Config config_;
+  Topology topology_;
+  std::shared_ptr<const BalancePolicy> policy_;
+  std::unique_ptr<runtime::ConcurrentMachine> machine_;
+  std::vector<runtime::StealCounters> counters_;
+  std::vector<uint64_t> initial_item_ids_;
+  // The escalation-epoch word for "epoch" mode.
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace optsched::mc
+
+#endif  // OPTSCHED_SRC_MC_HARNESS_H_

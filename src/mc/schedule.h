@@ -1,0 +1,47 @@
+// Serializable schedules: the checker's counterexample currency.
+//
+// A Schedule is the choice sequence of one controlled execution plus the
+// harness configuration that makes it reproducible (mode, policy, initial
+// loads, attempt budget, seed). Serialized as a small flat JSON object so a
+// violation found in CI can be committed as a golden file, replayed
+// deterministically with `simctl --mc --replay=FILE`, minimized, and
+// exported as a Chrome trace for a human to read as a timeline.
+
+#ifndef OPTSCHED_SRC_MC_SCHEDULE_H_
+#define OPTSCHED_SRC_MC_SCHEDULE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace optsched::mc {
+
+struct Schedule {
+  // Harness identity (see src/mc/harness.h): "balance", "drain", or "epoch".
+  std::string harness = "balance";
+  // Policy registry name (src/core/policies/registry.h).
+  std::string policy = "thread-count";
+  // Items seeded per queue; its size is the worker count.
+  std::vector<int64_t> initial_loads;
+  uint32_t attempts_per_worker = 0;
+  uint64_t seed = 1;
+  bool recheck = true;
+  // The violated property ("" when the schedule is not a counterexample).
+  std::string property;
+  std::string note;
+  // Thread chosen at each decision point. Replay follows these, then falls
+  // back to the deterministic default rule once they are exhausted.
+  std::vector<uint32_t> choices;
+
+  std::string ToJson() const;
+  // Strict enough for our own output, tolerant of whitespace. nullopt on
+  // malformed input or missing required fields.
+  static std::optional<Schedule> FromJson(const std::string& json);
+
+  bool operator==(const Schedule& other) const = default;
+};
+
+}  // namespace optsched::mc
+
+#endif  // OPTSCHED_SRC_MC_SCHEDULE_H_

@@ -91,9 +91,9 @@ LoadSnapshot ConcurrentMachine::Snapshot() const {
 }
 
 LoadSnapshot ConcurrentMachine::LockedSnapshot() {
-  // Lock everything in index (== address) order: exact, but owners stall on
-  // their own queue lock for the duration — the cost the paper's design
-  // deliberately avoids.
+  // Lock everything in index order (the machine-wide ranking): exact, but
+  // owners stall on their own queue lock for the duration — the cost the
+  // paper's design deliberately avoids.
   for (auto& queue : queues_) {
     queue->lock().lock();
   }
@@ -109,10 +109,18 @@ LoadSnapshot ConcurrentMachine::LockedSnapshot() {
   return snap;
 }
 
+uint64_t ConcurrentMachine::TotalSeqlockReadRetries() const {
+  uint64_t total = 0;
+  for (const auto& queue : queues_) {
+    total += queue->SeqlockReadRetries();
+  }
+  return total;
+}
+
 bool ConcurrentMachine::TrySteal(const BalancePolicy& policy, CpuId thief,
                                  const LoadSnapshot& snapshot, Rng& rng, bool recheck,
                                  StealCounters& counters, const Topology* topology,
-                                 CpuId* victim_out) {
+                                 CpuId* victim_out, StealObservation* observation_out) {
   // --- Selection phase (no locks) -------------------------------------------
   const SelectionView view{.self = thief, .snapshot = snapshot, .topology = topology};
   const std::vector<CpuId> candidates = policy.FilterCandidates(view);  // step 1
@@ -127,10 +135,12 @@ bool ConcurrentMachine::TrySteal(const BalancePolicy& policy, CpuId thief,
   }
   ++counters.attempts;
 
-  // --- Stealing phase (two locks, address order) -----------------------------
+  // --- Stealing phase (two locks, queue-index order) -------------------------
   ConcurrentRunQueue& victim_queue = *queues_[victim];
   ConcurrentRunQueue& thief_queue = *queues_[thief];
-  DualLockGuard guard(victim_queue.lock(), thief_queue.lock());
+  // Index order, the machine-wide lock ranking (see DualLockGuard).
+  DualLockGuard guard(thief < victim ? thief_queue.lock() : victim_queue.lock(),
+                      thief < victim ? victim_queue.lock() : thief_queue.lock());
 
   // Exact loads for the locked pair; other cores stay as the (stale) snapshot
   // observed them — a thief can only be sure of what it locked.
@@ -166,6 +176,11 @@ bool ConcurrentMachine::TrySteal(const BalancePolicy& policy, CpuId thief,
   }
   thief_queue.PushLocked(*stolen);
   ++counters.successes;
+  if (observation_out != nullptr) {
+    observation_out->item_id = stolen->id;
+    observation_out->victim_tasks_after = victim_queue.ExactLoadLocked().task_count;
+    observation_out->thief_tasks_after = thief_queue.ExactLoadLocked().task_count;
+  }
   return true;
 }
 

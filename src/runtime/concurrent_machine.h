@@ -5,7 +5,7 @@
 //   * the SELECTION phase reads loads of all cores lock-free (possibly
 //     stale — the optimistic part),
 //   * the STEALING phase locks exactly the thief's and the victim's queues
-//     (address order), re-checks the policy's filter against the now-exact
+//     (queue-index order), re-checks the policy's filter against the now-exact
 //     loads of the pair, and migrates one item.
 // Steals that fail the re-check are counted, not retried — they are the
 // paper's legitimate failures.
@@ -56,6 +56,9 @@ class ConcurrentRunQueue {
 
   // --- Lock-free observation (selection phase) -------------------------------
   LoadPair ReadLoad() const { return published_.Read(); }
+  // Torn-read retries the published-load seqlock has absorbed (staleness
+  // pressure on this queue's snapshot; see Seqlock::read_retries).
+  uint64_t SeqlockReadRetries() const { return published_.read_retries(); }
 
   // --- Cross-core steal support ----------------------------------------------
   SpinLock& lock() { return lock_; }
@@ -85,6 +88,16 @@ struct StealCounters {
   uint64_t empty_filter = 0;
 };
 
+// Facts about a successful steal captured while both runqueue locks were
+// still held — the only vantage point from which "the victim was not idled"
+// (steal safety, §4.1) can be asserted without racing later mutations. The
+// model checker's harness consumes this; production callers pass nullptr.
+struct StealObservation {
+  uint64_t item_id = 0;
+  int64_t victim_tasks_after = 0;
+  int64_t thief_tasks_after = 0;
+};
+
 class ConcurrentMachine {
  public:
   explicit ConcurrentMachine(uint32_t num_queues);
@@ -105,9 +118,15 @@ class ConcurrentMachine {
   // Updates `counters`. When the filter was non-empty, `victim_out` (if
   // given) receives the chosen victim — trace events want to attribute the
   // outcome to the pair, not just the thief.
+  // `observation_out` (if given) is filled on success with the post-steal
+  // loads of the locked pair and the migrated item id, read under the locks.
   bool TrySteal(const BalancePolicy& policy, CpuId thief, const LoadSnapshot& snapshot,
                 Rng& rng, bool recheck, StealCounters& counters,
-                const Topology* topology = nullptr, CpuId* victim_out = nullptr);
+                const Topology* topology = nullptr, CpuId* victim_out = nullptr,
+                StealObservation* observation_out = nullptr);
+
+  // Sum of SeqlockReadRetries over all queues.
+  uint64_t TotalSeqlockReadRetries() const;
 
  private:
   std::vector<std::unique_ptr<ConcurrentRunQueue>> queues_;

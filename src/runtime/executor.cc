@@ -6,6 +6,7 @@
 
 #include "src/base/check.h"
 #include "src/base/str.h"
+#include "src/runtime/mc_hooks.h"
 #include "src/runtime/spinlock.h"
 
 namespace optsched::runtime {
@@ -106,6 +107,10 @@ std::string ExecutorReport::ToString() const {
     out += StrFormat(" trace{events=%zu dropped=%llu}", trace_events.size(),
                      static_cast<unsigned long long>(trace_dropped));
   }
+  if (seqlock_read_retries > 0) {
+    out += StrFormat(" seqlock_retries=%llu",
+                     static_cast<unsigned long long>(seqlock_read_retries));
+  }
   return out;
 }
 
@@ -115,6 +120,7 @@ void ExecutorReport::ExportMetrics(trace::MetricsRegistry& registry) const {
   registry.Add("executor.items_left_unexecuted", static_cast<double>(items_left_unexecuted));
   registry.Add("executor.trace.events", static_cast<double>(trace_events.size()));
   registry.Add("executor.trace.dropped", static_cast<double>(trace_dropped));
+  registry.Add("executor.seqlock.read_retries", static_cast<double>(seqlock_read_retries));
   registry.Add("executor.faults.stalled_attempts", static_cast<double>(faults.stalled_attempts));
   registry.Add("executor.faults.injected_aborts", static_cast<double>(faults.injected_aborts));
   registry.Add("executor.faults.stale_snapshots", static_cast<double>(faults.stale_snapshots));
@@ -204,6 +210,7 @@ void Executor::WorkerMain(uint32_t worker_index, WorkerStats& stats,
   const auto park = [&](uint64_t spins) {
     ++stats.backoff_events;
     stats.backoff_spins_total += spins;
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kEpochLoad, &escalation_epoch_);
     const uint64_t epoch = escalation_epoch_.load(std::memory_order_acquire);
     for (uint64_t i = 0; i < spins; ++i) {
       CpuRelax();
@@ -211,6 +218,7 @@ void Executor::WorkerMain(uint32_t worker_index, WorkerStats& stats,
         if (!keep_running()) {
           return;
         }
+        mc_hooks::SyncPoint(mc_hooks::SyncOp::kEpochLoad, &escalation_epoch_);
         if (escalation_epoch_.load(std::memory_order_acquire) != epoch) {
           ++stats.escalation_wakeups;
           backoff_spins = 0;
@@ -368,6 +376,9 @@ ExecutorReport Executor::RunInternal(uint64_t duration_ms,
   const uint64_t start = NowNs();
   run_start_ns_ = start;
   const uint64_t stop_at = deadline_mode_ ? start + duration_ms * 1'000'000ull : 0;
+  // Seqlock retry counters are cumulative per queue; report the delta so a
+  // reused instance attributes retries to the run that incurred them.
+  const uint64_t seqlock_retries_at_start = machine_.TotalSeqlockReadRetries();
 
   std::vector<std::unique_ptr<WorkerSlot>> slots;
   slots.reserve(config_.num_workers);
@@ -445,6 +456,7 @@ ExecutorReport Executor::RunInternal(uint64_t duration_ms,
         watchdog.RecordEscalation((now - start) / 1000, &watchdog_trace);
         // Snap every backing-off worker awake: an immediate full-rate
         // balancing attempt is the runtime's "forced global round".
+        mc_hooks::SyncPoint(mc_hooks::SyncOp::kEpochBump, &escalation_epoch_);
         escalation_epoch_.fetch_add(1, std::memory_order_acq_rel);
       }
       if (supervisor_ring != nullptr) {
@@ -468,6 +480,7 @@ ExecutorReport Executor::RunInternal(uint64_t duration_ms,
   }
 
   report.wall_time_ns = NowNs() - start;
+  report.seqlock_read_retries = machine_.TotalSeqlockReadRetries() - seqlock_retries_at_start;
   report.total_items = submitted_items_.load(std::memory_order_relaxed);
   report.items_left_unexecuted =
       deadline_mode_ ? remaining_items_.load(std::memory_order_relaxed) : 0;

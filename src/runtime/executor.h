@@ -125,6 +125,12 @@ struct ExecutorReport {
   // trace_ring_capacity == 0) and the events lost to full rings.
   std::vector<trace::TraceEvent> trace_events;
   uint64_t trace_dropped = 0;
+  // Seqlock reader retries across all runqueues during this run: how often a
+  // lock-free load read raced an in-flight publish and had to loop. This is
+  // the direct measure of snapshot staleness pressure — high values mean the
+  // selection phase frequently decides on loads that were being rewritten
+  // under it (legitimate, but previously invisible).
+  uint64_t seqlock_read_retries = 0;
 
   uint64_t total_successes() const;
   uint64_t total_failed_recheck() const;

@@ -1,0 +1,51 @@
+#include "src/runtime/mc_hooks.h"
+
+namespace optsched::runtime::mc_hooks {
+
+#if OPTSCHED_MC_HOOKS
+namespace internal {
+constinit thread_local Interposer* tls_interposer = nullptr;
+}  // namespace internal
+#endif
+
+const char* SyncOpName(SyncOp op) {
+  switch (op) {
+    case SyncOp::kLockAcquire: return "lock-acquire";
+    case SyncOp::kLockTry: return "lock-try";
+    case SyncOp::kLockRelease: return "lock-release";
+    case SyncOp::kLockWait: return "lock-wait";
+    case SyncOp::kSeqWriteBegin: return "seq-write-begin";
+    case SyncOp::kSeqWriteTorn: return "seq-write-torn";
+    case SyncOp::kSeqWriteEnd: return "seq-write-end";
+    case SyncOp::kSeqRead: return "seq-read";
+    case SyncOp::kSeqReadRetry: return "seq-read-retry";
+    case SyncOp::kEpochLoad: return "epoch-load";
+    case SyncOp::kEpochBump: return "epoch-bump";
+    case SyncOp::kYield: return "yield";
+    case SyncOp::kThreadStart: return "thread-start";
+  }
+  return "?";
+}
+
+bool SyncOpWrites(SyncOp op) {
+  switch (op) {
+    case SyncOp::kLockAcquire:
+    case SyncOp::kLockTry:
+    case SyncOp::kLockRelease:
+    case SyncOp::kLockWait:  // resumes by acquiring the lock
+    case SyncOp::kSeqWriteBegin:
+    case SyncOp::kSeqWriteTorn:
+    case SyncOp::kSeqWriteEnd:
+    case SyncOp::kEpochBump:
+      return true;
+    case SyncOp::kSeqRead:
+    case SyncOp::kSeqReadRetry:
+    case SyncOp::kEpochLoad:
+    case SyncOp::kYield:
+    case SyncOp::kThreadStart:
+      return false;
+  }
+  return true;
+}
+
+}  // namespace optsched::runtime::mc_hooks

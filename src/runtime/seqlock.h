@@ -43,26 +43,37 @@ class Seqlock {
   }
 
   // Writer side (one writer at a time; the runqueue lock serializes writers).
+  // The mid-write SyncPoint exposes the torn window (sequence odd, payload
+  // words half-stored) to the model checker, which is exactly the state a
+  // reader's retry loop exists to survive.
   void Write(const T& value) {
     uint64_t staging[kWords] = {};
     std::memcpy(staging, &value, sizeof(T));
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kSeqWriteBegin, this);
     const uint64_t seq = sequence_.load(std::memory_order_relaxed);
     sequence_.store(seq + 1, std::memory_order_release);  // odd: write in progress
     std::atomic_thread_fence(std::memory_order_release);
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kSeqWriteTorn, this);
     for (size_t w = 0; w < kWords; ++w) {
       words_[w].store(staging[w], std::memory_order_relaxed);
     }
     std::atomic_thread_fence(std::memory_order_release);
     sequence_.store(seq + 2, std::memory_order_release);  // even: stable
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kSeqWriteEnd, this);
   }
 
   // Reader side: lock-free, never blocks the writer; retries on torn reads.
+  // Each retry (odd sequence or before/after mismatch) bumps a relaxed
+  // per-instance counter: the retry rate is the direct measure of snapshot
+  // staleness pressure — how often the selection phase raced a publisher —
+  // which ExecutorReport surfaces as executor.seqlock.read_retries.
   T Read() const {
     uint64_t staging[kWords];
     for (;;) {
+      mc_hooks::SyncPoint(mc_hooks::SyncOp::kSeqRead, this);
       const uint64_t before = sequence_.load(std::memory_order_acquire);
       if (before & 1) {
-        CpuRelax();
+        ReadRetryPause();
         continue;
       }
       std::atomic_thread_fence(std::memory_order_acquire);
@@ -76,13 +87,34 @@ class Seqlock {
         std::memcpy(&out, staging, sizeof(T));
         return out;
       }
+      ReadRetryPause();
+    }
+  }
+
+  // Torn-read loop iterations observed by Read() since construction. Relaxed:
+  // a monotone statistic, not a synchronization device.
+  uint64_t read_retries() const { return read_retries_.load(std::memory_order_relaxed); }
+
+ private:
+  void ReadRetryPause() const {
+    read_retries_.fetch_add(1, std::memory_order_relaxed);
+    // Under the model checker a retrying reader blocks until the in-flight
+    // write completes (sequence even again); rescheduling it earlier would
+    // just spin the fiber without progress. In production: plain CpuRelax.
+    if (!mc_hooks::BlockUntil(mc_hooks::SyncOp::kSeqReadRetry, this,
+                              &Seqlock::SequenceEven, this)) {
       CpuRelax();
     }
   }
 
- private:
+  static bool SequenceEven(const void* self) {
+    return (static_cast<const Seqlock*>(self)->sequence_.load(std::memory_order_acquire) &
+            1) == 0;
+  }
+
   std::atomic<uint64_t> sequence_{0};
   std::atomic<uint64_t> words_[kWords];
+  mutable std::atomic<uint64_t> read_retries_{0};
 };
 
 }  // namespace optsched::runtime

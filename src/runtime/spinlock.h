@@ -4,12 +4,20 @@
 // one of these, reproducing the paper's locking discipline: the selection
 // phase takes NO locks (it reads seqlock-published loads), and the stealing
 // phase takes exactly two — the thief's and the victim's runqueue locks, in
-// address order to avoid deadlock (§3.1, Figure 1).
+// queue-index order to avoid deadlock (§3.1, Figure 1).
+//
+// Every synchronization point is announced through the mc_hooks seam
+// (docs/model_checking.md): a no-op null check in production, a scheduling
+// decision point when the deterministic model checker (src/mc) is driving.
+// Contention is a BlockUntil point — under the checker a waiter is marked
+// disabled until the holder releases, instead of spinning.
 
 #ifndef OPTSCHED_SRC_RUNTIME_SPINLOCK_H_
 #define OPTSCHED_SRC_RUNTIME_SPINLOCK_H_
 
 #include <atomic>
+
+#include "src/runtime/mc_hooks.h"
 
 namespace optsched::runtime {
 
@@ -30,9 +38,13 @@ class SpinLock {
   SpinLock& operator=(const SpinLock&) = delete;
 
   void lock() {
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kLockAcquire, this);
     for (;;) {
       if (!locked_.exchange(true, std::memory_order_acquire)) {
         return;
+      }
+      if (mc_hooks::BlockUntil(mc_hooks::SyncOp::kLockWait, this, &SpinLock::IsFree, this)) {
+        continue;  // checker resumed us with the lock observed free; retry
       }
       // Test-and-test-and-set: spin on the cache line read-only until free.
       while (locked_.load(std::memory_order_relaxed)) {
@@ -42,20 +54,38 @@ class SpinLock {
   }
 
   bool try_lock() {
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kLockTry, this);
     return !locked_.load(std::memory_order_relaxed) &&
            !locked_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() { locked_.store(false, std::memory_order_release); }
+  void unlock() {
+    // Announce before the store. The checker records the release but does
+    // not suspend here: unlock() runs from noexcept destructors
+    // (~DualLockGuard, ~lock_guard), where a suspended fiber could not be
+    // abort-unwound. The sleep-set side compensates by never letting a
+    // pending lock acquisition stay asleep (mc::CanStaySleeping).
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kLockRelease, this);
+    locked_.store(false, std::memory_order_release);
+  }
 
  private:
+  static bool IsFree(const void* self) {
+    return !static_cast<const SpinLock*>(self)->locked_.load(std::memory_order_relaxed);
+  }
+
   std::atomic<bool> locked_{false};
 };
 
-// Scoped two-lock acquisition in address order (deadlock-free for any pair).
+// Scoped two-lock acquisition in a caller-chosen total order (deadlock-free
+// when every site ranks the same pair the same way). The runtime ranks queue
+// locks by QUEUE INDEX, not by address: per-queue heap allocations make
+// address order vary from run to run, and the model checker (src/mc) needs
+// the lock-acquisition sequence of a replayed schedule to be identical
+// across executions and processes.
 class DualLockGuard {
  public:
-  DualLockGuard(SpinLock& a, SpinLock& b) : first_(&a < &b ? a : b), second_(&a < &b ? b : a) {
+  DualLockGuard(SpinLock& first, SpinLock& second) : first_(first), second_(second) {
     first_.lock();
     second_.lock();
   }

@@ -51,6 +51,10 @@ CheckResult CheckFailureCausality(const BalancePolicy& policy,
                                   const Topology* topology) {
   CheckResult result;
   result.property = "failure-causality(every failed steal implicates a prior success)";
+  if (auto rejected =
+          RejectUnsoundSymmetry(result.property, options.bounds.sorted_only, topology)) {
+    return *rejected;
+  }
   result.holds = true;
   const std::shared_ptr<const BalancePolicy> alias(&policy, [](const BalancePolicy*) {});
   result.states_checked = ForEachState(options.bounds, [&](const std::vector<int64_t>& loads) {
@@ -95,6 +99,10 @@ CheckResult CheckBoundedSteals(const BalancePolicy& policy,
                                const Topology* topology) {
   CheckResult result;
   result.property = "bounded-steals(total successful steals <= d0/2 on every adversarial run)";
+  if (auto rejected =
+          RejectUnsoundSymmetry(result.property, options.bounds.sorted_only, topology)) {
+    return *rejected;
+  }
   result.holds = true;
   const std::shared_ptr<const BalancePolicy> alias(&policy, [](const BalancePolicy*) {});
   const LoadMetric metric = policy.metric();

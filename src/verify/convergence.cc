@@ -99,6 +99,12 @@ ConvergenceCheckResult CheckSequentialConvergence(const BalancePolicy& policy,
                             ? "sequential-convergence(work conservation, seeded fault injection)"
                             : "sequential-convergence(work conservation, no concurrency)";
   out.result.holds = true;
+  if (auto rejected = RejectUnsoundSymmetry(
+          out.result.property, options.symmetry_reduction || options.bounds.sorted_only,
+          topology)) {
+    out.result = *rejected;
+    return out;
+  }
   const std::shared_ptr<const BalancePolicy> alias(&policy, [](const BalancePolicy*) {});
   out.result.states_checked = ForEachState(options.bounds, [&](const LoadVector& loads) {
     ++out.result.checks_performed;
@@ -138,6 +144,12 @@ ConvergenceCheckResult CheckConcurrentConvergence(const BalancePolicy& policy,
                                                   const Topology* topology) {
   ConvergenceCheckResult out;
   out.result.property = "concurrent-convergence(AF work-conserved, adversarial steal order)";
+  if (auto rejected = RejectUnsoundSymmetry(
+          out.result.property, options.symmetry_reduction || options.bounds.sorted_only,
+          topology)) {
+    out.result = *rejected;
+    return out;
+  }
   const std::shared_ptr<const BalancePolicy> alias(&policy, [](const BalancePolicy*) {});
   LoadBalancer balancer(alias, topology);
 

@@ -17,6 +17,9 @@ CheckResult CheckLemma1(const BalancePolicy& policy, const Bounds& bounds,
                         const Topology* topology) {
   CheckResult result;
   result.property = "lemma1(idle thief targets overloaded cores, and only them)";
+  if (auto rejected = RejectUnsoundSymmetry(result.property, bounds.sorted_only, topology)) {
+    return *rejected;
+  }
   result.holds = true;
   result.states_checked = ForEachState(bounds, [&](const std::vector<int64_t>& loads) {
     const MachineState machine = MachineState::FromLoads(loads);
@@ -66,6 +69,9 @@ CheckResult CheckFilterSelectsOverloaded(const BalancePolicy& policy, const Boun
                                          const Topology* topology) {
   CheckResult result;
   result.property = "filter-selects-overloaded(any thief)";
+  if (auto rejected = RejectUnsoundSymmetry(result.property, bounds.sorted_only, topology)) {
+    return *rejected;
+  }
   result.holds = true;
   result.states_checked = ForEachState(bounds, [&](const std::vector<int64_t>& loads) {
     const MachineState machine = MachineState::FromLoads(loads);
@@ -98,6 +104,9 @@ CheckResult CheckStealSafety(const BalancePolicy& policy, const Bounds& bounds,
                              const Topology* topology) {
   CheckResult result;
   result.property = "steal-safety(victim never idled, no task lost, idle thief succeeds)";
+  if (auto rejected = RejectUnsoundSymmetry(result.property, bounds.sorted_only, topology)) {
+    return *rejected;
+  }
   result.holds = true;
   // ExecuteStealPhase requires shared ownership of the policy; alias with a
   // no-op deleter since `policy` outlives the balancer.
@@ -154,6 +163,9 @@ CheckResult CheckPotentialDecrease(const BalancePolicy& policy, const Bounds& bo
                                    const Topology* topology) {
   CheckResult result;
   result.property = "potential-decrease(every successful steal strictly decreases d)";
+  if (auto rejected = RejectUnsoundSymmetry(result.property, bounds.sorted_only, topology)) {
+    return *rejected;
+  }
   result.holds = true;
   const std::shared_ptr<const BalancePolicy> alias(&policy, [](const BalancePolicy*) {});
   const LoadMetric metric = policy.metric();

@@ -50,4 +50,37 @@ std::string CheckResult::ToString() const {
                    counterexample.has_value() ? counterexample->ToString().c_str() : "<none>");
 }
 
+bool TopologyIsCoreSymmetric(const Topology& topology) {
+  for (CpuId id = 0; id < topology.num_cpus(); ++id) {
+    const CpuInfo& cpu = topology.cpu(id);
+    // Any second node or package, or an SMT sibling, gives two cores the
+    // machine itself tells apart — renaming them is not a symmetry.
+    if (cpu.node != 0 || cpu.package != 0 || cpu.smt != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<CheckResult> RejectUnsoundSymmetry(const std::string& property, bool sorted_only,
+                                                 const Topology* topology) {
+  if (!sorted_only || topology == nullptr || TopologyIsCoreSymmetric(*topology)) {
+    return std::nullopt;
+  }
+  CheckResult result;
+  result.property = property;
+  result.holds = false;
+  result.counterexample = Counterexample{
+      .loads = {},
+      .thief = std::nullopt,
+      .stealee = std::nullopt,
+      .steal_order = {},
+      .note = StrFormat(
+          "refused: sorted_only symmetry reduction is unsound on a non-core-symmetric "
+          "topology (%s) — a distance- or group-aware policy distinguishes the cores the "
+          "reduction would merge; rerun without symmetry reduction",
+          topology->ToString().c_str())};
+  return result;
+}
+
 }  // namespace optsched::verify

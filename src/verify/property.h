@@ -35,6 +35,21 @@ struct CheckResult {
   std::string ToString() const;
 };
 
+// True if renaming cores is a symmetry of the machine description: one NUMA
+// node, one package, no SMT pairing. On any other topology a distance- or
+// group-aware policy distinguishes cores, so quotienting states by sorting
+// (Bounds::sorted_only) would merge states the policy treats differently.
+bool TopologyIsCoreSymmetric(const Topology& topology);
+
+// Guard for the sorted_only symmetry reduction. Returns a failed CheckResult
+// (holds = false, note explains the rejection) when the reduction was
+// requested together with a topology that is not core-symmetric; nullopt
+// when the combination is sound. Every verifier pass that honours
+// sorted_only must call this before sweeping, so an unsound configuration
+// is reported as a refused check instead of a silently wrong verdict.
+std::optional<CheckResult> RejectUnsoundSymmetry(const std::string& property, bool sorted_only,
+                                                 const Topology* topology);
+
 }  // namespace optsched::verify
 
 #endif  // OPTSCHED_SRC_VERIFY_PROPERTY_H_

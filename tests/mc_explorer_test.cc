@@ -1,0 +1,230 @@
+// Exhaustive and randomized exploration over the real steal protocol: the
+// paper's properties are discharged on the sound policy and a concrete,
+// minimized counterexample is produced for the broken one.
+
+#include <algorithm>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/mc/explorer.h"
+#include "src/mc/harness.h"
+#include "src/mc/scheduler.h"
+#include "src/runtime/spinlock.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define OPTSCHED_MC_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define OPTSCHED_MC_TSAN 1
+#endif
+#endif
+
+#ifdef OPTSCHED_MC_TSAN
+#define MC_SKIP_UNDER_TSAN() GTEST_SKIP() << "ucontext fibers are not supported under TSan"
+#else
+#define MC_SKIP_UNDER_TSAN() (void)0
+#endif
+
+namespace optsched::mc {
+namespace {
+
+std::string Describe(const std::vector<PropertyReport>& reports) {
+  std::string out;
+  for (const PropertyReport& report : reports) {
+    if (!report.holds) {
+      out += report.name + ": " + report.detail + "; ";
+    }
+  }
+  return out;
+}
+
+TEST(DfsExplorerTest, EnumeratesMoreThanOneScheduleForContendingLocks) {
+  MC_SKIP_UNDER_TSAN();
+  runtime::SpinLock lock;
+  int in_critical = 0;
+  int max_in_critical = 0;
+  // RAII guard: a pruned execution unwinds the fiber mid-critical-section,
+  // and the destructor must release the lock for the next execution.
+  auto body = [&] {
+    std::lock_guard<runtime::SpinLock> guard(lock);
+    ++in_critical;
+    max_in_critical = std::max(max_in_critical, in_critical);
+    ActiveScheduler()->Yield();
+    --in_critical;
+  };
+  DfsExplorer::Options options;
+  options.max_preemptions = 1;
+  DfsExplorer explorer(options);
+  const ExploreStats stats = explorer.Explore(
+      [&] {
+        in_critical = 0;  // an aborted execution skips the decrement
+        return std::vector<std::function<void()>>{body, body};
+      },
+      [&](const ExecutionResult& result, uint32_t) {
+        EXPECT_FALSE(result.deadlock);
+        return true;
+      });
+  EXPECT_GT(stats.schedules_explored, 1u);
+  EXPECT_FALSE(stats.budget_exhausted);
+  // Mutual exclusion held in every explored schedule.
+  EXPECT_EQ(max_in_critical, 1);
+}
+
+TEST(DfsExplorerTest, ExhaustiveDischargesPaperPropertiesOnThreadCount) {
+  MC_SKIP_UNDER_TSAN();
+  StealHarness::Config config;
+  config.mode = "balance";
+  config.policy = "thread-count";
+  config.initial_loads = {0, 1, 2, 0};  // 4 workers, the acceptance shape
+  config.attempts_per_worker = 1;
+  StealHarness harness(config);
+
+  DfsExplorer::Options options;
+  options.max_preemptions = 2;
+  DfsExplorer explorer(options);
+  std::string violation;
+  const ExploreStats stats =
+      explorer.Explore(harness.Factory(), [&](const ExecutionResult& result, uint32_t) {
+        const std::vector<PropertyReport> reports = harness.Evaluate(result);
+        if (StealHarness::FirstViolation(reports) != nullptr) {
+          violation = Describe(reports);
+          return false;
+        }
+        return true;
+      });
+  EXPECT_FALSE(stats.stopped_by_sink) << violation;
+  EXPECT_FALSE(stats.budget_exhausted);
+  EXPECT_GT(stats.schedules_explored, 0u);
+  // Sleep sets must be earning their keep on a space this size.
+  EXPECT_GT(stats.schedules_pruned, 0u);
+}
+
+TEST(DfsExplorerTest, BrokenPolicyProducesMinimizedReplayableCounterexample) {
+  MC_SKIP_UNDER_TSAN();
+  StealHarness::Config config;
+  config.mode = "balance";
+  config.policy = "broken-cansteal";
+  config.initial_loads = {0, 1, 2};  // the paper's §4.3 ping-pong shape
+  config.attempts_per_worker = 3;
+  StealHarness harness(config);
+
+  auto violates_bound = [&](const ExecutionResult& result) {
+    const std::vector<PropertyReport> reports = harness.Evaluate(result);
+    for (const PropertyReport& report : reports) {
+      if (report.name == "bounded-steals" && !report.holds) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  DfsExplorer::Options options;
+  // The bound must be 3 here: sleep sets prune the free-switch (yield-point)
+  // alternations as equivalent to representatives that spend preemptions, so
+  // the surviving member of the ping-pong's equivalence class costs 3 — the
+  // sleep-set x preemption-bound interaction docs/model_checking.md explains.
+  options.max_preemptions = 3;
+  DfsExplorer explorer(options);
+  std::vector<uint32_t> counterexample;
+  const ExploreStats stats =
+      explorer.Explore(harness.Factory(), [&](const ExecutionResult& result, uint32_t) {
+        if (violates_bound(result)) {
+          counterexample = result.choices;
+          return false;
+        }
+        return true;
+      });
+  ASSERT_TRUE(stats.stopped_by_sink)
+      << "no bounded-steals violation found in " << stats.schedules_explored << " schedules";
+
+  const std::vector<uint32_t> minimized =
+      MinimizeCounterexample(harness.Factory(), counterexample, violates_bound);
+  EXPECT_LE(minimized.size(), counterexample.size());
+
+  // The minimized schedule replays deterministically to the same violation.
+  const ExecutionResult first = ReplayChoices(harness.Factory(), minimized);
+  EXPECT_TRUE(violates_bound(first));
+  const ExecutionResult second = ReplayChoices(harness.Factory(), minimized);
+  EXPECT_EQ(first.choices, second.choices);
+  EXPECT_EQ(first.events, second.events);
+}
+
+TEST(DfsExplorerTest, EpochBumpWakesEveryParkedWorkerInAllSchedules) {
+  MC_SKIP_UNDER_TSAN();
+  StealHarness::Config config;
+  config.mode = "epoch";
+  config.policy = "thread-count";
+  config.initial_loads = {0, 0, 0};  // supervisor + two parking workers
+  config.attempts_per_worker = 0;
+  StealHarness harness(config);
+
+  DfsExplorer::Options options;
+  options.max_preemptions = 2;
+  DfsExplorer explorer(options);
+  std::string violation;
+  const ExploreStats stats =
+      explorer.Explore(harness.Factory(), [&](const ExecutionResult& result, uint32_t) {
+        const std::vector<PropertyReport> reports = harness.Evaluate(result);
+        if (StealHarness::FirstViolation(reports) != nullptr) {
+          violation = Describe(reports);
+          return false;
+        }
+        return true;
+      });
+  EXPECT_FALSE(stats.stopped_by_sink) << violation;
+  // Both the park-then-bump and bump-then-no-park orders must appear.
+  EXPECT_GT(stats.schedules_explored, 1u);
+}
+
+TEST(DfsExplorerTest, DrainModeConservesItems) {
+  MC_SKIP_UNDER_TSAN();
+  StealHarness::Config config;
+  config.mode = "drain";
+  config.policy = "thread-count";
+  config.initial_loads = {3, 0};
+  config.attempts_per_worker = 1;
+  StealHarness harness(config);
+
+  DfsExplorer::Options options;
+  options.max_preemptions = 1;
+  DfsExplorer explorer(options);
+  std::string violation;
+  const ExploreStats stats =
+      explorer.Explore(harness.Factory(), [&](const ExecutionResult& result, uint32_t) {
+        const std::vector<PropertyReport> reports = harness.Evaluate(result);
+        if (StealHarness::FirstViolation(reports) != nullptr) {
+          violation = Describe(reports);
+          return false;
+        }
+        return true;
+      });
+  EXPECT_FALSE(stats.stopped_by_sink) << violation;
+  EXPECT_GT(stats.schedules_explored, 0u);
+}
+
+TEST(PctStrategyTest, RandomizedSamplingDischargesPropertiesOnThreadCount) {
+  MC_SKIP_UNDER_TSAN();
+  StealHarness::Config config;
+  config.mode = "balance";
+  config.policy = "thread-count";
+  config.initial_loads = {0, 1, 2};
+  config.attempts_per_worker = 2;
+  StealHarness harness(config);
+
+  PctStrategy pct(/*num_threads=*/3, /*depth_estimate=*/128, /*num_change_points=*/3,
+                  /*seed=*/42);
+  for (int i = 0; i < 64; ++i) {
+    Scheduler scheduler;
+    const ExecutionResult result = scheduler.Run(harness.MakeBodies(), pct);
+    const std::vector<PropertyReport> reports = harness.Evaluate(result);
+    EXPECT_EQ(StealHarness::FirstViolation(reports), nullptr) << Describe(reports);
+    pct.Reset();
+  }
+}
+
+}  // namespace
+}  // namespace optsched::mc

@@ -1,0 +1,160 @@
+// Schedule serialization, record/replay round-trips, the committed golden
+// counterexample, and the Chrome-trace export of executions.
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/mc/explorer.h"
+#include "src/mc/harness.h"
+#include "src/mc/schedule.h"
+#include "src/mc/trace_export.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define OPTSCHED_MC_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define OPTSCHED_MC_TSAN 1
+#endif
+#endif
+
+#ifdef OPTSCHED_MC_TSAN
+#define MC_SKIP_UNDER_TSAN() GTEST_SKIP() << "ucontext fibers are not supported under TSan"
+#else
+#define MC_SKIP_UNDER_TSAN() (void)0
+#endif
+
+#ifndef MC_GOLDEN_DIR
+#define MC_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace optsched::mc {
+namespace {
+
+TEST(ScheduleJsonTest, RoundTripsAllFields) {
+  Schedule schedule;
+  schedule.harness = "balance";
+  schedule.policy = "broken-cansteal";
+  schedule.initial_loads = {0, 1, 2};
+  schedule.attempts_per_worker = 3;
+  schedule.seed = 12345;
+  schedule.recheck = false;
+  schedule.property = "bounded-steals";
+  schedule.note = "5 successful steals > d0/2 = 4";
+  schedule.choices = {0, 0, 1, 2, 1, 2, 0};
+
+  const std::string json = schedule.ToJson();
+  const std::optional<Schedule> parsed = Schedule::FromJson(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, schedule);
+}
+
+TEST(ScheduleJsonTest, EscapesStringsAndSurvivesEmptyArrays) {
+  Schedule schedule;
+  schedule.initial_loads = {1};
+  schedule.note = "a \"quoted\" note\nwith a newline and a \\ backslash";
+  schedule.choices = {};
+  const std::optional<Schedule> parsed = Schedule::FromJson(schedule.ToJson());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, schedule);
+}
+
+TEST(ScheduleJsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(Schedule::FromJson("").has_value());
+  EXPECT_FALSE(Schedule::FromJson("{").has_value());
+  EXPECT_FALSE(Schedule::FromJson("[]").has_value());
+  EXPECT_FALSE(Schedule::FromJson("{}").has_value());  // missing required fields
+  EXPECT_FALSE(Schedule::FromJson(R"({"harness": "balance"})").has_value());
+}
+
+TEST(ReplayTest, RecordedExecutionReplaysToIdenticalEventStream) {
+  MC_SKIP_UNDER_TSAN();
+  StealHarness::Config config;
+  config.mode = "balance";
+  config.policy = "thread-count";
+  config.initial_loads = {0, 2, 2};
+  config.attempts_per_worker = 2;
+  StealHarness harness(config);
+
+  // Record under PCT (an adversarial-ish sampler), then replay the choices.
+  PctStrategy pct(3, 128, 2, 7);
+  Scheduler scheduler;
+  const ExecutionResult recorded = scheduler.Run(harness.MakeBodies(), pct);
+  const ExecutionResult replayed = ReplayChoices(harness.Factory(), recorded.choices);
+  EXPECT_EQ(recorded.choices, replayed.choices);
+  EXPECT_EQ(recorded.events, replayed.events);
+  EXPECT_EQ(recorded.preemptions, replayed.preemptions);
+}
+
+TEST(ReplayTest, ScheduleCarriesHarnessIdentity) {
+  MC_SKIP_UNDER_TSAN();
+  StealHarness::Config config;
+  config.mode = "balance";
+  config.policy = "thread-count";
+  config.initial_loads = {0, 2};
+  config.attempts_per_worker = 1;
+  StealHarness harness(config);
+  const Schedule schedule = harness.MakeSchedule({0, 1, 0});
+  const StealHarness::Config round = StealHarness::Config::FromSchedule(schedule);
+  EXPECT_EQ(round.mode, config.mode);
+  EXPECT_EQ(round.policy, config.policy);
+  EXPECT_EQ(round.initial_loads, config.initial_loads);
+  EXPECT_EQ(round.attempts_per_worker, config.attempts_per_worker);
+  EXPECT_EQ(round.recheck, config.recheck);
+}
+
+TEST(ReplayGoldenTest, CommittedBrokenCounterexampleStillViolates) {
+  MC_SKIP_UNDER_TSAN();
+  const std::string path = std::string(MC_GOLDEN_DIR) + "/mc_broken_minimized.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  const std::optional<Schedule> schedule = Schedule::FromJson(content);
+  ASSERT_TRUE(schedule.has_value());
+  // Serialization is byte-stable: re-emitting the parsed schedule reproduces
+  // the committed file.
+  EXPECT_EQ(schedule->ToJson(), content);
+  EXPECT_EQ(schedule->property, "bounded-steals");
+
+  StealHarness harness(StealHarness::Config::FromSchedule(*schedule));
+  const ExecutionResult result = ReplayChoices(harness.Factory(), schedule->choices);
+  EXPECT_EQ(result.choices, schedule->choices);  // no divergence
+
+  bool violated = false;
+  for (const PropertyReport& report : harness.Evaluate(result)) {
+    if (report.name == "bounded-steals" && !report.holds) {
+      violated = true;
+    }
+  }
+  EXPECT_TRUE(violated) << "golden counterexample no longer violates bounded-steals";
+}
+
+TEST(TraceExportTest, ExecutionExportsToChromeTraceJson) {
+  MC_SKIP_UNDER_TSAN();
+  StealHarness::Config config;
+  config.mode = "balance";
+  config.policy = "thread-count";
+  config.initial_loads = {0, 2, 2};
+  config.attempts_per_worker = 1;
+  StealHarness harness(config);
+  const ExecutionResult result = ReplayChoices(harness.Factory(), {});
+  const std::string json = ExecutionToChromeTraceJson(result, harness.num_workers());
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+  EXPECT_NE(json.find("worker 1"), std::string::npos);
+
+  const std::vector<trace::TraceEvent> events = ToTraceEvents(result.events);
+  EXPECT_FALSE(events.empty());
+  // Harness events only by default; sync noise needs opting in.
+  const std::vector<trace::TraceEvent> with_sync = ToTraceEvents(result.events, true);
+  EXPECT_GT(with_sync.size(), events.size());
+}
+
+}  // namespace
+}  // namespace optsched::mc

