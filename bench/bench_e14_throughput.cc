@@ -1,0 +1,303 @@
+// Experiment E14 — hot-path throughput and allocation audit: batched
+// steal-half vs steal-one vs locked selection on an overloaded-producer
+// workload (every item seeded on queue 0, all other workers must steal).
+//
+//   E14a (alloc audit): a single-threaded micro-harness drives the full
+//       selection + steal path (SnapshotInto + TrySteal with a reusable
+//       StealScratch) through thousands of SUCCESSFUL batched steals and
+//       counts global operator-new calls inside the measured region. The
+//       steady-state expectation is exactly zero: snapshots refill in place,
+//       the candidate list and batch buffer reuse their capacity, and the
+//       eligibility callback is a non-allocating FunctionRef. Queue state is
+//       restored between iterations OUTSIDE the counted region (un-steal via
+//       StealTailLocked, so the deques return to the identical internal
+//       layout and never creep across chunk boundaries).
+//   E14b (throughput): closed-system executor runs, N items on queue 0,
+//       measuring drained items/ms for steal_one (max_steal_batch = 1),
+//       steal_half (cap 8) and the locked_selection ablation, plus a batch-
+//       cap sweep {1, 2, 4, 8, 16}. Expectation: steal_half >= steal_one —
+//       when successful steals are bounded, each one should move enough work
+//       to matter — and both beat locked selection.
+//
+// Writes a machine-readable summary to BENCH_e14_throughput.json (override
+// with --out=PATH). CI's perf-smoke job compares steal_half items/ms against
+// the checked-in floor in bench/e14_throughput_floor.json.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/policies/thread_count.h"
+#include "src/runtime/concurrent_machine.h"
+#include "src/runtime/executor.h"
+#include "src/trace/chrome_trace.h"
+
+namespace {
+
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<bool> g_count_allocs{false};
+
+inline void CountAlloc() {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+// Global allocation counter for E14a. Only the default-aligned forms are
+// replaced (the hot path allocates nothing over-aligned); the deletes must
+// pair with the replaced news, hence the full set.
+void* operator new(std::size_t size) {
+  CountAlloc();
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace optsched {
+namespace {
+
+using bench::F;
+
+runtime::WorkItem Item(uint64_t id, uint64_t units = 1) {
+  return runtime::WorkItem{.id = id, .work_units = units, .weight = 1024};
+}
+
+// --- E14a: steady-state allocation audit of the selection + steal path ------
+
+struct AllocAudit {
+  uint64_t attempts = 0;
+  uint64_t successes = 0;
+  uint64_t items_moved = 0;
+  uint64_t allocs = 0;
+};
+
+AllocAudit RunAllocAudit(uint64_t attempts) {
+  runtime::ConcurrentMachine machine(2);
+  // 10 vs 4: gap 6, so every attempt is a SUCCESSFUL batch of floor(6/2) = 3
+  // items — the most allocation-prone path (filter, choice, locked snapshot,
+  // batch removal, batch push).
+  for (uint64_t id = 1; id <= 10; ++id) {
+    machine.queue(0).Push(Item(id));
+  }
+  for (uint64_t id = 11; id <= 14; ++id) {
+    machine.queue(1).Push(Item(id));
+  }
+  const auto policy = policies::MakeThreadCount();
+  Rng rng(1);
+  runtime::StealCounters counters;
+  runtime::StealScratch scratch;
+  LoadSnapshot snapshot;
+  std::vector<runtime::WorkItem> unsteal;
+  const runtime::StealOptions options{.recheck = true, .max_batch = 8};
+
+  // Moves the stolen batch back (thief tail -> victim tail) so every
+  // iteration starts from the identical queue state. Runs uncounted.
+  auto restore = [&](uint32_t moved) {
+    if (moved == 0) {
+      return;
+    }
+    unsteal.clear();
+    {
+      std::lock_guard<runtime::SpinLock> guard(machine.queue(1).lock());
+      machine.queue(1).StealTailLocked([](const runtime::WorkItem&) { return true; }, moved,
+                                       unsteal);
+    }
+    std::lock_guard<runtime::SpinLock> guard(machine.queue(0).lock());
+    machine.queue(0).PushBatchLocked(unsteal.data(), static_cast<uint32_t>(unsteal.size()));
+  };
+
+  // Warmup: every scratch vector reaches its high-water capacity.
+  for (int i = 0; i < 256; ++i) {
+    machine.SnapshotInto(snapshot);
+    runtime::StealObservation observation;
+    machine.TrySteal(*policy, 1, snapshot, rng, options, counters, nullptr, nullptr,
+                     &observation, &scratch);
+    restore(observation.items_moved);
+  }
+
+  AllocAudit audit;
+  audit.attempts = attempts;
+  g_allocs.store(0);
+  for (uint64_t i = 0; i < attempts; ++i) {
+    runtime::StealObservation observation;
+    g_count_allocs.store(true, std::memory_order_relaxed);
+    machine.SnapshotInto(snapshot);
+    const bool ok = machine.TrySteal(*policy, 1, snapshot, rng, options, counters, nullptr,
+                                     nullptr, &observation, &scratch);
+    g_count_allocs.store(false, std::memory_order_relaxed);
+    if (ok) {
+      ++audit.successes;
+      audit.items_moved += observation.items_moved;
+    }
+    restore(observation.items_moved);
+  }
+  audit.allocs = g_allocs.load();
+  return audit;
+}
+
+// --- E14b: overloaded-producer throughput ----------------------------------
+
+struct ModeResult {
+  std::string mode;
+  double items_per_ms = 0.0;
+  uint64_t steal_actions = 0;
+  uint64_t items_stolen = 0;
+  uint64_t failed_recheck = 0;
+};
+
+ModeResult RunMode(const std::string& mode, uint32_t workers, uint64_t items, uint64_t units,
+                   uint64_t spin_per_unit, uint32_t max_batch, bool locked_selection,
+                   int repeat) {
+  ModeResult result;
+  result.mode = mode;
+  // run < 0 is a discarded warmup: first-touch page faults, frequency ramp
+  // and thread-pool jitter land there instead of in the measured repeats.
+  for (int run = -1; run < repeat; ++run) {
+    runtime::ExecutorConfig config;
+    config.num_workers = workers;
+    config.spin_per_unit = spin_per_unit;
+    config.max_steal_batch = max_batch;
+    config.locked_selection = locked_selection;
+    config.seed = static_cast<uint64_t>(run < 0 ? 1 : run + 1);
+    runtime::Executor executor(policies::MakeThreadCount(), config);
+    std::vector<runtime::WorkItem> seed;
+    seed.reserve(items);
+    for (uint64_t id = 1; id <= items; ++id) {
+      seed.push_back(Item(id, units));
+    }
+    executor.Seed(0, seed);  // the overloaded producer: one hot queue
+    const runtime::ExecutorReport report = executor.Run();
+    if (run < 0) {
+      continue;
+    }
+    if (report.throughput_items_per_ms() > result.items_per_ms) {
+      result.items_per_ms = report.throughput_items_per_ms();
+      result.steal_actions = report.total_successes();
+      result.items_stolen = report.total_items_stolen();
+      result.failed_recheck = report.total_failed_recheck();
+    }
+  }
+  return result;
+}
+
+std::string FlagValue(int argc, char** argv, const char* name, const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+int Main(int argc, char** argv) {
+  const uint32_t workers =
+      static_cast<uint32_t>(std::atoi(FlagValue(argc, argv, "workers", "8").c_str()));
+  const uint64_t items =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "items", "24000").c_str()));
+  // ~1000 calibrated spins per item: heavy enough that the run outlives
+  // thread startup and the hot queue stays contended, light enough that
+  // scheduling overhead (what E14 measures) is a visible fraction.
+  const uint64_t units =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "units", "20").c_str()));
+  const uint64_t spin =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "spin", "50").c_str()));
+  const int repeat = std::atoi(FlagValue(argc, argv, "repeat", "3").c_str());
+  const std::string out = FlagValue(argc, argv, "out", "BENCH_e14_throughput.json");
+
+  bench::Section("E14a — steady-state allocation audit (selection + steal)");
+  const AllocAudit audit = RunAllocAudit(20000);
+  const double per_attempt =
+      static_cast<double>(audit.allocs) / static_cast<double>(audit.attempts);
+  bench::PrintTable(
+      {"attempts", "successes", "items moved", "heap allocs", "allocs/attempt"},
+      {{F("%llu", (unsigned long long)audit.attempts),
+        F("%llu", (unsigned long long)audit.successes),
+        F("%llu", (unsigned long long)audit.items_moved),
+        F("%llu", (unsigned long long)audit.allocs), F("%.6f", per_attempt)}});
+  if (audit.allocs != 0) {
+    bench::Note("FAIL: the steal hot path allocated in steady state");
+  } else {
+    bench::Note("zero heap allocations across all measured attempts");
+  }
+
+  bench::Section(F(
+      "E14b — overloaded producer, %u workers, %llu items x %llu units on queue 0, spin %llu",
+      workers, (unsigned long long)items, (unsigned long long)units, (unsigned long long)spin));
+  std::vector<ModeResult> modes;
+  modes.push_back(RunMode("steal_one", workers, items, units, spin, 1, false, repeat));
+  modes.push_back(RunMode("steal_half", workers, items, units, spin, 8, false, repeat));
+  modes.push_back(RunMode("locked_selection", workers, items, units, spin, 1, true, repeat));
+  std::vector<std::vector<std::string>> rows;
+  for (const ModeResult& m : modes) {
+    rows.push_back({m.mode, F("%.1f", m.items_per_ms),
+                    F("%llu", (unsigned long long)m.steal_actions),
+                    F("%llu", (unsigned long long)m.items_stolen),
+                    F("%llu", (unsigned long long)m.failed_recheck)});
+  }
+  bench::PrintTable({"mode", "items/ms", "steal actions", "items stolen", "failed recheck"},
+                    rows);
+
+  bench::Section("E14b — batch-cap sweep (steal-half cap 1..16)");
+  std::vector<ModeResult> sweep;
+  for (uint32_t cap : {1u, 2u, 4u, 8u, 16u}) {
+    sweep.push_back(RunMode(F("cap_%u", cap), workers, items, units, spin, cap, false, repeat));
+  }
+  rows.clear();
+  for (const ModeResult& m : sweep) {
+    rows.push_back({m.mode, F("%.1f", m.items_per_ms),
+                    F("%llu", (unsigned long long)m.steal_actions),
+                    F("%llu", (unsigned long long)m.items_stolen)});
+  }
+  bench::PrintTable({"cap", "items/ms", "steal actions", "items stolen"}, rows);
+
+  // Machine-readable summary (CI perf-smoke artifact + floor check).
+  std::string json = F(
+      "{\"experiment\":\"e14_throughput\",\"workers\":%u,\"items\":%llu,\"units\":%llu,"
+      "\"spin\":%llu,"
+      "\"alloc_audit\":{\"attempts\":%llu,\"successes\":%llu,\"items_moved\":%llu,"
+      "\"heap_allocs\":%llu,\"allocs_per_attempt\":%.6f},\"modes\":[",
+      workers, (unsigned long long)items, (unsigned long long)units, (unsigned long long)spin,
+      (unsigned long long)audit.attempts, (unsigned long long)audit.successes,
+      (unsigned long long)audit.items_moved, (unsigned long long)audit.allocs, per_attempt);
+  for (size_t i = 0; i < modes.size(); ++i) {
+    json += F("%s{\"mode\":\"%s\",\"items_per_ms\":%.2f,\"steal_actions\":%llu,"
+              "\"items_stolen\":%llu,\"failed_recheck\":%llu}",
+              i ? "," : "", modes[i].mode.c_str(), modes[i].items_per_ms,
+              (unsigned long long)modes[i].steal_actions,
+              (unsigned long long)modes[i].items_stolen,
+              (unsigned long long)modes[i].failed_recheck);
+  }
+  json += "],\"batch_sweep\":[";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    json += F("%s{\"cap\":\"%s\",\"items_per_ms\":%.2f,\"items_stolen\":%llu}", i ? "," : "",
+              sweep[i].mode.c_str(), sweep[i].items_per_ms,
+              (unsigned long long)sweep[i].items_stolen);
+  }
+  json += "]}\n";
+  if (trace::WriteStringToFile(out, json)) {
+    std::printf("\nsummary -> %s\n", out.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write '%s'\n", out.c_str());
+    return 1;
+  }
+  return audit.allocs == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace optsched
+
+int main(int argc, char** argv) { return optsched::Main(argc, argv); }

@@ -79,6 +79,9 @@ void PrintUsage(const char* prog) {
   std::printf("  --mc-loads=CSV      items seeded per queue, e.g. 0,1,2 (size = workers)\n");
   std::printf("  --mc-workers=N      shorthand for --mc-loads=0,1,...,N-1\n");
   std::printf("  --mc-attempts=N     steal attempts per worker (default 2)\n");
+  std::printf("  --mc-batch=N        max items per steal action (default 1 = steal-one)\n");
+  std::printf("  --mc-break-batch    fault mode: unbounded batch ignoring the migration\n");
+  std::printf("                      rule (the checker must find the steal-safety cex)\n");
   std::printf("  --mc-bound=N        preemption bound for exhaustive mode (default 2)\n");
   std::printf("  --mc-mode=KIND      exhaustive | pct (default exhaustive)\n");
   std::printf("  --mc-samples=N      PCT executions to sample (default 256)\n");
@@ -175,6 +178,9 @@ int RunMcExplore(int argc, char** argv) {
   config.attempts_per_worker =
       static_cast<uint32_t>(std::atoi(FlagValue(argc, argv, "mc-attempts", "2").c_str()));
   config.seed = static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "seed", "1").c_str()));
+  const int batch = std::atoi(FlagValue(argc, argv, "mc-batch", "1").c_str());
+  config.max_steal_batch = batch >= 1 ? static_cast<uint32_t>(batch) : 1;
+  config.break_batch_bound = HasFlag(argc, argv, "mc-break-batch");
   config.initial_loads = ParseLoads(FlagValue(argc, argv, "mc-loads", ""));
   if (config.initial_loads.empty()) {
     const int workers = std::atoi(FlagValue(argc, argv, "mc-workers", "3").c_str());
@@ -188,7 +194,8 @@ int RunMcExplore(int argc, char** argv) {
   for (size_t i = 0; i < config.initial_loads.size(); ++i) {
     std::printf("%s%lld", i ? "," : "", static_cast<long long>(config.initial_loads[i]));
   }
-  std::printf(", %u attempts, d0/2 = %lld\n", config.attempts_per_worker,
+  std::printf(", %u attempts, batch %u%s, d0/2 = %lld\n", config.attempts_per_worker,
+              config.max_steal_batch, config.break_batch_bound ? " (BROKEN BOUND)" : "",
               static_cast<long long>(harness.InitialPotential() / 2));
 
   std::vector<uint32_t> counterexample;

@@ -1,0 +1,50 @@
+// Non-owning, non-allocating reference to a callable — the hot-path
+// replacement for std::function in the steal phase.
+//
+// std::function type-erases by (potentially) heap-allocating a copy of the
+// callable; constructing one per steal attempt puts an allocator call inside
+// the two-lock critical section, which is exactly the synchronization
+// overhead the optimistic protocol exists to avoid. FunctionRef erases
+// through a {void*, function pointer} pair instead: zero allocation, two
+// words, trivially copyable. The referenced callable must outlive the
+// FunctionRef — callers pass stack lambdas down the call chain, never store
+// the ref.
+
+#ifndef OPTSCHED_SRC_BASE_FUNCTION_REF_H_
+#define OPTSCHED_SRC_BASE_FUNCTION_REF_H_
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace optsched {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): implicit by design, like
+  // std::function — call sites pass lambdas directly.
+  FunctionRef(F&& f) noexcept
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const { return call_(obj_, std::forward<Args>(args)...); }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace optsched
+
+#endif  // OPTSCHED_SRC_BASE_FUNCTION_REF_H_

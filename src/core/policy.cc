@@ -27,14 +27,31 @@ bool BalancePolicy::ShouldMigrate(int64_t task_weight, int64_t victim_load,
   return task_weight > 0 && task_weight < victim_load - thief_load;
 }
 
+uint32_t BalancePolicy::StealBatchHint(int64_t victim_load, int64_t thief_load) const {
+  // Steal-half: move ceil(gap/2) tasks so the locked pair ends balanced.
+  // Never less than 1 — a hint of 0 would turn an eligible steal into a
+  // guaranteed failure, which is the migration rule's job to decide.
+  const int64_t gap = victim_load - thief_load;
+  if (gap <= 1) {
+    return 1;
+  }
+  return static_cast<uint32_t>((gap + 1) / 2);
+}
+
 std::vector<CpuId> BalancePolicy::FilterCandidates(const SelectionView& view) const {
   std::vector<CpuId> out;
+  FilterCandidatesInto(view, out);
+  return out;
+}
+
+void BalancePolicy::FilterCandidatesInto(const SelectionView& view,
+                                         std::vector<CpuId>& out) const {
+  out.clear();
   for (CpuId c = 0; c < view.snapshot.num_cpus(); ++c) {
     if (c != view.self && CanSteal(view, c)) {
       out.push_back(c);
     }
   }
-  return out;
 }
 
 int64_t PolicyLoad(const BalancePolicy& policy, const LoadSnapshot& snapshot, CpuId cpu) {

@@ -83,9 +83,25 @@ class BalancePolicy {
   // exactly that.
   virtual bool ShouldMigrate(int64_t task_weight, int64_t victim_load, int64_t thief_load) const;
 
+  // CHOICE-layer batching hint: how many tasks one successful steal action
+  // should move, given the locked (exact) loads of the pair. The default is
+  // steal-half — ceil((victim - thief) / 2), the point where the pair is
+  // balanced — matching the Leiserson/Schardl/Suksompong observation that if
+  // successful steals are bounded, each one should move enough work to
+  // matter. This is only a HINT: the runtime caps it with its own
+  // `max_steal_batch` configuration, and every individual migration in the
+  // batch is still gated by ShouldMigrate against loads updated move-by-move,
+  // so the per-migration proofs (strict potential decrease, victim never
+  // idled) are untouched by whatever a policy returns here.
+  virtual uint32_t StealBatchHint(int64_t victim_load, int64_t thief_load) const;
+
   // Helper: runs STEP 1 over all cores, returning the stealable set in dense
   // core order. (Not virtual: the decomposition is the abstraction.)
   std::vector<CpuId> FilterCandidates(const SelectionView& view) const;
+
+  // Allocation-free variant for the runtime's hot path: clears and refills
+  // `out`, reusing its capacity (steady state: zero heap traffic per call).
+  void FilterCandidatesInto(const SelectionView& view, std::vector<CpuId>& out) const;
 };
 
 // Load of a core as this policy measures it.

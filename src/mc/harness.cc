@@ -22,6 +22,8 @@ StealHarness::Config StealHarness::Config::FromSchedule(const Schedule& schedule
   config.attempts_per_worker = schedule.attempts_per_worker;
   config.seed = schedule.seed;
   config.recheck = schedule.recheck;
+  config.max_steal_batch = schedule.max_steal_batch;
+  config.break_batch_bound = schedule.break_batch_bound;
   return config;
 }
 
@@ -84,12 +86,17 @@ void StealHarness::StealOnce(uint32_t worker, Rng& rng) {
   const StealCounters before = counters_[worker];
   CpuId victim = 0;
   StealObservation observation;
-  const bool ok = machine_->TrySteal(*policy_, worker, snapshot, rng, config_.recheck,
+  const runtime::StealOptions options{.recheck = config_.recheck,
+                                      .max_batch = config_.max_steal_batch,
+                                      .break_batch_bound = config_.break_batch_bound};
+  const bool ok = machine_->TrySteal(*policy_, worker, snapshot, rng, options,
                                      counters_[worker], &topology_, &victim, &observation);
   const StealCounters& after = counters_[worker];
   if (ok) {
     scheduler->Note(kUserStealOk, victim, observation.victim_tasks_after,
                     static_cast<int64_t>(observation.item_id));
+    scheduler->Note(kUserStealBatch, static_cast<int64_t>(observation.items_moved),
+                    static_cast<int64_t>(observation.seqlock_writes), victim);
   } else if (after.failed_recheck > before.failed_recheck) {
     scheduler->Note(kUserStealFailRecheck, victim);
   } else if (after.failed_no_task > before.failed_no_task) {
@@ -168,6 +175,8 @@ Schedule StealHarness::MakeSchedule(const std::vector<uint32_t>& choices) const 
   schedule.attempts_per_worker = config_.attempts_per_worker;
   schedule.seed = config_.seed;
   schedule.recheck = config_.recheck;
+  schedule.max_steal_batch = config_.max_steal_batch;
+  schedule.break_batch_bound = config_.break_batch_bound;
   schedule.choices = choices;
   return schedule;
 }
@@ -245,8 +254,15 @@ std::vector<PropertyReport> StealHarness::Evaluate(const ExecutionResult& result
                                    expected.size(), seen.size()));
 
   // --- steal-safety: no successful steal idled its victim --------------------
+  // Batched steals included: arg1 is the victim's task count after the WHOLE
+  // batch left, read under both locks.
   uint64_t successes = 0;
+  uint64_t items_moved = 0;
   for (const McEvent& event : result.events) {
+    if (event.user_kind == kUserStealBatch) {
+      items_moved += static_cast<uint64_t>(event.arg0);
+      continue;
+    }
     if (event.user_kind != kUserStealOk) {
       continue;
     }
@@ -261,17 +277,43 @@ std::vector<PropertyReport> StealHarness::Evaluate(const ExecutionResult& result
     add("steal-safety", true);
   }
 
+  // --- publish-batching: ≤ 2 seqlock publishes per steal critical section ----
+  // One per queue, however many items the batch moved. This is the seqlock
+  // write-count assertion: per-item publishing under both held locks would
+  // show up here as seqlock_writes == items_moved + 1.
+  {
+    bool holds = true;
+    std::string detail;
+    for (const McEvent& event : result.events) {
+      if (event.user_kind == kUserStealBatch && event.arg1 > 2) {
+        holds = false;
+        detail = StrFormat(
+            "worker %u published %lld times in one steal critical section (%lld items)",
+            event.thread, static_cast<long long>(event.arg1),
+            static_cast<long long>(event.arg0));
+        break;
+      }
+    }
+    add("publish-batching", holds, std::move(detail));
+  }
+
   if (config_.mode != "balance") {
     return reports;
   }
 
-  // --- bounded-steals: successes ≤ d(initial)/2 (§4.3) -----------------------
+  // --- bounded-steals: migrated items ≤ d(initial)/2 (§4.3) ------------------
+  // Each permitted migration strictly decreases the potential by ≥ 2, so the
+  // ITEM count is bounded by d0/2 — and since every successful action moves
+  // ≥ 1 item, the action count inherits the same bound (successes ≤ items).
   const int64_t bound = InitialPotential() / 2;
-  add("bounded-steals", static_cast<int64_t>(successes) <= bound,
-      static_cast<int64_t>(successes) <= bound
+  const bool actions_bounded = successes <= items_moved;
+  const bool items_bounded = static_cast<int64_t>(items_moved) <= bound;
+  add("bounded-steals", actions_bounded && items_bounded,
+      actions_bounded && items_bounded
           ? ""
-          : StrFormat("%llu successful steals > d0/2 = %lld",
+          : StrFormat("%llu actions / %llu migrated items vs d0/2 = %lld",
                       static_cast<unsigned long long>(successes),
+                      static_cast<unsigned long long>(items_moved),
                       static_cast<long long>(bound)));
 
   // --- failure-causality: every failed re-check has a concurrent successful

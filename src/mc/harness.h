@@ -15,9 +15,15 @@
 // Properties (per mode):
 //   no-lost-items     — multiset{initial items} == queued ∪ executed after.
 //   steal-safety      — no successful steal left its victim idle (observed
-//                       under both locks, §4.1).
-//   bounded-steals    — successful steals ≤ d(initial)/2 (§4.3): every
-//                       permitted migration strictly decreases the potential.
+//                       under both locks, §4.1) — batches included: the whole
+//                       batch must keep the victim non-idle.
+//   bounded-steals    — migrated ITEMS ≤ d(initial)/2 (§4.3): every permitted
+//                       migration strictly decreases the potential, so the
+//                       item bound also bounds steal ACTIONS (each action
+//                       moves ≥ 1 item).
+//   publish-batching  — a successful steal performs ≤ 2 seqlock publishes
+//                       inside its critical section (one per queue), however
+//                       many items the batch moved.
 //   failure-causality — every failed re-check has a concurrent successful
 //                       steal inside its snapshot→recheck window (§4.2: all
 //                       failures are caused by the optimism, not spurious).
@@ -58,6 +64,13 @@ class StealHarness {
     uint32_t attempts_per_worker = 2;
     uint64_t seed = 1;
     bool recheck = true;
+    // Batched steal-half: cap on items per successful steal action (see
+    // StealOptions::max_batch). 1 = the original steal-one protocol.
+    uint32_t max_steal_batch = 1;
+    // Fault mode: ignore the migration rule and the batch cap, stripping the
+    // victim bare — the checker must find the steal-safety violation and
+    // minimize it (see StealOptions::break_batch_bound).
+    bool break_batch_bound = false;
 
     static Config FromSchedule(const Schedule& schedule);
   };

@@ -188,6 +188,8 @@ std::string Schedule::ToJson() const {
   out += StrFormat(",\n  \"attempts_per_worker\": %u", attempts_per_worker);
   out += StrFormat(",\n  \"seed\": %llu", static_cast<unsigned long long>(seed));
   out += std::string(",\n  \"recheck\": ") + (recheck ? "true" : "false");
+  out += StrFormat(",\n  \"max_steal_batch\": %u", max_steal_batch);
+  out += std::string(",\n  \"break_batch_bound\": ") + (break_batch_bound ? "true" : "false");
   out += ",\n  \"property\": ";
   AppendEscaped(out, property);
   out += ",\n  \"note\": ";
@@ -221,6 +223,11 @@ std::optional<Schedule> Schedule::FromJson(const std::string& json) {
     schedule.seed = static_cast<uint64_t>(seed);
   }
   scanner.GetBool("recheck", schedule.recheck);
+  int64_t max_batch = 0;
+  if (scanner.GetInt("max_steal_batch", max_batch) && max_batch >= 1) {
+    schedule.max_steal_batch = static_cast<uint32_t>(max_batch);
+  }
+  scanner.GetBool("break_batch_bound", schedule.break_batch_bound);
   scanner.GetString("property", schedule.property);
   scanner.GetString("note", schedule.note);
   std::vector<int64_t> choices;

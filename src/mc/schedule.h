@@ -27,6 +27,11 @@ struct Schedule {
   uint32_t attempts_per_worker = 0;
   uint64_t seed = 1;
   bool recheck = true;
+  // Batched steal-half cap (1 = steal-one; matches StealOptions::max_batch).
+  // Absent in pre-batching golden files; FromJson defaults to 1.
+  uint32_t max_steal_batch = 1;
+  // Fault mode: unbounded batch ignoring the migration rule (idles victims).
+  bool break_batch_bound = false;
   // The violated property ("" when the schedule is not a counterexample).
   std::string property;
   std::string note;

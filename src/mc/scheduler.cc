@@ -49,6 +49,7 @@ const char* UserEventKindName(uint32_t kind) {
     case kUserPark: return "park";
     case kUserWake: return "wake";
     case kUserEpochBump: return "epoch-bump";
+    case kUserStealBatch: return "steal-batch";
   }
   return "?";
 }

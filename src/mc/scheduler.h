@@ -91,6 +91,10 @@ enum UserEventKind : uint32_t {
   kUserPark = 7,         // waiting on the escalation epoch
   kUserWake = 8,         // resumed after an epoch bump
   kUserEpochBump = 9,
+  // Batch facts of the immediately preceding kUserStealOk (same thread):
+  // arg0 = items moved, arg1 = seqlock publishes inside the critical section
+  // (publish batching requires <= 2), arg2 = victim.
+  kUserStealBatch = 10,
 };
 
 const char* UserEventKindName(uint32_t kind);

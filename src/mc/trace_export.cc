@@ -50,6 +50,10 @@ std::vector<TraceEvent> ToTraceEvents(const std::vector<McEvent>& events, bool i
         te.type = EventType::kEscalation;
         te.detail = event.arg0;  // new epoch
         break;
+      case kUserStealBatch:
+        // Batch metadata for the preceding steal-ok; the steal row already
+        // carries the pair, so this only adds noise to a human timeline.
+        continue;
       case kUserNone:
       default:
         if (!include_sync) {

@@ -1,7 +1,6 @@
 #include "src/runtime/concurrent_machine.h"
 
 #include <algorithm>
-#include <functional>
 #include <mutex>
 
 #include "src/base/check.h"
@@ -17,13 +16,17 @@ void ConcurrentRunQueue::PublishLocked() {
 
 std::optional<WorkItem> ConcurrentRunQueue::PopForRun() {
   std::lock_guard<SpinLock> guard(lock_);
+  // Invariant before mutation: if the owner already runs an item, abort with
+  // the queue untouched — the old order popped and unpublished first, so a
+  // firing check reported a state the queue was no longer in (and the item
+  // was silently gone from the load accounting).
+  OPTSCHED_CHECK_MSG(!running_, "owner already runs an item");
   if (ready_.empty()) {
     return std::nullopt;
   }
   WorkItem item = ready_.front();
   ready_.pop_front();
   queued_weight_ -= item.weight;
-  OPTSCHED_CHECK_MSG(!running_, "owner already runs an item");
   running_ = true;
   running_weight_ = item.weight;
   PublishLocked();
@@ -50,23 +53,46 @@ LoadPair ConcurrentRunQueue::ExactLoadLocked() const {
   return load;
 }
 
-std::optional<WorkItem> ConcurrentRunQueue::StealTailLocked(
-    const std::function<bool(const WorkItem&)>& eligible) {
-  for (auto it = ready_.rbegin(); it != ready_.rend(); ++it) {
-    if (eligible(*it)) {
-      WorkItem item = *it;
-      ready_.erase(std::next(it).base());
-      queued_weight_ -= item.weight;
-      PublishLocked();
-      return item;
+uint32_t ConcurrentRunQueue::StealTailLocked(FunctionRef<bool(const WorkItem&)> eligible,
+                                             uint32_t max_items, std::vector<WorkItem>& out) {
+  uint32_t taken = 0;
+  // Newest-first scan by index (erase invalidates deque iterators). Skipped
+  // items stay skipped: the batch only tightens the loads as it grows, so an
+  // item the rule rejected at a wider gap cannot become eligible later.
+  for (size_t i = ready_.size(); i > 0 && taken < max_items;) {
+    --i;
+    if (!eligible(ready_[i])) {
+      continue;
     }
+    const WorkItem item = ready_[i];
+    ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(i));
+    queued_weight_ -= item.weight;
+    out.push_back(item);
+    ++taken;
   }
-  return std::nullopt;
+  if (taken > 0) {
+    // One publish for the whole batch: with per-item publishes a batch of N
+    // performed N seqlock writes under BOTH held locks, each one stalling
+    // every concurrent snapshot reader into a retry loop.
+    PublishLocked();
+  }
+  return taken;
 }
 
 void ConcurrentRunQueue::PushLocked(WorkItem item) {
   queued_weight_ += item.weight;
   ready_.push_back(item);
+  PublishLocked();
+}
+
+void ConcurrentRunQueue::PushBatchLocked(const WorkItem* items, uint32_t count) {
+  if (count == 0) {
+    return;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    queued_weight_ += items[i].weight;
+    ready_.push_back(items[i]);
+  }
   PublishLocked();
 }
 
@@ -78,34 +104,46 @@ ConcurrentMachine::ConcurrentMachine(uint32_t num_queues) {
   }
 }
 
+void ConcurrentMachine::SnapshotInto(LoadSnapshot& out) const {
+  // resize() is a no-op after the first call on a reused buffer; the refill
+  // happens in place, so the selection phase never touches the allocator.
+  out.task_count.resize(queues_.size());
+  out.weighted_load.resize(queues_.size());
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    const LoadPair load = queues_[i]->ReadLoad();
+    out.task_count[i] = load.task_count;
+    out.weighted_load[i] = load.weighted_load;
+  }
+}
+
 LoadSnapshot ConcurrentMachine::Snapshot() const {
   LoadSnapshot snap;
-  snap.task_count.reserve(queues_.size());
-  snap.weighted_load.reserve(queues_.size());
-  for (const auto& queue : queues_) {
-    const LoadPair load = queue->ReadLoad();
-    snap.task_count.push_back(load.task_count);
-    snap.weighted_load.push_back(load.weighted_load);
-  }
+  SnapshotInto(snap);
   return snap;
 }
 
-LoadSnapshot ConcurrentMachine::LockedSnapshot() {
+void ConcurrentMachine::LockedSnapshotInto(LoadSnapshot& out) {
   // Lock everything in index order (the machine-wide ranking): exact, but
   // owners stall on their own queue lock for the duration — the cost the
   // paper's design deliberately avoids.
   for (auto& queue : queues_) {
     queue->lock().lock();
   }
-  LoadSnapshot snap;
-  for (const auto& queue : queues_) {
-    const LoadPair load = queue->ExactLoadLocked();
-    snap.task_count.push_back(load.task_count);
-    snap.weighted_load.push_back(load.weighted_load);
+  out.task_count.resize(queues_.size());
+  out.weighted_load.resize(queues_.size());
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    const LoadPair load = queues_[i]->ExactLoadLocked();
+    out.task_count[i] = load.task_count;
+    out.weighted_load[i] = load.weighted_load;
   }
   for (auto it = queues_.rbegin(); it != queues_.rend(); ++it) {
     (*it)->lock().unlock();
   }
+}
+
+LoadSnapshot ConcurrentMachine::LockedSnapshot() {
+  LoadSnapshot snap;
+  LockedSnapshotInto(snap);
   return snap;
 }
 
@@ -117,18 +155,30 @@ uint64_t ConcurrentMachine::TotalSeqlockReadRetries() const {
   return total;
 }
 
+uint64_t ConcurrentMachine::TotalSeqlockWrites() const {
+  uint64_t total = 0;
+  for (const auto& queue : queues_) {
+    total += queue->SeqlockWriteCount();
+  }
+  return total;
+}
+
 bool ConcurrentMachine::TrySteal(const BalancePolicy& policy, CpuId thief,
-                                 const LoadSnapshot& snapshot, Rng& rng, bool recheck,
-                                 StealCounters& counters, const Topology* topology,
-                                 CpuId* victim_out, StealObservation* observation_out) {
-  // --- Selection phase (no locks) -------------------------------------------
+                                 const LoadSnapshot& snapshot, Rng& rng,
+                                 const StealOptions& options, StealCounters& counters,
+                                 const Topology* topology, CpuId* victim_out,
+                                 StealObservation* observation_out, StealScratch* scratch) {
+  StealScratch local_scratch;  // tests and the mc harness may not thread one
+  StealScratch& s = scratch != nullptr ? *scratch : local_scratch;
+
+  // --- Selection phase (no locks, no allocations) ----------------------------
   const SelectionView view{.self = thief, .snapshot = snapshot, .topology = topology};
-  const std::vector<CpuId> candidates = policy.FilterCandidates(view);  // step 1
-  if (candidates.empty()) {
+  policy.FilterCandidatesInto(view, s.candidates);  // step 1
+  if (s.candidates.empty()) {
     ++counters.empty_filter;
     return false;
   }
-  const CpuId victim = policy.SelectCore(view, candidates, rng);  // step 2
+  const CpuId victim = policy.SelectCore(view, s.candidates, rng);  // step 2
   OPTSCHED_CHECK(victim != thief);
   if (victim_out != nullptr) {
     *victim_out = victim;
@@ -143,8 +193,11 @@ bool ConcurrentMachine::TrySteal(const BalancePolicy& policy, CpuId thief,
                       thief < victim ? victim_queue.lock() : thief_queue.lock());
 
   // Exact loads for the locked pair; other cores stay as the (stale) snapshot
-  // observed them — a thief can only be sure of what it locked.
-  LoadSnapshot locked_snapshot = snapshot;
+  // observed them — a thief can only be sure of what it locked. The copy
+  // assignment reuses the scratch snapshot's capacity (no allocation).
+  LoadSnapshot& locked_snapshot = s.locked_snapshot;
+  locked_snapshot.task_count = snapshot.task_count;
+  locked_snapshot.weighted_load = snapshot.weighted_load;
   const LoadPair victim_load = victim_queue.ExactLoadLocked();
   const LoadPair thief_load = thief_queue.ExactLoadLocked();
   locked_snapshot.task_count[victim] = victim_load.task_count;
@@ -154,30 +207,57 @@ bool ConcurrentMachine::TrySteal(const BalancePolicy& policy, CpuId thief,
 
   const SelectionView locked_view{.self = thief, .snapshot = locked_snapshot,
                                   .topology = topology};
-  if (recheck && !policy.CanSteal(locked_view, victim)) {
+  if (options.recheck && !policy.CanSteal(locked_view, victim)) {
     ++counters.failed_recheck;
     return false;
   }
 
+  const uint64_t writes_before =
+      victim_queue.SeqlockWriteCount() + thief_queue.SeqlockWriteCount();
+
   const LoadMetric metric = policy.metric();
-  const int64_t v = metric == LoadMetric::kTaskCount ? victim_load.task_count
-                                                     : victim_load.weighted_load;
-  const int64_t t = metric == LoadMetric::kTaskCount ? thief_load.task_count
-                                                     : thief_load.weighted_load;
-  std::optional<WorkItem> stolen =
-      victim_queue.StealTailLocked([&](const WorkItem& item) {
+  // Running pair loads, updated as the batch grows so every migration is
+  // judged against the loads it would actually act on.
+  int64_t v = metric == LoadMetric::kTaskCount ? victim_load.task_count
+                                               : victim_load.weighted_load;
+  int64_t t = metric == LoadMetric::kTaskCount ? thief_load.task_count
+                                               : thief_load.weighted_load;
+  uint32_t max_items;
+  if (options.break_batch_bound) {
+    // mc fault mode: no cap — the harness wants the victim stripped bare.
+    max_items = ~0u;
+  } else {
+    max_items = std::min(std::max(options.max_batch, 1u),
+                         std::max(policy.StealBatchHint(v, t), 1u));
+  }
+  s.batch.clear();
+  const uint32_t moved = victim_queue.StealTailLocked(
+      [&](const WorkItem& item) {
+        if (options.break_batch_bound) {
+          return true;  // ignore the migration rule: provoke the violation
+        }
         const int64_t w =
             metric == LoadMetric::kTaskCount ? 1 : static_cast<int64_t>(item.weight);
-        return policy.ShouldMigrate(w, v, t);
-      });
-  if (!stolen.has_value()) {
+        if (!policy.ShouldMigrate(w, v, t)) {
+          return false;
+        }
+        v -= w;  // returning true commits the removal; keep the running
+        t += w;  // loads exact for the next candidate
+        return true;
+      },
+      max_items, s.batch);
+  if (moved == 0) {
     ++counters.failed_no_task;
     return false;
   }
-  thief_queue.PushLocked(*stolen);
+  thief_queue.PushBatchLocked(s.batch.data(), moved);
   ++counters.successes;
+  counters.items_stolen += moved;
   if (observation_out != nullptr) {
-    observation_out->item_id = stolen->id;
+    observation_out->item_id = s.batch.front().id;
+    observation_out->items_moved = moved;
+    observation_out->seqlock_writes =
+        victim_queue.SeqlockWriteCount() + thief_queue.SeqlockWriteCount() - writes_before;
     observation_out->victim_tasks_after = victim_queue.ExactLoadLocked().task_count;
     observation_out->thief_tasks_after = thief_queue.ExactLoadLocked().task_count;
   }

@@ -6,9 +6,21 @@
 //     stale — the optimistic part),
 //   * the STEALING phase locks exactly the thief's and the victim's queues
 //     (queue-index order), re-checks the policy's filter against the now-exact
-//     loads of the pair, and migrates one item.
+//     loads of the pair, and migrates a batch of up to
+//     min(StealOptions::max_batch, policy.StealBatchHint()) items — each one
+//     individually gated by the migration rule against loads updated
+//     move-by-move, so the per-migration proofs carry over to batches.
 // Steals that fail the re-check are counted, not retried — they are the
 // paper's legitimate failures.
+//
+// Hot-path cost model (docs/runtime.md): the selection + steal path performs
+// ZERO heap allocations in the steady state. Snapshots refill caller-owned
+// buffers in place, the eligibility callback is a non-allocating FunctionRef,
+// and the steal batch lands in a reusable scratch vector. Each queue's lock
+// and published load live on their own cache lines so a thief's seqlock reads
+// never false-share with the owner's deque mutations, and the whole batch is
+// published ONCE per queue per critical section — two seqlock writes per
+// successful steal action, however many items moved.
 
 #ifndef OPTSCHED_SRC_RUNTIME_CONCURRENT_MACHINE_H_
 #define OPTSCHED_SRC_RUNTIME_CONCURRENT_MACHINE_H_
@@ -16,17 +28,23 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "src/base/function_ref.h"
 #include "src/core/policy.h"
 #include "src/runtime/seqlock.h"
 #include "src/runtime/spinlock.h"
 #include "src/sched/machine_state.h"
 
 namespace optsched::runtime {
+
+// Destructive-interference granularity for the field padding below. A
+// compile-time constant (not std::hardware_destructive_interference_size,
+// which is ABI-fragile and warns under GCC) — 64 bytes is correct for every
+// x86-64 and the common AArch64 parts this runs on.
+inline constexpr std::size_t kCacheLineSize = 64;
 
 // A unit of work: `work_units` spins of the calibrated work loop.
 struct WorkItem {
@@ -48,6 +66,9 @@ class ConcurrentRunQueue {
 
   // Pops the head for execution; the popped item counts as the core's
   // "current" (still part of the published load) until FinishCurrent().
+  // The single-current invariant is checked BEFORE any mutation: a firing
+  // check must leave the queue exactly as it found it (item still queued,
+  // load still published), so the post-mortem state is trustworthy.
   std::optional<WorkItem> PopForRun();
   // Declares the current item finished; load drops accordingly.
   void FinishCurrent();
@@ -59,33 +80,81 @@ class ConcurrentRunQueue {
   // Torn-read retries the published-load seqlock has absorbed (staleness
   // pressure on this queue's snapshot; see Seqlock::read_retries).
   uint64_t SeqlockReadRetries() const { return published_.read_retries(); }
+  // Completed publishes of this queue's load. The steal path must bump this
+  // at most once per held-lock critical section (publish batching).
+  uint64_t SeqlockWriteCount() const { return published_.write_count(); }
 
   // --- Cross-core steal support ----------------------------------------------
   SpinLock& lock() { return lock_; }
   // Must hold lock(): exact loads / queue access.
   LoadPair ExactLoadLocked() const;
-  std::optional<WorkItem> StealTailLocked(
-      const std::function<bool(const WorkItem&)>& eligible);
+  // Removes up to `max_items` items from the tail, newest first, appending
+  // them to `out`. `eligible` is consulted once per candidate; returning true
+  // COMMITS the removal (callers update their running victim/thief loads
+  // inside the callback). Ineligible items are skipped, the scan continues
+  // toward the head. The published load is written ONCE, after the last
+  // removal — not per item — so concurrent seqlock readers see one
+  // invalidation per steal action. Returns the number of items taken.
+  uint32_t StealTailLocked(FunctionRef<bool(const WorkItem&)> eligible, uint32_t max_items,
+                           std::vector<WorkItem>& out);
   void PushLocked(WorkItem item);
+  // Appends `count` items and publishes the new load once.
+  void PushBatchLocked(const WorkItem* items, uint32_t count);
 
  private:
   void PublishLocked();
 
-  mutable SpinLock lock_;
+  // The owner's lock + deque and the thieves' read-mostly published load are
+  // split onto separate cache lines: a thief polling published_ must not
+  // contend with the owner pushing/popping ready_, and the lock word must not
+  // share a line with either (lock handoff invalidates it constantly).
+  alignas(kCacheLineSize) mutable SpinLock lock_;
   std::deque<WorkItem> ready_;
   bool running_ = false;
   int64_t running_weight_ = 0;
   int64_t queued_weight_ = 0;
-  Seqlock<LoadPair> published_;
+  alignas(kCacheLineSize) Seqlock<LoadPair> published_;
 };
 
-// Outcome counters for one worker's stealing activity.
+// Outcome counters for one worker's stealing activity. `successes` counts
+// steal ACTIONS (critical sections that moved >= 1 item); `items_stolen`
+// counts migrated items. Invariant: successes <= items_stolen <=
+// successes * max_batch (mirrors BalanceStats successes/tasks_moved).
 struct StealCounters {
   uint64_t attempts = 0;
   uint64_t successes = 0;
+  uint64_t items_stolen = 0;
   uint64_t failed_recheck = 0;
   uint64_t failed_no_task = 0;
   uint64_t empty_filter = 0;
+};
+
+// Knobs of one TrySteal call. Defaults reproduce the paper's Listing 1
+// exactly: re-checked, one item per successful steal (`steal_one`).
+struct StealOptions {
+  // Listing 1 line 12; false is the D2 ablation (steal on stale loads).
+  bool recheck = true;
+  // Cap on items migrated per successful steal action. The effective batch is
+  // min(max_batch, policy.StealBatchHint(victim, thief)) with every item
+  // still gated by ShouldMigrate — 1 preserves the original steal-one
+  // behaviour, larger values enable steal-half batching.
+  uint32_t max_batch = 1;
+  // FAULT KNOB for the model-checking harness only (docs/model_checking.md):
+  // ignore both the migration rule and the batch cap and strip the victim
+  // bare. Deliberately violates steal safety — exists so the checker can
+  // demonstrate it finds and minimizes the resulting counterexample. Never
+  // set in production paths.
+  bool break_batch_bound = false;
+};
+
+// Reusable scratch buffers for the selection + steal hot path. One per
+// worker, passed into TrySteal: every vector reaches its high-water capacity
+// during warmup and is refilled in place afterwards (resize-once, zero
+// steady-state allocations).
+struct StealScratch {
+  std::vector<CpuId> candidates;
+  LoadSnapshot locked_snapshot;
+  std::vector<WorkItem> batch;
 };
 
 // Facts about a successful steal captured while both runqueue locks were
@@ -93,7 +162,12 @@ struct StealCounters {
 // (steal safety, §4.1) can be asserted without racing later mutations. The
 // model checker's harness consumes this; production callers pass nullptr.
 struct StealObservation {
-  uint64_t item_id = 0;
+  uint64_t item_id = 0;  // first (tail-most) migrated item
+  uint32_t items_moved = 0;
+  // Seqlock publishes performed inside this critical section across both
+  // queues. Publish batching requires <= 2 (one per queue) regardless of
+  // items_moved; the mc harness asserts exactly that.
+  uint64_t seqlock_writes = 0;
   int64_t victim_tasks_after = 0;
   int64_t thief_tasks_after = 0;
 };
@@ -107,26 +181,35 @@ class ConcurrentMachine {
 
   // Lock-free load snapshot across all queues (selection-phase view).
   LoadSnapshot Snapshot() const;
+  // Allocation-free variant: resizes `out` once, refills it in place.
+  void SnapshotInto(LoadSnapshot& out) const;
 
   // Snapshot taken while holding every queue lock (the D3 ablation: "locked
   // selection" — exact but stalls all owners).
   LoadSnapshot LockedSnapshot();
+  void LockedSnapshotInto(LoadSnapshot& out);
 
   // Full three-step attempt by `thief`: filter+choice on `snapshot`, then the
-  // two-lock steal phase with re-check (unless `recheck` is false — the D2
-  // ablation). On success the stolen item is pushed onto the thief's queue.
-  // Updates `counters`. When the filter was non-empty, `victim_out` (if
-  // given) receives the chosen victim — trace events want to attribute the
-  // outcome to the pair, not just the thief.
+  // two-lock steal phase with re-check and batched migration per `options`.
+  // On success the stolen items are pushed onto the thief's queue (one
+  // publish per queue). Updates `counters`. When the filter was non-empty,
+  // `victim_out` (if given) receives the chosen victim — trace events want to
+  // attribute the outcome to the pair, not just the thief.
   // `observation_out` (if given) is filled on success with the post-steal
-  // loads of the locked pair and the migrated item id, read under the locks.
+  // loads of the locked pair, the batch size and the critical section's
+  // publish count, all read under the locks. `scratch` (if given) supplies
+  // the reusable buffers that make the attempt allocation-free; null falls
+  // back to call-local buffers (tests, harness).
   bool TrySteal(const BalancePolicy& policy, CpuId thief, const LoadSnapshot& snapshot,
-                Rng& rng, bool recheck, StealCounters& counters,
+                Rng& rng, const StealOptions& options, StealCounters& counters,
                 const Topology* topology = nullptr, CpuId* victim_out = nullptr,
-                StealObservation* observation_out = nullptr);
+                StealObservation* observation_out = nullptr,
+                StealScratch* scratch = nullptr);
 
   // Sum of SeqlockReadRetries over all queues.
   uint64_t TotalSeqlockReadRetries() const;
+  // Sum of SeqlockWriteCount over all queues.
+  uint64_t TotalSeqlockWrites() const;
 
  private:
   std::vector<std::unique_ptr<ConcurrentRunQueue>> queues_;

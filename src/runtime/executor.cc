@@ -39,6 +39,14 @@ uint64_t ExecutorReport::total_successes() const {
   return total;
 }
 
+uint64_t ExecutorReport::total_items_stolen() const {
+  uint64_t total = 0;
+  for (const WorkerStats& w : workers) {
+    total += w.steals.items_stolen;
+  }
+  return total;
+}
+
 uint64_t ExecutorReport::total_failed_recheck() const {
   uint64_t total = 0;
   for (const WorkerStats& w : workers) {
@@ -80,9 +88,10 @@ double ExecutorReport::throughput_items_per_ms() const {
 std::string ExecutorReport::ToString() const {
   std::string out = StrFormat(
       "executor{items=%llu wall=%.2fms throughput=%.1f items/ms steals=%llu "
-      "failed_recheck=%llu attempts=%llu backoffs=%llu}",
+      "stolen_items=%llu failed_recheck=%llu attempts=%llu backoffs=%llu}",
       static_cast<unsigned long long>(total_items), static_cast<double>(wall_time_ns) / 1e6,
       throughput_items_per_ms(), static_cast<unsigned long long>(total_successes()),
+      static_cast<unsigned long long>(total_items_stolen()),
       static_cast<unsigned long long>(total_failed_recheck()),
       static_cast<unsigned long long>(total_attempts()),
       static_cast<unsigned long long>(total_backoff_events()));
@@ -134,6 +143,7 @@ void ExecutorReport::ExportMetrics(trace::MetricsRegistry& registry) const {
     registry.Add("executor.units_executed", static_cast<double>(w.units_executed));
     registry.Add("executor.steals.attempts", static_cast<double>(w.steals.attempts));
     registry.Add("executor.steals.successes", static_cast<double>(w.steals.successes));
+    registry.Add("executor.steals.items_stolen", static_cast<double>(w.steals.items_stolen));
     registry.Add("executor.steals.failed_recheck", static_cast<double>(w.steals.failed_recheck));
     registry.Add("executor.steals.failed_no_task", static_cast<double>(w.steals.failed_no_task));
     registry.Add("executor.steals.empty_filter", static_cast<double>(w.steals.empty_filter));
@@ -167,19 +177,42 @@ Executor::Executor(std::shared_ptr<const BalancePolicy> policy, const ExecutorCo
 }
 
 void Executor::Seed(uint32_t queue_index, const std::vector<WorkItem>& items) {
-  OPTSCHED_CHECK(queue_index < machine_.num_queues());
-  for (const WorkItem& item : items) {
-    machine_.queue(queue_index).Push(item);
-  }
-  submitted_items_.fetch_add(items.size(), std::memory_order_relaxed);
-  remaining_items_.fetch_add(items.size(), std::memory_order_relaxed);
+  SubmitBatch(queue_index, items);
 }
 
 void Executor::Submit(uint32_t queue_index, const WorkItem& item) {
   OPTSCHED_CHECK(queue_index < machine_.num_queues());
-  machine_.queue(queue_index).Push(item);
   submitted_items_.fetch_add(1, std::memory_order_relaxed);
   remaining_items_.fetch_add(1, std::memory_order_release);
+  machine_.queue(queue_index).Push(item);
+}
+
+// Ordering contract for remaining_items_, shared by Submit and SubmitBatch
+// (they used to disagree — Submit released, the batch path was relaxed):
+//
+//  * The count is bumped BEFORE any item of the batch becomes poppable.
+//    Workers only decrement after executing an item, and an executed item was
+//    necessarily pushed after its increment, so the counter can never read 0
+//    while an unexecuted item sits in a queue — keep_running()'s acquire load
+//    observing 0 really means "drained", and closed-system Run() cannot
+//    terminate early. (The old push-then-add order let a fast worker
+//    decrement before the producer's add, transiently wrapping the counter.)
+//  * memory_order_release on the add pairs with the acquire load in
+//    keep_running(): a worker that observes the new count also observes
+//    everything the producer wrote before submitting. Item payload visibility
+//    itself rides on the queue SpinLock (release on unlock, acquire on lock);
+//    the counter's release is what orders producer-side writes *outside* the
+//    queue for workers that act on the count without touching the queue yet.
+void Executor::SubmitBatch(uint32_t queue_index, const std::vector<WorkItem>& items) {
+  OPTSCHED_CHECK(queue_index < machine_.num_queues());
+  if (items.empty()) {
+    return;
+  }
+  submitted_items_.fetch_add(items.size(), std::memory_order_relaxed);
+  remaining_items_.fetch_add(items.size(), std::memory_order_release);
+  for (const WorkItem& item : items) {
+    machine_.queue(queue_index).Push(item);
+  }
 }
 
 void Executor::WorkerMain(uint32_t worker_index, WorkerStats& stats,
@@ -189,6 +222,13 @@ void Executor::WorkerMain(uint32_t worker_index, WorkerStats& stats,
   fault::FaultInjector* injector = injector_.get();
   uint32_t fruitless = 0;
   uint64_t backoff_spins = 0;  // current window; 0 = not backing off
+  // Hot-path buffers, allocated once per worker and refilled in place: after
+  // warmup a full selection + steal attempt performs zero heap allocations
+  // (docs/runtime.md, "hot-path cost model").
+  LoadSnapshot snapshot;
+  StealScratch steal_scratch;
+  const StealOptions steal_options{.recheck = config_.recheck_filter,
+                                   .max_batch = std::max(config_.max_steal_batch, 1u)};
   // Last snapshot this worker took; a StaleSnapshot fault makes the next
   // selection run against it instead of a fresh read.
   LoadSnapshot stale_view;
@@ -262,12 +302,15 @@ void Executor::WorkerMain(uint32_t worker_index, WorkerStats& stats,
     bool stole = false;
     if (injector == nullptr || !injector->StallCore(worker_index)) {
       const uint64_t select_start = NowNs();
-      LoadSnapshot snapshot;
       if (injector != nullptr && has_stale_view && injector->StaleSnapshot(worker_index)) {
         snapshot = stale_view;  // selection over a deliberately outdated view
       } else {
-        snapshot = config_.locked_selection ? machine_.LockedSnapshot() : machine_.Snapshot();
-        stale_view = snapshot;
+        if (config_.locked_selection) {
+          machine_.LockedSnapshotInto(snapshot);
+        } else {
+          machine_.SnapshotInto(snapshot);
+        }
+        stale_view = snapshot;  // copy-assign: reuses capacity, no allocation
         has_stale_view = true;
       }
       stats.selection_latency_ns.Add(NowNs() - select_start);
@@ -280,8 +323,9 @@ void Executor::WorkerMain(uint32_t worker_index, WorkerStats& stats,
         const uint64_t steal_start = NowNs();
         const uint64_t attempts_before = stats.steals.attempts;
         CpuId victim = 0;
-        stole = machine_.TrySteal(*policy_, worker_index, snapshot, rng,
-                                  config_.recheck_filter, stats.steals, topology_, &victim);
+        stole = machine_.TrySteal(*policy_, worker_index, snapshot, rng, steal_options,
+                                  stats.steals, topology_, &victim,
+                                  /*observation_out=*/nullptr, &steal_scratch);
         // An unchanged attempt count means the filter was empty: no steal
         // phase ran, so there is no latency to attribute and no outcome to
         // trace.
@@ -404,6 +448,7 @@ ExecutorReport Executor::RunInternal(uint64_t duration_ms,
   // plan's restart delay, and feeds the watchdog. A crashed worker's slot is
   // joined here before its thread object is reused.
   const uint64_t restart_delay_ns = config_.fault_plan.crash_restart_us * 1000ull;
+  LoadSnapshot watchdog_snapshot;  // reused across polls
   for (;;) {
     const uint64_t now = NowNs();
     if (deadline_mode_ && !stop_.load(std::memory_order_acquire) && now >= stop_at) {
@@ -451,8 +496,9 @@ ExecutorReport Executor::RunInternal(uint64_t duration_ms,
       break;
     }
     if (config_.watchdog) {
-      const LoadSnapshot snap = machine_.Snapshot();
-      if (watchdog.ObserveRound((now - start) / 1000, snap.task_count, &watchdog_trace)) {
+      machine_.SnapshotInto(watchdog_snapshot);
+      if (watchdog.ObserveRound((now - start) / 1000, watchdog_snapshot.task_count,
+                                &watchdog_trace)) {
         watchdog.RecordEscalation((now - start) / 1000, &watchdog_trace);
         // Snap every backing-off worker awake: an immediate full-rate
         // balancing attempt is the runtime's "forced global round".

@@ -54,6 +54,12 @@ struct ExecutorConfig {
   bool locked_selection = false;
   // D2 ablation: skip the filter re-check in the steal phase.
   bool recheck_filter = true;
+  // Cap on items migrated per successful steal action (batched steal-half,
+  // docs/runtime.md). The effective batch per steal is
+  // min(max_steal_batch, policy.StealBatchHint(victim, thief)), every item
+  // still individually gated by the migration rule under both locks. 1 (the
+  // default) preserves the original behaviour — the `steal_one` ablation.
+  uint32_t max_steal_batch = 1;
   // Enter backoff after this many consecutive fruitless steal attempts.
   uint32_t idle_spins_before_yield = 16;
   // Ablation: restore the pre-backoff behaviour (bare yield every
@@ -133,6 +139,9 @@ struct ExecutorReport {
   uint64_t seqlock_read_retries = 0;
 
   uint64_t total_successes() const;
+  // Items migrated across all successful steal actions (>= total_successes();
+  // equal when max_steal_batch == 1).
+  uint64_t total_items_stolen() const;
   uint64_t total_failed_recheck() const;
   uint64_t total_attempts() const;
   uint64_t total_backoff_events() const;
@@ -169,6 +178,11 @@ class Executor {
 
   // Thread-safe submission while RunFor is active (or before Run).
   void Submit(uint32_t queue_index, const WorkItem& item);
+
+  // Thread-safe batch submission: bumps the remaining-item count ONCE for the
+  // whole batch, before any item becomes poppable (see the ordering note at
+  // the definition), then pushes every item under the queue lock.
+  void SubmitBatch(uint32_t queue_index, const std::vector<WorkItem>& items);
 
   // True once the run deadline passed; producers should poll this and return.
   bool stopped() const { return stop_.load(std::memory_order_acquire); }

@@ -59,6 +59,7 @@ class Seqlock {
     }
     std::atomic_thread_fence(std::memory_order_release);
     sequence_.store(seq + 2, std::memory_order_release);  // even: stable
+    writes_.fetch_add(1, std::memory_order_relaxed);
     mc_hooks::SyncPoint(mc_hooks::SyncOp::kSeqWriteEnd, this);
   }
 
@@ -95,6 +96,12 @@ class Seqlock {
   // a monotone statistic, not a synchronization device.
   uint64_t read_retries() const { return read_retries_.load(std::memory_order_relaxed); }
 
+  // Completed Write() calls since construction. Publish batching (one Write
+  // per critical section, however many items moved) is asserted against this
+  // counter by the mc harness; each write also invalidates every concurrent
+  // reader, so the write rate bounds the retry pressure readers can see.
+  uint64_t write_count() const { return writes_.load(std::memory_order_relaxed); }
+
  private:
   void ReadRetryPause() const {
     read_retries_.fetch_add(1, std::memory_order_relaxed);
@@ -114,6 +121,7 @@ class Seqlock {
 
   std::atomic<uint64_t> sequence_{0};
   std::atomic<uint64_t> words_[kWords];
+  std::atomic<uint64_t> writes_{0};
   mutable std::atomic<uint64_t> read_retries_{0};
 };
 

@@ -153,6 +153,102 @@ TEST(DfsExplorerTest, BrokenPolicyProducesMinimizedReplayableCounterexample) {
   EXPECT_EQ(first.events, second.events);
 }
 
+TEST(DfsExplorerTest, ExhaustiveDischargesPropertiesWithBatchedSteals) {
+  MC_SKIP_UNDER_TSAN();
+  StealHarness::Config config;
+  config.mode = "balance";
+  config.policy = "thread-count";
+  config.initial_loads = {0, 4, 0};
+  config.attempts_per_worker = 1;
+  config.max_steal_batch = 4;  // batched steal-half, the new protocol path
+  StealHarness harness(config);
+
+  DfsExplorer::Options options;
+  options.max_preemptions = 2;
+  DfsExplorer explorer(options);
+  std::string violation;
+  const ExploreStats stats =
+      explorer.Explore(harness.Factory(), [&](const ExecutionResult& result, uint32_t) {
+        const std::vector<PropertyReport> reports = harness.Evaluate(result);
+        if (StealHarness::FirstViolation(reports) != nullptr) {
+          violation = Describe(reports);
+          return false;
+        }
+        return true;
+      });
+  // Every explored schedule satisfies no-lost-items, steal-safety,
+  // publish-batching (<= 2 seqlock writes per steal critical section) and the
+  // d0/2 ITEM bound — batches move more per action, never more in total.
+  EXPECT_FALSE(stats.stopped_by_sink) << violation;
+  EXPECT_FALSE(stats.budget_exhausted);
+  EXPECT_GT(stats.schedules_explored, 0u);
+}
+
+TEST(DfsExplorerTest, BrokenBatchBoundProducesMinimizedReplayableCounterexample) {
+  MC_SKIP_UNDER_TSAN();
+  StealHarness::Config config;
+  config.mode = "balance";
+  config.policy = "thread-count";
+  config.initial_loads = {0, 4};
+  config.attempts_per_worker = 1;
+  config.break_batch_bound = true;  // strip victims bare: violates steal safety
+  StealHarness harness(config);
+
+  auto violates_safety = [&](const ExecutionResult& result) {
+    const std::vector<PropertyReport> reports = harness.Evaluate(result);
+    for (const PropertyReport& report : reports) {
+      if (report.name == "steal-safety" && !report.holds) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  DfsExplorer::Options options;
+  options.max_preemptions = 2;
+  DfsExplorer explorer(options);
+  std::vector<uint32_t> counterexample;
+  const ExploreStats stats =
+      explorer.Explore(harness.Factory(), [&](const ExecutionResult& result, uint32_t) {
+        if (violates_safety(result)) {
+          counterexample = result.choices;
+          return false;
+        }
+        return true;
+      });
+  ASSERT_TRUE(stats.stopped_by_sink)
+      << "no steal-safety violation found in " << stats.schedules_explored << " schedules";
+
+  const std::vector<uint32_t> minimized =
+      MinimizeCounterexample(harness.Factory(), counterexample, violates_safety);
+  EXPECT_LE(minimized.size(), counterexample.size());
+
+  // Deterministic replay: same choices, same events, same violation — the
+  // minimized schedule is committable as a golden file.
+  const ExecutionResult first = ReplayChoices(harness.Factory(), minimized);
+  EXPECT_TRUE(violates_safety(first));
+  const ExecutionResult second = ReplayChoices(harness.Factory(), minimized);
+  EXPECT_EQ(first.choices, second.choices);
+  EXPECT_EQ(first.events, second.events);
+
+  // Round-trip the schedule through its JSON identity: the fault knob and the
+  // batch cap are part of the serialized reproduction recipe.
+  const Schedule schedule = harness.MakeSchedule(minimized);
+  const std::optional<Schedule> parsed = Schedule::FromJson(schedule.ToJson());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->break_batch_bound);
+  StealHarness replay_harness(StealHarness::Config::FromSchedule(*parsed));
+  const ExecutionResult replayed = ReplayChoices(replay_harness.Factory(), parsed->choices);
+  const std::vector<PropertyReport> reports = replay_harness.Evaluate(replayed);
+  bool violated = false;
+  for (const PropertyReport& report : reports) {
+    if (report.name == "steal-safety" && !report.holds) {
+      violated = true;
+    }
+  }
+  EXPECT_TRUE(violated);
+}
+
 TEST(DfsExplorerTest, EpochBumpWakesEveryParkedWorkerInAllSchedules) {
   MC_SKIP_UNDER_TSAN();
   StealHarness::Config config;

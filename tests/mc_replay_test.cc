@@ -136,6 +136,34 @@ TEST(ReplayGoldenTest, CommittedBrokenCounterexampleStillViolates) {
   EXPECT_TRUE(violated) << "golden counterexample no longer violates bounded-steals";
 }
 
+TEST(ReplayGoldenTest, CommittedBrokenBatchBoundStillIdlesItsVictim) {
+  MC_SKIP_UNDER_TSAN();
+  const std::string path = std::string(MC_GOLDEN_DIR) + "/mc_broken_batch_minimized.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  const std::optional<Schedule> schedule = Schedule::FromJson(content);
+  ASSERT_TRUE(schedule.has_value());
+  EXPECT_EQ(schedule->ToJson(), content);
+  EXPECT_TRUE(schedule->break_batch_bound);
+  EXPECT_EQ(schedule->property, "steal-safety");
+
+  StealHarness harness(StealHarness::Config::FromSchedule(*schedule));
+  const ExecutionResult result = ReplayChoices(harness.Factory(), schedule->choices);
+  EXPECT_EQ(result.choices, schedule->choices);
+
+  bool violated = false;
+  for (const PropertyReport& report : harness.Evaluate(result)) {
+    if (report.name == "steal-safety" && !report.holds) {
+      violated = true;
+    }
+  }
+  EXPECT_TRUE(violated) << "golden counterexample no longer violates steal-safety";
+}
+
 TEST(TraceExportTest, ExecutionExportsToChromeTraceJson) {
   MC_SKIP_UNDER_TSAN();
   StealHarness::Config config;

@@ -126,7 +126,7 @@ TEST(ConcurrentMachine, StealMovesTailToThief) {
   runtime::StealCounters counters;
   Rng rng(1);
   EXPECT_TRUE(machine.TrySteal(*policy, /*thief=*/1, machine.Snapshot(), rng,
-                               /*recheck=*/true, counters));
+                               runtime::StealOptions{}, counters));
   EXPECT_EQ(counters.successes, 1u);
   EXPECT_EQ(machine.queue(1).ReadLoad().task_count, 1);
   EXPECT_EQ(machine.queue(0).ReadLoad().task_count, 2);
@@ -145,7 +145,7 @@ TEST(ConcurrentMachine, StaleSnapshotFailsRecheck) {
   machine.queue(0).FinishCurrent();
   runtime::StealCounters counters;
   Rng rng(1);
-  EXPECT_FALSE(machine.TrySteal(*policy, 1, stale, rng, /*recheck=*/true, counters));
+  EXPECT_FALSE(machine.TrySteal(*policy, 1, stale, rng, runtime::StealOptions{}, counters));
   EXPECT_EQ(counters.failed_recheck, 1u);
   EXPECT_EQ(counters.successes, 0u);
 }
@@ -155,7 +155,8 @@ TEST(ConcurrentMachine, EmptyFilterIsNotAnAttempt) {
   const auto policy = policies::MakeThreadCount();
   runtime::StealCounters counters;
   Rng rng(1);
-  EXPECT_FALSE(machine.TrySteal(*policy, 1, machine.Snapshot(), rng, true, counters));
+  EXPECT_FALSE(machine.TrySteal(*policy, 1, machine.Snapshot(), rng,
+                                runtime::StealOptions{}, counters));
   EXPECT_EQ(counters.empty_filter, 1u);
   EXPECT_EQ(counters.attempts, 0u);
 }
@@ -169,7 +170,8 @@ TEST(ConcurrentMachine, WeightedMigrationRespectsDiff) {
   const auto policy = policies::MakeWeightedLoad();
   runtime::StealCounters counters;
   Rng rng(1);
-  EXPECT_TRUE(machine.TrySteal(*policy, 1, machine.Snapshot(), rng, true, counters));
+  EXPECT_TRUE(machine.TrySteal(*policy, 1, machine.Snapshot(), rng,
+                               runtime::StealOptions{}, counters));
   EXPECT_EQ(machine.queue(1).ReadLoad().weighted_load, 100);  // tail item
 }
 
