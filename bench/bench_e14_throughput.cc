@@ -111,11 +111,11 @@ AllocAudit RunAllocAudit(uint64_t attempts) {
     }
     unsteal.clear();
     {
-      std::lock_guard<runtime::SpinLock> guard(machine.queue(1).lock());
+      LockGuard guard(machine.queue(1).lock());
       machine.queue(1).StealTailLocked([](const runtime::WorkItem&) { return true; }, moved,
                                        unsteal);
     }
-    std::lock_guard<runtime::SpinLock> guard(machine.queue(0).lock());
+    LockGuard guard(machine.queue(0).lock());
     machine.queue(0).PushBatchLocked(unsteal.data(), static_cast<uint32_t>(unsteal.size()));
   };
 

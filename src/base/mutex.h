@@ -1,0 +1,59 @@
+// Annotated mutex and lock guards for layers below src/runtime.
+//
+// The runtime's SpinLock (src/runtime/spinlock.h) carries the model-checking
+// interposition seam and therefore lives in the runtime layer; code below it
+// (src/trace, src/fault) cannot depend on it without a library cycle. This
+// header provides the base-layer equivalent: a std::mutex wrapped as a Clang
+// thread-safety capability, plus a generic OPTSCHED_SCOPED_CAPABILITY
+// LockGuard usable with ANY annotated capability type (base::Mutex here,
+// runtime::SpinLock in the runtime). Observability-layer classes guard their
+// shared state with these, so the same -Wthread-safety build that checks the
+// steal protocol also checks the collectors watching it.
+
+#ifndef OPTSCHED_SRC_BASE_MUTEX_H_
+#define OPTSCHED_SRC_BASE_MUTEX_H_
+
+#include <mutex>
+
+#include "src/base/thread_annotations.h"
+
+namespace optsched {
+
+// std::mutex as an annotated capability. Blocking, not hot-path: this is for
+// control-plane state (metrics registries, collector merge buffers), never
+// for the runqueue protocol the paper reasons about.
+class OPTSCHED_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() OPTSCHED_ACQUIRE() { mutex_.lock(); }
+  void unlock() OPTSCHED_RELEASE() { mutex_.unlock(); }
+  bool try_lock() OPTSCHED_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+// RAII guard the analysis can follow (std::lock_guard is not annotated in
+// libstdc++, so locks taken through it are invisible to -Wthread-safety).
+// Works with any OPTSCHED_CAPABILITY class exposing lock()/unlock().
+template <typename MutexType>
+class OPTSCHED_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(MutexType& mutex) OPTSCHED_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~LockGuard() OPTSCHED_RELEASE() { mutex_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  MutexType& mutex_;
+};
+
+}  // namespace optsched
+
+#endif  // OPTSCHED_SRC_BASE_MUTEX_H_

@@ -1,0 +1,95 @@
+// Clang Thread Safety Analysis annotations (docs/static_analysis.md).
+//
+// These macros turn the locking discipline the paper's argument rests on —
+// selection is lock-free, stealing holds exactly the thief's and victim's
+// runqueue locks in queue-index order (§3.1) — from comments into
+// machine-checked structure: a clang build with -Wthread-safety
+// -Werror=thread-safety FAILS when a GUARDED_BY field is touched without its
+// lock, a REQUIRES method is called lock-free, or a capability is acquired
+// twice. Under GCC (and any non-clang compiler) every macro expands to
+// nothing, so the annotations are free where the analysis is unavailable.
+//
+// Conventions (enforced by tools/lint/optsched_lint.py and CI):
+//  * Lock-protected fields carry OPTSCHED_GUARDED_BY(lock_).
+//  * Methods named *Locked carry OPTSCHED_REQUIRES(lock_) — the suffix is the
+//    human-readable form, the attribute is the checked one.
+//  * Lock accessors carry OPTSCHED_RETURN_CAPABILITY so guards acquired
+//    through them resolve to the underlying capability.
+//  * Dynamically-ordered acquisitions (rank decided at runtime, e.g. the
+//    queue-index ranking in TrySteal) re-anchor the analysis with
+//    SpinLock::AssertHeld() immediately after the guard — see
+//    docs/static_analysis.md, "Dynamic lock order".
+
+#ifndef OPTSCHED_SRC_BASE_THREAD_ANNOTATIONS_H_
+#define OPTSCHED_SRC_BASE_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define OPTSCHED_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define OPTSCHED_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+// Marks a class as a lockable capability ("mutex" is the kind reported in
+// diagnostics).
+#define OPTSCHED_CAPABILITY(x) OPTSCHED_THREAD_ANNOTATION(capability(x))
+
+// Marks an RAII class whose constructor acquires and destructor releases a
+// capability.
+#define OPTSCHED_SCOPED_CAPABILITY OPTSCHED_THREAD_ANNOTATION(scoped_lockable)
+
+// Field is protected by the given capability; access requires holding it.
+#define OPTSCHED_GUARDED_BY(x) OPTSCHED_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer field whose pointee is protected by the given capability.
+#define OPTSCHED_PT_GUARDED_BY(x) OPTSCHED_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function requires the capabilities to be held on entry (and does not
+// release them).
+#define OPTSCHED_REQUIRES(...) \
+  OPTSCHED_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// Function acquires the capabilities (held on return, not on entry).
+#define OPTSCHED_ACQUIRE(...) \
+  OPTSCHED_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+// Function releases the capabilities (held on entry, not on return).
+#define OPTSCHED_RELEASE(...) \
+  OPTSCHED_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// Function attempts the acquisition; the first argument is the return value
+// meaning "acquired".
+#define OPTSCHED_TRY_ACQUIRE(...) \
+  OPTSCHED_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Function must NOT be called with the capabilities held (internal locking).
+#define OPTSCHED_EXCLUDES(...) \
+  OPTSCHED_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Tells the analysis the capability is held without acquiring it — the
+// re-anchor for dynamically-ordered acquisitions the analysis cannot follow.
+#define OPTSCHED_ASSERT_CAPABILITY(x) \
+  OPTSCHED_THREAD_ANNOTATION(assert_capability(x))
+
+// Function returns a reference to the given capability (lock accessors).
+#define OPTSCHED_RETURN_CAPABILITY(x) \
+  OPTSCHED_THREAD_ANNOTATION(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Every use must carry
+// a comment explaining why the discipline cannot be expressed (e.g. a
+// loop-carried all-queues acquisition).
+#define OPTSCHED_NO_THREAD_SAFETY_ANALYSIS \
+  OPTSCHED_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// Hot-path marker (DESIGN.md D7): the function is part of the allocation-free
+// selection + steal path. tools/lint/optsched_lint.py bans heap allocation
+// and container growth inside functions marked with it (rule hot-path-alloc);
+// deliberate refill-in-place sites carry an inline allow marker with the
+// rationale. Expands to a clang `annotate` attribute so IR-level tooling can
+// find hot-path functions too; textual tools key on the macro name.
+#if defined(__clang__)
+#define OPTSCHED_HOT_PATH __attribute__((annotate("optsched_hot_path")))
+#else
+#define OPTSCHED_HOT_PATH
+#endif
+
+#endif  // OPTSCHED_SRC_BASE_THREAD_ANNOTATIONS_H_

@@ -1,6 +1,7 @@
 #include "src/core/policy.h"
 
 #include "src/base/check.h"
+#include "src/base/thread_annotations.h"
 
 namespace optsched {
 
@@ -44,11 +45,12 @@ std::vector<CpuId> BalancePolicy::FilterCandidates(const SelectionView& view) co
   return out;
 }
 
-void BalancePolicy::FilterCandidatesInto(const SelectionView& view,
-                                         std::vector<CpuId>& out) const {
+OPTSCHED_HOT_PATH void BalancePolicy::FilterCandidatesInto(const SelectionView& view,
+                                                           std::vector<CpuId>& out) const {
   out.clear();
   for (CpuId c = 0; c < view.snapshot.num_cpus(); ++c) {
     if (c != view.self && CanSteal(view, c)) {
+      // optsched-lint: allow(hot-path-alloc): candidate list reuses its high-water capacity (at most num_cpus entries)
       out.push_back(c);
     }
   }

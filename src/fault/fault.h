@@ -95,15 +95,26 @@ class FaultInjector {
   bool CrashWorker(uint32_t lane);     // fail-stop the worker thread
   bool DropRound();                    // lose the whole periodic round
 
-  // Sum of all lanes (call only while no other thread is probing).
+  // Sum of all lanes. Quiescence contract (not a lock): call only while no
+  // other thread is probing — the executor reads it after joining its
+  // workers. There is deliberately no mutex here; serializing the probes
+  // would serialize the protocol attempts they are injected into.
   FaultStats stats() const;
   const FaultStats& lane_stats(uint32_t lane) const;
 
-  // Restores the injector to its initial (seeded) state.
+  // Restores the injector to its initial (seeded) state. Same quiescence
+  // contract as stats().
   void Reset();
 
  private:
-  struct Lane {
+  // One lane per worker thread, each thread touching only its own lane (the
+  // unsynchronized-by-design contract above — there is no lock to annotate,
+  // so the discipline lives in the "lane i / thread i" ownership rule).
+  // Cache-line alignment keeps the contract cheap as well as correct:
+  // without it, adjacent lanes share a line and every probe's RNG advance
+  // false-shares with its neighbours' — measurable on the steal path, where
+  // each fruitless attempt probes three fault seams.
+  struct alignas(64) Lane {
     Rng rng;
     FaultStats stats;
     Lane() : rng(0) {}

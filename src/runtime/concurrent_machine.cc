@@ -1,13 +1,13 @@
 #include "src/runtime/concurrent_machine.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "src/base/check.h"
+#include "src/base/mutex.h"
 
 namespace optsched::runtime {
 
-void ConcurrentRunQueue::PublishLocked() {
+OPTSCHED_HOT_PATH void ConcurrentRunQueue::PublishLocked() {
   LoadPair load;
   load.task_count = static_cast<int64_t>(ready_.size()) + (running_ ? 1 : 0);
   load.weighted_load = queued_weight_ + running_weight_;
@@ -15,7 +15,7 @@ void ConcurrentRunQueue::PublishLocked() {
 }
 
 std::optional<WorkItem> ConcurrentRunQueue::PopForRun() {
-  std::lock_guard<SpinLock> guard(lock_);
+  LockGuard guard(lock_);
   // Invariant before mutation: if the owner already runs an item, abort with
   // the queue untouched — the old order popped and unpublished first, so a
   // firing check reported a state the queue was no longer in (and the item
@@ -34,7 +34,7 @@ std::optional<WorkItem> ConcurrentRunQueue::PopForRun() {
 }
 
 void ConcurrentRunQueue::FinishCurrent() {
-  std::lock_guard<SpinLock> guard(lock_);
+  LockGuard guard(lock_);
   OPTSCHED_CHECK(running_);
   running_ = false;
   running_weight_ = 0;
@@ -42,19 +42,20 @@ void ConcurrentRunQueue::FinishCurrent() {
 }
 
 void ConcurrentRunQueue::Push(WorkItem item) {
-  std::lock_guard<SpinLock> guard(lock_);
+  LockGuard guard(lock_);
   PushLocked(item);
 }
 
-LoadPair ConcurrentRunQueue::ExactLoadLocked() const {
+OPTSCHED_HOT_PATH LoadPair ConcurrentRunQueue::ExactLoadLocked() const {
   LoadPair load;
   load.task_count = static_cast<int64_t>(ready_.size()) + (running_ ? 1 : 0);
   load.weighted_load = queued_weight_ + running_weight_;
   return load;
 }
 
-uint32_t ConcurrentRunQueue::StealTailLocked(FunctionRef<bool(const WorkItem&)> eligible,
-                                             uint32_t max_items, std::vector<WorkItem>& out) {
+OPTSCHED_HOT_PATH uint32_t ConcurrentRunQueue::StealTailLocked(
+    FunctionRef<bool(const WorkItem&)> eligible, uint32_t max_items,
+    std::vector<WorkItem>& out) {
   uint32_t taken = 0;
   // Newest-first scan by index (erase invalidates deque iterators). Skipped
   // items stay skipped: the batch only tightens the loads as it grows, so an
@@ -67,6 +68,7 @@ uint32_t ConcurrentRunQueue::StealTailLocked(FunctionRef<bool(const WorkItem&)> 
     const WorkItem item = ready_[i];
     ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(i));
     queued_weight_ -= item.weight;
+    // optsched-lint: allow(hot-path-alloc): scratch batch at high-water capacity after warmup (E14 alloc audit)
     out.push_back(item);
     ++taken;
   }
@@ -85,12 +87,14 @@ void ConcurrentRunQueue::PushLocked(WorkItem item) {
   PublishLocked();
 }
 
-void ConcurrentRunQueue::PushBatchLocked(const WorkItem* items, uint32_t count) {
+OPTSCHED_HOT_PATH void ConcurrentRunQueue::PushBatchLocked(const WorkItem* items,
+                                                           uint32_t count) {
   if (count == 0) {
     return;
   }
   for (uint32_t i = 0; i < count; ++i) {
     queued_weight_ += items[i].weight;
+    // optsched-lint: allow(hot-path-alloc): deque blocks are recycled across pop/push cycles; audited allocation-free by bench_e14
     ready_.push_back(items[i]);
   }
   PublishLocked();
@@ -104,10 +108,12 @@ ConcurrentMachine::ConcurrentMachine(uint32_t num_queues) {
   }
 }
 
-void ConcurrentMachine::SnapshotInto(LoadSnapshot& out) const {
+OPTSCHED_HOT_PATH void ConcurrentMachine::SnapshotInto(LoadSnapshot& out) const {
   // resize() is a no-op after the first call on a reused buffer; the refill
   // happens in place, so the selection phase never touches the allocator.
+  // optsched-lint: allow(hot-path-alloc): resize to a constant queue count — allocates once, first call only
   out.task_count.resize(queues_.size());
+  // optsched-lint: allow(hot-path-alloc): resize to a constant queue count — allocates once, first call only
   out.weighted_load.resize(queues_.size());
   for (size_t i = 0; i < queues_.size(); ++i) {
     const LoadPair load = queues_[i]->ReadLoad();
@@ -163,11 +169,10 @@ uint64_t ConcurrentMachine::TotalSeqlockWrites() const {
   return total;
 }
 
-bool ConcurrentMachine::TrySteal(const BalancePolicy& policy, CpuId thief,
-                                 const LoadSnapshot& snapshot, Rng& rng,
-                                 const StealOptions& options, StealCounters& counters,
-                                 const Topology* topology, CpuId* victim_out,
-                                 StealObservation* observation_out, StealScratch* scratch) {
+OPTSCHED_HOT_PATH bool ConcurrentMachine::TrySteal(
+    const BalancePolicy& policy, CpuId thief, const LoadSnapshot& snapshot, Rng& rng,
+    const StealOptions& options, StealCounters& counters, const Topology* topology,
+    CpuId* victim_out, StealObservation* observation_out, StealScratch* scratch) {
   StealScratch local_scratch;  // tests and the mc harness may not thread one
   StealScratch& s = scratch != nullptr ? *scratch : local_scratch;
 
@@ -188,9 +193,16 @@ bool ConcurrentMachine::TrySteal(const BalancePolicy& policy, CpuId thief,
   // --- Stealing phase (two locks, queue-index order) -------------------------
   ConcurrentRunQueue& victim_queue = *queues_[victim];
   ConcurrentRunQueue& thief_queue = *queues_[thief];
-  // Index order, the machine-wide lock ranking (see DualLockGuard).
-  DualLockGuard guard(thief < victim ? thief_queue.lock() : victim_queue.lock(),
-                      thief < victim ? victim_queue.lock() : thief_queue.lock());
+  // Index order, the machine-wide lock ranking (see DualLockGuard). The rank
+  // is decided at runtime, so the thread-safety analysis cannot map the
+  // guard's {lower, higher} pair back to {victim, thief} by itself; the
+  // AssertHeld() pair below re-anchors it — the REQUIRES(lock_) checks on
+  // every *Locked call in this phase are live again from there on.
+  ConcurrentRunQueue& lower_queue = thief < victim ? thief_queue : victim_queue;
+  ConcurrentRunQueue& higher_queue = thief < victim ? victim_queue : thief_queue;
+  DualLockGuard guard(lower_queue.lock(), higher_queue.lock());
+  victim_queue.lock().AssertHeld();
+  thief_queue.lock().AssertHeld();
 
   // Exact loads for the locked pair; other cores stay as the (stale) snapshot
   // observed them — a thief can only be sure of what it locked. The copy

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/base/function_ref.h"
+#include "src/base/thread_annotations.h"
 #include "src/core/policy.h"
 #include "src/runtime/seqlock.h"
 #include "src/runtime/spinlock.h"
@@ -62,18 +63,18 @@ class ConcurrentRunQueue {
  public:
   ConcurrentRunQueue() = default;
 
-  // --- Owner operations -----------------------------------------------------
+  // --- Owner operations (internal locking — callers must NOT hold lock()) ----
 
   // Pops the head for execution; the popped item counts as the core's
   // "current" (still part of the published load) until FinishCurrent().
   // The single-current invariant is checked BEFORE any mutation: a firing
   // check must leave the queue exactly as it found it (item still queued,
   // load still published), so the post-mortem state is trustworthy.
-  std::optional<WorkItem> PopForRun();
+  std::optional<WorkItem> PopForRun() OPTSCHED_EXCLUDES(lock_);
   // Declares the current item finished; load drops accordingly.
-  void FinishCurrent();
+  void FinishCurrent() OPTSCHED_EXCLUDES(lock_);
   // Enqueues a new item (tail).
-  void Push(WorkItem item);
+  void Push(WorkItem item) OPTSCHED_EXCLUDES(lock_);
 
   // --- Lock-free observation (selection phase) -------------------------------
   LoadPair ReadLoad() const { return published_.Read(); }
@@ -85,9 +86,9 @@ class ConcurrentRunQueue {
   uint64_t SeqlockWriteCount() const { return published_.write_count(); }
 
   // --- Cross-core steal support ----------------------------------------------
-  SpinLock& lock() { return lock_; }
+  SpinLock& lock() OPTSCHED_RETURN_CAPABILITY(lock_) { return lock_; }
   // Must hold lock(): exact loads / queue access.
-  LoadPair ExactLoadLocked() const;
+  LoadPair ExactLoadLocked() const OPTSCHED_REQUIRES(lock_);
   // Removes up to `max_items` items from the tail, newest first, appending
   // them to `out`. `eligible` is consulted once per candidate; returning true
   // COMMITS the removal (callers update their running victim/thief loads
@@ -96,23 +97,27 @@ class ConcurrentRunQueue {
   // removal — not per item — so concurrent seqlock readers see one
   // invalidation per steal action. Returns the number of items taken.
   uint32_t StealTailLocked(FunctionRef<bool(const WorkItem&)> eligible, uint32_t max_items,
-                           std::vector<WorkItem>& out);
-  void PushLocked(WorkItem item);
+                           std::vector<WorkItem>& out) OPTSCHED_REQUIRES(lock_);
+  void PushLocked(WorkItem item) OPTSCHED_REQUIRES(lock_);
   // Appends `count` items and publishes the new load once.
-  void PushBatchLocked(const WorkItem* items, uint32_t count);
+  void PushBatchLocked(const WorkItem* items, uint32_t count) OPTSCHED_REQUIRES(lock_);
 
  private:
-  void PublishLocked();
+  void PublishLocked() OPTSCHED_REQUIRES(lock_);
 
   // The owner's lock + deque and the thieves' read-mostly published load are
   // split onto separate cache lines: a thief polling published_ must not
   // contend with the owner pushing/popping ready_, and the lock word must not
   // share a line with either (lock handoff invalidates it constantly).
   alignas(kCacheLineSize) mutable SpinLock lock_;
-  std::deque<WorkItem> ready_;
-  bool running_ = false;
-  int64_t running_weight_ = 0;
-  int64_t queued_weight_ = 0;
+  std::deque<WorkItem> ready_ OPTSCHED_GUARDED_BY(lock_);
+  bool running_ OPTSCHED_GUARDED_BY(lock_) = false;
+  int64_t running_weight_ OPTSCHED_GUARDED_BY(lock_) = 0;
+  int64_t queued_weight_ OPTSCHED_GUARDED_BY(lock_) = 0;
+  // Written only under lock_ (PublishLocked), read lock-free by any thread:
+  // the seqlock IS the synchronization, so no GUARDED_BY — the write-side
+  // discipline is the REQUIRES on PublishLocked plus the lint rule
+  // seqlock-write-context.
   alignas(kCacheLineSize) Seqlock<LoadPair> published_;
 };
 
@@ -185,9 +190,12 @@ class ConcurrentMachine {
   void SnapshotInto(LoadSnapshot& out) const;
 
   // Snapshot taken while holding every queue lock (the D3 ablation: "locked
-  // selection" — exact but stalls all owners).
+  // selection" — exact but stalls all owners). The loop-carried acquisition
+  // of N locks through the queue vector is outside what the thread-safety
+  // analysis can follow, hence the explicit opt-out; the index-order ranking
+  // is the same machine-wide one DualLockGuard documents.
   LoadSnapshot LockedSnapshot();
-  void LockedSnapshotInto(LoadSnapshot& out);
+  void LockedSnapshotInto(LoadSnapshot& out) OPTSCHED_NO_THREAD_SAFETY_ANALYSIS;
 
   // Full three-step attempt by `thief`: filter+choice on `snapshot`, then the
   // two-lock steal phase with re-check and batched migration per `options`.

@@ -215,8 +215,12 @@ void Executor::SubmitBatch(uint32_t queue_index, const std::vector<WorkItem>& it
   }
 }
 
-void Executor::WorkerMain(uint32_t worker_index, WorkerStats& stats,
-                          std::atomic<uint32_t>& state, trace::SpscTraceRing* ring) {
+// The whole worker loop is on the D7 allocation-free budget: after the
+// warm-up allocations below, a full pop-execute or selection+steal iteration
+// must not touch the allocator (rule hot-path-alloc; audited by bench_e14).
+OPTSCHED_HOT_PATH void Executor::WorkerMain(uint32_t worker_index, WorkerStats& stats,
+                                            std::atomic<uint32_t>& state,
+                                            trace::SpscTraceRing* ring) {
   Rng rng(config_.seed * 1000003 + worker_index);
   ConcurrentRunQueue& own = machine_.queue(worker_index);
   fault::FaultInjector* injector = injector_.get();

@@ -194,6 +194,7 @@ class Executor {
 
   struct WorkerSlot {
     std::thread thread;
+    // optsched-lint: allow(mc-hook-coverage): crash/restart supervision handshake — the mc harness fail-stops fibers itself, outside this seam
     std::atomic<uint32_t> state{kRunning};
     uint64_t restart_at_ns = 0;  // supervisor-only
   };
@@ -217,15 +218,19 @@ class Executor {
   // Per-run trace rings (workers 0..n-1, supervisor lane n); null when off.
   std::unique_ptr<trace::TraceCollector> collector_;
   // Queued-but-unexecuted items; drives closed-system termination.
+  // optsched-lint: allow(mc-hook-coverage): termination bookkeeping — the mc harness drives ConcurrentMachine directly and owns termination
   std::atomic<uint64_t> remaining_items_{0};
   // Items submitted toward the CURRENT (or next) run's total: Seed/Submit add
   // here, and each run finishes by resetting it to the leftover queue depth —
   // so a reused instance never reports a stale count (it used to report the
   // cumulative seeded total forever).
+  // optsched-lint: allow(mc-hook-coverage): reporting counter, never a scheduling decision input
   std::atomic<uint64_t> submitted_items_{0};
+  // optsched-lint: allow(mc-hook-coverage): deadline-mode stop flag — wall-clock deadlines do not exist under the checker
   std::atomic<bool> stop_{false};
   // Bumped by the supervisor when the watchdog escalates; workers snap out of
   // backoff when they observe a new epoch.
+  // mc: kEpochLoad, kEpochBump
   std::atomic<uint64_t> escalation_epoch_{0};
   bool deadline_mode_ = false;
   // Wall-clock origin of the current run; trace timestamps are relative μs.

@@ -16,6 +16,13 @@
 // ThreadSanitizer clean, and compile to the same plain loads/stores on
 // x86/ARM. Ordering still comes from the acquire/release fences around the
 // copy, exactly as before.
+//
+// Locking discipline (checked by tools/lint/optsched_lint.py, rule
+// seqlock-write-context): Write() must only be called while the writer's
+// serializing lock is held — in the runtime, from OPTSCHED_REQUIRES(lock_)
+// methods of ConcurrentRunQueue. The seqlock itself cannot name that lock
+// (it serializes any one writer, whoever that is), so the obligation is
+// enforced by the lint at every call site instead of by a REQUIRES here.
 
 #ifndef OPTSCHED_SRC_RUNTIME_SEQLOCK_H_
 #define OPTSCHED_SRC_RUNTIME_SEQLOCK_H_
@@ -25,6 +32,7 @@
 #include <cstring>
 #include <type_traits>
 
+#include "src/base/thread_annotations.h"
 #include "src/runtime/spinlock.h"
 
 namespace optsched::runtime {
@@ -36,17 +44,23 @@ class Seqlock {
   static constexpr size_t kWords = (sizeof(T) + sizeof(uint64_t) - 1) / sizeof(uint64_t);
 
  public:
+  // Zero-initializes the payload WITHOUT going through Write(): construction
+  // is single-threaded (no concurrent reader can exist yet), so it needs no
+  // protocol — and it must not count in write_count(), whose consumers
+  // (publish-batching assertions in the mc harness, per-critical-section
+  // write deltas in TrySteal) expect "completed publishes", starting at 0
+  // for a fresh instance.
   Seqlock() {
-    T zero{};
-    Write(zero);
-    sequence_.store(0, std::memory_order_relaxed);
+    for (size_t w = 0; w < kWords; ++w) {
+      words_[w].store(0, std::memory_order_relaxed);
+    }
   }
 
   // Writer side (one writer at a time; the runqueue lock serializes writers).
   // The mid-write SyncPoint exposes the torn window (sequence odd, payload
   // words half-stored) to the model checker, which is exactly the state a
   // reader's retry loop exists to survive.
-  void Write(const T& value) {
+  OPTSCHED_HOT_PATH void Write(const T& value) {
     uint64_t staging[kWords] = {};
     std::memcpy(staging, &value, sizeof(T));
     mc_hooks::SyncPoint(mc_hooks::SyncOp::kSeqWriteBegin, this);
@@ -68,7 +82,7 @@ class Seqlock {
   // per-instance counter: the retry rate is the direct measure of snapshot
   // staleness pressure — how often the selection phase raced a publisher —
   // which ExecutorReport surfaces as executor.seqlock.read_retries.
-  T Read() const {
+  OPTSCHED_HOT_PATH T Read() const {
     uint64_t staging[kWords];
     for (;;) {
       mc_hooks::SyncPoint(mc_hooks::SyncOp::kSeqRead, this);
@@ -96,14 +110,16 @@ class Seqlock {
   // a monotone statistic, not a synchronization device.
   uint64_t read_retries() const { return read_retries_.load(std::memory_order_relaxed); }
 
-  // Completed Write() calls since construction. Publish batching (one Write
-  // per critical section, however many items moved) is asserted against this
-  // counter by the mc harness; each write also invalidates every concurrent
-  // reader, so the write rate bounds the retry pressure readers can see.
+  // Completed Write() calls since construction — 0 for a fresh seqlock (the
+  // constructor's zero-initialization is not a Write). Publish batching (one
+  // Write per critical section, however many items moved) is asserted against
+  // this counter by the mc harness; each write also invalidates every
+  // concurrent reader, so the write rate bounds the retry pressure readers
+  // can see.
   uint64_t write_count() const { return writes_.load(std::memory_order_relaxed); }
 
  private:
-  void ReadRetryPause() const {
+  OPTSCHED_HOT_PATH void ReadRetryPause() const {
     read_retries_.fetch_add(1, std::memory_order_relaxed);
     // Under the model checker a retrying reader blocks until the in-flight
     // write completes (sequence even again); rescheduling it earlier would
@@ -119,9 +135,13 @@ class Seqlock {
             1) == 0;
   }
 
+  // mc: kSeqWriteBegin, kSeqWriteTorn, kSeqWriteEnd, kSeqRead, kSeqReadRetry
   std::atomic<uint64_t> sequence_{0};
+  // mc: kSeqWriteTorn, kSeqRead
   std::atomic<uint64_t> words_[kWords];
+  // optsched-lint: allow(mc-hook-coverage): monotone statistic, not protocol state
   std::atomic<uint64_t> writes_{0};
+  // optsched-lint: allow(mc-hook-coverage): monotone statistic, not protocol state
   mutable std::atomic<uint64_t> read_retries_{0};
 };
 

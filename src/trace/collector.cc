@@ -20,6 +20,7 @@ SpscTraceRing& TraceCollector::ring(uint32_t index) {
 }
 
 void TraceCollector::Collect() {
+  LockGuard guard(consumer_lock_);
   for (const auto& ring : rings_) {
     if (ring->Drain(merged_) > 0) {
       sorted_ = false;
@@ -29,6 +30,7 @@ void TraceCollector::Collect() {
 
 const std::vector<TraceEvent>& TraceCollector::SortedEvents() {
   Collect();
+  LockGuard guard(consumer_lock_);
   if (!sorted_) {
     // Stable: events with equal timestamps keep their per-ring push order.
     std::stable_sort(merged_.begin(), merged_.end(),

@@ -2,12 +2,13 @@
 // time-ordered event stream and totals their drop counts.
 //
 // Ownership/threading contract: each ring has exactly one producer (a worker
-// thread, identified by its ring index) and the collector is the single
-// consumer of every ring. Collect() may run concurrently with the producers
-// (e.g. from a supervisor thread) or after they joined; each call drains
-// whatever is visible. The merged stream is sorted by event time with a
-// stable tie-break, so events from different workers interleave in wall-clock
-// order even though each ring is drained independently.
+// thread, identified by its ring index) and the rings are SPSC — but the
+// CONSUMER side is serialized by an internal mutex, so Collect() may be
+// called from any thread (a supervisor at poll cadence, the main thread at
+// teardown) without the callers coordinating. The merged stream is sorted by
+// event time with a stable tie-break, so events from different workers
+// interleave in wall-clock order even though each ring is drained
+// independently.
 
 #ifndef OPTSCHED_SRC_TRACE_COLLECTOR_H_
 #define OPTSCHED_SRC_TRACE_COLLECTOR_H_
@@ -16,6 +17,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
 #include "src/trace/ring.h"
 #include "src/trace/trace.h"
 
@@ -33,18 +36,23 @@ class TraceCollector {
   // Drains every ring into the accumulated stream. Cheap when nothing is
   // pending; call periodically under long runs so fixed-capacity rings don't
   // overflow, and once more after the producers stopped.
-  void Collect();
+  void Collect() OPTSCHED_EXCLUDES(consumer_lock_);
 
-  // Collect(), then the full accumulated stream sorted by time.
-  const std::vector<TraceEvent>& SortedEvents();
+  // Collect(), then the full accumulated stream sorted by time. The returned
+  // reference is stable only until the next Collect() — take it after the
+  // producers stopped (the executor does so post-join).
+  const std::vector<TraceEvent>& SortedEvents() OPTSCHED_EXCLUDES(consumer_lock_);
 
   // Sum of every ring's drop count (events lost to full rings).
   uint64_t total_dropped() const;
 
  private:
   std::vector<std::unique_ptr<SpscTraceRing>> rings_;
-  std::vector<TraceEvent> merged_;
-  bool sorted_ = true;
+  // Serializes the consumer side: concurrent Collect() calls would violate
+  // the rings' single-consumer precondition and race on the merge buffer.
+  Mutex consumer_lock_;
+  std::vector<TraceEvent> merged_ OPTSCHED_GUARDED_BY(consumer_lock_);
+  bool sorted_ OPTSCHED_GUARDED_BY(consumer_lock_) = true;
 };
 
 }  // namespace optsched::trace

@@ -1,26 +1,64 @@
 #include "src/trace/metrics.h"
 
 #include <cmath>
+#include <utility>
 
 #include "src/base/str.h"
 
 namespace optsched::trace {
 
-void MetricsRegistry::Set(const std::string& name, double value) { values_[name] = value; }
+MetricsRegistry& MetricsRegistry::operator=(const MetricsRegistry& other) {
+  if (this == &other) {
+    return *this;
+  }
+  // Same two-phase shape as Merge: copy out of `other` first, then swap in
+  // under our own lock — the locks are never held together.
+  std::map<std::string, double> snapshot = other.values();
+  LockGuard guard(lock_);
+  values_ = std::move(snapshot);
+  return *this;
+}
 
-void MetricsRegistry::Add(const std::string& name, double delta) { values_[name] += delta; }
+void MetricsRegistry::Set(const std::string& name, double value) {
+  LockGuard guard(lock_);
+  values_[name] = value;
+}
+
+void MetricsRegistry::Add(const std::string& name, double delta) {
+  LockGuard guard(lock_);
+  values_[name] += delta;
+}
 
 double MetricsRegistry::Get(const std::string& name) const {
+  LockGuard guard(lock_);
   const auto it = values_.find(name);
   return it == values_.end() ? 0.0 : it->second;
 }
 
-bool MetricsRegistry::Has(const std::string& name) const { return values_.count(name) > 0; }
+bool MetricsRegistry::Has(const std::string& name) const {
+  LockGuard guard(lock_);
+  return values_.count(name) > 0;
+}
 
 void MetricsRegistry::Merge(const MetricsRegistry& other) {
-  for (const auto& [name, value] : other.values_) {
+  // Snapshot first: registries have no global rank, so holding both locks
+  // would be an unordered dual acquisition — exactly the discipline bug the
+  // runtime's DualLockGuard exists to prevent. (Also makes self-merge safe.)
+  const std::map<std::string, double> snapshot = other.values();
+  LockGuard guard(lock_);
+  for (const auto& [name, value] : snapshot) {
     values_[name] += value;
   }
+}
+
+size_t MetricsRegistry::size() const {
+  LockGuard guard(lock_);
+  return values_.size();
+}
+
+std::map<std::string, double> MetricsRegistry::values() const {
+  LockGuard guard(lock_);
+  return values_;
 }
 
 namespace {
@@ -36,6 +74,7 @@ std::string ValueToString(double v) {
 }  // namespace
 
 std::string MetricsRegistry::ToString() const {
+  LockGuard guard(lock_);
   std::string out;
   for (const auto& [name, value] : values_) {
     out += name;
@@ -47,6 +86,7 @@ std::string MetricsRegistry::ToString() const {
 }
 
 std::string MetricsRegistry::ToJson() const {
+  LockGuard guard(lock_);
   std::string out = "{";
   bool first = true;
   for (const auto& [name, value] : values_) {

@@ -8,6 +8,12 @@
 // totals and repeated runs accumulate. Values are doubles: counters fit
 // exactly up to 2^53 and ratios (utilization, wasted fraction) need no
 // second type.
+//
+// Thread safety: internally synchronized — every method may be called from
+// any thread (a supervisor exporting mid-run while the main thread merges,
+// for example). The map is control-plane state guarded by a base::Mutex and
+// checked under clang -Wthread-safety; the scheduler hot path never touches
+// a registry.
 
 #ifndef OPTSCHED_SRC_TRACE_METRICS_H_
 #define OPTSCHED_SRC_TRACE_METRICS_H_
@@ -16,31 +22,43 @@
 #include <map>
 #include <string>
 
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
+
 namespace optsched::trace {
 
 class MetricsRegistry {
  public:
+  MetricsRegistry() = default;
+  // Copying a registry snapshots it (used by Merge to avoid holding two
+  // registry locks at once — there is no global registry order to rank them).
+  MetricsRegistry(const MetricsRegistry& other) : values_(other.values()) {}
+  MetricsRegistry& operator=(const MetricsRegistry& other);
+
   // Overwrites (or creates) `name`.
-  void Set(const std::string& name, double value);
+  void Set(const std::string& name, double value) OPTSCHED_EXCLUDES(lock_);
   // Adds `delta` to `name`, creating it at zero first.
-  void Add(const std::string& name, double delta);
+  void Add(const std::string& name, double delta) OPTSCHED_EXCLUDES(lock_);
   // 0.0 when absent.
-  double Get(const std::string& name) const;
-  bool Has(const std::string& name) const;
+  double Get(const std::string& name) const OPTSCHED_EXCLUDES(lock_);
+  bool Has(const std::string& name) const OPTSCHED_EXCLUDES(lock_);
 
-  // Value-wise sum: names present in either side survive.
-  void Merge(const MetricsRegistry& other);
+  // Value-wise sum: names present in either side survive. Snapshots `other`
+  // first, so the two locks are never held together (no ordering to violate).
+  void Merge(const MetricsRegistry& other) OPTSCHED_EXCLUDES(lock_);
 
-  size_t size() const { return values_.size(); }
-  const std::map<std::string, double>& values() const { return values_; }
+  size_t size() const OPTSCHED_EXCLUDES(lock_);
+  // Consistent point-in-time copy of every value.
+  std::map<std::string, double> values() const OPTSCHED_EXCLUDES(lock_);
 
   // One "name=value" per line, name-sorted (std::map order).
-  std::string ToString() const;
+  std::string ToString() const OPTSCHED_EXCLUDES(lock_);
   // Flat JSON object: {"name":value,...}, name-sorted.
-  std::string ToJson() const;
+  std::string ToJson() const OPTSCHED_EXCLUDES(lock_);
 
  private:
-  std::map<std::string, double> values_;
+  mutable Mutex lock_;
+  std::map<std::string, double> values_ OPTSCHED_GUARDED_BY(lock_);
 };
 
 }  // namespace optsched::trace

@@ -1,0 +1,37 @@
+// Seeded violations for the atomic-memory-order rule: implicit-seq_cst
+// atomic operations must be flagged, explicit ones must not. This file is
+// never compiled -- it is linted by lint_fixtures_test, which requires the
+// diagnostics to match the expect-lint annotations below exactly.
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class Counter {
+ public:
+  // Compliant: the order is spelled out.
+  void Good() { hits_.fetch_add(1, std::memory_order_relaxed); }
+
+  uint64_t BadLoad() const {
+    return hits_.load();  // expect-lint: atomic-memory-order
+  }
+
+  void BadStore() {
+    hits_.store(0);  // expect-lint: atomic-memory-order
+  }
+
+  void BadImplicitAssign() {
+    hits_ = 0;  // expect-lint: atomic-memory-order
+  }
+
+  void BadImplicitIncrement() {
+    ++hits_;  // expect-lint: atomic-memory-order
+  }
+
+ private:
+  // optsched-lint: allow(mc-hook-coverage): fixture-local counter, not protocol state
+  mutable std::atomic<uint64_t> hits_{0};
+};
+
+}  // namespace fixture

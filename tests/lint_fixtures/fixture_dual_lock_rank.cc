@@ -1,0 +1,42 @@
+// Seeded violation for the dual-lock-rank rule: a DualLockGuard whose
+// acquisition order is derived from comparing lock ADDRESSES must be
+// flagged; ordering by queue index (the machine-wide rank that the proofs
+// and the model checker assume) must not. Never compiled -- linted by
+// lint_fixtures_test.
+
+#include <cstdint>
+
+namespace fixture {
+
+struct SpinLock {
+  void Acquire();
+  void Release();
+};
+
+struct DualLockGuard {
+  DualLockGuard(SpinLock& first, SpinLock& second);
+  ~DualLockGuard();
+};
+
+struct Queue {
+  SpinLock lock;
+};
+
+// Compliant: rank decided by queue index, exactly like the runtime's
+// TrySteal.
+void GoodSteal(Queue* queues, uint32_t thief, uint32_t victim) {
+  Queue& lower = thief < victim ? queues[thief] : queues[victim];
+  Queue& higher = thief < victim ? queues[victim] : queues[thief];
+  DualLockGuard guard(lower.lock, higher.lock);
+}
+
+// Violation: address order is not the machine-wide rank -- two call sites
+// reaching the same pair of queues through different objects would acquire
+// in different orders.
+void BadSteal(Queue& a, Queue& b) {
+  SpinLock& first = &a.lock < &b.lock ? a.lock : b.lock;
+  SpinLock& second = &a.lock < &b.lock ? b.lock : a.lock;
+  DualLockGuard guard(first, second);  // expect-lint: dual-lock-rank
+}
+
+}  // namespace fixture

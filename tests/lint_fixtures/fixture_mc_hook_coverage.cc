@@ -1,0 +1,37 @@
+// Seeded violations for the mc-hook-coverage rule: a raw std::atomic member
+// must carry a "// mc: kOp, ..." tag naming announcements that actually
+// exist (mc_hooks::SyncPoint / BlockUntil in this file or its sibling);
+// missing tags and tags naming un-announced ops are both flagged. Never
+// compiled -- linted by lint_fixtures_test.
+
+#include <atomic>
+
+namespace mc_hooks {
+enum class SyncOp { kStateFlip, kStateRead };
+void SyncPoint(SyncOp op, const void* address);
+}  // namespace mc_hooks
+
+namespace fixture {
+
+class Protocol {
+ public:
+  void Flip() {
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kStateFlip, &flag_);
+    flag_.store(true, std::memory_order_release);
+  }
+
+ private:
+  // Compliant: tagged, and kStateFlip is announced in Flip() above.
+  // mc: kStateFlip
+  std::atomic<bool> flag_{false};
+
+  // Violation: protocol state invisible to the model checker.
+  std::atomic<int> untagged_{0};  // expect-lint: mc-hook-coverage
+
+  // Violation: the tag names an op nothing announces -- stale tags are as
+  // misleading as missing ones.
+  // mc: kStateRead
+  std::atomic<int> ghost_{0};  // expect-lint: mc-hook-coverage
+};
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// Seeded violation for the seqlock-write-context rule: Seqlock::Write from
+// a function that is neither OPTSCHED_REQUIRES-annotated nor named *Locked
+// must be flagged -- the seqlock serializes nothing on the writer side, so
+// an unlocked writer is a torn-write bug, not a stale-read inefficiency.
+// Never compiled -- linted by lint_fixtures_test.
+
+#define OPTSCHED_REQUIRES(...)
+
+namespace fixture {
+
+template <typename T>
+struct Seqlock {
+  void Write(const T& value);
+};
+
+struct QueueState {
+  long count;
+};
+
+struct Queue {
+  // Compliant: the *Locked suffix is the repo's REQUIRES convention.
+  void PublishLocked() { published_.Write(state_); }
+
+  // Compliant: explicitly annotated, name notwithstanding.
+  void RefreshSnapshot() OPTSCHED_REQUIRES(lock_) { published_.Write(state_); }
+
+  // Violation: no annotation, no convention -- nothing says the caller
+  // holds the owning queue's lock.
+  void Publish() {
+    published_.Write(state_);  // expect-lint: seqlock-write-context
+  }
+
+  Seqlock<QueueState> published_;
+  QueueState state_;
+  int lock_;
+};
+
+}  // namespace fixture

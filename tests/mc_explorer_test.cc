@@ -4,12 +4,12 @@
 
 #include <algorithm>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "src/base/mutex.h"
 #include "src/mc/explorer.h"
 #include "src/mc/harness.h"
 #include "src/mc/scheduler.h"
@@ -50,7 +50,7 @@ TEST(DfsExplorerTest, EnumeratesMoreThanOneScheduleForContendingLocks) {
   // RAII guard: a pruned execution unwinds the fiber mid-critical-section,
   // and the destructor must release the lock for the next execution.
   auto body = [&] {
-    std::lock_guard<runtime::SpinLock> guard(lock);
+    LockGuard guard(lock);
     ++in_critical;
     max_in_critical = std::max(max_in_critical, in_critical);
     ActiveScheduler()->Yield();

@@ -1,0 +1,55 @@
+// MUST compile cleanly under clang -Wthread-safety -Werror=thread-safety.
+//
+// Control for the negative-compilation probes: proves the disciplined
+// version of the exact same patterns is accepted, so a probe failure means
+// "the violation was caught", not "the headers don't compile under these
+// flags". Exercises the annotation surface end to end: REQUIRES under
+// LockGuard, the DualLockGuard scoped capability, and the AssertHeld
+// re-anchor used when the acquisition order is decided at runtime.
+
+#include "src/base/mutex.h"
+#include "src/base/thread_annotations.h"
+#include "src/runtime/spinlock.h"
+
+namespace {
+
+class Account {
+ public:
+  void DepositLocked(int amount) OPTSCHED_REQUIRES(lock_) { balance_ += amount; }
+  int balance() OPTSCHED_EXCLUDES(lock_) {
+    optsched::LockGuard guard(lock_);
+    return balance_;
+  }
+
+  optsched::runtime::SpinLock lock_;
+
+ private:
+  int balance_ OPTSCHED_GUARDED_BY(lock_) = 0;
+};
+
+void TransferBoth(Account& lower, Account& higher) {
+  optsched::runtime::DualLockGuard guard(lower.lock_, higher.lock_);
+  lower.DepositLocked(-1);
+  higher.DepositLocked(1);
+}
+
+void DepositViaAssertHeld(Account& account) OPTSCHED_NO_THREAD_SAFETY_ANALYSIS {
+  account.lock_.lock();
+  account.lock_.AssertHeld();
+  account.DepositLocked(2);
+  account.lock_.unlock();
+}
+
+}  // namespace
+
+int main() {
+  Account a;
+  Account b;
+  {
+    optsched::LockGuard guard(a.lock_);
+    a.DepositLocked(5);
+  }
+  TransferBoth(a, b);
+  DepositViaAssertHeld(a);
+  return a.balance() + b.balance();
+}

@@ -1,0 +1,18 @@
+// MUST NOT COMPILE under clang -Wthread-safety -Werror=thread-safety.
+//
+// Re-acquiring a capability that is already held: with a non-reentrant
+// spinlock this is a guaranteed self-deadlock, and the SCOPED_CAPABILITY
+// annotation on LockGuard is what lets clang see the first acquisition.
+// (The runtime twin of this check is DualLockGuard's distinct-locks
+// constructor contract, exercised in tests/static_analysis_test.cc.)
+
+#include "src/base/mutex.h"
+#include "src/runtime/spinlock.h"
+
+int main() {
+  optsched::runtime::SpinLock lock;
+  optsched::LockGuard guard(lock);
+  lock.lock();  // error: acquiring capability 'lock' that is already held
+  lock.unlock();
+  return 0;
+}

@@ -1,0 +1,31 @@
+// MUST NOT COMPILE under clang -Wthread-safety -Werror=thread-safety.
+//
+// Calling an OPTSCHED_REQUIRES method without holding the named capability
+// is the core violation the annotation layer exists to catch: it is exactly
+// "touched runqueue state without the runqueue lock". If this file ever
+// compiles under the flags above, the annotations have lost their teeth
+// (e.g. someone stubbed the macros out for clang too) — the runner in
+// run_negative_compile.sh fails the build in that case.
+
+#include "src/base/thread_annotations.h"
+#include "src/runtime/spinlock.h"
+
+namespace {
+
+class Account {
+ public:
+  void DepositLocked(int amount) OPTSCHED_REQUIRES(lock_) { balance_ += amount; }
+
+  optsched::runtime::SpinLock lock_;
+
+ private:
+  int balance_ OPTSCHED_GUARDED_BY(lock_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.DepositLocked(1);  // error: requires holding account.lock_
+  return 0;
+}

@@ -1,0 +1,65 @@
+#!/bin/sh
+# Negative-compilation probes for the thread-safety annotation layer.
+#
+#   run_negative_compile.sh <repo-root> [clang++]
+#
+# control_ok.cc must COMPILE under -Wthread-safety -Werror=thread-safety;
+# every nc_*.cc must FAIL with a thread-safety diagnostic (a failure for any
+# other reason — missing header, syntax error — is reported as a bug in the
+# probe, not a pass). Exit 77 (ctest SKIP_RETURN_CODE) when no clang is
+# available: the annotations are no-op macros elsewhere, so there is nothing
+# to probe; CI's static-analysis job always has clang and runs this hard.
+
+set -u
+
+root=${1:?usage: run_negative_compile.sh <repo-root> [clang++]}
+here=$(dirname "$0")
+
+cxx=${2:-}
+if [ -z "$cxx" ]; then
+  for candidate in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+                   clang++-16 clang++-15 clang++-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      cxx=$candidate
+      break
+    fi
+  done
+fi
+if [ -z "$cxx" ]; then
+  echo "negative_compile: no clang++ found; skipping (annotations are no-ops here)"
+  exit 77
+fi
+
+flags="-std=c++20 -fsyntax-only -I$root -DOPTSCHED_MC_HOOKS=1 \
+       -Wthread-safety -Werror=thread-safety"
+status=0
+
+# The control must be accepted, or the probe failures below mean nothing.
+log=$("$cxx" $flags "$here/control_ok.cc" 2>&1)
+if [ $? -ne 0 ]; then
+  echo "FAIL: control_ok.cc did not compile under $cxx -Wthread-safety:"
+  echo "$log"
+  exit 1
+fi
+echo "ok: control_ok.cc compiles"
+
+for probe in "$here"/nc_*.cc; do
+  log=$("$cxx" $flags "$probe" 2>&1)
+  if [ $? -eq 0 ]; then
+    echo "FAIL: $(basename "$probe") compiled — the annotation it probes lost its teeth"
+    status=1
+    continue
+  fi
+  case $log in
+    *thread-safety*|*GUARDED_BY*|*requires\ holding*|*already\ held*)
+      echo "ok: $(basename "$probe") rejected with a thread-safety diagnostic"
+      ;;
+    *)
+      echo "FAIL: $(basename "$probe") failed for the wrong reason:"
+      echo "$log"
+      status=1
+      ;;
+  esac
+done
+
+exit $status

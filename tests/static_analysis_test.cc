@@ -1,0 +1,112 @@
+// Runtime companions to the compile-time lock-discipline layer: the pieces
+// of the annotated-primitives contract that need a running process rather
+// than a clang diagnostic. The compile-time side lives in
+// tests/negative_compile/ (must-NOT-compile under -Wthread-safety) and
+// tools/lint/optsched_lint.py (structural rules + fixtures).
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "src/base/mutex.h"
+#include "src/runtime/concurrent_machine.h"
+#include "src/runtime/seqlock.h"
+#include "src/runtime/spinlock.h"
+
+namespace optsched::runtime {
+namespace {
+
+// The constructor contract says distinct locks, always checked (not just in
+// debug builds): one pointer compare is cheap insurance against a
+// self-deadlock that would otherwise hang the process with no diagnostic.
+TEST(DualLockGuardDeathTest, SameLockTwiceIsRejectedUpFront) {
+  SpinLock lock;
+  EXPECT_DEATH({ DualLockGuard guard(lock, lock); },
+               "two distinct locks");
+}
+
+TEST(DualLockGuard, DistinctLocksAcquireAndRelease) {
+  SpinLock a;
+  SpinLock b;
+  {
+    DualLockGuard guard(a, b);
+    EXPECT_FALSE(a.try_lock());
+    EXPECT_FALSE(b.try_lock());
+  }
+  EXPECT_TRUE(a.try_lock());
+  EXPECT_TRUE(b.try_lock());
+  a.unlock();
+  b.unlock();
+}
+
+struct Pair {
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+
+// Regression: the constructor used to publish the zero-initialized payload
+// through Write(), so a freshly built seqlock reported write_count() == 1
+// and every "how many publishes did this phase do" assertion carried a
+// spurious +1 per queue. Construction is initialization, not publication.
+TEST(Seqlock, FreshInstanceHasZeroWriteCount) {
+  Seqlock<Pair> seqlock;
+  EXPECT_EQ(seqlock.write_count(), 0u);
+  // The zero-initialized payload is still readable before the first Write.
+  const Pair fresh = seqlock.Read();
+  EXPECT_EQ(fresh.a, 0u);
+  EXPECT_EQ(fresh.b, 0u);
+
+  Pair value{7, 9};
+  seqlock.Write(value);
+  EXPECT_EQ(seqlock.write_count(), 1u);
+  const Pair read = seqlock.Read();
+  EXPECT_EQ(read.a, 7u);
+  EXPECT_EQ(read.b, 9u);
+}
+
+// Same property one layer up: a fresh machine has published nothing, and the
+// lock-free snapshot still sees every queue as empty (zero-initialized
+// payload words, not garbage).
+TEST(Seqlock, FreshMachinePublishesNothingYetSnapshotsEmpty) {
+  ConcurrentMachine machine(4);
+  uint64_t writes = 0;
+  for (uint32_t q = 0; q < machine.num_queues(); ++q) {
+    writes += machine.queue(q).SeqlockWriteCount();
+  }
+  EXPECT_EQ(writes, 0u);
+
+  LoadSnapshot snapshot;
+  machine.SnapshotInto(snapshot);
+  for (uint32_t q = 0; q < machine.num_queues(); ++q) {
+    EXPECT_EQ(snapshot.task_count[q], 0);
+    EXPECT_EQ(snapshot.weighted_load[q], 0);
+  }
+}
+
+TEST(SpinLock, AssertHeldPassesWhileLocked) {
+  SpinLock lock;
+  lock.lock();
+  lock.AssertHeld();  // would OPTSCHED_DCHECK-fail (debug builds) if free
+  lock.unlock();
+}
+
+TEST(LockGuard, WorksWithSpinLockAndMutex) {
+  SpinLock spin;
+  {
+    LockGuard guard(spin);
+    EXPECT_FALSE(spin.try_lock());
+  }
+  EXPECT_TRUE(spin.try_lock());
+  spin.unlock();
+
+  Mutex mutex;
+  {
+    LockGuard guard(mutex);
+    EXPECT_FALSE(mutex.try_lock());
+  }
+  EXPECT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
+}  // namespace
+}  // namespace optsched::runtime

@@ -1,0 +1,66 @@
+#!/bin/sh
+# clang-tidy over the files a change actually touched.
+#
+#   tools/lint/run_clang_tidy_changed.sh [base-ref] [build-dir]
+#
+# Diffs HEAD against base-ref (default: origin/main, falling back to HEAD~1),
+# keeps the .cc/.h files under src/ that still exist, and runs clang-tidy
+# with the repo's .clang-tidy profile against build-dir's
+# compile_commands.json (default: build/). Exit 77 when clang-tidy is not
+# installed — mirrors the negative-compile runner so local GCC-only setups
+# skip instead of fail; CI's static-analysis job always has it.
+
+set -u
+
+base=${1:-}
+build=${2:-build}
+root=$(cd "$(dirname "$0")/../.." && pwd)
+
+tidy=""
+for candidate in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 \
+                 clang-tidy-17 clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    tidy=$candidate
+    break
+  fi
+done
+if [ -z "$tidy" ]; then
+  echo "run_clang_tidy_changed: no clang-tidy found; skipping"
+  exit 77
+fi
+
+if [ ! -f "$root/$build/compile_commands.json" ] && [ ! -f "$build/compile_commands.json" ]; then
+  echo "run_clang_tidy_changed: no compile_commands.json under '$build'" \
+       "— configure first (CMAKE_EXPORT_COMPILE_COMMANDS is the tree default)"
+  exit 2
+fi
+
+if [ -z "$base" ]; then
+  if git -C "$root" rev-parse --verify -q origin/main >/dev/null; then
+    base=origin/main
+  else
+    base=HEAD~1
+  fi
+fi
+
+files=$(git -C "$root" diff --name-only --diff-filter=d "$base"...HEAD -- \
+        'src/*.cc' 'src/*.h' 2>/dev/null || \
+        git -C "$root" diff --name-only --diff-filter=d "$base" -- \
+        'src/*.cc' 'src/*.h')
+# Headers are covered via HeaderFilterRegex when their .cc is analyzed; run
+# the tool on translation units only.
+units=""
+for f in $files; do
+  case $f in
+    *.cc) [ -f "$root/$f" ] && units="$units $root/$f" ;;
+  esac
+done
+
+if [ -z "$units" ]; then
+  echo "run_clang_tidy_changed: no changed translation units vs $base"
+  exit 0
+fi
+
+echo "run_clang_tidy_changed: $tidy -p $build over:$units"
+# shellcheck disable=SC2086
+exec "$tidy" -p "$build" --quiet $units
