@@ -75,11 +75,12 @@ void PrintUsage(const char* prog) {
   std::printf("  --metrics           dump the full metrics registry (name=value lines)\n");
   std::printf("model checker (src/mc):\n");
   std::printf("  --mc                explore schedules of the real steal protocol instead\n");
-  std::printf("  --mc-harness=MODE   balance | drain | epoch (default balance)\n");
+  std::printf("  --mc-harness=MODE   balance | drain | epoch | ingress (default balance)\n");
   std::printf("  --mc-loads=CSV      items seeded per queue, e.g. 0,1,2 (size = workers)\n");
   std::printf("  --mc-workers=N      shorthand for --mc-loads=0,1,...,N-1\n");
   std::printf("  --mc-attempts=N     steal attempts per worker (default 2)\n");
   std::printf("  --mc-batch=N        max items per steal action (default 1 = steal-one)\n");
+  std::printf("  --mc-mailbox=N      ingress harness: mailbox capacity per owner (default 2)\n");
   std::printf("  --mc-break-batch    fault mode: unbounded batch ignoring the migration\n");
   std::printf("                      rule (the checker must find the steal-safety cex)\n");
   std::printf("  --mc-bound=N        preemption bound for exhaustive mode (default 2)\n");
@@ -181,6 +182,8 @@ int RunMcExplore(int argc, char** argv) {
   const int batch = std::atoi(FlagValue(argc, argv, "mc-batch", "1").c_str());
   config.max_steal_batch = batch >= 1 ? static_cast<uint32_t>(batch) : 1;
   config.break_batch_bound = HasFlag(argc, argv, "mc-break-batch");
+  const int mailbox = std::atoi(FlagValue(argc, argv, "mc-mailbox", "2").c_str());
+  config.mailbox_capacity = mailbox >= 1 ? static_cast<uint32_t>(mailbox) : 1;
   config.initial_loads = ParseLoads(FlagValue(argc, argv, "mc-loads", ""));
   if (config.initial_loads.empty()) {
     const int workers = std::atoi(FlagValue(argc, argv, "mc-workers", "3").c_str());

@@ -7,9 +7,12 @@ namespace optsched::fault {
 
 std::string FaultPlan::ToString() const {
   return StrFormat(
-      "plan{straggler=%.2f abort=%.2f stale=%.2f drop=%.2f crash=%.2f restart=%lluus seed=%llu}",
+      "plan{straggler=%.2f abort=%.2f stale=%.2f drop=%.2f crash=%.2f restart=%lluus "
+      "enqfail=%.2f pstall=%.2f/%lluus ddelay=%.2f seed=%llu}",
       straggler_rate, steal_abort_rate, stale_snapshot_rate, drop_round_rate, crash_rate,
-      static_cast<unsigned long long>(crash_restart_us), static_cast<unsigned long long>(seed));
+      static_cast<unsigned long long>(crash_restart_us), mailbox_enqueue_fail_rate,
+      producer_stall_rate, static_cast<unsigned long long>(producer_stall_us), drain_delay_rate,
+      static_cast<unsigned long long>(seed));
 }
 
 FaultStats& FaultStats::operator+=(const FaultStats& other) {
@@ -18,16 +21,23 @@ FaultStats& FaultStats::operator+=(const FaultStats& other) {
   stale_snapshots += other.stale_snapshots;
   dropped_rounds += other.dropped_rounds;
   crashes += other.crashes;
+  mailbox_enqueue_failures += other.mailbox_enqueue_failures;
+  producer_stalls += other.producer_stalls;
+  delayed_drains += other.delayed_drains;
   return *this;
 }
 
 std::string FaultStats::ToString() const {
-  return StrFormat("faults{stalled=%llu aborts=%llu stale=%llu dropped=%llu crashes=%llu}",
-                   static_cast<unsigned long long>(stalled_attempts),
-                   static_cast<unsigned long long>(injected_aborts),
-                   static_cast<unsigned long long>(stale_snapshots),
-                   static_cast<unsigned long long>(dropped_rounds),
-                   static_cast<unsigned long long>(crashes));
+  return StrFormat(
+      "faults{stalled=%llu aborts=%llu stale=%llu dropped=%llu crashes=%llu "
+      "enqfail=%llu pstall=%llu ddelay=%llu}",
+      static_cast<unsigned long long>(stalled_attempts),
+      static_cast<unsigned long long>(injected_aborts),
+      static_cast<unsigned long long>(stale_snapshots),
+      static_cast<unsigned long long>(dropped_rounds), static_cast<unsigned long long>(crashes),
+      static_cast<unsigned long long>(mailbox_enqueue_failures),
+      static_cast<unsigned long long>(producer_stalls),
+      static_cast<unsigned long long>(delayed_drains));
 }
 
 FaultInjector::FaultInjector(const FaultPlan& plan, uint32_t num_lanes) : plan_(plan) {
@@ -37,6 +47,9 @@ FaultInjector::FaultInjector(const FaultPlan& plan, uint32_t num_lanes) : plan_(
   OPTSCHED_CHECK(plan.stale_snapshot_rate >= 0 && plan.stale_snapshot_rate <= 1);
   OPTSCHED_CHECK(plan.drop_round_rate >= 0 && plan.drop_round_rate <= 1);
   OPTSCHED_CHECK(plan.crash_rate >= 0 && plan.crash_rate <= 1);
+  OPTSCHED_CHECK(plan.mailbox_enqueue_fail_rate >= 0 && plan.mailbox_enqueue_fail_rate <= 1);
+  OPTSCHED_CHECK(plan.producer_stall_rate >= 0 && plan.producer_stall_rate <= 1);
+  OPTSCHED_CHECK(plan.drain_delay_rate >= 0 && plan.drain_delay_rate <= 1);
   lanes_.resize(num_lanes);
   Reset();
 }
@@ -77,6 +90,18 @@ bool FaultInjector::StaleSnapshot(uint32_t lane) {
 
 bool FaultInjector::CrashWorker(uint32_t lane) {
   return Draw(lane, plan_.crash_rate, &FaultStats::crashes);
+}
+
+bool FaultInjector::FailMailboxEnqueue(uint32_t lane) {
+  return Draw(lane, plan_.mailbox_enqueue_fail_rate, &FaultStats::mailbox_enqueue_failures);
+}
+
+bool FaultInjector::StallProducer(uint32_t lane) {
+  return Draw(lane, plan_.producer_stall_rate, &FaultStats::producer_stalls);
+}
+
+bool FaultInjector::DelayDrain(uint32_t lane) {
+  return Draw(lane, plan_.drain_delay_rate, &FaultStats::delayed_drains);
 }
 
 bool FaultInjector::DropRound() {

@@ -50,12 +50,28 @@ struct FaultPlan {
   // exits at a protocol seam and is respawned after crash_restart_us.
   double crash_rate = 0.0;
   uint64_t crash_restart_us = 200;
+  // --- Serving-ingress seams (src/ingress, docs/serving.md) -----------------
+  // Mailbox enqueue failure: the producer's TryPush is forced to fail as if
+  // the mailbox were full (models a transient allocator/NIC-ring reject).
+  // The admission policy then runs its normal full-mailbox fallback, so an
+  // injected failure is indistinguishable from real overload downstream —
+  // which is the point: it must surface in metrics, not trip the watchdog.
+  double mailbox_enqueue_fail_rate = 0.0;
+  // Stalled producer: the connection shard sleeps producer_stall_us before
+  // offering the item (models a connection handler stuck in a syscall).
+  double producer_stall_rate = 0.0;
+  uint64_t producer_stall_us = 200;
+  // Delayed drain: the owner skips one mailbox-drain opportunity (the items
+  // stay admitted-but-undrained one round longer; watchdog must classify the
+  // resulting idle-while-pending window as transient).
+  double drain_delay_rate = 0.0;
   uint64_t seed = 1;
 
   // True if any rate is non-zero (consumers skip all hooks otherwise).
   bool any() const {
     return straggler_rate > 0 || steal_abort_rate > 0 || stale_snapshot_rate > 0 ||
-           drop_round_rate > 0 || crash_rate > 0;
+           drop_round_rate > 0 || crash_rate > 0 || mailbox_enqueue_fail_rate > 0 ||
+           producer_stall_rate > 0 || drain_delay_rate > 0;
   }
 
   std::string ToString() const;
@@ -68,9 +84,13 @@ struct FaultStats {
   uint64_t stale_snapshots = 0;
   uint64_t dropped_rounds = 0;
   uint64_t crashes = 0;
+  uint64_t mailbox_enqueue_failures = 0;
+  uint64_t producer_stalls = 0;
+  uint64_t delayed_drains = 0;
 
   uint64_t total() const {
-    return stalled_attempts + injected_aborts + stale_snapshots + dropped_rounds + crashes;
+    return stalled_attempts + injected_aborts + stale_snapshots + dropped_rounds + crashes +
+           mailbox_enqueue_failures + producer_stalls + delayed_drains;
   }
   FaultStats& operator+=(const FaultStats& other);
   std::string ToString() const;
@@ -94,6 +114,13 @@ class FaultInjector {
   bool StaleSnapshot(uint32_t lane);   // select against an aged snapshot
   bool CrashWorker(uint32_t lane);     // fail-stop the worker thread
   bool DropRound();                    // lose the whole periodic round
+  // Ingress seams. For the producer-side probes the lane is the connection
+  // SHARD (the router sizes its injector by shards, one producer thread per
+  // lane); for DelayDrain the lane is the owning WORKER, probed on its own
+  // executor-side injector.
+  bool FailMailboxEnqueue(uint32_t lane);  // force one TryPush to reject
+  bool StallProducer(uint32_t lane);       // sleep the shard before offering
+  bool DelayDrain(uint32_t lane);          // skip one mailbox-drain opportunity
 
   // Sum of all lanes. Quiescence contract (not a lock): call only while no
   // other thread is probing — the executor reads it after joining its

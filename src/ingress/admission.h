@@ -1,0 +1,76 @@
+// Admission control for the serving front end (docs/serving.md).
+//
+// When a session's home mailbox is full, the shard must DECIDE — the bound
+// makes "do nothing" impossible, which is the design. Three policies, the
+// classic degradation triangle:
+//
+//   * kShed             — drop the item at the edge, count it, tell the
+//                         caller. Sacrifices completeness for latency: the
+//                         admitted population keeps its sojourn bounded no
+//                         matter how hard the open loop pushes (E15's
+//                         graceful-degradation criterion).
+//   * kSpillToSibling   — try up to max_spill_hops neighbouring workers'
+//                         mailboxes before shedding. Sacrifices locality
+//                         (the session executes off its home worker) for
+//                         admission rate; bounded hops keep the probe cost
+//                         O(1), and the per-hop depth reads are the same
+//                         optimistic stale-tolerant loads as SELECTION.
+//   * kBlockWithDeadline — the shard itself backpressures: poll the home
+//                         mailbox until space or deadline, then shed.
+//                         Sacrifices producer throughput for per-session
+//                         ordering and locality; the deadline keeps a stuck
+//                         owner from wedging the shard forever.
+//
+// Shedding is always the terminal fallback: an item is either ADMITTED into
+// exactly one mailbox or SHED with a counted reason — no third state, which
+// is what lets the chaos test and the model checker account for every item.
+
+#ifndef OPTSCHED_SRC_INGRESS_ADMISSION_H_
+#define OPTSCHED_SRC_INGRESS_ADMISSION_H_
+
+#include <cstdint>
+
+namespace optsched::ingress {
+
+enum class AdmissionPolicy {
+  kShed,
+  kSpillToSibling,
+  kBlockWithDeadline,
+};
+
+const char* AdmissionPolicyName(AdmissionPolicy policy);
+// Parses "shed" | "spill" | "block" (benchmark flag spelling); returns
+// kShed for anything unrecognized.
+AdmissionPolicy AdmissionPolicyFromName(const char* name);
+
+struct AdmissionConfig {
+  AdmissionPolicy policy = AdmissionPolicy::kShed;
+  // kSpillToSibling: how many ring-order siblings to probe after the home
+  // mailbox rejects. 0 degrades to kShed.
+  uint32_t max_spill_hops = 2;
+  // kBlockWithDeadline: total time a shard may wait for home-mailbox space
+  // before shedding, and the poll cadence while waiting.
+  uint64_t block_deadline_us = 1000;
+  uint64_t block_poll_us = 50;
+};
+
+// What happened to one offered item.
+enum class AdmitOutcome {
+  kAdmittedHome,   // pushed into the session's home mailbox
+  kAdmittedSpill,  // pushed into a sibling's mailbox (worker in AdmitResult)
+  kShed,           // dropped by policy (full home under kShed, hops/deadline
+                   // exhausted under the other two)
+};
+
+struct AdmitResult {
+  AdmitOutcome outcome = AdmitOutcome::kShed;
+  // The mailbox that accepted the item (home or spill target); valid unless
+  // outcome == kShed.
+  uint32_t worker = 0;
+  // Offer-entry to decision, steady-clock ns (the admission-latency metric).
+  uint64_t admit_ns = 0;
+};
+
+}  // namespace optsched::ingress
+
+#endif  // OPTSCHED_SRC_INGRESS_ADMISSION_H_

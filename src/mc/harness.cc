@@ -24,6 +24,7 @@ StealHarness::Config StealHarness::Config::FromSchedule(const Schedule& schedule
   config.recheck = schedule.recheck;
   config.max_steal_batch = schedule.max_steal_batch;
   config.break_batch_bound = schedule.break_batch_bound;
+  config.mailbox_capacity = schedule.mailbox_capacity;
   return config;
 }
 
@@ -31,9 +32,14 @@ StealHarness::StealHarness(Config config)
     : config_(std::move(config)),
       topology_(Topology::Smp(static_cast<uint32_t>(config_.initial_loads.size()))) {
   OPTSCHED_CHECK(!config_.initial_loads.empty());
-  OPTSCHED_CHECK_MSG(
-      config_.mode == "balance" || config_.mode == "drain" || config_.mode == "epoch",
-      "unknown harness mode");
+  OPTSCHED_CHECK_MSG(config_.mode == "balance" || config_.mode == "drain" ||
+                         config_.mode == "epoch" || config_.mode == "ingress",
+                     "unknown harness mode");
+  // Ingress mode needs at least one owner besides the producer (worker 0).
+  OPTSCHED_CHECK_MSG(config_.mode != "ingress" || config_.initial_loads.size() >= 2,
+                     "ingress mode needs >= 2 workers (worker 0 is the producer)");
+  OPTSCHED_CHECK_MSG(config_.mode != "ingress" || config_.mailbox_capacity >= 1,
+                     "ingress mode needs mailbox_capacity >= 1");
   policy_ = policies::MakePolicyByName(config_.policy, topology_);
   OPTSCHED_CHECK_MSG(policy_ != nullptr, "unknown policy name");
 }
@@ -56,6 +62,14 @@ std::vector<std::function<void()>> StealHarness::MakeBodies() {
       ++next_id;
     }
   }
+  mailboxes_.reset();
+  next_ingress_id_ = next_id;
+  if (config_.mode == "ingress") {
+    // Fresh mailboxes per execution; no notify callback — the owners poll
+    // PendingFor at their loop top, and every mailbox op is already a
+    // decision point through the kMailbox* hooks.
+    mailboxes_ = std::make_unique<ingress::MailboxSet>(n, config_.mailbox_capacity);
+  }
   std::vector<std::function<void()>> bodies;
   bodies.reserve(n);
   for (uint32_t w = 0; w < n; ++w) {
@@ -63,6 +77,9 @@ std::vector<std::function<void()>> StealHarness::MakeBodies() {
       bodies.push_back([this, w] { BalanceBody(w); });
     } else if (config_.mode == "drain") {
       bodies.push_back([this, w] { DrainBody(w); });
+    } else if (config_.mode == "ingress") {
+      bodies.push_back(w == 0 ? std::function<void()>([this] { ProducerBody(); })
+                              : std::function<void()>([this, w] { IngressBody(w); }));
     } else {
       bodies.push_back([this, w] { EpochBody(w); });
     }
@@ -136,6 +153,59 @@ void StealHarness::DrainBody(uint32_t worker) {
   }
 }
 
+void StealHarness::ProducerBody() {
+  Scheduler* scheduler = ActiveScheduler();
+  const uint32_t n = num_workers();
+  // attempts_per_worker pushes, round-robin over the owners. Each push is
+  // announced as admitted (kUserMailboxPush) or refused-full
+  // (kUserMailboxShed): the dichotomy the accounting property relies on —
+  // no third state, so every offered item is traceable.
+  for (uint32_t i = 0; i < config_.attempts_per_worker; ++i) {
+    const uint32_t target = 1 + (i % (n - 1));
+    const uint64_t id = next_ingress_id_++;
+    const WorkItem item{.id = id, .work_units = 1, .weight = 1024};
+    if (mailboxes_->Push(target, item)) {
+      scheduler->Note(kUserMailboxPush, static_cast<int64_t>(id), target);
+    } else {
+      scheduler->Note(kUserMailboxShed, static_cast<int64_t>(id), target);
+    }
+    scheduler->Yield();
+  }
+}
+
+void StealHarness::IngressBody(uint32_t worker) {
+  Scheduler* scheduler = ActiveScheduler();
+  Rng rng(config_.seed * 0x9e3779b97f4a7c15ull + worker + 1);
+  uint32_t steal_attempts = 0;
+  std::vector<WorkItem> drained;
+  for (;;) {
+    // Round boundary: drain the mailbox into the own runqueue first —
+    // exactly the executor's ordering (admitted items beat stolen items).
+    if (mailboxes_->PendingFor(worker) > 0) {
+      drained.clear();
+      mailboxes_->Drain(worker, drained, config_.mailbox_capacity);
+      for (const WorkItem& item : drained) {
+        machine_->queue(worker).Push(item);
+        scheduler->Note(kUserMailboxDrain, static_cast<int64_t>(item.id), worker);
+      }
+      scheduler->Yield();
+    }
+    std::optional<WorkItem> item = machine_->queue(worker).PopForRun();
+    if (item.has_value()) {
+      scheduler->Note(kUserExecuteItem, static_cast<int64_t>(item->id));
+      scheduler->Yield();  // the item "runs" here
+      machine_->queue(worker).FinishCurrent();
+      continue;
+    }
+    if (steal_attempts >= config_.attempts_per_worker) {
+      return;
+    }
+    ++steal_attempts;
+    StealOnce(worker, rng);
+    scheduler->Yield();
+  }
+}
+
 void StealHarness::EpochBody(uint32_t worker) {
   Scheduler* scheduler = ActiveScheduler();
   if (worker == 0) {
@@ -177,6 +247,7 @@ Schedule StealHarness::MakeSchedule(const std::vector<uint32_t>& choices) const 
   schedule.recheck = config_.recheck;
   schedule.max_steal_batch = config_.max_steal_batch;
   schedule.break_batch_bound = config_.break_batch_bound;
+  schedule.mailbox_capacity = config_.mailbox_capacity;
   schedule.choices = choices;
   return schedule;
 }
@@ -232,10 +303,20 @@ std::vector<PropertyReport> StealHarness::Evaluate(const ExecutionResult& result
   add("termination", true);
 
   // --- no-lost-items: initial multiset == remaining ∪ executed ---------------
+  // Ingress mode widens both sides: every item the mailbox ACCEPTED joins
+  // the expected multiset (kUserMailboxPush; refused pushes never entered
+  // the system and are accounted by their kUserMailboxShed event alone),
+  // and mailbox-resident items still undrained at the end join the
+  // accounted side — admitted work may be in a queue, executed, or still in
+  // its mailbox, but never gone.
+  const bool ingress_mode = config_.mode == "ingress";
   std::vector<uint64_t> seen;
+  std::vector<uint64_t> expected = initial_item_ids_;
   for (const McEvent& event : result.events) {
     if (event.user_kind == kUserExecuteItem) {
       seen.push_back(static_cast<uint64_t>(event.arg0));
+    } else if (ingress_mode && event.user_kind == kUserMailboxPush) {
+      expected.push_back(static_cast<uint64_t>(event.arg0));
     }
   }
   for (uint32_t q = 0; q < num_workers(); ++q) {
@@ -245,12 +326,21 @@ std::vector<PropertyReport> StealHarness::Evaluate(const ExecutionResult& result
       queue.FinishCurrent();
     }
   }
-  std::vector<uint64_t> expected = initial_item_ids_;
+  if (ingress_mode) {
+    std::vector<WorkItem> leftover;
+    for (uint32_t w = 0; w < num_workers(); ++w) {
+      mailboxes_->Drain(w, leftover, ~0u);
+    }
+    for (const WorkItem& item : leftover) {
+      seen.push_back(item.id);
+    }
+  }
   std::sort(seen.begin(), seen.end());
   std::sort(expected.begin(), expected.end());
-  add("no-lost-items", seen == expected,
+  const char* conservation_name = ingress_mode ? "no-lost-admitted-items" : "no-lost-items";
+  add(conservation_name, seen == expected,
       seen == expected ? ""
-                       : StrFormat("item multiset changed: %zu seeded, %zu accounted",
+                       : StrFormat("item multiset changed: %zu seeded+admitted, %zu accounted",
                                    expected.size(), seen.size()));
 
   // --- steal-safety: no successful steal idled its victim --------------------

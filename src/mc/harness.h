@@ -11,6 +11,13 @@
 //   * "epoch"   — the executor's escalation-epoch protocol in miniature: a
 //     parked worker blocks on an epoch change, a supervisor bumps it; the
 //     property is that the bump wakes the worker (a miss is a deadlock).
+//   * "ingress" — the serving front end's admission path: worker 0 is a
+//     PRODUCER pushing items into the owners' bounded mailboxes
+//     (src/ingress) mid-exploration; owners drain mailbox->runqueue, then
+//     pop/execute/steal like "drain". Discharges no-lost-admitted-items:
+//     every item the mailbox accepted is executed, still queued, or still
+//     mailbox-resident — full mailboxes refuse loudly (kUserMailboxShed),
+//     they never lose.
 //
 // Properties (per mode):
 //   no-lost-items     — multiset{initial items} == queued ∪ executed after.
@@ -40,6 +47,7 @@
 #include <vector>
 
 #include "src/core/policy.h"
+#include "src/ingress/mailbox.h"
 #include "src/mc/explorer.h"
 #include "src/mc/schedule.h"
 #include "src/mc/scheduler.h"
@@ -57,7 +65,7 @@ struct PropertyReport {
 class StealHarness {
  public:
   struct Config {
-    std::string mode = "balance";  // balance | drain | epoch
+    std::string mode = "balance";  // balance | drain | epoch | ingress
     std::string policy = "thread-count";
     // Items seeded per queue; size() is the worker count.
     std::vector<int64_t> initial_loads;
@@ -71,6 +79,9 @@ class StealHarness {
     // victim bare — the checker must find the steal-safety violation and
     // minimize it (see StealOptions::break_batch_bound).
     bool break_batch_bound = false;
+    // "ingress" mode: BoundedMailbox capacity per owner. Small bounds (2)
+    // make the full/refuse path reachable in tiny explorations.
+    uint32_t mailbox_capacity = 2;
 
     static Config FromSchedule(const Schedule& schedule);
   };
@@ -102,6 +113,9 @@ class StealHarness {
   void BalanceBody(uint32_t worker);
   void DrainBody(uint32_t worker);
   void EpochBody(uint32_t worker);
+  // "ingress" mode: worker 0 produces into mailboxes, owners drain+execute.
+  void ProducerBody();
+  void IngressBody(uint32_t worker);
   void StealOnce(uint32_t worker, Rng& rng);
 
   Config config_;
@@ -112,6 +126,9 @@ class StealHarness {
   std::vector<uint64_t> initial_item_ids_;
   // The escalation-epoch word for "epoch" mode.
   std::uint64_t epoch_ = 0;
+  // "ingress" mode state, rebuilt per execution by MakeBodies.
+  std::unique_ptr<ingress::MailboxSet> mailboxes_;
+  uint64_t next_ingress_id_ = 0;
 };
 
 }  // namespace optsched::mc

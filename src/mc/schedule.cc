@@ -190,6 +190,7 @@ std::string Schedule::ToJson() const {
   out += std::string(",\n  \"recheck\": ") + (recheck ? "true" : "false");
   out += StrFormat(",\n  \"max_steal_batch\": %u", max_steal_batch);
   out += std::string(",\n  \"break_batch_bound\": ") + (break_batch_bound ? "true" : "false");
+  out += StrFormat(",\n  \"mailbox_capacity\": %u", mailbox_capacity);
   out += ",\n  \"property\": ";
   AppendEscaped(out, property);
   out += ",\n  \"note\": ";
@@ -228,6 +229,10 @@ std::optional<Schedule> Schedule::FromJson(const std::string& json) {
     schedule.max_steal_batch = static_cast<uint32_t>(max_batch);
   }
   scanner.GetBool("break_batch_bound", schedule.break_batch_bound);
+  int64_t mailbox_capacity = 0;
+  if (scanner.GetInt("mailbox_capacity", mailbox_capacity) && mailbox_capacity >= 1) {
+    schedule.mailbox_capacity = static_cast<uint32_t>(mailbox_capacity);
+  }
   scanner.GetString("property", schedule.property);
   scanner.GetString("note", schedule.note);
   std::vector<int64_t> choices;

@@ -18,7 +18,8 @@
 namespace optsched::mc {
 
 struct Schedule {
-  // Harness identity (see src/mc/harness.h): "balance", "drain", or "epoch".
+  // Harness identity (see src/mc/harness.h): "balance", "drain", "epoch",
+  // or "ingress".
   std::string harness = "balance";
   // Policy registry name (src/core/policies/registry.h).
   std::string policy = "thread-count";
@@ -32,6 +33,9 @@ struct Schedule {
   uint32_t max_steal_batch = 1;
   // Fault mode: unbounded batch ignoring the migration rule (idles victims).
   bool break_batch_bound = false;
+  // Per-mailbox bound for the "ingress" harness (BoundedMailbox capacity).
+  // Absent in pre-ingress golden files; FromJson defaults to 2.
+  uint32_t mailbox_capacity = 2;
   // The violated property ("" when the schedule is not a counterexample).
   std::string property;
   std::string note;

@@ -50,6 +50,9 @@ const char* UserEventKindName(uint32_t kind) {
     case kUserWake: return "wake";
     case kUserEpochBump: return "epoch-bump";
     case kUserStealBatch: return "steal-batch";
+    case kUserMailboxPush: return "mailbox-push";
+    case kUserMailboxShed: return "mailbox-shed";
+    case kUserMailboxDrain: return "mailbox-drain";
   }
   return "?";
 }

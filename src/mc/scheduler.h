@@ -95,6 +95,10 @@ enum UserEventKind : uint32_t {
   // arg0 = items moved, arg1 = seqlock publishes inside the critical section
   // (publish batching requires <= 2), arg2 = victim.
   kUserStealBatch = 10,
+  // Ingress harness (bounded-mailbox drain, docs/serving.md):
+  kUserMailboxPush = 11,   // arg0 = item id, arg1 = target worker (admitted)
+  kUserMailboxShed = 12,   // arg0 = item id, arg1 = target worker (refused: full)
+  kUserMailboxDrain = 13,  // arg0 = item id, arg1 = owner (moved into runqueue)
 };
 
 const char* UserEventKindName(uint32_t kind);

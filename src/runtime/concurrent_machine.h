@@ -48,10 +48,15 @@ namespace optsched::runtime {
 inline constexpr std::size_t kCacheLineSize = 64;
 
 // A unit of work: `work_units` spins of the calibrated work loop.
+// `arrival_ns` is an optional wall-clock arrival stamp (steady-clock ns, 0 =
+// unstamped): the serving ingress stamps each admitted item at its open-loop
+// arrival time so the executor can record end-to-end sojourn latency
+// (arrival -> execution finished) without any per-item bookkeeping of its own.
 struct WorkItem {
   uint64_t id = 0;
   uint64_t work_units = 1;
   uint32_t weight = 1024;
+  uint64_t arrival_ns = 0;
 };
 
 struct LoadPair {

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "src/base/check.h"
+#include "src/base/mutex.h"
 #include "src/base/str.h"
 #include "src/runtime/mc_hooks.h"
 #include "src/runtime/spinlock.h"
@@ -79,6 +80,22 @@ uint64_t ExecutorReport::total_crashes() const {
   return total;
 }
 
+uint64_t ExecutorReport::total_mailbox_items_drained() const {
+  uint64_t total = 0;
+  for (const WorkerStats& w : workers) {
+    total += w.mailbox_items_drained;
+  }
+  return total;
+}
+
+stats::LogHistogram ExecutorReport::MergedSojournNs() const {
+  stats::LogHistogram merged;
+  for (const WorkerStats& w : workers) {
+    merged.Merge(w.sojourn_ns);
+  }
+  return merged;
+}
+
 double ExecutorReport::throughput_items_per_ms() const {
   return wall_time_ns == 0
              ? 0.0
@@ -105,6 +122,15 @@ std::string ExecutorReport::ToString() const {
     out += StrFormat(" steal_ns{ok_p50=%.0f ok_p99=%.0f fail_p50=%.0f fail_p99=%.0f}",
                      ok_ns.Percentile(0.5), ok_ns.Percentile(0.99), fail_ns.Percentile(0.5),
                      fail_ns.Percentile(0.99));
+  }
+  if (total_mailbox_items_drained() > 0) {
+    out += StrFormat(" mailbox{items_drained=%llu}",
+                     static_cast<unsigned long long>(total_mailbox_items_drained()));
+  }
+  const stats::LogHistogram sojourn = MergedSojournNs();
+  if (sojourn.total() > 0) {
+    out += StrFormat(" sojourn_ns{p50=%.0f p99=%.0f p999=%.0f}", sojourn.Percentile(0.5),
+                     sojourn.Percentile(0.99), sojourn.Percentile(0.999));
   }
   if (faults.total() > 0) {
     out += " " + faults.ToString();
@@ -135,7 +161,14 @@ void ExecutorReport::ExportMetrics(trace::MetricsRegistry& registry) const {
   registry.Add("executor.faults.stale_snapshots", static_cast<double>(faults.stale_snapshots));
   registry.Add("executor.faults.dropped_rounds", static_cast<double>(faults.dropped_rounds));
   registry.Add("executor.faults.crashes", static_cast<double>(faults.crashes));
+  registry.Add("executor.faults.delayed_drains", static_cast<double>(faults.delayed_drains));
   watchdog.ExportTo(registry, "executor.watchdog");
+  const stats::LogHistogram sojourn = MergedSojournNs();
+  if (sojourn.total() > 0) {
+    registry.Set("executor.sojourn_ns.p50", sojourn.Percentile(0.50));
+    registry.Set("executor.sojourn_ns.p99", sojourn.Percentile(0.99));
+    registry.Set("executor.sojourn_ns.p999", sojourn.Percentile(0.999));
+  }
   for (size_t i = 0; i < workers.size(); ++i) {
     const WorkerStats& w = workers[i];
     // Machine-wide aggregates (Add merges across workers)...
@@ -153,7 +186,11 @@ void ExecutorReport::ExportMetrics(trace::MetricsRegistry& registry) const {
     registry.Add("executor.backoff.yields", static_cast<double>(w.yields));
     registry.Add("executor.backoff.escalation_wakeups",
                  static_cast<double>(w.escalation_wakeups));
+    registry.Add("executor.backoff.submit_wakeups", static_cast<double>(w.submit_wakeups));
     registry.Add("executor.crashes", static_cast<double>(w.crashes));
+    registry.Add("executor.mailbox.drains", static_cast<double>(w.mailbox_drains));
+    registry.Add("executor.mailbox.items_drained",
+                 static_cast<double>(w.mailbox_items_drained));
     // ...plus the per-worker split for the load-distribution view.
     const std::string prefix = StrFormat("executor.worker%zu", i);
     registry.Add(prefix + ".items_executed", static_cast<double>(w.items_executed));
@@ -185,6 +222,13 @@ void Executor::Submit(uint32_t queue_index, const WorkItem& item) {
   submitted_items_.fetch_add(1, std::memory_order_relaxed);
   remaining_items_.fetch_add(1, std::memory_order_release);
   machine_.queue(queue_index).Push(item);
+  // Wakeup bump strictly AFTER the push: a worker whose wakeup sample goes
+  // stale re-runs its empty re-checks and is guaranteed to find this item
+  // (the bump's release pairs with the sample's acquire). Bumping before the
+  // push would let a woken worker re-check, miss the not-yet-pushed item,
+  // and park through it — the very race this epoch exists to close.
+  mc_hooks::SyncPoint(mc_hooks::SyncOp::kEpochBump, &wakeup_epoch_);
+  wakeup_epoch_.fetch_add(1, std::memory_order_release);
 }
 
 // Ordering contract for remaining_items_, shared by Submit and SubmitBatch
@@ -213,6 +257,48 @@ void Executor::SubmitBatch(uint32_t queue_index, const std::vector<WorkItem>& it
   for (const WorkItem& item : items) {
     machine_.queue(queue_index).Push(item);
   }
+  // One wakeup bump per batch, after the last push (see Submit).
+  mc_hooks::SyncPoint(mc_hooks::SyncOp::kEpochBump, &wakeup_epoch_);
+  wakeup_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+void Executor::NotifyIngress(uint32_t /*worker*/) {
+  // The mailbox push already completed (MailboxSet notifies on the
+  // empty->non-empty edge, after the item is visible), so the same
+  // bump-after-publish ordering as Submit applies.
+  mc_hooks::SyncPoint(mc_hooks::SyncOp::kEpochBump, &wakeup_epoch_);
+  wakeup_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+uint32_t Executor::DrainIngress(uint32_t worker, WorkerStats& stats,
+                                std::vector<WorkItem>& batch, trace::SpscTraceRing* ring) {
+  batch.clear();
+  const uint32_t moved =
+      config_.ingress->Drain(worker, batch, std::max(config_.ingress_drain_batch, 1u));
+  if (moved == 0) {
+    return 0;
+  }
+  // Same ordering contract as SubmitBatch: the remaining-items count is
+  // bumped before any drained item becomes poppable. (Between the mailbox
+  // removal and this bump the items are in neither PendingFor nor the
+  // count — that window is one drain long and only defers the watchdog's
+  // pending view by a round, it cannot terminate a run early because ingress
+  // requires deadline mode.)
+  submitted_items_.fetch_add(moved, std::memory_order_relaxed);
+  remaining_items_.fetch_add(moved, std::memory_order_release);
+  {
+    LockGuard guard(machine_.queue(worker).lock());
+    machine_.queue(worker).PushBatchLocked(batch.data(), moved);
+  }
+  ++stats.mailbox_drains;
+  stats.mailbox_items_drained += moved;
+  if (ring != nullptr) {
+    ring->TryPush({.time = (NowNs() - run_start_ns_) / 1000,
+                   .type = trace::EventType::kMailboxDrain,
+                   .cpu = worker,
+                   .detail = static_cast<int64_t>(moved)});
+  }
+  return moved;
 }
 
 // The whole worker loop is on the D7 allocation-free budget: after the
@@ -224,13 +310,18 @@ OPTSCHED_HOT_PATH void Executor::WorkerMain(uint32_t worker_index, WorkerStats& 
   Rng rng(config_.seed * 1000003 + worker_index);
   ConcurrentRunQueue& own = machine_.queue(worker_index);
   fault::FaultInjector* injector = injector_.get();
+  IngressSource* ingress = config_.ingress;
   uint32_t fruitless = 0;
   uint64_t backoff_spins = 0;  // current window; 0 = not backing off
+  // Locally executed items since the last mailbox drain (sustained-load
+  // drain cadence; see ExecutorConfig::ingress_drain_interval_items).
+  uint64_t executed_since_drain = 0;
   // Hot-path buffers, allocated once per worker and refilled in place: after
   // warmup a full selection + steal attempt performs zero heap allocations
   // (docs/runtime.md, "hot-path cost model").
   LoadSnapshot snapshot;
   StealScratch steal_scratch;
+  std::vector<WorkItem> drain_batch;  // reaches high-water capacity once
   const StealOptions steal_options{.recheck = config_.recheck_filter,
                                    .max_batch = std::max(config_.max_steal_batch, 1u)};
   // Last snapshot this worker took; a StaleSnapshot fault makes the next
@@ -249,17 +340,47 @@ OPTSCHED_HOT_PATH void Executor::WorkerMain(uint32_t worker_index, WorkerStats& 
   // watchdog's timebase so the merged stream interleaves correctly.
   const auto trace_now_us = [&] { return (NowNs() - run_start_ns_) / 1000; };
 
-  // Bounded park: CpuRelax for `spins`, bailing early on shutdown or on a
-  // watchdog escalation (new epoch -> retry immediately at full rate).
-  const auto park = [&](uint64_t spins) {
+  // True when the wakeup epoch moved past the value sampled at the loop top
+  // — new work was published after this worker's last empty re-check.
+  const auto wakeup_stale = [&](uint64_t wakeup_before) {
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kEpochLoad, &wakeup_epoch_);
+    return wakeup_epoch_.load(std::memory_order_acquire) != wakeup_before;
+  };
+
+  // Bounded park: CpuRelax for `spins`, bailing early on shutdown, on a
+  // watchdog escalation (new epoch -> retry immediately at full rate), or on
+  // a submit/mailbox wakeup. `wakeup_before` was sampled BEFORE this
+  // worker's last empty re-checks: any bump after that sample might be work
+  // the re-checks missed, so the park refuses to start (and keeps checking)
+  // rather than sleep through it. The escalation epoch deliberately keeps
+  // its old late-sample semantics — it means "retry at full rate from NOW",
+  // not "you missed something".
+  const auto park = [&](uint64_t spins, uint64_t wakeup_before) {
     ++stats.backoff_events;
     stats.backoff_spins_total += spins;
+    const auto submit_wakeup = [&] {
+      ++stats.submit_wakeups;
+      backoff_spins = 0;
+      if (ring != nullptr) {
+        ring->TryPush({.time = trace_now_us(),
+                       .type = trace::EventType::kIngressWakeup,
+                       .cpu = worker_index});
+      }
+    };
+    if (wakeup_stale(wakeup_before)) {
+      submit_wakeup();
+      return;
+    }
     mc_hooks::SyncPoint(mc_hooks::SyncOp::kEpochLoad, &escalation_epoch_);
     const uint64_t epoch = escalation_epoch_.load(std::memory_order_acquire);
     for (uint64_t i = 0; i < spins; ++i) {
       CpuRelax();
       if ((i & 255u) == 255u) {
         if (!keep_running()) {
+          return;
+        }
+        if (wakeup_stale(wakeup_before)) {
+          submit_wakeup();
           return;
         }
         mc_hooks::SyncPoint(mc_hooks::SyncOp::kEpochLoad, &escalation_epoch_);
@@ -278,6 +399,12 @@ OPTSCHED_HOT_PATH void Executor::WorkerMain(uint32_t worker_index, WorkerStats& 
   };
 
   while (keep_running()) {
+    // Sample the wakeup epoch FIRST: everything below (own-queue pop,
+    // mailbox check, steal filter) is an empty re-check relative to this
+    // sample, so a submit that lands anywhere after it cannot be slept
+    // through — park() compares against this very value.
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kEpochLoad, &wakeup_epoch_);
+    const uint64_t wakeup_before = wakeup_epoch_.load(std::memory_order_acquire);
     // Crash seam: only at the loop top, where no item is held — fail-stop
     // between scheduling decisions, so the shared queues stay consistent and
     // the supervisor can respawn this slot without losing work.
@@ -296,10 +423,38 @@ OPTSCHED_HOT_PATH void Executor::WorkerMain(uint32_t worker_index, WorkerStats& 
       own.FinishCurrent();
       ++stats.items_executed;
       stats.units_executed += item->work_units;
+      if (item->arrival_ns != 0) {
+        const uint64_t now = NowNs();
+        stats.sojourn_ns.Add(now > item->arrival_ns ? now - item->arrival_ns : 0);
+      }
       remaining_items_.fetch_sub(1, std::memory_order_acq_rel);
       fruitless = 0;
       backoff_spins = 0;
+      // Sustained-load drain cadence: a never-empty runqueue must not starve
+      // the mailbox, so pull a batch every N executed items too.
+      if (ingress != nullptr &&
+          ++executed_since_drain >= config_.ingress_drain_interval_items) {
+        executed_since_drain = 0;
+        if (ingress->PendingFor(worker_index) > 0) {
+          DrainIngress(worker_index, stats, drain_batch, ring);
+        }
+      }
       continue;
+    }
+    // Round boundary (queue empty): drain the mailbox before looking for
+    // work to steal — admitted items beat stolen items, they are already
+    // ours. A DelayDrain fault skips this one opportunity (the items stay
+    // mailbox-resident one round longer; the watchdog must read that as
+    // pending, not as a violation).
+    if (ingress != nullptr && ingress->PendingFor(worker_index) > 0) {
+      if (injector == nullptr || !injector->DelayDrain(worker_index)) {
+        executed_since_drain = 0;
+        if (DrainIngress(worker_index, stats, drain_batch, ring) > 0) {
+          fruitless = 0;
+          backoff_spins = 0;
+          continue;
+        }
+      }
     }
     // Queue empty: run the three-step balancing protocol — unless a straggler
     // fault holds this core out of the round entirely.
@@ -374,12 +529,12 @@ OPTSCHED_HOT_PATH void Executor::WorkerMain(uint32_t worker_index, WorkerStats& 
       }
       if (ring != nullptr) {
         const uint64_t park_start = NowNs();
-        park(spins);
+        park(spins, wakeup_before);
         ring->TryPush({.time = (park_start - run_start_ns_) / 1000,
                        .type = trace::EventType::kBackoffPark, .cpu = worker_index,
                        .detail = static_cast<int64_t>(NowNs() - park_start)});
       } else {
-        park(spins);
+        park(spins, wakeup_before);
       }
       if (backoff_spins >= config_.max_backoff_spins) {
         // At the cap: hand the OS a scheduling opportunity between parks.
@@ -396,8 +551,12 @@ ExecutorReport Executor::RunInternal(uint64_t duration_ms,
   ExecutorReport report;
   report.workers.resize(config_.num_workers);
   deadline_mode_ = duration_ms > 0;
+  // Ingress needs open-system mode: closed-system Run() terminates on its
+  // submitted count and would strand items admitted after the last drain.
+  OPTSCHED_CHECK(config_.ingress == nullptr || deadline_mode_);
   stop_.store(false, std::memory_order_release);
   escalation_epoch_.store(0, std::memory_order_release);
+  wakeup_epoch_.store(0, std::memory_order_release);
   injector_ = config_.fault_plan.any()
                   ? std::make_unique<fault::FaultInjector>(config_.fault_plan, config_.num_workers)
                   : nullptr;
@@ -453,6 +612,7 @@ ExecutorReport Executor::RunInternal(uint64_t duration_ms,
   // joined here before its thread object is reused.
   const uint64_t restart_delay_ns = config_.fault_plan.crash_restart_us * 1000ull;
   LoadSnapshot watchdog_snapshot;  // reused across polls
+  std::vector<int64_t> watchdog_pending;  // mailbox depths; empty when no ingress
   for (;;) {
     const uint64_t now = NowNs();
     if (deadline_mode_ && !stop_.load(std::memory_order_acquire) && now >= stop_at) {
@@ -501,8 +661,18 @@ ExecutorReport Executor::RunInternal(uint64_t duration_ms,
     }
     if (config_.watchdog) {
       machine_.SnapshotInto(watchdog_snapshot);
+      // Mailbox-resident items are PENDING for their owner (satellite of
+      // docs/serving.md): an idle worker with a backlogged mailbox is about
+      // to drain, not violating conservation — without this, sustained
+      // ingress overload escalates the watchdog against a healthy scheduler.
+      if (config_.ingress != nullptr) {
+        watchdog_pending.resize(config_.num_workers);
+        for (uint32_t i = 0; i < config_.num_workers; ++i) {
+          watchdog_pending[i] = config_.ingress->PendingFor(i);
+        }
+      }
       if (watchdog.ObserveRound((now - start) / 1000, watchdog_snapshot.task_count,
-                                &watchdog_trace)) {
+                                watchdog_pending, &watchdog_trace)) {
         watchdog.RecordEscalation((now - start) / 1000, &watchdog_trace);
         // Snap every backing-off worker awake: an immediate full-rate
         // balancing attempt is the runtime's "forced global round".

@@ -39,6 +39,7 @@
 #include "src/core/policy.h"
 #include "src/fault/fault.h"
 #include "src/runtime/concurrent_machine.h"
+#include "src/runtime/ingress_source.h"
 #include "src/stats/histogram.h"
 #include "src/trace/accounting.h"
 #include "src/trace/collector.h"
@@ -92,6 +93,17 @@ struct ExecutorConfig {
   // disabled path costs one null-pointer check per event site, so throughput
   // numbers don't move.
   size_t trace_ring_capacity = 0;
+  // Serving ingress (docs/serving.md): when non-null, each worker drains its
+  // slice of the source into its own runqueue at round boundaries (queue
+  // empty) and, under sustained local load, every
+  // `ingress_drain_interval_items` executed items — so a busy owner bounds
+  // its mailbox sojourn instead of starving the mailbox until it runs dry.
+  // The source must outlive the run. Requires RunFor (open-system mode):
+  // closed-system Run() terminates on its submitted count and would strand
+  // late-admitted mailbox items.
+  IngressSource* ingress = nullptr;
+  uint32_t ingress_drain_batch = 64;
+  uint64_t ingress_drain_interval_items = 32;
   uint64_t seed = 1;
 };
 
@@ -109,6 +121,12 @@ struct WorkerStats {
   uint64_t escalation_wakeups = 0;
   // Injected crash-and-restarts this worker index suffered.
   uint64_t crashes = 0;
+  // Ingress accounting: drain actions, items moved mailbox->runqueue, and
+  // parks cut short by a submit/mailbox wakeup-epoch bump (the lost-wakeup
+  // fix — see wakeup_epoch_ below).
+  uint64_t mailbox_drains = 0;
+  uint64_t mailbox_items_drained = 0;
+  uint64_t submit_wakeups = 0;
   // Steal-phase latency, split by outcome: successful steals and genuine
   // failed attempts (non-empty filter, lost re-check or no eligible task).
   // Failed attempts are exactly the contention §4.3 reasons about — recording
@@ -116,6 +134,10 @@ struct WorkerStats {
   stats::LogHistogram steal_latency_ns;
   stats::LogHistogram steal_fail_latency_ns;
   stats::LogHistogram selection_latency_ns;
+  // End-to-end sojourn (WorkItem::arrival_ns -> execution finished) of
+  // executed items that carried an arrival stamp; empty in closed-system
+  // runs, which don't stamp.
+  stats::LogHistogram sojourn_ns;
 };
 
 struct ExecutorReport {
@@ -146,6 +168,9 @@ struct ExecutorReport {
   uint64_t total_attempts() const;
   uint64_t total_backoff_events() const;
   uint64_t total_crashes() const;
+  uint64_t total_mailbox_items_drained() const;
+  // Sojourn histograms of all workers merged (arrival-stamped items only).
+  stats::LogHistogram MergedSojournNs() const;
   double throughput_items_per_ms() const;
   // Snapshots every counter of the run — per-worker and aggregate steal
   // outcomes, backoff, faults, watchdog, trace drops — into the registry
@@ -187,6 +212,14 @@ class Executor {
   // True once the run deadline passed; producers should poll this and return.
   bool stopped() const { return stop_.load(std::memory_order_acquire); }
 
+  // Ingress notification hook: wire MailboxSet's notify callback here (any
+  // producer thread). Bumps the wakeup epoch so every parked worker bails
+  // out of its backoff window and re-checks its mailbox/queue. Deliberately
+  // wakes ALL parked workers, not just `worker`: a per-worker doorbell would
+  // need per-worker state the park loop re-reads anyway, and a non-empty
+  // mailbox usually coincides with spill traffic toward the siblings.
+  void NotifyIngress(uint32_t worker);
+
  private:
   // Worker lifecycle, observed by the supervisor loop. A worker publishes
   // kCrashed/kDone itself; kAwaitingRestart is supervisor-private.
@@ -205,6 +238,12 @@ class Executor {
   // than one live producer per ring.
   void WorkerMain(uint32_t worker_index, WorkerStats& stats, std::atomic<uint32_t>& state,
                   trace::SpscTraceRing* ring);
+  // Moves up to ingress_drain_batch items from config_.ingress into
+  // `worker`'s own runqueue (count bumped BEFORE the items become poppable,
+  // same ordering contract as SubmitBatch). `batch` is the worker's reusable
+  // scratch. Returns items moved.
+  uint32_t DrainIngress(uint32_t worker, WorkerStats& stats, std::vector<WorkItem>& batch,
+                        trace::SpscTraceRing* ring);
   // Shared driver behind Run and RunFor: spawns workers, supervises
   // crash-and-restart and the watchdog, joins, reports. duration_ms == 0
   // means closed-system mode (run until drained).
@@ -232,6 +271,16 @@ class Executor {
   // backoff when they observe a new epoch.
   // mc: kEpochLoad, kEpochBump
   std::atomic<uint64_t> escalation_epoch_{0};
+  // Bumped by Submit/SubmitBatch/NotifyIngress AFTER the new work is
+  // visible. Each worker samples it at the TOP of its loop — before the last
+  // empty re-check of its queue, its mailbox and the steal filter — and a
+  // park bails as soon as the sampled value goes stale. This closes the
+  // lost-wakeup window the escalation epoch alone had: that epoch was read
+  // for the first time INSIDE park, after the empty re-checks, so a submit
+  // landing between a worker's last re-check and its park entry was invisible
+  // until the park expired (regression: executor_wakeup_test).
+  // mc: kEpochLoad, kEpochBump
+  std::atomic<uint64_t> wakeup_epoch_{0};
   bool deadline_mode_ = false;
   // Wall-clock origin of the current run; trace timestamps are relative μs.
   uint64_t run_start_ns_ = 0;

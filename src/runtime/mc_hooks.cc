@@ -21,6 +21,9 @@ const char* SyncOpName(SyncOp op) {
     case SyncOp::kSeqReadRetry: return "seq-read-retry";
     case SyncOp::kEpochLoad: return "epoch-load";
     case SyncOp::kEpochBump: return "epoch-bump";
+    case SyncOp::kMailboxPush: return "mailbox-push";
+    case SyncOp::kMailboxDrain: return "mailbox-drain";
+    case SyncOp::kMailboxDepth: return "mailbox-depth";
     case SyncOp::kYield: return "yield";
     case SyncOp::kThreadStart: return "thread-start";
   }
@@ -37,10 +40,13 @@ bool SyncOpWrites(SyncOp op) {
     case SyncOp::kSeqWriteTorn:
     case SyncOp::kSeqWriteEnd:
     case SyncOp::kEpochBump:
+    case SyncOp::kMailboxPush:
+    case SyncOp::kMailboxDrain:
       return true;
     case SyncOp::kSeqRead:
     case SyncOp::kSeqReadRetry:
     case SyncOp::kEpochLoad:
+    case SyncOp::kMailboxDepth:
     case SyncOp::kYield:
     case SyncOp::kThreadStart:
       return false;

@@ -46,8 +46,11 @@ enum class SyncOp {
   kSeqWriteEnd,   // write published (sequence even again)
   kSeqRead,       // Seqlock::Read attempt start
   kSeqReadRetry,  // blocking: reader saw an odd sequence or a torn pair
-  kEpochLoad,     // executor escalation-epoch load
-  kEpochBump,     // executor escalation-epoch fetch_add
+  kEpochLoad,     // executor escalation/wakeup-epoch load
+  kEpochBump,     // executor escalation/wakeup-epoch fetch_add
+  kMailboxPush,   // ingress mailbox: producer-side bounded enqueue
+  kMailboxDrain,  // ingress mailbox: owner-side drain into the runqueue
+  kMailboxDepth,  // ingress mailbox: lock-free depth observation
   kYield,         // explicit fair scheduling point (harness loop boundary)
   kThreadStart,   // virtual thread about to run its first action
 };

@@ -140,7 +140,14 @@ ConservationWatchdog::ConservationWatchdog(uint32_t num_cpus, WatchdogConfig con
 
 bool ConservationWatchdog::ObserveRound(SimTime now, const std::vector<int64_t>& loads,
                                         TraceBuffer* trace) {
+  return ObserveRound(now, loads, std::vector<int64_t>{}, trace);
+}
+
+bool ConservationWatchdog::ObserveRound(SimTime now, const std::vector<int64_t>& loads,
+                                        const std::vector<int64_t>& mailbox_pending,
+                                        TraceBuffer* trace) {
   OPTSCHED_CHECK(loads.size() == num_cpus_);
+  OPTSCHED_CHECK(mailbox_pending.empty() || mailbox_pending.size() == num_cpus_);
   ++stats_.observations;
   bool any_overloaded = false;
   for (int64_t l : loads) {
@@ -148,7 +155,10 @@ bool ConservationWatchdog::ObserveRound(SimTime now, const std::vector<int64_t>&
   }
   bool escalate = false;
   for (CpuId cpu = 0; cpu < num_cpus_; ++cpu) {
-    const bool violating = loads[cpu] == 0 && any_overloaded;
+    // Admitted-but-undrained mailbox work counts as pending for its owner:
+    // an "idle" core about to drain is converging, not violating.
+    const bool has_pending = !mailbox_pending.empty() && mailbox_pending[cpu] > 0;
+    const bool violating = loads[cpu] == 0 && !has_pending && any_overloaded;
     if (violating) {
       ++streak_[cpu];
       stats_.max_streak_rounds = std::max(stats_.max_streak_rounds, streak_[cpu]);

@@ -136,6 +136,19 @@ class ConservationWatchdog {
   bool ObserveRound(SimTime now, const std::vector<int64_t>& loads,
                     TraceBuffer* trace = nullptr);
 
+  // Ingress-aware variant (docs/serving.md): `mailbox_pending[cpu]` is the
+  // admitted-but-undrained mailbox depth for `cpu` (empty = no ingress). A
+  // core that looks idle but has mailbox-resident work is NOT violating work
+  // conservation — the items are already assigned to it and will enter its
+  // runqueue at its next drain, and no other core could legally steal them
+  // from the mailbox anyway. Without this, sustained overload at the ingress
+  // edge reads as a persistent conservation violation and the watchdog
+  // escalates against a scheduler that is doing nothing wrong.
+  // `any_overloaded` still considers runqueue loads only: mailbox backlog is
+  // not stealable, so it cannot obligate OTHER cores.
+  bool ObserveRound(SimTime now, const std::vector<int64_t>& loads,
+                    const std::vector<int64_t>& mailbox_pending, TraceBuffer* trace);
+
   // The caller escalated (forced a global round); tallies and traces it.
   void RecordEscalation(SimTime now, TraceBuffer* trace = nullptr);
 

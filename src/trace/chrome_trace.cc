@@ -21,7 +21,15 @@ const char* EventCategory(EventType type) {
       return "backoff";
     case EventType::kCrash:
     case EventType::kRestart:
+    case EventType::kEnqueueFault:
+    case EventType::kProducerStall:
       return "fault";
+    case EventType::kMailboxDrain:
+    case EventType::kIngressWakeup:
+    case EventType::kAdmissionShed:
+    case EventType::kAdmissionSpill:
+    case EventType::kAdmissionBlock:
+      return "ingress";
     default:
       return "sched";
   }

@@ -22,6 +22,13 @@ const char* EventTypeName(EventType type) {
     case EventType::kEscalationWakeup: return "escalation-wakeup";
     case EventType::kCrash: return "crash";
     case EventType::kRestart: return "restart";
+    case EventType::kMailboxDrain: return "mailbox-drain";
+    case EventType::kIngressWakeup: return "ingress-wakeup";
+    case EventType::kAdmissionShed: return "admission-shed";
+    case EventType::kAdmissionSpill: return "admission-spill";
+    case EventType::kAdmissionBlock: return "admission-block";
+    case EventType::kEnqueueFault: return "enqueue-fault";
+    case EventType::kProducerStall: return "producer-stall";
   }
   return "?";
 }

@@ -37,6 +37,15 @@ enum class EventType {
   kEscalationWakeup,  // a park cut short by a watchdog escalation epoch bump
   kCrash,             // injected worker crash (thread exits)
   kRestart,           // supervisor respawned a crashed worker slot
+  // Serving-ingress events (docs/serving.md). Executor side:
+  kMailboxDrain,    // owner moved a batch mailbox->runqueue; detail = items
+  kIngressWakeup,   // a park cut short by a submit/mailbox wakeup-epoch bump
+  // Router side (per-shard buffers; cpu = home worker, task = item id):
+  kAdmissionShed,   // item dropped by the shed policy; detail = mailbox depth
+  kAdmissionSpill,  // item admitted to a sibling; other_cpu = actual worker
+  kAdmissionBlock,  // block-with-deadline timed out -> shed; detail = waited us
+  kEnqueueFault,    // injected TryPush failure (fault plan, not real overload)
+  kProducerStall,   // injected producer stall; detail = stall duration us
 };
 
 const char* EventTypeName(EventType type);

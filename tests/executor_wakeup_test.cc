@@ -1,0 +1,134 @@
+// Regression tests for the lost-wakeup race between a parking worker and a
+// concurrent Submit/mailbox push (executor.h, wakeup_epoch_).
+//
+// The race: a worker re-checks its queue (empty), the steal filter (empty),
+// then parks. A Submit landing between the last re-check and the park entry
+// used to be invisible until the park expired — with a large backoff bound
+// the item sat queued for the rest of the run. The fix samples wakeup_epoch_
+// at the TOP of the worker loop and refuses to park (or bails out of an
+// in-flight park) once the sample goes stale; producers bump the epoch AFTER
+// the work is visible.
+//
+// These tests make the old window fatal: backoff long enough to outlast the
+// whole run, work submitted only once every worker is deep in its park. If a
+// wakeup is lost, the items are still queued at the deadline and
+// items_left_unexecuted is nonzero.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/core/policies/thread_count.h"
+#include "src/ingress/mailbox.h"
+#include "src/runtime/executor.h"
+
+namespace optsched {
+namespace {
+
+using namespace std::chrono_literals;
+
+runtime::ExecutorConfig DeepParkConfig() {
+  runtime::ExecutorConfig config;
+  config.num_workers = 4;
+  config.spin_per_unit = 20;
+  // Park almost immediately when idle, and park LONG: a lost wakeup means the
+  // worker sleeps past the RunFor deadline (the park's periodic stop-check
+  // still lets the run terminate — with the submitted items unexecuted).
+  config.idle_spins_before_yield = 1;
+  config.initial_backoff_spins = 1ull << 22;
+  config.max_backoff_spins = 1ull << 34;
+  config.backoff_jitter = false;
+  return config;
+}
+
+TEST(ExecutorWakeup, SubmitDuringDeepParkIsNotLost) {
+  runtime::Executor executor(policies::MakeThreadCount(), DeepParkConfig());
+
+  std::atomic<uint64_t> produced{0};
+  const auto producer = [&](runtime::Executor& e) {
+    // Let every worker run out of work and sink into its park first.
+    std::this_thread::sleep_for(60ms);
+    for (uint64_t id = 0; id < 100; ++id) {
+      e.Submit(static_cast<uint32_t>(id % 4), {.id = id, .work_units = 1, .weight = 1024});
+      produced.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  const runtime::ExecutorReport report = executor.RunFor(/*duration_ms=*/400, producer);
+  SCOPED_TRACE(report.ToString());
+
+  uint64_t executed = 0;
+  uint64_t submit_wakeups = 0;
+  for (const auto& w : report.workers) {
+    executed += w.items_executed;
+    submit_wakeups += w.submit_wakeups;
+  }
+  EXPECT_EQ(produced.load(), 100u);
+  // The regression: without the wakeup epoch these stay queued until the
+  // deadline and show up here instead of in items_executed.
+  EXPECT_EQ(report.items_left_unexecuted, 0u);
+  EXPECT_EQ(executed, 100u);
+  // At least one worker must have been cut out of (or kept from entering) a
+  // park by the submit — with 60ms of warm-up idle and 2^22-spin initial
+  // parks, all four are parked when the submits land.
+  EXPECT_GT(submit_wakeups, 0u);
+}
+
+TEST(ExecutorWakeup, SubmitBatchBumpsOncePerBatchAndWakes) {
+  runtime::Executor executor(policies::MakeThreadCount(), DeepParkConfig());
+
+  const auto producer = [&](runtime::Executor& e) {
+    std::this_thread::sleep_for(60ms);
+    std::vector<runtime::WorkItem> batch;
+    for (uint64_t id = 0; id < 64; ++id) {
+      batch.push_back({.id = id, .work_units = 1, .weight = 1024});
+    }
+    e.SubmitBatch(0, batch);
+  };
+  const runtime::ExecutorReport report = executor.RunFor(400, producer);
+  SCOPED_TRACE(report.ToString());
+  EXPECT_EQ(report.total_items, 64u);
+  EXPECT_EQ(report.items_left_unexecuted, 0u);
+}
+
+TEST(ExecutorWakeup, MailboxNotifyWakesParkedOwner) {
+  // The same race through the ingress path: a push into a parked owner's
+  // mailbox fires MailboxSet's notify -> Executor::NotifyIngress -> epoch
+  // bump. Without it the owner's drain waits out the full park.
+  runtime::ExecutorConfig config = DeepParkConfig();
+  ingress::MailboxSet mailboxes(config.num_workers, /*capacity_per_mailbox=*/256);
+  config.ingress = &mailboxes;
+
+  runtime::Executor executor(policies::MakeThreadCount(), config);
+  mailboxes.set_notify([&](uint32_t worker) { executor.NotifyIngress(worker); });
+
+  std::atomic<uint64_t> admitted{0};
+  const auto producer = [&](runtime::Executor& e) {
+    std::this_thread::sleep_for(60ms);
+    for (uint64_t id = 0; id < 100; ++id) {
+      if (mailboxes.Push(static_cast<uint32_t>(id % 4),
+                         {.id = id, .work_units = 1, .weight = 1024})) {
+        admitted.fetch_add(1, std::memory_order_relaxed);
+      }
+      (void)e;
+    }
+  };
+  const runtime::ExecutorReport report = executor.RunFor(400, producer);
+  SCOPED_TRACE(report.ToString());
+
+  uint64_t executed = 0;
+  for (const auto& w : report.workers) {
+    executed += w.items_executed;
+  }
+  // Capacity 256 per mailbox, 25 items each: everything is admitted, and an
+  // admitted item must be drained and executed before the deadline.
+  EXPECT_EQ(admitted.load(), 100u);
+  EXPECT_EQ(executed, 100u);
+  EXPECT_EQ(report.items_left_unexecuted, 0u);
+  EXPECT_EQ(report.total_mailbox_items_drained(), 100u);
+  EXPECT_EQ(mailboxes.TotalPending(), 0);
+}
+
+}  // namespace
+}  // namespace optsched

@@ -1,0 +1,255 @@
+// Unit tests for the serving front end (src/ingress): bounded mailboxes,
+// the admission policies, router routing/stats, and fault seams.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/ingress/admission.h"
+#include "src/ingress/mailbox.h"
+#include "src/ingress/router.h"
+#include "src/trace/metrics.h"
+
+namespace optsched::ingress {
+namespace {
+
+runtime::WorkItem Item(uint64_t id) { return {.id = id, .work_units = 1, .weight = 1024}; }
+
+TEST(BoundedMailbox, FifoPushDrainAndBound) {
+  BoundedMailbox box(3);
+  bool was_empty = false;
+  EXPECT_TRUE(box.TryPush(Item(1), &was_empty));
+  EXPECT_TRUE(was_empty);
+  EXPECT_TRUE(box.TryPush(Item(2), &was_empty));
+  EXPECT_FALSE(was_empty);
+  EXPECT_TRUE(box.TryPush(Item(3)));
+  // Full: the bound refuses, loudly.
+  EXPECT_FALSE(box.TryPush(Item(4)));
+  EXPECT_EQ(box.ApproxDepth(), 3);
+  EXPECT_EQ(box.total_rejected_full(), 1u);
+
+  std::vector<runtime::WorkItem> out;
+  EXPECT_EQ(box.DrainInto(out, 2), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 1u);
+  EXPECT_EQ(out[1].id, 2u);
+  EXPECT_EQ(box.ApproxDepth(), 1);
+  // Space again after the drain; ring wraps correctly.
+  EXPECT_TRUE(box.TryPush(Item(5)));
+  out.clear();
+  EXPECT_EQ(box.DrainInto(out, 10), 2u);
+  EXPECT_EQ(out[0].id, 3u);
+  EXPECT_EQ(out[1].id, 5u);
+  EXPECT_EQ(box.ApproxDepth(), 0);
+  EXPECT_EQ(box.total_pushed(), 4u);
+  EXPECT_EQ(box.total_drained(), 4u);
+}
+
+TEST(BoundedMailbox, ConcurrentProducersNeverLoseAdmittedItems) {
+  BoundedMailbox box(64);
+  constexpr int kProducers = 4;
+  constexpr uint64_t kPerProducer = 20000;
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> drained{0};
+  std::atomic<bool> producers_done{false};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (uint64_t i = 0; i < kPerProducer; ++i) {
+        if (box.TryPush(Item(static_cast<uint64_t>(p) * kPerProducer + i))) {
+          admitted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::thread consumer([&] {
+    std::vector<runtime::WorkItem> out;
+    while (!producers_done.load(std::memory_order_acquire) || box.ApproxDepth() > 0) {
+      out.clear();
+      drained.fetch_add(box.DrainInto(out, 32), std::memory_order_relaxed);
+    }
+  });
+  for (auto& t : producers) {
+    t.join();
+  }
+  producers_done.store(true, std::memory_order_release);
+  consumer.join();
+
+  // Conservation at quiescence: every admitted item was drained, every
+  // refused item was counted, nothing invented.
+  EXPECT_EQ(drained.load(), admitted.load());
+  EXPECT_EQ(box.total_pushed(), admitted.load());
+  EXPECT_EQ(box.total_pushed() + box.total_rejected_full(),
+            static_cast<uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(box.ApproxDepth(), 0);
+}
+
+TEST(MailboxSet, NotifyFiresOnlyOnEmptyToNonEmptyEdge) {
+  std::vector<uint32_t> notified;
+  MailboxSet set(2, 4, [&](uint32_t worker) { notified.push_back(worker); });
+  EXPECT_TRUE(set.Push(1, Item(1)));  // edge
+  EXPECT_TRUE(set.Push(1, Item(2)));  // no edge
+  EXPECT_TRUE(set.Push(0, Item(3)));  // edge on the other mailbox
+  ASSERT_EQ(notified.size(), 2u);
+  EXPECT_EQ(notified[0], 1u);
+  EXPECT_EQ(notified[1], 0u);
+
+  std::vector<runtime::WorkItem> out;
+  EXPECT_EQ(set.Drain(1, out, 16), 2u);
+  EXPECT_TRUE(set.Push(1, Item(4)));  // empty again -> edge again
+  EXPECT_EQ(notified.size(), 3u);
+  EXPECT_EQ(set.PendingFor(1), 1);
+  EXPECT_EQ(set.TotalPending(), 2);
+}
+
+TEST(Router, HomeWorkerIsStableAndSessionsSpread) {
+  MailboxSet set(8, 4);
+  IngressRouter router(set, RouterConfig{.num_shards = 1});
+  std::vector<bool> hit(8, false);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    const uint32_t home = router.HomeWorker(key);
+    ASSERT_LT(home, 8u);
+    EXPECT_EQ(home, router.HomeWorker(key));  // stable
+    hit[home] = true;
+  }
+  // FNV over 1000 keys must not collapse onto a few workers.
+  for (bool h : hit) {
+    EXPECT_TRUE(h);
+  }
+}
+
+TEST(Router, ShedPolicyDropsAtTheEdgeWhenHomeIsFull) {
+  MailboxSet set(2, 2);
+  RouterConfig config;
+  config.num_shards = 1;
+  config.admission.policy = AdmissionPolicy::kShed;
+  IngressRouter router(set, config);
+
+  const uint64_t key = 7;
+  const uint32_t home = router.HomeWorker(key);
+  EXPECT_EQ(router.Offer(0, key, Item(1)).outcome, AdmitOutcome::kAdmittedHome);
+  EXPECT_EQ(router.Offer(0, key, Item(2)).outcome, AdmitOutcome::kAdmittedHome);
+  const AdmitResult shed = router.Offer(0, key, Item(3));
+  EXPECT_EQ(shed.outcome, AdmitOutcome::kShed);
+  // The sibling stayed untouched: shed means the edge, not a detour.
+  EXPECT_EQ(set.mailbox(1 - home).ApproxDepth(), 0);
+
+  const ShardStats& stats = router.shard_stats(0);
+  EXPECT_EQ(stats.offered, 3u);
+  EXPECT_EQ(stats.admitted_home, 2u);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.offered, stats.admitted_home + stats.admitted_spill + stats.shed);
+}
+
+TEST(Router, SpillPolicyProbesSiblingsThenSheds) {
+  MailboxSet set(4, 1);
+  RouterConfig config;
+  config.num_shards = 1;
+  config.admission.policy = AdmissionPolicy::kSpillToSibling;
+  config.admission.max_spill_hops = 3;
+  IngressRouter router(set, config);
+
+  const uint64_t key = 42;
+  EXPECT_EQ(router.Offer(0, key, Item(1)).outcome, AdmitOutcome::kAdmittedHome);
+  // Home full: the next three offers land on the three ring-order siblings.
+  for (int i = 0; i < 3; ++i) {
+    const AdmitResult r = router.Offer(0, key, Item(2 + static_cast<uint64_t>(i)));
+    EXPECT_EQ(r.outcome, AdmitOutcome::kAdmittedSpill);
+  }
+  // Everything full: hops exhausted, terminal shed.
+  EXPECT_EQ(router.Offer(0, key, Item(9)).outcome, AdmitOutcome::kShed);
+
+  const ShardStats& stats = router.shard_stats(0);
+  EXPECT_EQ(stats.admitted_home, 1u);
+  EXPECT_EQ(stats.admitted_spill, 3u);
+  EXPECT_EQ(stats.shed, 1u);
+  for (uint32_t w = 0; w < 4; ++w) {
+    EXPECT_EQ(set.mailbox(w).ApproxDepth(), 1);
+  }
+}
+
+TEST(Router, BlockPolicyWaitsForDrainThenAdmits) {
+  MailboxSet set(2, 1);
+  RouterConfig config;
+  config.num_shards = 1;
+  config.admission.policy = AdmissionPolicy::kBlockWithDeadline;
+  config.admission.block_deadline_us = 200'000;
+  config.admission.block_poll_us = 100;
+  IngressRouter router(set, config);
+
+  const uint64_t key = 3;
+  const uint32_t home = router.HomeWorker(key);
+  EXPECT_EQ(router.Offer(0, key, Item(1)).outcome, AdmitOutcome::kAdmittedHome);
+
+  // A draining owner frees the slot while the shard blocks on the full box.
+  std::thread owner([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::vector<runtime::WorkItem> out;
+    set.Drain(home, out, 1);
+  });
+  const AdmitResult blocked = router.Offer(0, key, Item(2));
+  owner.join();
+  EXPECT_EQ(blocked.outcome, AdmitOutcome::kAdmittedHome);
+  EXPECT_GT(blocked.admit_ns, 1'000'000u);  // it genuinely waited
+  EXPECT_EQ(router.shard_stats(0).block_timeouts, 0u);
+}
+
+TEST(Router, BlockPolicyShedsAtDeadline) {
+  MailboxSet set(2, 1);
+  RouterConfig config;
+  config.num_shards = 1;
+  config.admission.policy = AdmissionPolicy::kBlockWithDeadline;
+  config.admission.block_deadline_us = 2000;
+  config.admission.block_poll_us = 100;
+  IngressRouter router(set, config);
+
+  const uint64_t key = 3;
+  EXPECT_EQ(router.Offer(0, key, Item(1)).outcome, AdmitOutcome::kAdmittedHome);
+  // Nobody drains: the block expires and the item is shed, counted as a
+  // deadline expiry too.
+  EXPECT_EQ(router.Offer(0, key, Item(2)).outcome, AdmitOutcome::kShed);
+  EXPECT_EQ(router.shard_stats(0).shed, 1u);
+  EXPECT_EQ(router.shard_stats(0).block_timeouts, 1u);
+}
+
+TEST(Router, InjectedEnqueueFaultsFallThroughPolicyAndAreCounted) {
+  MailboxSet set(2, 64);
+  RouterConfig config;
+  config.num_shards = 1;
+  config.admission.policy = AdmissionPolicy::kShed;
+  config.fault_plan.mailbox_enqueue_fail_rate = 1.0;  // every push fails
+  IngressRouter router(set, config);
+  ASSERT_NE(router.injector(), nullptr);
+
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(router.Offer(0, i, Item(i)).outcome, AdmitOutcome::kShed);
+  }
+  EXPECT_EQ(router.shard_stats(0).enqueue_faults, 10u);
+  EXPECT_EQ(router.shard_stats(0).shed, 10u);
+  EXPECT_EQ(router.injector()->stats().mailbox_enqueue_failures, 10u);
+  // Faulted pushes never reached a ring.
+  EXPECT_EQ(set.TotalPending(), 0);
+}
+
+TEST(Router, ExportMetricsFlattensUnderIngressNamespace) {
+  MailboxSet set(2, 4);
+  RouterConfig config;
+  config.num_shards = 2;
+  IngressRouter router(set, config);
+  router.Offer(0, 1, Item(1));
+  router.Offer(1, 2, Item(2));
+
+  trace::MetricsRegistry metrics;
+  router.ExportMetrics(metrics);
+  EXPECT_EQ(metrics.Get("ingress.offered"), 2.0);
+  EXPECT_TRUE(metrics.Has("ingress.admitted_home"));
+  EXPECT_TRUE(metrics.Has("ingress.shed"));
+  EXPECT_TRUE(metrics.Has("ingress.mailbox0.pushed"));
+  EXPECT_TRUE(metrics.Has("ingress.admission_ns.p99"));
+}
+
+}  // namespace
+}  // namespace optsched::ingress

@@ -302,6 +302,77 @@ TEST(DfsExplorerTest, DrainModeConservesItems) {
   EXPECT_GT(stats.schedules_explored, 0u);
 }
 
+TEST(DfsExplorerTest, IngressModeDischargesNoLostAdmittedItems) {
+  MC_SKIP_UNDER_TSAN();
+  StealHarness::Config config;
+  config.mode = "ingress";
+  config.policy = "thread-count";
+  // Worker 0 is the producer; workers 1 and 2 own a mailbox and a runqueue.
+  config.initial_loads = {0, 0, 0};
+  config.attempts_per_worker = 3;  // 3 pushes, and a 3-attempt steal budget
+  config.mailbox_capacity = 1;     // tiny bound: the full/refuse path is reachable
+  StealHarness harness(config);
+
+  DfsExplorer::Options options;
+  options.max_preemptions = 2;
+  DfsExplorer explorer(options);
+  std::string violation;
+  bool saw_shed = false;
+  bool saw_drain = false;
+  const ExploreStats stats =
+      explorer.Explore(harness.Factory(), [&](const ExecutionResult& result, uint32_t) {
+        for (const McEvent& event : result.events) {
+          saw_shed |= event.user_kind == kUserMailboxShed;
+          saw_drain |= event.user_kind == kUserMailboxDrain;
+        }
+        const std::vector<PropertyReport> reports = harness.Evaluate(result);
+        if (StealHarness::FirstViolation(reports) != nullptr) {
+          violation = Describe(reports);
+          return false;
+        }
+        return true;
+      });
+  // no-lost-admitted-items holds in EVERY interleaving of the producer
+  // against the draining owners: an admitted item ends up executed, queued,
+  // or still mailbox-resident; refused pushes are loud (kUserMailboxShed).
+  EXPECT_FALSE(stats.stopped_by_sink) << violation;
+  EXPECT_FALSE(stats.budget_exhausted);
+  EXPECT_GT(stats.schedules_explored, 1u);
+  // The exploration must actually reach both interesting paths: a drain that
+  // moves an admitted item, and a push refused by the capacity-1 bound.
+  EXPECT_TRUE(saw_drain);
+  EXPECT_TRUE(saw_shed);
+}
+
+TEST(DfsExplorerTest, IngressScheduleRoundTripsThroughJson) {
+  MC_SKIP_UNDER_TSAN();
+  StealHarness::Config config;
+  config.mode = "ingress";
+  config.policy = "thread-count";
+  config.initial_loads = {0, 0};
+  config.attempts_per_worker = 2;
+  config.mailbox_capacity = 3;
+  StealHarness harness(config);
+
+  // Any concrete execution: PCT gives one cheaply.
+  PctStrategy pct(/*num_threads=*/2, /*depth_estimate=*/64, /*num_change_points=*/2,
+                  /*seed=*/7);
+  Scheduler scheduler;
+  const ExecutionResult result = scheduler.Run(harness.MakeBodies(), pct);
+  const Schedule schedule = harness.MakeSchedule(result.choices);
+  EXPECT_EQ(schedule.harness, "ingress");
+  EXPECT_EQ(schedule.mailbox_capacity, 3u);
+
+  const std::optional<Schedule> parsed = Schedule::FromJson(schedule.ToJson());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->mailbox_capacity, 3u);
+  StealHarness replay_harness(StealHarness::Config::FromSchedule(*parsed));
+  const ExecutionResult replayed = ReplayChoices(replay_harness.Factory(), parsed->choices);
+  EXPECT_EQ(replayed.events, result.events);
+  const std::vector<PropertyReport> reports = replay_harness.Evaluate(replayed);
+  EXPECT_EQ(StealHarness::FirstViolation(reports), nullptr) << Describe(reports);
+}
+
 TEST(PctStrategyTest, RandomizedSamplingDischargesPropertiesOnThreadCount) {
   MC_SKIP_UNDER_TSAN();
   StealHarness::Config config;

@@ -5,8 +5,9 @@ Enforces the locking/ordering rules that clang -Wthread-safety cannot
 express (the analysis is structural, not semantic -- see
 docs/static_analysis.md for the full rationale):
 
-  atomic-memory-order    every std::atomic operation in src/runtime and
-                         src/trace spells its std::memory_order explicitly;
+  atomic-memory-order    every std::atomic operation in src/runtime,
+                         src/trace, and src/ingress spells its
+                         std::memory_order explicitly;
                          implicit operator forms (=, ++, +=) on known atomic
                          members are flagged too -- they are silent seq_cst.
   dual-lock-rank         DualLockGuard acquisition order comes from queue
@@ -16,7 +17,8 @@ docs/static_analysis.md for the full rationale):
                          are OPTSCHED_REQUIRES-annotated or follow the
                          *Locked naming convention -- the seqlock tolerates
                          torn reads, not torn writes.
-  mc-hook-coverage       every raw std::atomic member in src/runtime carries
+  mc-hook-coverage       every raw std::atomic member in src/runtime and
+                         src/ingress (mailbox sync state included) carries
                          a "// mc: kOp, ..." tag naming the
                          mc_hooks::SyncPoint / BlockUntil announcements that
                          cover it (announcements must exist in the same file
@@ -67,10 +69,10 @@ RULES = (
 
 # Tree-mode path scope per rule (prefix match on the repo-relative path).
 RULE_SCOPES = {
-    "atomic-memory-order": ("src/runtime/", "src/trace/"),
+    "atomic-memory-order": ("src/runtime/", "src/trace/", "src/ingress/"),
     "dual-lock-rank": ("src/",),
     "seqlock-write-context": ("src/",),
-    "mc-hook-coverage": ("src/runtime/",),
+    "mc-hook-coverage": ("src/runtime/", "src/ingress/"),
     "hot-path-alloc": ("src/",),
 }
 
