@@ -1,6 +1,7 @@
 // Experiment E14 — hot-path throughput and allocation audit: batched
 // steal-half vs steal-one vs locked selection on an overloaded-producer
-// workload (every item seeded on queue 0, all other workers must steal).
+// workload (every item seeded on queue 0, all other workers must steal),
+// across BOTH queue backends (locked reference vs lock-free Chase-Lev).
 //
 //   E14a (alloc audit): a single-threaded micro-harness drives the full
 //       selection + steal path (SnapshotInto + TrySteal with a reusable
@@ -14,21 +15,31 @@
 //       layout and never creep across chunk boundaries).
 //   E14b (throughput): closed-system executor runs, N items on queue 0,
 //       measuring drained items/ms for steal_one (max_steal_batch = 1),
-//       steal_half (cap 8) and the locked_selection ablation, plus a batch-
-//       cap sweep {1, 2, 4, 8, 16}. Expectation: steal_half >= steal_one —
-//       when successful steals are bounded, each one should move enough work
-//       to matter — and both beat locked selection.
+//       steal_half (cap 8) and the locked_selection ablation, plus the same
+//       steal modes on the chase_lev backend and a batch-cap sweep
+//       {1, 2, 4, 8, 16}. Expectation: steal_half >= steal_one — when
+//       successful steals are bounded, each one should move enough work to
+//       matter — both beat locked selection, and chase_lev steal_half beats
+//       the locked backend (no lock hold on either end of a steal).
+//   E14c (tree steal bound): a divide-and-conquer tree (every item below the
+//       leaf depth spawns two children into its owner's deque) drained by W
+//       workers over the real TrySteal path. Work-stealing theory bounds
+//       successful steals by O(W * depth) independent of the 2^(D+1)-1 item
+//       count; the section asserts successes <= 64 * W * D per backend.
 //
 // Writes a machine-readable summary to BENCH_e14_throughput.json (override
 // with --out=PATH). CI's perf-smoke job compares steal_half items/ms against
 // the checked-in floor in bench/e14_throughput_floor.json.
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <new>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -160,7 +171,8 @@ struct ModeResult {
 
 ModeResult RunMode(const std::string& mode, uint32_t workers, uint64_t items, uint64_t units,
                    uint64_t spin_per_unit, uint32_t max_batch, bool locked_selection,
-                   int repeat) {
+                   int repeat,
+                   runtime::QueueBackend backend = runtime::QueueBackend::kLocked) {
   ModeResult result;
   result.mode = mode;
   // run < 0 is a discarded warmup: first-touch page faults, frequency ramp
@@ -168,6 +180,16 @@ ModeResult RunMode(const std::string& mode, uint32_t workers, uint64_t items, ui
   for (int run = -1; run < repeat; ++run) {
     runtime::ExecutorConfig config;
     config.num_workers = workers;
+    config.backend = backend;
+    // Size the bounded ring to the working set, as a deployment would: the
+    // locked backend's std::deque grows to hold the whole seed, so a ring
+    // that spills most of it to the inbox would measure the spill path, not
+    // the deque. Capped at 2^20 slots (~32 MiB of WorkItem words).
+    uint64_t ring = 2;
+    while (ring < items + 1 && ring < (1ull << 20)) {
+      ring <<= 1;
+    }
+    config.chase_lev_capacity = static_cast<uint32_t>(ring);
     config.spin_per_unit = spin_per_unit;
     config.max_steal_batch = max_batch;
     config.locked_selection = locked_selection;
@@ -190,6 +212,89 @@ ModeResult RunMode(const std::string& mode, uint32_t workers, uint64_t items, ui
       result.failed_recheck = report.total_failed_recheck();
     }
   }
+  return result;
+}
+
+// --- E14c: divide-and-conquer tree, steal-count bound -----------------------
+
+struct TreeResult {
+  std::string backend;
+  uint64_t total_items = 0;
+  uint64_t steal_successes = 0;
+  uint64_t steal_bound = 0;  // 64 * workers * depth
+  double items_per_ms = 0.0;
+  bool within_bound = false;
+};
+
+// Every node below `depth` spawns two children into its owner's queue (the
+// owner-side batch push), so the whole 2^(depth+1)-1 node tree unfolds from
+// one seeded root and spreads only through the real TrySteal path. The
+// classic work-stealing argument bounds successful steals by O(W * depth):
+// each steal takes a node whose subtree the thief then mines locally, and a
+// node can hand off at most its depth in ancestors. 64 is generous slack for
+// the policy gate's refusals and cross-core timing, NOT a tuning constant.
+TreeResult RunTreeBound(runtime::QueueBackend backend, uint32_t workers, uint32_t depth,
+                        uint64_t spin_per_item) {
+  runtime::ConcurrentMachine machine(workers, runtime::MachineOptions{.backend = backend});
+  const auto policy = policies::MakeThreadCount();
+  const uint64_t total = (1ull << (depth + 1)) - 1;
+  {
+    runtime::WorkItem root = Item(1, /*units=*/0);  // work_units carries node depth
+    machine.queue(0).PushBatchOwner(&root, 1);
+  }
+  std::atomic<uint64_t> executed{0};
+  std::atomic<uint64_t> next_id{2};
+  std::vector<runtime::StealCounters> counters(workers);
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (uint32_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      runtime::ConcurrentRunQueue& own = machine.queue(w);
+      Rng rng(w + 1);
+      runtime::StealScratch scratch;
+      LoadSnapshot snapshot;
+      const runtime::StealOptions options{.recheck = true, .max_batch = 1};
+      while (executed.load(std::memory_order_acquire) < total) {
+        if (std::optional<runtime::WorkItem> item = own.PopForRun()) {
+          const uint64_t node_depth = item->work_units;
+          if (node_depth < depth) {
+            const uint64_t base = next_id.fetch_add(2, std::memory_order_relaxed);
+            const runtime::WorkItem children[2] = {Item(base, node_depth + 1),
+                                                   Item(base + 1, node_depth + 1)};
+            own.PushBatchOwner(children, 2);
+          }
+          volatile uint64_t sink = 0;
+          for (uint64_t spin = 0; spin < spin_per_item; ++spin) {
+            sink = sink + spin;
+          }
+          own.FinishCurrent();
+          executed.fetch_add(1, std::memory_order_acq_rel);
+          continue;
+        }
+        machine.SnapshotInto(snapshot);
+        runtime::StealObservation observation;
+        machine.TrySteal(*policy, w, snapshot, rng, options, counters[w], nullptr, nullptr,
+                         &observation, &scratch);
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  const double ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  TreeResult result;
+  result.backend = runtime::QueueBackendName(backend);
+  result.total_items = total;
+  for (const runtime::StealCounters& c : counters) {
+    result.steal_successes += c.successes;
+  }
+  result.steal_bound = 64ull * workers * depth;
+  result.items_per_ms = ms > 0 ? static_cast<double>(total) / ms : 0.0;
+  result.within_bound = result.steal_successes <= result.steal_bound;
   return result;
 }
 
@@ -241,6 +346,10 @@ int Main(int argc, char** argv) {
   modes.push_back(RunMode("steal_one", workers, items, units, spin, 1, false, repeat));
   modes.push_back(RunMode("steal_half", workers, items, units, spin, 8, false, repeat));
   modes.push_back(RunMode("locked_selection", workers, items, units, spin, 1, true, repeat));
+  modes.push_back(RunMode("chase_lev_steal_one", workers, items, units, spin, 1, false, repeat,
+                          runtime::QueueBackend::kChaseLev));
+  modes.push_back(RunMode("chase_lev_steal_half", workers, items, units, spin, 8, false, repeat,
+                          runtime::QueueBackend::kChaseLev));
   std::vector<std::vector<std::string>> rows;
   for (const ModeResult& m : modes) {
     rows.push_back({m.mode, F("%.1f", m.items_per_ms),
@@ -250,6 +359,7 @@ int Main(int argc, char** argv) {
   }
   bench::PrintTable({"mode", "items/ms", "steal actions", "items stolen", "failed recheck"},
                     rows);
+  bench::Note("work-bound operating point: per-item spin dominates, backends converge");
 
   bench::Section("E14b — batch-cap sweep (steal-half cap 1..16)");
   std::vector<ModeResult> sweep;
@@ -263,6 +373,78 @@ int Main(int argc, char** argv) {
                     F("%llu", (unsigned long long)m.items_stolen)});
   }
   bench::PrintTable({"cap", "items/ms", "steal actions", "items stolen"}, rows);
+
+  // The backend axis proper: 1-unit items with no spin, so per-item cost IS
+  // the synchronization substrate (pop + finish + steal traffic). This is
+  // the operating point where replacing the lock+seqlock pair with the
+  // Chase-Lev deque must pay for itself — the gate in
+  // bench/e14_throughput_floor.json reads these numbers.
+  const uint64_t sync_items =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "sync-items", "200000").c_str()));
+  bench::Section(F("E14d — sync-bound backend axis, %u workers, %llu items x 1 unit, spin 0",
+                   workers, (unsigned long long)sync_items));
+  std::vector<ModeResult> sync_modes;
+  sync_modes.push_back(RunMode("steal_one", workers, sync_items, 1, 0, 1, false, repeat));
+  sync_modes.push_back(RunMode("steal_half", workers, sync_items, 1, 0, 8, false, repeat));
+  sync_modes.push_back(RunMode("chase_lev_steal_one", workers, sync_items, 1, 0, 1, false,
+                               repeat, runtime::QueueBackend::kChaseLev));
+  sync_modes.push_back(RunMode("chase_lev_steal_half", workers, sync_items, 1, 0, 8, false,
+                               repeat, runtime::QueueBackend::kChaseLev));
+  rows.clear();
+  for (const ModeResult& m : sync_modes) {
+    rows.push_back({m.mode, F("%.1f", m.items_per_ms),
+                    F("%llu", (unsigned long long)m.steal_actions),
+                    F("%llu", (unsigned long long)m.items_stolen),
+                    F("%llu", (unsigned long long)m.failed_recheck)});
+  }
+  bench::PrintTable({"mode", "items/ms", "steal actions", "items stolen", "failed recheck"},
+                    rows);
+  double chase_lev_ratio = 0.0;
+  {
+    double locked_half = 0.0;
+    double chase_half = 0.0;
+    for (const ModeResult& m : sync_modes) {
+      if (m.mode == "steal_half") locked_half = m.items_per_ms;
+      if (m.mode == "chase_lev_steal_half") chase_half = m.items_per_ms;
+    }
+    if (locked_half > 0) {
+      chase_lev_ratio = chase_half / locked_half;
+      bench::Note(F("chase_lev_steal_half / steal_half = %.2fx", chase_lev_ratio));
+    }
+  }
+
+  const uint32_t tree_depth =
+      static_cast<uint32_t>(std::atoi(FlagValue(argc, argv, "tree-depth", "13").c_str()));
+  const uint64_t tree_spin =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "tree-spin", "2000").c_str()));
+  bench::Section(F("E14c — tree steal bound, depth %u (%llu items), %u workers", tree_depth,
+                   (unsigned long long)((1ull << (tree_depth + 1)) - 1), workers));
+  std::vector<TreeResult> trees;
+  trees.push_back(RunTreeBound(runtime::QueueBackend::kLocked, workers, tree_depth, tree_spin));
+  trees.push_back(RunTreeBound(runtime::QueueBackend::kChaseLev, workers, tree_depth, tree_spin));
+  rows.clear();
+  for (const TreeResult& t : trees) {
+    rows.push_back({t.backend, F("%.1f", t.items_per_ms),
+                    F("%llu", (unsigned long long)t.steal_successes),
+                    F("%llu", (unsigned long long)t.steal_bound),
+                    t.within_bound ? "yes" : "NO"});
+  }
+  bench::PrintTable({"backend", "items/ms", "steal successes", "64*W*D bound", "within"}, rows);
+  // Only the Chase-Lev backend promises the Leiserson-Schardl-Suksompong
+  // steal bound: its owner runs depth-first (LIFO bottom) while thieves take
+  // the shallowest node (FIFO top), so every steal moves a whole subtree.
+  // The locked queue runs the frontier breadth-first and thieves take the
+  // NEWEST (deepest) entries — steals move leaves and the count is
+  // unbounded in depth. Its row is the ablation contrast, not a gate.
+  bool tree_bound_ok = true;
+  for (const TreeResult& t : trees) {
+    if (t.backend == "chase_lev") {
+      tree_bound_ok &= t.within_bound;
+    }
+  }
+  if (!tree_bound_ok) {
+    bench::Note("FAIL: chase_lev steal count exceeded the O(W*depth) bound");
+  }
 
   // Machine-readable summary (CI perf-smoke artifact + floor check).
   std::string json = F(
@@ -281,20 +463,39 @@ int Main(int argc, char** argv) {
               (unsigned long long)modes[i].items_stolen,
               (unsigned long long)modes[i].failed_recheck);
   }
-  json += "],\"batch_sweep\":[";
+  json += F("],\"sync_bound\":{\"items\":%llu,\"chase_lev_ratio\":%.3f,\"modes\":[",
+            (unsigned long long)sync_items, chase_lev_ratio);
+  for (size_t i = 0; i < sync_modes.size(); ++i) {
+    json += F("%s{\"mode\":\"%s\",\"items_per_ms\":%.2f,\"steal_actions\":%llu,"
+              "\"items_stolen\":%llu,\"failed_recheck\":%llu}",
+              i ? "," : "", sync_modes[i].mode.c_str(), sync_modes[i].items_per_ms,
+              (unsigned long long)sync_modes[i].steal_actions,
+              (unsigned long long)sync_modes[i].items_stolen,
+              (unsigned long long)sync_modes[i].failed_recheck);
+  }
+  json += "]},\"batch_sweep\":[";
   for (size_t i = 0; i < sweep.size(); ++i) {
     json += F("%s{\"cap\":\"%s\",\"items_per_ms\":%.2f,\"items_stolen\":%llu}", i ? "," : "",
               sweep[i].mode.c_str(), sweep[i].items_per_ms,
               (unsigned long long)sweep[i].items_stolen);
   }
-  json += "]}\n";
+  json += F("],\"tree\":{\"depth\":%u,\"spin\":%llu,\"runs\":[", tree_depth,
+            (unsigned long long)tree_spin);
+  for (size_t i = 0; i < trees.size(); ++i) {
+    json += F("%s{\"backend\":\"%s\",\"items\":%llu,\"items_per_ms\":%.2f,"
+              "\"steal_successes\":%llu,\"steal_bound\":%llu,\"within_bound\":%s}",
+              i ? "," : "", trees[i].backend.c_str(), (unsigned long long)trees[i].total_items,
+              trees[i].items_per_ms, (unsigned long long)trees[i].steal_successes,
+              (unsigned long long)trees[i].steal_bound, trees[i].within_bound ? "true" : "false");
+  }
+  json += "]}}\n";
   if (trace::WriteStringToFile(out, json)) {
     std::printf("\nsummary -> %s\n", out.c_str());
   } else {
     std::fprintf(stderr, "failed to write '%s'\n", out.c_str());
     return 1;
   }
-  return audit.allocs == 0 ? 0 : 1;
+  return (audit.allocs == 0 && tree_bound_ok) ? 0 : 1;
 }
 
 }  // namespace

@@ -75,7 +75,10 @@ void PrintUsage(const char* prog) {
   std::printf("  --metrics           dump the full metrics registry (name=value lines)\n");
   std::printf("model checker (src/mc):\n");
   std::printf("  --mc                explore schedules of the real steal protocol instead\n");
-  std::printf("  --mc-harness=MODE   balance | drain | epoch | ingress (default balance)\n");
+  std::printf("  --mc-harness=MODE   balance | drain | epoch | ingress | wakeup (default balance)\n");
+  std::printf("  --mc-backend=NAME   run-queue backend: locked | chase_lev (default locked)\n");
+  std::printf("  --mc-deque-capacity=N  chase_lev ring capacity (default 64)\n");
+  std::printf("  --mc-broken-steal-order  fault mode: thief reads bottom before top, no fence\n");
   std::printf("  --mc-loads=CSV      items seeded per queue, e.g. 0,1,2 (size = workers)\n");
   std::printf("  --mc-workers=N      shorthand for --mc-loads=0,1,...,N-1\n");
   std::printf("  --mc-attempts=N     steal attempts per worker (default 2)\n");
@@ -184,6 +187,15 @@ int RunMcExplore(int argc, char** argv) {
   config.break_batch_bound = HasFlag(argc, argv, "mc-break-batch");
   const int mailbox = std::atoi(FlagValue(argc, argv, "mc-mailbox", "2").c_str());
   config.mailbox_capacity = mailbox >= 1 ? static_cast<uint32_t>(mailbox) : 1;
+  const std::string backend = FlagValue(argc, argv, "mc-backend", "locked");
+  if (!optsched::runtime::ParseQueueBackend(backend, config.backend)) {
+    std::fprintf(stderr, "unknown --mc-backend '%s' (locked | chase_lev)\n", backend.c_str());
+    return 2;
+  }
+  const int deque_capacity =
+      std::atoi(FlagValue(argc, argv, "mc-deque-capacity", "64").c_str());
+  config.deque_capacity = deque_capacity >= 2 ? static_cast<uint32_t>(deque_capacity) : 64;
+  config.broken_steal_order = HasFlag(argc, argv, "mc-broken-steal-order");
   config.initial_loads = ParseLoads(FlagValue(argc, argv, "mc-loads", ""));
   if (config.initial_loads.empty()) {
     const int workers = std::atoi(FlagValue(argc, argv, "mc-workers", "3").c_str());
@@ -192,8 +204,9 @@ int RunMcExplore(int argc, char** argv) {
     }
   }
   StealHarness harness(config);
-  std::printf("mc:        %s harness, policy %s, loads ", config.mode.c_str(),
-              config.policy.c_str());
+  std::printf("mc:        %s harness, %s backend%s, policy %s, loads ", config.mode.c_str(),
+              optsched::runtime::QueueBackendName(config.backend),
+              config.broken_steal_order ? " (BROKEN STEAL ORDER)" : "", config.policy.c_str());
   for (size_t i = 0; i < config.initial_loads.size(); ++i) {
     std::printf("%s%lld", i ? "," : "", static_cast<long long>(config.initial_loads[i]));
   }

@@ -25,6 +25,10 @@ StealHarness::Config StealHarness::Config::FromSchedule(const Schedule& schedule
   config.max_steal_batch = schedule.max_steal_batch;
   config.break_batch_bound = schedule.break_batch_bound;
   config.mailbox_capacity = schedule.mailbox_capacity;
+  OPTSCHED_CHECK_MSG(runtime::ParseQueueBackend(schedule.backend, config.backend),
+                     "unknown backend in schedule");
+  config.deque_capacity = schedule.deque_capacity;
+  config.broken_steal_order = schedule.broken_steal_order;
   return config;
 }
 
@@ -33,13 +37,18 @@ StealHarness::StealHarness(Config config)
       topology_(Topology::Smp(static_cast<uint32_t>(config_.initial_loads.size()))) {
   OPTSCHED_CHECK(!config_.initial_loads.empty());
   OPTSCHED_CHECK_MSG(config_.mode == "balance" || config_.mode == "drain" ||
-                         config_.mode == "epoch" || config_.mode == "ingress",
+                         config_.mode == "epoch" || config_.mode == "ingress" ||
+                         config_.mode == "wakeup",
                      "unknown harness mode");
-  // Ingress mode needs at least one owner besides the producer (worker 0).
-  OPTSCHED_CHECK_MSG(config_.mode != "ingress" || config_.initial_loads.size() >= 2,
-                     "ingress mode needs >= 2 workers (worker 0 is the producer)");
-  OPTSCHED_CHECK_MSG(config_.mode != "ingress" || config_.mailbox_capacity >= 1,
-                     "ingress mode needs mailbox_capacity >= 1");
+  const bool producer_mode = config_.mode == "ingress" || config_.mode == "wakeup";
+  // Producer modes need at least one owner besides the producer (worker 0).
+  OPTSCHED_CHECK_MSG(!producer_mode || config_.initial_loads.size() >= 2,
+                     "ingress/wakeup modes need >= 2 workers (worker 0 is the producer)");
+  OPTSCHED_CHECK_MSG(!producer_mode || config_.mailbox_capacity >= 1,
+                     "ingress/wakeup modes need mailbox_capacity >= 1");
+  OPTSCHED_CHECK_MSG(config_.backend == runtime::QueueBackend::kChaseLev ||
+                         !config_.broken_steal_order,
+                     "broken_steal_order is a chase_lev fault knob");
   policy_ = policies::MakePolicyByName(config_.policy, topology_);
   OPTSCHED_CHECK_MSG(policy_ != nullptr, "unknown policy name");
 }
@@ -50,21 +59,33 @@ int64_t StealHarness::InitialPotential() const {
 
 std::vector<std::function<void()>> StealHarness::MakeBodies() {
   const uint32_t n = num_workers();
-  machine_ = std::make_unique<ConcurrentMachine>(n);
+  machine_ = std::make_unique<ConcurrentMachine>(
+      n, runtime::MachineOptions{.backend = config_.backend,
+                                 .deque_capacity = config_.deque_capacity,
+                                 .broken_steal_order = config_.broken_steal_order});
   counters_.assign(n, StealCounters{});
   initial_item_ids_.clear();
   epoch_ = 0;
+  producer_done_ = false;
   uint64_t next_id = 1;
+  std::vector<WorkItem> seed;
   for (uint32_t q = 0; q < n; ++q) {
+    seed.clear();
     for (int64_t k = 0; k < config_.initial_loads[q]; ++k) {
-      machine_->queue(q).Push(WorkItem{.id = next_id, .work_units = 1, .weight = 1024});
+      seed.push_back(WorkItem{.id = next_id, .work_units = 1, .weight = 1024});
       initial_item_ids_.push_back(next_id);
       ++next_id;
+    }
+    if (!seed.empty()) {
+      // Owner-side seeding: on chase_lev this lands items in the deque (the
+      // stealable structure), not the external-submit inbox — balance mode
+      // never runs PopForRun, so inbox items would be invisible to thieves.
+      machine_->queue(q).PushBatchOwner(seed.data(), static_cast<uint32_t>(seed.size()));
     }
   }
   mailboxes_.reset();
   next_ingress_id_ = next_id;
-  if (config_.mode == "ingress") {
+  if (config_.mode == "ingress" || config_.mode == "wakeup") {
     // Fresh mailboxes per execution; no notify callback — the owners poll
     // PendingFor at their loop top, and every mailbox op is already a
     // decision point through the kMailbox* hooks.
@@ -80,6 +101,9 @@ std::vector<std::function<void()>> StealHarness::MakeBodies() {
     } else if (config_.mode == "ingress") {
       bodies.push_back(w == 0 ? std::function<void()>([this] { ProducerBody(); })
                               : std::function<void()>([this, w] { IngressBody(w); }));
+    } else if (config_.mode == "wakeup") {
+      bodies.push_back(w == 0 ? std::function<void()>([this] { WakeupProducerBody(); })
+                              : std::function<void()>([this, w] { WakeupWorkerBody(w); }));
     } else {
       bodies.push_back([this, w] { EpochBody(w); });
     }
@@ -110,7 +134,14 @@ void StealHarness::StealOnce(uint32_t worker, Rng& rng) {
                                      counters_[worker], &topology_, &victim, &observation);
   const StealCounters& after = counters_[worker];
   if (ok) {
-    scheduler->Note(kUserStealOk, victim, observation.victim_tasks_after,
+    // arg1 is the effective victim depth: on chase_lev the victim may have
+    // executed its own items between the thief's observation reads, and
+    // FinishCurrent is the one tasks decrement no CAS guards — the finished
+    // delta credits that owner progress back so steal-safety judges the
+    // state the migration gate actually acted on (always 0 on locked: the
+    // victim is frozen under its lock).
+    scheduler->Note(kUserStealOk, victim,
+                    observation.victim_tasks_after + observation.victim_finished_delta,
                     static_cast<int64_t>(observation.item_id));
     scheduler->Note(kUserStealBatch, static_cast<int64_t>(observation.items_moved),
                     static_cast<int64_t>(observation.seqlock_writes), victim);
@@ -184,9 +215,15 @@ void StealHarness::IngressBody(uint32_t worker) {
     if (mailboxes_->PendingFor(worker) > 0) {
       drained.clear();
       mailboxes_->Drain(worker, drained, config_.mailbox_capacity);
-      for (const WorkItem& item : drained) {
-        machine_->queue(worker).Push(item);
-        scheduler->Note(kUserMailboxDrain, static_cast<int64_t>(item.id), worker);
+      if (!drained.empty()) {
+        // Owner-side batch push, exactly the executor's DrainIngress: on
+        // chase_lev this is the only way admitted items reach the stealable
+        // deque rather than the external-submit inbox.
+        machine_->queue(worker).PushBatchOwner(drained.data(),
+                                               static_cast<uint32_t>(drained.size()));
+        for (const WorkItem& item : drained) {
+          scheduler->Note(kUserMailboxDrain, static_cast<int64_t>(item.id), worker);
+        }
       }
       scheduler->Yield();
     }
@@ -203,6 +240,89 @@ void StealHarness::IngressBody(uint32_t worker) {
     ++steal_attempts;
     StealOnce(worker, rng);
     scheduler->Yield();
+  }
+}
+
+void StealHarness::WakeupProducerBody() {
+  Scheduler* scheduler = ActiveScheduler();
+  const uint32_t n = num_workers();
+  for (uint32_t i = 0; i < config_.attempts_per_worker; ++i) {
+    const uint32_t target = 1 + (i % (n - 1));
+    const uint64_t id = next_ingress_id_++;
+    const WorkItem item{.id = id, .work_units = 1, .weight = 1024};
+    if (mailboxes_->Push(target, item)) {
+      scheduler->Note(kUserMailboxPush, static_cast<int64_t>(id), target);
+    } else {
+      scheduler->Note(kUserMailboxShed, static_cast<int64_t>(id), target);
+    }
+    // NotifyIngress's ordering contract: the epoch bump strictly follows the
+    // item becoming mailbox-visible, so an owner that parks on a pre-push
+    // sample is always released and re-drains.
+    scheduler->OnSync(SyncOp::kEpochBump, &epoch_);
+    ++epoch_;
+    scheduler->Note(kUserEpochBump, static_cast<int64_t>(epoch_));
+    scheduler->Yield();
+  }
+  // The executor's quit-path ordering: done becomes observable strictly
+  // after the last push, then one final bump releases any owner that parked
+  // between that push's bump and this flag flipping.
+  producer_done_ = true;
+  scheduler->OnSync(SyncOp::kEpochBump, &epoch_);
+  ++epoch_;
+  scheduler->Note(kUserEpochBump, static_cast<int64_t>(epoch_));
+}
+
+void StealHarness::WakeupWorkerBody(uint32_t worker) {
+  Scheduler* scheduler = ActiveScheduler();
+  std::vector<WorkItem> drained;
+  for (;;) {
+    // WorkerMain's ordering contract in miniature: sample the wakeup word
+    // FIRST, then look for work. A notify landing after the sample moves the
+    // epoch past it and turns the park below into a no-op; one landing
+    // before the drain is simply seen by the drain. Sampling after the drain
+    // instead would open the classic lost-wakeup window.
+    scheduler->OnSync(SyncOp::kEpochLoad, &epoch_);
+    const uint64_t sample = epoch_;
+    bool progress = false;
+    if (mailboxes_->PendingFor(worker) > 0) {
+      drained.clear();
+      mailboxes_->Drain(worker, drained, config_.mailbox_capacity);
+      if (!drained.empty()) {
+        machine_->queue(worker).PushBatchOwner(drained.data(),
+                                               static_cast<uint32_t>(drained.size()));
+        for (const WorkItem& item : drained) {
+          scheduler->Note(kUserMailboxDrain, static_cast<int64_t>(item.id), worker);
+        }
+        progress = true;
+      }
+      scheduler->Yield();
+    }
+    while (std::optional<WorkItem> item = machine_->queue(worker).PopForRun()) {
+      scheduler->Note(kUserExecuteItem, static_cast<int64_t>(item->id));
+      scheduler->Yield();  // the item "runs" here
+      machine_->queue(worker).FinishCurrent();
+      progress = true;
+    }
+    if (progress) {
+      continue;
+    }
+    if (!producer_done_) {
+      // Park on the top-of-loop sample. If any bump (push or quit kick)
+      // happened after the sample the predicate is already true and this
+      // wake is immediate — the lost-wakeup-free property under test.
+      scheduler->Note(kUserPark);
+      scheduler->BlockUntil(SyncOp::kEpochLoad, &epoch_,
+                            [this, sample] { return epoch_ != sample; });
+      scheduler->Note(kUserWake);
+      continue;
+    }
+    // done was set strictly after the producer's last push, so one more
+    // pending check closes the race where that push landed after our drain
+    // above — without it an owner could exit over a stranded item.
+    if (mailboxes_->PendingFor(worker) > 0) {
+      continue;
+    }
+    return;
   }
 }
 
@@ -248,6 +368,9 @@ Schedule StealHarness::MakeSchedule(const std::vector<uint32_t>& choices) const 
   schedule.max_steal_batch = config_.max_steal_batch;
   schedule.break_batch_bound = config_.break_batch_bound;
   schedule.mailbox_capacity = config_.mailbox_capacity;
+  schedule.backend = runtime::QueueBackendName(config_.backend);
+  schedule.deque_capacity = config_.deque_capacity;
+  schedule.broken_steal_order = config_.broken_steal_order;
   schedule.choices = choices;
   return schedule;
 }
@@ -302,6 +425,50 @@ std::vector<PropertyReport> StealHarness::Evaluate(const ExecutionResult& result
   }
   add("termination", true);
 
+  // --- published-depth: the lock-free load publication agrees with the -------
+  // structural queue state at quiescence. Evaluated BEFORE the conservation
+  // drain below mutates the queues. A batched operation that forgot its
+  // publish (locked backend: seqlock write; chase_lev: counter update) shows
+  // up here as a stale depth no observation-based property would notice.
+  {
+    bool holds = true;
+    std::string detail;
+    for (uint32_t q = 0; q < num_workers() && holds; ++q) {
+      runtime::ConcurrentRunQueue& queue = machine_->queue(q);
+      const runtime::LoadPair published = queue.ReadLoad();
+      const runtime::LoadPair exact = queue.ExactLoad();
+      if (published.task_count != exact.task_count ||
+          published.weighted_load != exact.weighted_load) {
+        holds = false;
+        detail = StrFormat("queue %u publishes %lld tasks / %lld weight but holds %lld / %lld",
+                           q, static_cast<long long>(published.task_count),
+                           static_cast<long long>(published.weighted_load),
+                           static_cast<long long>(exact.task_count),
+                           static_cast<long long>(exact.weighted_load));
+      }
+    }
+    add("published-depth", holds, std::move(detail));
+  }
+
+  // --- wakeup: no owner may exit over a mailbox-resident item ----------------
+  // Checked BEFORE the conservation drain empties the mailboxes: in "wakeup"
+  // mode (unlike "ingress") every admitted item must have been drained by
+  // its owner — a leftover means a notify was lost between drain and park.
+  const bool wakeup_mode = config_.mode == "wakeup";
+  if (wakeup_mode) {
+    bool holds = true;
+    std::string detail;
+    for (uint32_t w = 0; w < num_workers() && holds; ++w) {
+      const int64_t pending = mailboxes_->PendingFor(w);
+      if (pending > 0) {
+        holds = false;
+        detail = StrFormat("owner %u exited with %lld items stranded in its mailbox", w,
+                           static_cast<long long>(pending));
+      }
+    }
+    add("wakeup-no-stranded-items", holds, std::move(detail));
+  }
+
   // --- no-lost-items: initial multiset == remaining ∪ executed ---------------
   // Ingress mode widens both sides: every item the mailbox ACCEPTED joins
   // the expected multiset (kUserMailboxPush; refused pushes never entered
@@ -309,7 +476,7 @@ std::vector<PropertyReport> StealHarness::Evaluate(const ExecutionResult& result
   // and mailbox-resident items still undrained at the end join the
   // accounted side — admitted work may be in a queue, executed, or still in
   // its mailbox, but never gone.
-  const bool ingress_mode = config_.mode == "ingress";
+  const bool ingress_mode = config_.mode == "ingress" || wakeup_mode;
   std::vector<uint64_t> seen;
   std::vector<uint64_t> expected = initial_item_ids_;
   for (const McEvent& event : result.events) {
@@ -408,7 +575,12 @@ std::vector<PropertyReport> StealHarness::Evaluate(const ExecutionResult& result
 
   // --- failure-causality: every failed re-check has a concurrent successful
   // steal inside its snapshot→recheck window (§4.2) --------------------------
-  {
+  // Locked backend only. On chase_lev the causality holds by construction —
+  // TakeTop fails only because a competitor's CAS moved top — but that
+  // competitor's kUserStealOk NOTE is emitted after its TrySteal returns and
+  // may be scheduled past this thread's recheck event, so the event-window
+  // scan below would flag spurious violations on a sound protocol.
+  if (config_.backend == runtime::QueueBackend::kLocked) {
     bool holds = true;
     std::string detail;
     std::vector<int64_t> last_snapshot(num_workers(), -1);

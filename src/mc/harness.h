@@ -18,6 +18,13 @@
 //     every item the mailbox accepted is executed, still queued, or still
 //     mailbox-resident — full mailboxes refuse loudly (kUserMailboxShed),
 //     they never lose.
+//   * "wakeup"  — the executor's notify/park handshake end to end: worker 0
+//     produces into mailboxes and bumps the wakeup epoch AFTER each push
+//     (NotifyIngress's ordering contract); owners sample the epoch at the
+//     loop top, drain+execute, and park on an epoch change only when the
+//     sample predates any unseen notify. Discharges that a notify landing
+//     between an owner's last drain and its park can neither deadlock the
+//     owner nor strand the pushed item (wakeup-no-stranded-items).
 //
 // Properties (per mode):
 //   no-lost-items     — multiset{initial items} == queued ∪ executed after.
@@ -34,8 +41,21 @@
 //   failure-causality — every failed re-check has a concurrent successful
 //                       steal inside its snapshot→recheck window (§4.2: all
 //                       failures are caused by the optimism, not spurious).
+//                       Locked backend only: on chase_lev the causality holds
+//                       by construction (TakeTop fails only because a
+//                       competitor's CAS moved top) but the competitor's
+//                       kUserStealOk note may be emitted after this thread's
+//                       recheck event, so the event-window scan would flag
+//                       spurious violations.
+//   published-depth   — at quiescence, the lock-free published load of every
+//                       queue (seqlock snapshot or relaxed counters) equals
+//                       the structural count held under the lock: no batched
+//                       operation may leave the published depth stale.
 //   epoch-wakeup      — no deadlock, and every park is followed by a wake
 //                       after an epoch bump.
+//   wakeup-no-stranded-items — "wakeup" mode: at termination every mailbox is
+//                       empty; an owner may exit only after observing the
+//                       producer done AND re-checking its mailbox.
 
 #ifndef OPTSCHED_SRC_MC_HARNESS_H_
 #define OPTSCHED_SRC_MC_HARNESS_H_
@@ -65,7 +85,7 @@ struct PropertyReport {
 class StealHarness {
  public:
   struct Config {
-    std::string mode = "balance";  // balance | drain | epoch | ingress
+    std::string mode = "balance";  // balance | drain | epoch | ingress | wakeup
     std::string policy = "thread-count";
     // Items seeded per queue; size() is the worker count.
     std::vector<int64_t> initial_loads;
@@ -79,9 +99,19 @@ class StealHarness {
     // victim bare — the checker must find the steal-safety violation and
     // minimize it (see StealOptions::break_batch_bound).
     bool break_batch_bound = false;
-    // "ingress" mode: BoundedMailbox capacity per owner. Small bounds (2)
-    // make the full/refuse path reachable in tiny explorations.
+    // "ingress"/"wakeup" modes: BoundedMailbox capacity per owner. Small
+    // bounds (2) make the full/refuse path reachable in tiny explorations.
     uint32_t mailbox_capacity = 2;
+    // Run-queue backend under test (see runtime::QueueBackend). Both backends
+    // discharge the same properties; failure-causality is locked-only.
+    runtime::QueueBackend backend = runtime::QueueBackend::kLocked;
+    // Chase-Lev ring capacity; small default keeps mc state bounded while
+    // still holding every seeded load without spilling to the inbox.
+    uint32_t deque_capacity = 64;
+    // Fault knob (chase_lev only): thieves read bottom before top with no
+    // fence, so a stale size window can claim an already-executed slot. The
+    // checker must find the no-lost-items violation.
+    bool broken_steal_order = false;
 
     static Config FromSchedule(const Schedule& schedule);
   };
@@ -116,6 +146,10 @@ class StealHarness {
   // "ingress" mode: worker 0 produces into mailboxes, owners drain+execute.
   void ProducerBody();
   void IngressBody(uint32_t worker);
+  // "wakeup" mode: the producer pairs every mailbox push with an epoch bump
+  // (NotifyIngress); owners park on the epoch exactly like WorkerMain.
+  void WakeupProducerBody();
+  void WakeupWorkerBody(uint32_t worker);
   void StealOnce(uint32_t worker, Rng& rng);
 
   Config config_;
@@ -124,8 +158,11 @@ class StealHarness {
   std::unique_ptr<runtime::ConcurrentMachine> machine_;
   std::vector<runtime::StealCounters> counters_;
   std::vector<uint64_t> initial_item_ids_;
-  // The escalation-epoch word for "epoch" mode.
+  // The escalation/wakeup epoch word for "epoch" and "wakeup" modes.
   std::uint64_t epoch_ = 0;
+  // "wakeup" mode: set by the producer strictly after its last push, then
+  // followed by one final epoch bump (the executor's quit-path ordering).
+  bool producer_done_ = false;
   // "ingress" mode state, rebuilt per execution by MakeBodies.
   std::unique_ptr<ingress::MailboxSet> mailboxes_;
   uint64_t next_ingress_id_ = 0;

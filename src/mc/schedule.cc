@@ -191,6 +191,10 @@ std::string Schedule::ToJson() const {
   out += StrFormat(",\n  \"max_steal_batch\": %u", max_steal_batch);
   out += std::string(",\n  \"break_batch_bound\": ") + (break_batch_bound ? "true" : "false");
   out += StrFormat(",\n  \"mailbox_capacity\": %u", mailbox_capacity);
+  out += ",\n  \"backend\": ";
+  AppendEscaped(out, backend);
+  out += StrFormat(",\n  \"deque_capacity\": %u", deque_capacity);
+  out += std::string(",\n  \"broken_steal_order\": ") + (broken_steal_order ? "true" : "false");
   out += ",\n  \"property\": ";
   AppendEscaped(out, property);
   out += ",\n  \"note\": ";
@@ -233,6 +237,12 @@ std::optional<Schedule> Schedule::FromJson(const std::string& json) {
   if (scanner.GetInt("mailbox_capacity", mailbox_capacity) && mailbox_capacity >= 1) {
     schedule.mailbox_capacity = static_cast<uint32_t>(mailbox_capacity);
   }
+  scanner.GetString("backend", schedule.backend);
+  int64_t deque_capacity = 0;
+  if (scanner.GetInt("deque_capacity", deque_capacity) && deque_capacity >= 2) {
+    schedule.deque_capacity = static_cast<uint32_t>(deque_capacity);
+  }
+  scanner.GetBool("broken_steal_order", schedule.broken_steal_order);
   scanner.GetString("property", schedule.property);
   scanner.GetString("note", schedule.note);
   std::vector<int64_t> choices;

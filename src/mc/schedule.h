@@ -36,6 +36,16 @@ struct Schedule {
   // Per-mailbox bound for the "ingress" harness (BoundedMailbox capacity).
   // Absent in pre-ingress golden files; FromJson defaults to 2.
   uint32_t mailbox_capacity = 2;
+  // Run-queue backend under test: "locked" or "chase_lev"
+  // (runtime::QueueBackendName). Absent in pre-backend golden files;
+  // FromJson defaults to "locked".
+  std::string backend = "locked";
+  // Chase–Lev ring capacity (rounded up to a power of two by the deque).
+  // Small by default so the mc state space stays bounded.
+  uint32_t deque_capacity = 64;
+  // Fault mode: thieves read bottom before top with no fence between, so a
+  // stale window can claim an already-executed slot (no-lost-items).
+  bool broken_steal_order = false;
   // The violated property ("" when the schedule is not a counterexample).
   std::string property;
   std::string note;

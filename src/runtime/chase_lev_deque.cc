@@ -1,0 +1,159 @@
+#include "src/runtime/chase_lev_deque.h"
+
+#include <cstring>
+
+#include "src/base/check.h"
+#include "src/base/thread_annotations.h"
+#include "src/runtime/mc_hooks.h"
+
+namespace optsched::runtime {
+
+namespace {
+uint64_t RoundUpPow2(uint64_t v) {
+  uint64_t p = 2;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+}  // namespace
+
+ChaseLevDeque::ChaseLevDeque(uint32_t min_capacity, bool broken_steal_order)
+    : mask_(RoundUpPow2(min_capacity < 2 ? 2 : min_capacity) - 1),
+      broken_steal_order_(broken_steal_order),
+      slots_(std::make_unique<std::atomic<uint64_t>[]>((mask_ + 1) * kWordsPerItem)) {}
+
+OPTSCHED_HOT_PATH void ChaseLevDeque::StoreSlot(uint64_t index, const WorkItem& item) {
+  uint64_t staging[kWordsPerItem];
+  std::memcpy(staging, &item, sizeof(WorkItem));
+  std::atomic<uint64_t>* slot = &slots_[(index & mask_) * kWordsPerItem];
+  for (std::size_t w = 0; w < kWordsPerItem; ++w) {
+    slot[w].store(staging[w], std::memory_order_relaxed);
+  }
+}
+
+OPTSCHED_HOT_PATH WorkItem ChaseLevDeque::LoadSlot(uint64_t index) const {
+  uint64_t staging[kWordsPerItem];
+  const std::atomic<uint64_t>* slot = &slots_[(index & mask_) * kWordsPerItem];
+  for (std::size_t w = 0; w < kWordsPerItem; ++w) {
+    staging[w] = slot[w].load(std::memory_order_relaxed);
+  }
+  WorkItem item;
+  std::memcpy(&item, staging, sizeof(WorkItem));
+  return item;
+}
+
+OPTSCHED_HOT_PATH bool ChaseLevDeque::PushBottom(const WorkItem& item) {
+  // bottom is owner-private on the read side (we are its only writer), so
+  // the load is not a scheduling decision point; top is contended — the
+  // acquire pairs with thieves' top CASes and proves the slot we are about
+  // to overwrite was vacated before we reuse it.
+  const uint64_t b = bottom_.load(std::memory_order_relaxed);
+  mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeTopLoad, this);
+  const uint64_t t = top_.load(std::memory_order_acquire);
+  if (b - t > mask_) {
+    return false;  // full — caller spills to its inbox
+  }
+  StoreSlot(b, item);
+  mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeBottomStore, this);
+  // Release: publishes the slot words to any thief whose acquire load of
+  // bottom observes the new index.
+  bottom_.store(b + 1, std::memory_order_release);
+  return true;
+}
+
+OPTSCHED_HOT_PATH std::optional<WorkItem> ChaseLevDeque::PopBottom() {
+  const int64_t b = static_cast<int64_t>(bottom_.load(std::memory_order_relaxed)) - 1;
+  mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeBottomStore, this);
+  bottom_.store(static_cast<uint64_t>(b), std::memory_order_relaxed);
+  // The decrement must be globally visible before we read top: without this
+  // fence a concurrent steal and this pop can both see "size >= 2" and take
+  // the same item. Pairs with the fence in PeekTop.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeTopLoad, this);
+  const int64_t t = static_cast<int64_t>(top_.load(std::memory_order_relaxed));
+  if (t > b) {
+    // Already empty: restore bottom, nothing to return.
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeBottomStore, this);
+    bottom_.store(static_cast<uint64_t>(b + 1), std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  WorkItem item = LoadSlot(static_cast<uint64_t>(b));
+  if (t == b) {
+    // Last item: race the thieves on top. Winning the CAS claims it; losing
+    // means a thief's TakeTop got there first and the deque is empty.
+    uint64_t expected = static_cast<uint64_t>(t);
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeTopCas, this);
+    const bool won = top_.compare_exchange_strong(
+        expected, expected + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeBottomStore, this);
+    bottom_.store(static_cast<uint64_t>(b + 1), std::memory_order_relaxed);
+    if (!won) {
+      return std::nullopt;
+    }
+    return item;
+  }
+  return item;  // bottom already claims it; size was >= 2, no thief can reach b
+}
+
+OPTSCHED_HOT_PATH ChaseLevDeque::TopPeek ChaseLevDeque::PeekTop() const {
+  TopPeek peek;
+  uint64_t t;
+  uint64_t b;
+  if (!broken_steal_order_) {
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeTopLoad, this);
+    t = top_.load(std::memory_order_acquire);
+    // Pairs with PopBottom's fence: if the owner's decrement of bottom is
+    // not yet visible here, the owner's subsequent top load will see any
+    // top value this thief's TakeTop could commit.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeBottomLoad, this);
+    b = bottom_.load(std::memory_order_acquire);
+  } else {
+    // FAULT KNOB (mc harness only): bottom before top, no fence. A stale
+    // bottom paired with a fresh top inflates size and lets TakeTop commit
+    // a slot the owner already executed — the model checker catches this as
+    // a no-lost-items violation (tests/golden/mc_broken_chaselev_minimized).
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeBottomLoad, this);
+    b = bottom_.load(std::memory_order_acquire);
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeTopLoad, this);
+    t = top_.load(std::memory_order_acquire);
+  }
+  peek.top = t;
+  peek.size = static_cast<int64_t>(b) - static_cast<int64_t>(t);
+  if (peek.size <= 0) {
+    return peek;
+  }
+  // May race an owner overwrite after wrap-around; the torn value is
+  // discarded because TakeTop's CAS then fails (top must have moved by a
+  // full capacity for the slot to be reused).
+  peek.item = LoadSlot(t);
+  peek.found = true;
+  return peek;
+}
+
+OPTSCHED_HOT_PATH bool ChaseLevDeque::TakeTop(const TopPeek& peek) {
+  OPTSCHED_DCHECK(peek.found);
+  uint64_t expected = peek.top;
+  mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeTopCas, this);
+  return top_.compare_exchange_strong(expected, peek.top + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed);
+}
+
+int64_t ChaseLevDeque::SizeRelaxed() const {
+  const int64_t b = static_cast<int64_t>(bottom_.load(std::memory_order_relaxed));
+  const int64_t t = static_cast<int64_t>(top_.load(std::memory_order_relaxed));
+  return b > t ? b - t : 0;
+}
+
+int64_t ChaseLevDeque::SumWeightRelaxed() const {
+  const int64_t b = static_cast<int64_t>(bottom_.load(std::memory_order_relaxed));
+  const int64_t t = static_cast<int64_t>(top_.load(std::memory_order_relaxed));
+  int64_t sum = 0;
+  for (int64_t i = t; i < b; ++i) {
+    sum += LoadSlot(static_cast<uint64_t>(i)).weight;
+  }
+  return sum;
+}
+
+}  // namespace optsched::runtime

@@ -4,8 +4,37 @@
 
 #include "src/base/check.h"
 #include "src/base/mutex.h"
+#include "src/runtime/mc_hooks.h"
 
 namespace optsched::runtime {
+
+const char* QueueBackendName(QueueBackend backend) {
+  switch (backend) {
+    case QueueBackend::kLocked: return "locked";
+    case QueueBackend::kChaseLev: return "chase_lev";
+  }
+  return "?";
+}
+
+bool ParseQueueBackend(std::string_view name, QueueBackend& out) {
+  if (name == "locked") {
+    out = QueueBackend::kLocked;
+    return true;
+  }
+  if (name == "chase_lev") {
+    out = QueueBackend::kChaseLev;
+    return true;
+  }
+  return false;
+}
+
+ConcurrentRunQueue::ConcurrentRunQueue(QueueBackend backend, uint32_t deque_capacity,
+                                       bool broken_steal_order)
+    : backend_(backend) {
+  if (backend_ == QueueBackend::kChaseLev) {
+    deque_ = std::make_unique<ChaseLevDeque>(deque_capacity, broken_steal_order);
+  }
+}
 
 OPTSCHED_HOT_PATH void ConcurrentRunQueue::PublishLocked() {
   LoadPair load;
@@ -15,6 +44,10 @@ OPTSCHED_HOT_PATH void ConcurrentRunQueue::PublishLocked() {
 }
 
 std::optional<WorkItem> ConcurrentRunQueue::PopForRun() {
+  return backend_ == QueueBackend::kLocked ? PopForRunLockedBackend() : PopForRunChaseLev();
+}
+
+std::optional<WorkItem> ConcurrentRunQueue::PopForRunLockedBackend() {
   LockGuard guard(lock_);
   // Invariant before mutation: if the owner already runs an item, abort with
   // the queue untouched — the old order popped and unpublished first, so a
@@ -33,17 +66,171 @@ std::optional<WorkItem> ConcurrentRunQueue::PopForRun() {
   return item;
 }
 
-void ConcurrentRunQueue::FinishCurrent() {
+std::optional<WorkItem> ConcurrentRunQueue::PopForRunChaseLev() {
+  OPTSCHED_CHECK_MSG(running_a_.load(std::memory_order_relaxed) == 0,
+                     "owner already runs an item");
+  DrainInboxToDeque();
+  std::optional<WorkItem> item = deque_->PopBottom();
+  if (!item.has_value()) {
+    return std::nullopt;
+  }
+  // The popped item stays in the published count (it is the core's
+  // "current" until
+  // FinishCurrent) — only the running flag and its weight attribution move.
+  mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeLoadWrite, this);
+  running_a_.store(1, std::memory_order_relaxed);
+  running_weight_a_.store(item->weight, std::memory_order_relaxed);
+  return item;
+}
+
+OPTSCHED_HOT_PATH void ConcurrentRunQueue::DrainInboxToDeque() {
+  mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeLoadRead, this);
+  if (inbox_count_.load(std::memory_order_acquire) == 0) {
+    return;
+  }
+  // Refill hysteresis: while the ring is above half full, skip the drain so
+  // the inbox lock is taken once per capacity/2 pops instead of once per pop.
+  // Without this, a spilled-over queue refills ONE freed slot per PopForRun
+  // and the owner serializes through the lock on every item — exactly the
+  // behaviour the lock-free backend exists to avoid. Only the owner grows
+  // `bottom`, so its relaxed size read can only overestimate (thieves shrink
+  // it concurrently); a skipped drain is retried on the next pop, and an
+  // empty ring always passes the gate, so PopForRun can never report empty
+  // while the inbox holds work.
+  if (deque_->SizeRelaxed() * 2 > static_cast<int64_t>(deque_->capacity())) {
+    return;
+  }
   LockGuard guard(lock_);
-  OPTSCHED_CHECK(running_);
-  running_ = false;
-  running_weight_ = 0;
-  PublishLocked();
+  int64_t moved = 0;
+  while (!inbox_.empty() && deque_->PushBottom(inbox_.front())) {
+    inbox_.pop_front();
+    ++moved;
+  }
+  if (moved > 0) {
+    // The items were already counted by Push (ext_enq) when admitted;
+    // only the inbox-residency counter changes.
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeLoadWrite, this);
+    inbox_count_.fetch_sub(moved, std::memory_order_release);
+  }
+}
+
+void ConcurrentRunQueue::FinishCurrent() {
+  if (backend_ == QueueBackend::kLocked) {
+    LockGuard guard(lock_);
+    OPTSCHED_CHECK(running_);
+    running_ = false;
+    running_weight_ = 0;
+    PublishLocked();
+    return;
+  }
+  OPTSCHED_CHECK(running_a_.load(std::memory_order_relaxed) == 1);
+  // One decision point for the whole accounting group. This is the ONLY
+  // path that lowers the published task count without winning a top CAS —
+  // thieves bracket their steal with FinishedCount() reads so the
+  // steal-safety property can excuse exactly these decrements
+  // (StealObservation::victim_finished_delta). Every counter here is
+  // owner-written only, so plain load+store replaces lock-prefixed RMWs on
+  // the per-item hot path.
+  mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeLoadWrite, this);
+  const int64_t w = running_weight_a_.load(std::memory_order_relaxed);
+  running_a_.store(0, std::memory_order_relaxed);
+  running_weight_a_.store(0, std::memory_order_relaxed);
+  fin_weight_.store(fin_weight_.load(std::memory_order_relaxed) + w,
+                    std::memory_order_relaxed);
+  fin_tasks_.store(fin_tasks_.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_relaxed);
 }
 
 void ConcurrentRunQueue::Push(WorkItem item) {
+  if (backend_ == QueueBackend::kLocked) {
+    LockGuard guard(lock_);
+    PushLocked(item);
+    return;
+  }
+  // Any thread may submit, but only the owner may touch the deque's bottom:
+  // land in the inbox, visible to the load counters immediately so the
+  // selection phase sees the work before the owner has drained it.
+  {
+    LockGuard guard(lock_);
+    inbox_.push_back(item);
+  }
+  mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeLoadWrite, this);
+  inbox_count_.fetch_add(1, std::memory_order_release);
+  ext_enq_tasks_.fetch_add(1, std::memory_order_relaxed);
+  ext_enq_weight_.fetch_add(item.weight, std::memory_order_relaxed);
+}
+
+OPTSCHED_HOT_PATH void ConcurrentRunQueue::PushBatchOwner(const WorkItem* items,
+                                                          uint32_t count) {
+  if (count == 0) {
+    return;
+  }
+  if (backend_ == QueueBackend::kLocked) {
+    LockGuard guard(lock_);
+    PushBatchLocked(items, count);
+    return;
+  }
+  uint32_t pushed = 0;
+  while (pushed < count && deque_->PushBottom(items[pushed])) {
+    ++pushed;
+  }
+  int64_t spilled = 0;
+  if (pushed < count) {
+    // Ring full: overflow goes to the inbox and re-enters via the next
+    // DrainInboxToDeque. Bounded ring + locked spill keeps the fast path
+    // allocation-free without dropping work.
+    LockGuard guard(lock_);
+    for (uint32_t i = pushed; i < count; ++i) {
+      // optsched-lint: allow(hot-path-alloc): ring-overflow spill path — off the steady-state fast path by construction (the ring absorbs the working set; E14 alloc audit)
+      inbox_.push_back(items[i]);
+      ++spilled;
+    }
+  }
+  int64_t weight = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    weight += items[i].weight;
+  }
+  mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeLoadWrite, this);
+  if (spilled > 0) {
+    inbox_count_.fetch_add(spilled, std::memory_order_release);
+  }
+  // The caller is the queue's owner (seeding, a thief landing its batch, or
+  // the owner itself): single-writer counters, store-only.
+  own_enq_tasks_.store(own_enq_tasks_.load(std::memory_order_relaxed) + count,
+                       std::memory_order_relaxed);
+  own_enq_weight_.store(own_enq_weight_.load(std::memory_order_relaxed) + weight,
+                        std::memory_order_relaxed);
+}
+
+OPTSCHED_HOT_PATH LoadPair ConcurrentRunQueue::ReadLoad() const {
+  if (backend_ == QueueBackend::kLocked) {
+    return published_.Read();
+  }
+  mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeLoadRead, this);
+  LoadPair load;
+  load.task_count = TasksRelaxed();
+  load.weighted_load = own_enq_weight_.load(std::memory_order_relaxed) +
+                       ext_enq_weight_.load(std::memory_order_relaxed) -
+                       fin_weight_.load(std::memory_order_relaxed) -
+                       stolen_weight_.load(std::memory_order_relaxed);
+  return load;
+}
+
+LoadPair ConcurrentRunQueue::ExactLoad() {
   LockGuard guard(lock_);
-  PushLocked(item);
+  if (backend_ == QueueBackend::kLocked) {
+    return ExactLoadLocked();
+  }
+  LoadPair load;
+  int64_t inbox_weight = 0;
+  for (const WorkItem& item : inbox_) {
+    inbox_weight += item.weight;
+  }
+  load.task_count = deque_->SizeRelaxed() + static_cast<int64_t>(inbox_.size()) +
+                    running_a_.load(std::memory_order_relaxed);
+  load.weighted_load = deque_->SumWeightRelaxed() + inbox_weight +
+                       running_weight_a_.load(std::memory_order_relaxed);
+  return load;
 }
 
 OPTSCHED_HOT_PATH LoadPair ConcurrentRunQueue::ExactLoadLocked() const {
@@ -100,11 +287,50 @@ OPTSCHED_HOT_PATH void ConcurrentRunQueue::PushBatchLocked(const WorkItem* items
   PublishLocked();
 }
 
-ConcurrentMachine::ConcurrentMachine(uint32_t num_queues) {
+OPTSCHED_HOT_PATH ChaseLevDeque::TopPeek ConcurrentRunQueue::PeekSteal() const {
+  OPTSCHED_DCHECK(backend_ == QueueBackend::kChaseLev);
+  return deque_->PeekTop();
+}
+
+OPTSCHED_HOT_PATH bool ConcurrentRunQueue::TakeSteal(const ChaseLevDeque::TopPeek& peek) {
+  OPTSCHED_DCHECK(backend_ == QueueBackend::kChaseLev);
+  if (!deque_->TakeTop(peek)) {
+    return false;
+  }
+  // No SyncPoint between the CAS and these decrements: under the checker the
+  // successful take and its load accounting are one atomic step, so a
+  // concurrent observer never sees a taken item still counted.
+  stolen_tasks_.fetch_add(1, std::memory_order_relaxed);
+  stolen_weight_.fetch_add(peek.item.weight, std::memory_order_relaxed);
+  return true;
+}
+
+OPTSCHED_HOT_PATH bool ConcurrentRunQueue::TakeStealDeferred(const ChaseLevDeque::TopPeek& peek) {
+  OPTSCHED_DCHECK(backend_ == QueueBackend::kChaseLev);
+  return deque_->TakeTop(peek);
+}
+
+OPTSCHED_HOT_PATH void ConcurrentRunQueue::CommitStealAccounting(uint32_t items, int64_t weight) {
+  OPTSCHED_DCHECK(backend_ == QueueBackend::kChaseLev);
+  if (items == 0) {
+    return;
+  }
+  // Deliberately NO SyncPoint: under the checker the deferred decrement
+  // merges into the adjacent step, so the hook sequence (and every committed
+  // golden schedule) is identical to the per-item TakeSteal path. The
+  // overcount window this hides is benign by the safe-direction argument in
+  // the header — the checker still discharges the end-state properties.
+  stolen_tasks_.fetch_add(items, std::memory_order_relaxed);
+  stolen_weight_.fetch_add(weight, std::memory_order_relaxed);
+}
+
+ConcurrentMachine::ConcurrentMachine(uint32_t num_queues, const MachineOptions& options)
+    : options_(options) {
   OPTSCHED_CHECK(num_queues > 0);
   queues_.reserve(num_queues);
   for (uint32_t i = 0; i < num_queues; ++i) {
-    queues_.push_back(std::make_unique<ConcurrentRunQueue>());
+    queues_.push_back(std::make_unique<ConcurrentRunQueue>(
+        options_.backend, options_.deque_capacity, options_.broken_steal_order));
   }
 }
 
@@ -129,6 +355,8 @@ LoadSnapshot ConcurrentMachine::Snapshot() const {
 }
 
 void ConcurrentMachine::LockedSnapshotInto(LoadSnapshot& out) {
+  OPTSCHED_CHECK_MSG(options_.backend == QueueBackend::kLocked,
+                     "locked selection (D3) requires the locked backend");
   // Lock everything in index order (the machine-wide ranking): exact, but
   // owners stall on their own queue lock for the duration — the cost the
   // paper's design deliberately avoids.
@@ -176,7 +404,7 @@ OPTSCHED_HOT_PATH bool ConcurrentMachine::TrySteal(
   StealScratch local_scratch;  // tests and the mc harness may not thread one
   StealScratch& s = scratch != nullptr ? *scratch : local_scratch;
 
-  // --- Selection phase (no locks, no allocations) ----------------------------
+  // --- Selection phase (no locks, no allocations, backend-independent) -------
   const SelectionView view{.self = thief, .snapshot = snapshot, .topology = topology};
   policy.FilterCandidatesInto(view, s.candidates);  // step 1
   if (s.candidates.empty()) {
@@ -190,6 +418,18 @@ OPTSCHED_HOT_PATH bool ConcurrentMachine::TrySteal(
   }
   ++counters.attempts;
 
+  if (options_.backend == QueueBackend::kChaseLev) {
+    return TryStealChaseLev(policy, thief, snapshot, victim, options, counters, topology,
+                            observation_out, s);
+  }
+  return TryStealLocked(policy, thief, snapshot, victim, options, counters, topology,
+                        observation_out, s);
+}
+
+OPTSCHED_HOT_PATH bool ConcurrentMachine::TryStealLocked(
+    const BalancePolicy& policy, CpuId thief, const LoadSnapshot& snapshot, CpuId victim,
+    const StealOptions& options, StealCounters& counters, const Topology* topology,
+    StealObservation* observation_out, StealScratch& s) {
   // --- Stealing phase (two locks, queue-index order) -------------------------
   ConcurrentRunQueue& victim_queue = *queues_[victim];
   ConcurrentRunQueue& thief_queue = *queues_[thief];
@@ -272,6 +512,134 @@ OPTSCHED_HOT_PATH bool ConcurrentMachine::TrySteal(
         victim_queue.SeqlockWriteCount() + thief_queue.SeqlockWriteCount() - writes_before;
     observation_out->victim_tasks_after = victim_queue.ExactLoadLocked().task_count;
     observation_out->thief_tasks_after = thief_queue.ExactLoadLocked().task_count;
+    observation_out->victim_finished_delta = 0;  // victim frozen under its lock
+  }
+  return true;
+}
+
+OPTSCHED_HOT_PATH bool ConcurrentMachine::TryStealChaseLev(
+    const BalancePolicy& policy, CpuId thief, const LoadSnapshot& snapshot, CpuId victim,
+    const StealOptions& options, StealCounters& counters, const Topology* topology,
+    StealObservation* observation_out, StealScratch& s) {
+  ConcurrentRunQueue& victim_queue = *queues_[victim];
+  ConcurrentRunQueue& thief_queue = *queues_[thief];
+
+  // --- Optimistic re-check (no locks exist to take) --------------------------
+  // Refresh the pair's published loads; other cores stay as the (stale)
+  // snapshot observed them. This is the same CanSteal gate the locked
+  // backend runs under its two locks — here it runs on loads that can go
+  // stale again immediately, which is fine: the per-item gate below plus the
+  // top CAS carry the actual safety argument.
+  LoadSnapshot& fresh_snapshot = s.locked_snapshot;
+  fresh_snapshot.task_count = snapshot.task_count;
+  fresh_snapshot.weighted_load = snapshot.weighted_load;
+  const LoadPair victim_load = victim_queue.ReadLoad();
+  const LoadPair thief_load = thief_queue.ReadLoad();
+  fresh_snapshot.task_count[victim] = victim_load.task_count;
+  fresh_snapshot.weighted_load[victim] = victim_load.weighted_load;
+  fresh_snapshot.task_count[thief] = thief_load.task_count;
+  fresh_snapshot.weighted_load[thief] = thief_load.weighted_load;
+  const SelectionView fresh_view{.self = thief, .snapshot = fresh_snapshot,
+                                 .topology = topology};
+  if (options.recheck && !policy.CanSteal(fresh_view, victim)) {
+    ++counters.failed_recheck;
+    return false;
+  }
+
+  const uint64_t finished_before = victim_queue.FinishedCount();
+  const LoadMetric metric = policy.metric();
+  const int64_t v0 = metric == LoadMetric::kTaskCount ? victim_load.task_count
+                                                      : victim_load.weighted_load;
+  const int64_t t0 = metric == LoadMetric::kTaskCount ? thief_load.task_count
+                                                      : thief_load.weighted_load;
+  uint32_t max_items;
+  if (options.break_batch_bound) {
+    max_items = ~0u;  // mc fault mode: strip the victim bare
+  } else {
+    max_items = std::min(std::max(options.max_batch, 1u),
+                         std::max(policy.StealBatchHint(v0, t0), 1u));
+  }
+
+  s.batch.clear();
+  uint32_t moved = 0;
+  int64_t moved_metric = 0;   // what the batch has added to the thief so far
+  int64_t moved_weight = 0;   // victim-side weight to commit after the loop
+  bool cas_lost = false;
+  const int64_t victim_running_inbox =
+      victim_queue.RunningRelaxed() + victim_queue.InboxCountRelaxed();
+  while (moved < max_items) {
+    const ChaseLevDeque::TopPeek peek = victim_queue.PeekSteal();
+    if (!peek.found) {
+      break;
+    }
+    if (!options.break_batch_bound) {
+      // Per-item migration gate, anchored to the SAME top index the commit
+      // CAS validates: if TakeSteal succeeds, no competing thief (and no
+      // owner-last-item pop) intervened since this peek, so the gate judged
+      // the state it acted on. The victim load is recomputed from the peek
+      // each iteration — peek.size counts exactly the still-stealable items
+      // at that top, plus the owner's current item and any inbox residents.
+      // Owner execution progress between gate and commit can only LOWER the
+      // victim's count via FinishCurrent, which the steal-safety property
+      // excuses through victim_finished_delta.
+      const int64_t w =
+          metric == LoadMetric::kTaskCount ? 1 : static_cast<int64_t>(peek.item.weight);
+      int64_t v_now;
+      if (metric == LoadMetric::kTaskCount) {
+        // running/inbox are sampled once per batch (they are stale
+        // observations either way); the per-item freshness comes from
+        // peek.size, which is exact at the top index the commit validates.
+        v_now = peek.size + victim_running_inbox;
+      } else {
+        // Deferred accounting: ReadLoad still counts this batch's takes, so
+        // subtract them to judge the load a fresh observer would see.
+        v_now = victim_queue.ReadLoad().weighted_load - moved_weight;
+      }
+      const int64_t t_now = t0 + moved_metric;
+      if (!policy.ShouldMigrate(w, v_now, t_now)) {
+        break;
+      }
+    }
+    if (!victim_queue.TakeStealDeferred(peek)) {
+      cas_lost = true;  // top moved since the peek: a stale observation
+      break;
+    }
+    // optsched-lint: allow(hot-path-alloc): scratch batch at high-water capacity after warmup (E14 alloc audit)
+    s.batch.push_back(peek.item);
+    ++moved;
+    moved_weight += static_cast<int64_t>(peek.item.weight);
+    moved_metric +=
+        metric == LoadMetric::kTaskCount ? 1 : static_cast<int64_t>(peek.item.weight);
+  }
+  victim_queue.CommitStealAccounting(moved, moved_weight);
+
+  if (moved == 0) {
+    if (cas_lost) {
+      // The lock-free analogue of losing the locked re-check: another core
+      // changed the state between observation and commit. Counted as
+      // failed_recheck so ablation comparisons line up across backends.
+      ++counters.failed_recheck;
+    } else {
+      ++counters.failed_no_task;
+    }
+    return false;
+  }
+  // The thief owns its queue: landing the batch is an owner push.
+  thief_queue.PushBatchOwner(s.batch.data(), moved);
+  ++counters.successes;
+  counters.items_stolen += moved;
+  if (observation_out != nullptr) {
+    observation_out->item_id = s.batch.front().id;
+    observation_out->items_moved = moved;
+    observation_out->seqlock_writes = 0;  // no seqlock on this backend
+    // Read tasks BEFORE the finished count: a FinishCurrent landing between
+    // the two reads then inflates the sum by 1 (safe direction — the
+    // property asserts a lower bound) instead of deflating it into a
+    // spurious violation.
+    observation_out->victim_tasks_after = victim_queue.TasksRelaxed();
+    observation_out->thief_tasks_after = thief_queue.TasksRelaxed();
+    observation_out->victim_finished_delta =
+        static_cast<int64_t>(victim_queue.FinishedCount() - finished_before);
   }
   return true;
 }

@@ -1,26 +1,38 @@
-// Concurrent (real-thread) implementation of the paper's scheduler model.
+// Concurrent (real-thread) implementation of the paper's scheduler model,
+// behind a pluggable QUEUE-BACKEND concept.
 //
-// One ConcurrentRunQueue per worker: a spinlock-protected deque plus a
-// seqlock-published load, so that
-//   * the SELECTION phase reads loads of all cores lock-free (possibly
-//     stale — the optimistic part),
-//   * the STEALING phase locks exactly the thief's and the victim's queues
-//     (queue-index order), re-checks the policy's filter against the now-exact
-//     loads of the pair, and migrates a batch of up to
-//     min(StealOptions::max_batch, policy.StealBatchHint()) items — each one
-//     individually gated by the migration rule against loads updated
-//     move-by-move, so the per-migration proofs carry over to batches.
-// Steals that fail the re-check are counted, not retried — they are the
-// paper's legitimate failures.
+// One ConcurrentRunQueue per worker. The queue is a facade over one of two
+// synchronization substrates (docs/runtime.md#queue-backends):
+//
+//   * QueueBackend::kLocked — the reference/ablation backend: a
+//     spinlock-protected deque plus a seqlock-published load. The SELECTION
+//     phase reads loads of all cores lock-free (possibly stale — the
+//     optimistic part); the STEALING phase locks exactly the thief's and the
+//     victim's queues (queue-index order), re-checks the policy's filter
+//     against the now-exact loads of the pair, and migrates a batch with
+//     every item individually gated by the migration rule.
+//
+//   * QueueBackend::kChaseLev — the lock-free backend: a bounded Chase-Lev
+//     work-stealing deque (chase_lev_deque.h). The owner pushes/pops at
+//     bottom with no CAS in the common case; a thief observes (PeekTop),
+//     runs the SAME policy gate against the observed state, and commits with
+//     a single CAS on top anchored to the observed index. A lost CAS is
+//     surfaced as `failed_recheck`: the paper's filter -> choice -> steal
+//     proof structure carries over with the CAS playing the role of the
+//     locked re-check. External producers cannot touch bottom (single-owner
+//     discipline), so Push lands in a small spinlock-protected INBOX the
+//     owner drains into the deque at its next pop; the published load is a
+//     pair of relaxed counters covering deque + inbox + running.
+//
+// Steals that fail the re-check (or the CAS) are counted, not retried — they
+// are the paper's legitimate failures.
 //
 // Hot-path cost model (docs/runtime.md): the selection + steal path performs
-// ZERO heap allocations in the steady state. Snapshots refill caller-owned
-// buffers in place, the eligibility callback is a non-allocating FunctionRef,
-// and the steal batch lands in a reusable scratch vector. Each queue's lock
-// and published load live on their own cache lines so a thief's seqlock reads
-// never false-share with the owner's deque mutations, and the whole batch is
-// published ONCE per queue per critical section — two seqlock writes per
-// successful steal action, however many items moved.
+// ZERO heap allocations in the steady state on both backends. Snapshots
+// refill caller-owned buffers in place, the eligibility gate allocates
+// nothing, and the steal batch lands in a reusable scratch vector. Per-queue
+// synchronization state is cache-line padded so a thief's load polling never
+// false-shares with the owner's queue mutations.
 
 #ifndef OPTSCHED_SRC_RUNTIME_CONCURRENT_MACHINE_H_
 #define OPTSCHED_SRC_RUNTIME_CONCURRENT_MACHINE_H_
@@ -30,34 +42,29 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "src/base/function_ref.h"
 #include "src/base/thread_annotations.h"
 #include "src/core/policy.h"
+#include "src/runtime/chase_lev_deque.h"
 #include "src/runtime/seqlock.h"
 #include "src/runtime/spinlock.h"
+#include "src/runtime/work_item.h"
 #include "src/sched/machine_state.h"
 
 namespace optsched::runtime {
 
-// Destructive-interference granularity for the field padding below. A
-// compile-time constant (not std::hardware_destructive_interference_size,
-// which is ABI-fragile and warns under GCC) — 64 bytes is correct for every
-// x86-64 and the common AArch64 parts this runs on.
-inline constexpr std::size_t kCacheLineSize = 64;
-
-// A unit of work: `work_units` spins of the calibrated work loop.
-// `arrival_ns` is an optional wall-clock arrival stamp (steady-clock ns, 0 =
-// unstamped): the serving ingress stamps each admitted item at its open-loop
-// arrival time so the executor can record end-to-end sojourn latency
-// (arrival -> execution finished) without any per-item bookkeeping of its own.
-struct WorkItem {
-  uint64_t id = 0;
-  uint64_t work_units = 1;
-  uint32_t weight = 1024;
-  uint64_t arrival_ns = 0;
+// Which synchronization substrate backs each run queue.
+enum class QueueBackend {
+  kLocked,    // spinlock-protected deque + seqlock-published load (reference)
+  kChaseLev,  // bounded lock-free Chase-Lev deque + counter-published load
 };
+
+const char* QueueBackendName(QueueBackend backend);
+// Parses "locked" / "chase_lev"; false (out untouched) on anything else.
+bool ParseQueueBackend(std::string_view name, QueueBackend& out);
 
 struct LoadPair {
   int64_t task_count = 0;
@@ -66,31 +73,55 @@ struct LoadPair {
 
 class ConcurrentRunQueue {
  public:
-  ConcurrentRunQueue() = default;
+  // Default: the locked reference backend (unchanged behaviour).
+  ConcurrentRunQueue() : ConcurrentRunQueue(QueueBackend::kLocked) {}
+  // `deque_capacity` bounds the chase_lev ring (rounded up to a power of
+  // two); overflow spills to the inbox. `broken_steal_order` is the mc fault
+  // knob forwarded to ChaseLevDeque — never set in production paths.
+  explicit ConcurrentRunQueue(QueueBackend backend, uint32_t deque_capacity = 1024,
+                              bool broken_steal_order = false);
 
-  // --- Owner operations (internal locking — callers must NOT hold lock()) ----
+  QueueBackend backend() const { return backend_; }
 
-  // Pops the head for execution; the popped item counts as the core's
+  // --- Owner operations (callers must NOT hold lock()) -----------------------
+
+  // Pops the next item for execution; the popped item counts as the core's
   // "current" (still part of the published load) until FinishCurrent().
   // The single-current invariant is checked BEFORE any mutation: a firing
   // check must leave the queue exactly as it found it (item still queued,
   // load still published), so the post-mortem state is trustworthy.
+  // Backend note: kLocked pops the HEAD (FIFO), kChaseLev pops the BOTTOM
+  // (LIFO — the work-stealing discipline: owner takes newest, thieves take
+  // oldest). Neither order is a proof obligation.
   std::optional<WorkItem> PopForRun() OPTSCHED_EXCLUDES(lock_);
   // Declares the current item finished; load drops accordingly.
   void FinishCurrent() OPTSCHED_EXCLUDES(lock_);
-  // Enqueues a new item (tail).
+  // Enqueues a new item from ANY thread (kLocked: tail under the lock;
+  // kChaseLev: the inbox — only the owner may touch the deque's bottom).
   void Push(WorkItem item) OPTSCHED_EXCLUDES(lock_);
+  // Owner-only batch append, backend-neutral: the executor's ingress drain
+  // and the steal path's landing site. kLocked takes the queue lock once for
+  // the whole batch; kChaseLev pushes at bottom lock-free, spilling to the
+  // inbox if the ring fills.
+  void PushBatchOwner(const WorkItem* items, uint32_t count) OPTSCHED_EXCLUDES(lock_);
 
   // --- Lock-free observation (selection phase) -------------------------------
-  LoadPair ReadLoad() const { return published_.Read(); }
+  LoadPair ReadLoad() const;
+  // Exact structural load — counts the actual container contents (+ running)
+  // rather than the published value. The mc harness' published-depth
+  // property asserts ReadLoad() == ExactLoad() at quiescence: any mutation
+  // path that forgets to (re)publish diverges the two. kLocked takes the
+  // queue lock; kChaseLev takes the inbox lock and walks the ring.
+  LoadPair ExactLoad() OPTSCHED_EXCLUDES(lock_);
   // Torn-read retries the published-load seqlock has absorbed (staleness
-  // pressure on this queue's snapshot; see Seqlock::read_retries).
+  // pressure on this queue's snapshot; 0 on kChaseLev, which has no seqlock).
   uint64_t SeqlockReadRetries() const { return published_.read_retries(); }
   // Completed publishes of this queue's load. The steal path must bump this
-  // at most once per held-lock critical section (publish batching).
+  // at most once per held-lock critical section (publish batching); 0 on
+  // kChaseLev — counter updates don't invalidate concurrent readers at all.
   uint64_t SeqlockWriteCount() const { return published_.write_count(); }
 
-  // --- Cross-core steal support ----------------------------------------------
+  // --- Cross-core steal support: kLocked -------------------------------------
   SpinLock& lock() OPTSCHED_RETURN_CAPABILITY(lock_) { return lock_; }
   // Must hold lock(): exact loads / queue access.
   LoadPair ExactLoadLocked() const OPTSCHED_REQUIRES(lock_);
@@ -107,13 +138,62 @@ class ConcurrentRunQueue {
   // Appends `count` items and publishes the new load once.
   void PushBatchLocked(const WorkItem* items, uint32_t count) OPTSCHED_REQUIRES(lock_);
 
+  // --- Cross-core steal support: kChaseLev -----------------------------------
+  // Observe the victim's top-of-deque (no locks). The peek carries the top
+  // index TakeSteal's CAS will validate, so the policy gate between peek and
+  // take judges exactly the state the commit acts on.
+  ChaseLevDeque::TopPeek PeekSteal() const;
+  // Commits the peeked steal; on success the victim-side load counters drop
+  // in the same checker-atomic step as the CAS. False = top moved since the
+  // peek — a failed re-check, never retried here.
+  bool TakeSteal(const ChaseLevDeque::TopPeek& peek);
+  // Batch variant for the steal hot path: commits the CAS but DEFERS the
+  // victim-side counter decrements — the caller accumulates the batch and
+  // applies it once via CommitStealAccounting. Between the two calls the
+  // victim's published load overcounts the taken items, which is the safe
+  // direction for every consumer: steal gates judge an inflated victim (they
+  // under-steal, never over-steal), and the quiescent properties
+  // (published-depth, no-lost-items) evaluate only after the batch has
+  // landed. Cuts the per-item RMWs on the shared counter lines to one pair
+  // per batch.
+  bool TakeStealDeferred(const ChaseLevDeque::TopPeek& peek);
+  void CommitStealAccounting(uint32_t items, int64_t weight);
+  // Published task count / inbox depth / running flag, relaxed. The steal
+  // gate combines peek.size + running + inbox into its victim load so the
+  // judged load is anchored to the same top index the CAS validates.
+  int64_t TasksRelaxed() const {
+    return own_enq_tasks_.load(std::memory_order_relaxed) +
+           ext_enq_tasks_.load(std::memory_order_relaxed) -
+           fin_tasks_.load(std::memory_order_relaxed) -
+           stolen_tasks_.load(std::memory_order_relaxed);
+  }
+  int64_t InboxCountRelaxed() const { return inbox_count_.load(std::memory_order_relaxed); }
+  int64_t RunningRelaxed() const { return running_a_.load(std::memory_order_relaxed); }
+  // Items this owner has fully executed (FinishCurrent count). A thief
+  // brackets its steal with two reads: the delta excuses exactly the
+  // decrements the owner's execution progress — the only non-CAS-guarded
+  // path that lowers tasks — applied to the victim load between the gate
+  // and the post-steal observation (see StealObservation).
+  uint64_t FinishedCount() const {
+    return static_cast<uint64_t>(fin_tasks_.load(std::memory_order_relaxed));
+  }
+
  private:
+  std::optional<WorkItem> PopForRunLockedBackend() OPTSCHED_EXCLUDES(lock_);
+  std::optional<WorkItem> PopForRunChaseLev() OPTSCHED_EXCLUDES(lock_);
+  // Moves inbox items into the deque (owner only); stops early if the ring
+  // fills — the leftovers stay counted and are retried next pop.
+  void DrainInboxToDeque() OPTSCHED_EXCLUDES(lock_);
   void PublishLocked() OPTSCHED_REQUIRES(lock_);
+
+  const QueueBackend backend_;
 
   // The owner's lock + deque and the thieves' read-mostly published load are
   // split onto separate cache lines: a thief polling published_ must not
   // contend with the owner pushing/popping ready_, and the lock word must not
   // share a line with either (lock handoff invalidates it constantly).
+  // On kChaseLev the lock guards only the INBOX (external submissions); the
+  // deque itself is lock-free.
   alignas(kCacheLineSize) mutable SpinLock lock_;
   std::deque<WorkItem> ready_ OPTSCHED_GUARDED_BY(lock_);
   bool running_ OPTSCHED_GUARDED_BY(lock_) = false;
@@ -124,12 +204,56 @@ class ConcurrentRunQueue {
   // discipline is the REQUIRES on PublishLocked plus the lint rule
   // seqlock-write-context.
   alignas(kCacheLineSize) Seqlock<LoadPair> published_;
+
+  // --- kChaseLev state (idle on kLocked) -------------------------------------
+  std::unique_ptr<ChaseLevDeque> deque_;  // null on kLocked
+  std::deque<WorkItem> inbox_ OPTSCHED_GUARDED_BY(lock_);
+  // Published load for the lock-free backend, DECOMPOSED BY WRITER so the
+  // owner's per-item path is store-only:
+  //   tasks  = own_enq_tasks + ext_enq_tasks − fin_tasks − stolen_tasks
+  //   weight = the same formula over the *_weight counters.
+  // Each counter is monotonic and has exactly one writer class — the owner
+  // (plain load+store, no lock-prefixed RMW on its hot path), external
+  // submitters (fetch_add in Push), thieves (one fetch_add pair per steal
+  // batch) — so a reader may see a torn combination, the same staleness the
+  // selection phase already tolerates from the seqlock (and the re-check
+  // absorbs); the decomposition is exact at quiescence (published-depth).
+  //
+  // Owner-written line: single-writer plain stores, read by any thread.
+  // mc: kDequeLoadRead, kDequeLoadWrite
+  alignas(kCacheLineSize) std::atomic<int64_t> own_enq_tasks_{0};
+  // mc: kDequeLoadRead, kDequeLoadWrite
+  std::atomic<int64_t> own_enq_weight_{0};
+  // fin_tasks_ doubles as FinishedCount(), the steal-safety excuse counter.
+  // mc: kDequeLoadRead, kDequeLoadWrite
+  std::atomic<int64_t> fin_tasks_{0};
+  // mc: kDequeLoadRead, kDequeLoadWrite
+  std::atomic<int64_t> fin_weight_{0};
+  // mc: kDequeLoadRead, kDequeLoadWrite
+  std::atomic<int64_t> running_a_{0};
+  // mc: kDequeLoadRead, kDequeLoadWrite
+  std::atomic<int64_t> running_weight_a_{0};
+  // External-submitter line (Push: any thread).
+  // mc: kDequeLoadRead, kDequeLoadWrite
+  alignas(kCacheLineSize) std::atomic<int64_t> ext_enq_tasks_{0};
+  // mc: kDequeLoadRead, kDequeLoadWrite
+  std::atomic<int64_t> ext_enq_weight_{0};
+  // mc: kDequeLoadRead, kDequeLoadWrite
+  std::atomic<int64_t> inbox_count_{0};
+  // Thief line (TakeSteal / CommitStealAccounting), kept off the owner's
+  // lines so a steal commit does not invalidate the owner's finish path.
+  // mc: kDequeLoadRead, kDequeLoadWrite
+  alignas(kCacheLineSize) std::atomic<int64_t> stolen_tasks_{0};
+  // mc: kDequeLoadRead, kDequeLoadWrite
+  std::atomic<int64_t> stolen_weight_{0};
 };
 
 // Outcome counters for one worker's stealing activity. `successes` counts
 // steal ACTIONS (critical sections that moved >= 1 item); `items_stolen`
 // counts migrated items. Invariant: successes <= items_stolen <=
 // successes * max_batch (mirrors BalanceStats successes/tasks_moved).
+// On kChaseLev, `failed_recheck` additionally counts lost top-CAS races —
+// the lock-free shape of the same stale-observation failure.
 struct StealCounters {
   uint64_t attempts = 0;
   uint64_t successes = 0;
@@ -167,27 +291,44 @@ struct StealScratch {
   std::vector<WorkItem> batch;
 };
 
-// Facts about a successful steal captured while both runqueue locks were
-// still held — the only vantage point from which "the victim was not idled"
-// (steal safety, §4.1) can be asserted without racing later mutations. The
+// Facts about a successful steal captured from the only vantage point where
+// "the victim was not idled" (steal safety, §4.1) can be asserted: under
+// both runqueue locks on kLocked, bracketing the top-CAS on kChaseLev. The
 // model checker's harness consumes this; production callers pass nullptr.
 struct StealObservation {
-  uint64_t item_id = 0;  // first (tail-most) migrated item
+  uint64_t item_id = 0;  // first migrated item
   uint32_t items_moved = 0;
   // Seqlock publishes performed inside this critical section across both
   // queues. Publish batching requires <= 2 (one per queue) regardless of
-  // items_moved; the mc harness asserts exactly that.
+  // items_moved; the mc harness asserts exactly that. Always 0 on kChaseLev.
   uint64_t seqlock_writes = 0;
   int64_t victim_tasks_after = 0;
   int64_t thief_tasks_after = 0;
+  // kChaseLev only (0 on kLocked, where the victim lock freezes execution):
+  // items the victim OWNER finished between the steal's first peek and the
+  // post-steal load read. FinishCurrent is the only path that lowers the
+  // victim's task count without going through the top CAS, so
+  // victim_tasks_after + victim_finished_delta is what the count would have
+  // been had the victim not executed concurrently — the steal-safety
+  // property asserts on that sum, keeping the proof obligation uniform
+  // across backends.
+  int64_t victim_finished_delta = 0;
+};
+
+// Construction-time knobs for the machine's queues.
+struct MachineOptions {
+  QueueBackend backend = QueueBackend::kLocked;
+  uint32_t deque_capacity = 1024;  // per-queue chase_lev ring bound
+  bool broken_steal_order = false;  // mc fault knob (chase_lev_deque.h)
 };
 
 class ConcurrentMachine {
  public:
-  explicit ConcurrentMachine(uint32_t num_queues);
+  explicit ConcurrentMachine(uint32_t num_queues, const MachineOptions& options = {});
 
   uint32_t num_queues() const { return static_cast<uint32_t>(queues_.size()); }
   ConcurrentRunQueue& queue(uint32_t index) { return *queues_[index]; }
+  QueueBackend backend() const { return options_.backend; }
 
   // Lock-free load snapshot across all queues (selection-phase view).
   LoadSnapshot Snapshot() const;
@@ -195,24 +336,25 @@ class ConcurrentMachine {
   void SnapshotInto(LoadSnapshot& out) const;
 
   // Snapshot taken while holding every queue lock (the D3 ablation: "locked
-  // selection" — exact but stalls all owners). The loop-carried acquisition
-  // of N locks through the queue vector is outside what the thread-safety
-  // analysis can follow, hence the explicit opt-out; the index-order ranking
-  // is the same machine-wide one DualLockGuard documents.
+  // selection" — exact but stalls all owners; kLocked backend only). The
+  // loop-carried acquisition of N locks through the queue vector is outside
+  // what the thread-safety analysis can follow, hence the explicit opt-out;
+  // the index-order ranking is the same machine-wide one DualLockGuard
+  // documents.
   LoadSnapshot LockedSnapshot();
   void LockedSnapshotInto(LoadSnapshot& out) OPTSCHED_NO_THREAD_SAFETY_ANALYSIS;
 
-  // Full three-step attempt by `thief`: filter+choice on `snapshot`, then the
-  // two-lock steal phase with re-check and batched migration per `options`.
-  // On success the stolen items are pushed onto the thief's queue (one
-  // publish per queue). Updates `counters`. When the filter was non-empty,
-  // `victim_out` (if given) receives the chosen victim — trace events want to
-  // attribute the outcome to the pair, not just the thief.
-  // `observation_out` (if given) is filled on success with the post-steal
-  // loads of the locked pair, the batch size and the critical section's
-  // publish count, all read under the locks. `scratch` (if given) supplies
-  // the reusable buffers that make the attempt allocation-free; null falls
-  // back to call-local buffers (tests, harness).
+  // Full three-step attempt by `thief`: filter+choice on `snapshot`, then
+  // the backend's stealing phase — two locks + re-check + batched migration
+  // on kLocked; per-item peek -> gate -> top-CAS on kChaseLev, with a lost
+  // CAS counted as failed_recheck. On success the stolen items land on the
+  // thief's own queue (the thief is that queue's owner). Updates `counters`.
+  // When the filter was non-empty, `victim_out` (if given) receives the
+  // chosen victim — trace events want to attribute the outcome to the pair,
+  // not just the thief. `observation_out` (if given) is filled on success
+  // (see StealObservation). `scratch` (if given) supplies the reusable
+  // buffers that make the attempt allocation-free; null falls back to
+  // call-local buffers (tests, harness).
   bool TrySteal(const BalancePolicy& policy, CpuId thief, const LoadSnapshot& snapshot,
                 Rng& rng, const StealOptions& options, StealCounters& counters,
                 const Topology* topology = nullptr, CpuId* victim_out = nullptr,
@@ -225,6 +367,17 @@ class ConcurrentMachine {
   uint64_t TotalSeqlockWrites() const;
 
  private:
+  bool TryStealLocked(const BalancePolicy& policy, CpuId thief, const LoadSnapshot& snapshot,
+                      CpuId victim, const StealOptions& options, StealCounters& counters,
+                      const Topology* topology, StealObservation* observation_out,
+                      StealScratch& s);
+  bool TryStealChaseLev(const BalancePolicy& policy, CpuId thief,
+                        const LoadSnapshot& snapshot, CpuId victim,
+                        const StealOptions& options, StealCounters& counters,
+                        const Topology* topology, StealObservation* observation_out,
+                        StealScratch& s);
+
+  const MachineOptions options_;
   std::vector<std::unique_ptr<ConcurrentRunQueue>> queues_;
 };
 

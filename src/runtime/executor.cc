@@ -205,10 +205,17 @@ Executor::Executor(std::shared_ptr<const BalancePolicy> policy, const ExecutorCo
     : policy_(std::move(policy)),
       config_(config),
       topology_(topology),
-      machine_(config.num_workers) {
+      machine_(config.num_workers,
+               MachineOptions{.backend = config.backend,
+                              .deque_capacity = config.chase_lev_capacity}) {
   OPTSCHED_CHECK(policy_ != nullptr);
   OPTSCHED_CHECK(config_.num_workers > 0);
   OPTSCHED_CHECK(config_.max_backoff_spins >= 1);
+  // D3 locks every runqueue during selection; the chase_lev deque has no
+  // queue lock to take, so the combination is meaningless — reject it loudly
+  // instead of silently measuring the wrong ablation.
+  OPTSCHED_CHECK_MSG(!(config_.locked_selection && config_.backend == QueueBackend::kChaseLev),
+                     "locked_selection (D3) requires the locked backend");
   config_.initial_backoff_spins =
       std::clamp<uint64_t>(config_.initial_backoff_spins, 1, config_.max_backoff_spins);
 }
@@ -286,10 +293,9 @@ uint32_t Executor::DrainIngress(uint32_t worker, WorkerStats& stats,
   // requires deadline mode.)
   submitted_items_.fetch_add(moved, std::memory_order_relaxed);
   remaining_items_.fetch_add(moved, std::memory_order_release);
-  {
-    LockGuard guard(machine_.queue(worker).lock());
-    machine_.queue(worker).PushBatchLocked(batch.data(), moved);
-  }
+  // Backend-neutral owner append: the queue lock on kLocked, a lock-free
+  // bottom push (inbox spill on overflow) on kChaseLev.
+  machine_.queue(worker).PushBatchOwner(batch.data(), moved);
   ++stats.mailbox_drains;
   stats.mailbox_items_drained += moved;
   if (ring != nullptr) {

@@ -51,7 +51,15 @@ struct ExecutorConfig {
   uint32_t num_workers = 4;
   // Spin iterations per work unit (~tens of ns each on current hardware).
   uint64_t spin_per_unit = 50;
-  // D3 ablation: lock all runqueues during the selection phase.
+  // Queue-backend concept (docs/runtime.md#queue-backends): the locked
+  // reference queue or the lock-free Chase-Lev deque. Every worker-loop seam
+  // (pop, finish, ingress drain, steal, wakeup epoch) is backend-neutral.
+  QueueBackend backend = QueueBackend::kLocked;
+  // Per-queue ring bound for the chase_lev backend; overflow spills to the
+  // queue's locked inbox (never dropped).
+  uint32_t chase_lev_capacity = 1024;
+  // D3 ablation: lock all runqueues during the selection phase. Requires the
+  // locked backend (the chase_lev deque has no per-queue lock to take).
   bool locked_selection = false;
   // D2 ablation: skip the filter re-check in the steal phase.
   bool recheck_filter = true;

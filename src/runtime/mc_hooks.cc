@@ -24,6 +24,12 @@ const char* SyncOpName(SyncOp op) {
     case SyncOp::kMailboxPush: return "mailbox-push";
     case SyncOp::kMailboxDrain: return "mailbox-drain";
     case SyncOp::kMailboxDepth: return "mailbox-depth";
+    case SyncOp::kDequeTopLoad: return "deque-top-load";
+    case SyncOp::kDequeTopCas: return "deque-top-cas";
+    case SyncOp::kDequeBottomLoad: return "deque-bottom-load";
+    case SyncOp::kDequeBottomStore: return "deque-bottom-store";
+    case SyncOp::kDequeLoadRead: return "deque-load-read";
+    case SyncOp::kDequeLoadWrite: return "deque-load-write";
     case SyncOp::kYield: return "yield";
     case SyncOp::kThreadStart: return "thread-start";
   }
@@ -42,11 +48,17 @@ bool SyncOpWrites(SyncOp op) {
     case SyncOp::kEpochBump:
     case SyncOp::kMailboxPush:
     case SyncOp::kMailboxDrain:
+    case SyncOp::kDequeTopCas:
+    case SyncOp::kDequeBottomStore:
+    case SyncOp::kDequeLoadWrite:
       return true;
     case SyncOp::kSeqRead:
     case SyncOp::kSeqReadRetry:
     case SyncOp::kEpochLoad:
     case SyncOp::kMailboxDepth:
+    case SyncOp::kDequeTopLoad:
+    case SyncOp::kDequeBottomLoad:
+    case SyncOp::kDequeLoadRead:
     case SyncOp::kYield:
     case SyncOp::kThreadStart:
       return false;

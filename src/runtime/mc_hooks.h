@@ -51,6 +51,12 @@ enum class SyncOp {
   kMailboxPush,   // ingress mailbox: producer-side bounded enqueue
   kMailboxDrain,  // ingress mailbox: owner-side drain into the runqueue
   kMailboxDepth,  // ingress mailbox: lock-free depth observation
+  kDequeTopLoad,     // chase-lev deque: thief/owner load of the top index
+  kDequeTopCas,      // chase-lev deque: CAS on the top index (thief take / owner last-item race)
+  kDequeBottomLoad,  // chase-lev deque: load of the bottom index
+  kDequeBottomStore, // chase-lev deque: owner store to the bottom index
+  kDequeLoadRead,    // chase-lev backend: lock-free published-load read
+  kDequeLoadWrite,   // chase-lev backend: published-load counter update
   kYield,         // explicit fair scheduling point (harness loop boundary)
   kThreadStart,   // virtual thread about to run its first action
 };

@@ -1,0 +1,38 @@
+// The unit of schedulable work shared by every queue backend.
+//
+// Split out of concurrent_machine.h so the lock-free Chase-Lev deque
+// (chase_lev_deque.h) can store items without pulling in the full runqueue
+// facade. The layout is load-bearing: the deque stores items as whole
+// 64-bit words through relaxed atomics (same TSan-clean technique as
+// Seqlock), so WorkItem must stay trivially copyable and a multiple of 8
+// bytes — both are static_asserted at the storage site.
+
+#ifndef OPTSCHED_SRC_RUNTIME_WORK_ITEM_H_
+#define OPTSCHED_SRC_RUNTIME_WORK_ITEM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace optsched::runtime {
+
+// Destructive-interference granularity for per-field padding. A compile-time
+// constant (not std::hardware_destructive_interference_size, which is
+// ABI-fragile and warns under GCC) — 64 bytes is correct for every x86-64
+// and the common AArch64 parts this runs on.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+// A unit of work: `work_units` spins of the calibrated work loop.
+// `arrival_ns` is an optional wall-clock arrival stamp (steady-clock ns, 0 =
+// unstamped): the serving ingress stamps each admitted item at its open-loop
+// arrival time so the executor can record end-to-end sojourn latency
+// (arrival -> execution finished) without any per-item bookkeeping of its own.
+struct WorkItem {
+  uint64_t id = 0;
+  uint64_t work_units = 1;
+  uint32_t weight = 1024;
+  uint64_t arrival_ns = 0;
+};
+
+}  // namespace optsched::runtime
+
+#endif  // OPTSCHED_SRC_RUNTIME_WORK_ITEM_H_

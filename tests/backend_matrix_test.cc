@@ -1,0 +1,205 @@
+// The queue-backend concept contract, run against BOTH backends: the locked
+// reference queue and the lock-free Chase-Lev queue must be observationally
+// equivalent through the facade — same accounting (ReadLoad/ExactLoad), same
+// owner pop/finish semantics, same batch-push behaviour — and the executor
+// must complete identical workloads (including steals and ingress) on either.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/policies/thread_count.h"
+#include "src/ingress/mailbox.h"
+#include "src/runtime/concurrent_machine.h"
+#include "src/runtime/executor.h"
+
+namespace optsched {
+namespace {
+
+using runtime::ConcurrentRunQueue;
+using runtime::QueueBackend;
+using runtime::WorkItem;
+
+WorkItem Item(uint64_t id, uint32_t weight = 1024) {
+  return WorkItem{.id = id, .work_units = 1, .weight = weight};
+}
+
+class BackendMatrix : public ::testing::TestWithParam<QueueBackend> {};
+
+TEST_P(BackendMatrix, ExternalPushPopFinishAccounting) {
+  ConcurrentRunQueue queue(GetParam());
+  EXPECT_EQ(queue.backend(), GetParam());
+  for (uint64_t id = 1; id <= 3; ++id) {
+    queue.Push(Item(id, 100 * static_cast<uint32_t>(id)));
+  }
+  runtime::LoadPair load = queue.ReadLoad();
+  EXPECT_EQ(load.task_count, 3);
+  EXPECT_EQ(load.weighted_load, 600);
+
+  // A popped item stays part of the published load until FinishCurrent.
+  std::optional<WorkItem> running = queue.PopForRun();
+  ASSERT_TRUE(running.has_value());
+  EXPECT_EQ(queue.ReadLoad().task_count, 3);
+  queue.FinishCurrent();
+  load = queue.ReadLoad();
+  EXPECT_EQ(load.task_count, 2);
+  EXPECT_EQ(load.weighted_load, 600 - static_cast<int64_t>(running->weight));
+
+  // Drain the rest; the published and structural views agree throughout.
+  std::vector<uint64_t> ids = {running->id};
+  while (std::optional<WorkItem> item = queue.PopForRun()) {
+    ids.push_back(item->id);
+    queue.FinishCurrent();
+    const runtime::LoadPair published = queue.ReadLoad();
+    const runtime::LoadPair exact = queue.ExactLoad();
+    EXPECT_EQ(published.task_count, exact.task_count);
+    EXPECT_EQ(published.weighted_load, exact.weighted_load);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_EQ(queue.ReadLoad().task_count, 0);
+  EXPECT_EQ(queue.ReadLoad().weighted_load, 0);
+}
+
+TEST_P(BackendMatrix, PushBatchOwnerPublishesTheWholeBatch) {
+  ConcurrentRunQueue queue(GetParam());
+  std::vector<WorkItem> batch;
+  for (uint64_t id = 1; id <= 16; ++id) {
+    batch.push_back(Item(id));
+  }
+  const uint64_t writes_before = queue.SeqlockWriteCount();
+  queue.PushBatchOwner(batch.data(), static_cast<uint32_t>(batch.size()));
+  EXPECT_EQ(queue.ReadLoad().task_count, 16);
+  EXPECT_EQ(queue.ExactLoad().task_count, 16);
+  if (GetParam() == QueueBackend::kLocked) {
+    // One seqlock publish for the whole batch, not one per item.
+    EXPECT_EQ(queue.SeqlockWriteCount() - writes_before, 1u);
+  } else {
+    // chase_lev has no seqlock at all; the counters carry the load.
+    EXPECT_EQ(queue.SeqlockWriteCount(), 0u);
+  }
+}
+
+TEST(BackendMatrixChaseLev, RingOverflowSpillsToInboxWithoutLosingItems) {
+  // Capacity rounds to 4: an 11-item owner batch overflows the ring and the
+  // remainder must spill to the inbox, reachable again through PopForRun.
+  ConcurrentRunQueue queue(QueueBackend::kChaseLev, /*deque_capacity=*/4);
+  std::vector<WorkItem> batch;
+  for (uint64_t id = 1; id <= 11; ++id) {
+    batch.push_back(Item(id));
+  }
+  queue.PushBatchOwner(batch.data(), static_cast<uint32_t>(batch.size()));
+  EXPECT_EQ(queue.ReadLoad().task_count, 11);
+  std::vector<uint64_t> ids;
+  while (std::optional<WorkItem> item = queue.PopForRun()) {
+    ids.push_back(item->id);
+    queue.FinishCurrent();
+  }
+  EXPECT_EQ(ids.size(), 11u);
+  std::sort(ids.begin(), ids.end());
+  for (uint64_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], i + 1);
+  }
+}
+
+TEST(BackendMatrixChaseLev, PeekTakeStealDecrementsPublishedLoad) {
+  ConcurrentRunQueue queue(QueueBackend::kChaseLev);
+  std::vector<WorkItem> batch = {Item(1), Item(2)};
+  queue.PushBatchOwner(batch.data(), 2);
+
+  const auto first = queue.PeekSteal();
+  const auto stale = queue.PeekSteal();
+  ASSERT_TRUE(first.found);
+  EXPECT_TRUE(queue.TakeSteal(first));
+  EXPECT_EQ(queue.ReadLoad().task_count, 1);
+  // The stale observation's commit must fail — the failed re-check — and
+  // must NOT touch the accounting.
+  EXPECT_FALSE(queue.TakeSteal(stale));
+  EXPECT_EQ(queue.ReadLoad().task_count, 1);
+  EXPECT_EQ(queue.ExactLoad().task_count, 1);
+}
+
+TEST_P(BackendMatrix, ExecutorDrainsImbalancedSeedWithSteals) {
+  // Everything seeded on queue 0: workers 1-3 can only make progress by
+  // stealing, so completion exercises the backend's steal path end to end.
+  // Whether a steal actually lands is a race against worker spin-up (on an
+  // oversubscribed CI host the owner can drain the whole seed first), so
+  // retry the run until one does; drain correctness is asserted every time.
+  uint64_t total_successes = 0;
+  for (int attempt = 0; attempt < 5 && total_successes == 0; ++attempt) {
+    runtime::ExecutorConfig config;
+    config.num_workers = 4;
+    config.backend = GetParam();
+    // Long enough per item that the run outlives worker spin-up: thieves
+    // must find work remaining on queue 0 for a steal to be possible at all.
+    config.spin_per_unit = 200;
+    runtime::Executor executor(policies::MakeThreadCount(), config);
+    std::vector<WorkItem> seed;
+    for (uint64_t id = 0; id < 2000; ++id) {
+      WorkItem item = Item(id);
+      item.work_units = 5;
+      seed.push_back(item);
+    }
+    executor.Seed(0, seed);
+    const runtime::ExecutorReport report = executor.Run();
+    SCOPED_TRACE(report.ToString());
+
+    uint64_t executed = 0;
+    for (const auto& w : report.workers) {
+      executed += w.items_executed;
+    }
+    ASSERT_EQ(executed, 2000u);
+    ASSERT_EQ(report.items_left_unexecuted, 0u);
+    total_successes = report.total_successes();
+  }
+  EXPECT_GT(total_successes, 0u);
+}
+
+TEST_P(BackendMatrix, ExecutorDrainsMailboxIngress) {
+  runtime::ExecutorConfig config;
+  config.num_workers = 4;
+  config.backend = GetParam();
+  config.spin_per_unit = 5;
+  ingress::MailboxSet mailboxes(config.num_workers, /*capacity_per_mailbox=*/256);
+  config.ingress = &mailboxes;
+
+  runtime::Executor executor(policies::MakeThreadCount(), config);
+  mailboxes.set_notify([&](uint32_t worker) { executor.NotifyIngress(worker); });
+
+  std::atomic<uint64_t> admitted{0};
+  const auto producer = [&](runtime::Executor& e) {
+    for (uint64_t id = 0; id < 400 && !e.stopped(); ++id) {
+      if (mailboxes.Push(static_cast<uint32_t>(id % 4), Item(id))) {
+        admitted.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  };
+  const runtime::ExecutorReport report = executor.RunFor(/*duration_ms=*/500, producer);
+  SCOPED_TRACE(report.ToString());
+
+  uint64_t executed = 0;
+  for (const auto& w : report.workers) {
+    executed += w.items_executed;
+  }
+  EXPECT_EQ(executed, admitted.load());
+  EXPECT_EQ(report.items_left_unexecuted, 0u);
+  EXPECT_EQ(mailboxes.TotalPending(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, BackendMatrix,
+    ::testing::Values(QueueBackend::kLocked, QueueBackend::kChaseLev),
+    [](const ::testing::TestParamInfo<QueueBackend>& info) {
+      return std::string(runtime::QueueBackendName(info.param));
+    });
+
+}  // namespace
+}  // namespace optsched

@@ -1,0 +1,193 @@
+// ChaseLevDeque unit and stress coverage: the bounded ring contract, owner
+// LIFO vs thief FIFO ends, the split PeekTop/TakeTop staleness protocol, the
+// size-1 owner-vs-thief race both ways, slot reuse across index wrap, and a
+// real-thread conservation stress (every pushed item claimed exactly once).
+// The interleaving-exhaustive version of the size-1 race lives in the mc
+// harness (drain mode, chase_lev backend); these tests pin the single-thread
+// semantics and the large-scale behaviour TSan can chew on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/runtime/chase_lev_deque.h"
+
+namespace optsched::runtime {
+namespace {
+
+WorkItem Item(uint64_t id, uint32_t weight = 1024) {
+  return WorkItem{.id = id, .work_units = 1, .weight = weight};
+}
+
+TEST(ChaseLevDeque, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(ChaseLevDeque(0).capacity(), 2u);
+  EXPECT_EQ(ChaseLevDeque(2).capacity(), 2u);
+  EXPECT_EQ(ChaseLevDeque(5).capacity(), 8u);
+  EXPECT_EQ(ChaseLevDeque(64).capacity(), 64u);
+  EXPECT_EQ(ChaseLevDeque(65).capacity(), 128u);
+}
+
+TEST(ChaseLevDeque, PushReportsOverflowInsteadOfGrowing) {
+  ChaseLevDeque deque(2);
+  EXPECT_TRUE(deque.PushBottom(Item(1)));
+  EXPECT_TRUE(deque.PushBottom(Item(2)));
+  EXPECT_FALSE(deque.PushBottom(Item(3)));  // full ring: caller spills
+  EXPECT_EQ(deque.SizeRelaxed(), 2);
+  // Draining one slot re-admits one push.
+  ASSERT_TRUE(deque.PopBottom().has_value());
+  EXPECT_TRUE(deque.PushBottom(Item(3)));
+}
+
+TEST(ChaseLevDeque, OwnerPopsLifoThievesTakeFifo) {
+  ChaseLevDeque deque(8);
+  for (uint64_t id = 1; id <= 4; ++id) {
+    ASSERT_TRUE(deque.PushBottom(Item(id)));
+  }
+  // Owner end: newest first.
+  std::optional<WorkItem> popped = deque.PopBottom();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->id, 4u);
+  // Thief end: oldest first.
+  ChaseLevDeque::TopPeek peek = deque.PeekTop();
+  ASSERT_TRUE(peek.found);
+  EXPECT_EQ(peek.item.id, 1u);
+  EXPECT_EQ(peek.size, 3);
+  EXPECT_TRUE(deque.TakeTop(peek));
+  peek = deque.PeekTop();
+  ASSERT_TRUE(peek.found);
+  EXPECT_EQ(peek.item.id, 2u);
+}
+
+TEST(ChaseLevDeque, StalePeekFailsAfterCompetitorTake) {
+  ChaseLevDeque deque(8);
+  ASSERT_TRUE(deque.PushBottom(Item(1)));
+  ASSERT_TRUE(deque.PushBottom(Item(2)));
+  // Two thieves observe the same top; only the first commit wins, the second
+  // is the failed re-check the runqueue surfaces as failed_recheck.
+  const ChaseLevDeque::TopPeek first = deque.PeekTop();
+  const ChaseLevDeque::TopPeek second = deque.PeekTop();
+  ASSERT_TRUE(first.found);
+  ASSERT_TRUE(second.found);
+  EXPECT_EQ(first.top, second.top);
+  EXPECT_TRUE(deque.TakeTop(first));
+  EXPECT_FALSE(deque.TakeTop(second));
+}
+
+TEST(ChaseLevDeque, SizeOneRaceOwnerWinsThiefFails) {
+  ChaseLevDeque deque(8);
+  ASSERT_TRUE(deque.PushBottom(Item(7)));
+  const ChaseLevDeque::TopPeek peek = deque.PeekTop();
+  ASSERT_TRUE(peek.found);
+  // Owner takes the last item first (its pop CASes top for the final item),
+  // so the thief's anchored commit must observe the moved top and fail.
+  std::optional<WorkItem> popped = deque.PopBottom();
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->id, 7u);
+  EXPECT_FALSE(deque.TakeTop(peek));
+  EXPECT_EQ(deque.SizeRelaxed(), 0);
+}
+
+TEST(ChaseLevDeque, SizeOneRaceThiefWinsOwnerComesUpEmpty) {
+  ChaseLevDeque deque(8);
+  ASSERT_TRUE(deque.PushBottom(Item(7)));
+  const ChaseLevDeque::TopPeek peek = deque.PeekTop();
+  ASSERT_TRUE(peek.found);
+  EXPECT_TRUE(deque.TakeTop(peek));
+  EXPECT_EQ(peek.item.id, 7u);
+  EXPECT_FALSE(deque.PopBottom().has_value());
+  EXPECT_EQ(deque.SizeRelaxed(), 0);
+}
+
+TEST(ChaseLevDeque, SlotsSurviveIndexWrap) {
+  ChaseLevDeque deque(2);
+  // Many push/pop cycles walk bottom and top far past the ring size; the
+  // mask-indexed slots must keep every field intact.
+  for (uint64_t round = 0; round < 1000; ++round) {
+    ASSERT_TRUE(deque.PushBottom(Item(round, static_cast<uint32_t>(round % 7 + 1))));
+    if (round % 3 == 0) {
+      const ChaseLevDeque::TopPeek peek = deque.PeekTop();
+      ASSERT_TRUE(peek.found);
+      ASSERT_TRUE(deque.TakeTop(peek));
+      EXPECT_EQ(peek.item.weight, peek.item.id % 7 + 1);
+    } else {
+      std::optional<WorkItem> popped = deque.PopBottom();
+      ASSERT_TRUE(popped.has_value());
+      EXPECT_EQ(popped->id, round);
+      EXPECT_EQ(popped->weight, round % 7 + 1);
+    }
+  }
+}
+
+TEST(ChaseLevDeque, QuiescentSizeAndWeightAreExact) {
+  ChaseLevDeque deque(8);
+  ASSERT_TRUE(deque.PushBottom(Item(1, 10)));
+  ASSERT_TRUE(deque.PushBottom(Item(2, 20)));
+  ASSERT_TRUE(deque.PushBottom(Item(3, 30)));
+  EXPECT_EQ(deque.SizeRelaxed(), 3);
+  EXPECT_EQ(deque.SumWeightRelaxed(), 60);
+  (void)deque.PopBottom();
+  EXPECT_EQ(deque.SizeRelaxed(), 2);
+  EXPECT_EQ(deque.SumWeightRelaxed(), 30);
+}
+
+TEST(ChaseLevDeque, ThreadedConservationEveryItemClaimedExactlyOnce) {
+  // One owner pushing and popping against three thieves peeking and taking.
+  // Every id in [1, kItems] must be claimed by exactly one side exactly once
+  // — the no-lost-items / no-duplicated-items core of the protocol, here at
+  // real-thread scale (the mc harness proves the small cases exhaustively).
+  constexpr uint64_t kItems = 20000;
+  constexpr int kThieves = 3;
+  ChaseLevDeque deque(256);
+  std::atomic<uint64_t> claimed{0};
+  std::vector<std::vector<uint64_t>> got(kThieves + 1);
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&, t] {
+      while (claimed.load(std::memory_order_acquire) < kItems) {
+        const ChaseLevDeque::TopPeek peek = deque.PeekTop();
+        if (peek.found && deque.TakeTop(peek)) {
+          got[t + 1].push_back(peek.item.id);
+          claimed.fetch_add(1, std::memory_order_acq_rel);
+        }
+      }
+    });
+  }
+
+  // Owner: push everything, popping to make room when the bounded ring
+  // fills; then drain whatever the thieves left.
+  for (uint64_t id = 1; id <= kItems; ++id) {
+    while (!deque.PushBottom(Item(id))) {
+      if (std::optional<WorkItem> item = deque.PopBottom()) {
+        got[0].push_back(item->id);
+        claimed.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+  }
+  while (std::optional<WorkItem> item = deque.PopBottom()) {
+    got[0].push_back(item->id);
+    claimed.fetch_add(1, std::memory_order_acq_rel);
+  }
+  for (std::thread& thief : thieves) {
+    thief.join();
+  }
+
+  std::vector<uint64_t> all;
+  for (const std::vector<uint64_t>& part : got) {
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  ASSERT_EQ(all.size(), kItems);
+  std::sort(all.begin(), all.end());
+  for (uint64_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(all[i], i + 1) << "item " << i + 1 << " lost or duplicated";
+  }
+  EXPECT_EQ(deque.SizeRelaxed(), 0);
+}
+
+}  // namespace
+}  // namespace optsched::runtime

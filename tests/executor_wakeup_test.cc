@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <string>
 #include <thread>
 
 #include "src/core/policies/thread_count.h"
@@ -91,6 +92,76 @@ TEST(ExecutorWakeup, SubmitBatchBumpsOncePerBatchAndWakes) {
   EXPECT_EQ(report.total_items, 64u);
   EXPECT_EQ(report.items_left_unexecuted, 0u);
 }
+
+// The same races, parameterized over the queue backend: the wakeup-epoch
+// contract must hold whether the runqueue is the locked reference or the
+// lock-free Chase-Lev deque (whose external submissions land in an inbox the
+// owner drains — a second place a lost notify could strand work).
+class ExecutorWakeupBackend : public ::testing::TestWithParam<runtime::QueueBackend> {};
+
+TEST_P(ExecutorWakeupBackend, SubmitDuringDeepParkIsNotLost) {
+  runtime::ExecutorConfig config = DeepParkConfig();
+  config.backend = GetParam();
+  runtime::Executor executor(policies::MakeThreadCount(), config);
+
+  const auto producer = [&](runtime::Executor& e) {
+    std::this_thread::sleep_for(60ms);
+    for (uint64_t id = 0; id < 100; ++id) {
+      e.Submit(static_cast<uint32_t>(id % 4), {.id = id, .work_units = 1, .weight = 1024});
+    }
+  };
+  const runtime::ExecutorReport report = executor.RunFor(400, producer);
+  SCOPED_TRACE(report.ToString());
+  EXPECT_EQ(report.total_items, 100u);
+  EXPECT_EQ(report.items_left_unexecuted, 0u);
+}
+
+TEST_P(ExecutorWakeupBackend, SingleNotifyOnParkEdgeIsNotStranded) {
+  // The tightest version of the race: ONE item per round, pushed only after
+  // every worker is deep in its park, with no follow-up traffic to paper
+  // over a lost notify. If NotifyIngress landing between an owner's last
+  // DrainIngress and its park entry could be missed, that round's item sits
+  // in the mailbox past the deadline. (The mc "wakeup" harness proves the
+  // interleaving exhaustively; this drives the real executor through it.)
+  runtime::ExecutorConfig config = DeepParkConfig();
+  config.backend = GetParam();
+  ingress::MailboxSet mailboxes(config.num_workers, /*capacity_per_mailbox=*/4);
+  config.ingress = &mailboxes;
+
+  runtime::Executor executor(policies::MakeThreadCount(), config);
+  mailboxes.set_notify([&](uint32_t worker) { executor.NotifyIngress(worker); });
+
+  std::atomic<uint64_t> admitted{0};
+  const auto producer = [&](runtime::Executor& e) {
+    std::this_thread::sleep_for(50ms);
+    for (uint64_t round = 0; round < 8 && !e.stopped(); ++round) {
+      if (mailboxes.Push(static_cast<uint32_t>(round % 4),
+                         {.id = round, .work_units = 1, .weight = 1024})) {
+        admitted.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Let the woken owner drain, execute, and park again before the next
+      // single-item notify, so every round re-arms the edge.
+      std::this_thread::sleep_for(30ms);
+    }
+  };
+  const runtime::ExecutorReport report = executor.RunFor(600, producer);
+  SCOPED_TRACE(report.ToString());
+
+  uint64_t executed = 0;
+  for (const auto& w : report.workers) {
+    executed += w.items_executed;
+  }
+  EXPECT_EQ(executed, admitted.load());
+  EXPECT_EQ(report.items_left_unexecuted, 0u);
+  EXPECT_EQ(mailboxes.TotalPending(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ExecutorWakeupBackend,
+    ::testing::Values(runtime::QueueBackend::kLocked, runtime::QueueBackend::kChaseLev),
+    [](const ::testing::TestParamInfo<runtime::QueueBackend>& info) {
+      return std::string(runtime::QueueBackendName(info.param));
+    });
 
 TEST(ExecutorWakeup, MailboxNotifyWakesParkedOwner) {
   // The same race through the ingress path: a push into a parked owner's

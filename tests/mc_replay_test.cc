@@ -164,6 +164,132 @@ TEST(ReplayGoldenTest, CommittedBrokenBatchBoundStillIdlesItsVictim) {
   EXPECT_TRUE(violated) << "golden counterexample no longer violates steal-safety";
 }
 
+TEST(ReplayGoldenTest, CommittedBrokenChaseLevOrderStillLosesAnItem) {
+  MC_SKIP_UNDER_TSAN();
+  // The broken-memory-order golden: a thief reading bottom before top (no
+  // fence) pairs a stale bottom with a fresh top and claims a slot the owner
+  // already executed. The double-claim shows up twice: the published depth
+  // underflows (published-depth) and the item multiset gains a duplicate
+  // (no-lost-items). The same sweep with the correct ordering is clean.
+  const std::string path = std::string(MC_GOLDEN_DIR) + "/mc_broken_chaselev_minimized.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  const std::optional<Schedule> schedule = Schedule::FromJson(content);
+  ASSERT_TRUE(schedule.has_value());
+  EXPECT_EQ(schedule->ToJson(), content);
+  EXPECT_EQ(schedule->backend, "chase_lev");
+  EXPECT_TRUE(schedule->broken_steal_order);
+  EXPECT_EQ(schedule->property, "published-depth");
+
+  StealHarness harness(StealHarness::Config::FromSchedule(*schedule));
+  const ExecutionResult result = ReplayChoices(harness.Factory(), schedule->choices);
+  EXPECT_EQ(result.choices, schedule->choices);
+
+  bool depth_violated = false;
+  bool conservation_violated = false;
+  for (const PropertyReport& report : harness.Evaluate(result)) {
+    if (report.name == "published-depth" && !report.holds) {
+      depth_violated = true;
+    }
+    if (report.name == "no-lost-items" && !report.holds) {
+      conservation_violated = true;
+    }
+  }
+  EXPECT_TRUE(depth_violated) << "golden no longer violates published-depth";
+  EXPECT_TRUE(conservation_violated) << "golden no longer violates no-lost-items";
+}
+
+TEST(ReplayGoldenTest, CorrectChaseLevOrderSurvivesTheGoldenSchedule) {
+  MC_SKIP_UNDER_TSAN();
+  // The SAME schedule replayed against the correct memory ordering must be
+  // clean: the violation is pinned on the ordering, not on the harness.
+  const std::string path = std::string(MC_GOLDEN_DIR) + "/mc_broken_chaselev_minimized.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::optional<Schedule> schedule = Schedule::FromJson(buffer.str());
+  ASSERT_TRUE(schedule.has_value());
+  schedule->broken_steal_order = false;
+
+  StealHarness harness(StealHarness::Config::FromSchedule(*schedule));
+  const ExecutionResult result = ReplayChoices(harness.Factory(), schedule->choices);
+  for (const PropertyReport& report : harness.Evaluate(result)) {
+    EXPECT_TRUE(report.holds) << report.name << ": " << report.detail;
+  }
+}
+
+TEST(McChaseLevTest, SizeOneTakeStealRaceIsExhaustivelyClean) {
+  MC_SKIP_UNDER_TSAN();
+  // The hardest corner of the deque: one item, the owner's PopBottom racing
+  // a thief's top CAS. Drain mode makes both ends active (the owner pops to
+  // execute, the idle worker steals); bound-2 DFS covers every interleaving
+  // of the bottom store / fence / top CAS protocol, discharging that exactly
+  // one side wins, nothing is lost, and the accounting stays exact.
+  for (const std::vector<int64_t>& loads :
+       {std::vector<int64_t>{1, 0}, std::vector<int64_t>{1, 1}}) {
+    StealHarness::Config config;
+    config.mode = "drain";
+    config.policy = "thread-count";
+    config.initial_loads = loads;
+    config.attempts_per_worker = 2;
+    config.backend = runtime::QueueBackend::kChaseLev;
+    StealHarness harness(config);
+
+    DfsExplorer::Options options;
+    options.max_preemptions = 2;
+    DfsExplorer explorer(options);
+    const PropertyReport* violation = nullptr;
+    std::vector<PropertyReport> reports;
+    const ExploreStats stats = explorer.Explore(
+        harness.Factory(), [&](const ExecutionResult& result, uint32_t) {
+          reports = harness.Evaluate(result);
+          violation = StealHarness::FirstViolation(reports);
+          return violation == nullptr;
+        });
+    EXPECT_GT(stats.schedules_explored, 0u);
+    EXPECT_EQ(violation, nullptr)
+        << (violation ? violation->name : "") << " — " << (violation ? violation->detail : "");
+  }
+}
+
+TEST(McWakeupModeTest, NotifyBetweenDrainAndParkNeverStrandsItems) {
+  MC_SKIP_UNDER_TSAN();
+  // Exhaustive sweep of the notify/park handshake on both backends: no
+  // deadlock, no stranded mailbox items, conservation of admitted work.
+  for (const auto backend :
+       {runtime::QueueBackend::kLocked, runtime::QueueBackend::kChaseLev}) {
+    StealHarness::Config config;
+    config.mode = "wakeup";
+    config.policy = "thread-count";
+    config.initial_loads = {0, 0};
+    config.attempts_per_worker = 2;
+    config.backend = backend;
+    StealHarness harness(config);
+
+    DfsExplorer::Options options;
+    options.max_preemptions = 2;
+    DfsExplorer explorer(options);
+    const PropertyReport* violation = nullptr;
+    std::vector<PropertyReport> reports;
+    const ExploreStats stats = explorer.Explore(
+        harness.Factory(), [&](const ExecutionResult& result, uint32_t) {
+          reports = harness.Evaluate(result);
+          violation = StealHarness::FirstViolation(reports);
+          return violation == nullptr;
+        });
+    EXPECT_GT(stats.schedules_explored, 0u);
+    EXPECT_EQ(stats.deadlocks, 0u);
+    EXPECT_EQ(violation, nullptr)
+        << runtime::QueueBackendName(backend) << ": " << (violation ? violation->name : "")
+        << " — " << (violation ? violation->detail : "");
+  }
+}
+
 TEST(TraceExportTest, ExecutionExportsToChromeTraceJson) {
   MC_SKIP_UNDER_TSAN();
   StealHarness::Config config;
