@@ -75,7 +75,8 @@ void PrintUsage(const char* prog) {
   std::printf("  --metrics           dump the full metrics registry (name=value lines)\n");
   std::printf("model checker (src/mc):\n");
   std::printf("  --mc                explore schedules of the real steal protocol instead\n");
-  std::printf("  --mc-harness=MODE   balance | drain | epoch | ingress | wakeup (default balance)\n");
+  std::printf("  --mc-harness=MODE   balance | drain | epoch | ingress | wakeup | forkjoin\n");
+  std::printf("                      (default balance)\n");
   std::printf("  --mc-backend=NAME   run-queue backend: locked | chase_lev (default locked)\n");
   std::printf("  --mc-deque-capacity=N  chase_lev ring capacity (default 64)\n");
   std::printf("  --mc-broken-steal-order  fault mode: thief reads bottom before top, no fence\n");
@@ -86,6 +87,10 @@ void PrintUsage(const char* prog) {
   std::printf("  --mc-mailbox=N      ingress harness: mailbox capacity per owner (default 2)\n");
   std::printf("  --mc-break-batch    fault mode: unbounded batch ignoring the migration\n");
   std::printf("                      rule (the checker must find the steal-safety cex)\n");
+  std::printf("  --mc-tree-depth=N   forkjoin harness: spawn-tree depth below the root (default 2)\n");
+  std::printf("  --mc-fanout=N       forkjoin harness: children per internal node (default 2)\n");
+  std::printf("  --mc-broken-join    fault mode: plain load/store join decrement loses a\n");
+  std::printf("                      concurrent arrival (join-fires-exactly-once cex)\n");
   std::printf("  --mc-bound=N        preemption bound for exhaustive mode (default 2)\n");
   std::printf("  --mc-mode=KIND      exhaustive | pct (default exhaustive)\n");
   std::printf("  --mc-samples=N      PCT executions to sample (default 256)\n");
@@ -196,11 +201,17 @@ int RunMcExplore(int argc, char** argv) {
       std::atoi(FlagValue(argc, argv, "mc-deque-capacity", "64").c_str());
   config.deque_capacity = deque_capacity >= 2 ? static_cast<uint32_t>(deque_capacity) : 64;
   config.broken_steal_order = HasFlag(argc, argv, "mc-broken-steal-order");
+  const int tree_depth = std::atoi(FlagValue(argc, argv, "mc-tree-depth", "2").c_str());
+  config.tree_depth = tree_depth >= 1 ? static_cast<uint32_t>(tree_depth) : 2;
+  const int fanout = std::atoi(FlagValue(argc, argv, "mc-fanout", "2").c_str());
+  config.fanout = fanout >= 1 ? static_cast<uint32_t>(fanout) : 2;
+  config.broken_join_counter = HasFlag(argc, argv, "mc-broken-join");
   config.initial_loads = ParseLoads(FlagValue(argc, argv, "mc-loads", ""));
   if (config.initial_loads.empty()) {
     const int workers = std::atoi(FlagValue(argc, argv, "mc-workers", "3").c_str());
     for (int i = 0; i < workers; ++i) {
-      config.initial_loads.push_back(i);  // a simple imbalance ramp
+      // Forkjoin seeds only the root task: the loads must be all zero there.
+      config.initial_loads.push_back(config.mode == "forkjoin" ? 0 : i);
     }
   }
   StealHarness harness(config);

@@ -1,6 +1,7 @@
 #include "src/mc/harness.h"
 
 #include <algorithm>
+#include <map>
 
 #include "src/base/check.h"
 #include "src/base/str.h"
@@ -13,6 +14,71 @@ using runtime::ConcurrentMachine;
 using runtime::StealCounters;
 using runtime::StealObservation;
 using runtime::WorkItem;
+
+namespace {
+
+// "forkjoin" mode sink: the real src/task join protocol runs unmodified; only
+// the spawn destination changes — batches land on the runner's own machine
+// queue (the executor's PushBatchOwner path) and every spawn/fork/fire is
+// announced to the checker.
+class McTaskSink final : public task::SpawnSink {
+ public:
+  explicit McTaskSink(ConcurrentMachine& machine) : machine_(machine) {}
+
+  void SubmitBatch(uint32_t worker, const WorkItem* items, uint32_t count) override {
+    machine_.queue(worker).PushBatchOwner(items, count);
+    Scheduler* scheduler = ActiveScheduler();
+    for (uint32_t i = 0; i < count; ++i) {
+      scheduler->Note(kUserTaskSpawn, static_cast<int64_t>(items[i].id), worker);
+    }
+  }
+
+  void OnFork(uint32_t worker, uint64_t continuation_id, uint32_t children) override {
+    ActiveScheduler()->Note(kUserTaskFork, static_cast<int64_t>(continuation_id),
+                            static_cast<int64_t>(children), worker);
+  }
+
+  void OnJoinFire(uint32_t worker, uint64_t continuation_id) override {
+    ActiveScheduler()->Note(kUserJoinFire, static_cast<int64_t>(continuation_id), worker);
+  }
+
+ private:
+  ConcurrentMachine& machine_;
+};
+
+// Uniform spawn tree: every node at remaining depth > 0 forks `fanout`
+// children under a trivial continuation. env[0] = remaining depth,
+// env[1] = fanout. Lives here (not src/workload) so the mc target does not
+// grow a workload dependency for a shape this small.
+void UniformTreeCont(task::TaskContext& /*ctx*/, task::TaskNode& /*self*/) {}
+
+void UniformTreeTask(task::TaskContext& ctx, task::TaskNode& self) {
+  const uint64_t depth = self.env[0];
+  const uint64_t fanout = self.env[1];
+  if (depth == 0) {
+    return;  // leaf: returns complete, decrements its parent's join
+  }
+  task::TaskNode& cont = ctx.ForkN(UniformTreeCont, static_cast<uint32_t>(fanout));
+  for (uint64_t i = 0; i < fanout; ++i) {
+    task::TaskNode& child = ctx.NewChild(UniformTreeTask, cont);
+    child.env[0] = depth - 1;
+    child.env[1] = fanout;
+    ctx.Spawn(child);
+  }
+}
+
+// Internal (forking) node count of the uniform tree: levels 0..depth-1.
+uint64_t UniformTreeInternalNodes(uint32_t depth, uint32_t fanout) {
+  uint64_t internal = 0;
+  uint64_t level = 1;
+  for (uint32_t k = 0; k < depth; ++k) {
+    internal += level;
+    level *= fanout;
+  }
+  return internal;
+}
+
+}  // namespace
 
 StealHarness::Config StealHarness::Config::FromSchedule(const Schedule& schedule) {
   Config config;
@@ -29,6 +95,9 @@ StealHarness::Config StealHarness::Config::FromSchedule(const Schedule& schedule
                      "unknown backend in schedule");
   config.deque_capacity = schedule.deque_capacity;
   config.broken_steal_order = schedule.broken_steal_order;
+  config.tree_depth = schedule.tree_depth;
+  config.fanout = schedule.fanout;
+  config.broken_join_counter = schedule.broken_join_counter;
   return config;
 }
 
@@ -38,8 +107,20 @@ StealHarness::StealHarness(Config config)
   OPTSCHED_CHECK(!config_.initial_loads.empty());
   OPTSCHED_CHECK_MSG(config_.mode == "balance" || config_.mode == "drain" ||
                          config_.mode == "epoch" || config_.mode == "ingress" ||
-                         config_.mode == "wakeup",
+                         config_.mode == "wakeup" || config_.mode == "forkjoin",
                      "unknown harness mode");
+  if (config_.mode == "forkjoin") {
+    // The only seeded item is the root task: pre-seeded plain items would
+    // blur the no-lost-spawns accounting (dynamic spawns are the point).
+    for (int64_t load : config_.initial_loads) {
+      OPTSCHED_CHECK_MSG(load == 0, "forkjoin mode seeds only the root task "
+                                    "(initial_loads must be all zero)");
+    }
+    OPTSCHED_CHECK(config_.tree_depth >= 1 && config_.fanout >= 1);
+  } else {
+    OPTSCHED_CHECK_MSG(!config_.broken_join_counter,
+                       "broken_join_counter is a forkjoin fault knob");
+  }
   const bool producer_mode = config_.mode == "ingress" || config_.mode == "wakeup";
   // Producer modes need at least one owner besides the producer (worker 0).
   OPTSCHED_CHECK_MSG(!producer_mode || config_.initial_loads.size() >= 2,
@@ -83,6 +164,23 @@ std::vector<std::function<void()>> StealHarness::MakeBodies() {
       machine_->queue(q).PushBatchOwner(seed.data(), static_cast<uint32_t>(seed.size()));
     }
   }
+  task_graph_.reset();
+  if (config_.mode == "forkjoin") {
+    // Every internal node allocates one continuation plus `fanout` children;
+    // chunked handout wastes up to one chunk per worker, covered by slack.
+    const uint64_t internal = UniformTreeInternalNodes(config_.tree_depth, config_.fanout);
+    const uint64_t capacity = 1 + internal * (config_.fanout + 1) + 16ull * n + 16;
+    task_graph_ = std::make_unique<task::TaskGraph>(
+        task::TaskGraphOptions{.max_workers = n,
+                               .arena_capacity = static_cast<uint32_t>(capacity),
+                               .broken_join_counter = config_.broken_join_counter});
+    task::TaskNode& root = task_graph_->NewRoot(UniformTreeTask);
+    root.env[0] = config_.tree_depth;
+    root.env[1] = config_.fanout;
+    const WorkItem root_item = task_graph_->ItemFor(root);
+    machine_->queue(0).PushBatchOwner(&root_item, 1);
+    initial_item_ids_.push_back(root_item.id);
+  }
   mailboxes_.reset();
   next_ingress_id_ = next_id;
   if (config_.mode == "ingress" || config_.mode == "wakeup") {
@@ -104,6 +202,8 @@ std::vector<std::function<void()>> StealHarness::MakeBodies() {
     } else if (config_.mode == "wakeup") {
       bodies.push_back(w == 0 ? std::function<void()>([this] { WakeupProducerBody(); })
                               : std::function<void()>([this, w] { WakeupWorkerBody(w); }));
+    } else if (config_.mode == "forkjoin") {
+      bodies.push_back([this, w] { ForkJoinBody(w); });
     } else {
       bodies.push_back([this, w] { EpochBody(w); });
     }
@@ -179,6 +279,35 @@ void StealHarness::DrainBody(uint32_t worker) {
       return;
     }
     ++steal_attempts;
+    StealOnce(worker, rng);
+    scheduler->Yield();
+  }
+}
+
+void StealHarness::ForkJoinBody(uint32_t worker) {
+  Scheduler* scheduler = ActiveScheduler();
+  Rng rng(config_.seed * 0x9e3779b97f4a7c15ull + worker + 1);
+  McTaskSink sink(*machine_);
+  uint32_t fruitless = 0;
+  for (;;) {
+    // Own queue first: spawns always land on the spawner's own queue, so a
+    // worker that drains itself before exiting can never strand a task —
+    // the termination argument for the whole mode.
+    std::optional<WorkItem> item = machine_->queue(worker).PopForRun();
+    if (item.has_value()) {
+      scheduler->Note(kUserExecuteItem, static_cast<int64_t>(item->id));
+      scheduler->Yield();  // the body "runs" here
+      // The real join protocol: fork/spawn/complete, with kTaskJoinDec a
+      // decision point, so the checker drives every last-arriver race.
+      task_graph_->RunItemOn(*item, worker, sink);
+      machine_->queue(worker).FinishCurrent();
+      fruitless = 0;
+      continue;
+    }
+    if (task_graph_->done() || fruitless >= config_.attempts_per_worker) {
+      return;
+    }
+    ++fruitless;
     StealOnce(worker, rng);
     scheduler->Yield();
   }
@@ -371,6 +500,9 @@ Schedule StealHarness::MakeSchedule(const std::vector<uint32_t>& choices) const 
   schedule.backend = runtime::QueueBackendName(config_.backend);
   schedule.deque_capacity = config_.deque_capacity;
   schedule.broken_steal_order = config_.broken_steal_order;
+  schedule.tree_depth = config_.tree_depth;
+  schedule.fanout = config_.fanout;
+  schedule.broken_join_counter = config_.broken_join_counter;
   schedule.choices = choices;
   return schedule;
 }
@@ -476,13 +608,20 @@ std::vector<PropertyReport> StealHarness::Evaluate(const ExecutionResult& result
   // and mailbox-resident items still undrained at the end join the
   // accounted side — admitted work may be in a queue, executed, or still in
   // its mailbox, but never gone.
+  // Forkjoin mode widens the expected side the same way: every dynamically
+  // spawned task (kUserTaskSpawn — the root is seeded, so it is in
+  // initial_item_ids_) must be executed or still queued, never gone
+  // (no-lost-spawns: conservation over work created mid-exploration).
   const bool ingress_mode = config_.mode == "ingress" || wakeup_mode;
+  const bool forkjoin_mode = config_.mode == "forkjoin";
   std::vector<uint64_t> seen;
   std::vector<uint64_t> expected = initial_item_ids_;
   for (const McEvent& event : result.events) {
     if (event.user_kind == kUserExecuteItem) {
       seen.push_back(static_cast<uint64_t>(event.arg0));
     } else if (ingress_mode && event.user_kind == kUserMailboxPush) {
+      expected.push_back(static_cast<uint64_t>(event.arg0));
+    } else if (forkjoin_mode && event.user_kind == kUserTaskSpawn) {
       expected.push_back(static_cast<uint64_t>(event.arg0));
     }
   }
@@ -504,7 +643,9 @@ std::vector<PropertyReport> StealHarness::Evaluate(const ExecutionResult& result
   }
   std::sort(seen.begin(), seen.end());
   std::sort(expected.begin(), expected.end());
-  const char* conservation_name = ingress_mode ? "no-lost-admitted-items" : "no-lost-items";
+  const char* conservation_name = forkjoin_mode  ? "no-lost-spawns"
+                                  : ingress_mode ? "no-lost-admitted-items"
+                                                 : "no-lost-items";
   add(conservation_name, seen == expected,
       seen == expected ? ""
                        : StrFormat("item multiset changed: %zu seeded+admitted, %zu accounted",
@@ -552,6 +693,78 @@ std::vector<PropertyReport> StealHarness::Evaluate(const ExecutionResult& result
       }
     }
     add("publish-batching", holds, std::move(detail));
+  }
+
+  if (forkjoin_mode) {
+    // --- join-fires-exactly-once: every forked continuation's counter reaches
+    // zero exactly once. A lost decrement (broken_join_counter's plain
+    // load/store race) strands the continuation — fork with no fire; the
+    // acq_rel RMW chain makes a double fire structurally impossible, but the
+    // property checks both directions anyway.
+    {
+      bool holds = true;
+      std::string detail;
+      std::vector<uint64_t> forked;
+      std::map<uint64_t, uint64_t> fires;
+      for (const McEvent& event : result.events) {
+        if (event.user_kind == kUserTaskFork) {
+          forked.push_back(static_cast<uint64_t>(event.arg0));
+        } else if (event.user_kind == kUserJoinFire) {
+          ++fires[static_cast<uint64_t>(event.arg0)];
+        }
+      }
+      for (uint64_t id : forked) {
+        const auto it = fires.find(id);
+        const uint64_t count = it == fires.end() ? 0 : it->second;
+        if (count != 1) {
+          holds = false;
+          detail = StrFormat("continuation %llu forked but its join fired %llu times",
+                             static_cast<unsigned long long>(id),
+                             static_cast<unsigned long long>(count));
+          break;
+        }
+        fires.erase(it);
+      }
+      if (holds && !fires.empty()) {
+        holds = false;
+        detail = StrFormat("continuation %llu fired without a fork",
+                           static_cast<unsigned long long>(fires.begin()->first));
+      }
+      add("join-fires-exactly-once", holds, std::move(detail));
+    }
+
+    // --- no-worker-blocks-on-join: the continuation-counting discipline never
+    // waits — a finishing child decrements and moves on. Termination without
+    // deadlock already held above; any park event would mean a worker
+    // suspended inside the protocol.
+    {
+      bool holds = true;
+      std::string detail;
+      for (const McEvent& event : result.events) {
+        if (event.user_kind == kUserPark) {
+          holds = false;
+          detail = StrFormat("worker %u parked inside the fork-join protocol", event.thread);
+          break;
+        }
+      }
+      add("no-worker-blocks-on-join", holds, std::move(detail));
+    }
+
+    // --- bounded-steals-on-tree: migrations on a rooted spawn tree stay in
+    // the O(W·depth) regime (Leiserson/Schardl/Suksompong), never the task
+    // count. The constant here is deliberately generous — the property
+    // guards the asymptotic shape, the E16 bench measures the constant.
+    {
+      const uint64_t bound = static_cast<uint64_t>(num_workers()) *
+                             (config_.tree_depth + 2) * config_.fanout;
+      add("bounded-steals-on-tree", items_moved <= bound,
+          items_moved <= bound
+              ? ""
+              : StrFormat("%llu items migrated vs W*(depth+2)*fanout = %llu",
+                          static_cast<unsigned long long>(items_moved),
+                          static_cast<unsigned long long>(bound)));
+    }
+    return reports;
   }
 
   if (config_.mode != "balance") {

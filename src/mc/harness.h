@@ -25,6 +25,18 @@
 //     sample predates any unseen notify. Discharges that a notify landing
 //     between an owner's last drain and its park can neither deadlock the
 //     owner nor strand the pushed item (wakeup-no-stranded-items).
+//   * "forkjoin" — the continuation-counted task layer (src/task) over the
+//     real queues: worker 0 seeds the root of a uniform spawn tree
+//     (tree_depth levels, `fanout` children per internal node); workers
+//     pop/run task bodies — which fork continuations and spawn children onto
+//     the runner's OWN queue mid-exploration — and steal when empty. The
+//     join decrement is a decision point (kTaskJoinDec), so the checker
+//     drives all last-arriver races. Discharges no-lost-spawns (every
+//     spawned item is executed — dynamic work obeys conservation),
+//     join-fires-exactly-once, no-worker-blocks-on-join (no parks, no
+//     deadlock: joins cost one RMW, never a wait), and
+//     bounded-steals-on-tree (migrations stay within the rooted-tree
+//     O(W·depth) regime, never the item count).
 //
 // Properties (per mode):
 //   no-lost-items     — multiset{initial items} == queued ∪ executed after.
@@ -56,6 +68,16 @@
 //   wakeup-no-stranded-items — "wakeup" mode: at termination every mailbox is
 //                       empty; an owner may exit only after observing the
 //                       producer done AND re-checking its mailbox.
+//   no-lost-spawns    — "forkjoin" mode: multiset{root ∪ spawned} == executed
+//                       at termination with every queue empty.
+//   join-fires-exactly-once — every forked continuation's counter reaches
+//                       zero exactly once (a lost decrement strands it; the
+//                       protocol cannot double-fire an acq_rel RMW chain).
+//   no-worker-blocks-on-join — no kUserPark events and no deadlock: the
+//                       continuation-counting discipline never waits.
+//   bounded-steals-on-tree — migrated items stay within the rooted-tree
+//                       steal regime (≤ W·(depth+2)·fanout), far below the
+//                       total task count.
 
 #ifndef OPTSCHED_SRC_MC_HARNESS_H_
 #define OPTSCHED_SRC_MC_HARNESS_H_
@@ -72,6 +94,7 @@
 #include "src/mc/schedule.h"
 #include "src/mc/scheduler.h"
 #include "src/runtime/concurrent_machine.h"
+#include "src/task/task.h"
 #include "src/topology/topology.h"
 
 namespace optsched::mc {
@@ -85,7 +108,7 @@ struct PropertyReport {
 class StealHarness {
  public:
   struct Config {
-    std::string mode = "balance";  // balance | drain | epoch | ingress | wakeup
+    std::string mode = "balance";  // balance|drain|epoch|ingress|wakeup|forkjoin
     std::string policy = "thread-count";
     // Items seeded per queue; size() is the worker count.
     std::vector<int64_t> initial_loads;
@@ -112,6 +135,15 @@ class StealHarness {
     // fence, so a stale size window can claim an already-executed slot. The
     // checker must find the no-lost-items violation.
     bool broken_steal_order = false;
+    // "forkjoin" mode: uniform spawn tree of this many levels below the root
+    // (tree_depth = 1 is a root forking `fanout` leaves). initial_loads must
+    // be all-zero in this mode — the only seeded item is the root task.
+    uint32_t tree_depth = 2;
+    uint32_t fanout = 2;
+    // Fault knob ("forkjoin"): TaskGraphOptions::broken_join_counter — a
+    // plain load/store join decrement that can lose a concurrent arrival and
+    // strand the continuation (join-fires-exactly-once).
+    bool broken_join_counter = false;
 
     static Config FromSchedule(const Schedule& schedule);
   };
@@ -150,6 +182,9 @@ class StealHarness {
   // (NotifyIngress); owners park on the epoch exactly like WorkerMain.
   void WakeupProducerBody();
   void WakeupWorkerBody(uint32_t worker);
+  // "forkjoin" mode: pop/run task bodies (spawning onto the own queue),
+  // steal when empty, exit when the graph is done or the budget is spent.
+  void ForkJoinBody(uint32_t worker);
   void StealOnce(uint32_t worker, Rng& rng);
 
   Config config_;
@@ -166,6 +201,10 @@ class StealHarness {
   // "ingress" mode state, rebuilt per execution by MakeBodies.
   std::unique_ptr<ingress::MailboxSet> mailboxes_;
   uint64_t next_ingress_id_ = 0;
+  // "forkjoin" mode state, rebuilt per execution by MakeBodies. The graph
+  // runs the REAL src/task join protocol; only the spawn sink is replaced
+  // (machine queues + Note hooks instead of Executor::SubmitFromWorker).
+  std::unique_ptr<task::TaskGraph> task_graph_;
 };
 
 }  // namespace optsched::mc

@@ -195,6 +195,15 @@ std::string Schedule::ToJson() const {
   AppendEscaped(out, backend);
   out += StrFormat(",\n  \"deque_capacity\": %u", deque_capacity);
   out += std::string(",\n  \"broken_steal_order\": ") + (broken_steal_order ? "true" : "false");
+  // Forkjoin-only fields are omitted for the other harnesses so their
+  // committed goldens stay byte-stable across the schema growth (FromJson
+  // defaults the fields when absent).
+  if (harness == "forkjoin") {
+    out += StrFormat(",\n  \"tree_depth\": %u", tree_depth);
+    out += StrFormat(",\n  \"fanout\": %u", fanout);
+    out += std::string(",\n  \"broken_join_counter\": ") +
+           (broken_join_counter ? "true" : "false");
+  }
   out += ",\n  \"property\": ";
   AppendEscaped(out, property);
   out += ",\n  \"note\": ";
@@ -243,6 +252,15 @@ std::optional<Schedule> Schedule::FromJson(const std::string& json) {
     schedule.deque_capacity = static_cast<uint32_t>(deque_capacity);
   }
   scanner.GetBool("broken_steal_order", schedule.broken_steal_order);
+  int64_t tree_depth = 0;
+  if (scanner.GetInt("tree_depth", tree_depth) && tree_depth >= 1) {
+    schedule.tree_depth = static_cast<uint32_t>(tree_depth);
+  }
+  int64_t fanout = 0;
+  if (scanner.GetInt("fanout", fanout) && fanout >= 1) {
+    schedule.fanout = static_cast<uint32_t>(fanout);
+  }
+  scanner.GetBool("broken_join_counter", schedule.broken_join_counter);
   scanner.GetString("property", schedule.property);
   scanner.GetString("note", schedule.note);
   std::vector<int64_t> choices;

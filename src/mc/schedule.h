@@ -46,6 +46,14 @@ struct Schedule {
   // Fault mode: thieves read bottom before top with no fence between, so a
   // stale window can claim an already-executed slot (no-lost-items).
   bool broken_steal_order = false;
+  // "forkjoin" harness: uniform spawn-tree depth and fanout (see
+  // StealHarness::Config). Absent in pre-task golden files; FromJson
+  // defaults to 2 / 2.
+  uint32_t tree_depth = 2;
+  uint32_t fanout = 2;
+  // Fault mode ("forkjoin"): plain load/store join decrement loses
+  // concurrent arrivals, stranding the continuation (join-fires-exactly-once).
+  bool broken_join_counter = false;
   // The violated property ("" when the schedule is not a counterexample).
   std::string property;
   std::string note;

@@ -53,6 +53,9 @@ const char* UserEventKindName(uint32_t kind) {
     case kUserMailboxPush: return "mailbox-push";
     case kUserMailboxShed: return "mailbox-shed";
     case kUserMailboxDrain: return "mailbox-drain";
+    case kUserTaskSpawn: return "task-spawn";
+    case kUserTaskFork: return "task-fork";
+    case kUserJoinFire: return "join-fire";
   }
   return "?";
 }

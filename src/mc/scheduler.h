@@ -99,6 +99,10 @@ enum UserEventKind : uint32_t {
   kUserMailboxPush = 11,   // arg0 = item id, arg1 = target worker (admitted)
   kUserMailboxShed = 12,   // arg0 = item id, arg1 = target worker (refused: full)
   kUserMailboxDrain = 13,  // arg0 = item id, arg1 = owner (moved into runqueue)
+  // Forkjoin harness (continuation-counted task layer, docs/tasks.md):
+  kUserTaskSpawn = 14,  // arg0 = item id, arg1 = spawning worker (own-queue push)
+  kUserTaskFork = 15,   // arg0 = continuation id, arg1 = declared children
+  kUserJoinFire = 16,   // arg0 = continuation id (join counter reached zero)
 };
 
 const char* UserEventKindName(uint32_t kind);

@@ -269,6 +269,33 @@ void Executor::SubmitBatch(uint32_t queue_index, const std::vector<WorkItem>& it
   wakeup_epoch_.fetch_add(1, std::memory_order_release);
 }
 
+// The spawn seam is on the D7 allocation-free budget: a worker flushing its
+// spawn batch mid-item must not touch the allocator (rule hot-path-alloc;
+// audited by bench_e16 over the recursive kernels).
+OPTSCHED_HOT_PATH void Executor::SubmitFromWorker(uint32_t worker, const WorkItem* items,
+                                                  uint32_t count) {
+  OPTSCHED_CHECK(worker < machine_.num_queues());
+  if (count == 0) {
+    return;
+  }
+  // Same ordering contract as SubmitBatch: the count is bumped BEFORE any
+  // item becomes poppable. The caller is a worker mid-item, so its own
+  // pending decrement (applied after RunItem returns) additionally keeps the
+  // counter positive throughout — a fired continuation can never be the race
+  // that lets closed-system Run() observe a transient 0.
+  submitted_items_.fetch_add(count, std::memory_order_relaxed);
+  remaining_items_.fetch_add(count, std::memory_order_release);
+  // Owner push path: deque bottom on chase_lev (lock-free, stealable from
+  // the top), the queue lock on locked — never the external-submit inbox.
+  machine_.queue(worker).PushBatchOwner(items, count);
+  // One wakeup bump per flush, after the last push (see Submit): siblings
+  // parked through the spawn burst re-run their steal filter and find the
+  // new subtree. Batching amortizes the bump — one epoch RMW per
+  // kSpawnBatch spawns, not per task.
+  mc_hooks::SyncPoint(mc_hooks::SyncOp::kEpochBump, &wakeup_epoch_);
+  wakeup_epoch_.fetch_add(1, std::memory_order_release);
+}
+
 void Executor::NotifyIngress(uint32_t /*worker*/) {
   // The mailbox push already completed (MailboxSet notifies on the
   // empty->non-empty edge, after the item is visible), so the same
@@ -317,6 +344,7 @@ OPTSCHED_HOT_PATH void Executor::WorkerMain(uint32_t worker_index, WorkerStats& 
   ConcurrentRunQueue& own = machine_.queue(worker_index);
   fault::FaultInjector* injector = injector_.get();
   IngressSource* ingress = config_.ingress;
+  TaskRunner* task_runner = config_.task_runner;
   uint32_t fruitless = 0;
   uint64_t backoff_spins = 0;  // current window; 0 = not backing off
   // Locally executed items since the last mailbox drain (sustained-load
@@ -425,7 +453,17 @@ OPTSCHED_HOT_PATH void Executor::WorkerMain(uint32_t worker_index, WorkerStats& 
     }
     // Run everything queued locally first.
     if (std::optional<WorkItem> item = own.PopForRun(); item.has_value()) {
-      DoWork(item->work_units, config_.spin_per_unit);
+      if (item->task != 0) {
+        // Structured-parallelism item: the task layer runs the body and
+        // flushes any spawned children back through SubmitFromWorker before
+        // returning — all while this item still counts as running, so the
+        // counter ordering note in SubmitFromWorker holds.
+        OPTSCHED_CHECK_MSG(task_runner != nullptr,
+                           "task item submitted without a task_runner configured");
+        task_runner->RunItem(*item, *this, worker_index);
+      } else {
+        DoWork(item->work_units, config_.spin_per_unit);
+      }
       own.FinishCurrent();
       ++stats.items_executed;
       stats.units_executed += item->work_units;
@@ -671,10 +709,20 @@ ExecutorReport Executor::RunInternal(uint64_t duration_ms,
       // docs/serving.md): an idle worker with a backlogged mailbox is about
       // to drain, not violating conservation — without this, sustained
       // ingress overload escalates the watchdog against a healthy scheduler.
-      if (config_.ingress != nullptr) {
-        watchdog_pending.resize(config_.num_workers);
+      // Outstanding join continuations get the same treatment (docs/tasks.md):
+      // a forked-but-unfired continuation is work already promised to the
+      // system — its children are running elsewhere and the last arriver will
+      // submit it — so a deep fork-join drain must read as pending load, not
+      // as a persistent conservation violation.
+      if (config_.ingress != nullptr || config_.task_runner != nullptr) {
+        watchdog_pending.assign(config_.num_workers, 0);
         for (uint32_t i = 0; i < config_.num_workers; ++i) {
-          watchdog_pending[i] = config_.ingress->PendingFor(i);
+          if (config_.ingress != nullptr) {
+            watchdog_pending[i] += config_.ingress->PendingFor(i);
+          }
+          if (config_.task_runner != nullptr) {
+            watchdog_pending[i] += config_.task_runner->OutstandingFor(i);
+          }
         }
       }
       if (watchdog.ObserveRound((now - start) / 1000, watchdog_snapshot.task_count,

@@ -47,6 +47,30 @@
 
 namespace optsched::runtime {
 
+class Executor;
+
+// The executor's view of a structured-parallelism task layer (docs/tasks.md).
+// Kept in src/runtime so the dependency points upward, exactly like
+// IngressSource: src/task implements it; the runtime knows nothing about
+// join counters, task graphs or continuation bodies.
+class TaskRunner {
+ public:
+  virtual ~TaskRunner() = default;
+
+  // Executes `item` (item.task != 0) on `worker`'s thread, in place of the
+  // calibrated spin. Children spawned and join continuations fired while the
+  // body runs must be submitted through Executor::SubmitFromWorker before
+  // this returns — a worker never holds back runnable work across items.
+  virtual void RunItem(const WorkItem& item, Executor& executor, uint32_t worker) = 0;
+
+  // Join continuations forked by `worker` that have not yet been submitted
+  // (their children are still running). The supervisor's watchdog counts
+  // them as PENDING work, mirroring the mailbox-backlog rule: a deep
+  // fork-join drain must classify as transient load, never as a
+  // work-conservation violation. Lock-free, may be stale by one fork.
+  virtual int64_t OutstandingFor(uint32_t worker) const = 0;
+};
+
 struct ExecutorConfig {
   uint32_t num_workers = 4;
   // Spin iterations per work unit (~tens of ns each on current hardware).
@@ -112,6 +136,10 @@ struct ExecutorConfig {
   IngressSource* ingress = nullptr;
   uint32_t ingress_drain_batch = 64;
   uint64_t ingress_drain_interval_items = 32;
+  // Structured-parallelism seam (docs/tasks.md): items with item.task != 0
+  // are dispatched to this runner instead of the calibrated spin. The runner
+  // must outlive the run. Null rejects task items loudly.
+  TaskRunner* task_runner = nullptr;
   uint64_t seed = 1;
 };
 
@@ -216,6 +244,15 @@ class Executor {
   // whole batch, before any item becomes poppable (see the ordering note at
   // the definition), then pushes every item under the queue lock.
   void SubmitBatch(uint32_t queue_index, const std::vector<WorkItem>& items);
+
+  // Worker-context batch submission — the spawn seam (docs/tasks.md). Must be
+  // called from worker `worker`'s own thread while it is executing an item:
+  // the batch lands on the worker's OWN runqueue through the owner push path
+  // (deque bottom on chase_lev, so recursive decomposition stays on the
+  // allocation-free hot path and stays stealable), with the same
+  // count-before-poppable ordering as SubmitBatch and one wakeup bump per
+  // flush so parked siblings come looking for the new work.
+  void SubmitFromWorker(uint32_t worker, const WorkItem* items, uint32_t count);
 
   // True once the run deadline passed; producers should poll this and return.
   bool stopped() const { return stop_.load(std::memory_order_acquire); }

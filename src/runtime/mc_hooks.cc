@@ -30,6 +30,8 @@ const char* SyncOpName(SyncOp op) {
     case SyncOp::kDequeBottomStore: return "deque-bottom-store";
     case SyncOp::kDequeLoadRead: return "deque-load-read";
     case SyncOp::kDequeLoadWrite: return "deque-load-write";
+    case SyncOp::kTaskJoinLoad: return "task-join-load";
+    case SyncOp::kTaskJoinDec: return "task-join-dec";
     case SyncOp::kYield: return "yield";
     case SyncOp::kThreadStart: return "thread-start";
   }
@@ -51,6 +53,7 @@ bool SyncOpWrites(SyncOp op) {
     case SyncOp::kDequeTopCas:
     case SyncOp::kDequeBottomStore:
     case SyncOp::kDequeLoadWrite:
+    case SyncOp::kTaskJoinDec:
       return true;
     case SyncOp::kSeqRead:
     case SyncOp::kSeqReadRetry:
@@ -59,6 +62,7 @@ bool SyncOpWrites(SyncOp op) {
     case SyncOp::kDequeTopLoad:
     case SyncOp::kDequeBottomLoad:
     case SyncOp::kDequeLoadRead:
+    case SyncOp::kTaskJoinLoad:
     case SyncOp::kYield:
     case SyncOp::kThreadStart:
       return false;

@@ -57,6 +57,8 @@ enum class SyncOp {
   kDequeBottomStore, // chase-lev deque: owner store to the bottom index
   kDequeLoadRead,    // chase-lev backend: lock-free published-load read
   kDequeLoadWrite,   // chase-lev backend: published-load counter update
+  kTaskJoinLoad,  // task layer: plain load of a join counter (fault variant)
+  kTaskJoinDec,   // task layer: join-counter decrement (last arriver fires)
   kYield,         // explicit fair scheduling point (harness loop boundary)
   kThreadStart,   // virtual thread about to run its first action
 };

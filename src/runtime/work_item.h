@@ -26,11 +26,17 @@ inline constexpr std::size_t kCacheLineSize = 64;
 // unstamped): the serving ingress stamps each admitted item at its open-loop
 // arrival time so the executor can record end-to-end sojourn latency
 // (arrival -> execution finished) without any per-item bookkeeping of its own.
+// `task` is the structured-parallelism hook (docs/tasks.md): 0 means a plain
+// calibrated-spin item; nonzero is an opaque task handle the executor routes
+// to its configured TaskRunner instead of the spin loop. The handle is a
+// word, not a pointer type, so this header stays free of any task-layer
+// dependency and the item stays trivially copyable.
 struct WorkItem {
   uint64_t id = 0;
   uint64_t work_units = 1;
   uint32_t weight = 1024;
   uint64_t arrival_ns = 0;
+  uint64_t task = 0;
 };
 
 }  // namespace optsched::runtime

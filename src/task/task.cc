@@ -1,0 +1,208 @@
+#include "src/task/task.h"
+
+#include "src/base/check.h"
+#include "src/runtime/mc_hooks.h"
+
+namespace optsched::task {
+
+namespace mc_hooks = runtime::mc_hooks;
+
+using runtime::WorkItem;
+
+namespace {
+
+// The executor binding: spawn batches land on the worker's own deque through
+// the worker-context submit seam.
+class ExecutorSink final : public SpawnSink {
+ public:
+  explicit ExecutorSink(runtime::Executor& executor) : executor_(executor) {}
+
+  void SubmitBatch(uint32_t worker, const WorkItem* items, uint32_t count) override {
+    executor_.SubmitFromWorker(worker, items, count);
+  }
+
+ private:
+  runtime::Executor& executor_;
+};
+
+}  // namespace
+
+TaskGraph::TaskGraph(const TaskGraphOptions& options)
+    : options_(options),
+      arena_(std::make_unique<TaskNode[]>(options.arena_capacity)),
+      worker_state_(std::make_unique<WorkerState[]>(options.max_workers)) {
+  OPTSCHED_CHECK(options_.max_workers >= 1);
+  OPTSCHED_CHECK(options_.arena_capacity >= 1);
+}
+
+TaskNode& TaskGraph::NewRoot(TaskBody body) {
+  TaskNode* node = AllocNode(0);
+  node->body = body;
+  node->parent = nullptr;
+  done_.store(false, std::memory_order_relaxed);
+  return *node;
+}
+
+WorkItem TaskGraph::ItemFor(TaskNode& node) const {
+  const uint64_t index = static_cast<uint64_t>(&node - arena_.get());
+  return WorkItem{.id = index + 1,
+                  .work_units = 1,
+                  .weight = 1024,
+                  .arrival_ns = 0,
+                  .task = reinterpret_cast<uint64_t>(&node)};
+}
+
+void TaskGraph::Reset() {
+  arena_next_.store(0, std::memory_order_relaxed);
+  for (uint32_t w = 0; w < options_.max_workers; ++w) {
+    worker_state_[w].chunk_next = 0;
+    worker_state_[w].chunk_end = 0;
+    worker_state_[w].outstanding.store(0, std::memory_order_relaxed);
+  }
+  done_.store(false, std::memory_order_relaxed);
+}
+
+uint32_t TaskGraph::nodes_allocated() const {
+  // Chunked handout over-counts by the unused tails of live chunks; fine for
+  // a headroom metric.
+  const uint32_t next = arena_next_.load(std::memory_order_relaxed);
+  return next < options_.arena_capacity ? next : options_.arena_capacity;
+}
+
+int64_t TaskGraph::OutstandingFor(uint32_t worker) const {
+  if (worker >= options_.max_workers) {
+    return 0;
+  }
+  return worker_state_[worker].outstanding.load(std::memory_order_relaxed);
+}
+
+// Arena handout is on the spawn hot path: a chunk grab is one relaxed
+// fetch_add; within a chunk it is two register increments.
+OPTSCHED_HOT_PATH TaskNode* TaskGraph::AllocNode(uint32_t worker) {
+  OPTSCHED_CHECK(worker < options_.max_workers);
+  WorkerState& state = worker_state_[worker];
+  if (state.chunk_next == state.chunk_end) {
+    const uint32_t begin = arena_next_.fetch_add(kAllocChunk, std::memory_order_relaxed);
+    OPTSCHED_CHECK_MSG(begin < options_.arena_capacity,
+                       "TaskGraph arena exhausted — size arena_capacity for the kernel "
+                       "(docs/tasks.md#sizing)");
+    state.chunk_next = begin;
+    state.chunk_end = begin + kAllocChunk;
+    if (state.chunk_end > options_.arena_capacity) {
+      state.chunk_end = options_.arena_capacity;
+    }
+  }
+  TaskNode* node = &arena_[state.chunk_next++];
+  node->parent = nullptr;
+  node->join.store(0, std::memory_order_relaxed);
+  node->forker = worker;
+  return node;
+}
+
+// The join protocol: one atomic RMW per completed task, and the decrement
+// that reaches zero queues the continuation on the arriver's own queue. The
+// acq_rel RMW chain makes every sibling's result writes visible to the last
+// arriver; its queue push then publishes them to whoever pops the
+// continuation. Workers never wait here — that is the whole design.
+OPTSCHED_HOT_PATH void TaskGraph::CompleteTask(TaskNode* node, TaskContext& ctx) {
+  TaskNode* parent = node->parent;
+  if (parent == nullptr) {
+    // Root completed: the graph is done. Release pairs with done()'s acquire
+    // so a poller that sees the flag also sees the root's result words.
+    done_.store(true, std::memory_order_release);
+    return;
+  }
+  int32_t remaining;
+  if (options_.broken_join_counter) {
+    // Fault variant: a plain load/store pair instead of the RMW. Two
+    // children interleaved between the load and the store both observe the
+    // same value, one decrement is lost, and the join never fires — the
+    // counterexample the mc harness must find and minimize.
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kTaskJoinLoad, &parent->join);
+    const int32_t observed = parent->join.load(std::memory_order_relaxed);
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kTaskJoinDec, &parent->join);
+    parent->join.store(observed - 1, std::memory_order_relaxed);
+    remaining = observed - 1;
+  } else {
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kTaskJoinDec, &parent->join);
+    remaining = parent->join.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  }
+  if (remaining != 0) {
+    return;
+  }
+  // Last arriver: the continuation's inputs are all written; hand it to this
+  // worker's queue and settle the forker's outstanding count.
+  worker_state_[parent->forker].outstanding.fetch_sub(1, std::memory_order_relaxed);
+  ctx.sink_->OnJoinFire(ctx.worker_, static_cast<uint64_t>(parent - arena_.get()) + 1);
+  ctx.Enqueue(*parent);
+}
+
+OPTSCHED_HOT_PATH void TaskGraph::RunItemOn(const WorkItem& item, uint32_t worker,
+                                            SpawnSink& sink) {
+  TaskNode* node = reinterpret_cast<TaskNode*>(item.task);
+  OPTSCHED_CHECK(node != nullptr);
+  TaskContext ctx(this, worker, &sink);
+  ctx.current_ = node;
+  node->body(ctx, *node);
+  if (!ctx.deferred_) {
+    CompleteTask(node, ctx);
+  }
+  // Flush strictly before returning: the worker is about to FinishCurrent
+  // and look for more work, and held-back spawns would be invisible to
+  // thieves and to the termination count.
+  ctx.Flush();
+}
+
+void TaskGraph::RunItem(const WorkItem& item, runtime::Executor& executor, uint32_t worker) {
+  ExecutorSink sink(executor);
+  RunItemOn(item, worker, sink);
+}
+
+OPTSCHED_HOT_PATH TaskNode& TaskContext::ForkN(TaskBody continuation, uint32_t children) {
+  OPTSCHED_CHECK_MSG(!deferred_, "a body may fork at most once");
+  OPTSCHED_CHECK(children >= 1);
+  TaskNode* cont = graph_->AllocNode(worker_);
+  cont->body = continuation;
+  // The continuation adopts the current task's completion obligation: same
+  // parent, and the current task will NOT decrement it on return.
+  cont->parent = current_->parent;
+  cont->join.store(static_cast<int32_t>(children), std::memory_order_relaxed);
+  cont->forker = worker_;
+  deferred_ = true;
+  graph_->worker_state_[worker_].outstanding.fetch_add(1, std::memory_order_relaxed);
+  sink_->OnFork(worker_, static_cast<uint64_t>(cont - graph_->arena_.get()) + 1, children);
+  return *cont;
+}
+
+OPTSCHED_HOT_PATH TaskContext::Fork2Nodes TaskContext::Fork2(TaskBody continuation,
+                                                             TaskBody left, TaskBody right) {
+  TaskNode& cont = ForkN(continuation, 2);
+  return Fork2Nodes{cont, NewChild(left, cont), NewChild(right, cont)};
+}
+
+OPTSCHED_HOT_PATH TaskNode& TaskContext::NewChild(TaskBody body, TaskNode& parent) {
+  TaskNode* child = graph_->AllocNode(worker_);
+  child->body = body;
+  child->parent = &parent;
+  return *child;
+}
+
+OPTSCHED_HOT_PATH void TaskContext::Spawn(TaskNode& child) { Enqueue(child); }
+
+OPTSCHED_HOT_PATH void TaskContext::Enqueue(TaskNode& node) {
+  if (batch_size_ == kSpawnBatch) {
+    Flush();
+  }
+  batch_[batch_size_++] = graph_->ItemFor(node);
+}
+
+OPTSCHED_HOT_PATH void TaskContext::Flush() {
+  if (batch_size_ == 0) {
+    return;
+  }
+  const uint32_t count = batch_size_;
+  batch_size_ = 0;
+  sink_->SubmitBatch(worker_, batch_, count);
+}
+
+}  // namespace optsched::task

@@ -1,0 +1,283 @@
+#include "src/workload/forkjoin.h"
+
+#include <algorithm>
+
+#include "src/base/check.h"
+
+namespace optsched::workload {
+
+using task::TaskContext;
+using task::TaskNode;
+
+namespace {
+
+// Calibrated leaf spin for the skewed tree (same opaque-volatile technique
+// as the executor's DoWork, so the optimizer cannot delete the work).
+OPTSCHED_HOT_PATH void SpinWork(uint64_t spins) {
+  volatile uint64_t sink = 0;
+  for (uint64_t i = 0; i < spins; ++i) {
+    sink = sink + i;
+  }
+}
+
+// --- fib ---------------------------------------------------------------------
+// env: [0] = n, [1] = result slot (uint64_t*), [2] = cutoff.
+// Continuation env: [0] = left result, [1] = right result, [2] = result slot.
+
+OPTSCHED_HOT_PATH void FibAdd(TaskContext& /*ctx*/, TaskNode& self) {
+  *reinterpret_cast<uint64_t*>(self.env[2]) = self.env[0] + self.env[1];
+}
+
+OPTSCHED_HOT_PATH void FibTask(TaskContext& ctx, TaskNode& self) {
+  const uint64_t n = self.env[0];
+  const uint64_t cutoff = self.env[2];
+  if (n < cutoff) {
+    *reinterpret_cast<uint64_t*>(self.env[1]) = FibSequential(n);
+    return;
+  }
+  TaskContext::Fork2Nodes fork = ctx.Fork2(FibAdd, FibTask, FibTask);
+  fork.cont.env[2] = self.env[1];  // where the sum goes
+  fork.left.env[0] = n - 1;
+  fork.left.env[1] = reinterpret_cast<uint64_t>(&fork.cont.env[0]);
+  fork.left.env[2] = cutoff;
+  fork.right.env[0] = n - 2;
+  fork.right.env[1] = reinterpret_cast<uint64_t>(&fork.cont.env[1]);
+  fork.right.env[2] = cutoff;
+  ctx.Spawn(fork.left);
+  ctx.Spawn(fork.right);
+}
+
+// --- mergesort ---------------------------------------------------------------
+// env: [0] = data, [1] = scratch, [2] = lo, [3] = hi (or mid for the
+// continuation), [4] = cutoff (or hi for the continuation).
+
+OPTSCHED_HOT_PATH void MergeCont(TaskContext& /*ctx*/, TaskNode& self) {
+  uint64_t* data = reinterpret_cast<uint64_t*>(self.env[0]);
+  uint64_t* scratch = reinterpret_cast<uint64_t*>(self.env[1]);
+  const uint64_t lo = self.env[2];
+  const uint64_t mid = self.env[3];
+  const uint64_t hi = self.env[4];
+  uint64_t a = lo;
+  uint64_t b = mid;
+  for (uint64_t out = lo; out < hi; ++out) {
+    if (a < mid && (b >= hi || data[a] <= data[b])) {
+      scratch[out] = data[a++];
+    } else {
+      scratch[out] = data[b++];
+    }
+  }
+  std::copy(scratch + lo, scratch + hi, data + lo);
+}
+
+OPTSCHED_HOT_PATH void MergesortTask(TaskContext& ctx, TaskNode& self) {
+  uint64_t* data = reinterpret_cast<uint64_t*>(self.env[0]);
+  const uint64_t lo = self.env[2];
+  const uint64_t hi = self.env[3];
+  const uint64_t cutoff = self.env[4];
+  if (hi - lo <= cutoff) {
+    std::sort(data + lo, data + hi);
+    return;
+  }
+  const uint64_t mid = lo + (hi - lo) / 2;
+  TaskContext::Fork2Nodes fork = ctx.Fork2(MergeCont, MergesortTask, MergesortTask);
+  fork.cont.env[0] = self.env[0];
+  fork.cont.env[1] = self.env[1];
+  fork.cont.env[2] = lo;
+  fork.cont.env[3] = mid;
+  fork.cont.env[4] = hi;
+  fork.left.env[0] = self.env[0];
+  fork.left.env[1] = self.env[1];
+  fork.left.env[2] = lo;
+  fork.left.env[3] = mid;
+  fork.left.env[4] = cutoff;
+  fork.right.env[0] = self.env[0];
+  fork.right.env[1] = self.env[1];
+  fork.right.env[2] = mid;
+  fork.right.env[3] = hi;
+  fork.right.env[4] = cutoff;
+  ctx.Spawn(fork.left);
+  ctx.Spawn(fork.right);
+}
+
+// --- prefix scan -------------------------------------------------------------
+// Blocked two-phase scan (Cole–Ramachandran resource-oblivious shape: the
+// decomposition is by PROBLEM size, oblivious to the worker count).
+// Upsweep children sum their block; the mid continuation exclusive-scans the
+// block sums sequentially (B words) and fans out the downsweep, whose
+// children produce the within-block inclusive scan plus offset.
+// env: [0] = data, [1] = n, [2] = block, [3] = block_sums; per-block
+// children add [4] = block index.
+
+uint64_t ScanBlocks(uint64_t n, uint64_t block) { return (n + block - 1) / block; }
+
+OPTSCHED_HOT_PATH void ScanSumBlock(TaskContext& /*ctx*/, TaskNode& self) {
+  const uint64_t* data = reinterpret_cast<const uint64_t*>(self.env[0]);
+  const uint64_t n = self.env[1];
+  const uint64_t block = self.env[2];
+  uint64_t* sums = reinterpret_cast<uint64_t*>(self.env[3]);
+  const uint64_t index = self.env[4];
+  const uint64_t begin = index * block;
+  const uint64_t end = std::min(n, begin + block);
+  uint64_t total = 0;
+  for (uint64_t i = begin; i < end; ++i) {
+    total += data[i];
+  }
+  sums[index] = total;
+}
+
+OPTSCHED_HOT_PATH void ScanAddBlock(TaskContext& /*ctx*/, TaskNode& self) {
+  uint64_t* data = reinterpret_cast<uint64_t*>(self.env[0]);
+  const uint64_t n = self.env[1];
+  const uint64_t block = self.env[2];
+  const uint64_t* sums = reinterpret_cast<const uint64_t*>(self.env[3]);
+  const uint64_t index = self.env[4];
+  const uint64_t begin = index * block;
+  const uint64_t end = std::min(n, begin + block);
+  uint64_t running = sums[index];  // exclusive offset of this block
+  for (uint64_t i = begin; i < end; ++i) {
+    running += data[i];
+    data[i] = running;
+  }
+}
+
+OPTSCHED_HOT_PATH void ScanDone(TaskContext& /*ctx*/, TaskNode& /*self*/) {}
+
+OPTSCHED_HOT_PATH void ScanMid(TaskContext& ctx, TaskNode& self) {
+  const uint64_t n = self.env[1];
+  const uint64_t block = self.env[2];
+  uint64_t* sums = reinterpret_cast<uint64_t*>(self.env[3]);
+  const uint64_t blocks = ScanBlocks(n, block);
+  uint64_t carry = 0;
+  for (uint64_t i = 0; i < blocks; ++i) {
+    const uint64_t total = sums[i];
+    sums[i] = carry;  // exclusive scan in place
+    carry += total;
+  }
+  TaskNode& done = ctx.ForkN(ScanDone, static_cast<uint32_t>(blocks));
+  for (uint64_t i = 0; i < blocks; ++i) {
+    TaskNode& child = ctx.NewChild(ScanAddBlock, done);
+    child.env[0] = self.env[0];
+    child.env[1] = n;
+    child.env[2] = block;
+    child.env[3] = self.env[3];
+    child.env[4] = i;
+    ctx.Spawn(child);
+  }
+}
+
+OPTSCHED_HOT_PATH void ScanRoot(TaskContext& ctx, TaskNode& self) {
+  uint64_t* data = reinterpret_cast<uint64_t*>(self.env[0]);
+  const uint64_t n = self.env[1];
+  const uint64_t block = self.env[2];
+  const uint64_t blocks = ScanBlocks(n, block);
+  if (blocks <= 1) {
+    uint64_t running = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      running += data[i];
+      data[i] = running;
+    }
+    return;
+  }
+  TaskNode& mid = ctx.ForkN(ScanMid, static_cast<uint32_t>(blocks));
+  mid.env[0] = self.env[0];
+  mid.env[1] = n;
+  mid.env[2] = block;
+  mid.env[3] = self.env[3];
+  for (uint64_t i = 0; i < blocks; ++i) {
+    TaskNode& child = ctx.NewChild(ScanSumBlock, mid);
+    child.env[0] = self.env[0];
+    child.env[1] = n;
+    child.env[2] = block;
+    child.env[3] = self.env[3];
+    child.env[4] = i;
+    ctx.Spawn(child);
+  }
+}
+
+// --- skewed spine tree -------------------------------------------------------
+// env: [0] = remaining spine depth (>= 1), [1] = leaves per level,
+// [2] = leaf spins.
+
+OPTSCHED_HOT_PATH void SkewNop(TaskContext& /*ctx*/, TaskNode& /*self*/) {}
+
+OPTSCHED_HOT_PATH void SkewLeaf(TaskContext& /*ctx*/, TaskNode& self) {
+  SpinWork(self.env[0]);
+}
+
+OPTSCHED_HOT_PATH void SkewedTask(TaskContext& ctx, TaskNode& self) {
+  const uint64_t depth = self.env[0];
+  const uint64_t leaves = self.env[1];
+  const uint64_t leaf_spins = self.env[2];
+  const bool has_spine_child = depth > 1;
+  const uint32_t children = static_cast<uint32_t>(leaves + (has_spine_child ? 1 : 0));
+  TaskNode& cont = ctx.ForkN(SkewNop, children);
+  // Spine first: the deque bottom (owner LIFO) keeps this worker descending
+  // the spine while the heavy leaves pile up as the stealable tail — the
+  // skew that separates steal-half from steal-one.
+  if (has_spine_child) {
+    TaskNode& spine = ctx.NewChild(SkewedTask, cont);
+    spine.env[0] = depth - 1;
+    spine.env[1] = leaves;
+    spine.env[2] = leaf_spins;
+    ctx.Spawn(spine);
+  }
+  for (uint64_t i = 0; i < leaves; ++i) {
+    TaskNode& leaf = ctx.NewChild(SkewLeaf, cont);
+    leaf.env[0] = leaf_spins;
+    ctx.Spawn(leaf);
+  }
+}
+
+}  // namespace
+
+uint64_t FibSequential(uint64_t n) {
+  return n < 2 ? n : FibSequential(n - 1) + FibSequential(n - 2);
+}
+
+runtime::WorkItem MakeFibRoot(task::TaskGraph& graph, uint64_t n, uint64_t cutoff,
+                              uint64_t* result) {
+  OPTSCHED_CHECK(result != nullptr);
+  OPTSCHED_CHECK(cutoff >= 2);
+  TaskNode& root = graph.NewRoot(FibTask);
+  root.env[0] = n;
+  root.env[1] = reinterpret_cast<uint64_t>(result);
+  root.env[2] = cutoff;
+  return graph.ItemFor(root);
+}
+
+runtime::WorkItem MakeMergesortRoot(task::TaskGraph& graph, uint64_t* data,
+                                    uint64_t* scratch, uint64_t n, uint64_t cutoff) {
+  OPTSCHED_CHECK(data != nullptr && scratch != nullptr);
+  OPTSCHED_CHECK(n >= 1 && cutoff >= 1);
+  TaskNode& root = graph.NewRoot(MergesortTask);
+  root.env[0] = reinterpret_cast<uint64_t>(data);
+  root.env[1] = reinterpret_cast<uint64_t>(scratch);
+  root.env[2] = 0;
+  root.env[3] = n;
+  root.env[4] = cutoff;
+  return graph.ItemFor(root);
+}
+
+runtime::WorkItem MakeScanRoot(task::TaskGraph& graph, uint64_t* data, uint64_t n,
+                               uint64_t block, uint64_t* block_sums) {
+  OPTSCHED_CHECK(data != nullptr && block_sums != nullptr);
+  OPTSCHED_CHECK(n >= 1 && block >= 1);
+  TaskNode& root = graph.NewRoot(ScanRoot);
+  root.env[0] = reinterpret_cast<uint64_t>(data);
+  root.env[1] = n;
+  root.env[2] = block;
+  root.env[3] = reinterpret_cast<uint64_t>(block_sums);
+  return graph.ItemFor(root);
+}
+
+runtime::WorkItem MakeSkewedRoot(task::TaskGraph& graph, uint64_t depth, uint64_t leaves,
+                                 uint64_t leaf_spins) {
+  OPTSCHED_CHECK(depth >= 1 && leaves >= 1);
+  TaskNode& root = graph.NewRoot(SkewedTask);
+  root.env[0] = depth;
+  root.env[1] = leaves;
+  root.env[2] = leaf_spins;
+  return graph.ItemFor(root);
+}
+
+}  // namespace optsched::workload

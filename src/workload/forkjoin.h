@@ -1,0 +1,64 @@
+// Recursive fork-join kernels on the executor (docs/tasks.md).
+//
+// The classic structured-parallelism workloads, ported onto src/task so the
+// steal ablations finally run against dynamically spawned, tree-shaped work
+// instead of pre-seeded flat batches:
+//
+//   * fib(n) with a sequential cutoff — the canonical binary spawn tree,
+//     maximally skewless; the rooted-tree steal bound's reference workload
+//     (Leiserson/Schardl/Suksompong).
+//   * divide-and-conquer mergesort — binary tree with real memory traffic
+//     and a sequential merge continuation per internal node.
+//   * parallel prefix scan — blocked two-phase upsweep/downsweep in the
+//     Cole–Ramachandran resource-oblivious style: wide ForkN fan-out whose
+//     task count is independent of the worker count.
+//   * skewed spine tree — one deep spine, `leaves` heavy leaves per level:
+//     the owner's deque holds many ready leaves at once, which is exactly
+//     the shape where batched steal-half beats steal-one (bench_e16).
+//
+// Every builder seeds a reusable TaskGraph and returns the root item; the
+// caller submits it (Executor::Seed/Submit) and runs. Buffers live with the
+// caller — the kernels allocate nothing, preserving the D7 hot-path budget.
+
+#ifndef OPTSCHED_SRC_WORKLOAD_FORKJOIN_H_
+#define OPTSCHED_SRC_WORKLOAD_FORKJOIN_H_
+
+#include <cstdint>
+
+#include "src/runtime/work_item.h"
+#include "src/task/task.h"
+
+namespace optsched::workload {
+
+// Sequential reference (also the leaf body below the cutoff).
+uint64_t FibSequential(uint64_t n);
+
+// fib(n): result lands in *result after the run. `cutoff` switches to
+// FibSequential below it; nodes needed: 3 * I(n) + 1 where
+// I(n) = I(n-1) + I(n-2) + 1, I(n < cutoff) = 0.
+runtime::WorkItem MakeFibRoot(task::TaskGraph& graph, uint64_t n, uint64_t cutoff,
+                              uint64_t* result);
+
+// Sorts data[0..n) ascending. `scratch` is a caller-owned buffer of n words
+// for the merge; `cutoff` switches to an insertion-free std::sort leaf.
+// Nodes needed: 3 * (leaves - 1) + 1 with leaves = ceil(n / cutoff) rounded
+// through the halving recursion (size for 4 * leaves to be safe).
+runtime::WorkItem MakeMergesortRoot(task::TaskGraph& graph, uint64_t* data,
+                                    uint64_t* scratch, uint64_t n, uint64_t cutoff);
+
+// In-place inclusive prefix scan over data[0..n). `block_sums` is a
+// caller-owned buffer of ceil(n / block) words. Two ForkN fan-outs of that
+// width plus two continuations and the root: size the arena for
+// 2 * ceil(n / block) + 4 nodes.
+runtime::WorkItem MakeScanRoot(task::TaskGraph& graph, uint64_t* data, uint64_t n,
+                               uint64_t block, uint64_t* block_sums);
+
+// Skewed spine tree: `depth` spine nodes, each forking `leaves` leaf tasks
+// of `leaf_spins` calibrated spins plus (below the bottom) one spine child.
+// Nodes needed: depth * (leaves + 2) + 2.
+runtime::WorkItem MakeSkewedRoot(task::TaskGraph& graph, uint64_t depth, uint64_t leaves,
+                                 uint64_t leaf_spins);
+
+}  // namespace optsched::workload
+
+#endif  // OPTSCHED_SRC_WORKLOAD_FORKJOIN_H_

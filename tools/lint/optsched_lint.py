@@ -69,10 +69,10 @@ RULES = (
 
 # Tree-mode path scope per rule (prefix match on the repo-relative path).
 RULE_SCOPES = {
-    "atomic-memory-order": ("src/runtime/", "src/trace/", "src/ingress/"),
+    "atomic-memory-order": ("src/runtime/", "src/trace/", "src/ingress/", "src/task/"),
     "dual-lock-rank": ("src/",),
     "seqlock-write-context": ("src/",),
-    "mc-hook-coverage": ("src/runtime/", "src/ingress/"),
+    "mc-hook-coverage": ("src/runtime/", "src/ingress/", "src/task/"),
     "hot-path-alloc": ("src/",),
 }
 
@@ -546,7 +546,7 @@ def check_compile_commands(root, build):
     for entry in entries:
         built.add(os.path.realpath(
             os.path.join(entry.get("directory", "."), entry["file"])))
-    for sub in ("src/runtime", "src/trace"):
+    for sub in ("src/runtime", "src/trace", "src/task"):
         subdir = os.path.join(root, sub)
         if not os.path.isdir(subdir):
             continue
