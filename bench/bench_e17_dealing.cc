@@ -1,0 +1,394 @@
+// Experiment E17 — proactive work-dealing: steal-only vs deal-only vs hybrid
+// over three arrival shapes, measuring what the deal path is FOR — cutting
+// failed steal attempts and thief-side synchronization per migrated item
+// without giving back makespan.
+//
+//   Modes (docs/runtime.md#work-dealing):
+//     steal_only  reactive three-step balancing only (the paper's baseline).
+//     deal_only   steal fallback disabled; surplus moves solely through
+//                 owner-side pushes into idle peers' deal mailboxes
+//                 (grace_rounds = 0: always-on, no robbery needed to open
+//                 the window). The ablation that isolates the deal transport.
+//     hybrid      both on; dealing gated by the post-steal grace window
+//                 (grace_rounds = 8), steal stays the unconditional fallback.
+//                 This is the shipping configuration.
+//   Workloads:
+//     burst       every item seeded on worker 0 — the overloaded producer.
+//     skewed      60% of items on worker 0, the rest spread evenly.
+//     forkjoin    a fib(n) task tree unfolding from one seeded root
+//                 (src/workload/forkjoin.h), so the imbalance regenerates
+//                 at every spawn instead of existing only at t = 0.
+//
+// Headline metrics, per (workload, mode):
+//   failed steals            total_attempts - total_successes: each one is a
+//                            thief-side synchronizing acquire on a victim
+//                            that moved nothing — pure contention.
+//   sync ops / migrated item modeled from measured counters as
+//                            (steal attempts + items stolen + deal items)
+//                            / items migrated: every attempt costs at least
+//                            one victim-side acquire (lock pair or top CAS),
+//                            every migrated item one transfer op — a
+//                            thief-side CAS when stolen, an owner-side ring
+//                            store when dealt.
+//   makespan                 wall ms of the closed-system drain (best of
+//                            --repeat, warmup discarded).
+//
+// Expectation (gated by bench/e17_dealing_floor.json in CI perf-smoke):
+// on the burst workload, hybrid's failed steals <= steal_only's at
+// equal-or-better makespan (within the floor's tolerance) — the dealer
+// converts would-be failed CASes into owner-side pushes.
+//
+// Writes a machine-readable summary to BENCH_e17_dealing.json (override with
+// --out=PATH). Exits nonzero if the burst-workload hybrid expectation fails
+// in-binary (the JSON floor applies the CI margins on top).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/policies/thread_count.h"
+#include "src/ingress/deal_channel.h"
+#include "src/runtime/executor.h"
+#include "src/task/task.h"
+#include "src/trace/chrome_trace.h"
+#include "src/workload/forkjoin.h"
+
+namespace optsched {
+namespace {
+
+using bench::F;
+
+enum class Mode { kStealOnly, kDealOnly, kHybrid };
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kStealOnly:
+      return "steal_only";
+    case Mode::kDealOnly:
+      return "deal_only";
+    case Mode::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+runtime::WorkItem Item(uint64_t id, uint64_t units) {
+  return runtime::WorkItem{.id = id, .work_units = units, .weight = 1024};
+}
+
+struct CaseResult {
+  std::string workload;
+  std::string mode;
+  double makespan_ms = 0.0;
+  double items_per_ms = 0.0;
+  uint64_t total_items = 0;
+  uint64_t steal_attempts = 0;
+  uint64_t steal_successes = 0;
+  uint64_t failed_steals = 0;
+  uint64_t items_stolen = 0;
+  uint64_t deal_rounds = 0;
+  uint64_t deal_items = 0;  // mailbox-accepted + direct-spilled
+  uint64_t migrated = 0;    // items_stolen + deal_items
+  double sync_per_migrated = 0.0;
+  double failed_per_migrated = 0.0;
+};
+
+// One deal knob set for both deal modes, so the hybrid-vs-deal_only contrast
+// is purely the window + fallback, not a tuning delta. max_batch 32 lets a
+// burst dealer actually shed ceil(gap/2) in few rounds; check interval 4
+// keeps the gate off the per-item fast path.
+void ApplyMode(runtime::ExecutorConfig& config, Mode mode,
+               ingress::DealChannel* channel) {
+  switch (mode) {
+    case Mode::kStealOnly:
+      config.steal_enabled = true;
+      config.deal.enabled = false;
+      return;
+    case Mode::kDealOnly:
+      config.steal_enabled = false;
+      config.deal.enabled = true;
+      config.deal.grace_rounds = 0;  // no robbery can open a window
+      break;
+    case Mode::kHybrid:
+      config.steal_enabled = true;
+      config.deal.enabled = true;
+      config.deal.grace_rounds = 8;  // argolib-style post-steal window
+      break;
+  }
+  config.deal.threshold = 2;
+  config.deal.max_batch = 32;
+  config.deal.check_interval_items = 4;
+  config.deal_sink = channel;
+}
+
+void Fold(CaseResult& result, const runtime::ExecutorReport& report) {
+  const double ms = static_cast<double>(report.wall_time_ns) / 1e6;
+  if (result.makespan_ms != 0.0 && ms >= result.makespan_ms) {
+    return;  // keep the best repeat
+  }
+  result.makespan_ms = ms;
+  result.items_per_ms = report.throughput_items_per_ms();
+  result.total_items = report.total_items;
+  result.steal_attempts = report.total_attempts();
+  result.steal_successes = report.total_successes();
+  result.failed_steals = report.total_attempts() - report.total_successes();
+  result.items_stolen = report.total_items_stolen();
+  result.deal_rounds = report.total_deal_rounds();
+  result.deal_items = report.total_deal_items_dealt() + report.total_deal_items_direct();
+  result.migrated = result.items_stolen + result.deal_items;
+  const uint64_t denom = result.migrated > 0 ? result.migrated : 1;
+  result.sync_per_migrated =
+      static_cast<double>(result.steal_attempts + result.migrated) /
+      static_cast<double>(denom);
+  result.failed_per_migrated =
+      static_cast<double>(result.failed_steals) / static_cast<double>(denom);
+}
+
+runtime::ExecutorConfig BaseConfig(runtime::QueueBackend backend, uint32_t workers,
+                                   uint64_t items, uint64_t spin_per_unit, uint64_t seed) {
+  runtime::ExecutorConfig config;
+  config.num_workers = workers;
+  config.backend = backend;
+  uint64_t ring = 2;
+  while (ring < items + 1 && ring < (1ull << 20)) {
+    ring <<= 1;
+  }
+  config.chase_lev_capacity = static_cast<uint32_t>(ring);
+  config.spin_per_unit = spin_per_unit;
+  config.seed = seed;
+  return config;
+}
+
+// burst: everything on worker 0. skewed: 60% on worker 0, rest spread evenly
+// — imbalance the filter sees immediately, but with enough local work that
+// peers only go hunting once their own slice drains.
+CaseResult RunSeeded(const std::string& workload, Mode mode,
+                     runtime::QueueBackend backend, uint32_t workers, uint64_t items,
+                     uint64_t units, uint64_t spin, int repeat) {
+  CaseResult result;
+  result.workload = workload;
+  result.mode = ModeName(mode);
+  const bool skewed = workload == "skewed";
+  for (int run = -1; run < repeat; ++run) {
+    runtime::ExecutorConfig config =
+        BaseConfig(backend, workers, items, spin, static_cast<uint64_t>(run + 2));
+    ingress::DealChannel channel(workers, /*capacity_per_mailbox=*/256);
+    ApplyMode(config, mode, &channel);
+    runtime::Executor executor(policies::MakeThreadCount(), config);
+    channel.set_notify([&](uint32_t worker) { executor.NotifyIngress(worker); });
+
+    const uint64_t hot = skewed ? (items * 6) / 10 : items;
+    std::vector<runtime::WorkItem> seed;
+    seed.reserve(hot);
+    for (uint64_t id = 1; id <= hot; ++id) {
+      seed.push_back(Item(id, units));
+    }
+    executor.Seed(0, seed);
+    if (skewed && workers > 1) {
+      const uint64_t rest = items - hot;
+      const uint64_t per = rest / (workers - 1);
+      uint64_t id = hot + 1;
+      for (uint32_t w = 1; w < workers; ++w) {
+        const uint64_t count = w + 1 < workers ? per : rest - per * (workers - 2);
+        std::vector<runtime::WorkItem> slice;
+        slice.reserve(count);
+        for (uint64_t i = 0; i < count; ++i) {
+          slice.push_back(Item(id++, units));
+        }
+        executor.Seed(w, slice);
+      }
+    }
+    const runtime::ExecutorReport report = executor.Run();
+    if (run < 0) {
+      continue;  // discarded warmup: thread startup, first-touch, ramp
+    }
+    Fold(result, report);
+  }
+  return result;
+}
+
+CaseResult RunForkJoin(Mode mode, runtime::QueueBackend backend, uint32_t workers,
+                       uint64_t n, uint64_t cutoff, int repeat) {
+  CaseResult result;
+  result.workload = "forkjoin";
+  result.mode = ModeName(mode);
+  task::TaskGraph graph(task::TaskGraphOptions{.max_workers = workers});
+  const uint64_t want = workload::FibSequential(n);
+  for (int run = -1; run < repeat; ++run) {
+    graph.Reset();
+    runtime::ExecutorConfig config =
+        BaseConfig(backend, workers, /*items=*/4096, /*spin=*/0,
+                   static_cast<uint64_t>(run + 2));
+    config.task_runner = &graph;
+    ingress::DealChannel channel(workers, /*capacity_per_mailbox=*/256);
+    ApplyMode(config, mode, &channel);
+    runtime::Executor executor(policies::MakeThreadCount(), config);
+    channel.set_notify([&](uint32_t worker) { executor.NotifyIngress(worker); });
+    uint64_t fib = 0;
+    executor.Seed(0, {workload::MakeFibRoot(graph, n, cutoff, &fib)});
+    const runtime::ExecutorReport report = executor.Run();
+    if (fib != want) {
+      std::fprintf(stderr, "E17 forkjoin (%s) computed %llu, want %llu\n",
+                   ModeName(mode), (unsigned long long)fib, (unsigned long long)want);
+      std::abort();
+    }
+    if (run < 0) {
+      continue;
+    }
+    Fold(result, report);
+  }
+  return result;
+}
+
+std::string FlagValue(int argc, char** argv, const char* name, const std::string& fallback) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+void PrintCases(const std::vector<CaseResult>& cases) {
+  std::vector<std::vector<std::string>> rows;
+  for (const CaseResult& c : cases) {
+    rows.push_back({c.mode, F("%.1f", c.makespan_ms), F("%.1f", c.items_per_ms),
+                    F("%llu", (unsigned long long)c.failed_steals),
+                    F("%llu", (unsigned long long)c.items_stolen),
+                    F("%llu", (unsigned long long)c.deal_items),
+                    F("%llu", (unsigned long long)c.migrated),
+                    F("%.2f", c.failed_per_migrated), F("%.2f", c.sync_per_migrated)});
+  }
+  bench::PrintTable({"mode", "makespan ms", "items/ms", "failed steals", "stolen",
+                     "dealt", "migrated", "failed/migr", "sync/migr"},
+                    rows);
+}
+
+int Main(int argc, char** argv) {
+  const uint32_t workers =
+      static_cast<uint32_t>(std::atoi(FlagValue(argc, argv, "workers", "8").c_str()));
+  const uint64_t items =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "items", "24000").c_str()));
+  // ~2000 calibrated spins per item: heavy enough that peers periodically
+  // drain to idle between steals — the regime where the post-steal deal
+  // window finds an eligible recipient (require_idle_peer) at all. Lighter
+  // items keep every peer permanently mid-execution and dealing stays dormant
+  // in hybrid mode, which would make this whole comparison vacuous.
+  const uint64_t units =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "units", "20").c_str()));
+  const uint64_t spin =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "spin", "100").c_str()));
+  const uint64_t fib_n =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "fib-n", "27").c_str()));
+  const uint64_t fib_cutoff =
+      static_cast<uint64_t>(std::atoll(FlagValue(argc, argv, "fib-cutoff", "12").c_str()));
+  const int repeat = std::atoi(FlagValue(argc, argv, "repeat", "3").c_str());
+  const std::string out = FlagValue(argc, argv, "out", "BENCH_e17_dealing.json");
+  // chase_lev is the shipping backend and the one where the owner-push vs
+  // thief-CAS contrast is sharpest; --backend=locked runs the reference.
+  const runtime::QueueBackend backend =
+      FlagValue(argc, argv, "backend", "chase_lev") == "locked"
+          ? runtime::QueueBackend::kLocked
+          : runtime::QueueBackend::kChaseLev;
+
+  const Mode kModes[] = {Mode::kStealOnly, Mode::kDealOnly, Mode::kHybrid};
+
+  bench::Section(F("E17 burst — %u workers, %llu items x %llu units on queue 0, %s backend",
+                   workers, (unsigned long long)items, (unsigned long long)units,
+                   runtime::QueueBackendName(backend)));
+  std::vector<CaseResult> burst;
+  for (Mode mode : kModes) {
+    burst.push_back(RunSeeded("burst", mode, backend, workers, items, units, spin, repeat));
+  }
+  PrintCases(burst);
+
+  bench::Section(F("E17 skewed — 60%% of %llu items on queue 0, rest spread",
+                   (unsigned long long)items));
+  std::vector<CaseResult> skewed;
+  for (Mode mode : kModes) {
+    skewed.push_back(RunSeeded("skewed", mode, backend, workers, items, units, spin, repeat));
+  }
+  PrintCases(skewed);
+
+  bench::Section(F("E17 forkjoin — fib(%llu) cutoff %llu task tree from one root",
+                   (unsigned long long)fib_n, (unsigned long long)fib_cutoff));
+  std::vector<CaseResult> forkjoin;
+  for (Mode mode : kModes) {
+    forkjoin.push_back(RunForkJoin(mode, backend, workers, fib_n, fib_cutoff, repeat));
+  }
+  PrintCases(forkjoin);
+
+  // In-binary expectation on the burst workload (CI applies the checked-in
+  // margins from bench/e17_dealing_floor.json on top of the JSON artifact):
+  // hybrid must not fail meaningfully MORE steals than steal-only (+64
+  // absolute slack — at this work-bound operating point both sit near zero
+  // and single-digit timing noise must not flip the gate), and must not give
+  // back more than 25% makespan doing it. deal_only is an ablation, not a
+  // gate — with no fallback its makespan depends on deal-round cadence alone.
+  const CaseResult& so = burst[0];
+  const CaseResult& hy = burst[2];
+  bool hybrid_ok = true;
+  if (hy.failed_steals > so.failed_steals + 64) {
+    bench::Note(F("FAIL: hybrid failed steals %llu > steal_only %llu + 64 on burst",
+                  (unsigned long long)hy.failed_steals,
+                  (unsigned long long)so.failed_steals));
+    hybrid_ok = false;
+  }
+  if (hy.makespan_ms > so.makespan_ms * 1.25) {
+    bench::Note(F("FAIL: hybrid makespan %.1f ms > 1.25 * steal_only %.1f ms on burst",
+                  hy.makespan_ms, so.makespan_ms));
+    hybrid_ok = false;
+  }
+  if (hybrid_ok) {
+    bench::Note(F("hybrid on burst: failed steals %llu vs %llu, makespan %.1f vs %.1f ms",
+                  (unsigned long long)hy.failed_steals,
+                  (unsigned long long)so.failed_steals, hy.makespan_ms, so.makespan_ms));
+  }
+
+  // Machine-readable summary (CI perf-smoke artifact + floor check).
+  std::string json =
+      F("{\"experiment\":\"e17_dealing\",\"workers\":%u,\"items\":%llu,\"units\":%llu,"
+        "\"spin\":%llu,\"fib_n\":%llu,\"fib_cutoff\":%llu,\"backend\":\"%s\","
+        "\"workloads\":[",
+        workers, (unsigned long long)items, (unsigned long long)units,
+        (unsigned long long)spin, (unsigned long long)fib_n,
+        (unsigned long long)fib_cutoff, runtime::QueueBackendName(backend));
+  const std::vector<const std::vector<CaseResult>*> all = {&burst, &skewed, &forkjoin};
+  for (size_t g = 0; g < all.size(); ++g) {
+    json += F("%s{\"workload\":\"%s\",\"modes\":[", g ? "," : "",
+              (*all[g])[0].workload.c_str());
+    for (size_t i = 0; i < all[g]->size(); ++i) {
+      const CaseResult& c = (*all[g])[i];
+      json += F("%s{\"mode\":\"%s\",\"makespan_ms\":%.2f,\"items_per_ms\":%.2f,"
+                "\"total_items\":%llu,\"steal_attempts\":%llu,\"steal_successes\":%llu,"
+                "\"failed_steals\":%llu,\"items_stolen\":%llu,\"deal_rounds\":%llu,"
+                "\"deal_items\":%llu,\"migrated\":%llu,\"failed_per_migrated\":%.3f,"
+                "\"sync_per_migrated\":%.3f}",
+                i ? "," : "", c.mode.c_str(), c.makespan_ms, c.items_per_ms,
+                (unsigned long long)c.total_items, (unsigned long long)c.steal_attempts,
+                (unsigned long long)c.steal_successes, (unsigned long long)c.failed_steals,
+                (unsigned long long)c.items_stolen, (unsigned long long)c.deal_rounds,
+                (unsigned long long)c.deal_items, (unsigned long long)c.migrated,
+                c.failed_per_migrated, c.sync_per_migrated);
+    }
+    json += "]}";
+  }
+  json += F("],\"burst_hybrid_ok\":%s}\n", hybrid_ok ? "true" : "false");
+  if (trace::WriteStringToFile(out, json)) {
+    std::printf("\nsummary -> %s\n", out.c_str());
+  } else {
+    std::fprintf(stderr, "failed to write '%s'\n", out.c_str());
+    return 1;
+  }
+  return hybrid_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace optsched
+
+int main(int argc, char** argv) { return optsched::Main(argc, argv); }

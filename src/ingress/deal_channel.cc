@@ -1,0 +1,63 @@
+#include "src/ingress/deal_channel.h"
+
+namespace optsched::ingress {
+
+DealChannel::DealChannel(uint32_t num_workers, uint32_t capacity_per_mailbox,
+                         std::function<void(uint32_t)> notify)
+    : notify_(std::move(notify)) {
+  mailboxes_.reserve(num_workers);
+  for (uint32_t i = 0; i < num_workers; ++i) {
+    mailboxes_.push_back(std::make_unique<BoundedMailbox>(capacity_per_mailbox));
+  }
+}
+
+uint32_t DealChannel::PushDealt(uint32_t worker, const runtime::WorkItem* items,
+                                uint32_t count) {
+  BoundedMailbox& box = *mailboxes_[worker];
+  uint32_t accepted = 0;
+  bool fire_notify = false;
+  while (accepted < count) {
+    bool was_empty = false;
+    if (!box.TryPush(items[accepted], &was_empty)) {
+      // Prefix acceptance: stop at the first refusal. The dealer owns the
+      // tail; one rejected-count bump covers the whole refused run.
+      dealt_rejected_.fetch_add(count - accepted, std::memory_order_relaxed);
+      break;
+    }
+    fire_notify |= was_empty;
+    ++accepted;
+  }
+  if (accepted > 0) {
+    dealt_pushed_.fetch_add(accepted, std::memory_order_relaxed);
+  }
+  // Notify AFTER the items are visible (bump-after-publish), once per batch
+  // on the empty->non-empty edge — a parked recipient is woken once per
+  // deal, not once per item.
+  if (fire_notify && notify_) {
+    notify_(worker);
+  }
+  return accepted;
+}
+
+uint32_t DealChannel::DrainDealt(uint32_t worker, std::vector<runtime::WorkItem>& out,
+                                 uint32_t max_items) {
+  const uint32_t moved = mailboxes_[worker]->DrainInto(out, max_items);
+  if (moved > 0) {
+    dealt_drained_.fetch_add(moved, std::memory_order_relaxed);
+  }
+  return moved;
+}
+
+int64_t DealChannel::DealtPendingFor(uint32_t worker) const {
+  return mailboxes_[worker]->ApproxDepth();
+}
+
+int64_t DealChannel::TotalDealtPending() const {
+  int64_t total = 0;
+  for (const auto& box : mailboxes_) {
+    total += box->ApproxDepth();
+  }
+  return total;
+}
+
+}  // namespace optsched::ingress

@@ -1,0 +1,86 @@
+// Deal transport: per-worker bounded mailboxes for peer-to-peer work-dealing
+// (docs/runtime.md#work-dealing, docs/serving.md#deal-traffic).
+//
+// Same BoundedMailbox substrate as the serving front end — bounded MPSC
+// ring, lock-free depth, mc-hooked push/drain — but a SEPARATE channel with
+// SEPARATE accounting. Dealt traffic must never be mistaken for producer
+// admission: producer items enter the executor's remaining/submitted counts
+// when drained (DrainIngress), while dealt items were counted at their
+// original submission and are only MIGRATING — draining them through the
+// admission path would double-count them and hang (or early-terminate) the
+// closed-system run. Keeping the channels apart also keeps the serving
+// story honest: an E15-style report can state exactly how much mailbox
+// capacity went to users versus to rebalancing.
+//
+// The dealer-side contract is prefix acceptance: PushDealt stops at the
+// first refusal (full mailbox) and reports how many items landed; the
+// dealer still owns the tail and must put it somewhere conservation-visible
+// (back on its own queue, or directly into the peer's runqueue via
+// PushBatchExternal). Dropping the refused tail is exactly the seeded
+// `broken_deal_window` fault the mc deal harness catches.
+
+#ifndef OPTSCHED_SRC_INGRESS_DEAL_CHANNEL_H_
+#define OPTSCHED_SRC_INGRESS_DEAL_CHANNEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/ingress/mailbox.h"
+#include "src/runtime/ingress_source.h"
+
+namespace optsched::ingress {
+
+class DealChannel : public runtime::DealSink {
+ public:
+  // `notify` (optional) runs on the DEALER's thread after a push that made a
+  // worker's deal mailbox non-empty; the executor wires it to its
+  // wakeup-epoch bump so a peer entering backoff cannot park over a deal it
+  // has not observed (same missed-submit protocol as producer ingress).
+  DealChannel(uint32_t num_workers, uint32_t capacity_per_mailbox,
+              std::function<void(uint32_t)> notify = nullptr);
+
+  uint32_t num_mailboxes() const { return static_cast<uint32_t>(mailboxes_.size()); }
+  BoundedMailbox& mailbox(uint32_t worker) { return *mailboxes_[worker]; }
+  const BoundedMailbox& mailbox(uint32_t worker) const { return *mailboxes_[worker]; }
+
+  void set_notify(std::function<void(uint32_t)> notify) { notify_ = std::move(notify); }
+
+  // runtime::DealSink:
+  uint32_t PushDealt(uint32_t worker, const runtime::WorkItem* items,
+                     uint32_t count) override;
+  uint32_t DrainDealt(uint32_t worker, std::vector<runtime::WorkItem>& out,
+                      uint32_t max_items) override;
+  int64_t DealtPendingFor(uint32_t worker) const override;
+
+  // Sum of dealt backlog over all workers (lock-free, possibly stale).
+  int64_t TotalDealtPending() const;
+
+  // Lifetime dealt-traffic accounting, distinct from producer admission.
+  // Exact at quiescence, same contract as BoundedMailbox counters.
+  uint64_t total_dealt_pushed() const {
+    return dealt_pushed_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_dealt_rejected() const {
+    return dealt_rejected_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_dealt_drained() const {
+    return dealt_drained_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<std::unique_ptr<BoundedMailbox>> mailboxes_;
+  std::function<void(uint32_t)> notify_;
+  // optsched-lint: allow(mc-hook-coverage): reporting counter, never a scheduling decision input
+  std::atomic<uint64_t> dealt_pushed_{0};
+  // optsched-lint: allow(mc-hook-coverage): reporting counter, never a scheduling decision input
+  std::atomic<uint64_t> dealt_rejected_{0};
+  // optsched-lint: allow(mc-hook-coverage): reporting counter, never a scheduling decision input
+  std::atomic<uint64_t> dealt_drained_{0};
+};
+
+}  // namespace optsched::ingress
+
+#endif  // OPTSCHED_SRC_INGRESS_DEAL_CHANNEL_H_

@@ -204,6 +204,13 @@ std::string Schedule::ToJson() const {
     out += std::string(",\n  \"broken_join_counter\": ") +
            (broken_join_counter ? "true" : "false");
   }
+  // Deal-only fields follow the same conditional-emission rule: every
+  // committed non-deal golden stays byte-identical across this schema growth.
+  if (harness == "deal") {
+    out += StrFormat(",\n  \"deal_window\": %u", deal_window);
+    out += std::string(",\n  \"broken_deal_window\": ") +
+           (broken_deal_window ? "true" : "false");
+  }
   out += ",\n  \"property\": ";
   AppendEscaped(out, property);
   out += ",\n  \"note\": ";
@@ -261,6 +268,11 @@ std::optional<Schedule> Schedule::FromJson(const std::string& json) {
     schedule.fanout = static_cast<uint32_t>(fanout);
   }
   scanner.GetBool("broken_join_counter", schedule.broken_join_counter);
+  int64_t deal_window = 0;
+  if (scanner.GetInt("deal_window", deal_window) && deal_window >= 1) {
+    schedule.deal_window = static_cast<uint32_t>(deal_window);
+  }
+  scanner.GetBool("broken_deal_window", schedule.broken_deal_window);
   scanner.GetString("property", schedule.property);
   scanner.GetString("note", schedule.note);
   std::vector<int64_t> choices;

@@ -56,6 +56,9 @@ const char* UserEventKindName(uint32_t kind) {
     case kUserTaskSpawn: return "task-spawn";
     case kUserTaskFork: return "task-fork";
     case kUserJoinFire: return "join-fire";
+    case kUserDealPush: return "deal-push";
+    case kUserDealShed: return "deal-shed";
+    case kUserDealDrain: return "deal-drain";
   }
   return "?";
 }

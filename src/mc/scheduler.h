@@ -103,6 +103,10 @@ enum UserEventKind : uint32_t {
   kUserTaskSpawn = 14,  // arg0 = item id, arg1 = spawning worker (own-queue push)
   kUserTaskFork = 15,   // arg0 = continuation id, arg1 = declared children
   kUserJoinFire = 16,   // arg0 = continuation id (join counter reached zero)
+  // Deal harness (proactive work-dealing, docs/runtime.md#work-dealing):
+  kUserDealPush = 17,   // arg0 = item id, arg1 = recipient (accepted into deal mailbox)
+  kUserDealShed = 18,   // arg0 = item id, arg1 = recipient (refused: mailbox full)
+  kUserDealDrain = 19,  // arg0 = item id, arg1 = owner (moved deal mailbox -> runqueue)
 };
 
 const char* UserEventKindName(uint32_t kind);

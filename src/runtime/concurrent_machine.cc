@@ -202,6 +202,81 @@ OPTSCHED_HOT_PATH void ConcurrentRunQueue::PushBatchOwner(const WorkItem* items,
                         std::memory_order_relaxed);
 }
 
+void ConcurrentRunQueue::PushBatchExternal(const WorkItem* items, uint32_t count) {
+  if (count == 0) {
+    return;
+  }
+  if (backend_ == QueueBackend::kLocked) {
+    LockGuard guard(lock_);
+    PushBatchLocked(items, count);
+    return;
+  }
+  // Non-owner context: the deque's bottom and the own_enq counters are both
+  // single-writer owner state, so the batch lands in the inbox and is charged
+  // to the external-submitter counters — the same path Push takes, amortized
+  // to one lock acquisition and one counter RMW pair per batch.
+  int64_t weight = 0;
+  {
+    LockGuard guard(lock_);
+    for (uint32_t i = 0; i < count; ++i) {
+      inbox_.push_back(items[i]);
+      weight += items[i].weight;
+    }
+  }
+  mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeLoadWrite, this);
+  inbox_count_.fetch_add(count, std::memory_order_release);
+  ext_enq_tasks_.fetch_add(count, std::memory_order_relaxed);
+  ext_enq_weight_.fetch_add(weight, std::memory_order_relaxed);
+}
+
+uint32_t ConcurrentRunQueue::TakeOwnerBatch(uint32_t max_items, std::vector<WorkItem>& out) {
+  if (max_items == 0) {
+    return 0;
+  }
+  if (backend_ == QueueBackend::kLocked) {
+    LockGuard guard(lock_);
+    uint32_t taken = 0;
+    // Tail-first, the end StealTailLocked robs from: the dealer sheds the
+    // items a thief would have taken, with one publish for the whole batch.
+    while (taken < max_items && !ready_.empty()) {
+      const WorkItem item = ready_.back();
+      ready_.pop_back();
+      queued_weight_ -= item.weight;
+      out.push_back(item);
+      ++taken;
+    }
+    if (taken > 0) {
+      PublishLocked();
+    }
+    return taken;
+  }
+  // Owner context: drain the inbox first so dealable work parked there is
+  // reachable, then pop at bottom. The last-item PopBottom races thieves on
+  // the top CAS — losing simply ends the take.
+  DrainInboxToDeque();
+  uint32_t taken = 0;
+  int64_t weight = 0;
+  while (taken < max_items) {
+    std::optional<WorkItem> item = deque_->PopBottom();
+    if (!item.has_value()) {
+      break;
+    }
+    out.push_back(*item);
+    weight += item->weight;
+    ++taken;
+  }
+  if (taken > 0) {
+    // Owner-written dealt counters, plain store (single writer). One decision
+    // point for the group, mirroring FinishCurrent.
+    mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeLoadWrite, this);
+    dealt_tasks_.store(dealt_tasks_.load(std::memory_order_relaxed) + taken,
+                       std::memory_order_relaxed);
+    dealt_weight_.store(dealt_weight_.load(std::memory_order_relaxed) + weight,
+                        std::memory_order_relaxed);
+  }
+  return taken;
+}
+
 OPTSCHED_HOT_PATH LoadPair ConcurrentRunQueue::ReadLoad() const {
   if (backend_ == QueueBackend::kLocked) {
     return published_.Read();
@@ -212,7 +287,8 @@ OPTSCHED_HOT_PATH LoadPair ConcurrentRunQueue::ReadLoad() const {
   load.weighted_load = own_enq_weight_.load(std::memory_order_relaxed) +
                        ext_enq_weight_.load(std::memory_order_relaxed) -
                        fin_weight_.load(std::memory_order_relaxed) -
-                       stolen_weight_.load(std::memory_order_relaxed);
+                       stolen_weight_.load(std::memory_order_relaxed) -
+                       dealt_weight_.load(std::memory_order_relaxed);
   return load;
 }
 
@@ -264,6 +340,11 @@ OPTSCHED_HOT_PATH uint32_t ConcurrentRunQueue::StealTailLocked(
     // performed N seqlock writes under BOTH held locks, each one stalling
     // every concurrent snapshot reader into a retry loop.
     PublishLocked();
+    // Robbery observation for the owner's deal gate (StolenCount). No
+    // SyncPoint: the mutation happens inside the held-lock critical section,
+    // whose release is already the checker's decision point — adding one
+    // would perturb every committed locked-backend golden schedule.
+    locked_stolen_count_.fetch_add(taken, std::memory_order_relaxed);
   }
   return taken;
 }
@@ -513,6 +594,7 @@ OPTSCHED_HOT_PATH bool ConcurrentMachine::TryStealLocked(
     observation_out->victim_tasks_after = victim_queue.ExactLoadLocked().task_count;
     observation_out->thief_tasks_after = thief_queue.ExactLoadLocked().task_count;
     observation_out->victim_finished_delta = 0;  // victim frozen under its lock
+    observation_out->victim_dealt_delta = 0;
   }
   return true;
 }
@@ -547,6 +629,7 @@ OPTSCHED_HOT_PATH bool ConcurrentMachine::TryStealChaseLev(
   }
 
   const uint64_t finished_before = victim_queue.FinishedCount();
+  const uint64_t dealt_before = victim_queue.DealtCount();
   const LoadMetric metric = policy.metric();
   const int64_t v0 = metric == LoadMetric::kTaskCount ? victim_load.task_count
                                                       : victim_load.weighted_load;
@@ -579,9 +662,9 @@ OPTSCHED_HOT_PATH bool ConcurrentMachine::TryStealChaseLev(
       // the state it acted on. The victim load is recomputed from the peek
       // each iteration — peek.size counts exactly the still-stealable items
       // at that top, plus the owner's current item and any inbox residents.
-      // Owner execution progress between gate and commit can only LOWER the
-      // victim's count via FinishCurrent, which the steal-safety property
-      // excuses through victim_finished_delta.
+      // Owner progress between gate and commit can only LOWER the victim's
+      // count via FinishCurrent or TakeOwnerBatch, which the steal-safety
+      // property excuses through victim_finished_delta / victim_dealt_delta.
       const int64_t w =
           metric == LoadMetric::kTaskCount ? 1 : static_cast<int64_t>(peek.item.weight);
       int64_t v_now;
@@ -632,14 +715,16 @@ OPTSCHED_HOT_PATH bool ConcurrentMachine::TryStealChaseLev(
     observation_out->item_id = s.batch.front().id;
     observation_out->items_moved = moved;
     observation_out->seqlock_writes = 0;  // no seqlock on this backend
-    // Read tasks BEFORE the finished count: a FinishCurrent landing between
-    // the two reads then inflates the sum by 1 (safe direction — the
-    // property asserts a lower bound) instead of deflating it into a
-    // spurious violation.
+    // Read tasks BEFORE the finished/dealt counts: a FinishCurrent or
+    // TakeOwnerBatch landing between the reads then inflates the sum (safe
+    // direction — the property asserts a lower bound) instead of deflating
+    // it into a spurious violation.
     observation_out->victim_tasks_after = victim_queue.TasksRelaxed();
     observation_out->thief_tasks_after = thief_queue.TasksRelaxed();
     observation_out->victim_finished_delta =
         static_cast<int64_t>(victim_queue.FinishedCount() - finished_before);
+    observation_out->victim_dealt_delta =
+        static_cast<int64_t>(victim_queue.DealtCount() - dealt_before);
   }
   return true;
 }

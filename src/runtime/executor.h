@@ -40,6 +40,7 @@
 #include "src/fault/fault.h"
 #include "src/runtime/concurrent_machine.h"
 #include "src/runtime/ingress_source.h"
+#include "src/sched/deal_policy.h"
 #include "src/stats/histogram.h"
 #include "src/trace/accounting.h"
 #include "src/trace/collector.h"
@@ -140,6 +141,24 @@ struct ExecutorConfig {
   // are dispatched to this runner instead of the calibrated spin. The runner
   // must outlive the run. Null rejects task items loudly.
   TaskRunner* task_runner = nullptr;
+  // Proactive work-dealing (docs/runtime.md#work-dealing): when deal.enabled,
+  // each worker runs a deal round every deal.check_interval_items executed
+  // items — if its task count exceeds deal.threshold inside the post-steal
+  // grace window and an idle peer exists, it pushes ceil(gap/2) items into
+  // that peer's bounded deal mailbox (owner-side stores instead of
+  // thief-side synchronization). deal_sink is the transport (an
+  // ingress::DealChannel); it must outlive the run, and its notify callback
+  // should be wired to NotifyIngress so a parked recipient cannot sleep
+  // through a deal. Dealt items are MIGRATING, never re-admitted: they keep
+  // their original remaining/submitted accounting, so closed-system Run()
+  // works with dealing on. The reactive steal path stays on as unconditional
+  // fallback — work conservation never rests on a deal landing.
+  DealConfig deal;
+  DealSink* deal_sink = nullptr;
+  // Ablation (E17 deal-only): disable the reactive steal fallback entirely.
+  // Workers still execute their own queues, drain ingress and deal mailboxes;
+  // they just never run the three-step balancing protocol.
+  bool steal_enabled = true;
   uint64_t seed = 1;
 };
 
@@ -163,6 +182,19 @@ struct WorkerStats {
   uint64_t mailbox_drains = 0;
   uint64_t mailbox_items_drained = 0;
   uint64_t submit_wakeups = 0;
+  // Work-dealing accounting (docs/runtime.md#work-dealing). Dealer side:
+  // rounds that cleared the window+threshold+recipient gates and took a
+  // batch; rounds that placed >= 1 item with the peer; items accepted into
+  // the peer's deal mailbox; refused-tail items spilled straight into the
+  // peer's runqueue; abandoned batches returned to the own queue.
+  uint64_t deal_rounds = 0;
+  uint64_t deal_pushes = 0;
+  uint64_t deal_items_dealt = 0;
+  uint64_t deal_items_direct = 0;
+  uint64_t deal_items_returned = 0;
+  // Recipient side: deal-mailbox drain actions and items moved to the queue.
+  uint64_t deal_drains = 0;
+  uint64_t deal_items_received = 0;
   // Steal-phase latency, split by outcome: successful steals and genuine
   // failed attempts (non-empty filter, lost re-check or no eligible task).
   // Failed attempts are exactly the contention §4.3 reasons about — recording
@@ -205,6 +237,13 @@ struct ExecutorReport {
   uint64_t total_backoff_events() const;
   uint64_t total_crashes() const;
   uint64_t total_mailbox_items_drained() const;
+  uint64_t total_deal_rounds() const;
+  // Items migrated by dealing = mailbox-accepted + direct-spilled (returned
+  // items never migrated; received is the recipient-side mirror of accepted).
+  uint64_t total_deal_items_dealt() const;
+  uint64_t total_deal_items_direct() const;
+  uint64_t total_deal_items_returned() const;
+  uint64_t total_deal_items_received() const;
   // Sojourn histograms of all workers merged (arrival-stamped items only).
   stats::LogHistogram MergedSojournNs() const;
   double throughput_items_per_ms() const;
@@ -289,6 +328,20 @@ class Executor {
   // scratch. Returns items moved.
   uint32_t DrainIngress(uint32_t worker, WorkerStats& stats, std::vector<WorkItem>& batch,
                         trace::SpscTraceRing* ring);
+  // One dealer-side deal round for `worker` (docs/runtime.md#work-dealing):
+  // window check, threshold check, recipient pick, take-push-place. `batch`
+  // and `pending_scratch` are the worker's reusable scratch buffers;
+  // `snapshot` is a dedicated buffer (never the steal path's, so the
+  // stale-snapshot fault semantics stay untouched).
+  void DealRound(uint32_t worker, ConcurrentRunQueue& own, WorkerStats& stats,
+                 DealWindow& window, LoadSnapshot& snapshot, std::vector<WorkItem>& batch,
+                 std::vector<int64_t>& pending_scratch, trace::SpscTraceRing* ring);
+  // Recipient side: moves dealt items mailbox->runqueue through the owner
+  // push path WITHOUT touching remaining/submitted counts — dealt items were
+  // counted at their original submission and are only migrating (the
+  // double-count would wedge closed-system termination). Returns items moved.
+  uint32_t DrainDealt(uint32_t worker, WorkerStats& stats, std::vector<WorkItem>& batch,
+                      trace::SpscTraceRing* ring);
   // Shared driver behind Run and RunFor: spawns workers, supervises
   // crash-and-restart and the watchdog, joins, reports. duration_ms == 0
   // means closed-system mode (run until drained).
@@ -298,6 +351,14 @@ class Executor {
   ExecutorConfig config_;
   const Topology* topology_;
   ConcurrentMachine machine_;
+  // Pure deal decision layer (src/sched); all synchronization stays here.
+  DealPolicy deal_policy_;
+  // Items a dealer holds between TakeOwnerBatch and placement: in no queue
+  // and no mailbox, so the watchdog must read them as PENDING for the dealer
+  // — without this a deal landing inside a sampling window looks like work
+  // vanishing (the invisible-in-flight accounting bug this array fixes).
+  // optsched-lint: allow(mc-hook-coverage): watchdog pending bookkeeping, never a worker scheduling decision input
+  std::vector<std::atomic<int64_t>> deal_in_flight_;
   std::unique_ptr<fault::FaultInjector> injector_;
   // Per-run trace rings (workers 0..n-1, supervisor lane n); null when off.
   std::unique_ptr<trace::TraceCollector> collector_;

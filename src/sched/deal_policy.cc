@@ -1,0 +1,48 @@
+#include "src/sched/deal_policy.h"
+
+#include <algorithm>
+
+namespace optsched {
+
+CpuId DealPolicy::PickRecipient(CpuId self, const LoadSnapshot& snapshot,
+                                const int64_t* deal_pending) const {
+  CpuId best = kNoPeer;
+  int64_t best_tasks = 0;
+  int64_t best_pending = 0;
+  for (CpuId cpu = 0; cpu < snapshot.num_cpus(); ++cpu) {
+    if (cpu == self) {
+      continue;
+    }
+    const int64_t tasks = snapshot.task_count[cpu];
+    if (config_.require_idle_peer && tasks != 0) {
+      continue;
+    }
+    const int64_t pending = deal_pending != nullptr ? deal_pending[cpu] : 0;
+    // Emptiest queue first; among equals, the one with the least undrained
+    // dealt backlog; among those, the lowest id (deterministic for tests and
+    // the mc harness).
+    if (best == kNoPeer || tasks < best_tasks ||
+        (tasks == best_tasks && pending < best_pending)) {
+      best = cpu;
+      best_tasks = tasks;
+      best_pending = pending;
+    }
+  }
+  return best;
+}
+
+uint32_t DealPolicy::DealQuota(int64_t own_tasks, int64_t peer_tasks) const {
+  if (own_tasks <= config_.threshold || own_tasks <= peer_tasks) {
+    return 0;
+  }
+  const int64_t gap = own_tasks - peer_tasks;
+  int64_t quota = (gap + 1) / 2;  // ceil(gap/2): halve the imbalance
+  // Never deal the dealer below its own threshold: the trigger load must
+  // still hold after the push, or dealing idles the very core that was
+  // overloaded (the deal-side mirror of steal safety).
+  quota = std::min(quota, own_tasks - config_.threshold);
+  quota = std::min<int64_t>(quota, config_.max_batch);
+  return quota > 0 ? static_cast<uint32_t>(quota) : 0;
+}
+
+}  // namespace optsched

@@ -1,0 +1,107 @@
+// Proactive work-dealing decision logic (ROADMAP open item 2; Rito &
+// Paulino, arXiv:1810.10615 / 1810.10632; argolib's deal_times).
+//
+// The paper's pipeline is REACTIVE: an idle thief filters, chooses, steals,
+// and pays the synchronization (lock pair or top-CAS) on every migration.
+// Dealing inverts the initiative: the OVERLOADED owner, inside its own
+// execution round, pushes half its surplus into an idle peer's bounded
+// mailbox — owner-side stores instead of thief-side CASes. DealPolicy is the
+// pure decision layer: given the dealer's load, a load snapshot, and the
+// grace-window state, it answers "should I deal, to whom, how much". It
+// holds no synchronization state, so it is unit-testable (deal_policy_test)
+// and reusable by the executor's deal round and the mc deal harness alike.
+//
+// Work conservation does NOT rest on any of these answers: the reactive
+// steal path stays on as unconditional fallback, so a missed, refused, or
+// mistimed deal changes nothing the existing lemma/convergence proofs can
+// see — dealing only shifts migrations from the expensive thief path to the
+// cheap owner path.
+
+#ifndef OPTSCHED_SRC_SCHED_DEAL_POLICY_H_
+#define OPTSCHED_SRC_SCHED_DEAL_POLICY_H_
+
+#include <cstdint>
+
+#include "src/sched/machine_state.h"
+
+namespace optsched {
+
+// Tuning knobs of the deal round. Defaults are the E17 hybrid operating
+// point: deal only while the grace window after an observed robbery is open,
+// target only idle peers, move half the gap, cap 8 per round.
+struct DealConfig {
+  bool enabled = false;
+  // Dealer-side trigger: deal only while own task count exceeds this. Must
+  // be >= 2 — dealing the current or the only queued item would idle the
+  // dealer (mirrors the thread-count policy's floor).
+  int64_t threshold = 2;
+  // Post-steal grace window, in deal checks (argolib's deal_times): after
+  // the dealer observes its StolenCount() advance, the next `grace_rounds`
+  // checks may deal. 0 = ALWAYS-ON (no robbery required) — the deal-only
+  // ablation's operating point, where no steal ever opens the window.
+  uint32_t grace_rounds = 8;
+  // Cap on items moved per deal round (quota is still gap-halving).
+  uint32_t max_batch = 8;
+  // Recipient-side gate: require the peer's observed task count to be 0
+  // (parked or about to park). False lets the dealer top up busy-but-light
+  // peers too.
+  bool require_idle_peer = true;
+  // The dealer re-checks every `check_interval_items` executed items, same
+  // cadence scheme as the executor's ingress drain interval.
+  uint32_t check_interval_items = 16;
+};
+
+// Grace-window state one dealer carries between checks (plain value type —
+// the owner is the only reader and writer).
+struct DealWindow {
+  uint64_t last_stolen_count = 0;
+  uint32_t rounds_left = 0;
+
+  // Feeds the robbery observation and ticks the window; returns true when
+  // this check falls inside the window (or the window is configured away).
+  bool Observe(uint64_t stolen_count, const DealConfig& config) {
+    if (config.grace_rounds == 0) {
+      return true;  // always-on: the deal-only ablation
+    }
+    if (stolen_count != last_stolen_count) {
+      last_stolen_count = stolen_count;
+      rounds_left = config.grace_rounds;
+    }
+    if (rounds_left == 0) {
+      return false;
+    }
+    --rounds_left;
+    return true;
+  }
+};
+
+class DealPolicy {
+ public:
+  explicit DealPolicy(const DealConfig& config) : config_(config) {}
+
+  const DealConfig& config() const { return config_; }
+
+  // Dealer-side trigger: own published load strictly above the threshold.
+  bool ShouldDeal(int64_t own_tasks) const {
+    return config_.enabled && own_tasks > config_.threshold;
+  }
+
+  // Picks the emptiest eligible peer (task count, ties to the lowest id), or
+  // kNoPeer when none qualifies. `deal_pending` (optional, per-cpu) breaks
+  // ties away from peers with undrained dealt backlog, so consecutive rounds
+  // spread instead of piling onto one mailbox.
+  static constexpr CpuId kNoPeer = ~0u;
+  CpuId PickRecipient(CpuId self, const LoadSnapshot& snapshot,
+                      const int64_t* deal_pending) const;
+
+  // ceil(gap/2) capped at max_batch, never dealing below the threshold.
+  // Zero when the gap does not justify a push.
+  uint32_t DealQuota(int64_t own_tasks, int64_t peer_tasks) const;
+
+ private:
+  const DealConfig config_;
+};
+
+}  // namespace optsched
+
+#endif  // OPTSCHED_SRC_SCHED_DEAL_POLICY_H_

@@ -1,0 +1,113 @@
+// DealPolicy / DealWindow: the pure decision layer of proactive work-dealing
+// (src/sched/deal_policy.h). No queues, no threads — every answer here is a
+// function of (config, loads, window state), which is exactly why the same
+// policy object can drive the executor's deal round and the mc deal harness.
+
+#include "src/sched/deal_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace optsched {
+namespace {
+
+LoadSnapshot Snapshot(std::vector<int64_t> tasks) {
+  LoadSnapshot snapshot;
+  snapshot.task_count = std::move(tasks);
+  snapshot.weighted_load.assign(snapshot.task_count.size(), 0);
+  return snapshot;
+}
+
+DealConfig Enabled() {
+  DealConfig config;
+  config.enabled = true;
+  return config;
+}
+
+TEST(DealPolicyTest, ShouldDealRequiresEnableAndStrictSurplus) {
+  DealConfig config = Enabled();
+  config.threshold = 2;
+  const DealPolicy policy(config);
+  EXPECT_FALSE(policy.ShouldDeal(0));
+  EXPECT_FALSE(policy.ShouldDeal(2));  // at the threshold: no surplus
+  EXPECT_TRUE(policy.ShouldDeal(3));
+
+  config.enabled = false;
+  const DealPolicy disabled(config);
+  EXPECT_FALSE(disabled.ShouldDeal(100));
+}
+
+TEST(DealPolicyTest, PickRecipientPrefersEmptiestThenLeastPendingThenLowestId) {
+  const DealPolicy policy(Enabled());
+  // Only idle peers qualify by default; among the idle ones (2 and 3), the
+  // undrained deal backlog breaks the tie.
+  const LoadSnapshot snapshot = Snapshot({5, 1, 0, 0});
+  const std::vector<int64_t> pending = {0, 0, 3, 1};
+  EXPECT_EQ(policy.PickRecipient(0, snapshot, pending.data()), 3u);
+  // Without pending data the tie falls to the lowest id.
+  EXPECT_EQ(policy.PickRecipient(0, snapshot, nullptr), 2u);
+}
+
+TEST(DealPolicyTest, PickRecipientSkipsSelfAndBusyPeers) {
+  const DealPolicy policy(Enabled());
+  // Dealer 0 is the only idle-looking cpu: no eligible peer.
+  EXPECT_EQ(policy.PickRecipient(0, Snapshot({0, 2, 1}), nullptr),
+            DealPolicy::kNoPeer);
+  DealConfig config = Enabled();
+  config.require_idle_peer = false;
+  const DealPolicy topper(config);
+  // Relaxed gate: the lightest peer qualifies even while busy.
+  EXPECT_EQ(topper.PickRecipient(0, Snapshot({5, 2, 1}), nullptr), 2u);
+}
+
+TEST(DealPolicyTest, DealQuotaHalvesTheGapWithinCaps) {
+  DealConfig config = Enabled();
+  config.threshold = 2;
+  config.max_batch = 8;
+  const DealPolicy policy(config);
+  // gap 10 -> ceil(10/2) = 5, under both caps.
+  EXPECT_EQ(policy.DealQuota(10, 0), 5u);
+  // gap 7 -> ceil(7/2) = 4.
+  EXPECT_EQ(policy.DealQuota(7, 0), 4u);
+  // Never deals the dealer below its threshold: own 4 -> at most 2 leave.
+  EXPECT_EQ(policy.DealQuota(4, 0), 2u);
+  // max_batch caps the round.
+  config.max_batch = 3;
+  EXPECT_EQ(DealPolicy(config).DealQuota(20, 0), 3u);
+}
+
+TEST(DealPolicyTest, DealQuotaZeroWithoutAJustifiedGap) {
+  DealConfig config = Enabled();
+  config.threshold = 2;
+  const DealPolicy policy(config);
+  EXPECT_EQ(policy.DealQuota(2, 0), 0u);   // no surplus above the threshold
+  EXPECT_EQ(policy.DealQuota(5, 5), 0u);   // no gap
+  EXPECT_EQ(policy.DealQuota(5, 9), 0u);   // peer is the loaded one
+}
+
+TEST(DealWindowTest, RobberyOpensTheWindowForGraceRounds) {
+  DealConfig config = Enabled();
+  config.grace_rounds = 2;
+  DealWindow window;
+  // No robbery observed yet: closed.
+  EXPECT_FALSE(window.Observe(0, config));
+  // StolenCount advanced: the next grace_rounds checks are in-window.
+  EXPECT_TRUE(window.Observe(1, config));
+  EXPECT_TRUE(window.Observe(1, config));
+  EXPECT_FALSE(window.Observe(1, config));
+  // A fresh robbery re-opens it.
+  EXPECT_TRUE(window.Observe(2, config));
+}
+
+TEST(DealWindowTest, ZeroGraceRoundsMeansAlwaysOn) {
+  DealConfig config = Enabled();
+  config.grace_rounds = 0;
+  DealWindow window;
+  EXPECT_TRUE(window.Observe(0, config));
+  EXPECT_TRUE(window.Observe(0, config));
+}
+
+}  // namespace
+}  // namespace optsched

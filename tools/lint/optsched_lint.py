@@ -6,8 +6,8 @@ express (the analysis is structural, not semantic -- see
 docs/static_analysis.md for the full rationale):
 
   atomic-memory-order    every std::atomic operation in src/runtime,
-                         src/trace, and src/ingress spells its
-                         std::memory_order explicitly;
+                         src/trace, src/ingress, src/task, and src/sched
+                         spells its std::memory_order explicitly;
                          implicit operator forms (=, ++, +=) on known atomic
                          members are flagged too -- they are silent seq_cst.
   dual-lock-rank         DualLockGuard acquisition order comes from queue
@@ -17,8 +17,9 @@ docs/static_analysis.md for the full rationale):
                          are OPTSCHED_REQUIRES-annotated or follow the
                          *Locked naming convention -- the seqlock tolerates
                          torn reads, not torn writes.
-  mc-hook-coverage       every raw std::atomic member in src/runtime and
-                         src/ingress (mailbox sync state included) carries
+  mc-hook-coverage       every raw std::atomic member in src/runtime,
+                         src/ingress (mailbox and deal-channel sync state
+                         included), src/task, and src/sched carries
                          a "// mc: kOp, ..." tag naming the
                          mc_hooks::SyncPoint / BlockUntil announcements that
                          cover it (announcements must exist in the same file
@@ -37,9 +38,9 @@ suppression without one is itself a diagnostic.
 Tree mode (default):
     optsched_lint.py [--root DIR] [--build BUILDDIR] [files...]
 With --build, compile_commands.json is loaded and every .cc under
-src/runtime and src/trace must appear in it -- a translation unit that is
-not built is a translation unit the lint (and -Wthread-safety) silently
-stopped covering.
+src/runtime, src/trace, src/task, src/ingress, and src/sched must appear in
+it -- a translation unit that is not built is a translation unit the lint
+(and -Wthread-safety) silently stopped covering.
 
 Fixture mode:
     optsched_lint.py --fixtures DIR
@@ -69,10 +70,11 @@ RULES = (
 
 # Tree-mode path scope per rule (prefix match on the repo-relative path).
 RULE_SCOPES = {
-    "atomic-memory-order": ("src/runtime/", "src/trace/", "src/ingress/", "src/task/"),
+    "atomic-memory-order": ("src/runtime/", "src/trace/", "src/ingress/",
+                            "src/task/", "src/sched/"),
     "dual-lock-rank": ("src/",),
     "seqlock-write-context": ("src/",),
-    "mc-hook-coverage": ("src/runtime/", "src/ingress/", "src/task/"),
+    "mc-hook-coverage": ("src/runtime/", "src/ingress/", "src/task/", "src/sched/"),
     "hot-path-alloc": ("src/",),
 }
 
@@ -546,7 +548,7 @@ def check_compile_commands(root, build):
     for entry in entries:
         built.add(os.path.realpath(
             os.path.join(entry.get("directory", "."), entry["file"])))
-    for sub in ("src/runtime", "src/trace", "src/task"):
+    for sub in ("src/runtime", "src/trace", "src/task", "src/ingress", "src/sched"):
         subdir = os.path.join(root, sub)
         if not os.path.isdir(subdir):
             continue
