@@ -21,6 +21,7 @@ uint32_t DealChannel::PushDealt(uint32_t worker, const runtime::WorkItem* items,
     if (!box.TryPush(items[accepted], &was_empty)) {
       // Prefix acceptance: stop at the first refusal. The dealer owns the
       // tail; one rejected-count bump covers the whole refused run.
+      // order: reporting-counter
       dealt_rejected_.fetch_add(count - accepted, std::memory_order_relaxed);
       break;
     }
@@ -28,7 +29,7 @@ uint32_t DealChannel::PushDealt(uint32_t worker, const runtime::WorkItem* items,
     ++accepted;
   }
   if (accepted > 0) {
-    dealt_pushed_.fetch_add(accepted, std::memory_order_relaxed);
+    dealt_pushed_.fetch_add(accepted, std::memory_order_relaxed);  // order: reporting-counter
   }
   // Notify AFTER the items are visible (bump-after-publish), once per batch
   // on the empty->non-empty edge — a parked recipient is woken once per
@@ -43,7 +44,7 @@ uint32_t DealChannel::DrainDealt(uint32_t worker, std::vector<runtime::WorkItem>
                                  uint32_t max_items) {
   const uint32_t moved = mailboxes_[worker]->DrainInto(out, max_items);
   if (moved > 0) {
-    dealt_drained_.fetch_add(moved, std::memory_order_relaxed);
+    dealt_drained_.fetch_add(moved, std::memory_order_relaxed);  // order: reporting-counter
   }
   return moved;
 }

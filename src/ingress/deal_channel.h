@@ -61,13 +61,13 @@ class DealChannel : public runtime::DealSink {
   // Lifetime dealt-traffic accounting, distinct from producer admission.
   // Exact at quiescence, same contract as BoundedMailbox counters.
   uint64_t total_dealt_pushed() const {
-    return dealt_pushed_.load(std::memory_order_relaxed);
+    return dealt_pushed_.load(std::memory_order_relaxed);  // order: reporting-counter
   }
   uint64_t total_dealt_rejected() const {
-    return dealt_rejected_.load(std::memory_order_relaxed);
+    return dealt_rejected_.load(std::memory_order_relaxed);  // order: reporting-counter
   }
   uint64_t total_dealt_drained() const {
-    return dealt_drained_.load(std::memory_order_relaxed);
+    return dealt_drained_.load(std::memory_order_relaxed);  // order: reporting-counter
   }
 
  private:

@@ -34,9 +34,9 @@ bool BoundedMailbox::TryPush(const WorkItem& item, bool* was_empty_out) {
     }
   }
   if (pushed) {
-    pushed_.fetch_add(1, std::memory_order_relaxed);
+    pushed_.fetch_add(1, std::memory_order_relaxed);  // order: reporting-counter
   } else {
-    rejected_full_.fetch_add(1, std::memory_order_relaxed);
+    rejected_full_.fetch_add(1, std::memory_order_relaxed);  // order: reporting-counter
   }
   if (was_empty_out != nullptr) {
     *was_empty_out = was_empty;
@@ -62,7 +62,7 @@ uint32_t BoundedMailbox::DrainInto(std::vector<WorkItem>& out, uint32_t max_item
     }
   }
   if (moved > 0) {
-    drained_.fetch_add(moved, std::memory_order_relaxed);
+    drained_.fetch_add(moved, std::memory_order_relaxed);  // order: reporting-counter
   }
   return moved;
 }

@@ -65,10 +65,12 @@ class BoundedMailbox {
   // Lifetime counters. Relaxed atomics: each read is torn-free, but read
   // them as an exact set only at quiescence (after producers and the owner
   // have stopped), same contract as FaultInjector::stats().
+  // order: reporting-counter
   uint64_t total_pushed() const { return pushed_.load(std::memory_order_relaxed); }
   uint64_t total_rejected_full() const {
-    return rejected_full_.load(std::memory_order_relaxed);
+    return rejected_full_.load(std::memory_order_relaxed);  // order: reporting-counter
   }
+  // order: reporting-counter
   uint64_t total_drained() const { return drained_.load(std::memory_order_relaxed); }
 
  private:

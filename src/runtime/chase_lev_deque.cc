@@ -28,7 +28,7 @@ OPTSCHED_HOT_PATH void ChaseLevDeque::StoreSlot(uint64_t index, const WorkItem& 
   std::memcpy(staging, &item, sizeof(WorkItem));
   std::atomic<uint64_t>* slot = &slots_[(index & mask_) * kWordsPerItem];
   for (std::size_t w = 0; w < kWordsPerItem; ++w) {
-    slot[w].store(staging[w], std::memory_order_relaxed);
+    slot[w].store(staging[w], std::memory_order_relaxed);  // order: slot-word-protocol
   }
 }
 
@@ -36,7 +36,7 @@ OPTSCHED_HOT_PATH WorkItem ChaseLevDeque::LoadSlot(uint64_t index) const {
   uint64_t staging[kWordsPerItem];
   const std::atomic<uint64_t>* slot = &slots_[(index & mask_) * kWordsPerItem];
   for (std::size_t w = 0; w < kWordsPerItem; ++w) {
-    staging[w] = slot[w].load(std::memory_order_relaxed);
+    staging[w] = slot[w].load(std::memory_order_relaxed);  // order: slot-word-protocol
   }
   WorkItem item;
   std::memcpy(&item, staging, sizeof(WorkItem));
@@ -48,7 +48,7 @@ OPTSCHED_HOT_PATH bool ChaseLevDeque::PushBottom(const WorkItem& item) {
   // the load is not a scheduling decision point; top is contended — the
   // acquire pairs with thieves' top CASes and proves the slot we are about
   // to overwrite was vacated before we reuse it.
-  const uint64_t b = bottom_.load(std::memory_order_relaxed);
+  const uint64_t b = bottom_.load(std::memory_order_relaxed);  // order: owner-bottom-read
   mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeTopLoad, this);
   const uint64_t t = top_.load(std::memory_order_acquire);
   if (b - t > mask_) {
@@ -63,18 +63,21 @@ OPTSCHED_HOT_PATH bool ChaseLevDeque::PushBottom(const WorkItem& item) {
 }
 
 OPTSCHED_HOT_PATH std::optional<WorkItem> ChaseLevDeque::PopBottom() {
+  // order: owner-bottom-read
   const int64_t b = static_cast<int64_t>(bottom_.load(std::memory_order_relaxed)) - 1;
   mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeBottomStore, this);
-  bottom_.store(static_cast<uint64_t>(b), std::memory_order_relaxed);
+  bottom_.store(static_cast<uint64_t>(b), std::memory_order_relaxed);  // order: pop-fence-pairing
   // The decrement must be globally visible before we read top: without this
   // fence a concurrent steal and this pop can both see "size >= 2" and take
   // the same item. Pairs with the fence in PeekTop.
   std::atomic_thread_fence(std::memory_order_seq_cst);
   mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeTopLoad, this);
+  // order: pop-fence-pairing
   const int64_t t = static_cast<int64_t>(top_.load(std::memory_order_relaxed));
   if (t > b) {
     // Already empty: restore bottom, nothing to return.
     mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeBottomStore, this);
+    // order: pop-fence-pairing
     bottom_.store(static_cast<uint64_t>(b + 1), std::memory_order_relaxed);
     return std::nullopt;
   }
@@ -84,9 +87,10 @@ OPTSCHED_HOT_PATH std::optional<WorkItem> ChaseLevDeque::PopBottom() {
     // means a thief's TakeTop got there first and the deque is empty.
     uint64_t expected = static_cast<uint64_t>(t);
     mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeTopCas, this);
-    const bool won = top_.compare_exchange_strong(
+    const bool won = top_.compare_exchange_strong(  // order: cas-failure-retry
         expected, expected + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
     mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeBottomStore, this);
+    // order: pop-fence-pairing
     bottom_.store(static_cast<uint64_t>(b + 1), std::memory_order_relaxed);
     if (!won) {
       return std::nullopt;
@@ -136,18 +140,23 @@ OPTSCHED_HOT_PATH bool ChaseLevDeque::TakeTop(const TopPeek& peek) {
   OPTSCHED_DCHECK(peek.found);
   uint64_t expected = peek.top;
   mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeTopCas, this);
+  // order: cas-failure-retry
   return top_.compare_exchange_strong(expected, peek.top + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed);
 }
 
 int64_t ChaseLevDeque::SizeRelaxed() const {
+  // order: quiescent-stat
   const int64_t b = static_cast<int64_t>(bottom_.load(std::memory_order_relaxed));
+  // order: quiescent-stat
   const int64_t t = static_cast<int64_t>(top_.load(std::memory_order_relaxed));
   return b > t ? b - t : 0;
 }
 
 int64_t ChaseLevDeque::SumWeightRelaxed() const {
+  // order: quiescent-stat
   const int64_t b = static_cast<int64_t>(bottom_.load(std::memory_order_relaxed));
+  // order: quiescent-stat
   const int64_t t = static_cast<int64_t>(top_.load(std::memory_order_relaxed));
   int64_t sum = 0;
   for (int64_t i = t; i < b; ++i) {

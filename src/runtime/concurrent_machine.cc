@@ -67,7 +67,7 @@ std::optional<WorkItem> ConcurrentRunQueue::PopForRunLockedBackend() {
 }
 
 std::optional<WorkItem> ConcurrentRunQueue::PopForRunChaseLev() {
-  OPTSCHED_CHECK_MSG(running_a_.load(std::memory_order_relaxed) == 0,
+  OPTSCHED_CHECK_MSG(running_a_.load(std::memory_order_relaxed) == 0,  // order: single-writer-store
                      "owner already runs an item");
   DrainInboxToDeque();
   std::optional<WorkItem> item = deque_->PopBottom();
@@ -78,8 +78,8 @@ std::optional<WorkItem> ConcurrentRunQueue::PopForRunChaseLev() {
   // "current" until
   // FinishCurrent) — only the running flag and its weight attribution move.
   mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeLoadWrite, this);
-  running_a_.store(1, std::memory_order_relaxed);
-  running_weight_a_.store(item->weight, std::memory_order_relaxed);
+  running_a_.store(1, std::memory_order_relaxed);  // order: single-writer-store
+  running_weight_a_.store(item->weight, std::memory_order_relaxed);  // order: single-writer-store
   return item;
 }
 
@@ -123,7 +123,7 @@ void ConcurrentRunQueue::FinishCurrent() {
     PublishLocked();
     return;
   }
-  OPTSCHED_CHECK(running_a_.load(std::memory_order_relaxed) == 1);
+  OPTSCHED_CHECK(running_a_.load(std::memory_order_relaxed) == 1);  // order: single-writer-store
   // One decision point for the whole accounting group. This is the ONLY
   // path that lowers the published task count without winning a top CAS —
   // thieves bracket their steal with FinishedCount() reads so the
@@ -132,12 +132,13 @@ void ConcurrentRunQueue::FinishCurrent() {
   // owner-written only, so plain load+store replaces lock-prefixed RMWs on
   // the per-item hot path.
   mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeLoadWrite, this);
+  // order: single-writer-store
   const int64_t w = running_weight_a_.load(std::memory_order_relaxed);
-  running_a_.store(0, std::memory_order_relaxed);
-  running_weight_a_.store(0, std::memory_order_relaxed);
-  fin_weight_.store(fin_weight_.load(std::memory_order_relaxed) + w,
+  running_a_.store(0, std::memory_order_relaxed);  // order: single-writer-store
+  running_weight_a_.store(0, std::memory_order_relaxed);  // order: single-writer-store
+  fin_weight_.store(fin_weight_.load(std::memory_order_relaxed) + w,  // order: single-writer-store
                     std::memory_order_relaxed);
-  fin_tasks_.store(fin_tasks_.load(std::memory_order_relaxed) + 1,
+  fin_tasks_.store(fin_tasks_.load(std::memory_order_relaxed) + 1,  // order: single-writer-store
                    std::memory_order_relaxed);
 }
 
@@ -156,7 +157,8 @@ void ConcurrentRunQueue::Push(WorkItem item) {
   }
   mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeLoadWrite, this);
   inbox_count_.fetch_add(1, std::memory_order_release);
-  ext_enq_tasks_.fetch_add(1, std::memory_order_relaxed);
+  ext_enq_tasks_.fetch_add(1, std::memory_order_relaxed);  // order: external-submit-counter
+  // order: external-submit-counter
   ext_enq_weight_.fetch_add(item.weight, std::memory_order_relaxed);
 }
 
@@ -196,8 +198,10 @@ OPTSCHED_HOT_PATH void ConcurrentRunQueue::PushBatchOwner(const WorkItem* items,
   }
   // The caller is the queue's owner (seeding, a thief landing its batch, or
   // the owner itself): single-writer counters, store-only.
+  // order: single-writer-store
   own_enq_tasks_.store(own_enq_tasks_.load(std::memory_order_relaxed) + count,
                        std::memory_order_relaxed);
+  // order: single-writer-store
   own_enq_weight_.store(own_enq_weight_.load(std::memory_order_relaxed) + weight,
                         std::memory_order_relaxed);
 }
@@ -225,8 +229,8 @@ void ConcurrentRunQueue::PushBatchExternal(const WorkItem* items, uint32_t count
   }
   mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeLoadWrite, this);
   inbox_count_.fetch_add(count, std::memory_order_release);
-  ext_enq_tasks_.fetch_add(count, std::memory_order_relaxed);
-  ext_enq_weight_.fetch_add(weight, std::memory_order_relaxed);
+  ext_enq_tasks_.fetch_add(count, std::memory_order_relaxed);  // order: external-submit-counter
+  ext_enq_weight_.fetch_add(weight, std::memory_order_relaxed);  // order: external-submit-counter
 }
 
 uint32_t ConcurrentRunQueue::TakeOwnerBatch(uint32_t max_items, std::vector<WorkItem>& out) {
@@ -269,8 +273,10 @@ uint32_t ConcurrentRunQueue::TakeOwnerBatch(uint32_t max_items, std::vector<Work
     // Owner-written dealt counters, plain store (single writer). One decision
     // point for the group, mirroring FinishCurrent.
     mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeLoadWrite, this);
+    // order: single-writer-store
     dealt_tasks_.store(dealt_tasks_.load(std::memory_order_relaxed) + taken,
                        std::memory_order_relaxed);
+    // order: single-writer-store
     dealt_weight_.store(dealt_weight_.load(std::memory_order_relaxed) + weight,
                         std::memory_order_relaxed);
   }
@@ -284,11 +290,14 @@ OPTSCHED_HOT_PATH LoadPair ConcurrentRunQueue::ReadLoad() const {
   mc_hooks::SyncPoint(mc_hooks::SyncOp::kDequeLoadRead, this);
   LoadPair load;
   load.task_count = TasksRelaxed();
+  // order: torn-read-tolerated
   load.weighted_load = own_enq_weight_.load(std::memory_order_relaxed) +
+                       // order: torn-read-tolerated
                        ext_enq_weight_.load(std::memory_order_relaxed) -
-                       fin_weight_.load(std::memory_order_relaxed) -
+                       fin_weight_.load(std::memory_order_relaxed) -  // order: torn-read-tolerated
+                       // order: torn-read-tolerated
                        stolen_weight_.load(std::memory_order_relaxed) -
-                       dealt_weight_.load(std::memory_order_relaxed);
+                       dealt_weight_.load(std::memory_order_relaxed);  // order: torn-read-tolerated
   return load;
 }
 
@@ -303,8 +312,9 @@ LoadPair ConcurrentRunQueue::ExactLoad() {
     inbox_weight += item.weight;
   }
   load.task_count = deque_->SizeRelaxed() + static_cast<int64_t>(inbox_.size()) +
-                    running_a_.load(std::memory_order_relaxed);
+                    running_a_.load(std::memory_order_relaxed);  // order: quiescent-report
   load.weighted_load = deque_->SumWeightRelaxed() + inbox_weight +
+                       // order: quiescent-report
                        running_weight_a_.load(std::memory_order_relaxed);
   return load;
 }
@@ -344,6 +354,7 @@ OPTSCHED_HOT_PATH uint32_t ConcurrentRunQueue::StealTailLocked(
     // SyncPoint: the mutation happens inside the held-lock critical section,
     // whose release is already the checker's decision point — adding one
     // would perturb every committed locked-backend golden schedule.
+    // order: locked-critical-section
     locked_stolen_count_.fetch_add(taken, std::memory_order_relaxed);
   }
   return taken;
@@ -381,7 +392,8 @@ OPTSCHED_HOT_PATH bool ConcurrentRunQueue::TakeSteal(const ChaseLevDeque::TopPee
   // No SyncPoint between the CAS and these decrements: under the checker the
   // successful take and its load accounting are one atomic step, so a
   // concurrent observer never sees a taken item still counted.
-  stolen_tasks_.fetch_add(1, std::memory_order_relaxed);
+  stolen_tasks_.fetch_add(1, std::memory_order_relaxed);  // order: steal-commit-batch
+  // order: steal-commit-batch
   stolen_weight_.fetch_add(peek.item.weight, std::memory_order_relaxed);
   return true;
 }
@@ -401,8 +413,8 @@ OPTSCHED_HOT_PATH void ConcurrentRunQueue::CommitStealAccounting(uint32_t items,
   // golden schedule) is identical to the per-item TakeSteal path. The
   // overcount window this hides is benign by the safe-direction argument in
   // the header — the checker still discharges the end-state properties.
-  stolen_tasks_.fetch_add(items, std::memory_order_relaxed);
-  stolen_weight_.fetch_add(weight, std::memory_order_relaxed);
+  stolen_tasks_.fetch_add(items, std::memory_order_relaxed);  // order: steal-commit-batch
+  stolen_weight_.fetch_add(weight, std::memory_order_relaxed);  // order: steal-commit-batch
 }
 
 ConcurrentMachine::ConcurrentMachine(uint32_t num_queues, const MachineOptions& options)

@@ -179,13 +179,15 @@ class ConcurrentRunQueue {
   // gate combines peek.size + running + inbox into its victim load so the
   // judged load is anchored to the same top index the CAS validates.
   int64_t TasksRelaxed() const {
-    return own_enq_tasks_.load(std::memory_order_relaxed) +
-           ext_enq_tasks_.load(std::memory_order_relaxed) -
-           fin_tasks_.load(std::memory_order_relaxed) -
-           stolen_tasks_.load(std::memory_order_relaxed) -
-           dealt_tasks_.load(std::memory_order_relaxed);
+    return own_enq_tasks_.load(std::memory_order_relaxed) +  // order: torn-read-tolerated
+           ext_enq_tasks_.load(std::memory_order_relaxed) -  // order: torn-read-tolerated
+           fin_tasks_.load(std::memory_order_relaxed) -  // order: torn-read-tolerated
+           stolen_tasks_.load(std::memory_order_relaxed) -  // order: torn-read-tolerated
+           dealt_tasks_.load(std::memory_order_relaxed);  // order: torn-read-tolerated
   }
+  // order: torn-read-tolerated
   int64_t InboxCountRelaxed() const { return inbox_count_.load(std::memory_order_relaxed); }
+  // order: torn-read-tolerated
   int64_t RunningRelaxed() const { return running_a_.load(std::memory_order_relaxed); }
   // Items this owner has fully executed (FinishCurrent count). A thief
   // brackets its steal with two reads: the delta excuses exactly the
@@ -193,6 +195,7 @@ class ConcurrentRunQueue {
   // path that lowers tasks — applied to the victim load between the gate
   // and the post-steal observation (see StealObservation).
   uint64_t FinishedCount() const {
+    // order: torn-read-tolerated
     return static_cast<uint64_t>(fin_tasks_.load(std::memory_order_relaxed));
   }
   // Items the owner removed via TakeOwnerBatch (chase_lev; 0 on locked, where
@@ -202,6 +205,7 @@ class ConcurrentRunQueue {
   // thieves bracket it exactly like FinishedCount
   // (StealObservation::victim_dealt_delta).
   uint64_t DealtCount() const {
+    // order: torn-read-tolerated
     return static_cast<uint64_t>(dealt_tasks_.load(std::memory_order_relaxed));
   }
   // Items removed from this queue by thieves (monotonic, both backends). The
@@ -211,9 +215,10 @@ class ConcurrentRunQueue {
   // robbed again (argolib's deal_times).
   uint64_t StolenCount() const {
     if (backend_ == QueueBackend::kChaseLev) {
+      // order: torn-read-tolerated
       return static_cast<uint64_t>(stolen_tasks_.load(std::memory_order_relaxed));
     }
-    return locked_stolen_count_.load(std::memory_order_relaxed);
+    return locked_stolen_count_.load(std::memory_order_relaxed);  // order: torn-read-tolerated
   }
 
  private:

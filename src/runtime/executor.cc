@@ -295,7 +295,7 @@ void Executor::Seed(uint32_t queue_index, const std::vector<WorkItem>& items) {
 
 void Executor::Submit(uint32_t queue_index, const WorkItem& item) {
   OPTSCHED_CHECK(queue_index < machine_.num_queues());
-  submitted_items_.fetch_add(1, std::memory_order_relaxed);
+  submitted_items_.fetch_add(1, std::memory_order_relaxed);  // order: reporting-counter
   remaining_items_.fetch_add(1, std::memory_order_release);
   machine_.queue(queue_index).Push(item);
   // Wakeup bump strictly AFTER the push: a worker whose wakeup sample goes
@@ -328,7 +328,7 @@ void Executor::SubmitBatch(uint32_t queue_index, const std::vector<WorkItem>& it
   if (items.empty()) {
     return;
   }
-  submitted_items_.fetch_add(items.size(), std::memory_order_relaxed);
+  submitted_items_.fetch_add(items.size(), std::memory_order_relaxed);  // order: reporting-counter
   remaining_items_.fetch_add(items.size(), std::memory_order_release);
   for (const WorkItem& item : items) {
     machine_.queue(queue_index).Push(item);
@@ -352,7 +352,7 @@ OPTSCHED_HOT_PATH void Executor::SubmitFromWorker(uint32_t worker, const WorkIte
   // pending decrement (applied after RunItem returns) additionally keeps the
   // counter positive throughout — a fired continuation can never be the race
   // that lets closed-system Run() observe a transient 0.
-  submitted_items_.fetch_add(count, std::memory_order_relaxed);
+  submitted_items_.fetch_add(count, std::memory_order_relaxed);  // order: reporting-counter
   remaining_items_.fetch_add(count, std::memory_order_release);
   // Owner push path: deque bottom on chase_lev (lock-free, stealable from
   // the top), the queue lock on locked — never the external-submit inbox.
@@ -387,7 +387,7 @@ uint32_t Executor::DrainIngress(uint32_t worker, WorkerStats& stats,
   // count — that window is one drain long and only defers the watchdog's
   // pending view by a round, it cannot terminate a run early because ingress
   // requires deadline mode.)
-  submitted_items_.fetch_add(moved, std::memory_order_relaxed);
+  submitted_items_.fetch_add(moved, std::memory_order_relaxed);  // order: reporting-counter
   remaining_items_.fetch_add(moved, std::memory_order_release);
   // Backend-neutral owner append: the queue lock on kLocked, a lock-free
   // bottom push (inbox spill on overflow) on kChaseLev.
@@ -470,10 +470,11 @@ OPTSCHED_HOT_PATH void Executor::DealRound(uint32_t worker, ConcurrentRunQueue& 
   // reads deal_in_flight_ as pending, so a sampling window landing here sees
   // work in transit, not work vanishing (satellite bugfix; same rule as
   // mailbox backlog and outstanding continuations).
-  deal_in_flight_[worker].fetch_add(quota, std::memory_order_relaxed);
+  deal_in_flight_[worker].fetch_add(quota, std::memory_order_relaxed);  // order: watchdog-pending
   batch.clear();
   const uint32_t taken = own.TakeOwnerBatch(quota, batch);
   if (taken < quota) {
+    // order: watchdog-pending
     deal_in_flight_[worker].fetch_sub(quota - taken, std::memory_order_relaxed);
   }
   if (taken == 0) {
@@ -501,7 +502,7 @@ OPTSCHED_HOT_PATH void Executor::DealRound(uint32_t worker, ConcurrentRunQueue& 
       returned = taken;
     }
   }
-  deal_in_flight_[worker].fetch_sub(taken, std::memory_order_relaxed);
+  deal_in_flight_[worker].fetch_sub(taken, std::memory_order_relaxed);  // order: watchdog-pending
   stats.deal_items_dealt += accepted;
   stats.deal_items_direct += direct;
   stats.deal_items_returned += returned;
@@ -906,16 +907,17 @@ ExecutorReport Executor::RunInternal(uint64_t duration_ms,
         case kCrashed:
           slot.thread.join();
           if (stopping) {
-            slot.state.store(kDone, std::memory_order_relaxed);
+            slot.state.store(kDone, std::memory_order_relaxed);  // order: supervisor-private-state
             break;
           }
+          // order: supervisor-private-state
           slot.state.store(kAwaitingRestart, std::memory_order_relaxed);
           slot.restart_at_ns = now + restart_delay_ns;
           all_done = false;
           break;
         case kAwaitingRestart:
           if (stopping) {
-            slot.state.store(kDone, std::memory_order_relaxed);
+            slot.state.store(kDone, std::memory_order_relaxed);  // order: supervisor-private-state
           } else if (now >= slot.restart_at_ns) {
             spawn(i);
             if (supervisor_ring != nullptr) {
@@ -963,6 +965,7 @@ ExecutorReport Executor::RunInternal(uint64_t duration_ms,
           }
           if (config_.deal_sink != nullptr) {
             watchdog_pending[i] += config_.deal_sink->DealtPendingFor(i) +
+                                   // order: watchdog-pending
                                    deal_in_flight_[i].load(std::memory_order_relaxed);
           }
         }
@@ -997,8 +1000,10 @@ ExecutorReport Executor::RunInternal(uint64_t duration_ms,
 
   report.wall_time_ns = NowNs() - start;
   report.seqlock_read_retries = machine_.TotalSeqlockReadRetries() - seqlock_retries_at_start;
+  // order: reporting-counter
   report.total_items = submitted_items_.load(std::memory_order_relaxed);
   report.items_left_unexecuted =
+      // order: teardown-quiesced
       deadline_mode_ ? remaining_items_.load(std::memory_order_relaxed) : 0;
   if (injector_ != nullptr) {
     report.faults = injector_->stats();
@@ -1021,6 +1026,7 @@ ExecutorReport Executor::RunInternal(uint64_t duration_ms,
   // Reuse: items a deadline left queued carry into the next run's total;
   // everything executed stops counting, so a later Run() never reports this
   // run's items again.
+  // order: teardown-quiesced, reporting-counter
   submitted_items_.store(remaining_items_.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
   deadline_mode_ = false;

@@ -52,7 +52,7 @@ class Seqlock {
   // for a fresh instance.
   Seqlock() {
     for (size_t w = 0; w < kWords; ++w) {
-      words_[w].store(0, std::memory_order_relaxed);
+      words_[w].store(0, std::memory_order_relaxed);  // order: ctor-single-threaded
     }
   }
 
@@ -64,16 +64,16 @@ class Seqlock {
     uint64_t staging[kWords] = {};
     std::memcpy(staging, &value, sizeof(T));
     mc_hooks::SyncPoint(mc_hooks::SyncOp::kSeqWriteBegin, this);
-    const uint64_t seq = sequence_.load(std::memory_order_relaxed);
+    const uint64_t seq = sequence_.load(std::memory_order_relaxed);  // order: seq-writer-serialized
     sequence_.store(seq + 1, std::memory_order_release);  // odd: write in progress
     std::atomic_thread_fence(std::memory_order_release);
     mc_hooks::SyncPoint(mc_hooks::SyncOp::kSeqWriteTorn, this);
     for (size_t w = 0; w < kWords; ++w) {
-      words_[w].store(staging[w], std::memory_order_relaxed);
+      words_[w].store(staging[w], std::memory_order_relaxed);  // order: seqlock-word-protocol
     }
     std::atomic_thread_fence(std::memory_order_release);
     sequence_.store(seq + 2, std::memory_order_release);  // even: stable
-    writes_.fetch_add(1, std::memory_order_relaxed);
+    writes_.fetch_add(1, std::memory_order_relaxed);  // order: reporting-counter
     mc_hooks::SyncPoint(mc_hooks::SyncOp::kSeqWriteEnd, this);
   }
 
@@ -93,7 +93,7 @@ class Seqlock {
       }
       std::atomic_thread_fence(std::memory_order_acquire);
       for (size_t w = 0; w < kWords; ++w) {
-        staging[w] = words_[w].load(std::memory_order_relaxed);
+        staging[w] = words_[w].load(std::memory_order_relaxed);  // order: seqlock-word-protocol
       }
       std::atomic_thread_fence(std::memory_order_acquire);
       const uint64_t after = sequence_.load(std::memory_order_acquire);
@@ -108,6 +108,7 @@ class Seqlock {
 
   // Torn-read loop iterations observed by Read() since construction. Relaxed:
   // a monotone statistic, not a synchronization device.
+  // order: reporting-counter
   uint64_t read_retries() const { return read_retries_.load(std::memory_order_relaxed); }
 
   // Completed Write() calls since construction — 0 for a fresh seqlock (the
@@ -116,11 +117,12 @@ class Seqlock {
   // this counter by the mc harness; each write also invalidates every
   // concurrent reader, so the write rate bounds the retry pressure readers
   // can see.
+  // order: reporting-counter
   uint64_t write_count() const { return writes_.load(std::memory_order_relaxed); }
 
  private:
   OPTSCHED_HOT_PATH void ReadRetryPause() const {
-    read_retries_.fetch_add(1, std::memory_order_relaxed);
+    read_retries_.fetch_add(1, std::memory_order_relaxed);  // order: reporting-counter
     // Under the model checker a retrying reader blocks until the in-flight
     // write completes (sequence even again); rescheduling it earlier would
     // just spin the fiber without progress. In production: plain CpuRelax.

@@ -54,7 +54,7 @@ class OPTSCHED_CAPABILITY("mutex") SpinLock {
         continue;  // checker resumed us with the lock observed free; retry
       }
       // Test-and-test-and-set: spin on the cache line read-only until free.
-      while (locked_.load(std::memory_order_relaxed)) {
+      while (locked_.load(std::memory_order_relaxed)) {  // order: ttas-spin-read
         CpuRelax();
       }
     }
@@ -62,7 +62,7 @@ class OPTSCHED_CAPABILITY("mutex") SpinLock {
 
   bool try_lock() OPTSCHED_TRY_ACQUIRE(true) {
     mc_hooks::SyncPoint(mc_hooks::SyncOp::kLockTry, this);
-    return !locked_.load(std::memory_order_relaxed) &&
+    return !locked_.load(std::memory_order_relaxed) &&  // order: ttas-spin-read
            !locked_.exchange(true, std::memory_order_acquire);
   }
 
@@ -83,11 +83,12 @@ class OPTSCHED_CAPABILITY("mutex") SpinLock {
   // has no owner identity) — so it is a debug-build tripwire for "forgot to
   // lock entirely", not a proof. The static analysis is the proof.
   void AssertHeld() const OPTSCHED_ASSERT_CAPABILITY(this) {
-    OPTSCHED_DCHECK(locked_.load(std::memory_order_relaxed));
+    OPTSCHED_DCHECK(locked_.load(std::memory_order_relaxed));  // order: debug-assert-read
   }
 
  private:
   static bool IsFree(const void* self) {
+    // order: debug-assert-read
     return !static_cast<const SpinLock*>(self)->locked_.load(std::memory_order_relaxed);
   }
 

@@ -39,7 +39,7 @@ TaskNode& TaskGraph::NewRoot(TaskBody body) {
   TaskNode* node = AllocNode(0);
   node->body = body;
   node->parent = nullptr;
-  done_.store(false, std::memory_order_relaxed);
+  done_.store(false, std::memory_order_relaxed);  // order: setup-single-threaded
   return *node;
 }
 
@@ -53,19 +53,20 @@ WorkItem TaskGraph::ItemFor(TaskNode& node) const {
 }
 
 void TaskGraph::Reset() {
-  arena_next_.store(0, std::memory_order_relaxed);
+  arena_next_.store(0, std::memory_order_relaxed);  // order: setup-single-threaded
   for (uint32_t w = 0; w < options_.max_workers; ++w) {
     worker_state_[w].chunk_next = 0;
     worker_state_[w].chunk_end = 0;
+    // order: setup-single-threaded
     worker_state_[w].outstanding.store(0, std::memory_order_relaxed);
   }
-  done_.store(false, std::memory_order_relaxed);
+  done_.store(false, std::memory_order_relaxed);  // order: setup-single-threaded
 }
 
 uint32_t TaskGraph::nodes_allocated() const {
   // Chunked handout over-counts by the unused tails of live chunks; fine for
   // a headroom metric.
-  const uint32_t next = arena_next_.load(std::memory_order_relaxed);
+  const uint32_t next = arena_next_.load(std::memory_order_relaxed);  // order: arena-chunk-commutes
   return next < options_.arena_capacity ? next : options_.arena_capacity;
 }
 
@@ -73,6 +74,7 @@ int64_t TaskGraph::OutstandingFor(uint32_t worker) const {
   if (worker >= options_.max_workers) {
     return 0;
   }
+  // order: watchdog-pending
   return worker_state_[worker].outstanding.load(std::memory_order_relaxed);
 }
 
@@ -82,6 +84,7 @@ OPTSCHED_HOT_PATH TaskNode* TaskGraph::AllocNode(uint32_t worker) {
   OPTSCHED_CHECK(worker < options_.max_workers);
   WorkerState& state = worker_state_[worker];
   if (state.chunk_next == state.chunk_end) {
+    // order: arena-chunk-commutes
     const uint32_t begin = arena_next_.fetch_add(kAllocChunk, std::memory_order_relaxed);
     OPTSCHED_CHECK_MSG(begin < options_.arena_capacity,
                        "TaskGraph arena exhausted — size arena_capacity for the kernel "
@@ -94,7 +97,7 @@ OPTSCHED_HOT_PATH TaskNode* TaskGraph::AllocNode(uint32_t worker) {
   }
   TaskNode* node = &arena_[state.chunk_next++];
   node->parent = nullptr;
-  node->join.store(0, std::memory_order_relaxed);
+  node->join.store(0, std::memory_order_relaxed);  // order: join-init-prepublish
   node->forker = worker;
   return node;
 }
@@ -119,9 +122,10 @@ OPTSCHED_HOT_PATH void TaskGraph::CompleteTask(TaskNode* node, TaskContext& ctx)
     // same value, one decrement is lost, and the join never fires — the
     // counterexample the mc harness must find and minimize.
     mc_hooks::SyncPoint(mc_hooks::SyncOp::kTaskJoinLoad, &parent->join);
+    // order: broken-join-fault-knob
     const int32_t observed = parent->join.load(std::memory_order_relaxed);
     mc_hooks::SyncPoint(mc_hooks::SyncOp::kTaskJoinDec, &parent->join);
-    parent->join.store(observed - 1, std::memory_order_relaxed);
+    parent->join.store(observed - 1, std::memory_order_relaxed);  // order: broken-join-fault-knob
     remaining = observed - 1;
   } else {
     mc_hooks::SyncPoint(mc_hooks::SyncOp::kTaskJoinDec, &parent->join);
@@ -132,6 +136,7 @@ OPTSCHED_HOT_PATH void TaskGraph::CompleteTask(TaskNode* node, TaskContext& ctx)
   }
   // Last arriver: the continuation's inputs are all written; hand it to this
   // worker's queue and settle the forker's outstanding count.
+  // order: watchdog-pending
   worker_state_[parent->forker].outstanding.fetch_sub(1, std::memory_order_relaxed);
   ctx.sink_->OnJoinFire(ctx.worker_, static_cast<uint64_t>(parent - arena_.get()) + 1);
   ctx.Enqueue(*parent);
@@ -166,9 +171,11 @@ OPTSCHED_HOT_PATH TaskNode& TaskContext::ForkN(TaskBody continuation, uint32_t c
   // The continuation adopts the current task's completion obligation: same
   // parent, and the current task will NOT decrement it on return.
   cont->parent = current_->parent;
+  // order: join-init-prepublish
   cont->join.store(static_cast<int32_t>(children), std::memory_order_relaxed);
   cont->forker = worker_;
   deferred_ = true;
+  // order: watchdog-pending
   graph_->worker_state_[worker_].outstanding.fetch_add(1, std::memory_order_relaxed);
   sink_->OnFork(worker_, static_cast<uint64_t>(cont - graph_->arena_.get()) + 1, children);
   return *cont;

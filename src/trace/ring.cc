@@ -18,10 +18,10 @@ SpscTraceRing::SpscTraceRing(size_t capacity)
     : slots_(RoundUpPow2(capacity < 2 ? 2 : capacity)), mask_(slots_.size() - 1) {}
 
 bool SpscTraceRing::TryPush(const TraceEvent& event) {
-  const uint64_t tail = tail_.load(std::memory_order_relaxed);
+  const uint64_t tail = tail_.load(std::memory_order_relaxed);  // order: spsc-own-cursor
   const uint64_t head = head_.load(std::memory_order_acquire);
   if (tail - head > mask_) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+    dropped_.fetch_add(1, std::memory_order_relaxed);  // order: reporting-counter
     return false;
   }
   slots_[tail & mask_] = event;
@@ -30,7 +30,7 @@ bool SpscTraceRing::TryPush(const TraceEvent& event) {
 }
 
 size_t SpscTraceRing::Drain(std::vector<TraceEvent>& out) {
-  const uint64_t head = head_.load(std::memory_order_relaxed);
+  const uint64_t head = head_.load(std::memory_order_relaxed);  // order: spsc-own-cursor
   const uint64_t tail = tail_.load(std::memory_order_acquire);
   for (uint64_t i = head; i != tail; ++i) {
     out.push_back(slots_[i & mask_]);

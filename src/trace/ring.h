@@ -43,6 +43,7 @@ class SpscTraceRing {
   size_t Drain(std::vector<TraceEvent>& out);
 
   // Events rejected by a full ring (readable from any thread).
+  // order: reporting-counter
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
 
   // Events currently buffered (approximate when the producer is live).

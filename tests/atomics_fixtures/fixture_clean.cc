@@ -1,0 +1,47 @@
+// Compliant sites for the fixture_widget protocol: correct orders, a
+// justified relaxed site, a two-order CAS, a tagged declaration, and a
+// valid suppression. This file is never compiled -- it is analyzed by
+// atomics_audit_test, which requires zero diagnostics here.
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class Widget {
+ public:
+  // Publish: release store pairs with the acquire load below.
+  void Publish() { flag_.store(true, std::memory_order_release); }
+
+  bool Observe() const { return flag_.load(std::memory_order_acquire); }
+
+  // Both CAS orders spelled; failure meets the acquire minimum directly.
+  bool Claim(uint64_t expected) {
+    return seq_.compare_exchange_strong(expected, expected + 1,
+                                        std::memory_order_seq_cst,
+                                        std::memory_order_acquire);
+  }
+
+  // Relaxed is allowed here only with a citation of the spec rule.
+  void Bump() { stat_.fetch_add(1, std::memory_order_relaxed); }  // order: stat-counter
+
+  uint64_t Stat() const {
+    // order: stat-counter
+    return stat_.load(std::memory_order_relaxed);
+  }
+
+  uint64_t StatSuppressed() const {
+    // atomics-audit: allow(unjustified-relaxed): fixture exercises the suppression syntax
+    return stat_.load(std::memory_order_relaxed);
+  }
+
+  void Retire() { stat_.fetch_sub(1, std::memory_order_acq_rel); }
+
+ private:
+  // mc: kWidgetPub
+  std::atomic<bool> flag_{false};
+  std::atomic<uint64_t> seq_{0};
+  mutable std::atomic<uint64_t> stat_{0};
+};
+
+}  // namespace fixture

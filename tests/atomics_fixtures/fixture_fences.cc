@@ -1,0 +1,18 @@
+// Seeded fence-shape mutation: the spec declares this file's fence sequence
+// as [release, acquire]; the second fence below was "optimized" to release,
+// which breaks the reader-side pairing.
+
+#include <atomic>
+
+namespace fixture {
+
+void WriteSide(std::atomic<bool>& flag_) {
+  std::atomic_thread_fence(std::memory_order_release);
+  flag_.store(true, std::memory_order_release);
+}
+
+void ReadSide() {
+  std::atomic_thread_fence(std::memory_order_release);  // expect-atomics: fence-shape
+}
+
+}  // namespace fixture

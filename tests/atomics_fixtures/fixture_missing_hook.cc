@@ -1,0 +1,33 @@
+// Seeded mc-coverage and extraction-completeness mutations: a spec'd member
+// whose declaration lost its mc tag, a declared atomic no spec covers, a
+// site on an unknown field, an op the spec does not list, and an implicit
+// operator form.
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+class Widget {
+ public:
+  bool Swap() {
+    return flag_.exchange(true, std::memory_order_acq_rel);  // expect-atomics: unspecified-op
+  }
+
+  void ImplicitPublish() {
+    flag_ = true;  // expect-atomics: implicit-order
+  }
+
+ private:
+  // The spec requires kWidgetPub hooks here, but the tag is gone.
+  std::atomic<bool> flag_{false};  // expect-atomics: mc-mismatch
+
+  // No protocol spec covers this member at all.
+  std::atomic<int32_t> rogue_{0};  // expect-atomics: unspecified-member
+};
+
+void RogueSite(std::atomic<uint64_t>& unknown_) {
+  unknown_.store(1, std::memory_order_release);  // expect-atomics: unspecified-site
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Seeded missing-release mutation: the flag_ publish pair demoted to
+// relaxed on both sides. The spec's empty justify lists make both
+// unconditionally order-too-weak -- no tag could save them.
+
+#include <atomic>
+
+namespace fixture {
+
+void PublishWeak(std::atomic<bool>& flag_) {
+  flag_.store(true, std::memory_order_relaxed);  // expect-atomics: order-too-weak
+}
+
+bool ObserveWeak(const std::atomic<bool>& flag_) {
+  return flag_.load(std::memory_order_relaxed);  // expect-atomics: order-too-weak
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+#include <atomic>  // expect-atomics: stale-spec
+
+// The fixture_stale spec declares a ghost_ field this file never touches:
+// the stale-spec pass anchors its diagnostic to the spec's first file,
+// line 1 (the include above).
+
+namespace fixture {
+
+void NothingAtomicHere() {}
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// Seeded justification failures: untagged relaxed, a tag citing a rule the
+// spec never declared, a tag citing a real rule that does not cover the
+// position, a relaxed fetch_sub below its acq_rel minimum, and suppression
+// hygiene violations.
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+void UntaggedRelaxed(std::atomic<uint64_t>& stat_) {
+  stat_.fetch_add(1, std::memory_order_relaxed);  // expect-atomics: unjustified-relaxed
+}
+
+uint64_t BogusRule(const std::atomic<uint64_t>& stat_) {
+  // order: bogus-rule
+  return stat_.load(std::memory_order_relaxed);  // expect-atomics: unknown-rule
+}
+
+void WrongPositionRule(std::atomic<uint64_t>& stat_) {
+  // order: cas-retry
+  stat_.fetch_add(1, std::memory_order_relaxed);  // expect-atomics: unknown-rule
+}
+
+void WeakFetchSub(std::atomic<uint64_t>& stat_) {
+  stat_.fetch_sub(1, std::memory_order_relaxed);  // expect-atomics: order-too-weak
+}
+
+uint64_t ReasonlessSuppression(const std::atomic<uint64_t>& stat_) {
+  // expect-atomics: suppression-syntax
+  // atomics-audit: allow(unjustified-relaxed):
+  // expect-atomics: unjustified-relaxed
+  return stat_.load(std::memory_order_relaxed);
+}
+
+uint64_t UnknownCheckSuppression(const std::atomic<uint64_t>& stat_) {
+  // expect-atomics: suppression-syntax
+  // atomics-audit: allow(not-a-check): this check does not exist
+  // order: stat-counter
+  return stat_.load(std::memory_order_relaxed);
+}
+
+}  // namespace fixture

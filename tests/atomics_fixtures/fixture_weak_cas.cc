@@ -1,0 +1,38 @@
+// Seeded order-weakening mutations on the CAS positions -- the static
+// equivalent of the broken_steal_order fault knob. Each weakened position
+// must fire order-too-weak; the empty justify_success list means no tag can
+// excuse the success order.
+
+#include <atomic>
+#include <cstdint>
+
+namespace fixture {
+
+// Success order weakened to relaxed (failure meets its minimum).
+bool WeakSuccess(std::atomic<uint64_t>& seq_, uint64_t e) {
+  return seq_.compare_exchange_strong(  // expect-atomics: order-too-weak
+      e, e + 1, std::memory_order_relaxed, std::memory_order_acquire);
+}
+
+// Failure order weakened to relaxed without a cas-retry citation.
+bool WeakFailure(std::atomic<uint64_t>& seq_, uint64_t e) {
+  return seq_.compare_exchange_strong(  // expect-atomics: order-too-weak
+      e, e + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+}
+
+// Single-order form: acq_rel success is below the seq_cst minimum (the
+// derived acquire failure order happens to pass).
+bool WeakSingleOrder(std::atomic<uint64_t>& seq_, uint64_t e) {
+  return seq_.compare_exchange_strong(  // expect-atomics: order-too-weak
+      e, e + 1, std::memory_order_acq_rel);
+}
+
+// A cas-retry citation makes the relaxed failure order acceptable -- but
+// only the failure position; the justify lists are per-position.
+bool JustifiedFailure(std::atomic<uint64_t>& seq_, uint64_t e) {
+  // order: cas-retry
+  return seq_.compare_exchange_strong(
+      e, e + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+}
+
+}  // namespace fixture

@@ -29,9 +29,38 @@ class Counter {
     ++hits_;  // expect-lint: atomic-memory-order
   }
 
+  // Compliant: the join-counter op with its order spelled.
+  void GoodFetchSub() { hits_.fetch_sub(1, std::memory_order_acq_rel); }
+
+  void BadFetchSub() {
+    hits_.fetch_sub(1);  // expect-lint: atomic-memory-order
+  }
+
+  // Compliant: both the success and the failure order are spelled.
+  bool GoodCasTwoOrders(uint64_t expected) {
+    return hits_.compare_exchange_strong(expected, expected + 1,
+                                         std::memory_order_seq_cst,
+                                         std::memory_order_relaxed);
+  }
+
+  // The single-order form derives the failure order implicitly -- the
+  // derivation (release -> relaxed, acq_rel -> acquire) is exactly where a
+  // protocol downgrade hides, so it must be spelled.
+  bool BadCasImplicitFailure(uint64_t expected) {
+    return hits_.compare_exchange_weak(  // expect-lint: atomic-memory-order
+        expected, expected + 1, std::memory_order_acq_rel);
+  }
+
+  // An order inside a nested call does not count for the outer op.
+  void BadNestedOrderOnly() {
+    hits_.store(other_.load(std::memory_order_relaxed));  // expect-lint: atomic-memory-order
+  }
+
  private:
   // optsched-lint: allow(mc-hook-coverage): fixture-local counter, not protocol state
   mutable std::atomic<uint64_t> hits_{0};
+  // optsched-lint: allow(mc-hook-coverage): fixture-local counter, not protocol state
+  std::atomic<uint64_t> other_{0};
 };
 
 }  // namespace fixture

@@ -38,9 +38,9 @@ suppression without one is itself a diagnostic.
 Tree mode (default):
     optsched_lint.py [--root DIR] [--build BUILDDIR] [files...]
 With --build, compile_commands.json is loaded and every .cc under
-src/runtime, src/trace, src/task, src/ingress, and src/sched must appear in
-it -- a translation unit that is not built is a translation unit the lint
-(and -Wthread-safety) silently stopped covering.
+src/runtime, src/trace, src/task, src/ingress, src/sched, and src/workload
+must appear in it -- a translation unit that is not built is a translation
+unit the lint (and -Wthread-safety) silently stopped covering.
 
 Fixture mode:
     optsched_lint.py --fixtures DIR
@@ -381,14 +381,45 @@ class Context:
             self.diags.append(Diagnostic(self.rel, idx + 1, rule, message))
 
 
+def count_top_level_orders(args):
+    """memory_order tokens at paren depth 1 of an argument list. Orders
+    inside nested calls (a fetch that feeds a store) sit at depth >= 2 and
+    do not count for the outer op."""
+    count = 0
+    depth = 0
+    i, n = 0, len(args)
+    token = "memory_order_"
+    while i < n:
+        c = args[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+        elif (depth == 1 and args.startswith(token, i) and
+              (i == 0 or not (args[i - 1].isalnum() or args[i - 1] == "_"))):
+            count += 1
+            i += len(token)
+            continue
+        i += 1
+    return count
+
+
 def rule_atomic_memory_order(ctx):
     for idx, line in enumerate(ctx.stripped):
         for m in ATOMIC_OP_RE.finditer(line):
+            op = m.group(1)
             args = paren_args(ctx.stripped, idx, m.end() - 1)
-            if "memory_order" not in args:
+            n = count_top_level_orders(args)
+            if n == 0:
                 ctx.report(idx, "atomic-memory-order",
-                           f"atomic {m.group(1)}() without an explicit "
+                           f"atomic {op}() without an explicit "
                            "std::memory_order argument (implicit seq_cst)")
+            elif op.startswith("compare_exchange") and n < 2:
+                ctx.report(idx, "atomic-memory-order",
+                           f"atomic {op}() spells only the success order -- "
+                           "the failure order is then derived implicitly; "
+                           "spell both (the failure position is where "
+                           "silent seq_cst->acquire downgrades hide)")
     names = atomic_member_names(ctx.raw, ctx.stripped, ctx.path)
     if names:
         op_re = re.compile(
@@ -548,7 +579,8 @@ def check_compile_commands(root, build):
     for entry in entries:
         built.add(os.path.realpath(
             os.path.join(entry.get("directory", "."), entry["file"])))
-    for sub in ("src/runtime", "src/trace", "src/task", "src/ingress", "src/sched"):
+    for sub in ("src/runtime", "src/trace", "src/task", "src/ingress",
+                "src/sched", "src/workload"):
         subdir = os.path.join(root, sub)
         if not os.path.isdir(subdir):
             continue

@@ -43,6 +43,9 @@ if [ -z "$base" ]; then
   fi
 fi
 
+# Git pathspec '*' crosses directory separators: these globs cover every
+# src/ subtree (runtime, trace, task, ingress, sched, workload, ...), so a
+# new subdirectory is tidied the moment its files land.
 files=$(git -C "$root" diff --name-only --diff-filter=d "$base"...HEAD -- \
         'src/*.cc' 'src/*.h' 2>/dev/null || \
         git -C "$root" diff --name-only --diff-filter=d "$base" -- \
